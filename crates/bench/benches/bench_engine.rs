@@ -1,0 +1,86 @@
+//! Criterion benches for the Harmony engine — per-stage and end-to-end
+//! costs of the Figure 1 pipeline on registry-scale schemata.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwb_harmony::flooding::{flood, FloodingConfig};
+use iwb_harmony::matrix::ScoreMatrix;
+use iwb_harmony::{Confidence, HarmonyEngine, MatchContext};
+use iwb_ling::{Corpus, Thesaurus};
+use iwb_registry::perturb::{perturb_schema, PerturbConfig};
+use iwb_registry::{generate_registry, GeneratorConfig};
+use std::collections::{HashMap, HashSet};
+
+fn pair_sized(elements: usize) -> iwb_registry::SchemaPair {
+    let cfg = GeneratorConfig {
+        seed: 7,
+        models: 1,
+        elements,
+        attributes: elements * 5,
+        domain_values: elements * 8,
+        ..GeneratorConfig::default()
+    };
+    let model = generate_registry(cfg)
+        .models
+        .into_iter()
+        .next()
+        .expect("nonempty registry");
+    perturb_schema(&model, &PerturbConfig::default())
+}
+
+fn bench_context(c: &mut Criterion) {
+    let p = pair_sized(12);
+    let th = Thesaurus::builtin();
+    c.bench_function("engine/context build", |b| {
+        b.iter(|| MatchContext::build(black_box(&p.source), black_box(&p.target), &th, Corpus::new()))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/end-to-end");
+    group.sample_size(10);
+    for size in [8, 16, 32] {
+        let p = pair_sized(size);
+        let cells = {
+            let m = ScoreMatrix::for_schemas(&p.source, &p.target);
+            m.len()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cells}cells")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let mut engine = HarmonyEngine::default();
+                    engine.run(black_box(&p.source), black_box(&p.target), &HashMap::new())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_flooding(c: &mut Criterion) {
+    let p = pair_sized(12);
+    let mut m = ScoreMatrix::for_schemas(&p.source, &p.target);
+    // Seed the matrix with pseudo-scores so flooding has work to do.
+    let (srcs, tgts) = (m.src_ids().to_vec(), m.tgt_ids().to_vec());
+    for (i, &s) in srcs.iter().enumerate() {
+        for (j, &t) in tgts.iter().enumerate() {
+            m.set(s, t, Confidence::engine(((i * 31 + j * 17) % 200) as f64 / 100.0 - 1.0));
+        }
+    }
+    c.bench_function("engine/flooding fixpoint", |b| {
+        b.iter(|| {
+            let mut work = m.clone();
+            flood(
+                &mut work,
+                black_box(&p.source),
+                black_box(&p.target),
+                &HashSet::new(),
+                &FloodingConfig::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_context, bench_end_to_end, bench_flooding);
+criterion_main!(benches);

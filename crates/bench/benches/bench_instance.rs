@@ -1,0 +1,85 @@
+//! Criterion benches for instance integration (tasks 10–11): the
+//! blocking-key ablation DESIGN.md calls out, plus cleaning throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwb_instance::{
+    link_records, BlockingKey, Cleaner, CleaningRule, CompareMethod, FieldComparator,
+    LinkageConfig,
+};
+use iwb_mapper::Node;
+use iwb_model::Domain;
+
+const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Turing", "Hopper", "Johnson", "Hamilton", "Shannon", "Knuth", "Dijkstra",
+    "Liskov", "Lamport",
+];
+
+fn records(n: usize) -> Vec<Node> {
+    (0..n)
+        .map(|i| {
+            let last = LAST_NAMES[i % LAST_NAMES.len()];
+            // Every third record is a misspelled duplicate of its
+            // predecessor.
+            let last = if i % 3 == 2 {
+                format!("{}e", &last[..last.len() - 1])
+            } else {
+                last.to_owned()
+            };
+            Node::elem("person")
+                .with_leaf("first", format!("Person{}", i / 3))
+                .with_leaf("last", last)
+                .with_leaf("dob", format!("19{:02}-01-{:02}", i % 80 + 10, i % 28 + 1))
+        })
+        .collect()
+}
+
+fn config(blocking: BlockingKey) -> LinkageConfig {
+    LinkageConfig {
+        blocking,
+        comparators: vec![
+            FieldComparator::new("first", CompareMethod::JaroWinkler, 1.0),
+            FieldComparator::new("last", CompareMethod::JaroWinkler, 1.0),
+            FieldComparator::new("dob", CompareMethod::Exact, 2.0),
+        ],
+        threshold: 0.85,
+    }
+}
+
+fn bench_linkage(c: &mut Criterion) {
+    let data = records(400);
+    let mut group = c.benchmark_group("instance/linkage blocking ablation");
+    group.sample_size(20);
+    for (name, blocking) in [
+        ("none (quadratic)", BlockingKey::None),
+        ("attribute(last)", BlockingKey::Attribute("last".into())),
+        ("soundex(last)", BlockingKey::SoundexOf("last".into())),
+    ] {
+        let cfg = config(blocking);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| link_records(black_box(&data), black_box(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cleaning(c: &mut Criterion) {
+    let cleaner = Cleaner::new()
+        .with_rule(CleaningRule::DomainConstraint {
+            field: "last".into(),
+            domain: LAST_NAMES
+                .iter()
+                .fold(Domain::new("names"), |d, n| d.with_value(*n, "surname")),
+        })
+        .with_rule(CleaningRule::Required {
+            field: "dob".into(),
+        });
+    c.bench_function("instance/clean 400 records", |b| {
+        b.iter(|| {
+            let mut data = records(400);
+            cleaner.clean(black_box(&mut data))
+        })
+    });
+}
+
+criterion_group!(benches, bench_linkage, bench_cleaning);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the linguistic substrate — the per-element
+//! cost of Figure 1's preprocessing stage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iwb_ling::pipeline::preprocess;
+use iwb_ling::{dice_coefficient, jaro_winkler, levenshtein, porter_stem, Corpus, Thesaurus};
+
+fn bench_preprocess(c: &mut Criterion) {
+    c.bench_function("ling/preprocess name+doc", |b| {
+        b.iter(|| {
+            preprocess(
+                black_box("ACFT_TYPE_CD"),
+                black_box(Some(
+                    "The coded designation of the aircraft type as maintained in the authoritative source system.",
+                )),
+            )
+        })
+    });
+    c.bench_function("ling/porter_stem", |b| {
+        b.iter(|| porter_stem(black_box("organizational")))
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    c.bench_function("ling/levenshtein 12x14", |b| {
+        b.iter(|| levenshtein(black_box("shippingInfos"), black_box("shipToAddress")))
+    });
+    c.bench_function("ling/jaro_winkler 12x14", |b| {
+        b.iter(|| jaro_winkler(black_box("shippingInfos"), black_box("shipToAddress")))
+    });
+    c.bench_function("ling/dice bigrams", |b| {
+        b.iter(|| dice_coefficient(black_box("first_name"), black_box("firstName"), 2))
+    });
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let mut corpus = Corpus::new();
+    for i in 0..1000 {
+        corpus.add_document([
+            "unique",
+            if i % 2 == 0 { "identifier" } else { "designation" },
+            "airport",
+            "facility",
+        ]);
+    }
+    let v1 = corpus.vector(["unique", "identifier", "airport"]);
+    let v2 = corpus.vector(["designation", "airport", "facility"]);
+    c.bench_function("ling/tfidf vector", |b| {
+        b.iter(|| corpus.vector(black_box(["unique", "identifier", "airport"])))
+    });
+    c.bench_function("ling/cosine", |b| {
+        b.iter(|| iwb_ling::cosine(black_box(&v1), black_box(&v2)))
+    });
+}
+
+fn bench_thesaurus(c: &mut Criterion) {
+    let t = Thesaurus::builtin();
+    c.bench_function("ling/thesaurus synonymous", |b| {
+        b.iter(|| t.synonymous(black_box("acft"), black_box("airplane")))
+    });
+}
+
+criterion_group!(benches, bench_preprocess, bench_similarity, bench_tfidf, bench_thesaurus);
+criterion_main!(benches);

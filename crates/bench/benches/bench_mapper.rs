@@ -1,0 +1,99 @@
+//! Criterion benches for the mapping substrate: expression parsing and
+//! evaluation, mapping execution, XQuery assembly, verification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iwb_mapper::xquery::{generate_xquery, MatrixCodegen};
+use iwb_mapper::{
+    execute, parse_expr, verify_instance, AttributeTransformation, EntityMapping, EntityRule,
+    LogicalMapping, Node,
+};
+use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+fn sample_doc(rows: usize) -> Node {
+    let mut doc = Node::elem("db");
+    for i in 0..rows {
+        doc.children.push(
+            Node::elem("RUNWAY")
+                .with_leaf("arpt", format!("K{:03}", i % 40))
+                .with_leaf("number", format!("{:02}L", i % 36))
+                .with_leaf("length_ft", (5000 + (i % 80) * 100) as f64),
+        );
+    }
+    for i in 0..rows / 5 {
+        doc.children.push(
+            Node::elem("AIRPORT")
+                .with_leaf("ident", format!("K{i:03}"))
+                .with_leaf("name", format!("Airport {i}")),
+        );
+    }
+    doc
+}
+
+fn mapping() -> LogicalMapping {
+    LogicalMapping::new("facilities").with_rule(
+        EntityRule::new(
+            "strip",
+            EntityMapping::Join {
+                left: "RUNWAY".into(),
+                right: "AIRPORT".into(),
+                left_key: "arpt".into(),
+                right_key: "ident".into(),
+            },
+        )
+        .with_attr(iwb_mapper::logical::AttrRule::new(
+            "lengthM",
+            AttributeTransformation::Scalar(
+                parse_expr("feet-to-meters(data($src/length_ft))").unwrap(),
+            ),
+        ))
+        .with_attr(iwb_mapper::logical::AttrRule::new(
+            "airportName",
+            AttributeTransformation::Scalar(parse_expr("data($src/name)").unwrap()),
+        )),
+    )
+}
+
+fn bench_parse_eval(c: &mut Criterion) {
+    c.bench_function("mapper/parse expr", |b| {
+        b.iter(|| parse_expr(black_box("concat(data($lName), concat(\", \", data($fName)))")))
+    });
+    let expr = parse_expr("data($src/length_ft) * 0.3048 + 10").unwrap();
+    let mut env = iwb_mapper::expr::Env::new();
+    env.bind_node("src", Node::elem("r").with_leaf("length_ft", 9000.0));
+    c.bench_function("mapper/eval expr", |b| b.iter(|| expr.eval(black_box(&env))));
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let doc = sample_doc(500);
+    let m = mapping();
+    let mut group = c.benchmark_group("mapper/execute");
+    group.sample_size(20);
+    group.bench_function("join 500 rows", |b| {
+        b.iter(|| execute(black_box(&m), black_box(&doc)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_codegen_and_verify(c: &mut Criterion) {
+    let input = MatrixCodegen::new("shippingInfo")
+        .with_row("shipto", "$doc/shipTo")
+        .with_column("name", "concat($lName, $fName)")
+        .with_column("total", "data($shipto/subtotal) * 1.05");
+    c.bench_function("mapper/xquery assemble", |b| {
+        b.iter(|| generate_xquery(black_box(&input)))
+    });
+
+    let schema = SchemaBuilder::new("facilities", Metamodel::Xml)
+        .open("strip")
+        .attr("lengthM", DataType::Decimal)
+        .attr("airportName", DataType::Text)
+        .close()
+        .build();
+    let out = execute(&mapping(), &sample_doc(200)).unwrap();
+    c.bench_function("mapper/verify instance", |b| {
+        b.iter(|| verify_instance(black_box(&schema), black_box(&out)))
+    });
+}
+
+criterion_group!(benches, bench_parse_eval, bench_execute, bench_codegen_and_verify);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the Integration Blackboard's RDF substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iwb_rdf::{select, PatternTerm, Term, TriplePattern, TripleStore};
+
+fn build_store(n: usize) -> TripleStore {
+    let mut st = TripleStore::new();
+    for i in 0..n {
+        let cell = Term::iri(format!("iwb:cell/{i}"));
+        st.insert(
+            cell.clone(),
+            Term::iri("rdf:type"),
+            Term::iri("iwb:MappingCell"),
+        );
+        st.insert(
+            cell.clone(),
+            Term::iri("iwb:in-matrix"),
+            Term::iri(format!("iwb:matrix/{}", i % 10)),
+        );
+        st.insert(
+            cell.clone(),
+            Term::iri("iwb:confidence-score"),
+            Term::double((i % 100) as f64 / 100.0),
+        );
+        st.insert(
+            cell,
+            Term::iri("iwb:is-user-defined"),
+            Term::boolean(i % 7 == 0),
+        );
+    }
+    st
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("rdf/insert 10k triples", |b| {
+        b.iter(|| build_store(black_box(2_500)))
+    });
+}
+
+fn bench_match(c: &mut Criterion) {
+    let st = build_store(10_000);
+    let p = st.lookup(&Term::iri("iwb:in-matrix")).unwrap();
+    let o = st.lookup(&Term::iri("iwb:matrix/3")).unwrap();
+    c.bench_function("rdf/pattern scan (p,o bound)", |b| {
+        b.iter(|| st.matching(None, Some(black_box(p)), Some(black_box(o))))
+    });
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let st = build_store(5_000);
+    let patterns = vec![
+        TriplePattern::new(
+            PatternTerm::var("cell"),
+            Term::iri("iwb:is-user-defined"),
+            Term::boolean(true),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("cell"),
+            Term::iri("iwb:in-matrix"),
+            PatternTerm::var("m"),
+        ),
+    ];
+    c.bench_function("rdf/bgp join 2 patterns", |b| {
+        b.iter(|| select(black_box(&st), black_box(&patterns)))
+    });
+}
+
+fn bench_turtle(c: &mut Criterion) {
+    let st = build_store(2_000);
+    let text = iwb_rdf::turtle::write(&st);
+    c.bench_function("rdf/turtle write 8k triples", |b| {
+        b.iter(|| iwb_rdf::turtle::write(black_box(&st)))
+    });
+    c.bench_function("rdf/turtle parse 8k triples", |b| {
+        b.iter(|| iwb_rdf::turtle::read(black_box(&text)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_match, bench_bgp, bench_turtle);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! **Figure 3** — "Sample mapping matrix in which every component has
+//! been annotated".
+//!
+//! Drives the workbench through the same history that produced the
+//! figure: Harmony proposes, the engineer decides (+1/-1 user-defined
+//! cells), the mapping tool binds row variables and column code, the
+//! code generator assembles the matrix-level code — then prints the
+//! fully annotated matrix and the assembled XQuery.
+
+use iwb_core::casestudy::run_case_study;
+
+fn main() {
+    println!("Figure 3 reproduction — the annotated mapping matrix\n");
+    let report = run_case_study().expect("case study pipeline");
+    println!("{}", report.matrix_text);
+    println!("── assembled matrix code (the figure's top-left cell) ──");
+    println!("{}", report.xquery);
+    println!("── tested on a sample document (§5.3) ──");
+    println!("input:\n{}", report.sample_input.render());
+    println!("output:\n{}", report.sample_output.render());
+    if report.violations.is_empty() {
+        println!("verification against target schema: OK (task 9)");
+    } else {
+        println!("verification violations: {:?}", report.violations);
+    }
+}

@@ -1,0 +1,26 @@
+//! **Figure 4** — "Workbench Architecture", demonstrated via the §5.3
+//! case study.
+//!
+//! Prints the full manager trace: tool registration with event
+//! subscriptions, every invocation with its transaction commit, and the
+//! event propagation rounds (mapping-cell → mapping-vector →
+//! mapping-matrix) that make the tools interoperate.
+
+use iwb_core::casestudy::run_case_study;
+
+fn main() {
+    println!("Figure 4 reproduction — workbench architecture event trace\n");
+    let report = run_case_study().expect("case study pipeline");
+    for line in &report.trace {
+        println!("{line}");
+    }
+    println!("\n── outcome ──");
+    println!(
+        "assembled mapping present: {}",
+        report.xquery.contains("return")
+    );
+    println!(
+        "sample document transformed and verified: {}",
+        report.violations.is_empty()
+    );
+}

@@ -1,0 +1,42 @@
+//! **Table 1** — "Frequency and length of documentation in the DoD
+//! Metadata Registry".
+//!
+//! Generates the calibrated synthetic registry (265 ER models at scale
+//! 1.0) and recomputes the table with the same statistics code the rest
+//! of the workbench uses. Pass `--scale <f>` to run a smaller registry
+//! (default 1.0; use e.g. 0.05 for a quick run).
+//!
+//! Paper values for comparison:
+//! ```text
+//! Item       Count     #Defn    %Defn    Words      W/Item  W/Defn
+//! Element    13,049    12,946   ~99%     143,315    ~11.0   ~11.1
+//! Attribute  163,736   135,686  ~83%     2,228,691  ~13.6   ~16.4
+//! Domain     282,331   282,128  ~100%    1,036,822  ~3.67   ~3.68
+//! ```
+
+use iwb_registry::{generate_registry, registry_stats, GeneratorConfig, TABLE1_SEED};
+
+fn main() {
+    let scale = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let config = if (scale - 1.0f64).abs() < f64::EPSILON {
+        GeneratorConfig::table1(TABLE1_SEED)
+    } else {
+        GeneratorConfig::scaled(TABLE1_SEED, scale)
+    };
+    println!("Table 1 reproduction — synthetic DoD-style metadata registry");
+    println!(
+        "seed={} scale={} models={} (paper: 265 models, 13,049 elements, 163,736 attributes, 282,331 domain values)",
+        config.seed, scale, config.models
+    );
+    println!();
+    let registry = generate_registry(config);
+    let stats = registry_stats(&registry);
+    println!("{}", stats.render_table());
+    println!(
+        "paper reference: Element ~99% @ ~11.1 w/defn; Attribute ~83% @ ~16.4 w/defn; Domain ~100% @ ~3.68 w/defn"
+    );
+}

@@ -1,0 +1,20 @@
+//! The workbench command shell.
+//!
+//! ```sh
+//! cargo run -p iwb-core --bin workbench < session.iwb
+//! echo "show coverage" | cargo run -p iwb-core --bin workbench
+//! ```
+//!
+//! Reads a script from stdin (see [`iwb_core::shell`] for the command
+//! language) and prints the transcript.
+
+use std::io::Read;
+
+fn main() {
+    let mut script = String::new();
+    if std::io::stdin().read_to_string(&mut script).is_err() {
+        eprintln!("failed to read stdin");
+        std::process::exit(1);
+    }
+    print!("{}", iwb_core::shell::run_script(&script));
+}

@@ -1,0 +1,393 @@
+//! System implementation and deployment (tasks 12–13, §3.5).
+//!
+//! "Finally we are ready to develop and deploy a system that addresses
+//! operational constraints—factors external to schema and instance
+//! elements. Examples include determining the frequency and granularity
+//! of updates and the policy that governs exceptional conditions." The
+//! integration engineers who reviewed the task model "stressed the
+//! significance of these constraints on real-world integration systems".
+//!
+//! [`IntegrationSolution`] packages an executable mapping with exactly
+//! those operational decisions; [`IntegrationSolution::deploy`] wires it
+//! into a [`DeployedApplication`] that processes document batches,
+//! enforcing the exception policy and verifying output against the
+//! target schema, with a running operations report.
+
+use iwb_mapper::{execute, verify_instance, LogicalMapping, Node};
+use iwb_model::SchemaGraph;
+use std::fmt;
+
+/// How often the integration runs (§3.5's "frequency of updates").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateFrequency {
+    /// Each document is translated as it arrives.
+    Continuous,
+    /// Documents are queued and processed in batches of the given size.
+    Batch(usize),
+}
+
+/// Granularity of updates: what is re-translated when sources change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateGranularity {
+    /// Whole documents are re-translated.
+    Document,
+    /// Only changed entities are re-translated.
+    Entity,
+}
+
+/// "The policy that governs exceptional conditions."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExceptionPolicy {
+    /// A failing document aborts the whole batch.
+    Abort,
+    /// Failing documents are skipped and counted.
+    Skip,
+    /// Failing documents are routed to a dead-letter queue for manual
+    /// repair.
+    DeadLetter,
+}
+
+/// The operational constraints of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperationalConstraints {
+    /// Update frequency.
+    pub frequency: UpdateFrequency,
+    /// Update granularity.
+    pub granularity: UpdateGranularity,
+    /// Exception handling policy.
+    pub exceptions: ExceptionPolicy,
+    /// Reject outputs that violate the target schema (task 9 enforced
+    /// at run time).
+    pub verify_output: bool,
+}
+
+impl Default for OperationalConstraints {
+    fn default() -> Self {
+        OperationalConstraints {
+            frequency: UpdateFrequency::Continuous,
+            granularity: UpdateGranularity::Document,
+            exceptions: ExceptionPolicy::Skip,
+            verify_output: true,
+        }
+    }
+}
+
+/// Task 12's output: the designed integration system.
+///
+/// # Examples
+///
+/// ```
+/// use iwb_core::deploy::{IntegrationSolution, OperationalConstraints};
+/// use iwb_mapper::logical::AttrRule;
+/// use iwb_mapper::{parse_expr, AttributeTransformation, EntityMapping, EntityRule,
+///                  LogicalMapping, Node};
+/// use iwb_model::{DataType, Metamodel, SchemaBuilder};
+///
+/// let target = SchemaBuilder::new("out", Metamodel::Xml)
+///     .open("item").attr("total", DataType::Decimal).close().build();
+/// let mapping = LogicalMapping::new("out").with_rule(
+///     EntityRule::new("item", EntityMapping::Direct { source: "row".into() })
+///         .with_attr(AttrRule::new(
+///             "total",
+///             AttributeTransformation::Scalar(parse_expr("data($src/amount) * 2").unwrap()),
+///         )),
+/// );
+/// let mut app = IntegrationSolution::new(
+///     "doubler", mapping, target, OperationalConstraints::default(),
+/// ).deploy();
+/// let docs = vec![Node::elem("in").with(Node::elem("row").with_leaf("amount", 21.0))];
+/// let out = app.process(&docs).unwrap();
+/// assert_eq!(out[0].child("item").unwrap().value_at("total").as_num(), Some(42.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegrationSolution {
+    /// Human-readable solution name.
+    pub name: String,
+    /// The executable mapping (task 8's deliverable).
+    pub mapping: LogicalMapping,
+    /// The target schema outputs are verified against.
+    pub target: SchemaGraph,
+    /// The operational decisions.
+    pub constraints: OperationalConstraints,
+}
+
+impl IntegrationSolution {
+    /// Package a solution.
+    pub fn new(
+        name: impl Into<String>,
+        mapping: LogicalMapping,
+        target: SchemaGraph,
+        constraints: OperationalConstraints,
+    ) -> Self {
+        IntegrationSolution {
+            name: name.into(),
+            mapping,
+            target,
+            constraints,
+        }
+    }
+
+    /// Task 13: deploy the application.
+    pub fn deploy(self) -> DeployedApplication {
+        DeployedApplication {
+            solution: self,
+            stats: RunStats::default(),
+            dead_letters: Vec::new(),
+        }
+    }
+}
+
+/// Counters accumulated by a deployed application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Documents successfully translated.
+    pub succeeded: usize,
+    /// Documents that failed translation or verification.
+    pub failed: usize,
+    /// Batches processed.
+    pub batches: usize,
+}
+
+/// A processing failure surfaced to the operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// Translation failed and the policy is [`ExceptionPolicy::Abort`].
+    Aborted {
+        /// Index of the failing document within the submitted batch.
+        document: usize,
+        /// The underlying error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Aborted { document, reason } => {
+                write!(f, "batch aborted at document {document}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// The running application (task 13's deliverable).
+#[derive(Debug, Clone)]
+pub struct DeployedApplication {
+    solution: IntegrationSolution,
+    stats: RunStats,
+    dead_letters: Vec<(Node, String)>,
+}
+
+impl DeployedApplication {
+    /// The packaged solution.
+    pub fn solution(&self) -> &IntegrationSolution {
+        &self.solution
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Documents routed to the dead-letter queue, with their failure
+    /// reasons.
+    pub fn dead_letters(&self) -> &[(Node, String)] {
+        &self.dead_letters
+    }
+
+    /// Process a stream of source documents under the configured
+    /// frequency and exception policy. Returns the translated target
+    /// documents (in input order, failures omitted).
+    pub fn process(&mut self, documents: &[Node]) -> Result<Vec<Node>, DeployError> {
+        let batch_size = match self.solution.constraints.frequency {
+            UpdateFrequency::Continuous => 1,
+            UpdateFrequency::Batch(n) => n.max(1),
+        };
+        let mut out = Vec::new();
+        for batch in documents.chunks(batch_size) {
+            self.stats.batches += 1;
+            for (i, doc) in batch.iter().enumerate() {
+                match self.translate_one(doc) {
+                    Ok(translated) => {
+                        self.stats.succeeded += 1;
+                        out.push(translated);
+                    }
+                    Err(reason) => {
+                        self.stats.failed += 1;
+                        match self.solution.constraints.exceptions {
+                            ExceptionPolicy::Abort => {
+                                return Err(DeployError::Aborted {
+                                    document: i,
+                                    reason,
+                                })
+                            }
+                            ExceptionPolicy::Skip => {}
+                            ExceptionPolicy::DeadLetter => {
+                                self.dead_letters.push((doc.clone(), reason));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn translate_one(&self, doc: &Node) -> Result<Node, String> {
+        let translated = execute(&self.solution.mapping, doc).map_err(|e| e.to_string())?;
+        if self.solution.constraints.verify_output {
+            let violations = verify_instance(&self.solution.target, &translated);
+            if !violations.is_empty() {
+                return Err(format!(
+                    "verification failed: {}",
+                    violations
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                ));
+            }
+        }
+        Ok(translated)
+    }
+
+    /// One-line operations summary for dashboards.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ok, {} failed, {} batch(es), {} dead-lettered",
+            self.solution.name,
+            self.stats.succeeded,
+            self.stats.failed,
+            self.stats.batches,
+            self.dead_letters.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_mapper::logical::AttrRule;
+    use iwb_mapper::{parse_expr, AttributeTransformation, EntityMapping, EntityRule};
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn solution(constraints: OperationalConstraints) -> IntegrationSolution {
+        let target = SchemaBuilder::new("out", Metamodel::Xml)
+            .open("item")
+            .attr("total", DataType::Decimal)
+            .close()
+            .build();
+        let mapping = LogicalMapping::new("out").with_rule(
+            EntityRule::new(
+                "item",
+                EntityMapping::Direct {
+                    source: "row".into(),
+                },
+            )
+            .with_attr(AttrRule::new(
+                "total",
+                AttributeTransformation::Scalar(parse_expr("data($src/amount) * 2").unwrap()),
+            )),
+        );
+        IntegrationSolution::new("doubler", mapping, target, constraints)
+    }
+
+    fn good_doc(amount: f64) -> Node {
+        Node::elem("in").with(Node::elem("row").with_leaf("amount", amount))
+    }
+
+    fn bad_doc() -> Node {
+        // Non-numeric amount makes the expression fail.
+        Node::elem("in").with(Node::elem("row").with_leaf("amount", "NaN-ish"))
+    }
+
+    #[test]
+    fn continuous_processing_translates_documents() {
+        let mut app = solution(OperationalConstraints::default()).deploy();
+        let out = app.process(&[good_doc(1.0), good_doc(2.0)]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].child("item").unwrap().value_at("total").as_num(), Some(4.0));
+        assert_eq!(app.stats().succeeded, 2);
+        assert_eq!(app.stats().batches, 2, "continuous = batch size 1");
+    }
+
+    #[test]
+    fn batching_groups_documents() {
+        let constraints = OperationalConstraints {
+            frequency: UpdateFrequency::Batch(3),
+            ..Default::default()
+        };
+        let mut app = solution(constraints).deploy();
+        app.process(&[good_doc(1.0), good_doc(2.0), good_doc(3.0), good_doc(4.0)])
+            .unwrap();
+        assert_eq!(app.stats().batches, 2);
+    }
+
+    #[test]
+    fn skip_policy_counts_failures_and_continues() {
+        let mut app = solution(OperationalConstraints::default()).deploy();
+        let out = app.process(&[good_doc(1.0), bad_doc(), good_doc(3.0)]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(app.stats().failed, 1);
+        assert!(app.dead_letters().is_empty());
+        assert!(app.summary().contains("2 ok, 1 failed"));
+    }
+
+    #[test]
+    fn abort_policy_stops_the_batch() {
+        let constraints = OperationalConstraints {
+            exceptions: ExceptionPolicy::Abort,
+            ..Default::default()
+        };
+        let mut app = solution(constraints).deploy();
+        let err = app.process(&[bad_doc()]).unwrap_err();
+        assert!(matches!(err, DeployError::Aborted { document: 0, .. }));
+        assert!(err.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn dead_letter_policy_queues_failures() {
+        let constraints = OperationalConstraints {
+            exceptions: ExceptionPolicy::DeadLetter,
+            ..Default::default()
+        };
+        let mut app = solution(constraints).deploy();
+        app.process(&[bad_doc(), good_doc(1.0)]).unwrap();
+        assert_eq!(app.dead_letters().len(), 1);
+        assert!(app.dead_letters()[0].1.contains("not numeric"));
+    }
+
+    #[test]
+    fn runtime_verification_rejects_invalid_output() {
+        // A mapping that emits a column the target schema does not have.
+        let target = SchemaBuilder::new("out", Metamodel::Xml)
+            .open("item")
+            .attr("total", DataType::Decimal)
+            .close()
+            .build();
+        let mapping = LogicalMapping::new("out").with_rule(
+            EntityRule::new(
+                "item",
+                EntityMapping::Direct {
+                    source: "row".into(),
+                },
+            )
+            .with_attr(AttrRule::new(
+                "stray",
+                AttributeTransformation::Scalar(parse_expr("1").unwrap()),
+            )),
+        );
+        let sol = IntegrationSolution::new(
+            "strict",
+            mapping,
+            target,
+            OperationalConstraints::default(),
+        );
+        let mut app = sol.deploy();
+        let out = app.process(&[good_doc(1.0)]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(app.stats().failed, 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Target-schema derivation from inter-source correspondences.
+//!
+//! Task 2 is optional "because the target schema may be derived from
+//! the correspondences identified among the source schemata, as is
+//! assumed in [Batini et al.]" (§3.1), and §3.2 notes that "in the
+//! absence of a target schema, correspondences can also be established
+//! between pairs of source schemata". [`derive_target`] implements that
+//! path: given two source schemata and a set of accepted inter-source
+//! correspondences, it merges them into an integrated schema — matched
+//! elements collapse into one (keeping the better-documented variant),
+//! unmatched elements carry over.
+
+use iwb_model::{ElementId, ElementKind, Metamodel, SchemaElement, SchemaGraph};
+use std::collections::HashMap;
+
+/// Where a derived element came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedOrigin {
+    /// Path of the element in the derived target.
+    pub target_path: String,
+    /// Contributing source paths (1 for carried-over, 2 for merged).
+    pub source_paths: Vec<String>,
+}
+
+/// The result of a derivation.
+#[derive(Debug, Clone)]
+pub struct DerivedTarget {
+    /// The integrated schema.
+    pub schema: SchemaGraph,
+    /// Per-element origin records (mapping provenance for free).
+    pub origins: Vec<DerivedOrigin>,
+}
+
+/// Merge two source schemata into a derived target, collapsing the
+/// accepted `(left element, right element)` correspondences.
+///
+/// Supported shape: container elements (tables/entities/XML elements)
+/// at depth 1 with leaf attributes at depth 2 — the shape every loader
+/// in this workspace produces for relational and ER sources. Deeper XML
+/// nesting carries over from the left source unmerged.
+pub fn derive_target(
+    id: &str,
+    left: &SchemaGraph,
+    right: &SchemaGraph,
+    accepted: &[(ElementId, ElementId)],
+    metamodel: Metamodel,
+) -> DerivedTarget {
+    let mut target = SchemaGraph::new(id, metamodel);
+    let mut origins = Vec::new();
+    let right_to_left: HashMap<ElementId, ElementId> =
+        accepted.iter().map(|&(l, r)| (r, l)).collect();
+    let left_to_right: HashMap<ElementId, ElementId> =
+        accepted.iter().map(|&(l, r)| (l, r)).collect();
+
+    // Which target node each left/right container landed in.
+    let mut left_container: HashMap<ElementId, ElementId> = HashMap::new();
+    let mut right_container: HashMap<ElementId, ElementId> = HashMap::new();
+
+    let container_edge = metamodel.top_level_edge();
+    let container_kind = metamodel.container_kind();
+
+    // 1. Left containers (merged with their right counterparts).
+    for &(_, l_cont) in left.children(left.root()) {
+        if !left.element(l_cont).kind.is_container() {
+            continue;
+        }
+        let r_cont = left_to_right.get(&l_cont).copied();
+        let el = match r_cont {
+            Some(r) => merged_element(left.element(l_cont), right.element(r), container_kind),
+            None => retag(left.element(l_cont), container_kind),
+        };
+        let t = target.add_child(target.root(), container_edge, el);
+        left_container.insert(l_cont, t);
+        let mut source_paths = vec![left.name_path(l_cont)];
+        if let Some(r) = r_cont {
+            right_container.insert(r, t);
+            source_paths.push(right.name_path(r));
+        }
+        origins.push(DerivedOrigin {
+            target_path: target.name_path(t),
+            source_paths,
+        });
+    }
+    // 2. Right containers with no counterpart.
+    for &(_, r_cont) in right.children(right.root()) {
+        if !right.element(r_cont).kind.is_container() || right_container.contains_key(&r_cont) {
+            continue;
+        }
+        if right_to_left.contains_key(&r_cont) {
+            continue; // merged above
+        }
+        let t = target.add_child(
+            target.root(),
+            container_edge,
+            retag(right.element(r_cont), container_kind),
+        );
+        right_container.insert(r_cont, t);
+        origins.push(DerivedOrigin {
+            target_path: target.name_path(t),
+            source_paths: vec![right.name_path(r_cont)],
+        });
+    }
+
+    // 3. Attributes: left side first (merging matched right attributes
+    // in), then unmatched right attributes.
+    for (&l_cont, &t_cont) in &left_container {
+        for &(edge, l_attr) in left.children(l_cont) {
+            if left.element(l_attr).kind != ElementKind::Attribute {
+                continue;
+            }
+            let r_attr = left_to_right.get(&l_attr).copied();
+            let el = match r_attr {
+                Some(r) => merged_element(
+                    left.element(l_attr),
+                    right.element(r),
+                    ElementKind::Attribute,
+                ),
+                None => left.element(l_attr).clone(),
+            };
+            let t = target.add_child(t_cont, edge, el);
+            let mut source_paths = vec![left.name_path(l_attr)];
+            if let Some(r) = r_attr {
+                source_paths.push(right.name_path(r));
+            }
+            origins.push(DerivedOrigin {
+                target_path: target.name_path(t),
+                source_paths,
+            });
+        }
+    }
+    for (&r_cont, &t_cont) in &right_container {
+        for &(edge, r_attr) in right.children(r_cont) {
+            if right.element(r_attr).kind != ElementKind::Attribute
+                || right_to_left.contains_key(&r_attr)
+            {
+                continue;
+            }
+            // Avoid sibling-name collisions with already-placed left
+            // attributes.
+            let mut el = right.element(r_attr).clone();
+            let sibling_clash = target
+                .children(t_cont)
+                .iter()
+                .any(|&(_, c)| target.element(c).name == el.name);
+            if sibling_clash {
+                el.name = format!("{}_2", el.name);
+            }
+            let t = target.add_child(t_cont, edge, el);
+            origins.push(DerivedOrigin {
+                target_path: target.name_path(t),
+                source_paths: vec![right.name_path(r_attr)],
+            });
+        }
+    }
+
+    DerivedTarget {
+        schema: target,
+        origins,
+    }
+}
+
+/// Merge two matched elements: keep the left name, the more specific
+/// type, and the longer documentation (the integrated schema should be
+/// at least as rich as its sources — §3.1's enrichment point).
+fn merged_element(l: &SchemaElement, r: &SchemaElement, kind: ElementKind) -> SchemaElement {
+    let mut el = SchemaElement::new(kind, l.name.clone());
+    el.data_type = match (&l.data_type, &r.data_type) {
+        (Some(a), None) => Some(a.clone()),
+        (None, Some(b)) => Some(b.clone()),
+        (Some(a), Some(_)) => Some(a.clone()),
+        (None, None) => None,
+    };
+    el.documentation = match (&l.documentation, &r.documentation) {
+        (Some(a), Some(b)) => Some(if a.len() >= b.len() { a.clone() } else { b.clone() }),
+        (Some(a), None) => Some(a.clone()),
+        (None, Some(b)) => Some(b.clone()),
+        (None, None) => None,
+    };
+    el
+}
+
+/// Copy an element under a (possibly different) container kind, so an
+/// XML element and a relational table can merge into the target
+/// metamodel's container kind.
+fn retag(el: &SchemaElement, kind: ElementKind) -> SchemaElement {
+    let mut out = el.clone();
+    if out.kind.is_container() {
+        out.kind = kind;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, SchemaBuilder};
+
+    fn sources() -> (SchemaGraph, SchemaGraph) {
+        let a = SchemaBuilder::new("crm", Metamodel::Relational)
+            .open("CUSTOMER")
+            .doc("A customer record.")
+            .attr_doc("ID", DataType::Integer, "Unique customer identifier.")
+            .attr("NAME", DataType::Text)
+            .close()
+            .open("ORDERS")
+            .attr("ORDER_ID", DataType::Integer)
+            .close()
+            .build();
+        let b = SchemaBuilder::new("billing", Metamodel::Relational)
+            .open("CLIENT")
+            .doc("A client of the billing department, holding open invoices.")
+            .attr("CLIENT_NO", DataType::Integer)
+            .attr("TAX_CODE", DataType::Text)
+            .close()
+            .open("INVOICE")
+            .attr("INV_NO", DataType::Integer)
+            .close()
+            .build();
+        (a, b)
+    }
+
+    fn id_of(g: &SchemaGraph, name: &str) -> ElementId {
+        g.find_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn matched_containers_merge_and_unmatched_carry_over() {
+        let (a, b) = sources();
+        let accepted = vec![
+            (id_of(&a, "CUSTOMER"), id_of(&b, "CLIENT")),
+            (id_of(&a, "ID"), id_of(&b, "CLIENT_NO")),
+        ];
+        let derived = derive_target("merged", &a, &b, &accepted, Metamodel::Relational);
+        let t = &derived.schema;
+        assert!(iwb_model::validate(t).is_empty());
+        // CUSTOMER+CLIENT merged; ORDERS and INVOICE carried over.
+        assert!(t.find_by_path("merged/CUSTOMER").is_some());
+        assert!(t.find_by_path("merged/ORDERS").is_some());
+        assert!(t.find_by_path("merged/INVOICE").is_some());
+        assert!(t.find_by_name("CLIENT").is_none(), "merged into CUSTOMER");
+        // Merged container keeps the longer documentation (from CLIENT).
+        let cust = t.find_by_path("merged/CUSTOMER").unwrap();
+        assert!(t.element(cust).documentation.as_deref().unwrap().contains("billing"));
+    }
+
+    #[test]
+    fn matched_attributes_collapse_unmatched_union() {
+        let (a, b) = sources();
+        let accepted = vec![
+            (id_of(&a, "CUSTOMER"), id_of(&b, "CLIENT")),
+            (id_of(&a, "ID"), id_of(&b, "CLIENT_NO")),
+        ];
+        let derived = derive_target("merged", &a, &b, &accepted, Metamodel::Relational);
+        let t = &derived.schema;
+        // ID ≡ CLIENT_NO collapsed; NAME and TAX_CODE both present.
+        assert!(t.find_by_path("merged/CUSTOMER/ID").is_some());
+        assert!(t.find_by_name("CLIENT_NO").is_none());
+        assert!(t.find_by_path("merged/CUSTOMER/NAME").is_some());
+        assert!(t.find_by_path("merged/CUSTOMER/TAX_CODE").is_some());
+        // Merged attribute kept documentation from the documented side.
+        let id = t.find_by_path("merged/CUSTOMER/ID").unwrap();
+        assert!(t.element(id).documentation.as_deref().unwrap().contains("identifier"));
+    }
+
+    #[test]
+    fn origins_record_both_contributors() {
+        let (a, b) = sources();
+        let accepted = vec![(id_of(&a, "CUSTOMER"), id_of(&b, "CLIENT"))];
+        let derived = derive_target("merged", &a, &b, &accepted, Metamodel::Relational);
+        let merged_origin = derived
+            .origins
+            .iter()
+            .find(|o| o.target_path == "merged/CUSTOMER")
+            .unwrap();
+        assert_eq!(
+            merged_origin.source_paths,
+            vec!["crm/CUSTOMER".to_owned(), "billing/CLIENT".to_owned()]
+        );
+        let carried = derived
+            .origins
+            .iter()
+            .find(|o| o.target_path == "merged/INVOICE")
+            .unwrap();
+        assert_eq!(carried.source_paths, vec!["billing/INVOICE".to_owned()]);
+    }
+
+    #[test]
+    fn no_correspondences_yields_disjoint_union() {
+        let (a, b) = sources();
+        let derived = derive_target("merged", &a, &b, &[], Metamodel::Relational);
+        let t = &derived.schema;
+        // 4 containers, all attributes preserved.
+        assert_eq!(t.children(t.root()).len(), 4);
+        assert!(t.find_by_name("CLIENT").is_some());
+        assert!(t.find_by_name("TAX_CODE").is_some());
+    }
+
+    #[test]
+    fn sibling_name_collisions_are_renamed() {
+        let a = SchemaBuilder::new("a", Metamodel::Relational)
+            .open("T")
+            .attr("code", DataType::Text)
+            .close()
+            .build();
+        let b = SchemaBuilder::new("b", Metamodel::Relational)
+            .open("U")
+            .attr("code", DataType::Integer)
+            .close()
+            .build();
+        // Containers matched, but the two `code` attributes are NOT
+        // matched — both survive, the second renamed.
+        let accepted = vec![(id_of(&a, "T"), id_of(&b, "U"))];
+        let derived = derive_target("m", &a, &b, &accepted, Metamodel::Relational);
+        let t = &derived.schema;
+        assert!(t.find_by_path("m/T/code").is_some());
+        assert!(t.find_by_path("m/T/code_2").is_some());
+        assert!(iwb_model::validate(t).is_empty());
+    }
+
+    #[test]
+    fn derived_target_feeds_matching_back() {
+        // The derived schema is itself matchable against a third source
+        // (the iterative workflow the paper's workbench enables).
+        let (a, b) = sources();
+        let accepted = vec![(id_of(&a, "CUSTOMER"), id_of(&b, "CLIENT"))];
+        let derived = derive_target("merged", &a, &b, &accepted, Metamodel::Relational);
+        let mut session = iwb_harmony::MatchSession::new(&a, &derived.schema);
+        let result = session.run();
+        let cust_a = a.find_by_name("CUSTOMER").unwrap();
+        let cust_t = derived.schema.find_by_name("CUSTOMER").unwrap();
+        assert!(result.matrix.get(cust_a, cust_t).value() > 0.5);
+    }
+}

@@ -1,0 +1,233 @@
+//! Mapping provenance (§5.1.3).
+//!
+//! "Mappings are also refined over time, especially once they are
+//! tested on real data. The blackboard should maintain mapping
+//! provenance." Every mutation of a mapping matrix is recorded: which
+//! tool did it, what it set, in what order — enough to answer "who set
+//! this cell to +1 and when (in sequence terms)".
+
+use iwb_model::{ElementId, SchemaId};
+use std::fmt;
+
+/// What a provenance record describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProvenanceKind {
+    /// A cell's confidence was set.
+    CellSet {
+        /// Row element.
+        row: ElementId,
+        /// Column element.
+        col: ElementId,
+        /// The new confidence value.
+        confidence: f64,
+        /// Whether it was a user decision.
+        user_defined: bool,
+    },
+    /// A column's code was set.
+    CodeSet {
+        /// Column element.
+        col: ElementId,
+    },
+    /// A row/column was marked complete.
+    MarkedComplete {
+        /// The element.
+        element: ElementId,
+    },
+    /// The whole-matrix code was regenerated.
+    MatrixCodeSet,
+}
+
+/// One provenance record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// Monotonic sequence number within the log.
+    pub seq: u64,
+    /// The acting tool.
+    pub tool: String,
+    /// The matrix (by schema pair).
+    pub source: SchemaId,
+    /// Target schema of the pair.
+    pub target: SchemaId,
+    /// What happened.
+    pub kind: ProvenanceKind,
+}
+
+impl fmt::Display for ProvenanceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} [{}] {}→{}: ",
+            self.seq, self.tool, self.source, self.target
+        )?;
+        match &self.kind {
+            ProvenanceKind::CellSet {
+                row,
+                col,
+                confidence,
+                user_defined,
+            } => write!(
+                f,
+                "cell {row}×{col} = {confidence:+.2} (user={user_defined})"
+            ),
+            ProvenanceKind::CodeSet { col } => write!(f, "code set on column {col}"),
+            ProvenanceKind::MarkedComplete { element } => {
+                write!(f, "{element} marked complete")
+            }
+            ProvenanceKind::MatrixCodeSet => write!(f, "matrix code regenerated"),
+        }
+    }
+}
+
+/// An append-only provenance log.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceLog {
+    records: Vec<ProvenanceRecord>,
+}
+
+impl ProvenanceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record; assigns the next sequence number.
+    pub fn record(
+        &mut self,
+        tool: impl Into<String>,
+        source: SchemaId,
+        target: SchemaId,
+        kind: ProvenanceKind,
+    ) -> u64 {
+        let seq = self.records.len() as u64 + 1;
+        self.records.push(ProvenanceRecord {
+            seq,
+            tool: tool.into(),
+            source,
+            target,
+            kind,
+        });
+        seq
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[ProvenanceRecord] {
+        &self.records
+    }
+
+    /// Records touching a particular cell, in order.
+    pub fn cell_history(&self, row: ElementId, col: ElementId) -> Vec<&ProvenanceRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(&r.kind, ProvenanceKind::CellSet { row: rr, col: cc, .. }
+                    if *rr == row && *cc == col)
+            })
+            .collect()
+    }
+
+    /// Records produced by a tool.
+    pub fn by_tool(&self, tool: &str) -> Vec<&ProvenanceRecord> {
+        self.records.iter().filter(|r| r.tool == tool).collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (SchemaId, SchemaId, ElementId, ElementId) {
+        (
+            SchemaId::new("po"),
+            SchemaId::new("inv"),
+            ElementId::from_index(4),
+            ElementId::from_index(2),
+        )
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let (s, t, r, c) = ids();
+        let mut log = ProvenanceLog::new();
+        let a = log.record(
+            "harmony",
+            s.clone(),
+            t.clone(),
+            ProvenanceKind::CellSet {
+                row: r,
+                col: c,
+                confidence: 0.8,
+                user_defined: false,
+            },
+        );
+        let b = log.record("aqualogic", s, t, ProvenanceKind::CodeSet { col: c });
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn cell_history_filters() {
+        let (s, t, r, c) = ids();
+        let mut log = ProvenanceLog::new();
+        log.record(
+            "harmony",
+            s.clone(),
+            t.clone(),
+            ProvenanceKind::CellSet {
+                row: r,
+                col: c,
+                confidence: 0.8,
+                user_defined: false,
+            },
+        );
+        log.record(
+            "user",
+            s.clone(),
+            t.clone(),
+            ProvenanceKind::CellSet {
+                row: r,
+                col: c,
+                confidence: 1.0,
+                user_defined: true,
+            },
+        );
+        log.record("user", s, t, ProvenanceKind::MatrixCodeSet);
+        let history = log.cell_history(r, c);
+        assert_eq!(history.len(), 2);
+        // The final word on the cell was the user's.
+        assert!(matches!(
+            &history.last().unwrap().kind,
+            ProvenanceKind::CellSet { user_defined: true, .. }
+        ));
+        assert_eq!(log.by_tool("user").len(), 2);
+    }
+
+    #[test]
+    fn records_display_readably() {
+        let (s, t, r, c) = ids();
+        let mut log = ProvenanceLog::new();
+        log.record(
+            "harmony",
+            s,
+            t,
+            ProvenanceKind::CellSet {
+                row: r,
+                col: c,
+                confidence: -0.4,
+                user_defined: false,
+            },
+        );
+        let text = log.records()[0].to_string();
+        assert!(text.contains("harmony"));
+        assert!(text.contains("-0.40"));
+    }
+}

@@ -1,0 +1,298 @@
+//! A scriptable command shell over the workbench.
+//!
+//! The paper's workbench is driven through tool GUIs; headless
+//! reproduction needs a command surface instead. [`run_script`]
+//! interprets a small line language against one [`WorkbenchManager`],
+//! returning the transcript. The `workbench` binary wraps it for
+//! interactive or piped use.
+//!
+//! ```text
+//! load <format> <schema-id> <<EOF … EOF      # task 1/2
+//! match <source> <target> [subtree <path>]   # task 3 (automatic)
+//! accept <source> <target> <row> <col>       # task 3 (manual)
+//! reject <source> <target> <row> <col>
+//! bind <source> <target> <row> <variable>    # mapping
+//! code <source> <target> <col> := <expr>     # mapping
+//! generate <source> <target>                 # code generation
+//! show schema <id> | matrix <source> <target> | coverage | trace
+//! query <s> <p> <o>                          # ad hoc IB query (use ?v for variables)
+//! export                                     # Turtle dump
+//! ```
+
+use crate::manager::WorkbenchManager;
+use crate::tool::{ToolArgs, ToolError};
+use iwb_model::SchemaId;
+use iwb_rdf::{PatternTerm, Term, TriplePattern};
+use std::fmt::Write;
+
+/// A shell session holding the workbench and accumulating output.
+pub struct Shell {
+    manager: WorkbenchManager,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell {
+            manager: WorkbenchManager::with_builtin_tools(),
+        }
+    }
+}
+
+impl Shell {
+    /// A shell over a fresh workbench with the built-in tools.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying manager.
+    pub fn manager(&self) -> &WorkbenchManager {
+        &self.manager
+    }
+
+    /// Execute one command line (heredoc bodies are handled by
+    /// [`run_script`]); returns the command's output text.
+    pub fn execute(&mut self, line: &str, heredoc: Option<&str>) -> Result<String, ToolError> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["load", format, schema_id, ..] => {
+                let text = heredoc.ok_or_else(|| {
+                    ToolError::Failed("load requires a <<EOF … EOF body".into())
+                })?;
+                let report = self.manager.invoke(
+                    "schema-loader",
+                    &ToolArgs::new()
+                        .with("format", *format)
+                        .with("text", text)
+                        .with("schema-id", *schema_id),
+                )?;
+                Ok(report.output)
+            }
+            ["match", source, target] => {
+                let report = self.manager.invoke(
+                    "harmony",
+                    &ToolArgs::new().with("source", *source).with("target", *target),
+                )?;
+                Ok(report.output)
+            }
+            ["match", source, target, "subtree", path] => {
+                let report = self.manager.invoke(
+                    "harmony",
+                    &ToolArgs::new()
+                        .with("source", *source)
+                        .with("target", *target)
+                        .with("subtree", *path),
+                )?;
+                Ok(report.output)
+            }
+            [action @ ("accept" | "reject"), source, target, row, col] => {
+                let report = self.manager.invoke(
+                    "harmony",
+                    &ToolArgs::new()
+                        .with("action", *action)
+                        .with("source", *source)
+                        .with("target", *target)
+                        .with("row", *row)
+                        .with("col", *col),
+                )?;
+                Ok(format!(
+                    "{} ({} event(s) propagated)",
+                    report.output,
+                    report.events.len()
+                ))
+            }
+            ["bind", source, target, row, variable] => {
+                let report = self.manager.invoke(
+                    "aqualogic-mapper",
+                    &ToolArgs::new()
+                        .with("action", "bind-variable")
+                        .with("source", *source)
+                        .with("target", *target)
+                        .with("row", *row)
+                        .with("variable", *variable),
+                )?;
+                Ok(report.output)
+            }
+            ["code", source, target, col, ":=", ..] => {
+                let expr = line
+                    .split_once(":=")
+                    .map(|(_, rhs)| rhs.trim())
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| ToolError::Failed("empty code expression".into()))?;
+                let report = self.manager.invoke(
+                    "aqualogic-mapper",
+                    &ToolArgs::new()
+                        .with("action", "set-code")
+                        .with("source", *source)
+                        .with("target", *target)
+                        .with("col", *col)
+                        .with("code", expr),
+                )?;
+                Ok(report.output)
+            }
+            ["generate", source, target] => {
+                let report = self.manager.invoke(
+                    "xquery-codegen",
+                    &ToolArgs::new().with("source", *source).with("target", *target),
+                )?;
+                Ok(report.output)
+            }
+            ["show", "schema", id] => {
+                let schema = self
+                    .manager
+                    .blackboard()
+                    .schema(&SchemaId::new(*id))
+                    .ok_or_else(|| ToolError::UnknownSchema((*id).to_owned()))?;
+                Ok(iwb_model::display::render(schema))
+            }
+            ["show", "matrix", source, target] => {
+                let bb = self.manager.blackboard();
+                let (s_id, t_id) = (SchemaId::new(*source), SchemaId::new(*target));
+                let matrix = bb
+                    .matrix(&s_id, &t_id)
+                    .ok_or_else(|| ToolError::Failed("no matrix for that pair".into()))?;
+                let s = bb.schema(&s_id).ok_or_else(|| ToolError::UnknownSchema(s_id.to_string()))?;
+                let t = bb.schema(&t_id).ok_or_else(|| ToolError::UnknownSchema(t_id.to_string()))?;
+                Ok(matrix.render(s, t))
+            }
+            ["show", "coverage"] => Ok(self.manager.coverage()),
+            ["show", "trace"] => Ok(self.manager.trace().join("\n")),
+            ["query", s, p, o] => {
+                let part = |w: &str| -> PatternTerm {
+                    if let Some(v) = w.strip_prefix('?') {
+                        return PatternTerm::var(v);
+                    }
+                    match w {
+                        "true" => PatternTerm::Const(Term::boolean(true)),
+                        "false" => PatternTerm::Const(Term::boolean(false)),
+                        _ => match w.strip_prefix('"').and_then(|x| x.strip_suffix('"')) {
+                            Some(lit) => PatternTerm::Const(Term::literal(lit)),
+                            None => PatternTerm::Const(Term::iri(w)),
+                        },
+                    }
+                };
+                let solutions = self
+                    .manager
+                    .query(&[TriplePattern::new(part(s), part(p), part(o))]);
+                let mut out = format!("{} solution(s)\n", solutions.len());
+                let store = self.manager.blackboard().materialize_rdf();
+                for sol in solutions.iter().take(20) {
+                    let mut kv: Vec<String> = sol
+                        .iter()
+                        .map(|(k, &v)| format!("?{k} = {}", store.term(v)))
+                        .collect();
+                    kv.sort();
+                    let _ = writeln!(out, "  {}", kv.join(", "));
+                }
+                Ok(out)
+            }
+            ["export"] => Ok(self.manager.blackboard().export_turtle()),
+            [] => Ok(String::new()),
+            _ => Err(ToolError::Failed(format!("unknown command: {line}"))),
+        }
+    }
+}
+
+/// Run a whole script (commands separated by newlines; a trailing
+/// `<<EOF` on a command starts a heredoc terminated by a line holding
+/// only `EOF`). Lines starting with `#` are comments. Errors are
+/// reported in the transcript and do not abort the script.
+pub fn run_script(script: &str) -> String {
+    let mut shell = Shell::new();
+    let mut transcript = String::new();
+    let mut lines = script.lines().peekable();
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (command, heredoc) = match trimmed.strip_suffix("<<EOF") {
+            Some(cmd) => {
+                let mut body = String::new();
+                for body_line in lines.by_ref() {
+                    if body_line.trim() == "EOF" {
+                        break;
+                    }
+                    body.push_str(body_line);
+                    body.push('\n');
+                }
+                (cmd.trim().to_owned(), Some(body))
+            }
+            None => (trimmed.to_owned(), None),
+        };
+        let _ = writeln!(transcript, "> {command}");
+        match shell.execute(&command, heredoc.as_deref()) {
+            Ok(out) => {
+                for l in out.lines() {
+                    let _ = writeln!(transcript, "  {l}");
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(transcript, "  error: {e}");
+            }
+        }
+    }
+    transcript
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = r#"
+# load two tiny schemata
+load er left <<EOF
+entity A "Left entity." { x : text "The x attribute." }
+EOF
+load er right <<EOF
+entity B "Right entity." { y : text "The y attribute." }
+EOF
+match left right
+accept left right left/A/x right/B/y
+bind left right left/A shipvar
+code left right right/B/y := data($shipvar/x)
+generate left right
+show matrix left right
+query ?cell iwb:is-user-defined true
+show coverage
+"#;
+
+    #[test]
+    fn full_script_runs_without_errors() {
+        let transcript = run_script(SCRIPT);
+        assert!(!transcript.contains("error:"), "{transcript}");
+        assert!(transcript.contains("loaded left"));
+        assert!(transcript.contains("cells updated"));
+        assert!(transcript.contains("event(s) propagated"));
+        assert!(transcript.contains("variable=shipvar"));
+        assert!(transcript.contains("confidence=+1.00 user-defined=true"));
+        assert!(transcript.contains("1 solution(s)"));
+        assert!(transcript.contains("generate semantic correspondences"));
+    }
+
+    #[test]
+    fn unknown_commands_report_but_do_not_abort() {
+        let transcript = run_script("frobnicate\nshow coverage\n");
+        assert!(transcript.contains("error: unknown command"));
+        assert!(transcript.contains("task"), "later commands still run");
+    }
+
+    #[test]
+    fn load_without_heredoc_is_an_error() {
+        let mut shell = Shell::new();
+        let err = shell.execute("load er x", None).unwrap_err();
+        assert!(err.to_string().contains("EOF"));
+    }
+
+    #[test]
+    fn show_schema_renders() {
+        let transcript = run_script("load er s <<EOF\nentity E { f : text }\nEOF\nshow schema s\n");
+        assert!(transcript.contains("[contains-entity] E"));
+        assert!(transcript.contains("[contains-attribute] f"));
+    }
+
+    #[test]
+    fn export_emits_turtle() {
+        let transcript = run_script("load er s <<EOF\nentity E { f : text }\nEOF\nexport\n");
+        assert!(transcript.contains("iwb:schema/s rdf:type iwb:Schema ."));
+    }
+}

@@ -1,0 +1,224 @@
+//! The 13-task model of data integration (paper §3).
+//!
+//! "The task model is important because it allows us to make
+//! comparisons: Among integration problems, we can ask which of the
+//! tasks are unnecessary because of simplifying conditions in the
+//! problem instance. Among tools, we can ask what each tool contributes
+//! to each task."
+
+use std::fmt;
+
+/// The five phases of §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// §3.1 — capture knowledge about source/target schemata.
+    SchemaPreparation,
+    /// §3.2 — establish high-level correspondences.
+    SchemaMatching,
+    /// §3.3 — establish logical transformation rules.
+    SchemaMapping,
+    /// §3.4 — reconcile instances.
+    InstanceIntegration,
+    /// §3.5 — deploy under operational constraints.
+    SystemImplementation,
+}
+
+impl Phase {
+    /// Human-readable phase name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::SchemaPreparation => "schema preparation",
+            Phase::SchemaMatching => "schema matching",
+            Phase::SchemaMapping => "schema mapping",
+            Phase::InstanceIntegration => "instance integration",
+            Phase::SystemImplementation => "system implementation",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The 13 fine-grained tasks of §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Task {
+    /// 1) Obtain the source schemata.
+    ObtainSourceSchemata,
+    /// 2) Obtain or develop the target schema.
+    ObtainTargetSchema,
+    /// 3) Generate semantic correspondences.
+    GenerateCorrespondences,
+    /// 4) Develop domain transformations.
+    DomainTransformations,
+    /// 5) Develop attribute transformations.
+    AttributeTransformations,
+    /// 6) Develop entity transformations.
+    EntityTransformations,
+    /// 7) Determine object identity.
+    ObjectIdentity,
+    /// 8) Create logical mappings.
+    LogicalMappings,
+    /// 9) Verify mappings against target schema.
+    VerifyMappings,
+    /// 10) Link instance elements.
+    LinkInstances,
+    /// 11) Clean the data.
+    CleanData,
+    /// 12) Implement a solution.
+    ImplementSolution,
+    /// 13) Deploy the application.
+    DeployApplication,
+}
+
+impl Task {
+    /// All 13 tasks, in paper order.
+    pub fn all() -> &'static [Task] {
+        &[
+            Task::ObtainSourceSchemata,
+            Task::ObtainTargetSchema,
+            Task::GenerateCorrespondences,
+            Task::DomainTransformations,
+            Task::AttributeTransformations,
+            Task::EntityTransformations,
+            Task::ObjectIdentity,
+            Task::LogicalMappings,
+            Task::VerifyMappings,
+            Task::LinkInstances,
+            Task::CleanData,
+            Task::ImplementSolution,
+            Task::DeployApplication,
+        ]
+    }
+
+    /// The paper's 1-based task number.
+    pub fn number(self) -> u8 {
+        Task::all().iter().position(|&t| t == self).expect("all() is complete") as u8 + 1
+    }
+
+    /// Which phase the task belongs to (§3's grouping).
+    pub fn phase(self) -> Phase {
+        match self {
+            Task::ObtainSourceSchemata | Task::ObtainTargetSchema => Phase::SchemaPreparation,
+            Task::GenerateCorrespondences => Phase::SchemaMatching,
+            Task::DomainTransformations
+            | Task::AttributeTransformations
+            | Task::EntityTransformations
+            | Task::ObjectIdentity
+            | Task::LogicalMappings
+            | Task::VerifyMappings => Phase::SchemaMapping,
+            Task::LinkInstances | Task::CleanData => Phase::InstanceIntegration,
+            Task::ImplementSolution | Task::DeployApplication => Phase::SystemImplementation,
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Task::ObtainSourceSchemata => "obtain source schemata",
+            Task::ObtainTargetSchema => "obtain/develop target schema",
+            Task::GenerateCorrespondences => "generate semantic correspondences",
+            Task::DomainTransformations => "develop domain transformations",
+            Task::AttributeTransformations => "develop attribute transformations",
+            Task::EntityTransformations => "develop entity transformations",
+            Task::ObjectIdentity => "determine object identity",
+            Task::LogicalMappings => "create logical mappings",
+            Task::VerifyMappings => "verify mappings against target schema",
+            Task::LinkInstances => "link instance elements",
+            Task::CleanData => "clean the data",
+            Task::ImplementSolution => "implement a solution",
+            Task::DeployApplication => "deploy the application",
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}) {}", self.number(), self.label())
+    }
+}
+
+/// Render the tool-coverage matrix (experiment E4): one row per task,
+/// one column per (tool name, supported task set), with a combined
+/// column showing what the workbench as a whole covers.
+pub fn coverage_table(tools: &[(&str, Vec<Task>)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "{:<42}", "task");
+    for (name, _) in tools {
+        let _ = write!(out, " {name:^12}");
+    }
+    let _ = writeln!(out, " {:^12}", "combined");
+    for &task in Task::all() {
+        let _ = write!(out, "{:<42}", task.to_string());
+        let mut combined = false;
+        for (_, tasks) in tools {
+            let has = tasks.contains(&task);
+            combined |= has;
+            let _ = write!(out, " {:^12}", if has { "✓" } else { "·" });
+        }
+        let _ = writeln!(out, " {:^12}", if combined { "✓" } else { "·" });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_tasks_five_phases() {
+        assert_eq!(Task::all().len(), 13);
+        let phases: std::collections::BTreeSet<Phase> =
+            Task::all().iter().map(|t| t.phase()).collect();
+        assert_eq!(phases.len(), 5);
+    }
+
+    #[test]
+    fn numbering_matches_paper() {
+        assert_eq!(Task::ObtainSourceSchemata.number(), 1);
+        assert_eq!(Task::GenerateCorrespondences.number(), 3);
+        assert_eq!(Task::VerifyMappings.number(), 9);
+        assert_eq!(Task::DeployApplication.number(), 13);
+    }
+
+    #[test]
+    fn phase_grouping_matches_paper() {
+        assert_eq!(Task::ObtainTargetSchema.phase(), Phase::SchemaPreparation);
+        assert_eq!(Task::GenerateCorrespondences.phase(), Phase::SchemaMatching);
+        assert_eq!(Task::ObjectIdentity.phase(), Phase::SchemaMapping);
+        assert_eq!(Task::CleanData.phase(), Phase::InstanceIntegration);
+        assert_eq!(Task::ImplementSolution.phase(), Phase::SystemImplementation);
+    }
+
+    #[test]
+    fn coverage_table_shows_union() {
+        // §5.3: Harmony supports loading + matching; AquaLogic supports
+        // loading, mapping and code generation.
+        let table = coverage_table(&[
+            (
+                "harmony",
+                vec![Task::ObtainSourceSchemata, Task::GenerateCorrespondences],
+            ),
+            (
+                "mapper",
+                vec![
+                    Task::ObtainSourceSchemata,
+                    Task::AttributeTransformations,
+                    Task::LogicalMappings,
+                ],
+            ),
+        ]);
+        let corr_line = table
+            .lines()
+            .find(|l| l.contains("semantic correspondences"))
+            .unwrap();
+        assert_eq!(corr_line.matches('✓').count(), 2); // harmony + combined
+        let logical_line = table.lines().find(|l| l.contains("logical mappings")).unwrap();
+        assert_eq!(logical_line.matches('✓').count(), 2); // mapper + combined
+        let deploy_line = table.lines().find(|l| l.contains("deploy")).unwrap();
+        assert_eq!(deploy_line.matches('✓').count(), 0);
+    }
+}

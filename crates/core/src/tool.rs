@@ -1,0 +1,155 @@
+//! The tool interface (§5.2.1).
+//!
+//! "All that is required is that a tool implements the tool interface.
+//! The tool interface defines two methods. First, a tool must provide an
+//! invoke method… Second, when the workbench starts, each tool has the
+//! option of implementing an initialize method. Generally, this is done
+//! when a tool needs to register for events."
+
+use crate::blackboard::Blackboard;
+use crate::event::{EventKind, WorkbenchEvent};
+use crate::taskmodel::Task;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The four tool families of §5.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToolKind {
+    /// Parses schemata into the IB representation.
+    Loader,
+    /// Updates mapping-matrix cells.
+    Matcher,
+    /// Updates per-column transformation code.
+    Mapper,
+    /// Assembles column code into a coherent whole.
+    CodeGenerator,
+}
+
+impl fmt::Display for ToolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ToolKind::Loader => "loader",
+            ToolKind::Matcher => "matcher",
+            ToolKind::Mapper => "mapper",
+            ToolKind::CodeGenerator => "code-generator",
+        })
+    }
+}
+
+/// String-keyed invocation arguments (what the GUI dialog would gather).
+#[derive(Debug, Clone, Default)]
+pub struct ToolArgs {
+    args: BTreeMap<String, String>,
+}
+
+impl ToolArgs {
+    /// Empty argument set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style argument.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.args.insert(key.into(), value.into());
+        self
+    }
+
+    /// Fetch an argument.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.args.get(key).map(String::as_str)
+    }
+
+    /// Fetch a required argument or produce a uniform error.
+    pub fn require(&self, key: &str) -> Result<&str, ToolError> {
+        self.get(key)
+            .ok_or_else(|| ToolError::MissingArgument(key.to_owned()))
+    }
+}
+
+/// A tool invocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolError {
+    /// A required argument was not supplied.
+    MissingArgument(String),
+    /// A referenced schema is not on the blackboard.
+    UnknownSchema(String),
+    /// Anything else, with a message.
+    Failed(String),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::MissingArgument(a) => write!(f, "missing argument {a:?}"),
+            ToolError::UnknownSchema(s) => write!(f, "schema {s:?} not on the blackboard"),
+            ToolError::Failed(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+/// A workbench tool.
+///
+/// Events a tool wants to emit are pushed into the `events` sink; the
+/// manager wraps every invocation in a transaction and propagates the
+/// events only after the tool returns (§5.2.1: "no events are generated
+/// until the mapping matrix has been updated").
+pub trait WorkbenchTool {
+    /// Unique tool name.
+    fn name(&self) -> &'static str;
+
+    /// The tool family.
+    fn kind(&self) -> ToolKind;
+
+    /// Which of the 13 tasks the tool supports (for the E4 coverage
+    /// analysis).
+    fn capabilities(&self) -> Vec<Task>;
+
+    /// Event kinds the tool registers for during initialize (§5.2.1).
+    fn subscriptions(&self) -> Vec<EventKind> {
+        Vec::new()
+    }
+
+    /// Optional startup hook.
+    fn initialize(&mut self) {}
+
+    /// Perform the tool's action against the blackboard.
+    fn invoke(
+        &mut self,
+        blackboard: &mut Blackboard,
+        args: &ToolArgs,
+        events: &mut Vec<WorkbenchEvent>,
+    ) -> Result<String, ToolError>;
+
+    /// React to an event another tool produced ("a tool listens for
+    /// events immediately upstream or downstream in the task model").
+    fn on_event(
+        &mut self,
+        _blackboard: &mut Blackboard,
+        _event: &WorkbenchEvent,
+        _events: &mut Vec<WorkbenchEvent>,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_builder_and_require() {
+        let args = ToolArgs::new().with("format", "xsd").with("schema-id", "po");
+        assert_eq!(args.get("format"), Some("xsd"));
+        assert_eq!(args.require("schema-id").unwrap(), "po");
+        let err = args.require("missing").unwrap_err();
+        assert!(matches!(err, ToolError::MissingArgument(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn tool_kinds_display() {
+        assert_eq!(ToolKind::CodeGenerator.to_string(), "code-generator");
+        assert_eq!(ToolKind::Loader.to_string(), "loader");
+    }
+}

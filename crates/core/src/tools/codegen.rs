@@ -1,0 +1,247 @@
+//! The code-generator tool.
+//!
+//! §5.2.1: "a code-generator assembles the code associated with each
+//! column into a coherent whole … based on the structure of the target
+//! schema graph (e.g., Clio)." It listens for mapping-vector events to
+//! keep the assembled mapping in sync, and emits a mapping-matrix event
+//! when the final code changes.
+
+use crate::blackboard::Blackboard;
+use crate::event::{EventKind, WorkbenchEvent};
+use crate::taskmodel::Task;
+use crate::tool::{ToolArgs, ToolError, ToolKind, WorkbenchTool};
+use iwb_mapper::xquery::{generate_xquery, MatrixCodegen};
+use iwb_model::SchemaId;
+
+/// The XQuery assembler.
+#[derive(Debug, Default)]
+pub struct CodegenTool {
+    /// Automatically regenerate on mapping-vector events.
+    pub auto_regenerate: bool,
+}
+
+impl CodegenTool {
+    /// A tool with auto-regeneration enabled.
+    pub fn new() -> Self {
+        CodegenTool {
+            auto_regenerate: true,
+        }
+    }
+
+    /// Assemble the matrix's code. Returns the generated program, or
+    /// `None` when the matrix does not exist.
+    fn assemble(bb: &mut Blackboard, source: &SchemaId, target: &SchemaId) -> Option<String> {
+        let (sg, tg) = (bb.schema(source)?.clone(), bb.schema(target)?.clone());
+        let matrix = bb.matrix(source, target)?;
+        // Target element: the first container under the target root
+        // whose columns carry code, else the first top-level element.
+        let root_name = tg
+            .children(tg.root())
+            .first()
+            .map(|&(_, c)| tg.element(c).name.clone())
+            .unwrap_or_else(|| tg.element(tg.root()).name.clone());
+        let mut input = MatrixCodegen::new(root_name);
+        for &row in matrix.rows() {
+            if let Some(meta) = matrix.row_meta(row) {
+                if let Some(var) = &meta.variable {
+                    // Bind relative to the source document variable.
+                    let path = sg.name_path(row);
+                    let rel = path.split('/').skip(1).collect::<Vec<_>>().join("/");
+                    input = input.with_row(var.clone(), format!("$doc/{rel}"));
+                }
+            }
+        }
+        for &col in matrix.cols() {
+            // Only leaf columns (attributes) become constructors.
+            if tg.element(col).kind != iwb_model::ElementKind::Attribute {
+                continue;
+            }
+            let name = tg.element(col).name.clone();
+            match matrix.col_meta(col).and_then(|m| m.code.clone()) {
+                Some(code) => input = input.with_column(name, code),
+                None => input = input.with_empty_column(name),
+            }
+        }
+        let program = generate_xquery(&input);
+        let matrix = bb.matrix_mut(source, target)?;
+        matrix.code = Some(program.clone());
+        bb.provenance.record(
+            "xquery-codegen",
+            source.clone(),
+            target.clone(),
+            crate::provenance::ProvenanceKind::MatrixCodeSet,
+        );
+        Some(program)
+    }
+}
+
+impl WorkbenchTool for CodegenTool {
+    fn name(&self) -> &'static str {
+        "xquery-codegen"
+    }
+
+    fn kind(&self) -> ToolKind {
+        ToolKind::CodeGenerator
+    }
+
+    fn capabilities(&self) -> Vec<Task> {
+        vec![Task::LogicalMappings, Task::VerifyMappings]
+    }
+
+    fn subscriptions(&self) -> Vec<EventKind> {
+        // "A code generation tool similarly listens for these events to
+        // synchronize the assembled mapping."
+        vec![EventKind::MappingVector]
+    }
+
+    /// Arguments: `action` = `generate` (default) | `set-code` (the user
+    /// manually edits the final mapping; `code` required); `source`,
+    /// `target`.
+    fn invoke(
+        &mut self,
+        blackboard: &mut Blackboard,
+        args: &ToolArgs,
+        events: &mut Vec<WorkbenchEvent>,
+    ) -> Result<String, ToolError> {
+        let source = SchemaId::new(args.require("source")?);
+        let target = SchemaId::new(args.require("target")?);
+        match args.get("action").unwrap_or("generate") {
+            "generate" => {
+                let program = Self::assemble(blackboard, &source, &target)
+                    .ok_or_else(|| ToolError::Failed("matrix or schemas missing".into()))?;
+                events.push(WorkbenchEvent::MappingMatrix { source, target });
+                Ok(program)
+            }
+            "set-code" => {
+                let code = args.require("code")?.to_owned();
+                let matrix = blackboard
+                    .matrix_mut(&source, &target)
+                    .ok_or_else(|| ToolError::Failed("matrix missing".into()))?;
+                matrix.code = Some(code);
+                blackboard.provenance.record(
+                    self.name(),
+                    source.clone(),
+                    target.clone(),
+                    crate::provenance::ProvenanceKind::MatrixCodeSet,
+                );
+                // "The code generation tool, in turn, generates a
+                // mapping-matrix event when the user manually modifies
+                // the final mapping."
+                events.push(WorkbenchEvent::MappingMatrix { source, target });
+                Ok("matrix code set".into())
+            }
+            other => Err(ToolError::Failed(format!("unknown action {other:?}"))),
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        blackboard: &mut Blackboard,
+        event: &WorkbenchEvent,
+        events: &mut Vec<WorkbenchEvent>,
+    ) {
+        if !self.auto_regenerate {
+            return;
+        }
+        if let WorkbenchEvent::MappingVector { source, target, .. } = event {
+            if Self::assemble(blackboard, source, target).is_some() {
+                events.push(WorkbenchEvent::MappingMatrix {
+                    source: source.clone(),
+                    target: target.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn bb() -> (Blackboard, SchemaId, SchemaId) {
+        let s = SchemaBuilder::new("po", Metamodel::Xml)
+            .open("shipTo")
+            .attr("subtotal", DataType::Decimal)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("inv", Metamodel::Xml)
+            .open("shippingInfo")
+            .attr("name", DataType::Text)
+            .attr("total", DataType::Decimal)
+            .close()
+            .build();
+        let mut bb = Blackboard::new();
+        bb.put_schema(s);
+        bb.put_schema(t);
+        let (po, inv) = (SchemaId::new("po"), SchemaId::new("inv"));
+        bb.ensure_matrix(&po, &inv);
+        (bb, po, inv)
+    }
+
+    #[test]
+    fn generate_assembles_rows_and_columns() {
+        let (mut bb, po, inv) = bb();
+        let s = bb.schema(&po).unwrap().clone();
+        let t = bb.schema(&inv).unwrap().clone();
+        let ship = s.find_by_name("shipTo").unwrap();
+        let total = t.find_by_name("total").unwrap();
+        bb.matrix_mut(&po, &inv).unwrap().row_meta_mut(ship).unwrap().variable =
+            Some("shipto".into());
+        bb.set_column_code("t", &po, &inv, total, "data($shipto/subtotal) * 1.05");
+        let mut tool = CodegenTool::new();
+        let mut events = Vec::new();
+        let program = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new().with("source", "po").with("target", "inv"),
+                &mut events,
+            )
+            .unwrap();
+        assert!(program.contains("let $shipto := $doc/shipTo"));
+        assert!(program.contains("<total>{ data($shipto/subtotal) * 1.05 }</total>"));
+        assert!(program.contains("<name/>"), "column without code is empty");
+        assert_eq!(events.len(), 1);
+        assert!(bb.matrix(&po, &inv).unwrap().code.is_some());
+    }
+
+    #[test]
+    fn regenerates_on_mapping_vector_event() {
+        let (mut bb, po, inv) = bb();
+        let t = bb.schema(&inv).unwrap().clone();
+        let total = t.find_by_name("total").unwrap();
+        bb.set_column_code("t", &po, &inv, total, "1 + 1");
+        let mut tool = CodegenTool::new();
+        let mut cascade = Vec::new();
+        tool.on_event(
+            &mut bb,
+            &WorkbenchEvent::MappingVector {
+                source: po.clone(),
+                target: inv.clone(),
+                side: crate::event::VectorSide::Column,
+                element: total,
+            },
+            &mut cascade,
+        );
+        assert_eq!(cascade.len(), 1);
+        assert!(bb.matrix(&po, &inv).unwrap().code.as_deref().unwrap().contains("1 + 1"));
+    }
+
+    #[test]
+    fn manual_final_code_emits_matrix_event() {
+        let (mut bb, _po, _inv) = bb();
+        let mut tool = CodegenTool::new();
+        let mut events = Vec::new();
+        tool.invoke(
+            &mut bb,
+            &ToolArgs::new()
+                .with("action", "set-code")
+                .with("source", "po")
+                .with("target", "inv")
+                .with("code", "hand-edited"),
+            &mut events,
+        )
+        .unwrap();
+        assert!(matches!(events[0], WorkbenchEvent::MappingMatrix { .. }));
+    }
+}

@@ -1,0 +1,322 @@
+//! Harmony wrapped as a workbench tool.
+//!
+//! Supports both modes of §5.2.1: "Schema matching can be performed
+//! manually, as is the case for most commercial tools, or
+//! semi-automatically. (Harmony supports both approaches.) A match tool
+//! updates the cells of the mapping matrix."
+
+use crate::blackboard::Blackboard;
+use crate::event::WorkbenchEvent;
+use crate::taskmodel::Task;
+use crate::tool::{ToolArgs, ToolError, ToolKind, WorkbenchTool};
+use iwb_harmony::{Confidence, Feedback, HarmonyEngine, MatchResult};
+use iwb_model::{ElementPath, SchemaId};
+use std::collections::{HashMap, HashSet};
+
+/// The Harmony matcher as a tool. The engine persists across
+/// invocations so learning (§4.3) carries forward.
+pub struct HarmonyTool {
+    engine: HarmonyEngine,
+    /// Previous engine result per pair, for merger re-weighting.
+    last_result: HashMap<(SchemaId, SchemaId), MatchResult>,
+    /// Decisions already fed back, so each is learned once.
+    learned: HashSet<(SchemaId, SchemaId, String, String)>,
+    /// Only cells at/above this magnitude produce mapping-cell events
+    /// (the full matrix is still written to the IB).
+    pub event_threshold: f64,
+}
+
+impl Default for HarmonyTool {
+    fn default() -> Self {
+        HarmonyTool {
+            engine: HarmonyEngine::default(),
+            last_result: HashMap::new(),
+            learned: HashSet::new(),
+            event_threshold: 0.5,
+        }
+    }
+}
+
+impl HarmonyTool {
+    /// A tool with the default engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the engine (e.g. for weight inspection in experiments).
+    pub fn engine(&self) -> &HarmonyEngine {
+        &self.engine
+    }
+
+    fn resolve(
+        bb: &Blackboard,
+        schema: &SchemaId,
+        path: &str,
+    ) -> Result<iwb_model::ElementId, ToolError> {
+        let graph = bb
+            .schema(schema)
+            .ok_or_else(|| ToolError::UnknownSchema(schema.to_string()))?;
+        ElementPath::parse(path)
+            .resolve(graph)
+            .ok_or_else(|| ToolError::Failed(format!("path {path:?} not found in {schema}")))
+    }
+
+    fn run_match(
+        &mut self,
+        bb: &mut Blackboard,
+        source: &SchemaId,
+        target: &SchemaId,
+        subtree: Option<&str>,
+        events: &mut Vec<WorkbenchEvent>,
+    ) -> Result<String, ToolError> {
+        let src_graph = bb
+            .schema(source)
+            .ok_or_else(|| ToolError::UnknownSchema(source.to_string()))?
+            .clone();
+        let tgt_graph = bb
+            .schema(target)
+            .ok_or_else(|| ToolError::UnknownSchema(target.to_string()))?
+            .clone();
+        bb.ensure_matrix(source, target);
+
+        // Locked cells: existing user decisions in the matrix.
+        let matrix = bb.matrix(source, target).expect("just ensured");
+        let mut locked = HashMap::new();
+        let mut fresh_feedback = Vec::new();
+        for &row in matrix.rows() {
+            for &col in matrix.cols() {
+                let cell = matrix.cell(row, col);
+                if cell.user_defined {
+                    locked.insert((row, col), cell.confidence);
+                    let key = (
+                        source.clone(),
+                        target.clone(),
+                        src_graph.name_path(row),
+                        tgt_graph.name_path(col),
+                    );
+                    if self.learned.insert(key) {
+                        fresh_feedback.push(Feedback {
+                            src: row,
+                            tgt: col,
+                            accepted: cell.confidence == Confidence::ACCEPT,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Learn from new decisions against the previous run (§4.3).
+        if let Some(prev) = self.last_result.get(&(source.clone(), target.clone())) {
+            if !fresh_feedback.is_empty() {
+                self.engine
+                    .learn(&src_graph, &tgt_graph, prev, &fresh_feedback);
+            }
+        }
+
+        // Sub-tree restriction (§5.3: "she can choose a sub-tree
+        // (including an entire schema) and request recommended matches").
+        let scope: Option<HashSet<iwb_model::ElementId>> = match subtree {
+            Some(path) => {
+                let root = Self::resolve(bb, source, path)?;
+                Some(src_graph.subtree(root).into_iter().collect())
+            }
+            None => None,
+        };
+
+        let result = self.engine.run(&src_graph, &tgt_graph, &locked);
+        let mut written = 0usize;
+        let mut emitted = 0usize;
+        for &row in result.matrix.src_ids() {
+            if let Some(scope) = &scope {
+                if !scope.contains(&row) {
+                    continue;
+                }
+            }
+            for &col in result.matrix.tgt_ids() {
+                let c = result.matrix.get(row, col);
+                if locked.contains_key(&(row, col)) {
+                    continue;
+                }
+                if bb.set_cell(self.name(), source, target, row, col, c, false) {
+                    written += 1;
+                    if c.magnitude() >= self.event_threshold {
+                        events.push(WorkbenchEvent::MappingCell {
+                            source: source.clone(),
+                            target: target.clone(),
+                            row,
+                            col,
+                        });
+                        emitted += 1;
+                    }
+                }
+            }
+        }
+        self.last_result
+            .insert((source.clone(), target.clone()), result);
+        Ok(format!(
+            "matched {source} → {target}: {written} cells updated, {emitted} above display threshold"
+        ))
+    }
+}
+
+impl WorkbenchTool for HarmonyTool {
+    fn name(&self) -> &'static str {
+        "harmony"
+    }
+
+    fn kind(&self) -> ToolKind {
+        ToolKind::Matcher
+    }
+
+    fn capabilities(&self) -> Vec<Task> {
+        // §5.3: "Both tools support schema loading and manual matching.
+        // Harmony also supports automated matching, but neither mapping
+        // nor code generation."
+        vec![Task::ObtainSourceSchemata, Task::GenerateCorrespondences]
+    }
+
+    /// Arguments: `action` = `match` (default) | `accept` | `reject`;
+    /// `source`, `target`; for match: optional `subtree` (source path);
+    /// for accept/reject: `row` and `col` paths.
+    fn invoke(
+        &mut self,
+        blackboard: &mut Blackboard,
+        args: &ToolArgs,
+        events: &mut Vec<WorkbenchEvent>,
+    ) -> Result<String, ToolError> {
+        let source = SchemaId::new(args.require("source")?);
+        let target = SchemaId::new(args.require("target")?);
+        match args.get("action").unwrap_or("match") {
+            "match" => self.run_match(blackboard, &source, &target, args.get("subtree"), events),
+            action @ ("accept" | "reject") => {
+                let row = Self::resolve(blackboard, &source, args.require("row")?)?;
+                let col = Self::resolve(blackboard, &target, args.require("col")?)?;
+                blackboard.ensure_matrix(&source, &target);
+                let confidence = if action == "accept" {
+                    Confidence::ACCEPT
+                } else {
+                    Confidence::REJECT
+                };
+                blackboard.set_cell(self.name(), &source, &target, row, col, confidence, true);
+                // "A mapping-cell event is generated when a user
+                // manually establishes a correspondence."
+                events.push(WorkbenchEvent::MappingCell {
+                    source,
+                    target,
+                    row,
+                    col,
+                });
+                Ok(format!("{action}ed {row} × {col}"))
+            }
+            other => Err(ToolError::Failed(format!("unknown action {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_loaders::xsd::{FIG2_SOURCE_XSD, FIG2_TARGET_XSD};
+    use iwb_loaders::{SchemaLoader, XsdLoader};
+
+    fn loaded_bb() -> (Blackboard, SchemaId, SchemaId) {
+        let mut bb = Blackboard::new();
+        bb.put_schema(XsdLoader.load(FIG2_SOURCE_XSD, "purchaseOrder").unwrap());
+        bb.put_schema(XsdLoader.load(FIG2_TARGET_XSD, "invoice").unwrap());
+        (bb, SchemaId::new("purchaseOrder"), SchemaId::new("invoice"))
+    }
+
+    #[test]
+    fn automatic_match_fills_matrix_and_emits_events() {
+        let (mut bb, po, inv) = loaded_bb();
+        let mut tool = HarmonyTool::new();
+        let mut events = Vec::new();
+        let args = ToolArgs::new()
+            .with("source", "purchaseOrder")
+            .with("target", "invoice");
+        let out = tool.invoke(&mut bb, &args, &mut events).unwrap();
+        assert!(out.contains("cells updated"));
+        assert!(!events.is_empty(), "strong links must emit mapping-cell events");
+        let matrix = bb.matrix(&po, &inv).unwrap();
+        let s = bb.schema(&po).unwrap();
+        let t = bb.schema(&inv).unwrap();
+        let ship = s.find_by_name("shipTo").unwrap();
+        let info = t.find_by_name("shippingInfo").unwrap();
+        assert!(matrix.cell(ship, info).confidence.value() > 0.3);
+    }
+
+    #[test]
+    fn manual_decisions_lock_cells_across_reruns() {
+        let (mut bb, po, inv) = loaded_bb();
+        let mut tool = HarmonyTool::new();
+        let mut events = Vec::new();
+        tool.invoke(
+            &mut bb,
+            &ToolArgs::new()
+                .with("action", "reject")
+                .with("source", "purchaseOrder")
+                .with("target", "invoice")
+                .with("row", "purchaseOrder/purchaseOrder/shipTo/firstName")
+                .with("col", "invoice/invoice/shippingInfo/total"),
+            &mut events,
+        )
+        .unwrap();
+        // Re-run the engine: the rejected cell must stay -1.
+        tool.invoke(
+            &mut bb,
+            &ToolArgs::new()
+                .with("source", "purchaseOrder")
+                .with("target", "invoice"),
+            &mut events,
+        )
+        .unwrap();
+        let s = bb.schema(&po).unwrap();
+        let t = bb.schema(&inv).unwrap();
+        let row = s.find_by_name("firstName").unwrap();
+        let col = t.find_by_name("total").unwrap();
+        let cell = bb.matrix(&po, &inv).unwrap().cell(row, col);
+        assert_eq!(cell.confidence, Confidence::REJECT);
+        assert!(cell.user_defined);
+    }
+
+    #[test]
+    fn subtree_restriction_scopes_updates() {
+        let (mut bb, po, inv) = loaded_bb();
+        let mut tool = HarmonyTool::new();
+        let mut events = Vec::new();
+        tool.invoke(
+            &mut bb,
+            &ToolArgs::new()
+                .with("source", "purchaseOrder")
+                .with("target", "invoice")
+                .with("subtree", "purchaseOrder/purchaseOrder/shipTo"),
+            &mut events,
+        )
+        .unwrap();
+        let s = bb.schema(&po).unwrap();
+        let matrix = bb.matrix(&po, &inv).unwrap();
+        // The top-level purchaseOrder element is outside the subtree and
+        // must remain untouched (unknown).
+        let top = s.find_by_name("purchaseOrder").unwrap();
+        let t = bb.schema(&inv).unwrap();
+        let info = t.find_by_name("shippingInfo").unwrap();
+        assert_eq!(matrix.cell(top, info).confidence, Confidence::UNKNOWN);
+        // Inside the subtree, cells were written.
+        let ship = s.find_by_name("shipTo").unwrap();
+        assert_ne!(matrix.cell(ship, info).confidence, Confidence::UNKNOWN);
+    }
+
+    #[test]
+    fn unknown_schema_is_an_error() {
+        let mut bb = Blackboard::new();
+        let mut tool = HarmonyTool::new();
+        let err = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new().with("source", "ghost").with("target", "ghost2"),
+                &mut Vec::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ToolError::UnknownSchema(_)));
+    }
+}

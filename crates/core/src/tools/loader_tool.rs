@@ -1,0 +1,155 @@
+//! The schema loader tool.
+//!
+//! "Loaders are used during schema preparation to parse a schema from a
+//! file, database or metadata repository … into the internal
+//! representation used by the IB. When the user invokes a loader, that
+//! tool places the new objects in the IB, which extends the mapping
+//! matrix accordingly and advises the other tools via an event."
+
+use crate::blackboard::Blackboard;
+use crate::event::WorkbenchEvent;
+use crate::taskmodel::Task;
+use crate::tool::{ToolArgs, ToolError, ToolKind, WorkbenchTool};
+use iwb_loaders::{apply_dictionary, LoaderRegistry};
+use iwb_model::SchemaId;
+
+/// Loader tool over the built-in format registry.
+pub struct LoaderTool {
+    registry: LoaderRegistry,
+}
+
+impl Default for LoaderTool {
+    fn default() -> Self {
+        LoaderTool {
+            registry: LoaderRegistry::with_builtin(),
+        }
+    }
+}
+
+impl LoaderTool {
+    /// A loader with the built-in formats (xsd, sql-ddl, er).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WorkbenchTool for LoaderTool {
+    fn name(&self) -> &'static str {
+        "schema-loader"
+    }
+
+    fn kind(&self) -> ToolKind {
+        ToolKind::Loader
+    }
+
+    fn capabilities(&self) -> Vec<Task> {
+        vec![Task::ObtainSourceSchemata, Task::ObtainTargetSchema]
+    }
+
+    /// Arguments: `format` (xsd | sql-ddl | er), `text` (the schema
+    /// artifact), `schema-id`, optional `dictionary` (a `path =
+    /// definition` sidecar applied after loading, task 1's "ancillary
+    /// information").
+    fn invoke(
+        &mut self,
+        blackboard: &mut Blackboard,
+        args: &ToolArgs,
+        events: &mut Vec<WorkbenchEvent>,
+    ) -> Result<String, ToolError> {
+        let format = args.require("format")?;
+        let text = args.require("text")?;
+        let schema_id = args.require("schema-id")?;
+        let loader = self
+            .registry
+            .by_format(format)
+            .ok_or_else(|| ToolError::Failed(format!("no loader for format {format:?}")))?;
+        let mut graph = loader
+            .load_validated(text, schema_id)
+            .map_err(|e| ToolError::Failed(e.to_string()))?;
+        let mut dict_note = String::new();
+        if let Some(dict) = args.get("dictionary") {
+            let report = apply_dictionary(&mut graph, dict, false)
+                .map_err(|e| ToolError::Failed(e.to_string()))?;
+            dict_note = format!(
+                ", dictionary: {} applied / {} unresolved",
+                report.applied, report.unresolved
+            );
+        }
+        let element_count = graph.len();
+        let version = blackboard.put_schema(graph);
+        events.push(WorkbenchEvent::SchemaGraph {
+            schema: SchemaId::new(schema_id),
+        });
+        Ok(format!(
+            "loaded {schema_id} ({format}, {element_count} elements, version {version}{dict_note})"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_emits_schema_graph_event() {
+        let mut bb = Blackboard::new();
+        let mut tool = LoaderTool::new();
+        let mut events = Vec::new();
+        let out = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("format", "er")
+                    .with("text", "entity A { x : text }")
+                    .with("schema-id", "m1"),
+                &mut events,
+            )
+            .unwrap();
+        assert!(out.contains("loaded m1"));
+        assert_eq!(events.len(), 1);
+        assert!(bb.schema(&SchemaId::new("m1")).is_some());
+    }
+
+    #[test]
+    fn dictionary_enrichment_applies() {
+        let mut bb = Blackboard::new();
+        let mut tool = LoaderTool::new();
+        let mut events = Vec::new();
+        let out = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("format", "sql-ddl")
+                    .with("text", "CREATE TABLE T (X INT);")
+                    .with("schema-id", "db")
+                    .with("dictionary", "T/X = The only column."),
+                &mut events,
+            )
+            .unwrap();
+        assert!(out.contains("1 applied"));
+        let g = bb.schema(&SchemaId::new("db")).unwrap();
+        let x = g.find_by_path("db/T/X").unwrap();
+        assert_eq!(g.element(x).documentation.as_deref(), Some("The only column."));
+    }
+
+    #[test]
+    fn bad_input_is_a_tool_error() {
+        let mut bb = Blackboard::new();
+        let mut tool = LoaderTool::new();
+        let mut events = Vec::new();
+        let err = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("format", "xsd")
+                    .with("text", "<broken")
+                    .with("schema-id", "x"),
+                &mut events,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ToolError::Failed(_)));
+        assert!(events.is_empty());
+        let missing = tool.invoke(&mut bb, &ToolArgs::new(), &mut events).unwrap_err();
+        assert!(matches!(missing, ToolError::MissingArgument(_)));
+    }
+}

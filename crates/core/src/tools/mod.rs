@@ -1,0 +1,20 @@
+//! The built-in workbench tools (§5.2.1's four families).
+//!
+//! * [`LoaderTool`] — schema preparation over the `iwb-loaders` registry;
+//! * [`HarmonyTool`] — the Harmony matcher wrapped as a workbench tool
+//!   (automatic matching plus manual accept/reject);
+//! * [`MapperTool`] — the manual mapping tool standing in for BEA
+//!   AquaLogic: binds row variables, sets column code, and proposes
+//!   candidate transformations when correspondences appear;
+//! * [`CodegenTool`] — assembles per-column code into the whole-matrix
+//!   XQuery (Clio-style).
+
+mod codegen;
+mod harmony_tool;
+mod loader_tool;
+mod mapper_tool;
+
+pub use codegen::CodegenTool;
+pub use harmony_tool::HarmonyTool;
+pub use loader_tool::LoaderTool;
+pub use mapper_tool::MapperTool;

@@ -1,0 +1,166 @@
+//! Baseline matcher configurations.
+//!
+//! The paper positions Harmony against the contemporary systems it
+//! cites — manual matching in commercial tools (§5.2.1: "Schema matching
+//! can be performed manually, as is the case for most commercial
+//! tools"), COMA's flexible combination of name-level matchers [Do &
+//! Rahm], and Cupid's linguistic+structural scheme [Madhavan et al.].
+//! The experiment harness compares Harmony's full engine against these
+//! approximations, each expressed as a configured [`HarmonyEngine`] so
+//! every baseline runs through the identical evaluation path.
+//!
+//! These are *faithful-in-spirit* re-compositions from our voter
+//! library, not re-implementations of the original systems; see
+//! DESIGN.md's substitution table.
+
+use crate::confidence::Confidence;
+use crate::context::MatchContext;
+use crate::engine::HarmonyEngine;
+use crate::flooding::FloodingConfig;
+use crate::merger::{MergeStrategy, VoteMerger};
+use crate::voter::MatchVoter;
+use crate::voters::{NameVoter, StructureVoter, ThesaurusVoter};
+use iwb_model::ElementId;
+
+/// Exact-name equivalence: the behaviour of hand-matching GUIs that
+/// auto-connect same-named elements and leave everything else to the
+/// engineer. Votes strongly positive on (case/convention-insensitive)
+/// equal names and abstains otherwise — it never votes against.
+#[derive(Debug, Clone, Default)]
+pub struct ExactNameVoter;
+
+impl MatchVoter for ExactNameVoter {
+    fn name(&self) -> &'static str {
+        "exact-name"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = &ctx.src(src).name.tokens;
+        let b = &ctx.tgt(tgt).name.tokens;
+        if !a.is_empty() && a == b {
+            Confidence::engine(0.95)
+        } else {
+            Confidence::UNKNOWN
+        }
+    }
+}
+
+/// The manual-commercial-tool baseline: exact-name auto-connect only,
+/// no merging subtleties, no structural pass.
+pub fn name_equivalence_engine() -> HarmonyEngine {
+    HarmonyEngine::new(
+        vec![Box::new(ExactNameVoter)],
+        VoteMerger::default(),
+        FloodingConfig::disabled(),
+    )
+}
+
+/// A COMA-like composite: several *name-level* matchers (string
+/// similarity + synonym expansion) combined by plain averaging — COMA's
+/// signature idea is flexible combination of independent matchers, with
+/// no use of instance data or documentation and no iterative structural
+/// fixpoint.
+pub fn coma_like_engine() -> HarmonyEngine {
+    HarmonyEngine::new(
+        vec![
+            Box::new(NameVoter::default()),
+            Box::new(ThesaurusVoter::default()),
+        ],
+        VoteMerger::with_strategy(MergeStrategy::UniformAverage),
+        FloodingConfig::disabled(),
+    )
+}
+
+/// A Cupid-like scheme: a linguistic pass (name + thesaurus) plus a
+/// structural pass with extra weight on leaf/structure agreement, and
+/// upward propagation of leaf similarity into containers — Cupid's
+/// leaves-first philosophy.
+pub fn cupid_like_engine() -> HarmonyEngine {
+    let mut merger = VoteMerger::default();
+    merger.set_weight("structure", 2.0);
+    HarmonyEngine::new(
+        vec![
+            Box::new(NameVoter::default()),
+            Box::new(ThesaurusVoter::default()),
+            Box::new(StructureVoter::default()),
+        ],
+        merger,
+        FloodingConfig {
+            enable_down: false, // leaves lift containers; no negative trickle
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder, SchemaGraph};
+    use std::collections::HashMap;
+
+    fn schemas() -> (SchemaGraph, SchemaGraph) {
+        let s = SchemaBuilder::new("s", Metamodel::Relational)
+            .open("CUSTOMER")
+            .attr_doc("CUST_ID", DataType::Integer, "Unique customer identifier.")
+            .attr("SHIP_TO", DataType::Text)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("t", Metamodel::Relational)
+            .open("CUSTOMER")
+            .attr_doc("identifier", DataType::Integer, "Unique customer identifier.")
+            .attr("ship_to", DataType::Text)
+            .close()
+            .build();
+        (s, t)
+    }
+
+    #[test]
+    fn exact_name_only_fires_on_equal_token_streams() {
+        let (s, t) = schemas();
+        let mut engine = name_equivalence_engine();
+        let r = engine.run(&s, &t, &HashMap::new());
+        let cust_s = s.find_by_name("CUSTOMER").unwrap();
+        let cust_t = t.find_by_name("CUSTOMER").unwrap();
+        assert!(r.matrix.get(cust_s, cust_t).value() > 0.9);
+        // SHIP_TO vs ship_to tokenise identically → fires.
+        let ship_s = s.find_by_name("SHIP_TO").unwrap();
+        let ship_t = t.find_by_name("ship_to").unwrap();
+        assert!(r.matrix.get(ship_s, ship_t).value() > 0.9);
+        // CUST_ID vs identifier: abstains (zero), never negative.
+        let id_s = s.find_by_name("CUST_ID").unwrap();
+        let id_t = t.find_by_name("identifier").unwrap();
+        assert_eq!(r.matrix.get(id_s, id_t).value(), 0.0);
+    }
+
+    #[test]
+    fn harmony_beats_exact_name_on_renamed_elements() {
+        let (s, t) = schemas();
+        let id_s = s.find_by_name("CUST_ID").unwrap();
+        let id_t = t.find_by_name("identifier").unwrap();
+        let baseline = name_equivalence_engine()
+            .run(&s, &t, &HashMap::new())
+            .matrix
+            .get(id_s, id_t)
+            .value();
+        let full = HarmonyEngine::default()
+            .run(&s, &t, &HashMap::new())
+            .matrix
+            .get(id_s, id_t)
+            .value();
+        assert!(full > baseline + 0.2, "full {full} vs baseline {baseline}");
+    }
+
+    #[test]
+    fn baseline_engines_run_and_differ() {
+        let (s, t) = schemas();
+        let id_s = s.find_by_name("CUST_ID").unwrap();
+        let id_t = t.find_by_name("identifier").unwrap();
+        let coma = coma_like_engine().run(&s, &t, &HashMap::new());
+        let cupid = cupid_like_engine().run(&s, &t, &HashMap::new());
+        // Cupid's structural pass lifts the pair (same leaf context);
+        // COMA's name-only average does not see the documentation.
+        assert!(cupid.matrix.get(id_s, id_t).value() >= coma.matrix.get(id_s, id_t).value());
+        assert_eq!(coma.per_voter.len(), 2);
+        assert_eq!(cupid.per_voter.len(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Confidence scores in [-1, +1].
+//!
+//! §4: "each match voter establishes a confidence score in the range
+//! (-1, +1) where -1 indicates that there is definitely no
+//! correspondence, +1 indicates a definite correspondence and 0
+//! indicates complete uncertainty." §4.2: user decisions get exactly ±1
+//! ("Links that were drawn by the integration engineer, or were
+//! explicitly marked as correct, have a confidence score of +1"), so the
+//! closed endpoints are reserved for [`Confidence::ACCEPT`] and
+//! [`Confidence::REJECT`]; engine-produced scores are clamped strictly
+//! inside the open interval.
+
+use std::fmt;
+
+/// A clamped confidence score.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// A definite correspondence — reserved for user decisions.
+    pub const ACCEPT: Confidence = Confidence(1.0);
+    /// Definitely no correspondence — reserved for user decisions.
+    pub const REJECT: Confidence = Confidence(-1.0);
+    /// Complete uncertainty.
+    pub const UNKNOWN: Confidence = Confidence(0.0);
+
+    /// Largest magnitude an engine-produced score may take; keeps ±1
+    /// unambiguous as "user said so".
+    pub const ENGINE_CAP: f64 = 0.99;
+
+    /// An engine score, clamped into (-ENGINE_CAP, +ENGINE_CAP).
+    pub fn engine(value: f64) -> Self {
+        let v = if value.is_nan() { 0.0 } else { value };
+        Confidence(v.clamp(-Self::ENGINE_CAP, Self::ENGINE_CAP))
+    }
+
+    /// A raw score clamped to the closed interval — used when replaying
+    /// stored annotations that may legitimately be ±1.
+    pub fn raw(value: f64) -> Self {
+        let v = if value.is_nan() { 0.0 } else { value };
+        Confidence(v.clamp(-1.0, 1.0))
+    }
+
+    /// Map a similarity in [0, 1] into a confidence, treating `baseline`
+    /// as the no-evidence point: similarities above the baseline scale
+    /// into (0, cap], below it into [-cap, 0).
+    pub fn from_similarity(sim: f64, baseline: f64, cap: f64) -> Self {
+        debug_assert!((0.0..1.0).contains(&baseline));
+        let sim = sim.clamp(0.0, 1.0);
+        let signal = if sim >= baseline {
+            (sim - baseline) / (1.0 - baseline)
+        } else {
+            (sim - baseline) / baseline
+        };
+        Confidence::engine(signal * cap)
+    }
+
+    /// The inner value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// |value| — §4: "a score close to 0 indicates that the match voter
+    /// did not see enough evidence to make a strong prediction", so
+    /// magnitude is the evidence weight used by the merger.
+    pub fn magnitude(self) -> f64 {
+        self.0.abs()
+    }
+
+    /// True when this is a user decision (exactly ±1).
+    pub fn is_user_decision(self) -> bool {
+        self.0 == 1.0 || self.0 == -1.0
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.2}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_scores_stay_inside_open_interval() {
+        assert_eq!(Confidence::engine(5.0).value(), Confidence::ENGINE_CAP);
+        assert_eq!(Confidence::engine(-5.0).value(), -Confidence::ENGINE_CAP);
+        assert!(!Confidence::engine(1.0).is_user_decision());
+        assert_eq!(Confidence::engine(f64::NAN).value(), 0.0);
+    }
+
+    #[test]
+    fn raw_allows_user_endpoints() {
+        assert!(Confidence::raw(1.0).is_user_decision());
+        assert!(Confidence::raw(-1.0).is_user_decision());
+        assert!(!Confidence::raw(0.5).is_user_decision());
+        assert_eq!(Confidence::raw(7.0).value(), 1.0);
+    }
+
+    #[test]
+    fn similarity_mapping_crosses_zero_at_baseline() {
+        let at = Confidence::from_similarity(0.3, 0.3, 0.9);
+        assert_eq!(at.value(), 0.0);
+        assert!(Confidence::from_similarity(0.9, 0.3, 0.9).value() > 0.5);
+        assert!(Confidence::from_similarity(0.0, 0.3, 0.9).value() < -0.5);
+        assert_eq!(Confidence::from_similarity(1.0, 0.3, 0.9).value(), 0.9);
+    }
+
+    #[test]
+    fn magnitude_is_absolute_value() {
+        assert_eq!(Confidence::engine(-0.4).magnitude(), 0.4);
+        assert_eq!(Confidence::UNKNOWN.magnitude(), 0.0);
+    }
+
+    #[test]
+    fn display_formats_signed() {
+        assert_eq!(Confidence::engine(0.8).to_string(), "+0.80");
+        assert_eq!(Confidence::REJECT.to_string(), "-1.00");
+        assert_eq!(Confidence::UNKNOWN.to_string(), "+0.00");
+    }
+}

@@ -1,0 +1,275 @@
+//! Shared, precomputed match context.
+//!
+//! The linguistic preprocessing stage of Figure 1 runs once per element,
+//! not once per voter per pair: [`MatchContext`] caches tokenised names,
+//! stemmed documentation, TF-IDF vectors, and domain value sets for both
+//! schemata, and hands voters read access.
+
+use iwb_ling::pipeline::{preprocess_doc, preprocess_name, Preprocessed};
+use iwb_ling::{Corpus, TermVector, Thesaurus};
+use iwb_model::{Domain, EdgeKind, ElementId, SchemaGraph};
+use std::collections::HashMap;
+
+/// Cached per-element linguistic features.
+#[derive(Debug, Clone, Default)]
+pub struct ElementFeatures {
+    /// Tokenised, stop-filtered name.
+    pub name: Preprocessed,
+    /// Tokenised, stop-filtered documentation.
+    pub doc: Preprocessed,
+    /// TF-IDF vector over name + documentation stems.
+    pub vector: TermVector,
+    /// Codes (and meanings, stemmed) of the element's domain, when the
+    /// element is a domain or an attribute linked to one.
+    pub domain_codes: Vec<String>,
+    /// Stemmed meaning tokens of the domain values.
+    pub domain_meaning_stems: Vec<String>,
+}
+
+/// Read-only context shared by all voters during one engine run.
+pub struct MatchContext<'a> {
+    /// The source schema.
+    pub source: &'a SchemaGraph,
+    /// The target schema.
+    pub target: &'a SchemaGraph,
+    /// The thesaurus used by the thesaurus-expansion voter.
+    pub thesaurus: &'a Thesaurus,
+    /// Document-frequency corpus built over both schemata's elements.
+    pub corpus: Corpus,
+    source_features: HashMap<ElementId, ElementFeatures>,
+    target_features: HashMap<ElementId, ElementFeatures>,
+    /// Optional per-attribute instance samples (§2: instance data is
+    /// "sometimes available and sometimes not"; when it is, the
+    /// instance voter uses it).
+    source_samples: HashMap<ElementId, Vec<String>>,
+    target_samples: HashMap<ElementId, Vec<String>>,
+}
+
+/// Which schema an element id belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaSide {
+    /// The source schema (matrix rows).
+    Source,
+    /// The target schema (matrix columns).
+    Target,
+}
+
+impl<'a> MatchContext<'a> {
+    /// Precompute features for every element of both schemata. The
+    /// corpus can be pre-seeded (e.g. carried over between iterations to
+    /// keep learned term boosts — §4.3); pass `Corpus::new()` otherwise.
+    pub fn build(
+        source: &'a SchemaGraph,
+        target: &'a SchemaGraph,
+        thesaurus: &'a Thesaurus,
+        mut corpus: Corpus,
+    ) -> Self {
+        // First pass: register documents so IDF reflects both schemata.
+        for graph in [source, target] {
+            for (_, el) in graph.iter() {
+                let name = preprocess_name(&el.name);
+                let doc = el
+                    .documentation
+                    .as_deref()
+                    .map(preprocess_doc)
+                    .unwrap_or_default();
+                let all: Vec<&str> = name
+                    .stems
+                    .iter()
+                    .chain(doc.stems.iter())
+                    .map(String::as_str)
+                    .collect();
+                corpus.add_document(all);
+            }
+        }
+        // Second pass: vectors against the complete corpus.
+        let features = |graph: &SchemaGraph, corpus: &Corpus| {
+            let mut map = HashMap::new();
+            for (id, el) in graph.iter() {
+                let name = preprocess_name(&el.name);
+                let doc = el
+                    .documentation
+                    .as_deref()
+                    .map(preprocess_doc)
+                    .unwrap_or_default();
+                let all: Vec<&str> = name
+                    .stems
+                    .iter()
+                    .chain(doc.stems.iter())
+                    .map(String::as_str)
+                    .collect();
+                let vector = corpus.vector(all);
+                let (domain_codes, domain_meaning_stems) = domain_features(graph, id);
+                map.insert(
+                    id,
+                    ElementFeatures {
+                        name,
+                        doc,
+                        vector,
+                        domain_codes,
+                        domain_meaning_stems,
+                    },
+                );
+            }
+            map
+        };
+        let source_features = features(source, &corpus);
+        let target_features = features(target, &corpus);
+        MatchContext {
+            source,
+            target,
+            thesaurus,
+            corpus,
+            source_features,
+            target_features,
+            source_samples: HashMap::new(),
+            target_samples: HashMap::new(),
+        }
+    }
+
+    /// Attach instance value samples (lowercased on insert) for the
+    /// instance-overlap voter.
+    pub fn set_samples(
+        &mut self,
+        side: SchemaSide,
+        samples: impl IntoIterator<Item = (ElementId, Vec<String>)>,
+    ) {
+        let map = match side {
+            SchemaSide::Source => &mut self.source_samples,
+            SchemaSide::Target => &mut self.target_samples,
+        };
+        for (id, values) in samples {
+            map.insert(id, values.into_iter().map(|v| v.to_lowercase()).collect());
+        }
+    }
+
+    /// The samples recorded for a source element (empty when none).
+    pub fn src_samples(&self, id: ElementId) -> &[String] {
+        self.source_samples.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The samples recorded for a target element (empty when none).
+    pub fn tgt_samples(&self, id: ElementId) -> &[String] {
+        self.target_samples.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Features of a source element.
+    pub fn src(&self, id: ElementId) -> &ElementFeatures {
+        &self.source_features[&id]
+    }
+
+    /// Features of a target element.
+    pub fn tgt(&self, id: ElementId) -> &ElementFeatures {
+        &self.target_features[&id]
+    }
+
+    /// The graph for a side.
+    pub fn graph(&self, side: SchemaSide) -> &SchemaGraph {
+        match side {
+            SchemaSide::Source => self.source,
+            SchemaSide::Target => self.target,
+        }
+    }
+}
+
+/// Domain codes/meanings reachable from an element: a domain node's own
+/// values, or the values of the domain an attribute references.
+fn domain_features(graph: &SchemaGraph, id: ElementId) -> (Vec<String>, Vec<String>) {
+    let domain_node = if graph.element(id).kind == iwb_model::ElementKind::Domain {
+        Some(id)
+    } else {
+        graph
+            .cross_edges_from(id)
+            .find(|e| e.kind == EdgeKind::HasDomain)
+            .map(|e| e.to)
+    };
+    let Some(dom_id) = domain_node else {
+        return (Vec::new(), Vec::new());
+    };
+    let Some(domain) = Domain::detach(graph, dom_id) else {
+        return (Vec::new(), Vec::new());
+    };
+    let codes = domain
+        .values
+        .iter()
+        .map(|v| v.code.to_lowercase())
+        .collect();
+    let meanings = domain
+        .values
+        .iter()
+        .filter_map(|v| v.meaning.as_deref())
+        .flat_map(|m| preprocess_doc(m).stems)
+        .collect();
+    (codes, meanings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn schemas() -> (SchemaGraph, SchemaGraph) {
+        let d = Domain::new("surface").with_value("ASP", "Asphalt surface");
+        let s = SchemaBuilder::new("src", Metamodel::Relational)
+            .open("RUNWAY")
+            .attr_doc("SURFACE_CD", DataType::Coded("surface".into()), "Coded runway surface type.")
+            .domain_for_last_attr(&d)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("tgt", Metamodel::Xml)
+            .open("runway")
+            .attr_doc("surfaceType", DataType::Text, "The runway surface classification.")
+            .close()
+            .build();
+        (s, t)
+    }
+
+    #[test]
+    fn features_cached_for_every_element() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        // Every element has cached features (would panic on a miss).
+        for (id, _) in s.iter() {
+            let _ = ctx.src(id);
+        }
+        let attr = s.find_by_name("SURFACE_CD").unwrap();
+        assert_eq!(ctx.src(attr).name.tokens, ["surface", "cd"]);
+        assert!(!ctx.src(attr).vector.is_empty());
+        let tattr = t.find_by_name("surfaceType").unwrap();
+        assert_eq!(ctx.tgt(tattr).name.tokens, ["surface", "type"]);
+    }
+
+    #[test]
+    fn corpus_spans_both_schemata() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        // "surface" occurs in several elements across both sides, so its
+        // IDF must be below that of a word seen once.
+        assert!(ctx.corpus.idf("surfac") < ctx.corpus.idf("asphalt"));
+        assert_eq!(ctx.corpus.doc_count(), s.len() + t.len());
+    }
+
+    #[test]
+    fn domain_features_flow_through_has_domain() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        let attr = s.find_by_name("SURFACE_CD").unwrap();
+        assert_eq!(ctx.src(attr).domain_codes, ["asp"]);
+        assert!(ctx.src(attr).domain_meaning_stems.contains(&"asphalt".to_owned()));
+        let tattr = t.find_by_name("surfaceType").unwrap();
+        assert!(ctx.tgt(tattr).domain_codes.is_empty());
+    }
+
+    #[test]
+    fn preseeded_corpus_keeps_boosts() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let mut corpus = Corpus::new();
+        corpus.adjust_boost("surfac", 3.0);
+        let ctx = MatchContext::build(&s, &t, &th, corpus);
+        assert!((ctx.corpus.boost("surfac") - 3.0).abs() < 1e-12);
+    }
+}

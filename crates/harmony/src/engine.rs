@@ -1,0 +1,351 @@
+//! The Harmony engine: preprocessing → voters → merger → flooding.
+//!
+//! Implements the pipeline of the paper's Figure 1. The engine owns the
+//! voter suite and the merger (both stateful — they learn across
+//! iterations, §4.3) and is reused across runs of a
+//! [`crate::session::MatchSession`].
+
+use crate::confidence::Confidence;
+use crate::context::MatchContext;
+use crate::feedback::Feedback;
+use crate::flooding::{flood, FloodingConfig};
+use crate::matrix::ScoreMatrix;
+use crate::merger::VoteMerger;
+use crate::voter::MatchVoter;
+use crate::voters::default_suite;
+use iwb_ling::{Corpus, Thesaurus};
+use iwb_model::{ElementId, SchemaGraph};
+use std::collections::{HashMap, HashSet};
+
+/// Output of one engine run.
+#[derive(Debug, Clone)]
+pub struct MatchResult {
+    /// The merged, flooded confidence matrix.
+    pub matrix: ScoreMatrix,
+    /// Each voter's raw matrix, by voter name (pre-merge, pre-flood).
+    pub per_voter: Vec<(String, ScoreMatrix)>,
+    /// Flooding iterations executed.
+    pub flooding_iterations: usize,
+}
+
+impl MatchResult {
+    /// The raw vote a named voter cast for a pair.
+    pub fn vote_of(&self, voter: &str, src: ElementId, tgt: ElementId) -> Confidence {
+        self.per_voter
+            .iter()
+            .find(|(n, _)| n == voter)
+            .map(|(_, m)| m.get(src, tgt))
+            .unwrap_or(Confidence::UNKNOWN)
+    }
+}
+
+/// The Harmony match engine.
+///
+/// # Examples
+///
+/// ```
+/// use iwb_harmony::HarmonyEngine;
+/// use iwb_model::{DataType, Metamodel, SchemaBuilder};
+/// use std::collections::HashMap;
+///
+/// let source = SchemaBuilder::new("crm", Metamodel::Relational)
+///     .open("CUSTOMER")
+///     .attr_doc("CUST_ID", DataType::Integer, "Unique customer identifier.")
+///     .close()
+///     .build();
+/// let target = SchemaBuilder::new("erp", Metamodel::Relational)
+///     .open("client")
+///     .attr_doc("identifier", DataType::Integer, "Unique identifier of the client.")
+///     .close()
+///     .build();
+///
+/// let mut engine = HarmonyEngine::default();
+/// let result = engine.run(&source, &target, &HashMap::new());
+/// let id = source.find_by_name("CUST_ID").unwrap();
+/// let ident = target.find_by_name("identifier").unwrap();
+/// assert!(result.matrix.get(id, ident).value() > 0.3);
+/// ```
+pub struct HarmonyEngine {
+    voters: Vec<Box<dyn MatchVoter>>,
+    merger: VoteMerger,
+    flooding: FloodingConfig,
+    thesaurus: Thesaurus,
+    /// Term-boost state carried between runs so documentation learning
+    /// persists (§4.3).
+    corpus_seed: Corpus,
+    /// Instance samples attached for the instance voter (§2: used only
+    /// when available).
+    source_samples: Vec<(ElementId, Vec<String>)>,
+    target_samples: Vec<(ElementId, Vec<String>)>,
+}
+
+impl Default for HarmonyEngine {
+    fn default() -> Self {
+        HarmonyEngine::new(default_suite(), VoteMerger::default(), FloodingConfig::default())
+    }
+}
+
+impl HarmonyEngine {
+    /// An engine with an explicit voter suite, merger, and flooding
+    /// configuration.
+    pub fn new(
+        voters: Vec<Box<dyn MatchVoter>>,
+        merger: VoteMerger,
+        flooding: FloodingConfig,
+    ) -> Self {
+        HarmonyEngine {
+            voters,
+            merger,
+            flooding,
+            thesaurus: Thesaurus::builtin(),
+            corpus_seed: Corpus::new(),
+            source_samples: Vec::new(),
+            target_samples: Vec::new(),
+        }
+    }
+
+    /// Attach per-attribute instance samples for the
+    /// [`crate::voters::InstanceVoter`] (no-op for suites without it).
+    pub fn set_instance_samples(
+        &mut self,
+        source: Vec<(ElementId, Vec<String>)>,
+        target: Vec<(ElementId, Vec<String>)>,
+    ) {
+        self.source_samples = source;
+        self.target_samples = target;
+    }
+
+    /// Replace the thesaurus (e.g. with a domain-specific one).
+    pub fn set_thesaurus(&mut self, thesaurus: Thesaurus) {
+        self.thesaurus = thesaurus;
+    }
+
+    /// The merger (to inspect learned weights).
+    pub fn merger(&self) -> &VoteMerger {
+        &self.merger
+    }
+
+    /// Mutable merger access (to preset weights).
+    pub fn merger_mut(&mut self) -> &mut VoteMerger {
+        &mut self.merger
+    }
+
+    /// The flooding configuration.
+    pub fn flooding(&self) -> &FloodingConfig {
+        &self.flooding
+    }
+
+    /// Mutable flooding configuration.
+    pub fn flooding_mut(&mut self) -> &mut FloodingConfig {
+        &mut self.flooding
+    }
+
+    /// Voter names in execution order.
+    pub fn voter_names(&self) -> Vec<&'static str> {
+        self.voters.iter().map(|v| v.name()).collect()
+    }
+
+    /// Run the full pipeline. `locked` maps user-decided pairs to their
+    /// ±1 confidence; the engine copies them into the result unchanged
+    /// and flooding never modifies them (§4.3).
+    pub fn run(
+        &mut self,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        locked: &HashMap<(ElementId, ElementId), Confidence>,
+    ) -> MatchResult {
+        let mut ctx =
+            MatchContext::build(source, target, &self.thesaurus, self.corpus_seed.clone());
+        ctx.set_samples(crate::context::SchemaSide::Source, self.source_samples.clone());
+        ctx.set_samples(crate::context::SchemaSide::Target, self.target_samples.clone());
+        let ctx = ctx;
+
+        // Stage 2 (Figure 1): every voter scores every matchable pair.
+        let mut per_voter: Vec<(String, ScoreMatrix)> = Vec::with_capacity(self.voters.len());
+        for voter in &self.voters {
+            let mut m = ScoreMatrix::for_schemas(source, target);
+            for &s in m.src_ids().to_vec().iter() {
+                for &t in m.tgt_ids().to_vec().iter() {
+                    m.set(s, t, voter.vote(&ctx, s, t));
+                }
+            }
+            per_voter.push((voter.name().to_owned(), m));
+        }
+
+        // Stage 3: merge.
+        let mut matrix = ScoreMatrix::for_schemas(source, target);
+        let names: Vec<&str> = per_voter.iter().map(|(n, _)| n.as_str()).collect();
+        for &s in matrix.src_ids().to_vec().iter() {
+            for &t in matrix.tgt_ids().to_vec().iter() {
+                if let Some(&c) = locked.get(&(s, t)) {
+                    matrix.set(s, t, c);
+                    continue;
+                }
+                let votes: Vec<(&str, Confidence)> = names
+                    .iter()
+                    .zip(per_voter.iter())
+                    .map(|(&n, (_, m))| (n, m.get(s, t)))
+                    .collect();
+                matrix.set(s, t, self.merger.merge(&votes));
+            }
+        }
+
+        // Stage 4: similarity flooding, user cells pinned.
+        let locked_set: HashSet<(ElementId, ElementId)> = locked.keys().copied().collect();
+        let flooding_iterations = flood(&mut matrix, source, target, &locked_set, &self.flooding);
+
+        MatchResult {
+            matrix,
+            per_voter,
+            flooding_iterations,
+        }
+    }
+
+    /// Feed user decisions back into the engine (§4.3): each voter
+    /// learns internally, and the merger re-weights voters against the
+    /// result of the *previous* run.
+    pub fn learn(
+        &mut self,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        previous: &MatchResult,
+        feedback: &[Feedback],
+    ) {
+        if feedback.is_empty() {
+            return;
+        }
+        let mut ctx =
+            MatchContext::build(source, target, &self.thesaurus, self.corpus_seed.clone());
+        for voter in &mut self.voters {
+            voter.learn(&mut ctx, feedback);
+        }
+        // Persist term boosts learned by voters into the seed corpus.
+        self.corpus_seed = ctx.corpus;
+        let names: Vec<&str> = self.voters.iter().map(|v| v.name()).collect();
+        self.merger.learn(feedback, &names, |voter, fb| {
+            previous.vote_of(voter, fb.src, fb.tgt)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_loaders::{SchemaLoader, XsdLoader};
+    use iwb_loaders::xsd::{FIG2_SOURCE_XSD, FIG2_TARGET_XSD};
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn fig2() -> (SchemaGraph, SchemaGraph) {
+        (
+            XsdLoader.load(FIG2_SOURCE_XSD, "purchaseOrder").unwrap(),
+            XsdLoader.load(FIG2_TARGET_XSD, "invoice").unwrap(),
+        )
+    }
+
+    #[test]
+    fn figure2_pipeline_finds_plausible_links() {
+        let (s, t) = fig2();
+        let mut engine = HarmonyEngine::default();
+        let result = engine.run(&s, &t, &HashMap::new());
+        let ship = s.find_by_name("shipTo").unwrap();
+        let shipping = t.find_by_name("shippingInfo").unwrap();
+        // shipTo ↔ shippingInfo is the Figure 3 cell with +0.8.
+        assert!(
+            result.matrix.get(ship, shipping).value() > 0.3,
+            "got {}",
+            result.matrix.get(ship, shipping)
+        );
+        // Best target for shipTo must be shippingInfo.
+        assert_eq!(result.matrix.best_for_src(ship).unwrap().0, shipping);
+        let sub = s.find_by_name("subtotal").unwrap();
+        let total = t.find_by_name("total").unwrap();
+        let name = t.find_by_name("name").unwrap();
+        assert!(result.matrix.get(sub, total).value() > result.matrix.get(sub, name).value());
+    }
+
+    #[test]
+    fn locked_cells_survive_the_pipeline() {
+        let (s, t) = fig2();
+        let mut engine = HarmonyEngine::default();
+        let first = s.find_by_name("firstName").unwrap();
+        let total = t.find_by_name("total").unwrap();
+        let mut locked = HashMap::new();
+        locked.insert((first, total), Confidence::REJECT);
+        let result = engine.run(&s, &t, &locked);
+        assert_eq!(result.matrix.get(first, total), Confidence::REJECT);
+    }
+
+    #[test]
+    fn per_voter_matrices_are_reported() {
+        let (s, t) = fig2();
+        let mut engine = HarmonyEngine::default();
+        let result = engine.run(&s, &t, &HashMap::new());
+        assert_eq!(result.per_voter.len(), 9);
+        let sub = s.find_by_name("subtotal").unwrap();
+        let total = t.find_by_name("total").unwrap();
+        assert!(result.vote_of("name", sub, total).value() > 0.0);
+        assert_eq!(result.vote_of("nonexistent", sub, total), Confidence::UNKNOWN);
+    }
+
+    #[test]
+    fn learning_changes_merger_weights() {
+        let (s, t) = fig2();
+        let mut engine = HarmonyEngine::default();
+        let result = engine.run(&s, &t, &HashMap::new());
+        let sub = s.find_by_name("subtotal").unwrap();
+        let total = t.find_by_name("total").unwrap();
+        let first = s.find_by_name("firstName").unwrap();
+        let name = t.find_by_name("name").unwrap();
+        let fb = vec![Feedback::accept(sub, total), Feedback::accept(first, name)];
+        engine.learn(&s, &t, &result, &fb);
+        // At least one voter weight moved away from 1.
+        assert!(engine
+            .merger()
+            .weights()
+            .values()
+            .any(|w| (w - 1.0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn instance_samples_reach_the_extended_suite() {
+        let s = SchemaBuilder::new("s", Metamodel::Relational)
+            .open("T")
+            .attr("mystery1", DataType::Text)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("t", Metamodel::Relational)
+            .open("U")
+            .attr("enigma9", DataType::Text)
+            .close()
+            .build();
+        let a = s.find_by_name("mystery1").unwrap();
+        let b = t.find_by_name("enigma9").unwrap();
+        let vals = |xs: &[&str]| xs.iter().map(|x| (*x).to_string()).collect::<Vec<_>>();
+        let mut engine = HarmonyEngine::new(
+            crate::voters::extended_suite(),
+            VoteMerger::default(),
+            FloodingConfig::disabled(),
+        );
+        let before = engine.run(&s, &t, &HashMap::new()).matrix.get(a, b).value();
+        engine.set_instance_samples(
+            vec![(a, vals(&["ASP", "CON", "GRS"]))],
+            vec![(b, vals(&["asp", "con", "grs"]))],
+        );
+        let result = engine.run(&s, &t, &HashMap::new());
+        assert!(result.vote_of("instance", a, b).value() > 0.5);
+        assert!(result.matrix.get(a, b).value() > before);
+    }
+
+    #[test]
+    fn empty_schemas_produce_empty_matrix() {
+        let s = SchemaBuilder::new("s", Metamodel::Xml).build();
+        let t = SchemaBuilder::new("t", Metamodel::Xml)
+            .open("e")
+            .attr("x", DataType::Text)
+            .close()
+            .build();
+        let mut engine = HarmonyEngine::default();
+        let result = engine.run(&s, &t, &HashMap::new());
+        assert!(result.matrix.is_empty());
+    }
+}

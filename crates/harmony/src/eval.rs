@@ -1,0 +1,220 @@
+//! Gold-standard evaluation: precision, recall, F1.
+//!
+//! The experiment harness (DESIGN.md E1–E3, E5) scores engine output
+//! against known-correct correspondences. Gold standards are expressed
+//! over name paths so they survive reloading a schema.
+
+use crate::filters::Link;
+use iwb_model::{ElementId, SchemaGraph};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The known-correct correspondences for a schema pair.
+#[derive(Debug, Clone, Default)]
+pub struct GoldStandard {
+    pairs: HashSet<(String, String)>,
+}
+
+impl GoldStandard {
+    /// An empty gold standard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a correct pair by name path.
+    pub fn add(&mut self, src_path: impl Into<String>, tgt_path: impl Into<String>) {
+        self.pairs.insert((src_path.into(), tgt_path.into()));
+    }
+
+    /// Number of gold pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pairs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// True if the pair of elements is gold.
+    pub fn contains(
+        &self,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        src: ElementId,
+        tgt: ElementId,
+    ) -> bool {
+        self.pairs
+            .contains(&(source.name_path(src), target.name_path(tgt)))
+    }
+
+    /// Score a set of predicted links.
+    pub fn score(
+        &self,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        predicted: &[Link],
+    ) -> PrMetrics {
+        let predicted_set: HashSet<(String, String)> = predicted
+            .iter()
+            .map(|l| (source.name_path(l.src), target.name_path(l.tgt)))
+            .collect();
+        let tp = predicted_set.intersection(&self.pairs).count();
+        PrMetrics {
+            true_positives: tp,
+            predicted: predicted_set.len(),
+            actual: self.pairs.len(),
+        }
+    }
+
+    /// Iterate gold pairs as (source path, target path).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(a, b)| (a.as_str(), b.as_str()))
+    }
+}
+
+impl<A: Into<String>, B: Into<String>> FromIterator<(A, B)> for GoldStandard {
+    fn from_iter<T: IntoIterator<Item = (A, B)>>(iter: T) -> Self {
+        let mut g = GoldStandard::new();
+        for (a, b) in iter {
+            g.add(a, b);
+        }
+        g
+    }
+}
+
+/// Precision/recall/F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrMetrics {
+    /// Correctly predicted pairs.
+    pub true_positives: usize,
+    /// Total predicted pairs.
+    pub predicted: usize,
+    /// Total gold pairs.
+    pub actual: usize,
+}
+
+impl PrMetrics {
+    /// Precision: TP / predicted (1 when nothing was predicted).
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.predicted as f64
+        }
+    }
+
+    /// Recall: TP / actual (1 when the gold set is empty).
+    pub fn recall(&self) -> f64 {
+        if self.actual == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.actual as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl fmt::Display for PrMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3} ({}/{} predicted, {} gold)",
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.true_positives,
+            self.predicted,
+            self.actual
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::Confidence;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn link(src: ElementId, tgt: ElementId) -> Link {
+        Link {
+            src,
+            tgt,
+            confidence: Confidence::engine(0.9),
+            user_defined: false,
+        }
+    }
+
+    #[test]
+    fn scoring_counts_hits_and_misses() {
+        let s = SchemaBuilder::new("s", Metamodel::Xml)
+            .open("e")
+            .attr("a", DataType::Text)
+            .attr("b", DataType::Text)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("t", Metamodel::Xml)
+            .open("f")
+            .attr("x", DataType::Text)
+            .attr("y", DataType::Text)
+            .close()
+            .build();
+        let gold: GoldStandard = [("s/e/a", "t/f/x"), ("s/e/b", "t/f/y")].into_iter().collect();
+        let a = s.find_by_name("a").unwrap();
+        let b = s.find_by_name("b").unwrap();
+        let x = t.find_by_name("x").unwrap();
+        let y = t.find_by_name("y").unwrap();
+        // One hit, one wrong prediction, one gold pair missed.
+        let predicted = vec![link(a, x), link(b, x)];
+        let m = gold.score(&s, &t, &predicted);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.predicted, 2);
+        assert_eq!(m.actual, 2);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 0.5);
+        assert!((m.f1() - 0.5).abs() < 1e-12);
+        assert!(gold.contains(&s, &t, a, x));
+        assert!(!gold.contains(&s, &t, a, y));
+        let _ = (b, y);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = PrMetrics {
+            true_positives: 0,
+            predicted: 0,
+            actual: 0,
+        };
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        let none = PrMetrics {
+            true_positives: 0,
+            predicted: 5,
+            actual: 5,
+        };
+        assert_eq!(none.f1(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = PrMetrics {
+            true_positives: 3,
+            predicted: 4,
+            actual: 6,
+        };
+        let s = m.to_string();
+        assert!(s.contains("P=0.750"));
+        assert!(s.contains("R=0.500"));
+    }
+}

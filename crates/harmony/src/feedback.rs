@@ -1,0 +1,62 @@
+//! User feedback items fed back into the engine.
+//!
+//! §4.3: "When the Harmony engine is invoked after some correspondences
+//! have been explicitly accepted or rejected (i.e., set to +1 or -1),
+//! this information is passed to the engine and used in two ways" —
+//! voter-internal learning and merger re-weighting.
+
+use iwb_model::ElementId;
+
+/// One explicit user decision about a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feedback {
+    /// Source element.
+    pub src: ElementId,
+    /// Target element.
+    pub tgt: ElementId,
+    /// True = accepted (+1), false = rejected (-1).
+    pub accepted: bool,
+}
+
+impl Feedback {
+    /// An accepted pair.
+    pub fn accept(src: ElementId, tgt: ElementId) -> Self {
+        Feedback {
+            src,
+            tgt,
+            accepted: true,
+        }
+    }
+
+    /// A rejected pair.
+    pub fn reject(src: ElementId, tgt: ElementId) -> Self {
+        Feedback {
+            src,
+            tgt,
+            accepted: false,
+        }
+    }
+
+    /// The decision as a signed unit value.
+    pub fn sign(&self) -> f64 {
+        if self.accepted {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_sign() {
+        let a = Feedback::accept(ElementId::from_index(1), ElementId::from_index(2));
+        assert!(a.accepted);
+        assert_eq!(a.sign(), 1.0);
+        let r = Feedback::reject(ElementId::from_index(1), ElementId::from_index(2));
+        assert_eq!(r.sign(), -1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Link and node filters (paper §4.2).
+//!
+//! "The Harmony GUI supports a variety of filters that help the
+//! integration engineer focus her attention. These filters are loosely
+//! categorized as link filters and node filters. A link filter is a
+//! predicate that is evaluated against each candidate correspondence to
+//! determine if it should be displayed. A node filter determines if a
+//! given schema element should be *enabled*."
+//!
+//! Implemented link filters (all three from the paper):
+//! * [`LinkFilter::ConfidenceAtLeast`] — the confidence slider;
+//! * [`LinkFilter::Provenance`] — human-generated vs machine-suggested;
+//! * [`LinkFilter::BestPerElement`] — maximal-confidence links per
+//!   element (ties included).
+//!
+//! Implemented node filters (both from the paper):
+//! * [`NodeFilter::MaxDepth`] — "enables only those schema elements that
+//!   appear at a given depth or above";
+//! * [`NodeFilter::Subtree`] — "enables only those elements that appear
+//!   in the indicated sub-tree".
+
+use crate::confidence::Confidence;
+use crate::matrix::ScoreMatrix;
+use iwb_model::{ElementId, SchemaGraph};
+use std::collections::HashSet;
+
+/// One displayed (or displayable) correspondence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Source element.
+    pub src: ElementId,
+    /// Target element.
+    pub tgt: ElementId,
+    /// Current confidence.
+    pub confidence: Confidence,
+    /// True when the link was drawn/decided by the user.
+    pub user_defined: bool,
+}
+
+/// Which side of the matrix a node filter applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The source schema.
+    Source,
+    /// The target schema.
+    Target,
+}
+
+/// Provenance selection for the second link filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Show only user-drawn/decided links.
+    HumanOnly,
+    /// Show only machine-suggested links.
+    MachineOnly,
+}
+
+/// A predicate over candidate links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFilter {
+    /// The confidence slider: keep links with confidence ≥ threshold.
+    ConfidenceAtLeast(f64),
+    /// Keep links by provenance.
+    Provenance(Provenance),
+    /// Keep, per schema element, only its maximal-confidence links
+    /// ("usually a single link, but ties are possible").
+    BestPerElement,
+}
+
+/// A predicate over schema elements; disabled elements are grayed out
+/// and their links are not displayed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeFilter {
+    /// Enable only elements at `depth` or above on the given side.
+    MaxDepth(Side, u32),
+    /// Enable only the containment subtree of an element.
+    Subtree(Side, ElementId),
+}
+
+/// A composed set of filters, applied conjunctively.
+#[derive(Debug, Clone, Default)]
+pub struct FilterSet {
+    link_filters: Vec<LinkFilter>,
+    node_filters: Vec<NodeFilter>,
+}
+
+impl FilterSet {
+    /// No filtering: every link visible.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link filter.
+    pub fn with_link(mut self, f: LinkFilter) -> Self {
+        self.link_filters.push(f);
+        self
+    }
+
+    /// Add a node filter.
+    pub fn with_node(mut self, f: NodeFilter) -> Self {
+        self.node_filters.push(f);
+        self
+    }
+
+    /// True if the element is enabled under every node filter.
+    pub fn enabled(&self, graph: &SchemaGraph, side: Side, id: ElementId) -> bool {
+        self.node_filters.iter().all(|f| match f {
+            NodeFilter::MaxDepth(s, depth) => *s != side || graph.depth(id) <= *depth,
+            NodeFilter::Subtree(s, root) => *s != side || graph.is_in_subtree(*root, id),
+        })
+    }
+
+    /// The links visible under the full filter set.
+    ///
+    /// `user_pairs` identifies which cells are user decisions (for the
+    /// provenance filter).
+    pub fn visible(
+        &self,
+        matrix: &ScoreMatrix,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        user_pairs: &HashSet<(ElementId, ElementId)>,
+    ) -> Vec<Link> {
+        let mut links: Vec<Link> = matrix
+            .iter()
+            .filter(|&(s, t, _)| {
+                self.enabled(source, Side::Source, s) && self.enabled(target, Side::Target, t)
+            })
+            .map(|(s, t, c)| Link {
+                src: s,
+                tgt: t,
+                confidence: c,
+                user_defined: user_pairs.contains(&(s, t)),
+            })
+            .collect();
+
+        for f in &self.link_filters {
+            match f {
+                LinkFilter::ConfidenceAtLeast(th) => {
+                    links.retain(|l| l.confidence.value() >= *th);
+                }
+                LinkFilter::Provenance(p) => links.retain(|l| match p {
+                    Provenance::HumanOnly => l.user_defined,
+                    Provenance::MachineOnly => !l.user_defined,
+                }),
+                LinkFilter::BestPerElement => {
+                    // Keep a link iff it is maximal for its source OR its
+                    // target among currently surviving links.
+                    let mut best_src: std::collections::HashMap<ElementId, f64> =
+                        std::collections::HashMap::new();
+                    let mut best_tgt: std::collections::HashMap<ElementId, f64> =
+                        std::collections::HashMap::new();
+                    for l in &links {
+                        let v = l.confidence.value();
+                        best_src
+                            .entry(l.src)
+                            .and_modify(|b| *b = b.max(v))
+                            .or_insert(v);
+                        best_tgt
+                            .entry(l.tgt)
+                            .and_modify(|b| *b = b.max(v))
+                            .or_insert(v);
+                    }
+                    links.retain(|l| {
+                        let v = l.confidence.value();
+                        v >= best_src[&l.src] || v >= best_tgt[&l.tgt]
+                    });
+                }
+            }
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn setup() -> (SchemaGraph, SchemaGraph, ScoreMatrix) {
+        let s = SchemaBuilder::new("s", Metamodel::Xml)
+            .open("facility")
+            .attr("a", DataType::Text)
+            .close()
+            .open("weather")
+            .attr("b", DataType::Text)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("t", Metamodel::Xml)
+            .open("site")
+            .attr("x", DataType::Text)
+            .close()
+            .build();
+        let mut m = ScoreMatrix::for_schemas(&s, &t);
+        let fac = s.find_by_name("facility").unwrap();
+        let wx = s.find_by_name("weather").unwrap();
+        let site = t.find_by_name("site").unwrap();
+        let a = s.find_by_name("a").unwrap();
+        let x = t.find_by_name("x").unwrap();
+        m.set(fac, site, Confidence::engine(0.8));
+        m.set(wx, site, Confidence::engine(0.2));
+        m.set(a, x, Confidence::ACCEPT);
+        (s, t, m)
+    }
+
+    #[test]
+    fn confidence_slider() {
+        let (s, t, m) = setup();
+        let user: HashSet<_> = [(s.find_by_name("a").unwrap(), t.find_by_name("x").unwrap())]
+            .into_iter()
+            .collect();
+        let fs = FilterSet::new().with_link(LinkFilter::ConfidenceAtLeast(0.5));
+        let links = fs.visible(&m, &s, &t, &user);
+        assert_eq!(links.len(), 2); // 0.8 and +1
+        assert!(links.iter().all(|l| l.confidence.value() >= 0.5));
+    }
+
+    #[test]
+    fn provenance_filter_splits_human_and_machine() {
+        let (s, t, m) = setup();
+        let user: HashSet<_> = [(s.find_by_name("a").unwrap(), t.find_by_name("x").unwrap())]
+            .into_iter()
+            .collect();
+        let human = FilterSet::new()
+            .with_link(LinkFilter::Provenance(Provenance::HumanOnly))
+            .visible(&m, &s, &t, &user);
+        assert_eq!(human.len(), 1);
+        assert!(human[0].user_defined);
+        let machine = FilterSet::new()
+            .with_link(LinkFilter::ConfidenceAtLeast(0.1))
+            .with_link(LinkFilter::Provenance(Provenance::MachineOnly))
+            .visible(&m, &s, &t, &user);
+        assert!(machine.iter().all(|l| !l.user_defined));
+    }
+
+    #[test]
+    fn best_per_element_keeps_maximal_links() {
+        let (s, t, m) = setup();
+        let fs = FilterSet::new().with_link(LinkFilter::BestPerElement);
+        let links = fs.visible(&m, &s, &t, &HashSet::new());
+        let site = t.find_by_name("site").unwrap();
+        let fac = s.find_by_name("facility").unwrap();
+        let wx = s.find_by_name("weather").unwrap();
+        // site's best is facility (0.8); weather→site (0.2) survives
+        // only because it is weather's own best.
+        assert!(links.iter().any(|l| l.src == fac && l.tgt == site));
+        assert!(links.iter().any(|l| l.src == wx)); // best for wx row
+    }
+
+    #[test]
+    fn depth_filter_enables_upper_levels_only() {
+        let (s, t, m) = setup();
+        let fs = FilterSet::new().with_node(NodeFilter::MaxDepth(Side::Source, 1));
+        let links = fs.visible(&m, &s, &t, &HashSet::new());
+        // Source attributes (depth 2) are disabled → their links gone.
+        assert!(links
+            .iter()
+            .all(|l| s.depth(l.src) <= 1));
+        // Element-level link still present.
+        assert!(links
+            .iter()
+            .any(|l| l.src == s.find_by_name("facility").unwrap()));
+    }
+
+    #[test]
+    fn subtree_filter_scopes_attention() {
+        let (s, t, m) = setup();
+        let fac = s.find_by_name("facility").unwrap();
+        let fs = FilterSet::new().with_node(NodeFilter::Subtree(Side::Source, fac));
+        let links = fs.visible(&m, &s, &t, &HashSet::new());
+        assert!(links.iter().all(|l| s.is_in_subtree(fac, l.src)));
+        assert!(!links
+            .iter()
+            .any(|l| l.src == s.find_by_name("weather").unwrap()));
+    }
+
+    #[test]
+    fn combined_filters_compose_conjunctively() {
+        let (s, t, m) = setup();
+        let fac = s.find_by_name("facility").unwrap();
+        // §4.2: "By combining these filters, the engineer can restrict
+        // her attention to the entities in a given sub-schema."
+        let fs = FilterSet::new()
+            .with_node(NodeFilter::Subtree(Side::Source, fac))
+            .with_node(NodeFilter::MaxDepth(Side::Source, 1))
+            .with_link(LinkFilter::ConfidenceAtLeast(0.5));
+        let links = fs.visible(&m, &s, &t, &HashSet::new());
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].src, fac);
+    }
+}

@@ -1,0 +1,245 @@
+//! Similarity flooding over the containment trees.
+//!
+//! §4: "A version of similarity flooding [Melnik et al.] adjusts the
+//! confidence scores based on structural information. Positive
+//! confidence scores propagate up the schema graph (e.g., from
+//! attributes to entities), and negative confidence scores trickle down
+//! the schema graph. Intuitively, two attributes are unlikely to match
+//! if their parent entities do not match."
+//!
+//! Each iteration computes, for every pair (a, b):
+//!
+//! * an **up** contribution: for each child of `a`, the best positive
+//!   score against any child of `b`, averaged — children that match
+//!   lift their parents;
+//! * a **down** contribution: the parents' score when negative — a
+//!   mismatched parent drags its children down.
+//!
+//! Both directions are independently switchable for the ablation
+//! experiment (E2 in DESIGN.md). User-locked cells (±1) are never
+//! modified (§4.3: "Once a link has been accepted or rejected, the
+//! engine will not try to modify that link").
+
+use crate::confidence::Confidence;
+use crate::matrix::ScoreMatrix;
+use iwb_model::{ElementId, SchemaGraph};
+use std::collections::HashSet;
+
+/// Flooding parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodingConfig {
+    /// Fraction of the children's best-match average added to parents.
+    pub up_coefficient: f64,
+    /// Fraction of a negative parent score subtracted from children.
+    pub down_coefficient: f64,
+    /// Maximum fixpoint iterations.
+    pub max_iterations: usize,
+    /// Stop when mean absolute change drops below this.
+    pub epsilon: f64,
+    /// Enable upward propagation of positives.
+    pub enable_up: bool,
+    /// Enable downward propagation of negatives.
+    pub enable_down: bool,
+}
+
+impl Default for FloodingConfig {
+    fn default() -> Self {
+        FloodingConfig {
+            up_coefficient: 0.3,
+            down_coefficient: 0.3,
+            max_iterations: 8,
+            epsilon: 1e-3,
+            enable_up: true,
+            enable_down: true,
+        }
+    }
+}
+
+impl FloodingConfig {
+    /// A configuration with flooding fully disabled (ablation).
+    pub fn disabled() -> Self {
+        FloodingConfig {
+            enable_up: false,
+            enable_down: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run flooding in place. `locked` cells keep their value. Returns the
+/// number of iterations executed.
+pub fn flood(
+    matrix: &mut ScoreMatrix,
+    source: &SchemaGraph,
+    target: &SchemaGraph,
+    locked: &HashSet<(ElementId, ElementId)>,
+    config: &FloodingConfig,
+) -> usize {
+    if !config.enable_up && !config.enable_down {
+        return 0;
+    }
+    let src_ids: Vec<ElementId> = matrix.src_ids().to_vec();
+    let tgt_ids: Vec<ElementId> = matrix.tgt_ids().to_vec();
+    for iteration in 0..config.max_iterations {
+        let before = matrix.clone();
+        for &s in &src_ids {
+            for &t in &tgt_ids {
+                if locked.contains(&(s, t)) {
+                    continue;
+                }
+                let current = before.get(s, t).value();
+                let mut adjusted = current;
+
+                if config.enable_up {
+                    let s_children: Vec<ElementId> =
+                        source.children(s).iter().map(|&(_, c)| c).collect();
+                    let t_children: Vec<ElementId> =
+                        target.children(t).iter().map(|&(_, c)| c).collect();
+                    if !s_children.is_empty() && !t_children.is_empty() {
+                        let mut total = 0.0;
+                        let mut counted = 0usize;
+                        for &cs in &s_children {
+                            let best = t_children
+                                .iter()
+                                .map(|&ct| before.get(cs, ct).value())
+                                .fold(f64::NEG_INFINITY, f64::max);
+                            if best.is_finite() && best > 0.0 {
+                                total += best;
+                            }
+                            counted += 1;
+                        }
+                        if counted > 0 {
+                            adjusted += config.up_coefficient * (total / counted as f64);
+                        }
+                    }
+                }
+
+                if config.enable_down {
+                    if let (Some((_, ps)), Some((_, pt))) = (source.parent(s), target.parent(t)) {
+                        let parent_score = before.get(ps, pt).value();
+                        if parent_score < 0.0 {
+                            adjusted += config.down_coefficient * parent_score;
+                        }
+                    }
+                }
+
+                matrix.set(s, t, Confidence::engine(adjusted));
+            }
+        }
+        if matrix.mean_abs_diff(&before) < config.epsilon {
+            return iteration + 1;
+        }
+    }
+    config.max_iterations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn schemas() -> (SchemaGraph, SchemaGraph) {
+        let s = SchemaBuilder::new("s", Metamodel::Xml)
+            .open("person")
+            .attr("firstName", DataType::Text)
+            .attr("lastName", DataType::Text)
+            .close()
+            .open("widget")
+            .attr("sku", DataType::Text)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("t", Metamodel::Xml)
+            .open("individual")
+            .attr("givenName", DataType::Text)
+            .attr("familyName", DataType::Text)
+            .close()
+            .build();
+        (s, t)
+    }
+
+    #[test]
+    fn positive_children_lift_parents() {
+        let (s, t) = schemas();
+        let mut m = ScoreMatrix::for_schemas(&s, &t);
+        let person = s.find_by_name("person").unwrap();
+        let individual = t.find_by_name("individual").unwrap();
+        m.set(
+            s.find_by_name("firstName").unwrap(),
+            t.find_by_name("givenName").unwrap(),
+            Confidence::engine(0.8),
+        );
+        m.set(
+            s.find_by_name("lastName").unwrap(),
+            t.find_by_name("familyName").unwrap(),
+            Confidence::engine(0.8),
+        );
+        let before = m.get(person, individual).value();
+        flood(&mut m, &s, &t, &HashSet::new(), &FloodingConfig::default());
+        assert!(m.get(person, individual).value() > before + 0.1);
+    }
+
+    #[test]
+    fn negative_parents_drag_children_down() {
+        let (s, t) = schemas();
+        let mut m = ScoreMatrix::for_schemas(&s, &t);
+        let widget = s.find_by_name("widget").unwrap();
+        let individual = t.find_by_name("individual").unwrap();
+        let sku = s.find_by_name("sku").unwrap();
+        let given = t.find_by_name("givenName").unwrap();
+        m.set(widget, individual, Confidence::engine(-0.8));
+        m.set(sku, given, Confidence::engine(0.3));
+        let cfg = FloodingConfig {
+            enable_up: false,
+            ..Default::default()
+        };
+        flood(&mut m, &s, &t, &HashSet::new(), &cfg);
+        assert!(m.get(sku, given).value() < 0.3, "mismatched parent lowers child");
+    }
+
+    #[test]
+    fn locked_cells_never_move() {
+        let (s, t) = schemas();
+        let mut m = ScoreMatrix::for_schemas(&s, &t);
+        let first = s.find_by_name("firstName").unwrap();
+        let given = t.find_by_name("givenName").unwrap();
+        m.set(first, given, Confidence::ACCEPT);
+        let mut locked = HashSet::new();
+        locked.insert((first, given));
+        // Surround with negativity that would otherwise drag it down.
+        let person = s.find_by_name("person").unwrap();
+        let individual = t.find_by_name("individual").unwrap();
+        m.set(person, individual, Confidence::engine(-0.9));
+        flood(&mut m, &s, &t, &locked, &FloodingConfig::default());
+        assert_eq!(m.get(first, given), Confidence::ACCEPT);
+    }
+
+    #[test]
+    fn disabled_config_is_a_noop() {
+        let (s, t) = schemas();
+        let mut m = ScoreMatrix::for_schemas(&s, &t);
+        m.set(
+            s.find_by_name("firstName").unwrap(),
+            t.find_by_name("givenName").unwrap(),
+            Confidence::engine(0.8),
+        );
+        let snapshot = m.clone();
+        let iters = flood(&mut m, &s, &t, &HashSet::new(), &FloodingConfig::disabled());
+        assert_eq!(iters, 0);
+        assert_eq!(m.mean_abs_diff(&snapshot), 0.0);
+    }
+
+    #[test]
+    fn converges_within_iteration_budget() {
+        let (s, t) = schemas();
+        let mut m = ScoreMatrix::for_schemas(&s, &t);
+        for (sid, tid, _) in m.clone().iter() {
+            m.set(sid, tid, Confidence::engine(0.2));
+        }
+        let cfg = FloodingConfig {
+            max_iterations: 50,
+            ..Default::default()
+        };
+        let iters = flood(&mut m, &s, &t, &HashSet::new(), &cfg);
+        assert!(iters <= 50);
+    }
+}

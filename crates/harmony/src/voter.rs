@@ -1,0 +1,56 @@
+//! The match-voter interface.
+//!
+//! §4: "several *match voters* are invoked, each of which identifies
+//! correspondences using a different strategy." A voter sees the shared
+//! [`MatchContext`] and scores one (source, target) element pair at a
+//! time; the engine drives the full cross product and hands the
+//! per-voter matrices to the merger.
+
+use crate::confidence::Confidence;
+use crate::context::MatchContext;
+use crate::feedback::Feedback;
+use iwb_model::ElementId;
+
+/// One match strategy (Figure 1's "match voters" box).
+pub trait MatchVoter: Send {
+    /// Stable, unique voter name (used for merger weights and reports).
+    fn name(&self) -> &'static str;
+
+    /// Confidence that `src` and `tgt` correspond. Must return
+    /// [`Confidence::UNKNOWN`] (or near it) when this voter's kind of
+    /// evidence is absent for the pair.
+    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence;
+
+    /// Learn from explicit user decisions (§4.3: "each candidate matcher
+    /// can learn from the user's choices and refine any internal
+    /// parameters"). Default: no-op.
+    fn learn(&mut self, _ctx: &mut MatchContext<'_>, _feedback: &[Feedback]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_ling::{Corpus, Thesaurus};
+    use iwb_model::{Metamodel, SchemaGraph};
+
+    struct ConstVoter(f64);
+    impl MatchVoter for ConstVoter {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn vote(&self, _: &MatchContext<'_>, _: ElementId, _: ElementId) -> Confidence {
+            Confidence::engine(self.0)
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let s = SchemaGraph::new("s", Metamodel::Xml);
+        let t = SchemaGraph::new("t", Metamodel::Xml);
+        let th = Thesaurus::new();
+        let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        let v: Box<dyn MatchVoter> = Box::new(ConstVoter(0.5));
+        assert_eq!(v.name(), "const");
+        assert_eq!(v.vote(&ctx, s.root(), t.root()).value(), 0.5);
+    }
+}

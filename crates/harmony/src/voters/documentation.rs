@@ -1,0 +1,165 @@
+//! Documentation (bag-of-words) voter.
+//!
+//! §2 shows enterprise schemata are well documented (Table 1: ≥83% of
+//! items carry a definition), so "linguistic processing of text
+//! descriptions is important". This voter compares TF-IDF vectors over
+//! the stemmed definitions — §4.3's "bag-of-words matcher that weights
+//! each word based on inverted frequency". Its [`MatchVoter::learn`]
+//! implementation adjusts per-term boosts based on which words were
+//! most predictive, exactly as described there.
+//!
+//! Per §4.1, documentation matchers "have good recall, although their
+//! precision is less impressive": the positive cap is high but the
+//! baseline is low, so weak textual overlap already produces a positive
+//! (if small) vote.
+
+use crate::confidence::Confidence;
+use crate::context::MatchContext;
+use crate::feedback::Feedback;
+use crate::voter::MatchVoter;
+use iwb_ling::cosine;
+use iwb_model::ElementId;
+use std::collections::HashSet;
+
+/// Voter over element definitions.
+#[derive(Debug, Clone)]
+pub struct DocumentationVoter {
+    /// Cosine similarity treated as "no evidence" (default 0.12).
+    pub baseline: f64,
+    /// Maximum confidence magnitude (default 0.85).
+    pub cap: f64,
+    /// Multiplier applied to predictive words during learning.
+    pub boost_factor: f64,
+}
+
+impl Default for DocumentationVoter {
+    fn default() -> Self {
+        DocumentationVoter {
+            baseline: 0.12,
+            cap: 0.85,
+            boost_factor: 1.3,
+        }
+    }
+}
+
+impl MatchVoter for DocumentationVoter {
+    fn name(&self) -> &'static str {
+        "documentation"
+    }
+
+    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = ctx.src(src);
+        let b = ctx.tgt(tgt);
+        // No definitions on either side → no evidence, not a negative.
+        if a.doc.is_empty() || b.doc.is_empty() {
+            return Confidence::UNKNOWN;
+        }
+        let sim = cosine(&a.vector, &b.vector);
+        Confidence::from_similarity(sim, self.baseline, self.cap)
+    }
+
+    /// §4.3: "a bag-of-words matcher that weights each word based on
+    /// inverted frequency increases or decreases word weight based on
+    /// which words were most predictive." Words shared by an *accepted*
+    /// pair's definitions get boosted; words shared by a *rejected*
+    /// pair's definitions get damped.
+    fn learn(&mut self, ctx: &mut MatchContext<'_>, feedback: &[Feedback]) {
+        let mut boosts: Vec<(String, f64)> = Vec::new();
+        for fb in feedback {
+            let a: HashSet<&String> = ctx.src(fb.src).doc.stems.iter().collect();
+            let b: HashSet<&String> = ctx.tgt(fb.tgt).doc.stems.iter().collect();
+            let factor = if fb.accepted {
+                self.boost_factor
+            } else {
+                1.0 / self.boost_factor
+            };
+            for term in a.intersection(&b) {
+                boosts.push(((*term).clone(), factor));
+            }
+        }
+        for (term, factor) in boosts {
+            ctx.corpus.adjust_boost(&term, factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_ling::{Corpus, Thesaurus};
+    use iwb_model::{DataType, Metamodel, SchemaBuilder, SchemaGraph};
+
+    fn schemas() -> (SchemaGraph, SchemaGraph) {
+        let s = SchemaBuilder::new("s", Metamodel::Relational)
+            .open("AIRPORT")
+            .attr_doc("IDENT", DataType::Text, "The unique ICAO identifier assigned to the airport.")
+            .attr_doc("ELEV", DataType::Integer, "Field elevation above mean sea level in feet.")
+            .attr("NODOC", DataType::Text)
+            .close()
+            .build();
+        let t = SchemaBuilder::new("t", Metamodel::Xml)
+            .open("facility")
+            .attr_doc("identifier", DataType::Text, "Unique ICAO identifier of this airport facility.")
+            .attr_doc("runwayCount", DataType::Integer, "Number of active runways at the facility.")
+            .close()
+            .build();
+        (s, t)
+    }
+
+    #[test]
+    fn shared_definitions_score_high() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        let v = DocumentationVoter::default();
+        let a = s.find_by_name("IDENT").unwrap();
+        let b = t.find_by_name("identifier").unwrap();
+        let c = t.find_by_name("runwayCount").unwrap();
+        assert!(v.vote(&ctx, a, b).value() > 0.3);
+        assert!(v.vote(&ctx, a, b).value() > v.vote(&ctx, a, c).value());
+    }
+
+    #[test]
+    fn missing_documentation_gives_no_evidence() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        let v = DocumentationVoter::default();
+        let nodoc = s.find_by_name("NODOC").unwrap();
+        let b = t.find_by_name("identifier").unwrap();
+        assert_eq!(v.vote(&ctx, nodoc, b), Confidence::UNKNOWN);
+    }
+
+    #[test]
+    fn learning_boosts_shared_terms_of_accepted_pairs() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let mut ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        let mut v = DocumentationVoter::default();
+        let a = s.find_by_name("IDENT").unwrap();
+        let b = t.find_by_name("identifier").unwrap();
+        let before = ctx.corpus.boost("icao");
+        v.learn(&mut ctx, &[Feedback::accept(a, b)]);
+        assert!(ctx.corpus.boost("icao") > before);
+    }
+
+    #[test]
+    fn learning_damps_shared_terms_of_rejected_pairs() {
+        let (s, t) = schemas();
+        let th = Thesaurus::builtin();
+        let mut ctx = MatchContext::build(&s, &t, &th, Corpus::new());
+        let mut v = DocumentationVoter::default();
+        let a = s.find_by_name("ELEV").unwrap();
+        let b = t.find_by_name("runwayCount").unwrap();
+        // Shared stems between these definitions (e.g. none strong) —
+        // use IDENT/runwayCount which share "the"... stems exclude stops,
+        // so engineer a shared term: "facility"? Actually ELEV/runwayCount
+        // share no stems; use IDENT vs identifier but rejected.
+        let a2 = s.find_by_name("IDENT").unwrap();
+        let b2 = t.find_by_name("identifier").unwrap();
+        let before = ctx.corpus.boost("icao");
+        v.learn(&mut ctx, &[Feedback::reject(a2, b2)]);
+        assert!(ctx.corpus.boost("icao") < before);
+        let _ = (a, b);
+    }
+}

@@ -1,0 +1,80 @@
+//! The built-in match voters.
+//!
+//! Each voter uses a distinct form of evidence (§4.3: "Each candidate
+//! matcher focuses on a particular form of evidence, such as elements'
+//! names"):
+//!
+//! | Voter | Evidence |
+//! |---|---|
+//! | [`NameVoter`] | string and token similarity of element names |
+//! | [`DocumentationVoter`] | TF-IDF cosine of definitions (§4: "one matcher compares the words appearing in the elements' definitions") |
+//! | [`ThesaurusVoter`] | synonym/abbreviation expansion of name tokens (§4: "another matcher expands the elements' names using a thesaurus") |
+//! | [`StructureVoter`] | overlap of child element vocabularies |
+//! | [`DomainVoter`] | overlap of coding-scheme values (§2's low-level domain inspection) |
+//! | [`DataTypeVoter`] | compatibility of declared data types |
+//! | [`AcronymVoter`] | initialisms of multi-token names |
+//! | [`PathVoter`] | parent-name context disambiguating generic leaves |
+//! | [`KeyVoter`] | key-participation alignment |
+//! | [`InstanceVoter`] | sampled value overlap (only when samples are attached; §2) |
+
+mod acronym;
+mod datatype;
+mod documentation;
+mod domain;
+mod instance;
+mod key;
+mod name;
+mod path;
+mod structure;
+mod thesaurus;
+
+pub use acronym::AcronymVoter;
+pub use datatype::DataTypeVoter;
+pub use documentation::DocumentationVoter;
+pub use domain::DomainVoter;
+pub use instance::InstanceVoter;
+pub use key::KeyVoter;
+pub use name::NameVoter;
+pub use path::PathVoter;
+pub use structure::StructureVoter;
+pub use thesaurus::ThesaurusVoter;
+
+use crate::voter::MatchVoter;
+
+/// The default voter suite, in the order Harmony runs them.
+pub fn default_suite() -> Vec<Box<dyn MatchVoter>> {
+    vec![
+        Box::new(NameVoter::default()),
+        Box::new(DocumentationVoter::default()),
+        Box::new(ThesaurusVoter::default()),
+        Box::new(StructureVoter::default()),
+        Box::new(DomainVoter::default()),
+        Box::new(DataTypeVoter::default()),
+        Box::new(AcronymVoter::default()),
+        Box::new(PathVoter::default()),
+        Box::new(KeyVoter::default()),
+    ]
+}
+
+/// The extended suite including the sample-driven instance voter; use
+/// with [`crate::HarmonyEngine::set_instance_samples`].
+pub fn extended_suite() -> Vec<Box<dyn MatchVoter>> {
+    let mut suite = default_suite();
+    suite.push(Box::new(InstanceVoter::default()));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_has_unique_names() {
+        let suite = extended_suite();
+        let mut names: Vec<&str> = suite.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 10);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for confidence algebra, the merger, and the
+//! score matrix.
+
+use iwb_harmony::{Confidence, MergeStrategy, ScoreMatrix, VoteMerger};
+use iwb_model::ElementId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Engine confidences always land strictly inside (-1, 1); user
+    /// endpoints are only reachable through raw/ACCEPT/REJECT.
+    #[test]
+    fn engine_confidence_never_claims_user_certainty(v in any::<f64>()) {
+        let c = Confidence::engine(v);
+        prop_assert!(c.value() > -1.0 && c.value() < 1.0);
+        prop_assert!(!c.is_user_decision());
+        prop_assert!((0.0..1.0).contains(&c.magnitude()));
+    }
+
+    /// from_similarity is monotone in the similarity and crosses zero at
+    /// the baseline.
+    #[test]
+    fn similarity_mapping_monotone(
+        s1 in 0.0f64..1.0,
+        s2 in 0.0f64..1.0,
+        baseline in 0.05f64..0.95,
+    ) {
+        let c1 = Confidence::from_similarity(s1, baseline, 0.9).value();
+        let c2 = Confidence::from_similarity(s2, baseline, 0.9).value();
+        if s1 < s2 {
+            prop_assert!(c1 <= c2 + 1e-12);
+        }
+        prop_assert!((Confidence::from_similarity(baseline, baseline, 0.9).value()).abs() < 1e-12);
+    }
+
+    /// Merged confidence is bounded by the extreme votes (a convex-ish
+    /// combination), for both strategies.
+    #[test]
+    fn merge_stays_within_vote_envelope(votes in prop::collection::vec(-0.95f64..0.95, 1..6)) {
+        let named: Vec<(String, Confidence)> = votes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("v{i}"), Confidence::engine(v)))
+            .collect();
+        let refs: Vec<(&str, Confidence)> =
+            named.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+        let lo = votes.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = votes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for strategy in [MergeStrategy::MagnitudeWeighted, MergeStrategy::UniformAverage] {
+            let m = VoteMerger::with_strategy(strategy).merge(&refs);
+            prop_assert!(m.value() >= lo - 1e-9 && m.value() <= hi + 1e-9,
+                "{:?}: {} not in [{}, {}]", strategy, m.value(), lo, hi);
+        }
+    }
+
+    /// The score matrix stores and retrieves arbitrary score patterns
+    /// exactly (modulo the raw clamp).
+    #[test]
+    fn score_matrix_round_trip(scores in prop::collection::vec(-1.0f64..1.0, 9)) {
+        let src: Vec<ElementId> = (0..3).map(ElementId::from_index).collect();
+        let tgt: Vec<ElementId> = (10..13).map(ElementId::from_index).collect();
+        let mut m = ScoreMatrix::new(src.clone(), tgt.clone());
+        for (k, &v) in scores.iter().enumerate() {
+            m.set(src[k / 3], tgt[k % 3], Confidence::raw(v));
+        }
+        for (k, &v) in scores.iter().enumerate() {
+            prop_assert!((m.get(src[k / 3], tgt[k % 3]).value() - v).abs() < 1e-12);
+        }
+        // best_for_src returns the row maximum.
+        for (r, &s) in src.iter().enumerate() {
+            let (_, best) = m.best_for_src(s).unwrap();
+            let expected = scores[r * 3..(r + 1) * 3]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((best.value() - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Merger learning keeps weights within the clamp bounds no matter
+    /// what the feedback looks like.
+    #[test]
+    fn learned_weights_bounded(signs in prop::collection::vec(any::<bool>(), 1..20)) {
+        let mut merger = VoteMerger::default();
+        for &accepted in &signs {
+            let fb = vec![iwb_harmony::Feedback {
+                src: ElementId::from_index(0),
+                tgt: ElementId::from_index(0),
+                accepted,
+            }];
+            merger.learn(&fb, &["v"], |_, f| Confidence::engine(0.7 * f.sign()));
+        }
+        let w = merger.weight("v");
+        prop_assert!((0.2..=4.0).contains(&w), "w={}", w);
+    }
+}

@@ -1,0 +1,316 @@
+//! Data cleaning (task 11).
+//!
+//! "This subtask removes erroneous values from instance elements. A
+//! value may be erroneous because it violates a domain constraint or
+//! because it contradicts information from a more reliable source."
+//!
+//! A [`Cleaner`] applies declarative [`CleaningRule`]s to records and,
+//! given per-source reliability ranks, resolves contradictions between
+//! records describing the same object by preferring the more reliable
+//! source.
+
+use iwb_mapper::{Node, Value};
+use iwb_model::Domain;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A declarative cleaning rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CleaningRule {
+    /// The field's value must belong to the domain.
+    DomainConstraint {
+        /// Field (path) checked.
+        field: String,
+        /// The coding scheme.
+        domain: Domain,
+    },
+    /// The field's numeric value must lie in [min, max].
+    Range {
+        /// Field checked.
+        field: String,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// The field must be present and non-null.
+    Required {
+        /// Field checked.
+        field: String,
+    },
+}
+
+/// What the cleaner did to a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CleaningAction {
+    /// An offending value was nulled out.
+    RemovedValue {
+        /// Record index.
+        record: usize,
+        /// Field cleared.
+        field: String,
+        /// The erroneous value.
+        value: String,
+        /// Which rule fired.
+        reason: String,
+    },
+    /// A record is missing a required field (reported, not fixable).
+    MissingRequired {
+        /// Record index.
+        record: usize,
+        /// The absent field.
+        field: String,
+    },
+    /// A contradiction was resolved by source reliability.
+    ResolvedContradiction {
+        /// Field involved.
+        field: String,
+        /// Value kept (from the more reliable source).
+        kept: String,
+        /// Value discarded.
+        discarded: String,
+    },
+}
+
+impl fmt::Display for CleaningAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleaningAction::RemovedValue {
+                record,
+                field,
+                value,
+                reason,
+            } => write!(f, "record {record}: removed {field}={value:?} ({reason})"),
+            CleaningAction::MissingRequired { record, field } => {
+                write!(f, "record {record}: required field {field} missing")
+            }
+            CleaningAction::ResolvedContradiction {
+                field,
+                kept,
+                discarded,
+            } => write!(f, "kept {field}={kept:?}, discarded {discarded:?}"),
+        }
+    }
+}
+
+/// The cleaning engine.
+#[derive(Debug, Clone, Default)]
+pub struct Cleaner {
+    rules: Vec<CleaningRule>,
+    /// Source name → reliability rank (higher = more reliable).
+    reliability: HashMap<String, u32>,
+}
+
+impl Cleaner {
+    /// A cleaner with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule.
+    pub fn with_rule(mut self, rule: CleaningRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Register a source's reliability rank.
+    pub fn with_source_reliability(mut self, source: impl Into<String>, rank: u32) -> Self {
+        self.reliability.insert(source.into(), rank);
+        self
+    }
+
+    /// Apply every rule to every record in place; offending values are
+    /// nulled. Returns the actions taken.
+    pub fn clean(&self, records: &mut [Node]) -> Vec<CleaningAction> {
+        let mut actions = Vec::new();
+        for (idx, record) in records.iter_mut().enumerate() {
+            for rule in &self.rules {
+                match rule {
+                    CleaningRule::DomainConstraint { field, domain } => {
+                        let v = record.value_at(field);
+                        if !v.is_null() && !domain.contains(&v.as_str()) {
+                            null_out(record, field);
+                            actions.push(CleaningAction::RemovedValue {
+                                record: idx,
+                                field: field.clone(),
+                                value: v.as_str(),
+                                reason: format!("not in domain {}", domain.name),
+                            });
+                        }
+                    }
+                    CleaningRule::Range { field, min, max } => {
+                        let v = record.value_at(field);
+                        if let Some(n) = v.as_num() {
+                            if n < *min || n > *max {
+                                null_out(record, field);
+                                actions.push(CleaningAction::RemovedValue {
+                                    record: idx,
+                                    field: field.clone(),
+                                    value: v.as_str(),
+                                    reason: format!("outside [{min}, {max}]"),
+                                });
+                            }
+                        }
+                    }
+                    CleaningRule::Required { field } => {
+                        if record.value_at(field).is_null() {
+                            actions.push(CleaningAction::MissingRequired {
+                                record: idx,
+                                field: field.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// Resolve a contradiction between two values of `field` coming from
+    /// two named sources: the more reliable source's value wins; on a
+    /// tie, `a` wins. Returns the kept value and the action taken (or
+    /// `None` when the values agree).
+    pub fn resolve(
+        &self,
+        field: &str,
+        a: (&str, &Value),
+        b: (&str, &Value),
+    ) -> (Value, Option<CleaningAction>) {
+        if a.1 == b.1 {
+            return (a.1.clone(), None);
+        }
+        let rank = |s: &str| self.reliability.get(s).copied().unwrap_or(0);
+        let (kept, discarded) = if rank(b.0) > rank(a.0) { (b, a) } else { (a, b) };
+        (
+            kept.1.clone(),
+            Some(CleaningAction::ResolvedContradiction {
+                field: field.to_owned(),
+                kept: kept.1.as_str(),
+                discarded: discarded.1.as_str(),
+            }),
+        )
+    }
+}
+
+fn null_out(record: &mut Node, field: &str) {
+    // Walk the path mutably.
+    let mut cur = record;
+    let mut segs = field.split('/').filter(|s| !s.is_empty()).peekable();
+    while let Some(seg) = segs.next() {
+        let Some(child) = cur.children.iter_mut().find(|c| c.name == seg) else {
+            return;
+        };
+        if segs.peek().is_none() {
+            child.value = Some(Value::Null);
+            return;
+        }
+        cur = child;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runway(surface: &str, length: f64) -> Node {
+        Node::elem("runway")
+            .with_leaf("surface", surface)
+            .with_leaf("length_ft", length)
+    }
+
+    fn cleaner() -> Cleaner {
+        Cleaner::new()
+            .with_rule(CleaningRule::DomainConstraint {
+                field: "surface".into(),
+                domain: Domain::new("surface")
+                    .with_value("ASP", "Asphalt")
+                    .with_value("CON", "Concrete"),
+            })
+            .with_rule(CleaningRule::Range {
+                field: "length_ft".into(),
+                min: 500.0,
+                max: 20000.0,
+            })
+            .with_rule(CleaningRule::Required {
+                field: "surface".into(),
+            })
+            .with_source_reliability("faa", 2)
+            .with_source_reliability("scraped-web", 1)
+    }
+
+    #[test]
+    fn domain_violations_are_nulled() {
+        let mut records = vec![runway("DIRT", 8000.0), runway("ASP", 8000.0)];
+        let actions = cleaner().clean(&mut records);
+        assert!(records[0].value_at("surface").is_null());
+        assert_eq!(records[1].value_at("surface"), Value::from("ASP"));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CleaningAction::RemovedValue { record: 0, .. })));
+        // Nulling the value triggers the Required rule next pass.
+        let more = cleaner().clean(&mut records);
+        assert!(more
+            .iter()
+            .any(|a| matches!(a, CleaningAction::MissingRequired { record: 0, .. })));
+    }
+
+    #[test]
+    fn range_violations_are_nulled() {
+        let mut records = vec![runway("ASP", 999999.0), runway("CON", 50.0)];
+        let actions = cleaner().clean(&mut records);
+        assert!(records[0].value_at("length_ft").is_null());
+        assert!(records[1].value_at("length_ft").is_null());
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, CleaningAction::RemovedValue { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn reliability_resolves_contradictions() {
+        let c = cleaner();
+        let faa = Value::from(12000.0);
+        let web = Value::from(11000.0);
+        let (kept, action) = c.resolve("length_ft", ("scraped-web", &web), ("faa", &faa));
+        assert_eq!(kept, faa);
+        assert!(matches!(
+            action.unwrap(),
+            CleaningAction::ResolvedContradiction { .. }
+        ));
+        // Agreement needs no action.
+        let (kept, action) = c.resolve("length_ft", ("faa", &faa), ("scraped-web", &faa));
+        assert_eq!(kept, faa);
+        assert!(action.is_none());
+        // Unknown sources rank 0; first argument wins ties.
+        let (kept, _) = c.resolve("x", ("mystery1", &web), ("mystery2", &faa));
+        assert_eq!(kept, web);
+    }
+
+    #[test]
+    fn nested_paths_null_correctly() {
+        let mut records = vec![Node::elem("r").with(
+            Node::elem("specs").with_leaf("length_ft", 99.0),
+        )];
+        let c = Cleaner::new().with_rule(CleaningRule::Range {
+            field: "specs/length_ft".into(),
+            min: 500.0,
+            max: 20000.0,
+        });
+        c.clean(&mut records);
+        assert!(records[0].value_at("specs/length_ft").is_null());
+    }
+
+    #[test]
+    fn actions_display() {
+        let a = CleaningAction::RemovedValue {
+            record: 3,
+            field: "surface".into(),
+            value: "DIRT".into(),
+            reason: "not in domain surface".into(),
+        };
+        assert!(a.to_string().contains("DIRT"));
+    }
+}

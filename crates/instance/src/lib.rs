@@ -1,0 +1,19 @@
+//! # iwb-instance — instance integration
+//!
+//! Phase 4 of the task model (§3.4):
+//!
+//! * [`linkage`] — task 10, "Link instance elements. Two instance
+//!   elements (with different unique identifiers) may represent the same
+//!   real-world object. This subtask merges these elements into a single
+//!   element." Blocking + weighted field similarity + union-find
+//!   clustering + merge.
+//! * [`clean`] — task 11, "Clean the data. This subtask removes
+//!   erroneous values from instance elements. A value may be erroneous
+//!   because it violates a domain constraint or because it contradicts
+//!   information from a more reliable source."
+
+pub mod clean;
+pub mod linkage;
+
+pub use clean::{CleaningAction, CleaningRule, Cleaner};
+pub use linkage::{link_records, merge_cluster, BlockingKey, CompareMethod, FieldComparator, LinkageConfig};

@@ -1,0 +1,84 @@
+//! Property-based tests for record linkage.
+
+use iwb_instance::{
+    link_records, merge_cluster, BlockingKey, CompareMethod, FieldComparator, LinkageConfig,
+};
+use iwb_mapper::Node;
+use proptest::prelude::*;
+
+fn records(names: &[String]) -> Vec<Node> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            Node::elem("r")
+                .with_leaf("name", n.clone())
+                .with_leaf("idx", i as f64)
+        })
+        .collect()
+}
+
+fn config(threshold: f64, blocking: BlockingKey) -> LinkageConfig {
+    LinkageConfig {
+        blocking,
+        comparators: vec![FieldComparator::new("name", CompareMethod::JaroWinkler, 1.0)],
+        threshold,
+    }
+}
+
+proptest! {
+    /// Clustering is a partition: every index appears in exactly one
+    /// cluster.
+    #[test]
+    fn clusters_partition_records(names in prop::collection::vec("[a-z]{1,10}", 0..30), th in 0.5f64..1.0) {
+        let recs = records(&names);
+        let clusters = link_records(&recs, &config(th, BlockingKey::None));
+        let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..recs.len()).collect();
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// At threshold 1.0+ε behaviour: identical names always co-cluster
+    /// regardless of blocking by that field.
+    #[test]
+    fn identical_records_always_link(name in "[a-z]{2,10}", copies in 2usize..6) {
+        let names: Vec<String> = (0..copies).map(|_| name.clone()).collect();
+        for blocking in [BlockingKey::None, BlockingKey::Attribute("name".into()), BlockingKey::SoundexOf("name".into())] {
+            let recs = records(&names);
+            let clusters = link_records(&recs, &config(0.99, blocking));
+            prop_assert_eq!(clusters.len(), 1);
+        }
+    }
+
+    /// Raising the threshold never produces fewer clusters (linking is
+    /// monotone in the threshold).
+    #[test]
+    fn threshold_monotonicity(names in prop::collection::vec("[a-z]{1,8}", 1..20)) {
+        let recs = records(&names);
+        let loose = link_records(&recs, &config(0.7, BlockingKey::None)).len();
+        let strict = link_records(&recs, &config(0.95, BlockingKey::None)).len();
+        prop_assert!(strict >= loose);
+    }
+
+    /// Blocking can only split clusters relative to no blocking, never
+    /// merge records that full comparison kept apart.
+    #[test]
+    fn blocking_never_merges_more(names in prop::collection::vec("[a-z]{1,8}", 1..20)) {
+        let recs = records(&names);
+        let unblocked = link_records(&recs, &config(0.85, BlockingKey::None)).len();
+        let blocked = link_records(&recs, &config(0.85, BlockingKey::SoundexOf("name".into()))).len();
+        prop_assert!(blocked >= unblocked);
+    }
+
+    /// Merged records keep one value per field and the first record's
+    /// shape.
+    #[test]
+    fn merge_keeps_first_values(names in prop::collection::vec("[a-z]{1,8}", 1..10)) {
+        let recs = records(&names);
+        let cluster: Vec<usize> = (0..recs.len()).collect();
+        let merged = merge_cluster(&recs, &cluster);
+        prop_assert_eq!(merged.value_at("name"), recs[0].value_at("name"));
+        prop_assert_eq!(merged.children_named("name").count(), 1);
+    }
+}

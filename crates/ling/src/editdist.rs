@@ -1,0 +1,160 @@
+//! String edit distances used by the name match voter.
+
+/// Levenshtein distance between two strings (unit costs), computed over
+/// Unicode scalar values with a two-row dynamic program.
+///
+/// ```
+/// use iwb_ling::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity normalised to [0, 1]: `1 - dist / max_len`.
+/// Two empty strings are fully similar.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in [0, 1].
+fn jaro(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(a.len());
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches += 1;
+                a_matched.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: half the number of positions where the matched
+    // characters, taken in order from each string, disagree.
+    let b_matched: Vec<char> = (0..b.len()).filter(|&j| b_used[j]).map(|j| b[j]).collect();
+    let a_matched_chars: Vec<char> = a_matched.iter().map(|&(i, _)| a[i]).collect();
+    let t = a_matched_chars
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity in [0, 1]: Jaro boosted by up to 4 characters
+/// of common prefix (scaling factor 0.1). Good at matching abbreviated
+/// schema names (`addr` vs `address`).
+///
+/// ```
+/// use iwb_ling::jaro_winkler;
+/// assert!(jaro_winkler("address", "addr") > 0.9);
+/// assert!(jaro_winkler("runway", "weather") < 0.6);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let j = jaro(&av, &bv);
+    let prefix = av
+        .iter()
+        .zip(bv.iter())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("shipTo", "shippingInfo"), levenshtein("shippingInfo", "shipTo"));
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("a", "a"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let v = normalized_levenshtein("subtotal", "total");
+        assert!(v > 0.5 && v < 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_identity_and_disjoint() {
+        assert!((jaro_winkler("martha", "martha") - 1.0).abs() < 1e-12);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro_winkler("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        // Classic reference pair from Winkler's papers.
+        let v = jaro_winkler("martha", "marhta");
+        assert!((v - 0.9611).abs() < 0.001, "got {v}");
+        let v = jaro_winkler("dixon", "dicksonx");
+        assert!((v - 0.8133).abs() < 0.005, "got {v}");
+    }
+
+    #[test]
+    fn prefix_boost_helps_abbreviations() {
+        assert!(jaro_winkler("addr", "address") > jaro_winkler("drad", "address"));
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(levenshtein("naïve", "naive"), 1);
+        assert!(jaro_winkler("café", "cafe") > 0.8);
+    }
+}

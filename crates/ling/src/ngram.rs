@@ -1,0 +1,103 @@
+//! Character n-gram profiles and Dice overlap.
+//!
+//! N-gram similarity is robust to concatenated identifiers
+//! (`lastname` vs `last_name`) where token-level comparison fails.
+
+use std::collections::HashMap;
+
+/// The multiset of character `n`-grams of `s`, with counts.
+///
+/// Strings shorter than `n` contribute themselves as a single gram, so
+/// very short names still compare non-trivially.
+pub fn ngrams(s: &str, n: usize) -> HashMap<String, usize> {
+    assert!(n > 0, "n-gram size must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = HashMap::new();
+    if chars.is_empty() {
+        return out;
+    }
+    if chars.len() < n {
+        *out.entry(s.to_owned()).or_insert(0) += 1;
+        return out;
+    }
+    for w in chars.windows(n) {
+        *out.entry(w.iter().collect::<String>()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Dice coefficient over character `n`-gram multisets, in [0, 1].
+///
+/// `2·|A ∩ B| / (|A| + |B|)` with multiset intersection.
+///
+/// ```
+/// use iwb_ling::dice_coefficient;
+/// assert!(dice_coefficient("lastname", "last_name", 2) > 0.6);
+/// assert_eq!(dice_coefficient("abc", "abc", 2), 1.0);
+/// ```
+pub fn dice_coefficient(a: &str, b: &str, n: usize) -> f64 {
+    let ga = ngrams(a, n);
+    let gb = ngrams(b, n);
+    let total: usize = ga.values().sum::<usize>() + gb.values().sum::<usize>();
+    if total == 0 {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    let overlap: usize = ga
+        .iter()
+        .map(|(g, &ca)| ca.min(gb.get(g).copied().unwrap_or(0)))
+        .sum();
+    2.0 * overlap as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigram_extraction() {
+        let g = ngrams("abab", 2);
+        assert_eq!(g.get("ab"), Some(&2));
+        assert_eq!(g.get("ba"), Some(&1));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn short_strings_become_single_gram() {
+        let g = ngrams("a", 3);
+        assert_eq!(g.get("a"), Some(&1));
+    }
+
+    #[test]
+    fn empty_string_has_no_grams() {
+        assert!(ngrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn dice_bounds_and_identity() {
+        assert_eq!(dice_coefficient("abc", "abc", 2), 1.0);
+        assert_eq!(dice_coefficient("abc", "xyz", 2), 0.0);
+        assert_eq!(dice_coefficient("", "", 2), 1.0);
+        assert_eq!(dice_coefficient("", "abc", 2), 0.0);
+    }
+
+    #[test]
+    fn dice_symmetry() {
+        let a = dice_coefficient("firstname", "first_name", 2);
+        let b = dice_coefficient("first_name", "firstname", 2);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concatenation_robustness() {
+        assert!(dice_coefficient("lastname", "lastName".to_lowercase().as_str(), 2) > 0.9);
+        assert!(
+            dice_coefficient("subtotal", "total", 2) > dice_coefficient("subtotal", "name", 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gram_size_panics() {
+        ngrams("abc", 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The composed linguistic preprocessing pipeline.
+//!
+//! §4: the engine "begins with linguistic preprocessing (e.g.,
+//! tokenization, stop-word removal, and stemming) of element names and
+//! any associated documentation". [`preprocess`] performs all three and
+//! returns both the raw and processed token streams, since different
+//! voters want different granularities (the thesaurus voter needs
+//! unstemmed tokens, the bag-of-words voter wants stems).
+
+use crate::stem::porter_stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::{split_identifier, tokenize_prose};
+
+/// Output of linguistic preprocessing for one text fragment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Preprocessed {
+    /// Lowercased tokens, stop words removed, unstemmed.
+    pub tokens: Vec<String>,
+    /// Porter-stemmed tokens, stop words removed.
+    pub stems: Vec<String>,
+}
+
+impl Preprocessed {
+    /// True if nothing survived preprocessing.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// Preprocess an element name (identifier conventions) or `None`.
+pub fn preprocess_name(name: &str) -> Preprocessed {
+    finish(split_identifier(name))
+}
+
+/// Preprocess prose documentation.
+pub fn preprocess_doc(doc: &str) -> Preprocessed {
+    finish(tokenize_prose(doc))
+}
+
+/// Preprocess a name and optional documentation into one combined stream
+/// (name tokens first).
+pub fn preprocess(name: &str, doc: Option<&str>) -> Preprocessed {
+    let mut tokens = split_identifier(name);
+    if let Some(d) = doc {
+        tokens.extend(tokenize_prose(d));
+    }
+    finish(tokens)
+}
+
+fn finish(raw: Vec<String>) -> Preprocessed {
+    let tokens: Vec<String> = raw.into_iter().filter(|t| !is_stopword(t)).collect();
+    let stems = tokens.iter().map(|t| porter_stem(t)).collect();
+    Preprocessed { tokens, stems }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_pipeline_splits_and_stems() {
+        let p = preprocess_name("shippingAddresses");
+        assert_eq!(p.tokens, ["shipping", "addresses"]);
+        assert_eq!(p.stems, ["ship", "address"]);
+    }
+
+    #[test]
+    fn doc_pipeline_removes_stopwords() {
+        let p = preprocess_doc("The unique identifier of the airport.");
+        assert_eq!(p.tokens, ["unique", "identifier", "airport"]);
+        assert_eq!(p.stems, ["uniqu", "identifi", "airport"]);
+    }
+
+    #[test]
+    fn combined_keeps_name_tokens_first() {
+        let p = preprocess("acftType", Some("Kind of aircraft."));
+        assert_eq!(p.tokens, ["acft", "type", "kind", "aircraft"]);
+    }
+
+    #[test]
+    fn all_stopword_input_is_empty() {
+        let p = preprocess_doc("of the and");
+        assert!(p.is_empty());
+        assert!(p.stems.is_empty());
+    }
+
+    #[test]
+    fn stems_align_with_tokens() {
+        let p = preprocess("ordersShipped", None);
+        assert_eq!(p.tokens.len(), p.stems.len());
+    }
+}

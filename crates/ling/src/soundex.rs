@@ -1,0 +1,116 @@
+//! American Soundex phonetic codes.
+//!
+//! Used by the name voter as a weak-evidence signal for names that sound
+//! alike but are spelled differently (`Smith`/`Smyth` in personnel
+//! schemata).
+
+/// The Soundex digit for a letter, or `None` for vowels and h/w/y.
+fn digit(c: u8) -> Option<u8> {
+    match c.to_ascii_lowercase() {
+        b'b' | b'f' | b'p' | b'v' => Some(b'1'),
+        b'c' | b'g' | b'j' | b'k' | b'q' | b's' | b'x' | b'z' => Some(b'2'),
+        b'd' | b't' => Some(b'3'),
+        b'l' => Some(b'4'),
+        b'm' | b'n' => Some(b'5'),
+        b'r' => Some(b'6'),
+        _ => None,
+    }
+}
+
+/// The 4-character Soundex code of `word`, or `None` if the word has no
+/// ASCII-alphabetic leading character.
+///
+/// Classic rules: keep the first letter; encode following consonants;
+/// collapse adjacent duplicates; `h`/`w` are transparent between
+/// same-coded consonants; vowels break runs; pad with zeros.
+///
+/// ```
+/// use iwb_ling::soundex;
+/// assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+/// ```
+pub fn soundex(word: &str) -> Option<String> {
+    let bytes: Vec<u8> = word
+        .bytes()
+        .filter(|b| b.is_ascii_alphabetic())
+        .collect();
+    let &first = bytes.first()?;
+    let mut code = String::new();
+    code.push(first.to_ascii_uppercase() as char);
+    let mut last_digit = digit(first);
+    for &b in &bytes[1..] {
+        let d = digit(b);
+        match d {
+            Some(d) => {
+                if Some(d) != last_digit {
+                    code.push(d as char);
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                last_digit = Some(d);
+            }
+            None => {
+                // h and w are transparent; vowels reset the run.
+                if !matches!(b.to_ascii_lowercase(), b'h' | b'w') {
+                    last_digit = None;
+                }
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// True if two words share a Soundex code.
+pub fn sounds_like(a: &str, b: &str) -> bool {
+    match (soundex(a), soundex(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_codes() {
+        let cases = [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"), // h transparent between s and c
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),  // vowel separates cz
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+            ("Jackson", "J250"),
+        ];
+        for (word, expected) in cases {
+            assert_eq!(soundex(word).as_deref(), Some(expected), "{word}");
+        }
+    }
+
+    #[test]
+    fn short_words_padded() {
+        assert_eq!(soundex("a").as_deref(), Some("A000"));
+        assert_eq!(soundex("at").as_deref(), Some("A300"));
+    }
+
+    #[test]
+    fn non_alpha_filtered_and_empty_rejected() {
+        assert_eq!(soundex("O'Brien").as_deref(), Some("O165"));
+        assert!(soundex("123").is_none());
+        assert!(soundex("").is_none());
+    }
+
+    #[test]
+    fn sounds_like_pairs() {
+        assert!(sounds_like("Smith", "Smyth"));
+        assert!(!sounds_like("Smith", "Jones"));
+        assert!(!sounds_like("", "Jones"));
+    }
+}

@@ -1,0 +1,411 @@
+//! The Porter stemming algorithm (Porter, 1980), implemented in full.
+//!
+//! Stemming folds morphological variants together so that, e.g., a
+//! definition saying "identifies the shipping destination" matches an
+//! element named `shipTo` ("ship"). The implementation follows the
+//! original paper's five steps over the measure/condition framework.
+
+/// True if byte `i` of `w` is a consonant in Porter's sense:
+/// not a vowel, and `y` is a consonant only when preceded by a vowel... more
+/// precisely, `y` is a consonant when at position 0 or preceded by a vowel.
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's measure m of the first `len` bytes of `w`: the number of VC
+/// sequences in `[C](VC)^m[V]`. Length semantics keep the empty stem
+/// (len 0) well-defined with m = 0.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    // Skip the optional initial consonant run.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Vowel run.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return n;
+        }
+        // Consonant run following vowels completes one VC.
+        n += 1;
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return n;
+        }
+    }
+}
+
+/// True if the first `len` bytes of `w` contain a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// True if `w[..=j]` ends in a double consonant.
+fn double_consonant(w: &[u8], j: usize) -> bool {
+    j >= 1 && w[j] == w[j - 1] && is_consonant(w, j)
+}
+
+/// True if `w[..=j]` ends consonant-vowel-consonant where the final
+/// consonant is not w, x or y (the *o* condition).
+fn cvc(w: &[u8], j: usize) -> bool {
+    if j < 2 || !is_consonant(w, j) || is_consonant(w, j - 1) || !is_consonant(w, j - 2) {
+        return false;
+    }
+    !matches!(w[j], b'w' | b'x' | b'y')
+}
+
+struct Stemmer {
+    w: Vec<u8>,
+    /// Index of the last character of the current stem.
+    k: usize,
+}
+
+impl Stemmer {
+    fn ends(&self, suffix: &[u8]) -> bool {
+        let n = suffix.len();
+        n <= self.k + 1 && &self.w[self.k + 1 - n..=self.k] == suffix
+    }
+
+    /// Length of the stem if the word ends with `suffix` (0 when the
+    /// whole word is the suffix — the case the conditions below all
+    /// treat as "do not transform").
+    fn stem_len(&self, suffix: &[u8]) -> usize {
+        self.k + 1 - suffix.len()
+    }
+
+    fn set_to_len(&mut self, stem_len: usize, replacement: &[u8]) {
+        self.w.truncate(stem_len);
+        self.w.extend_from_slice(replacement);
+        debug_assert!(!self.w.is_empty(), "stemmer never produces an empty word");
+        self.k = self.w.len() - 1;
+    }
+
+    /// If the word ends with `suffix` and m(stem) > `min_m`, replace the
+    /// suffix. Returns true if the suffix matched (even without replace).
+    fn replace_if_m(&mut self, suffix: &[u8], replacement: &[u8], min_m: usize) -> bool {
+        if self.ends(suffix) {
+            let len = self.stem_len(suffix);
+            if measure(&self.w, len) > min_m {
+                self.set_to_len(len, replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Step 1a: plurals.
+    fn step1a(&mut self) {
+        if self.ends(b"sses") {
+            self.k -= 2;
+        } else if self.ends(b"ies") {
+            self.set_to_len(self.stem_len(b"ies"), b"i");
+        } else if !self.ends(b"ss") && self.ends(b"s") {
+            self.k -= 1;
+        }
+        self.w.truncate(self.k + 1);
+    }
+
+    /// Step 1b: -ed / -ing.
+    fn step1b(&mut self) {
+        let mut second = false;
+        if self.ends(b"eed") {
+            let len = self.stem_len(b"eed");
+            if measure(&self.w, len) > 0 {
+                self.k -= 1;
+                self.w.truncate(self.k + 1);
+            }
+        } else if self.ends(b"ed") {
+            let len = self.stem_len(b"ed");
+            if has_vowel(&self.w, len) {
+                self.set_to_len(len, b"");
+                second = true;
+            }
+        } else if self.ends(b"ing") {
+            let len = self.stem_len(b"ing");
+            if has_vowel(&self.w, len) {
+                self.set_to_len(len, b"");
+                second = true;
+            }
+        }
+        if second {
+            if self.ends(b"at") || self.ends(b"bl") || self.ends(b"iz") {
+                let len = self.k + 1;
+                self.set_to_len(len, b"e");
+            } else if double_consonant(&self.w, self.k)
+                && !matches!(self.w[self.k], b'l' | b's' | b'z')
+            {
+                self.k -= 1;
+                self.w.truncate(self.k + 1);
+            } else if measure(&self.w, self.k + 1) == 1 && cvc(&self.w, self.k) {
+                let len = self.k + 1;
+                self.set_to_len(len, b"e");
+            }
+        }
+    }
+
+    /// Step 1c: terminal y → i when there is another vowel in the stem.
+    fn step1c(&mut self) {
+        if self.ends(b"y") && has_vowel(&self.w, self.k) {
+            self.w[self.k] = b'i';
+        }
+    }
+
+    /// Step 2: double-suffix reductions (m > 0).
+    fn step2(&mut self) {
+        let rules: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ];
+        for (suffix, replacement) in rules {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 3: -ic-, -full, -ness etc. (m > 0).
+    fn step3(&mut self) {
+        let rules: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for (suffix, replacement) in rules {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 4: strip remaining suffixes when m > 1.
+    fn step4(&mut self) {
+        let rules: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        ];
+        for suffix in rules {
+            if self.ends(suffix) {
+                let len = self.stem_len(suffix);
+                if measure(&self.w, len) > 1 {
+                    self.set_to_len(len, b"");
+                }
+                return;
+            }
+        }
+        // Special case: -ion only strips after s or t.
+        if self.ends(b"ion") {
+            let len = self.stem_len(b"ion");
+            if measure(&self.w, len) > 1 && matches!(self.w[len - 1], b's' | b't') {
+                self.set_to_len(len, b"");
+            }
+        }
+    }
+
+    /// Step 5a/5b: remove final e and reduce double l.
+    fn step5(&mut self) {
+        if self.ends(b"e") {
+            let len = self.k; // stem before the final e
+            let m = measure(&self.w, len);
+            if m > 1 || (m == 1 && !cvc(&self.w, len - 1)) {
+                self.k -= 1;
+                self.w.truncate(self.k + 1);
+            }
+        }
+        if self.w[self.k] == b'l'
+            && double_consonant(&self.w, self.k)
+            && measure(&self.w, self.k + 1) > 1
+        {
+            self.k -= 1;
+            self.w.truncate(self.k + 1);
+        }
+    }
+}
+
+/// Stem a lowercase ASCII word with the Porter algorithm.
+///
+/// Words of length ≤ 2 and words containing non-ASCII-alphabetic
+/// characters are returned unchanged (matching Porter's guidance).
+///
+/// ```
+/// use iwb_ling::porter_stem;
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("shipping"), "ship");
+/// assert_eq!(porter_stem("identifies"), "identifi");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut s = Stemmer {
+        w: word.as_bytes().to_vec(),
+        k: word.len() - 1,
+    };
+    s.step1a();
+    if s.k >= 1 {
+        s.step1b();
+    }
+    if s.k >= 1 {
+        s.step1c();
+        s.step2();
+        s.step3();
+        s.step4();
+        s.step5();
+    }
+    s.w.truncate(s.k + 1);
+    String::from_utf8(s.w).expect("ascii in, ascii out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's paper and the canonical test set.
+    #[test]
+    fn canonical_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn schema_vocabulary() {
+        assert_eq!(porter_stem("shipping"), "ship");
+        assert_eq!(porter_stem("shipped"), "ship");
+        assert_eq!(porter_stem("ships"), "ship");
+        assert_eq!(porter_stem("identifies"), "identifi");
+        assert_eq!(porter_stem("identifier"), "identifi");
+        assert_eq!(porter_stem("identification"), "identif");
+    }
+
+    #[test]
+    fn short_and_non_ascii_unchanged() {
+        assert_eq!(porter_stem("ab"), "ab");
+        assert_eq!(porter_stem("y"), "y");
+        assert_eq!(porter_stem("naïve"), "naïve");
+        assert_eq!(porter_stem("B747"), "B747");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["ship", "airport", "runway", "code", "order", "total"] {
+            let once = porter_stem(w);
+            assert_eq!(porter_stem(&once), once, "{w}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! English stop-word list used during linguistic preprocessing.
+//!
+//! Schema definitions are short (Table 1: ~11–16 words), so the list is
+//! deliberately conservative: function words only, never domain nouns.
+
+/// Alphabetically ordered stop list (binary-searchable).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "etc", "few",
+    "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just", "may",
+    "me", "might", "more", "most", "must", "my", "no", "nor", "not", "of", "off", "on", "once",
+    "only", "or", "other", "our", "ours", "out", "over", "own", "same", "shall", "she",
+    "should", "so", "some", "such", "than", "that", "the", "their", "theirs", "them", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "upon", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "would", "you", "your", "yours",
+];
+
+/// True if `word` (lowercase) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Remove stop words from a token stream, preserving order.
+pub fn remove_stopwords(tokens: Vec<String>) -> Vec<String> {
+    tokens.into_iter().filter(|t| !is_stopword(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn function_words_are_stopped() {
+        for w in ["the", "of", "and", "which", "a"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn domain_nouns_are_kept() {
+        for w in ["aircraft", "runway", "subtotal", "name", "code"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn removal_preserves_order() {
+        let toks = ["the", "unique", "identifier", "of", "the", "airport"]
+            .map(String::from)
+            .to_vec();
+        assert_eq!(remove_stopwords(toks), ["unique", "identifier", "airport"]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Synonym rings and abbreviation expansion.
+//!
+//! One Harmony matcher "expands the elements' names using a thesaurus"
+//! (§4). WordNet is not shipped here; instead the thesaurus is a
+//! user-extensible structure pre-seeded with synonym rings and
+//! abbreviations for the domains the paper's examples draw on (air
+//! traffic management, procurement/shipping, personnel).
+
+use std::collections::HashMap;
+
+/// A thesaurus of synonym rings plus an abbreviation table.
+///
+/// Words in a ring are mutually synonymous; abbreviations expand to a
+/// canonical long form which can itself sit in a ring.
+#[derive(Debug, Clone, Default)]
+pub struct Thesaurus {
+    /// word → ring index
+    ring_of: HashMap<String, usize>,
+    /// ring index → members
+    rings: Vec<Vec<String>>,
+    /// abbreviation → expansion
+    abbreviations: HashMap<String, String>,
+}
+
+impl Thesaurus {
+    /// An empty thesaurus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in thesaurus used by Harmony's thesaurus voter: synonym
+    /// rings and abbreviations covering the paper's example domains.
+    pub fn builtin() -> Self {
+        let mut t = Thesaurus::new();
+        for ring in [
+            &["ship", "send", "dispatch", "deliver"][..],
+            &["buy", "purchase", "procure", "acquire"],
+            &["order", "requisition"],
+            &["person", "individual", "party"],
+            &["employee", "worker", "staff"],
+            &["student", "pupil"],
+            &["professor", "instructor", "teacher", "faculty"],
+            &["customer", "client", "buyer"],
+            &["vendor", "supplier", "seller", "merchant"],
+            &["name", "designation", "label", "title"],
+            &["first", "given", "fore"],
+            &["last", "family", "surname"],
+            &["middle", "mid"],
+            &["identifier", "id", "key", "code"],
+            &["address", "location", "place"],
+            &["city", "town", "municipality"],
+            &["state", "province", "region"],
+            &["zip", "postcode", "postal"],
+            &["country", "nation"],
+            &["phone", "telephone"],
+            &["price", "cost", "amount", "charge"],
+            &["total", "sum", "aggregate"],
+            &["tax", "levy", "duty"],
+            &["date", "day"],
+            &["time", "hour"],
+            &["begin", "start", "commence"],
+            &["end", "finish", "terminate", "stop"],
+            &["aircraft", "airplane", "plane", "airframe"],
+            &["airport", "airfield", "aerodrome"],
+            &["runway", "airstrip", "strip"],
+            &["flight", "sortie"],
+            &["route", "path", "airway", "course"],
+            &["weather", "meteorology"],
+            &["facility", "installation", "site"],
+            &["carrier", "airline", "operator"],
+            &["depart", "leave", "origin"],
+            &["arrive", "destination", "land"],
+            &["salary", "pay", "wage", "compensation"],
+            &["birth", "born"],
+            &["type", "kind", "category", "class"],
+            &["status", "condition"],
+            &["description", "definition", "comment", "remark", "note"],
+            &["quantity", "count", "number"],
+            &["unit", "measure"],
+            &["weight", "mass"],
+            &["invoice", "bill", "statement"],
+            &["item", "article", "product", "goods"],
+            &["grade", "mark", "score"],
+            &["course", "class"],
+            &["department", "division", "branch", "unit"],
+        ] {
+            t.add_ring(ring.iter().copied());
+        }
+        for (abbr, full) in [
+            ("acft", "aircraft"),
+            ("arpt", "airport"),
+            ("rwy", "runway"),
+            ("flt", "flight"),
+            ("wx", "weather"),
+            ("fac", "facility"),
+            ("cd", "code"),
+            ("id", "identifier"),
+            ("num", "number"),
+            ("nbr", "number"),
+            ("no", "number"),
+            ("qty", "quantity"),
+            ("amt", "amount"),
+            ("addr", "address"),
+            ("st", "street"),
+            ("ctry", "country"),
+            ("tel", "telephone"),
+            ("dob", "birth"),
+            ("ssn", "social"),
+            ("dept", "department"),
+            ("div", "division"),
+            ("emp", "employee"),
+            ("cust", "customer"),
+            ("vend", "vendor"),
+            ("ord", "order"),
+            ("purch", "purchase"),
+            ("inv", "invoice"),
+            ("desc", "description"),
+            ("defn", "definition"),
+            ("dt", "date"),
+            ("tm", "time"),
+            ("loc", "location"),
+            ("org", "organization"),
+            ("prof", "professor"),
+            ("stud", "student"),
+            ("sal", "salary"),
+            ("avg", "average"),
+            ("min", "minimum"),
+            ("max", "maximum"),
+            ("fname", "first"),
+            ("lname", "last"),
+            ("mi", "middle"),
+        ] {
+            t.add_abbreviation(abbr, full);
+        }
+        t
+    }
+
+    /// Add a synonym ring. Words already in a ring are merged into the
+    /// new ring's identity (union semantics).
+    pub fn add_ring<'a>(&mut self, words: impl IntoIterator<Item = &'a str>) {
+        let idx = self.rings.len();
+        let mut members = Vec::new();
+        let mut merged_into: Option<usize> = None;
+        for w in words {
+            let w = w.to_lowercase();
+            if let Some(&existing) = self.ring_of.get(&w) {
+                merged_into = Some(merged_into.map_or(existing, |m| m.min(existing)));
+            }
+            members.push(w);
+        }
+        let target = merged_into.unwrap_or(idx);
+        if target == idx {
+            self.rings.push(Vec::new());
+        }
+        for w in members {
+            if self.ring_of.insert(w.clone(), target).is_none() {
+                self.rings[target].push(w);
+            }
+        }
+    }
+
+    /// Register an abbreviation → expansion pair.
+    pub fn add_abbreviation(&mut self, abbr: impl Into<String>, full: impl Into<String>) {
+        self.abbreviations
+            .insert(abbr.into().to_lowercase(), full.into().to_lowercase());
+    }
+
+    /// Expand `word` if it is a known abbreviation, else return it as-is.
+    pub fn expand<'a>(&'a self, word: &'a str) -> &'a str {
+        self.abbreviations.get(word).map(String::as_str).unwrap_or(word)
+    }
+
+    /// True if the two words are synonymous: equal after abbreviation
+    /// expansion, or members of the same ring.
+    pub fn synonymous(&self, a: &str, b: &str) -> bool {
+        let a = self.expand(a);
+        let b = self.expand(b);
+        if a == b {
+            return true;
+        }
+        match (self.ring_of.get(a), self.ring_of.get(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// All synonyms of `word` (after abbreviation expansion), including
+    /// the expanded word itself.
+    pub fn synonyms<'a>(&'a self, word: &'a str) -> Vec<&'a str> {
+        let w = self.expand(word);
+        match self.ring_of.get(w) {
+            Some(&idx) => self.rings[idx].iter().map(String::as_str).collect(),
+            None => vec![w],
+        }
+    }
+
+    /// Number of synonym rings.
+    pub fn ring_count(&self) -> usize {
+        self.rings.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Jaccard-style overlap between two token sets under synonymy: the
+    /// fraction of tokens in the smaller set that have a synonymous
+    /// counterpart in the other. Returns 0 for empty inputs.
+    pub fn token_overlap(&self, a: &[String], b: &[String]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let hits = small
+            .iter()
+            .filter(|x| large.iter().any(|y| self.synonymous(x, y)))
+            .count();
+        hits as f64 / small.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rings_make_members_synonymous() {
+        let t = Thesaurus::builtin();
+        assert!(t.synonymous("ship", "deliver"));
+        assert!(t.synonymous("vendor", "supplier"));
+        assert!(!t.synonymous("vendor", "customer"));
+    }
+
+    #[test]
+    fn abbreviations_expand_before_ring_lookup() {
+        let t = Thesaurus::builtin();
+        assert_eq!(t.expand("acft"), "aircraft");
+        assert!(t.synonymous("acft", "airplane"));
+        assert!(t.synonymous("rwy", "airstrip"));
+        assert!(t.synonymous("id", "key"));
+    }
+
+    #[test]
+    fn unknown_words_only_match_themselves() {
+        let t = Thesaurus::builtin();
+        assert!(t.synonymous("zorp", "zorp"));
+        assert!(!t.synonymous("zorp", "blap"));
+        assert_eq!(t.synonyms("zorp"), vec!["zorp"]);
+    }
+
+    #[test]
+    fn synonyms_lists_whole_ring() {
+        let t = Thesaurus::builtin();
+        let syns = t.synonyms("arpt");
+        assert!(syns.contains(&"airport"));
+        assert!(syns.contains(&"aerodrome"));
+    }
+
+    #[test]
+    fn ring_union_on_overlap() {
+        let mut t = Thesaurus::new();
+        t.add_ring(["a", "b"]);
+        t.add_ring(["b", "c"]);
+        assert!(t.synonymous("a", "c"));
+        assert_eq!(t.ring_count(), 1);
+    }
+
+    #[test]
+    fn token_overlap_fractional() {
+        let t = Thesaurus::builtin();
+        let a = vec!["ship".to_owned(), "to".to_owned()];
+        let b = vec!["shipping".to_owned(), "info".to_owned()];
+        // "ship" vs "shipping": not synonymous without stemming, so 0.5
+        // would require stemming upstream; here only exact/ring matches.
+        let overlap = t.token_overlap(&a, &b);
+        assert!((0.0..=1.0).contains(&overlap));
+        let c = vec!["dispatch".to_owned(), "info".to_owned()];
+        assert!(t.token_overlap(&a, &c) >= 0.5);
+        assert_eq!(t.token_overlap(&[], &a), 0.0);
+    }
+
+    #[test]
+    fn builtin_is_nontrivial() {
+        let t = Thesaurus::builtin();
+        assert!(t.ring_count() > 30);
+    }
+}

@@ -1,0 +1,119 @@
+//! Tokenisation of schema identifiers and prose documentation.
+//!
+//! Schema element names mix conventions — `shipTo`, `ACFT_TYPE_CD`,
+//! `shipping-info`, `Address2`. [`split_identifier`] breaks all of them
+//! into lowercase word tokens; [`tokenize_prose`] handles definition text.
+
+/// Split a schema identifier into lowercase word tokens.
+///
+/// Handles camelCase (`shipTo` → `ship to`), PascalCase with acronym runs
+/// (`XMLSchema` → `xml schema`), snake_case, kebab-case, spaces/dots, and
+/// digit boundaries (`Address2` → `address 2`).
+///
+/// ```
+/// use iwb_ling::split_identifier;
+/// assert_eq!(split_identifier("shipTo"), vec!["ship", "to"]);
+/// assert_eq!(split_identifier("ACFT_TYPE_CD"), vec!["acft", "type", "cd"]);
+/// assert_eq!(split_identifier("XMLSchemaURI"), vec!["xml", "schema", "uri"]);
+/// ```
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = ident.chars().collect();
+
+    let flush = |current: &mut String, tokens: &mut Vec<String>| {
+        if !current.is_empty() {
+            tokens.push(std::mem::take(current).to_lowercase());
+        }
+    };
+
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if !c.is_alphanumeric() {
+            flush(&mut current, &mut tokens);
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| chars[j]);
+        let next = chars.get(i + 1).copied();
+        let boundary = match prev {
+            None => false,
+            Some(p) => {
+                // lower → Upper: shipTo
+                (p.is_lowercase() && c.is_uppercase())
+                    // letter ↔ digit: Address2, 2ndLine
+                    || (p.is_alphabetic() && c.is_numeric())
+                    || (p.is_numeric() && c.is_alphabetic())
+                    // Acronym run end: "XMLSchema" → boundary before 'S' of "Schema"
+                    || (p.is_uppercase()
+                        && c.is_uppercase()
+                        && next.map(|n| n.is_lowercase()).unwrap_or(false))
+            }
+        };
+        if boundary {
+            flush(&mut current, &mut tokens);
+        }
+        current.push(c);
+    }
+    flush(&mut current, &mut tokens);
+    tokens
+}
+
+/// Tokenise prose documentation into lowercase word tokens.
+///
+/// Splits on any non-alphanumeric character and lowercases; purely
+/// numeric tokens are kept (coding schemes often use numeric codes).
+pub fn tokenize_prose(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camel_case() {
+        assert_eq!(split_identifier("firstName"), ["first", "name"]);
+        assert_eq!(split_identifier("shippingInfo"), ["shipping", "info"]);
+    }
+
+    #[test]
+    fn pascal_and_acronym_runs() {
+        assert_eq!(split_identifier("XMLSchema"), ["xml", "schema"]);
+        assert_eq!(split_identifier("ParseXMLSchema"), ["parse", "xml", "schema"]);
+        assert_eq!(split_identifier("URI"), ["uri"]);
+    }
+
+    #[test]
+    fn snake_kebab_and_spaces() {
+        assert_eq!(split_identifier("ACFT_TYPE_CD"), ["acft", "type", "cd"]);
+        assert_eq!(split_identifier("shipping-info"), ["shipping", "info"]);
+        assert_eq!(split_identifier("ship to"), ["ship", "to"]);
+        assert_eq!(split_identifier("a.b.c"), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn digit_boundaries() {
+        assert_eq!(split_identifier("Address2"), ["address", "2"]);
+        assert_eq!(split_identifier("line2Text"), ["line", "2", "text"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(split_identifier("").is_empty());
+        assert!(split_identifier("___").is_empty());
+    }
+
+    #[test]
+    fn prose_tokenisation() {
+        let t = tokenize_prose("The pre-tax sum, in U.S. dollars (USD).");
+        assert_eq!(t, ["the", "pre", "tax", "sum", "in", "u", "s", "dollars", "usd"]);
+    }
+
+    #[test]
+    fn prose_keeps_numbers() {
+        assert_eq!(tokenize_prose("code 42 means B747"), ["code", "42", "means", "b747"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Documentation statistics — the machinery behind the paper's Table 1.
+//!
+//! Table 1 reports, per item kind (Element, Attribute, Domain): the item
+//! count, how many have a definition, the percentage, the total word
+//! count, words per item, and words per definition. [`DocStats`]
+//! accumulates those quantities from any stream of (kind, definition)
+//! observations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One accumulated row of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DocStatsRow {
+    /// Total number of items of this kind.
+    pub item_count: u64,
+    /// Items that carry a definition.
+    pub with_definition: u64,
+    /// Total words across all definitions.
+    pub word_count: u64,
+}
+
+impl DocStatsRow {
+    /// Percentage of items that carry a definition (0 if no items).
+    pub fn pct_with_definition(&self) -> f64 {
+        if self.item_count == 0 {
+            0.0
+        } else {
+            100.0 * self.with_definition as f64 / self.item_count as f64
+        }
+    }
+
+    /// Mean words per item (definition-less items count as zero words).
+    pub fn words_per_item(&self) -> f64 {
+        if self.item_count == 0 {
+            0.0
+        } else {
+            self.word_count as f64 / self.item_count as f64
+        }
+    }
+
+    /// Mean words per definition (over documented items only).
+    pub fn words_per_definition(&self) -> f64 {
+        if self.with_definition == 0 {
+            0.0
+        } else {
+            self.word_count as f64 / self.with_definition as f64
+        }
+    }
+}
+
+/// Accumulator of documentation statistics, keyed by item kind label.
+#[derive(Debug, Clone, Default)]
+pub struct DocStats {
+    rows: BTreeMap<String, DocStatsRow>,
+    /// Fixed row order for rendering (kinds observed first print first
+    /// unless an explicit order is installed).
+    order: Vec<String>,
+}
+
+impl DocStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An accumulator with a preset row order (Table 1 uses
+    /// Element, Attribute, Domain).
+    pub fn with_order(kinds: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let order: Vec<String> = kinds.into_iter().map(Into::into).collect();
+        let rows = order
+            .iter()
+            .map(|k| (k.clone(), DocStatsRow::default()))
+            .collect();
+        DocStats { rows, order }
+    }
+
+    /// Record one item of `kind` with an optional definition.
+    pub fn record(&mut self, kind: &str, definition: Option<&str>) {
+        if !self.rows.contains_key(kind) {
+            self.order.push(kind.to_owned());
+        }
+        let row = self.rows.entry(kind.to_owned()).or_default();
+        row.item_count += 1;
+        if let Some(d) = definition {
+            let words = d.split_whitespace().count() as u64;
+            if words > 0 {
+                row.with_definition += 1;
+                row.word_count += words;
+            }
+        }
+    }
+
+    /// The accumulated row for a kind.
+    pub fn row(&self, kind: &str) -> Option<&DocStatsRow> {
+        self.rows.get(kind)
+    }
+
+    /// Rows in presentation order.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, &DocStatsRow)> {
+        self.order
+            .iter()
+            .filter_map(|k| self.rows.get(k).map(|r| (k.as_str(), r)))
+    }
+
+    /// Render in the layout of the paper's Table 1.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>11} {:>13} {:>11} {:>12} {:>11} {:>13}",
+            "Item", "Item Count", "# With Defn", "% With Defn", "Word Count", "Words/Item", "Words/Defn"
+        );
+        for (kind, r) in self.rows() {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>11} {:>13} {:>10.0}% {:>12} {:>11.2} {:>13.2}",
+                kind,
+                r.item_count,
+                r.with_definition,
+                r.pct_with_definition(),
+                r.word_count,
+                r.words_per_item(),
+                r.words_per_definition()
+            );
+        }
+        out
+    }
+}
+
+use std::fmt::Write;
+
+impl fmt::Display for DocStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_words() {
+        let mut s = DocStats::new();
+        s.record("Element", Some("An airport facility."));
+        s.record("Element", None);
+        s.record("Attribute", Some("one two three four"));
+        let e = s.row("Element").unwrap();
+        assert_eq!(e.item_count, 2);
+        assert_eq!(e.with_definition, 1);
+        assert_eq!(e.word_count, 3);
+        assert_eq!(e.pct_with_definition(), 50.0);
+        assert_eq!(e.words_per_item(), 1.5);
+        assert_eq!(e.words_per_definition(), 3.0);
+        assert_eq!(s.row("Attribute").unwrap().word_count, 4);
+    }
+
+    #[test]
+    fn empty_definition_counts_as_undocumented() {
+        let mut s = DocStats::new();
+        s.record("Domain", Some("   "));
+        let r = s.row("Domain").unwrap();
+        assert_eq!(r.with_definition, 0);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let r = DocStatsRow::default();
+        assert_eq!(r.pct_with_definition(), 0.0);
+        assert_eq!(r.words_per_item(), 0.0);
+        assert_eq!(r.words_per_definition(), 0.0);
+    }
+
+    #[test]
+    fn preset_order_is_respected() {
+        let mut s = DocStats::with_order(["Element", "Attribute", "Domain"]);
+        s.record("Domain", Some("x"));
+        s.record("Element", Some("y"));
+        let kinds: Vec<&str> = s.rows().map(|(k, _)| k).collect();
+        assert_eq!(kinds, ["Element", "Attribute", "Domain"]);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut s = DocStats::with_order(["Element", "Attribute", "Domain"]);
+        for _ in 0..10 {
+            s.record("Element", Some("air traffic control element definition"));
+            s.record("Attribute", Some("an attribute"));
+            s.record("Domain", None);
+        }
+        let t = s.render_table();
+        assert!(t.contains("Element"));
+        assert!(t.contains("Domain"));
+        assert!(t.lines().count() >= 4);
+    }
+}

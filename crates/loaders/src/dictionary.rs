@@ -1,0 +1,132 @@
+//! Data-dictionary enrichment.
+//!
+//! Task 1 includes importing "ancillary information such as definitions
+//! from a data dictionary" (§5.2.1), and §3.1 notes that "one may enrich
+//! the schemata … documenting constraints that are not documented in the
+//! actual system". A dictionary is a sidecar text file of
+//! `path = definition` lines; definitions are attached to the matching
+//! elements' `documentation` annotation.
+
+use crate::error::LoadError;
+use iwb_model::SchemaGraph;
+
+/// Result of applying a dictionary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DictionaryReport {
+    /// Entries that matched an element and were applied.
+    pub applied: usize,
+    /// Entries whose path did not resolve.
+    pub unresolved: usize,
+    /// Entries that overwrote existing documentation.
+    pub overwritten: usize,
+}
+
+/// Parse `path = definition` lines and attach definitions to `graph`.
+///
+/// * Lines starting with `#` and blank lines are skipped.
+/// * Paths are slash-separated from the schema root
+///   (`flights/AIRPORT/ident`); a path may also omit the root segment.
+/// * By default existing documentation is kept; pass `overwrite` to
+///   replace it.
+pub fn apply_dictionary(
+    graph: &mut SchemaGraph,
+    dictionary: &str,
+    overwrite: bool,
+) -> Result<DictionaryReport, LoadError> {
+    let mut report = DictionaryReport::default();
+    for (lineno, raw) in dictionary.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (path, definition) = line.split_once('=').ok_or_else(|| {
+            LoadError::at("dictionary", lineno + 1, "expected 'path = definition'")
+        })?;
+        let path = path.trim();
+        let definition = definition.trim();
+        if definition.is_empty() {
+            return Err(LoadError::at("dictionary", lineno + 1, "empty definition"));
+        }
+        let root_name = graph.element(graph.root()).name.clone();
+        let full = if path.starts_with(&format!("{root_name}/")) || path == root_name {
+            path.to_owned()
+        } else {
+            format!("{root_name}/{path}")
+        };
+        match graph.find_by_path(&full) {
+            Some(id) => {
+                let el = graph.element_mut(id);
+                if el.documentation.is_some() {
+                    if overwrite {
+                        report.overwritten += 1;
+                        el.documentation = Some(definition.to_owned());
+                        report.applied += 1;
+                    }
+                } else {
+                    el.documentation = Some(definition.to_owned());
+                    report.applied += 1;
+                }
+            }
+            None => report.unresolved += 1,
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn graph() -> SchemaGraph {
+        SchemaBuilder::new("db", Metamodel::Relational)
+            .open("AIRPORT")
+            .attr("IDENT", DataType::VarChar(4))
+            .attr_doc("NAME", DataType::Text, "existing doc")
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn definitions_attach_by_path() {
+        let mut g = graph();
+        let report = apply_dictionary(
+            &mut g,
+            "# dictionary\nAIRPORT/IDENT = The ICAO identifier.\ndb/AIRPORT = An airport.\n",
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.unresolved, 0);
+        let ident = g.find_by_path("db/AIRPORT/IDENT").unwrap();
+        assert_eq!(g.element(ident).documentation.as_deref(), Some("The ICAO identifier."));
+    }
+
+    #[test]
+    fn existing_docs_kept_unless_overwrite() {
+        let mut g = graph();
+        let report =
+            apply_dictionary(&mut g, "AIRPORT/NAME = new definition", false).unwrap();
+        assert_eq!(report.applied, 0);
+        let name = g.find_by_path("db/AIRPORT/NAME").unwrap();
+        assert_eq!(g.element(name).documentation.as_deref(), Some("existing doc"));
+
+        let report = apply_dictionary(&mut g, "AIRPORT/NAME = new definition", true).unwrap();
+        assert_eq!(report.overwritten, 1);
+        assert_eq!(g.element(name).documentation.as_deref(), Some("new definition"));
+    }
+
+    #[test]
+    fn unresolved_paths_counted_not_fatal() {
+        let mut g = graph();
+        let report = apply_dictionary(&mut g, "NOPE/MISSING = x", false).unwrap();
+        assert_eq!(report.unresolved, 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        let mut g = graph();
+        let err = apply_dictionary(&mut g, "no equals sign here", false).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

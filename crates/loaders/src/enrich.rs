@@ -1,0 +1,246 @@
+//! Schema enrichment: inferring semantic domains from data samples.
+//!
+//! §2: "The standard approach is to store each coding scheme in its own
+//! relation, and each code as a string or integer value, sans
+//! documentation. … A better solution would be to define semantic
+//! domains for each coding scheme so that integration tools could more
+//! easily identify domain correspondences." And §3.1: "one may enrich
+//! the schemata, e.g., by defining coding schemes as domains".
+//!
+//! When sample values *are* available (they sometimes are, §2 merely
+//! warns they often are not), [`infer_domains`] detects low-cardinality
+//! code-like columns and attaches inferred [`Domain`]s, upgrading their
+//! data type to [`DataType::Coded`] so the domain match voter can use
+//! them.
+
+use iwb_model::{DataType, Domain, EdgeKind, ElementId, ElementKind, SchemaGraph};
+use std::collections::BTreeSet;
+
+/// Controls for domain inference.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceConfig {
+    /// Maximum number of distinct values for a column to count as a
+    /// coding scheme.
+    pub max_cardinality: usize,
+    /// Minimum number of observations before inferring anything.
+    pub min_samples: usize,
+    /// Maximum length of a value that still looks like a code.
+    pub max_code_length: usize,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            max_cardinality: 24,
+            min_samples: 8,
+            max_code_length: 8,
+        }
+    }
+}
+
+/// One inferred domain, before attachment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredDomain {
+    /// The attribute the domain was inferred for.
+    pub attribute: ElementId,
+    /// The inferred coding scheme (undocumented values — documentation
+    /// is exactly what was lost, per §2).
+    pub domain: Domain,
+}
+
+/// Inspect per-attribute value samples and propose domains. `samples`
+/// pairs attribute ids with their observed values.
+pub fn infer_domains(
+    graph: &SchemaGraph,
+    samples: &[(ElementId, Vec<String>)],
+    config: &InferenceConfig,
+) -> Vec<InferredDomain> {
+    let mut out = Vec::new();
+    for (attr, values) in samples {
+        if graph.element(*attr).kind != ElementKind::Attribute {
+            continue;
+        }
+        if values.len() < config.min_samples {
+            continue;
+        }
+        let distinct: BTreeSet<&String> = values.iter().collect();
+        if distinct.len() > config.max_cardinality || distinct.len() < 2 {
+            continue;
+        }
+        if !distinct.iter().all(|v| looks_like_code(v, config)) {
+            continue;
+        }
+        let mut domain = Domain::new(format!(
+            "{}-inferred",
+            graph.element(*attr).name.to_lowercase()
+        ));
+        domain.documentation = Some(format!(
+            "Coding scheme inferred from {} observations of {}.",
+            values.len(),
+            graph.name_path(*attr)
+        ));
+        for v in distinct {
+            domain.values.push(iwb_model::DomainValue::bare(v.clone()));
+        }
+        out.push(InferredDomain {
+            attribute: *attr,
+            domain,
+        });
+    }
+    out
+}
+
+/// Attach inferred domains to the schema: the domain node is added
+/// under the root, the attribute gains a `has-domain` edge and its type
+/// becomes `coded(...)`. Returns how many were attached.
+pub fn attach_inferred(graph: &mut SchemaGraph, inferred: &[InferredDomain]) -> usize {
+    let mut attached = 0;
+    for inf in inferred {
+        // Skip attributes that already reference a domain.
+        if graph
+            .cross_edges_from(inf.attribute)
+            .any(|e| e.kind == EdgeKind::HasDomain)
+        {
+            continue;
+        }
+        let dom = inf.domain.attach(graph);
+        graph.add_cross_edge(inf.attribute, EdgeKind::HasDomain, dom);
+        graph.element_mut(inf.attribute).data_type =
+            Some(DataType::Coded(inf.domain.name.clone()));
+        attached += 1;
+    }
+    attached
+}
+
+/// A value "looks like a code" when it is short and has no interior
+/// whitespace (ASP, CON, B747, 01, ACTIVE).
+fn looks_like_code(v: &str, config: &InferenceConfig) -> bool {
+    !v.is_empty()
+        && v.len() <= config.max_code_length
+        && !v.chars().any(char::is_whitespace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{Metamodel, SchemaBuilder};
+
+    fn schema() -> SchemaGraph {
+        SchemaBuilder::new("db", Metamodel::Relational)
+            .open("RUNWAY")
+            .attr("SFC_CD", DataType::VarChar(3))
+            .attr("REMARKS", DataType::Text)
+            .attr("LEN_FT", DataType::Integer)
+            .close()
+            .build()
+    }
+
+    fn samples(g: &SchemaGraph) -> Vec<(ElementId, Vec<String>)> {
+        let sfc = g.find_by_name("SFC_CD").unwrap();
+        let remarks = g.find_by_name("REMARKS").unwrap();
+        let len = g.find_by_name("LEN_FT").unwrap();
+        vec![
+            (
+                sfc,
+                ["ASP", "CON", "ASP", "GRS", "ASP", "CON", "ASP", "GRS", "CON"]
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            ),
+            (
+                remarks,
+                (0..10)
+                    .map(|i| format!("free text remark number {i} with spaces"))
+                    .collect(),
+            ),
+            (
+                len,
+                (0..10).map(|i| format!("{}", 5000 + i * 137)).collect(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn code_columns_are_detected_and_prose_is_not() {
+        let g = schema();
+        let inferred = infer_domains(&g, &samples(&g), &InferenceConfig::default());
+        assert_eq!(inferred.len(), 2, "SFC_CD and LEN_FT qualify by shape");
+        let sfc = g.find_by_name("SFC_CD").unwrap();
+        let d = inferred.iter().find(|i| i.attribute == sfc).unwrap();
+        assert_eq!(d.domain.values.len(), 3);
+        assert!(d.domain.contains("ASP"));
+    }
+
+    #[test]
+    fn attach_upgrades_type_and_links_domain() {
+        let mut g = schema();
+        let inferred = infer_domains(&g, &samples(&g), &InferenceConfig::default());
+        let n = attach_inferred(&mut g, &inferred);
+        assert_eq!(n, 2);
+        let sfc = g.find_by_name("SFC_CD").unwrap();
+        assert!(matches!(g.element(sfc).data_type, Some(DataType::Coded(_))));
+        assert!(g.cross_edges_from(sfc).any(|e| e.kind == EdgeKind::HasDomain));
+        assert!(iwb_model::validate(&g).is_empty());
+        // Re-attachment is idempotent.
+        assert_eq!(attach_inferred(&mut g, &inferred), 0);
+    }
+
+    #[test]
+    fn thresholds_guard_against_noise() {
+        let g = schema();
+        let sfc = g.find_by_name("SFC_CD").unwrap();
+        // Too few samples.
+        let few = vec![(sfc, vec!["ASP".to_string(), "CON".to_string()])];
+        assert!(infer_domains(&g, &few, &InferenceConfig::default()).is_empty());
+        // Single constant value is a default, not a scheme.
+        let constant = vec![(sfc, vec!["ASP".to_string(); 20])];
+        assert!(infer_domains(&g, &constant, &InferenceConfig::default()).is_empty());
+        // Too many distinct values → not a coding scheme.
+        let unique: Vec<String> = (0..100).map(|i| format!("V{i}")).collect();
+        let high_card = vec![(sfc, unique)];
+        assert!(infer_domains(&g, &high_card, &InferenceConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn inferred_domains_improve_matching() {
+        // Two schemata with cryptic attribute names but the same codes:
+        // without inference the names disagree; with inference the
+        // domain voter finds them.
+        use iwb_harmony::HarmonyEngine;
+        use std::collections::HashMap;
+        let build = |id: &str, attr: &str| {
+            SchemaBuilder::new(id, Metamodel::Relational)
+                .open("T")
+                .attr(attr, DataType::VarChar(3))
+                .close()
+                .build()
+        };
+        let mut s = build("a", "X1");
+        let mut t = build("b", "Z9");
+        let sx = s.find_by_name("X1").unwrap();
+        let tz = t.find_by_name("Z9").unwrap();
+        // Baseline: cryptic names, no domain evidence.
+        let before = HarmonyEngine::default()
+            .run(&s, &t, &HashMap::new())
+            .matrix
+            .get(sx, tz)
+            .value();
+        let codes: Vec<String> = ["ASP", "CON", "GRS", "ASP", "CON", "ASP", "GRS", "CON"]
+            .iter()
+            .map(|x| (*x).to_string())
+            .collect();
+        let inf_s = infer_domains(&s, &[(sx, codes.clone())], &InferenceConfig::default());
+        let inf_t = infer_domains(&t, &[(tz, codes)], &InferenceConfig::default());
+        attach_inferred(&mut s, &inf_s);
+        attach_inferred(&mut t, &inf_t);
+        let after = HarmonyEngine::default()
+            .run(&s, &t, &HashMap::new())
+            .matrix
+            .get(sx, tz)
+            .value();
+        assert!(
+            after > before + 0.3,
+            "inferred domains must lift the cryptic pair: {before} → {after}"
+        );
+    }
+}

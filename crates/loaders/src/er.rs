@@ -1,0 +1,443 @@
+//! Loader for an ERWin-like textual entity-relationship format.
+//!
+//! Harmony imports "entity-relationship schemata from ERWin, a popular
+//! modeling tool" (§4). ERWin's native file format is proprietary; this
+//! loader defines an equivalent textual form carrying the same
+//! information — entities, attributes with types and keys,
+//! relationships, and first-class semantic domains with documented
+//! values (the representation §2 advocates for coding schemes):
+//!
+//! ```text
+//! model flights "Flight tracking conceptual model."
+//!
+//! domain runway-type "Runway surface coding scheme." {
+//!   ASP "Asphalt surface"
+//!   CON "Concrete surface"
+//! }
+//!
+//! entity AIRPORT "An airport facility." {
+//!   ident : text key "The ICAO identifier."
+//!   name  : text "Official airport name."
+//! }
+//!
+//! entity RUNWAY "A runway at an airport." {
+//!   number  : text key "Runway designator."
+//!   surface : coded domain runway-type "Surface classification."
+//! }
+//!
+//! relationship HAS_RUNWAY connects AIRPORT, RUNWAY "An airport has runways."
+//! ```
+
+use crate::error::LoadError;
+use crate::loader::SchemaLoader;
+use iwb_model::{
+    DataType, Domain, EdgeKind, ElementId, ElementKind, Metamodel, SchemaElement, SchemaGraph,
+};
+use std::collections::HashMap;
+
+/// Loader for the textual ER format.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ErLoader;
+
+impl SchemaLoader for ErLoader {
+    fn format(&self) -> &'static str {
+        "er"
+    }
+
+    fn load(&self, text: &str, schema_id: &str) -> Result<SchemaGraph, LoadError> {
+        let tokens = lex(text)?;
+        let mut p = ErParser { tokens, pos: 0 };
+        let mut graph = SchemaGraph::new(schema_id, Metamodel::EntityRelationship);
+        let mut domains: HashMap<String, ElementId> = HashMap::new();
+        let mut entities: HashMap<String, ElementId> = HashMap::new();
+        let mut pending_connects: Vec<(ElementId, String)> = Vec::new();
+
+        while !p.done() {
+            if p.eat_word("model") {
+                let _name = p.word()?;
+                if let Some(doc) = p.maybe_string() {
+                    let root = graph.root();
+                    graph.element_mut(root).documentation = Some(doc);
+                }
+            } else if p.eat_word("domain") {
+                let name = p.word()?;
+                let mut domain = Domain::new(name.clone());
+                domain.documentation = p.maybe_string();
+                p.expect_sym('{')?;
+                while !p.eat_sym('}') {
+                    let code = p.word()?;
+                    match p.maybe_string() {
+                        Some(meaning) => domain = domain.with_value(code, meaning),
+                        None => domain.values.push(iwb_model::DomainValue::bare(code)),
+                    }
+                }
+                let id = domain.attach(&mut graph);
+                domains.insert(name, id);
+            } else if p.eat_word("entity") {
+                let name = p.word()?;
+                let mut node = SchemaElement::new(ElementKind::Entity, name.clone());
+                node.documentation = p.maybe_string();
+                let entity = graph.add_child(graph.root(), EdgeKind::ContainsEntity, node);
+                entities.insert(name.clone(), entity);
+                p.expect_sym('{')?;
+                let mut key_attrs: Vec<ElementId> = Vec::new();
+                while !p.eat_sym('}') {
+                    let attr_name = p.word()?;
+                    p.expect_sym(':')?;
+                    let type_word = p.word()?;
+                    let mut is_key = false;
+                    let mut domain_ref: Option<String> = None;
+                    let mut data_type = parse_type(&type_word);
+                    loop {
+                        if p.eat_word("key") {
+                            is_key = true;
+                        } else if p.eat_word("domain") {
+                            let d = p.word()?;
+                            data_type = DataType::Coded(d.clone());
+                            domain_ref = Some(d);
+                        } else {
+                            break;
+                        }
+                    }
+                    let mut attr = SchemaElement::new(ElementKind::Attribute, attr_name)
+                        .with_type(data_type);
+                    attr.documentation = p.maybe_string();
+                    let attr_id =
+                        graph.add_child(entity, EdgeKind::ContainsAttribute, attr);
+                    if is_key {
+                        key_attrs.push(attr_id);
+                    }
+                    if let Some(d) = domain_ref {
+                        let dom = domains.get(&d).copied().ok_or_else(|| {
+                            LoadError::new("er", format!("attribute references unknown domain {d}"))
+                        })?;
+                        graph.add_cross_edge(attr_id, EdgeKind::HasDomain, dom);
+                    }
+                }
+                if !key_attrs.is_empty() {
+                    let key = graph.add_child(
+                        entity,
+                        EdgeKind::ContainsKey,
+                        SchemaElement::new(ElementKind::Key, format!("pk_{name}")),
+                    );
+                    for a in key_attrs {
+                        graph.add_cross_edge(key, EdgeKind::KeyAttribute, a);
+                    }
+                }
+            } else if p.eat_word("relationship") {
+                let name = p.word()?;
+                let mut node = SchemaElement::new(ElementKind::Relationship, name);
+                // Doc can precede or follow the connects clause.
+                node.documentation = p.maybe_string();
+                let rel =
+                    graph.add_child(graph.root(), EdgeKind::ContainsRelationship, node);
+                p.expect_word("connects")?;
+                loop {
+                    let target = p.word()?;
+                    pending_connects.push((rel, target));
+                    if !p.eat_sym(',') {
+                        break;
+                    }
+                }
+                if let Some(doc) = p.maybe_string() {
+                    graph.element_mut(rel).documentation = Some(doc);
+                }
+            } else {
+                return Err(LoadError::new(
+                    "er",
+                    format!("unexpected token {:?}", p.peek_text()),
+                ));
+            }
+        }
+
+        for (rel, target) in pending_connects {
+            let entity = entities.get(&target).copied().ok_or_else(|| {
+                LoadError::new("er", format!("relationship connects unknown entity {target}"))
+            })?;
+            graph.add_cross_edge(rel, EdgeKind::Connects, entity);
+        }
+        Ok(graph)
+    }
+}
+
+fn parse_type(word: &str) -> DataType {
+    if let Some(n) = word.strip_prefix("varchar-").and_then(|s| s.parse().ok()) {
+        return DataType::VarChar(n);
+    }
+    match word {
+        "text" | "string" => DataType::Text,
+        "integer" | "int" => DataType::Integer,
+        "decimal" | "number" => DataType::Decimal,
+        "boolean" => DataType::Boolean,
+        "date" => DataType::Date,
+        "datetime" => DataType::DateTime,
+        "coded" => DataType::Coded(String::new()), // refined by `domain`
+        other => DataType::Other(other.to_owned()),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Sym(char),
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, LoadError> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '#' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(i) {
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some('\\') if chars.get(i + 1) == Some(&'"') => {
+                        s.push('"');
+                        i += 2;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                    None => return Err(LoadError::at("er", line, "unterminated string")),
+                }
+            }
+            out.push(Tok::Str(s));
+        } else if c.is_alphanumeric() || c == '_' || c == '-' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+            {
+                i += 1;
+            }
+            out.push(Tok::Word(chars[start..i].iter().collect()));
+        } else {
+            out.push(Tok::Sym(c));
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+struct ErParser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl ErParser {
+    fn done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_text(&self) -> String {
+        match self.tokens.get(self.pos) {
+            Some(Tok::Word(w)) => w.clone(),
+            Some(Tok::Str(s)) => format!("\"{s}\""),
+            Some(Tok::Sym(c)) => c.to_string(),
+            None => "<eof>".into(),
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if let Some(Tok::Word(x)) = self.tokens.get(self.pos) {
+            if x == w {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), LoadError> {
+        if self.eat_word(w) {
+            Ok(())
+        } else {
+            Err(LoadError::new(
+                "er",
+                format!("expected {w:?}, found {}", self.peek_text()),
+            ))
+        }
+    }
+
+    fn word(&mut self) -> Result<String, LoadError> {
+        match self.tokens.get(self.pos) {
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(LoadError::new(
+                "er",
+                format!("expected a word, found {}", self.peek_text()),
+            )),
+        }
+    }
+
+    fn maybe_string(&mut self) -> Option<String> {
+        if let Some(Tok::Str(s)) = self.tokens.get(self.pos) {
+            let s = s.clone();
+            self.pos += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if let Some(Tok::Sym(s)) = self.tokens.get(self.pos) {
+            if *s == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), LoadError> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            Err(LoadError::new(
+                "er",
+                format!("expected {c:?}, found {}", self.peek_text()),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = r#"
+        # Air traffic conceptual model
+        model flights "Flight tracking conceptual model."
+
+        domain runway-type "Runway surface coding scheme." {
+          ASP "Asphalt surface"
+          CON "Concrete surface"
+          GRS "Grass or turf surface"
+        }
+
+        entity AIRPORT "An airport facility." {
+          ident : text key "The ICAO identifier."
+          name  : text "Official airport name."
+          elevation : integer "Field elevation in feet."
+        }
+
+        entity RUNWAY "A runway at an airport." {
+          number  : text key "Runway designator."
+          surface : coded domain runway-type "Surface classification."
+        }
+
+        relationship HAS_RUNWAY connects AIRPORT, RUNWAY "An airport has runways."
+    "#;
+
+    #[test]
+    fn entities_and_attributes_load() {
+        let g = ErLoader.load(MODEL, "flights").unwrap();
+        assert_eq!(g.metamodel(), Metamodel::EntityRelationship);
+        let airport = g.find_by_path("flights/AIRPORT").unwrap();
+        assert_eq!(g.element(airport).kind, ElementKind::Entity);
+        assert_eq!(g.depth(airport), 1);
+        let ident = g.find_by_path("flights/AIRPORT/ident").unwrap();
+        assert_eq!(g.depth(ident), 2);
+        assert!(g
+            .element(ident)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("ICAO"));
+        assert!(iwb_model::validate(&g).is_empty());
+    }
+
+    #[test]
+    fn domains_attach_with_documented_values() {
+        let g = ErLoader.load(MODEL, "flights").unwrap();
+        let surface = g.find_by_path("flights/RUNWAY/surface").unwrap();
+        assert_eq!(
+            g.element(surface).data_type,
+            Some(DataType::Coded("runway-type".into()))
+        );
+        let edge = g.cross_edges_from(surface).next().unwrap();
+        assert_eq!(edge.kind, EdgeKind::HasDomain);
+        let dom = Domain::detach(&g, edge.to).unwrap();
+        assert_eq!(dom.values.len(), 3);
+        assert_eq!(dom.value("GRS").unwrap().meaning.as_deref(), Some("Grass or turf surface"));
+    }
+
+    #[test]
+    fn keys_are_materialised() {
+        let g = ErLoader.load(MODEL, "flights").unwrap();
+        let pk = g.find_by_name("pk_AIRPORT").unwrap();
+        assert_eq!(g.element(pk).kind, ElementKind::Key);
+        assert_eq!(g.cross_edges_from(pk).count(), 1);
+    }
+
+    #[test]
+    fn relationships_connect_entities() {
+        let g = ErLoader.load(MODEL, "flights").unwrap();
+        let rel = g.find_by_name("HAS_RUNWAY").unwrap();
+        assert_eq!(g.element(rel).kind, ElementKind::Relationship);
+        let targets: Vec<_> = g.cross_edges_from(rel).map(|e| e.to).collect();
+        assert_eq!(targets.len(), 2);
+        assert!(g
+            .element(rel)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("has runways"));
+    }
+
+    #[test]
+    fn model_doc_lands_on_root() {
+        let g = ErLoader.load(MODEL, "flights").unwrap();
+        assert!(g
+            .element(g.root())
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("conceptual model"));
+    }
+
+    #[test]
+    fn unknown_domain_is_an_error() {
+        let bad = r#"entity E { a : coded domain missing "doc" }"#;
+        let err = ErLoader.load(bad, "s").unwrap_err();
+        assert!(err.message.contains("unknown domain"));
+    }
+
+    #[test]
+    fn unknown_entity_in_connects_is_an_error() {
+        let bad = "entity A { x : text }\nrelationship R connects A, GHOST";
+        let err = ErLoader.load(bad, "s").unwrap_err();
+        assert!(err.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn comments_and_bare_domain_values() {
+        let src = "# comment\ndomain d { A B C }\nentity E { x : coded domain d }";
+        let g = ErLoader.load(src, "s").unwrap();
+        let dom_id = g.ids_of_kind(ElementKind::Domain)[0];
+        let dom = Domain::detach(&g, dom_id).unwrap();
+        assert_eq!(dom.values.len(), 3);
+        assert!(dom.values.iter().all(|v| v.meaning.is_none()));
+    }
+}

@@ -1,0 +1,56 @@
+//! Loader error type.
+
+use std::fmt;
+
+/// A failure while parsing a schema artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// The source format ("xsd", "sql-ddl", "er", "xml").
+    pub format: &'static str,
+    /// 1-based line where the problem was detected (0 when unknown).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LoadError {
+    /// Construct an error with a known line.
+    pub fn at(format: &'static str, line: usize, message: impl Into<String>) -> Self {
+        LoadError {
+            format,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Construct an error without location information.
+    pub fn new(format: &'static str, message: impl Into<String>) -> Self {
+        Self::at(format, 0, message)
+    }
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} load error at line {}: {}", self.format, self.line, self.message)
+        } else {
+            write!(f, "{} load error: {}", self.format, self.message)
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(
+            LoadError::at("xsd", 3, "boom").to_string(),
+            "xsd load error at line 3: boom"
+        );
+        assert_eq!(LoadError::new("er", "boom").to_string(), "er load error: boom");
+    }
+}

@@ -1,0 +1,374 @@
+//! Schema exporters: canonical graphs back to loadable text.
+//!
+//! The derivation path (task 2's "the target schema may be derived from
+//! the correspondences") produces schema *graphs*; real systems need
+//! schema *files*. These exporters write a graph back out as the ER
+//! text format or as SQL DDL — both round-trip through the
+//! corresponding loaders, so a derived target can be saved, shared, and
+//! re-imported by another workbench instance.
+
+use iwb_model::{DataType, Domain, EdgeKind, ElementKind, SchemaGraph};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Render a graph in the ER text format accepted by
+/// [`crate::ErLoader`]. Works for any metamodel whose containers sit at
+/// depth 1 (relational tables export as entities).
+pub fn to_er_text(graph: &SchemaGraph) -> String {
+    let mut out = String::new();
+    let root = graph.element(graph.root());
+    match &root.documentation {
+        Some(doc) => {
+            let _ = writeln!(out, "model {} \"{}\"", graph.id().as_str(), escape(doc));
+        }
+        None => {
+            let _ = writeln!(out, "model {}", graph.id().as_str());
+        }
+    }
+    let _ = writeln!(out);
+
+    // Domains first (the loader requires them before use).
+    for dom_id in graph.ids_of_kind(ElementKind::Domain) {
+        let Some(domain) = Domain::detach(graph, dom_id) else { continue };
+        match &domain.documentation {
+            Some(doc) => {
+                let _ = writeln!(out, "domain {} \"{}\" {{", domain.name, escape(doc));
+            }
+            None => {
+                let _ = writeln!(out, "domain {} {{", domain.name);
+            }
+        }
+        for v in &domain.values {
+            match &v.meaning {
+                Some(m) => {
+                    let _ = writeln!(out, "  {} \"{}\"", v.code, escape(m));
+                }
+                None => {
+                    let _ = writeln!(out, "  {}", v.code);
+                }
+            }
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+
+    // Entities (tables and XML containers export as entities).
+    for &(_, container) in graph.children(graph.root()) {
+        let el = graph.element(container);
+        if !el.kind.is_container() || el.kind == ElementKind::Domain {
+            continue;
+        }
+        if el.kind == ElementKind::Relationship {
+            continue; // emitted after entities
+        }
+        match &el.documentation {
+            Some(doc) => {
+                let _ = writeln!(out, "entity {} \"{}\" {{", el.name, escape(doc));
+            }
+            None => {
+                let _ = writeln!(out, "entity {} {{", el.name);
+            }
+        }
+        // Key participants of this container.
+        let key_targets: Vec<_> = graph
+            .children(container)
+            .iter()
+            .filter(|(k, _)| *k == EdgeKind::ContainsKey)
+            .flat_map(|&(_, key)| graph.cross_edges_from(key).map(|e| e.to))
+            .collect();
+        for &(edge, child) in graph.children(container) {
+            if edge != EdgeKind::ContainsAttribute {
+                continue;
+            }
+            let attr = graph.element(child);
+            let type_word = er_type_word(attr.data_type.as_ref());
+            let _ = write!(out, "  {} : {}", attr.name, type_word);
+            if key_targets.contains(&child) {
+                let _ = write!(out, " key");
+            }
+            if let Some(DataType::Coded(_)) = &attr.data_type {
+                if let Some(dom_edge) = graph
+                    .cross_edges_from(child)
+                    .find(|e| e.kind == EdgeKind::HasDomain)
+                {
+                    let _ = write!(out, " domain {}", graph.element(dom_edge.to).name);
+                }
+            }
+            if let Some(doc) = &attr.documentation {
+                let _ = write!(out, " \"{}\"", escape(doc));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+
+    // Relationships.
+    for rel_id in graph.ids_of_kind(ElementKind::Relationship) {
+        let rel = graph.element(rel_id);
+        let connects: Vec<&str> = graph
+            .cross_edges_from(rel_id)
+            .filter(|e| e.kind == EdgeKind::Connects)
+            .map(|e| graph.element(e.to).name.as_str())
+            .collect();
+        if connects.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "relationship {} connects {}", rel.name, connects.join(", "));
+        if let Some(doc) = &rel.documentation {
+            let _ = write!(out, " \"{}\"", escape(doc));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render a relational graph as SQL DDL accepted by
+/// [`crate::SqlDdlLoader`] (tables, column types, PRIMARY KEY, foreign
+/// keys, and `COMMENT ON` documentation). Domains are not expressible
+/// in plain DDL (§2's exact complaint) and are dropped with their
+/// attributes downgraded to their base type.
+pub fn to_sql_ddl(graph: &SchemaGraph) -> String {
+    let mut out = String::new();
+    let mut comments = String::new();
+    // Map each attribute id to (table name, column name) for FK emission.
+    let mut column_of: BTreeMap<usize, (String, String)> = BTreeMap::new();
+    for &(_, table_id) in graph.children(graph.root()) {
+        let table = graph.element(table_id);
+        if !table.kind.is_container() || table.kind == ElementKind::Domain {
+            continue;
+        }
+        for &(edge, col) in graph.children(table_id) {
+            if edge == EdgeKind::ContainsAttribute {
+                column_of.insert(
+                    col.index(),
+                    (table.name.clone(), graph.element(col).name.clone()),
+                );
+            }
+        }
+    }
+
+    for &(_, table_id) in graph.children(graph.root()) {
+        let table = graph.element(table_id);
+        if !table.kind.is_container() || table.kind == ElementKind::Domain {
+            continue;
+        }
+        let _ = writeln!(out, "CREATE TABLE {} (", table.name);
+        let mut lines: Vec<String> = Vec::new();
+        for &(edge, col_id) in graph.children(table_id) {
+            if edge != EdgeKind::ContainsAttribute {
+                continue;
+            }
+            let col = graph.element(col_id);
+            let mut line = format!("    {} {}", col.name, sql_type(col.data_type.as_ref()));
+            if col.annotations.flag("not-null") == Some(true) {
+                line.push_str(" NOT NULL");
+            }
+            for fk in graph
+                .cross_edges_from(col_id)
+                .filter(|e| e.kind == EdgeKind::References)
+            {
+                if let Some((t, c)) = column_of.get(&fk.to.index()) {
+                    let _ = write!(line, " REFERENCES {t} ({c})");
+                }
+            }
+            lines.push(line);
+            if let Some(doc) = &col.documentation {
+                let _ = writeln!(
+                    comments,
+                    "COMMENT ON COLUMN {}.{} IS '{}';",
+                    table.name,
+                    col.name,
+                    doc.replace('\'', "''")
+                );
+            }
+        }
+        // Keys.
+        for &(edge, key_id) in graph.children(table_id) {
+            if edge != EdgeKind::ContainsKey {
+                continue;
+            }
+            let cols: Vec<&str> = graph
+                .cross_edges_from(key_id)
+                .filter(|e| e.kind == EdgeKind::KeyAttribute)
+                .map(|e| graph.element(e.to).name.as_str())
+                .collect();
+            if !cols.is_empty() {
+                lines.push(format!("    PRIMARY KEY ({})", cols.join(", ")));
+            }
+        }
+        let _ = writeln!(out, "{}", lines.join(",\n"));
+        let _ = writeln!(out, ");");
+        if let Some(doc) = &table.documentation {
+            let _ = writeln!(
+                comments,
+                "COMMENT ON TABLE {} IS '{}';",
+                table.name,
+                doc.replace('\'', "''")
+            );
+        }
+    }
+    out.push_str(&comments);
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"").replace('\n', " ")
+}
+
+fn er_type_word(dt: Option<&DataType>) -> String {
+    match dt {
+        Some(DataType::Integer) => "integer".into(),
+        Some(DataType::Decimal) => "decimal".into(),
+        Some(DataType::Boolean) => "boolean".into(),
+        Some(DataType::Date) => "date".into(),
+        Some(DataType::DateTime) => "datetime".into(),
+        Some(DataType::Coded(_)) => "coded".into(),
+        Some(DataType::VarChar(n)) => format!("varchar-{n}"),
+        _ => "text".into(),
+    }
+}
+
+fn sql_type(dt: Option<&DataType>) -> String {
+    match dt {
+        Some(DataType::Integer) => "INT".into(),
+        Some(DataType::Decimal) => "DECIMAL(18,4)".into(),
+        Some(DataType::Boolean) => "BOOLEAN".into(),
+        Some(DataType::Date) => "DATE".into(),
+        Some(DataType::DateTime) => "TIMESTAMP".into(),
+        Some(DataType::VarChar(n)) => format!("VARCHAR({n})"),
+        // Coded columns are stored as short strings — the §2 lament.
+        Some(DataType::Coded(_)) => "VARCHAR(16)".into(),
+        _ => "TEXT".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ErLoader, SchemaLoader, SqlDdlLoader};
+    use iwb_model::{Metamodel, SchemaBuilder};
+
+    const ER: &str = r#"
+        model flights "Flight model."
+        domain sfc "Surface codes." { ASP "Asphalt" CON "Concrete" }
+        entity AIRPORT "An airport." {
+          ident : text key "ICAO identifier."
+          elevation : integer
+        }
+        entity RUNWAY {
+          number : text key
+          surface : coded domain sfc "Surface class."
+        }
+        relationship HAS_RUNWAY connects AIRPORT, RUNWAY "Airports have runways."
+    "#;
+
+    #[test]
+    fn er_round_trip_preserves_structure() {
+        let g1 = ErLoader.load(ER, "flights").unwrap();
+        let text = to_er_text(&g1);
+        let g2 = ErLoader.load(&text, "flights").unwrap();
+        assert_eq!(g1.len(), g2.len(), "element counts differ:\n{text}");
+        for (id, el) in g1.iter() {
+            let path = g1.name_path(id);
+            let other = g2.find_by_path(&path).unwrap_or_else(|| panic!("missing {path}"));
+            let o = g2.element(other);
+            assert_eq!(el.kind, o.kind, "{path}");
+            assert_eq!(el.data_type, o.data_type, "{path}");
+            assert_eq!(el.documentation, o.documentation, "{path}");
+        }
+        assert_eq!(g1.cross_edges().len(), g2.cross_edges().len());
+    }
+
+    #[test]
+    fn sql_round_trip_preserves_structure() {
+        let g1 = SqlDdlLoader
+            .load(
+                "CREATE TABLE A (ID INT PRIMARY KEY, NAME VARCHAR(40) NOT NULL);
+                 CREATE TABLE B (A_ID INT REFERENCES A (ID), NOTE TEXT);
+                 COMMENT ON TABLE A IS 'Table A.';
+                 COMMENT ON COLUMN A.NAME IS 'It''s a name.';",
+                "db",
+            )
+            .unwrap();
+        let ddl = to_sql_ddl(&g1);
+        let g2 = SqlDdlLoader.load(&ddl, "db").unwrap();
+        assert_eq!(g1.len(), g2.len(), "{ddl}");
+        let name = g2.find_by_path("db/A/NAME").unwrap();
+        assert_eq!(g2.element(name).documentation.as_deref(), Some("It's a name."));
+        assert_eq!(g2.element(name).annotations.flag("not-null"), Some(true));
+        let fk = g2.find_by_path("db/B/A_ID").unwrap();
+        assert_eq!(
+            g2.cross_edges_from(fk)
+                .filter(|e| e.kind == EdgeKind::References)
+                .count(),
+            1
+        );
+        // Keys survive.
+        assert!(g2.find_by_name("pk_A").is_some());
+    }
+
+    #[test]
+    fn derived_targets_are_exportable() {
+        // A graph built by hand (as derive_target would) exports cleanly.
+        let g = SchemaBuilder::new("merged", Metamodel::Relational)
+            .open("CUSTOMER")
+            .doc("Merged customer/client entity.")
+            .attr_doc("ID", DataType::Integer, "Unique identifier.")
+            .attr("TAX_CODE", DataType::VarChar(8))
+            .key("pk", &["ID"])
+            .close()
+            .build();
+        let ddl = to_sql_ddl(&g);
+        assert!(ddl.contains("CREATE TABLE CUSTOMER"));
+        assert!(ddl.contains("PRIMARY KEY (ID)"));
+        assert!(ddl.contains("COMMENT ON TABLE CUSTOMER"));
+        let er = to_er_text(&g);
+        assert!(er.contains("entity CUSTOMER"));
+        assert!(er.contains("ID : integer key"));
+        // Both forms reload.
+        assert!(SqlDdlLoader.load(&ddl, "merged").is_ok());
+        assert!(ErLoader.load(&er, "merged").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod registry_round_trip {
+    use super::*;
+    use crate::{ErLoader, SchemaLoader};
+    use iwb_registry::{generate_registry, GeneratorConfig};
+
+    /// Every registry-generated ER model survives export → reload with
+    /// identical paths, types and documentation.
+    #[test]
+    fn generated_models_round_trip() {
+        let registry = generate_registry(GeneratorConfig::scaled(31, 0.002));
+        for g1 in &registry.models {
+            let text = to_er_text(g1);
+            let g2 = ErLoader
+                .load(&text, g1.id().as_str())
+                .unwrap_or_else(|e| panic!("reload of {} failed: {e}", g1.id()));
+            assert_eq!(g1.len(), g2.len(), "model {}", g1.id());
+            for (id, el) in g1.iter() {
+                // Key node names are loader-generated (`pk` vs
+                // `pk_ENTITY`); compare them by participant set below.
+                if el.kind == ElementKind::Key {
+                    continue;
+                }
+                let path = g1.name_path(id);
+                let other = g2
+                    .find_by_path(&path)
+                    .unwrap_or_else(|| panic!("missing {path}"));
+                assert_eq!(el.data_type, g2.element(other).data_type, "{path}");
+                assert_eq!(el.documentation, g2.element(other).documentation, "{path}");
+            }
+            // Key participants are preserved per entity.
+            let key_participants = |g: &SchemaGraph| -> std::collections::BTreeSet<String> {
+                g.cross_edges()
+                    .iter()
+                    .filter(|e| e.kind == EdgeKind::KeyAttribute)
+                    .map(|e| g.name_path(e.to))
+                    .collect()
+            };
+            assert_eq!(key_participants(g1), key_participants(&g2), "model {}", g1.id());
+        }
+    }
+}

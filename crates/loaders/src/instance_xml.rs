@@ -1,0 +1,141 @@
+//! Importing XML *instance documents* into the execution data model.
+//!
+//! §5.3: "At any point this code can be tested on sample documents."
+//! Sample documents arrive as XML text; this bridge parses them with
+//! the in-tree XML parser and converts them into the
+//! [`iwb_mapper::Node`] trees the mapping engine executes over. Leaf
+//! text is auto-typed: numerals become numbers, `true`/`false` become
+//! booleans, everything else stays text.
+
+use crate::error::LoadError;
+use crate::xml::{parse, XmlNode};
+use iwb_mapper::{Node, Value};
+
+/// Parse an XML document into an instance tree.
+pub fn parse_instance(text: &str) -> Result<Node, LoadError> {
+    let root = parse(text)?;
+    Ok(convert(&root))
+}
+
+fn convert(x: &XmlNode) -> Node {
+    let mut node = Node::elem(x.local_name());
+    // XML attributes become leaf children (the canonical graph treats
+    // them like sub-elements anyway).
+    for (k, v) in &x.attributes {
+        if k.starts_with("xmlns") {
+            continue;
+        }
+        node.children.push(Node::leaf(k.clone(), type_value(v)));
+    }
+    for c in &x.children {
+        node.children.push(convert(c));
+    }
+    if node.children.is_empty() && !x.text.is_empty() {
+        node.value = Some(type_value(&x.text));
+    }
+    node
+}
+
+/// Auto-type a lexical value. Zero-padded tokens ("007", "04L") stay
+/// text — they are almost always codes, not quantities.
+fn type_value(s: &str) -> Value {
+    let t = s.trim();
+    if t.eq_ignore_ascii_case("true") {
+        return Value::Bool(true);
+    }
+    if t.eq_ignore_ascii_case("false") {
+        return Value::Bool(false);
+    }
+    let zero_padded = t.len() > 1 && t.starts_with('0') && !t.starts_with("0.");
+    if !zero_padded {
+        if let Ok(n) = t.parse::<f64>() {
+            if n.is_finite() {
+                return Value::Num(n);
+            }
+        }
+    }
+    Value::Str(t.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purchase_order_parses_and_types() {
+        let doc = parse_instance(
+            r#"<purchaseOrder>
+                 <shipTo country="US">
+                   <firstName>Ada</firstName>
+                   <lastName>Lovelace</lastName>
+                   <subtotal>100.5</subtotal>
+                   <expedite>true</expedite>
+                 </shipTo>
+               </purchaseOrder>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.name, "purchaseOrder");
+        assert_eq!(doc.value_at("shipTo/firstName"), Value::from("Ada"));
+        assert_eq!(doc.value_at("shipTo/subtotal").as_num(), Some(100.5));
+        assert_eq!(doc.value_at("shipTo/expedite"), Value::Bool(true));
+        assert_eq!(doc.value_at("shipTo/country"), Value::from("US"));
+    }
+
+    #[test]
+    fn codes_with_leading_zeros_stay_text() {
+        let doc = parse_instance("<r><rwy>04L</rwy><code>007</code><n>42</n></r>").unwrap();
+        assert_eq!(doc.value_at("rwy"), Value::from("04L"));
+        assert_eq!(doc.value_at("code"), Value::from("007"));
+        assert_eq!(doc.value_at("n").as_num(), Some(42.0));
+    }
+
+    #[test]
+    fn repeated_elements_become_repeated_children() {
+        let doc = parse_instance("<db><row><x>1</x></row><row><x>2</x></row></db>").unwrap();
+        assert_eq!(doc.children_named("row").count(), 2);
+    }
+
+    #[test]
+    fn namespaces_are_stripped_and_xmlns_dropped() {
+        let doc = parse_instance(
+            r#"<po:order xmlns:po="http://example.org"><po:total>5</po:total></po:order>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.name, "order");
+        assert_eq!(doc.value_at("total").as_num(), Some(5.0));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(parse_instance("<broken").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_mapping_execution() {
+        use iwb_mapper::logical::AttrRule;
+        use iwb_mapper::{
+            execute, parse_expr, AttributeTransformation, EntityMapping, EntityRule,
+            LogicalMapping,
+        };
+        let doc = parse_instance(
+            "<po><shipTo><firstName>Ada</firstName><subtotal>100</subtotal></shipTo></po>",
+        )
+        .unwrap();
+        let mapping = LogicalMapping::new("invoice").with_rule(
+            EntityRule::new(
+                "info",
+                EntityMapping::Direct {
+                    source: "shipTo".into(),
+                },
+            )
+            .with_attr(AttrRule::new(
+                "total",
+                AttributeTransformation::Scalar(
+                    parse_expr("data($src/subtotal) * 1.05").unwrap(),
+                ),
+            )),
+        );
+        let out = execute(&mapping, &doc).unwrap();
+        assert_eq!(out.child("info").unwrap().value_at("total").as_num(), Some(105.0));
+    }
+}

@@ -1,0 +1,41 @@
+//! # iwb-loaders — schema preparation tools
+//!
+//! Loaders implement tasks 1–2 of the paper's task model (§3.1): they
+//! "parse a schema from a file, database or metadata repository
+//! (including ancillary information such as definitions from a data
+//! dictionary) into the internal representation used by the IB" (§5.2.1).
+//!
+//! Three concrete loaders cover the formats Harmony supports (§4: "XML
+//! schemata, entity-relationship schemata from ERWin … and will soon
+//! support relational schemata"):
+//!
+//! * [`xsd`] — an XML Schema subset, over the hand-written XML parser in
+//!   [`xml`];
+//! * [`sqlddl`] — SQL `CREATE TABLE` DDL with `COMMENT ON` documentation;
+//! * [`er`] — a textual ERWin-like entity-relationship format with
+//!   first-class domains (coding schemes).
+//!
+//! [`dictionary`] enriches a loaded schema with definitions from a data
+//! dictionary sidecar; [`loader`] defines the common trait and a registry
+//! keyed by format name.
+
+pub mod dictionary;
+pub mod enrich;
+pub mod er;
+pub mod error;
+pub mod export;
+pub mod instance_xml;
+pub mod loader;
+pub mod sqlddl;
+pub mod xml;
+pub mod xsd;
+
+pub use dictionary::apply_dictionary;
+pub use enrich::{attach_inferred, infer_domains, InferenceConfig};
+pub use er::ErLoader;
+pub use error::LoadError;
+pub use export::{to_er_text, to_sql_ddl};
+pub use instance_xml::parse_instance;
+pub use loader::{LoaderRegistry, SchemaLoader};
+pub use sqlddl::SqlDdlLoader;
+pub use xsd::XsdLoader;

@@ -1,0 +1,162 @@
+//! The common loader trait and format registry.
+//!
+//! §5.2.1: loaders "parse a schema from a file, database or metadata
+//! repository … into the internal representation used by the IB". Every
+//! concrete loader implements [`SchemaLoader`]; the workbench looks
+//! loaders up by format name (or file extension) in a [`LoaderRegistry`].
+
+use crate::error::LoadError;
+use iwb_model::SchemaGraph;
+use std::collections::BTreeMap;
+
+/// A schema import tool (task 1/2 of the task model).
+pub trait SchemaLoader {
+    /// Short format name ("xsd", "sql-ddl", "er").
+    fn format(&self) -> &'static str;
+
+    /// Parse `text` into a canonical schema graph with the given id.
+    fn load(&self, text: &str, schema_id: &str) -> Result<SchemaGraph, LoadError>;
+
+    /// Validate after loading; the default implementation runs the model
+    /// invariant checks and fails on the first violation.
+    fn load_validated(&self, text: &str, schema_id: &str) -> Result<SchemaGraph, LoadError> {
+        let graph = self.load(text, schema_id)?;
+        if let Some(err) = iwb_model::validate(&graph).into_iter().next() {
+            return Err(LoadError::new(self.format(), err.to_string()));
+        }
+        Ok(graph)
+    }
+}
+
+/// A registry of loaders keyed by format name and file extension.
+///
+/// # Examples
+///
+/// ```
+/// use iwb_loaders::LoaderRegistry;
+///
+/// let registry = LoaderRegistry::with_builtin();
+/// let graph = registry
+///     .load_named("models/flights.er", r#"entity AIRPORT { ident : text key }"#)
+///     .unwrap();
+/// assert_eq!(graph.id().as_str(), "flights");
+/// assert!(graph.find_by_path("flights/AIRPORT/ident").is_some());
+/// ```
+#[derive(Default)]
+pub struct LoaderRegistry {
+    by_format: BTreeMap<&'static str, Box<dyn SchemaLoader + Send + Sync>>,
+    by_extension: BTreeMap<String, &'static str>,
+}
+
+impl LoaderRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry with the three built-in loaders, with conventional
+    /// extensions (`.xsd`, `.sql`/`.ddl`, `.er`).
+    pub fn with_builtin() -> Self {
+        let mut r = Self::new();
+        r.register(crate::xsd::XsdLoader, &["xsd"]);
+        r.register(crate::sqlddl::SqlDdlLoader, &["sql", "ddl"]);
+        r.register(crate::er::ErLoader, &["er"]);
+        r
+    }
+
+    /// Register a loader and map extensions to it.
+    pub fn register(
+        &mut self,
+        loader: impl SchemaLoader + Send + Sync + 'static,
+        extensions: &[&str],
+    ) {
+        let format = loader.format();
+        for ext in extensions {
+            self.by_extension.insert((*ext).to_lowercase(), format);
+        }
+        self.by_format.insert(format, Box::new(loader));
+    }
+
+    /// Look up by format name.
+    pub fn by_format(&self, format: &str) -> Option<&(dyn SchemaLoader + Send + Sync)> {
+        self.by_format.get(format).map(|b| b.as_ref())
+    }
+
+    /// Look up by file extension (case-insensitive, no dot).
+    pub fn by_extension(&self, ext: &str) -> Option<&(dyn SchemaLoader + Send + Sync)> {
+        let format = self.by_extension.get(&ext.to_lowercase())?;
+        self.by_format(format)
+    }
+
+    /// Registered format names.
+    pub fn formats(&self) -> Vec<&'static str> {
+        self.by_format.keys().copied().collect()
+    }
+
+    /// Convenience: pick the loader from the file name's extension and
+    /// load, deriving the schema id from the file stem.
+    pub fn load_named(&self, file_name: &str, text: &str) -> Result<SchemaGraph, LoadError> {
+        let (stem, ext) = file_name
+            .rsplit_once('.')
+            .ok_or_else(|| LoadError::new("registry", format!("no extension in {file_name}")))?;
+        let loader = self.by_extension(ext).ok_or_else(|| {
+            LoadError::new("registry", format!("no loader registered for .{ext}"))
+        })?;
+        let id = stem.rsplit('/').next().unwrap_or(stem);
+        loader.load_validated(text, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_three_formats() {
+        let r = LoaderRegistry::with_builtin();
+        assert_eq!(r.formats(), vec!["er", "sql-ddl", "xsd"]);
+        assert!(r.by_format("xsd").is_some());
+        assert!(r.by_extension("SQL").is_some());
+        assert!(r.by_extension("ddl").is_some());
+        assert!(r.by_format("json").is_none());
+    }
+
+    #[test]
+    fn load_named_dispatches_on_extension() {
+        let r = LoaderRegistry::with_builtin();
+        let g = r
+            .load_named("models/flights.er", "entity A { x : text }")
+            .unwrap();
+        assert_eq!(g.id().as_str(), "flights");
+        assert!(g.find_by_path("flights/A/x").is_some());
+    }
+
+    #[test]
+    fn load_named_rejects_unknown_extension() {
+        let r = LoaderRegistry::with_builtin();
+        assert!(r.load_named("x.json", "{}").is_err());
+        assert!(r.load_named("noext", "").is_err());
+    }
+
+    #[test]
+    fn load_validated_reports_model_violations() {
+        struct BadLoader;
+        impl SchemaLoader for BadLoader {
+            fn format(&self) -> &'static str {
+                "bad"
+            }
+            fn load(&self, _: &str, id: &str) -> Result<SchemaGraph, LoadError> {
+                use iwb_model::*;
+                let mut g = SchemaGraph::new(id, Metamodel::Xml);
+                g.add_child(
+                    g.root(),
+                    EdgeKind::ContainsElement,
+                    SchemaElement::new(ElementKind::XmlElement, "  "),
+                );
+                Ok(g)
+            }
+        }
+        let err = BadLoader.load_validated("", "s").unwrap_err();
+        assert!(err.message.contains("empty name"));
+    }
+}

@@ -1,0 +1,529 @@
+//! SQL DDL loader: `CREATE TABLE` statements plus `COMMENT ON`
+//! documentation.
+//!
+//! §2 notes that domain/coding-scheme documentation "is often lost when a
+//! logical schema is converted into SQL"; what survives is tables,
+//! columns, keys, and (when the DBA bothered) `COMMENT ON` text. The
+//! loader recovers all of it into the canonical graph:
+//!
+//! * `CREATE TABLE t (col TYPE [NOT NULL] [PRIMARY KEY], …,
+//!   PRIMARY KEY (…), FOREIGN KEY (…) REFERENCES t2 (…), UNIQUE (…))`
+//! * `COMMENT ON TABLE t IS '…'` / `COMMENT ON COLUMN t.c IS '…'`
+
+use crate::error::LoadError;
+use crate::loader::SchemaLoader;
+use iwb_model::{
+    DataType, EdgeKind, ElementId, ElementKind, Metamodel, SchemaElement, SchemaGraph,
+};
+use std::collections::HashMap;
+
+/// Loader for SQL DDL scripts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SqlDdlLoader;
+
+impl SchemaLoader for SqlDdlLoader {
+    fn format(&self) -> &'static str {
+        "sql-ddl"
+    }
+
+    fn load(&self, text: &str, schema_id: &str) -> Result<SchemaGraph, LoadError> {
+        let tokens = lex(text)?;
+        let mut p = DdlParser { tokens, pos: 0 };
+        let mut graph = SchemaGraph::new(schema_id, Metamodel::Relational);
+        let mut tables: HashMap<String, ElementId> = HashMap::new();
+        let mut columns: HashMap<(String, String), ElementId> = HashMap::new();
+        let mut pending_fks: Vec<(ElementId, String, String)> = Vec::new();
+
+        while !p.done() {
+            if p.eat_kw("CREATE") {
+                p.expect_kw("TABLE")?;
+                let table_name = p.identifier()?;
+                let table = graph.add_child(
+                    graph.root(),
+                    EdgeKind::ContainsTable,
+                    SchemaElement::new(ElementKind::Table, table_name.clone()),
+                );
+                tables.insert(table_name.to_uppercase(), table);
+                p.expect_sym("(")?;
+                let mut key_counter = 0usize;
+                loop {
+                    if p.eat_kw("PRIMARY") {
+                        p.expect_kw("KEY")?;
+                        let cols = p.paren_identifier_list()?;
+                        add_key(&mut graph, table, "pk", &table_name, &cols, &columns)?;
+                    } else if p.eat_kw("UNIQUE") {
+                        key_counter += 1;
+                        let cols = p.paren_identifier_list()?;
+                        add_key(
+                            &mut graph,
+                            table,
+                            &format!("uq{key_counter}"),
+                            &table_name,
+                            &cols,
+                            &columns,
+                        )?;
+                    } else if p.eat_kw("FOREIGN") {
+                        p.expect_kw("KEY")?;
+                        let cols = p.paren_identifier_list()?;
+                        p.expect_kw("REFERENCES")?;
+                        let target_table = p.identifier()?;
+                        let target_cols = p.paren_identifier_list()?;
+                        for (c, tc) in cols.iter().zip(target_cols.iter()) {
+                            let from = columns
+                                .get(&(table_name.to_uppercase(), c.to_uppercase()))
+                                .copied()
+                                .ok_or_else(|| {
+                                    LoadError::new("sql-ddl", format!("unknown FK column {c}"))
+                                })?;
+                            pending_fks.push((
+                                from,
+                                target_table.to_uppercase(),
+                                tc.to_uppercase(),
+                            ));
+                        }
+                    } else {
+                        // Column definition.
+                        let col_name = p.identifier()?;
+                        let data_type = p.data_type()?;
+                        let mut col = SchemaElement::new(ElementKind::Attribute, col_name.clone())
+                            .with_type(data_type);
+                        // Inline constraints.
+                        let mut inline_pk = false;
+                        let mut inline_refs: Vec<(String, String)> = Vec::new();
+                        loop {
+                            if p.eat_kw("NOT") {
+                                p.expect_kw("NULL")?;
+                                col.annotations.set("not-null", true);
+                            } else if p.eat_kw("PRIMARY") {
+                                p.expect_kw("KEY")?;
+                                inline_pk = true;
+                            } else if p.eat_kw("REFERENCES") {
+                                let target_table = p.identifier()?;
+                                let target_cols = p.paren_identifier_list()?;
+                                let tc = target_cols.first().cloned().unwrap_or_default();
+                                // Resolved after all tables are parsed.
+                                inline_refs
+                                    .push((target_table.to_uppercase(), tc.to_uppercase()));
+                            } else if p.eat_kw("DEFAULT") {
+                                p.skip_default_value();
+                            } else {
+                                break;
+                            }
+                        }
+                        let id =
+                            graph.add_child(table, EdgeKind::ContainsAttribute, col);
+                        columns.insert(
+                            (table_name.to_uppercase(), col_name.to_uppercase()),
+                            id,
+                        );
+                        for (t, c) in inline_refs {
+                            pending_fks.push((id, t, c));
+                        }
+                        if inline_pk {
+                            add_key(
+                                &mut graph,
+                                table,
+                                "pk",
+                                &table_name,
+                                std::slice::from_ref(&col_name),
+                                &columns,
+                            )?;
+                        }
+                    }
+                    if p.eat_sym(",") {
+                        continue;
+                    }
+                    p.expect_sym(")")?;
+                    break;
+                }
+                p.eat_sym(";");
+            } else if p.eat_kw("COMMENT") {
+                p.expect_kw("ON")?;
+                if p.eat_kw("TABLE") {
+                    let t = p.identifier()?;
+                    p.expect_kw("IS")?;
+                    let text = p.string()?;
+                    let id = tables.get(&t.to_uppercase()).copied().ok_or_else(|| {
+                        LoadError::new("sql-ddl", format!("COMMENT on unknown table {t}"))
+                    })?;
+                    graph.element_mut(id).documentation = Some(text);
+                } else {
+                    p.expect_kw("COLUMN")?;
+                    let t = p.identifier()?;
+                    p.expect_sym(".")?;
+                    let c = p.identifier()?;
+                    p.expect_kw("IS")?;
+                    let text = p.string()?;
+                    let id = columns
+                        .get(&(t.to_uppercase(), c.to_uppercase()))
+                        .copied()
+                        .ok_or_else(|| {
+                            LoadError::new("sql-ddl", format!("COMMENT on unknown column {t}.{c}"))
+                        })?;
+                    graph.element_mut(id).documentation = Some(text);
+                }
+                p.eat_sym(";");
+            } else {
+                return Err(LoadError::new(
+                    "sql-ddl",
+                    format!("unexpected token {:?}", p.peek_text()),
+                ));
+            }
+        }
+
+        for (from, table, col) in pending_fks {
+            if let Some(&to) = columns.get(&(table.clone(), col.clone())) {
+                graph.add_cross_edge(from, EdgeKind::References, to);
+            } else {
+                return Err(LoadError::new(
+                    "sql-ddl",
+                    format!("foreign key references unknown column {table}.{col}"),
+                ));
+            }
+        }
+        Ok(graph)
+    }
+}
+
+fn add_key(
+    graph: &mut SchemaGraph,
+    table: ElementId,
+    key_name: &str,
+    table_name: &str,
+    cols: &[String],
+    columns: &HashMap<(String, String), ElementId>,
+) -> Result<(), LoadError> {
+    let key = graph.add_child(
+        table,
+        EdgeKind::ContainsKey,
+        SchemaElement::new(ElementKind::Key, format!("{key_name}_{table_name}")),
+    );
+    for c in cols {
+        let target = columns
+            .get(&(table_name.to_uppercase(), c.to_uppercase()))
+            .copied()
+            .ok_or_else(|| LoadError::new("sql-ddl", format!("unknown key column {c}")))?;
+        graph.add_cross_edge(key, EdgeKind::KeyAttribute, target);
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Sym(char),
+    Str(String),
+    Num(String),
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, LoadError> {
+    let mut out = Vec::new();
+    let b: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '-' && b.get(i + 1) == Some(&'-') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(i) {
+                    Some('\'') if b.get(i + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some('\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                    None => return Err(LoadError::new("sql-ddl", "unterminated string")),
+                }
+            }
+            out.push(Tok::Str(s));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+                i += 1;
+            }
+            out.push(Tok::Num(b[start..i].iter().collect()));
+        } else if c.is_alphanumeric() || c == '_' || c == '"' {
+            if c == '"' {
+                // Quoted identifier.
+                i += 1;
+                let start = i;
+                while i < b.len() && b[i] != '"' {
+                    i += 1;
+                }
+                if i == b.len() {
+                    return Err(LoadError::new("sql-ddl", "unterminated quoted identifier"));
+                }
+                out.push(Tok::Word(b[start..i].iter().collect()));
+                i += 1;
+            } else {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Word(b[start..i].iter().collect()));
+            }
+        } else {
+            out.push(Tok::Sym(c));
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+struct DdlParser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl DdlParser {
+    fn done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_text(&self) -> String {
+        match self.tokens.get(self.pos) {
+            Some(Tok::Word(w)) => w.clone(),
+            Some(Tok::Sym(c)) => c.to_string(),
+            Some(Tok::Str(s)) => format!("'{s}'"),
+            Some(Tok::Num(n)) => n.clone(),
+            None => "<eof>".to_owned(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Word(w)) = self.tokens.get(self.pos) {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), LoadError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(LoadError::new(
+                "sql-ddl",
+                format!("expected {kw}, found {}", self.peek_text()),
+            ))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        let c = sym.chars().next().unwrap();
+        if let Some(Tok::Sym(s)) = self.tokens.get(self.pos) {
+            if *s == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), LoadError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(LoadError::new(
+                "sql-ddl",
+                format!("expected {sym:?}, found {}", self.peek_text()),
+            ))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, LoadError> {
+        match self.tokens.get(self.pos) {
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(LoadError::new(
+                "sql-ddl",
+                format!("expected identifier, found {}", self.peek_text()),
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, LoadError> {
+        match self.tokens.get(self.pos) {
+            Some(Tok::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(LoadError::new(
+                "sql-ddl",
+                format!("expected string literal, found {}", self.peek_text()),
+            )),
+        }
+    }
+
+    fn paren_identifier_list(&mut self) -> Result<Vec<String>, LoadError> {
+        self.expect_sym("(")?;
+        let mut out = vec![self.identifier()?];
+        while self.eat_sym(",") {
+            out.push(self.identifier()?);
+        }
+        self.expect_sym(")")?;
+        Ok(out)
+    }
+
+    fn data_type(&mut self) -> Result<DataType, LoadError> {
+        let name = self.identifier()?.to_uppercase();
+        // Optional length/precision argument(s).
+        let mut arg: Option<u32> = None;
+        if self.eat_sym("(") {
+            if let Some(Tok::Num(n)) = self.tokens.get(self.pos) {
+                arg = n.parse().ok();
+                self.pos += 1;
+            }
+            while self.eat_sym(",") {
+                self.pos += 1; // skip scale etc.
+            }
+            self.expect_sym(")")?;
+        }
+        Ok(match name.as_str() {
+            "VARCHAR" | "CHAR" | "CHARACTER" | "NVARCHAR" => {
+                DataType::VarChar(arg.unwrap_or(255))
+            }
+            "TEXT" | "CLOB" | "STRING" => DataType::Text,
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "SERIAL" => DataType::Integer,
+            "DECIMAL" | "NUMERIC" | "FLOAT" | "REAL" | "DOUBLE" | "MONEY" => DataType::Decimal,
+            "BOOLEAN" | "BOOL" | "BIT" => DataType::Boolean,
+            "DATE" => DataType::Date,
+            "TIMESTAMP" | "DATETIME" | "TIME" => DataType::DateTime,
+            "BLOB" | "BYTEA" | "BINARY" | "VARBINARY" => DataType::Binary,
+            other => DataType::Other(other.to_lowercase()),
+        })
+    }
+
+    fn skip_default_value(&mut self) {
+        // A default is a single literal/word/number token in this subset.
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDL: &str = r#"
+        -- Flight tracking schema
+        CREATE TABLE AIRPORT (
+            IDENT VARCHAR(4) PRIMARY KEY,
+            NAME VARCHAR(80) NOT NULL,
+            ELEVATION_FT INT
+        );
+        CREATE TABLE RUNWAY (
+            ARPT_IDENT VARCHAR(4) REFERENCES AIRPORT (IDENT),
+            RWY_NUM VARCHAR(3),
+            SURFACE_CD CHAR(3),
+            PRIMARY KEY (ARPT_IDENT, RWY_NUM)
+        );
+        COMMENT ON TABLE AIRPORT IS 'An airport facility with runways.';
+        COMMENT ON COLUMN AIRPORT.IDENT IS 'The ICAO identifier of the airport.';
+        COMMENT ON COLUMN RUNWAY.SURFACE_CD IS 'Coded runway surface type.';
+    "#;
+
+    #[test]
+    fn tables_columns_and_types() {
+        let g = SqlDdlLoader.load(DDL, "flights").unwrap();
+        let airport = g.find_by_path("flights/AIRPORT").unwrap();
+        assert_eq!(
+            g.children(airport)
+                .iter()
+                .filter(|(k, _)| *k == EdgeKind::ContainsAttribute)
+                .count(),
+            3
+        );
+        let ident = g.find_by_path("flights/AIRPORT/IDENT").unwrap();
+        assert_eq!(g.element(ident).data_type, Some(DataType::VarChar(4)));
+        let elev = g.find_by_path("flights/AIRPORT/ELEVATION_FT").unwrap();
+        assert_eq!(g.element(elev).data_type, Some(DataType::Integer));
+        assert!(iwb_model::validate(&g).is_empty());
+    }
+
+    #[test]
+    fn comments_become_documentation() {
+        let g = SqlDdlLoader.load(DDL, "flights").unwrap();
+        let airport = g.find_by_path("flights/AIRPORT").unwrap();
+        assert!(g.element(airport).documentation.as_deref().unwrap().contains("airport facility"));
+        let ident = g.find_by_path("flights/AIRPORT/IDENT").unwrap();
+        assert!(g.element(ident).documentation.as_deref().unwrap().contains("ICAO"));
+    }
+
+    #[test]
+    fn inline_and_composite_keys() {
+        let g = SqlDdlLoader.load(DDL, "flights").unwrap();
+        let pk_airport = g.find_by_name("pk_AIRPORT").unwrap();
+        assert_eq!(g.cross_edges_from(pk_airport).count(), 1);
+        let pk_runway = g.find_by_name("pk_RUNWAY").unwrap();
+        assert_eq!(g.cross_edges_from(pk_runway).count(), 2);
+    }
+
+    #[test]
+    fn inline_foreign_keys_resolve() {
+        let g = SqlDdlLoader.load(DDL, "flights").unwrap();
+        let fk_col = g.find_by_path("flights/RUNWAY/ARPT_IDENT").unwrap();
+        let refs: Vec<_> = g
+            .cross_edges_from(fk_col)
+            .filter(|e| e.kind == EdgeKind::References)
+            .collect();
+        assert_eq!(refs.len(), 1);
+        assert_eq!(g.name_path(refs[0].to), "flights/AIRPORT/IDENT");
+    }
+
+    #[test]
+    fn table_level_foreign_keys_resolve() {
+        let ddl = r#"
+            CREATE TABLE A (X INT PRIMARY KEY);
+            CREATE TABLE B (
+                Y INT,
+                FOREIGN KEY (Y) REFERENCES A (X)
+            );
+        "#;
+        let g = SqlDdlLoader.load(ddl, "db").unwrap();
+        let y = g.find_by_path("db/B/Y").unwrap();
+        assert_eq!(g.cross_edges_from(y).count(), 1);
+    }
+
+    #[test]
+    fn not_null_becomes_annotation() {
+        let g = SqlDdlLoader.load(DDL, "flights").unwrap();
+        let name = g.find_by_path("flights/AIRPORT/NAME").unwrap();
+        assert_eq!(g.element(name).annotations.flag("not-null"), Some(true));
+    }
+
+    #[test]
+    fn errors_on_unknown_references() {
+        let ddl = "CREATE TABLE A (X INT REFERENCES NOPE (Y));";
+        assert!(SqlDdlLoader.load(ddl, "db").is_err());
+        let ddl2 = "COMMENT ON TABLE MISSING IS 'x';";
+        assert!(SqlDdlLoader.load(ddl2, "db").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers_and_defaults() {
+        let ddl = r#"CREATE TABLE "Order" (id INT PRIMARY KEY, status VARCHAR(10) DEFAULT 'new' NOT NULL);"#;
+        let g = SqlDdlLoader.load(ddl, "db").unwrap();
+        assert!(g.find_by_path("db/Order/status").is_some());
+    }
+}

@@ -1,0 +1,399 @@
+//! A small, dependency-free XML parser.
+//!
+//! Parses the XML subset that schema documents use: elements with
+//! attributes, nested content, text, comments, processing instructions,
+//! CDATA, and the five predefined entities. No DTDs, no namespaces
+//! machinery (prefixes are kept as part of the name; [`XmlNode::local_name`]
+//! strips them on demand).
+
+use crate::error::LoadError;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlNode {
+    /// Tag name as written, prefix included (e.g. `xs:element`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly inside this element.
+    pub text: String,
+}
+
+impl XmlNode {
+    /// The tag name with any namespace prefix removed.
+    pub fn local_name(&self) -> &str {
+        self.name.rsplit(':').next().unwrap_or(&self.name)
+    }
+
+    /// The value of an attribute, matched on the full name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with the given local name.
+    pub fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.local_name() == local)
+    }
+
+    /// First child with the given local name.
+    pub fn child_named<'a>(&'a self, local: &'a str) -> Option<&'a XmlNode> {
+        self.children_named(local).next()
+    }
+
+    /// Depth-first search for the first descendant with the local name.
+    pub fn find(&self, local: &str) -> Option<&XmlNode> {
+        for c in &self.children {
+            if c.local_name() == local {
+                return Some(c);
+            }
+            if let Some(hit) = c.find(local) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+}
+
+/// Parse a document, returning its root element.
+pub fn parse(input: &str) -> Result<XmlNode, LoadError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(p.error("content after document root"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> LoadError {
+        LoadError::at("xml", self.line, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), LoadError> {
+        while self.pos < self.bytes.len() {
+            if self.starts_with(end) {
+                self.skip(end.len());
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.error(format!("unterminated construct, expected {end}")))
+    }
+
+    /// Skip whitespace, comments, PIs, and the XML declaration.
+    fn skip_misc(&mut self) -> Result<(), LoadError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip(4);
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip(2);
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, LoadError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn attribute_value(&mut self) -> Result<String, LoadError> {
+        let quote = self.bump().ok_or_else(|| self.error("expected quote"))?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(self.error("attribute value must be quoted"));
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.bump();
+                return decode_entities(&raw).map_err(|m| self.error(m));
+            }
+            self.bump();
+        }
+        Err(self.error("unterminated attribute value"))
+    }
+
+    fn element(&mut self) -> Result<XmlNode, LoadError> {
+        if self.bump() != Some(b'<') {
+            return Err(self.error("expected '<'"));
+        }
+        let name = self.name()?;
+        let mut node = XmlNode {
+            name,
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        };
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.bump() != Some(b'>') {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    return Ok(node); // self-closing
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return Err(self.error(format!("expected '=' after attribute {key}")));
+                    }
+                    self.skip_ws();
+                    let value = self.attribute_value()?;
+                    node.attributes.push((key, value));
+                }
+                None => return Err(self.error("unterminated start tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.skip(2);
+                let close = self.name()?;
+                if close != node.name {
+                    return Err(self.error(format!(
+                        "mismatched close tag: expected </{}>, found </{close}>",
+                        node.name
+                    )));
+                }
+                self.skip_ws();
+                if self.bump() != Some(b'>') {
+                    return Err(self.error("expected '>' in close tag"));
+                }
+                node.text = node.text.trim().to_owned();
+                return Ok(node);
+            } else if self.starts_with("<!--") {
+                self.skip(4);
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.skip(9);
+                let start = self.pos;
+                let mut end = None;
+                while self.pos < self.bytes.len() {
+                    if self.starts_with("]]>") {
+                        end = Some(self.pos);
+                        break;
+                    }
+                    self.bump();
+                }
+                let Some(end) = end else {
+                    return Err(self.error("unterminated CDATA"));
+                };
+                node.text
+                    .push_str(&String::from_utf8_lossy(&self.bytes[start..end]));
+                self.skip(3);
+            } else if self.starts_with("<?") {
+                self.skip(2);
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                node.children.push(self.element()?);
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.bump();
+                }
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                node.text
+                    .push_str(&decode_entities(&raw).map_err(|m| self.error(m))?);
+            } else {
+                return Err(self.error(format!("unterminated element <{}>", node.name)));
+            }
+        }
+    }
+}
+
+/// Decode the five predefined entities plus numeric character references.
+fn decode_entities(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "entity without terminating ';'".to_owned())?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| format!("bad char ref &{entity};"))?;
+                out.push(char::from_u32(code).ok_or("invalid char ref")?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| format!("bad char ref &{entity};"))?;
+                out.push(char::from_u32(code).ok_or("invalid char ref")?);
+            }
+            _ => return Err(format!("unknown entity &{entity};")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let doc = parse(r#"<a x="1"><b>hi</b><b y='2'/></a>"#).unwrap();
+        assert_eq!(doc.name, "a");
+        assert_eq!(doc.attr("x"), Some("1"));
+        assert_eq!(doc.children.len(), 2);
+        assert_eq!(doc.children[0].text, "hi");
+        assert_eq!(doc.children[1].attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn declaration_comments_and_doctype_skipped() {
+        let doc = parse("<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<!-- hi -->\n<a/>\n<!-- bye -->").unwrap();
+        assert_eq!(doc.name, "a");
+    }
+
+    #[test]
+    fn namespace_prefixes_kept_and_strippable() {
+        let doc = parse(r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="e"/></xs:schema>"#).unwrap();
+        assert_eq!(doc.name, "xs:schema");
+        assert_eq!(doc.local_name(), "schema");
+        assert_eq!(doc.children[0].local_name(), "element");
+        assert_eq!(doc.children[0].attr("name"), Some("e"));
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attributes() {
+        let doc = parse(r#"<a t="&lt;x&gt; &#65;">Tom &amp; Jerry &apos;&quot;</a>"#).unwrap();
+        assert_eq!(doc.attr("t"), Some("<x> A"));
+        assert_eq!(doc.text, "Tom & Jerry '\"");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let doc = parse("<a><![CDATA[1 < 2 && 3 > 2]]></a>").unwrap();
+        assert_eq!(doc.text, "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn mismatched_tags_error_with_line() {
+        let err = parse("<a>\n<b>\n</a>").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a x=>").is_err());
+        assert!(parse("<a x=\"1>").is_err());
+        assert!(parse("<a><![CDATA[zzz</a>").is_err());
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn mixed_content_text_concatenated() {
+        let doc = parse("<a> x <b/> y </a>").unwrap();
+        assert_eq!(doc.text, "x  y");
+        assert_eq!(doc.children.len(), 1);
+    }
+
+    #[test]
+    fn find_descends_depth_first() {
+        let doc = parse("<a><b><c k=\"deep\"/></b><c k=\"shallow\"/></a>").unwrap();
+        assert_eq!(doc.find("c").unwrap().attr("k"), Some("deep"));
+        assert!(doc.find("zzz").is_none());
+    }
+
+    #[test]
+    fn children_named_filters_by_local_name() {
+        let doc = parse(r#"<s><xs:element/><other/><xs:element/></s>"#).unwrap();
+        assert_eq!(doc.children_named("element").count(), 2);
+        assert!(doc.child_named("other").is_some());
+    }
+}

@@ -1,0 +1,390 @@
+//! XML Schema (XSD) subset loader.
+//!
+//! Covers the constructs that message-format schemata (the paper's
+//! running purchase-order example, Figure 2) actually use:
+//!
+//! * `xs:element` with `name` + `type`, or with an inline
+//!   `xs:complexType`;
+//! * `xs:complexType` / `xs:sequence` / `xs:all` / `xs:choice` nesting;
+//! * `xs:attribute` with built-in types;
+//! * named global `xs:complexType`s referenced by `type="..."`;
+//! * `xs:simpleType` with `xs:restriction`/`xs:enumeration` — imported
+//!   as a first-class semantic domain (coding scheme), per §2;
+//! * `xs:annotation`/`xs:documentation` — imported as the element's
+//!   `documentation` annotation.
+
+use crate::error::LoadError;
+use crate::loader::SchemaLoader;
+use crate::xml::{parse, XmlNode};
+use iwb_model::{
+    DataType, Domain, EdgeKind, ElementId, ElementKind, Metamodel, SchemaElement, SchemaGraph,
+};
+use std::collections::HashMap;
+
+/// Loader for the XSD subset.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct XsdLoader;
+
+impl SchemaLoader for XsdLoader {
+    fn format(&self) -> &'static str {
+        "xsd"
+    }
+
+    fn load(&self, text: &str, schema_id: &str) -> Result<SchemaGraph, LoadError> {
+        let root = parse(text)?;
+        if root.local_name() != "schema" {
+            return Err(LoadError::new("xsd", "document root is not xs:schema"));
+        }
+        let mut graph = SchemaGraph::new(schema_id, Metamodel::Xml);
+
+        // Index named global complex and simple types.
+        let complex_types: HashMap<&str, &XmlNode> = root
+            .children_named("complexType")
+            .filter_map(|n| n.attr("name").map(|name| (name, n)))
+            .collect();
+        let mut domains: HashMap<String, ElementId> = HashMap::new();
+        for st in root.children_named("simpleType") {
+            if let Some(name) = st.attr("name") {
+                if let Some(domain) = simple_type_to_domain(name, st) {
+                    let id = domain.attach(&mut graph);
+                    domains.insert(name.to_owned(), id);
+                }
+            }
+        }
+
+        let ctx = Context {
+            complex_types,
+            domains,
+        };
+        if let Some(doc) = documentation_of(&root) {
+            let root_id = graph.root();
+            graph.element_mut(root_id).documentation = Some(doc);
+        }
+        for el in root.children_named("element") {
+            let parent = graph.root();
+            load_element(el, parent, &mut graph, &ctx, 0)?;
+        }
+        Ok(graph)
+    }
+}
+
+struct Context<'a> {
+    complex_types: HashMap<&'a str, &'a XmlNode>,
+    domains: HashMap<String, ElementId>,
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn load_element(
+    el: &XmlNode,
+    parent: ElementId,
+    graph: &mut SchemaGraph,
+    ctx: &Context<'_>,
+    depth: usize,
+) -> Result<(), LoadError> {
+    if depth > MAX_DEPTH {
+        return Err(LoadError::new("xsd", "element nesting exceeds supported depth"));
+    }
+    let name = el
+        .attr("name")
+        .or_else(|| el.attr("ref"))
+        .ok_or_else(|| LoadError::new("xsd", "xs:element without name or ref"))?;
+    let declared_type = el.attr("type");
+    let inline_complex = el.child_named("complexType");
+
+    let is_complex = inline_complex.is_some()
+        || declared_type
+            .map(|t| ctx.complex_types.contains_key(strip_prefix(t)))
+            .unwrap_or(false);
+
+    if is_complex {
+        let mut node = SchemaElement::new(ElementKind::XmlElement, name);
+        node.documentation = documentation_of(el);
+        let id = graph.add_child(parent, EdgeKind::ContainsElement, node);
+        let body = inline_complex
+            .or_else(|| declared_type.and_then(|t| ctx.complex_types.get(strip_prefix(t)).copied()))
+            .expect("is_complex implies a body");
+        load_complex_body(body, id, graph, ctx, depth + 1)?;
+    } else {
+        // Leaf: map the declared type; enumerated simple types become
+        // coded attributes linked to their domain.
+        let mut node = SchemaElement::new(ElementKind::Attribute, name);
+        node.documentation = documentation_of(el);
+        let type_name = declared_type.map(strip_prefix);
+        let domain_link = type_name.and_then(|t| ctx.domains.get(t).copied());
+        node.data_type = Some(match (type_name, domain_link) {
+            (Some(t), Some(_)) => DataType::Coded(t.to_owned()),
+            (Some(t), None) => builtin_type(t),
+            (None, _) => inline_simple_type(el)
+                .map(DataType::Coded)
+                .unwrap_or(DataType::Text),
+        });
+        let id = graph.add_child(parent, EdgeKind::ContainsAttribute, node);
+        if let Some(dom) = domain_link {
+            graph.add_cross_edge(id, EdgeKind::HasDomain, dom);
+        }
+    }
+    Ok(())
+}
+
+fn load_complex_body(
+    body: &XmlNode,
+    parent: ElementId,
+    graph: &mut SchemaGraph,
+    ctx: &Context<'_>,
+    depth: usize,
+) -> Result<(), LoadError> {
+    // Attributes declared directly on the complex type.
+    for attr in body.children_named("attribute") {
+        let name = attr
+            .attr("name")
+            .ok_or_else(|| LoadError::new("xsd", "xs:attribute without name"))?;
+        let mut node = SchemaElement::new(ElementKind::Attribute, name);
+        node.documentation = documentation_of(attr);
+        node.data_type = Some(
+            attr.attr("type")
+                .map(|t| builtin_type(strip_prefix(t)))
+                .unwrap_or(DataType::Text),
+        );
+        graph.add_child(parent, EdgeKind::ContainsAttribute, node);
+    }
+    // Model groups.
+    for group in ["sequence", "all", "choice"] {
+        for g in body.children_named(group) {
+            for el in g.children_named("element") {
+                load_element(el, parent, graph, ctx, depth)?;
+            }
+            // Nested groups one level deep (sequence inside choice etc.).
+            for inner_name in ["sequence", "all", "choice"] {
+                for inner in g.children_named(inner_name) {
+                    for el in inner.children_named("element") {
+                        load_element(el, parent, graph, ctx, depth)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extract `xs:annotation/xs:documentation` text.
+fn documentation_of(node: &XmlNode) -> Option<String> {
+    let ann = node.child_named("annotation")?;
+    let doc = ann.child_named("documentation")?;
+    let text = doc.text.trim();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text.to_owned())
+    }
+}
+
+/// Convert an `xs:simpleType` with enumeration facets into a domain.
+fn simple_type_to_domain(name: &str, st: &XmlNode) -> Option<Domain> {
+    let restriction = st.child_named("restriction")?;
+    let mut domain = Domain::new(name);
+    domain.documentation = documentation_of(st);
+    for e in restriction.children_named("enumeration") {
+        let value = e.attr("value")?;
+        match documentation_of(e) {
+            Some(doc) => domain = domain.with_value(value, doc),
+            None => domain.values.push(iwb_model::DomainValue::bare(value)),
+        }
+    }
+    if domain.values.is_empty() {
+        None
+    } else {
+        Some(domain)
+    }
+}
+
+/// Inline `xs:simpleType` on a leaf element — returns the domain name if
+/// it encodes an (anonymous) enumeration; anonymous domains are not
+/// attached, the leaf just becomes text.
+fn inline_simple_type(el: &XmlNode) -> Option<String> {
+    el.child_named("simpleType")
+        .and_then(|st| st.child_named("restriction"))
+        .and_then(|r| r.attr("base"))
+        .map(|b| strip_prefix(b).to_owned())
+}
+
+fn strip_prefix(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+/// Map XSD built-in simple types onto the canonical [`DataType`]s.
+fn builtin_type(local: &str) -> DataType {
+    match local {
+        "string" | "normalizedString" | "token" | "anyURI" => DataType::Text,
+        "int" | "integer" | "long" | "short" | "byte" | "nonNegativeInteger"
+        | "positiveInteger" | "unsignedInt" | "unsignedLong" => DataType::Integer,
+        "decimal" | "float" | "double" => DataType::Decimal,
+        "boolean" => DataType::Boolean,
+        "date" | "gYear" | "gYearMonth" => DataType::Date,
+        "dateTime" | "time" => DataType::DateTime,
+        "base64Binary" | "hexBinary" => DataType::Binary,
+        other => DataType::Other(other.to_owned()),
+    }
+}
+
+/// The purchase-order source schema of the paper's Figure 2, as XSD.
+pub const FIG2_SOURCE_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="purchaseOrder">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="shipTo">
+          <xs:annotation><xs:documentation>The shipping destination for this purchase order.</xs:documentation></xs:annotation>
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="firstName" type="xs:string">
+                <xs:annotation><xs:documentation>Given name of the receiving party.</xs:documentation></xs:annotation>
+              </xs:element>
+              <xs:element name="lastName" type="xs:string">
+                <xs:annotation><xs:documentation>Family name of the receiving party.</xs:documentation></xs:annotation>
+              </xs:element>
+              <xs:element name="subtotal" type="xs:decimal">
+                <xs:annotation><xs:documentation>Pre-tax sum of line item amounts.</xs:documentation></xs:annotation>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"#;
+
+/// The invoice target schema of the paper's Figure 2, as XSD.
+pub const FIG2_TARGET_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="invoice">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="shippingInfo">
+          <xs:annotation><xs:documentation>Shipping information for the invoiced order.</xs:documentation></xs:annotation>
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="name" type="xs:string">
+                <xs:annotation><xs:documentation>Full name of the receiving party, family name first.</xs:documentation></xs:annotation>
+              </xs:element>
+              <xs:element name="total" type="xs:decimal">
+                <xs:annotation><xs:documentation>Total amount due including tax.</xs:documentation></xs:annotation>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_source_loads() {
+        let g = XsdLoader.load(FIG2_SOURCE_XSD, "purchaseOrder").unwrap();
+        assert_eq!(g.metamodel(), Metamodel::Xml);
+        let ship = g.find_by_path("purchaseOrder/purchaseOrder/shipTo").unwrap();
+        assert_eq!(g.children(ship).len(), 3);
+        assert!(g
+            .element(ship)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("shipping destination"));
+        let sub = g
+            .find_by_path("purchaseOrder/purchaseOrder/shipTo/subtotal")
+            .unwrap();
+        assert_eq!(g.element(sub).data_type, Some(DataType::Decimal));
+        assert!(iwb_model::validate(&g).is_empty());
+    }
+
+    #[test]
+    fn named_complex_types_resolve() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:complexType name="AddressType">
+            <xs:sequence>
+              <xs:element name="street" type="xs:string"/>
+              <xs:element name="zip" type="xs:string"/>
+            </xs:sequence>
+            <xs:attribute name="country" type="xs:string"/>
+          </xs:complexType>
+          <xs:element name="shipTo" type="AddressType"/>
+          <xs:element name="billTo" type="AddressType"/>
+        </xs:schema>"#;
+        let g = XsdLoader.load(xsd, "s").unwrap();
+        assert!(g.find_by_path("s/shipTo/street").is_some());
+        assert!(g.find_by_path("s/billTo/zip").is_some());
+        assert!(g.find_by_path("s/shipTo/country").is_some());
+    }
+
+    #[test]
+    fn enumerated_simple_types_become_domains() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:simpleType name="runwayType">
+            <xs:restriction base="xs:string">
+              <xs:enumeration value="ASP"><xs:annotation><xs:documentation>Asphalt</xs:documentation></xs:annotation></xs:enumeration>
+              <xs:enumeration value="CON"><xs:annotation><xs:documentation>Concrete</xs:documentation></xs:annotation></xs:enumeration>
+            </xs:restriction>
+          </xs:simpleType>
+          <xs:element name="runway">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element name="surface" type="runwayType"/>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let g = XsdLoader.load(xsd, "atc").unwrap();
+        let surface = g.find_by_path("atc/runway/surface").unwrap();
+        assert_eq!(
+            g.element(surface).data_type,
+            Some(DataType::Coded("runwayType".into()))
+        );
+        let dom_edge = g.cross_edges_from(surface).next().unwrap();
+        assert_eq!(dom_edge.kind, EdgeKind::HasDomain);
+        let dom = Domain::detach(&g, dom_edge.to).unwrap();
+        assert_eq!(dom.values.len(), 2);
+        assert_eq!(dom.value("ASP").unwrap().meaning.as_deref(), Some("Asphalt"));
+    }
+
+    #[test]
+    fn choice_and_all_groups_supported() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="contact">
+            <xs:complexType>
+              <xs:choice>
+                <xs:element name="phone" type="xs:string"/>
+                <xs:element name="email" type="xs:string"/>
+              </xs:choice>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let g = XsdLoader.load(xsd, "s").unwrap();
+        assert!(g.find_by_path("s/contact/phone").is_some());
+        assert!(g.find_by_path("s/contact/email").is_some());
+    }
+
+    #[test]
+    fn non_schema_root_rejected() {
+        assert!(XsdLoader.load("<foo/>", "s").is_err());
+    }
+
+    #[test]
+    fn malformed_xml_propagates_error() {
+        assert!(XsdLoader.load("<xs:schema><xs:element></xs:schema>", "s").is_err());
+    }
+
+    #[test]
+    fn builtin_type_mapping() {
+        assert_eq!(builtin_type("string"), DataType::Text);
+        assert_eq!(builtin_type("positiveInteger"), DataType::Integer);
+        assert_eq!(builtin_type("double"), DataType::Decimal);
+        assert_eq!(builtin_type("dateTime"), DataType::DateTime);
+        assert_eq!(builtin_type("duration"), DataType::Other("duration".into()));
+    }
+}

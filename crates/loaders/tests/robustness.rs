@@ -1,0 +1,79 @@
+//! Fuzz-style robustness properties: loaders must reject garbage with
+//! an error, never panic, on arbitrary input.
+
+use iwb_loaders::{parse_instance, ErLoader, LoaderRegistry, SchemaLoader, SqlDdlLoader, XsdLoader};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The XML parser never panics on arbitrary text.
+    #[test]
+    fn xml_parser_total(input in ".{0,200}") {
+        let _ = iwb_loaders::xml::parse(&input);
+    }
+
+    /// …including angle-bracket-dense text that looks almost like XML.
+    #[test]
+    fn xml_parser_total_on_taglike(input in "[<>/a-z\"= ]{0,120}") {
+        let _ = iwb_loaders::xml::parse(&input);
+    }
+
+    /// The XSD loader never panics.
+    #[test]
+    fn xsd_loader_total(input in "[<>/a-zA-Z\":= \\n]{0,150}") {
+        let _ = XsdLoader.load(&input, "fuzz");
+    }
+
+    /// The SQL DDL loader never panics.
+    #[test]
+    fn sql_loader_total(input in "[A-Za-z0-9(),;'\\. \\n]{0,200}") {
+        let _ = SqlDdlLoader.load(&input, "fuzz");
+    }
+
+    /// The ER loader never panics.
+    #[test]
+    fn er_loader_total(input in "[a-z{}:\"#, \\n-]{0,200}") {
+        let _ = ErLoader.load(&input, "fuzz");
+    }
+
+    /// Instance XML import never panics.
+    #[test]
+    fn instance_import_total(input in ".{0,150}") {
+        let _ = parse_instance(&input);
+    }
+
+    /// The registry dispatcher never panics on weird file names.
+    #[test]
+    fn registry_dispatch_total(name in ".{0,40}", body in ".{0,60}") {
+        let r = LoaderRegistry::with_builtin();
+        let _ = r.load_named(&name, &body);
+    }
+}
+
+/// Mutation-based robustness: take a valid document and corrupt it at
+/// one position — the loader must still return (Ok or Err, no panic).
+#[test]
+fn mutated_valid_inputs_never_panic() {
+    let xsd = iwb_loaders::xsd::FIG2_SOURCE_XSD;
+    let bytes: Vec<char> = xsd.chars().collect();
+    for pos in (0..bytes.len()).step_by(17) {
+        // Deletion.
+        let mut dropped: String = bytes[..pos].iter().collect();
+        dropped.extend(bytes[pos + 1..].iter());
+        let _ = XsdLoader.load(&dropped, "mut");
+        // Substitution.
+        let mut swapped = bytes.clone();
+        swapped[pos] = '<';
+        let s: String = swapped.into_iter().collect();
+        let _ = XsdLoader.load(&s, "mut");
+    }
+
+    let ddl = "CREATE TABLE T (A INT PRIMARY KEY, B VARCHAR(10) NOT NULL);";
+    let chars: Vec<char> = ddl.chars().collect();
+    for pos in 0..chars.len() {
+        let mut truncated: String = chars[..pos].iter().collect();
+        truncated.push('(');
+        let _ = SqlDdlLoader.load(&truncated, "mut");
+    }
+}

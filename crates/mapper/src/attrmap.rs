@@ -1,0 +1,188 @@
+//! Attribute transformations (task 5, §3.3).
+//!
+//! "Sometimes one provides a transformation from source to target
+//! values, either scalar (e.g., Age from Birthdate), or by aggregation
+//! (e.g., AverageSalaryByDepartment from Salary). Other transforms we
+//! have seen include pushing metadata down to data (e.g., to populate a
+//! type attribute or timestamp), and populating a comment (in the
+//! target) to store source attribute information that has no
+//! corresponding attribute."
+
+use crate::expr::{Env, EvalError, Expr};
+use crate::instance::Node;
+use crate::value::Value;
+
+/// An aggregation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateOp {
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of non-null values.
+    Count,
+}
+
+impl AggregateOp {
+    /// Apply over a value slice; nulls and non-numerics are skipped
+    /// (except for Count, which counts non-nulls).
+    pub fn apply(self, values: &[Value]) -> Value {
+        if self == AggregateOp::Count {
+            return Value::Num(values.iter().filter(|v| !v.is_null()).count() as f64);
+        }
+        let nums: Vec<f64> = values.iter().filter_map(Value::as_num).collect();
+        if nums.is_empty() {
+            return Value::Null;
+        }
+        match self {
+            AggregateOp::Sum => Value::Num(nums.iter().sum()),
+            AggregateOp::Avg => Value::Num(nums.iter().sum::<f64>() / nums.len() as f64),
+            AggregateOp::Min => Value::Num(nums.iter().copied().fold(f64::INFINITY, f64::min)),
+            AggregateOp::Max => Value::Num(nums.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            AggregateOp::Count => unreachable!("handled above"),
+        }
+    }
+}
+
+/// How one target attribute is populated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeTransformation {
+    /// A scalar expression over the bound source entity (`$src`).
+    Scalar(Expr),
+    /// An aggregation over a repeated child path of the source entity
+    /// (e.g. `Avg` over `employees/salary`).
+    Aggregate {
+        /// The operator.
+        op: AggregateOp,
+        /// Path (relative to the bound entity) whose occurrences are
+        /// aggregated; the last segment names the leaf.
+        path: String,
+    },
+    /// Metadata pushed down to data: a constant captured from schema
+    /// metadata (type tags, source-system names, load timestamps).
+    MetadataPushdown(Value),
+    /// Preserve a source attribute that has no corresponding target
+    /// attribute inside a target comment: renders `name=value`.
+    CommentPreserving {
+        /// Source attribute (path relative to the bound entity).
+        source_path: String,
+    },
+}
+
+impl AttributeTransformation {
+    /// Compute the target attribute value for one source entity
+    /// instance.
+    pub fn apply(&self, entity: &Node) -> Result<Value, EvalError> {
+        match self {
+            AttributeTransformation::Scalar(expr) => {
+                let mut env = Env::new();
+                env.bind_node("src", entity.clone());
+                expr.eval(&env)
+            }
+            AttributeTransformation::Aggregate { op, path } => {
+                Ok(op.apply(&collect_path(entity, path)))
+            }
+            AttributeTransformation::MetadataPushdown(v) => Ok(v.clone()),
+            AttributeTransformation::CommentPreserving { source_path } => {
+                let v = entity.value_at(source_path);
+                let leaf = source_path.rsplit('/').next().unwrap_or(source_path);
+                Ok(Value::Str(format!("{leaf}={}", v.as_str())))
+            }
+        }
+    }
+}
+
+/// Collect every value at `path` under `node`, following repeated
+/// children at each step.
+fn collect_path(node: &Node, path: &str) -> Vec<Value> {
+    let mut frontier = vec![node];
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        let mut next = Vec::new();
+        for n in frontier {
+            next.extend(n.children_named(seg));
+        }
+        frontier = next;
+    }
+    frontier
+        .into_iter()
+        .filter_map(|n| n.value.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn dept() -> Node {
+        Node::elem("DEPARTMENT")
+            .with_leaf("name", "ATC")
+            .with(Node::elem("employee").with_leaf("salary", 100.0).with_leaf("dob", "1990-03-02"))
+            .with(Node::elem("employee").with_leaf("salary", 140.0))
+            .with(Node::elem("employee").with_leaf("salary", 120.0))
+    }
+
+    #[test]
+    fn scalar_age_from_birthdate() {
+        let t = AttributeTransformation::Scalar(
+            parse_expr("age-at(data($src/employee/dob), \"2006-01-01\")").unwrap(),
+        );
+        assert_eq!(t.apply(&dept()).unwrap().as_num(), Some(15.0));
+    }
+
+    #[test]
+    fn aggregate_average_salary_by_department() {
+        let t = AttributeTransformation::Aggregate {
+            op: AggregateOp::Avg,
+            path: "employee/salary".into(),
+        };
+        assert_eq!(t.apply(&dept()).unwrap().as_num(), Some(120.0));
+        let sum = AttributeTransformation::Aggregate {
+            op: AggregateOp::Sum,
+            path: "employee/salary".into(),
+        };
+        assert_eq!(sum.apply(&dept()).unwrap().as_num(), Some(360.0));
+        let count = AttributeTransformation::Aggregate {
+            op: AggregateOp::Count,
+            path: "employee/salary".into(),
+        };
+        assert_eq!(count.apply(&dept()).unwrap().as_num(), Some(3.0));
+        let min = AttributeTransformation::Aggregate {
+            op: AggregateOp::Min,
+            path: "employee/salary".into(),
+        };
+        assert_eq!(min.apply(&dept()).unwrap().as_num(), Some(100.0));
+        let max = AttributeTransformation::Aggregate {
+            op: AggregateOp::Max,
+            path: "employee/salary".into(),
+        };
+        assert_eq!(max.apply(&dept()).unwrap().as_num(), Some(140.0));
+    }
+
+    #[test]
+    fn aggregate_over_missing_path_is_null() {
+        let t = AttributeTransformation::Aggregate {
+            op: AggregateOp::Avg,
+            path: "nothing/here".into(),
+        };
+        assert_eq!(t.apply(&dept()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn metadata_pushdown_emits_constant() {
+        let t = AttributeTransformation::MetadataPushdown(Value::from("personnel-db-v2"));
+        assert_eq!(t.apply(&dept()).unwrap(), Value::from("personnel-db-v2"));
+    }
+
+    #[test]
+    fn comment_preserving_keeps_orphan_attributes() {
+        let t = AttributeTransformation::CommentPreserving {
+            source_path: "name".into(),
+        };
+        assert_eq!(t.apply(&dept()).unwrap(), Value::from("name=ATC"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Domain transformations (task 4, §3.3).
+//!
+//! "For each pair of corresponding domains, a transformation must be
+//! developed that relates values from the source domain to values in the
+//! target domain. In the simplest case, there is a direct correspondence
+//! … it is often the case that an algorithmic transformation must be
+//! developed, for example, to convert from feet to meters … In the most
+//! detailed case, the transformation can best be expressed using a
+//! lookup table (e.g., to convert from one coding scheme to a related
+//! coding scheme)."
+
+use crate::expr::{Env, EvalError, Expr};
+use crate::value::Value;
+use iwb_model::Domain;
+use std::collections::HashMap;
+
+/// A code → code lookup table between two coding schemes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LookupTable {
+    entries: HashMap<String, String>,
+    /// Emitted when a source code has no entry (None → `Value::Null`).
+    default: Option<String>,
+}
+
+impl LookupTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one code mapping.
+    pub fn with(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.entries.insert(from.into(), to.into());
+        self
+    }
+
+    /// Set the default for unmapped codes.
+    pub fn with_default(mut self, default: impl Into<String>) -> Self {
+        self.default = Some(default.into());
+        self
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no mappings are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Translate a code.
+    pub fn translate(&self, code: &str) -> Value {
+        match self.entries.get(code) {
+            Some(v) => Value::Str(v.clone()),
+            None => self
+                .default
+                .as_ref()
+                .map(|d| Value::Str(d.clone()))
+                .unwrap_or(Value::Null),
+        }
+    }
+
+    /// Build a table by aligning two documented domains on their value
+    /// *meanings* (case-insensitive exact match of the documentation) —
+    /// how an engineer would derive the ASP→1 style mapping when the
+    /// codes were renamed but the meanings survived.
+    pub fn align_by_meaning(source: &Domain, target: &Domain) -> LookupTable {
+        let mut table = LookupTable::new();
+        for sv in &source.values {
+            let Some(sm) = &sv.meaning else { continue };
+            let hit = target.values.iter().find(|tv| {
+                tv.meaning
+                    .as_deref()
+                    .map(|tm| tm.eq_ignore_ascii_case(sm))
+                    .unwrap_or(false)
+            });
+            if let Some(tv) = hit {
+                table.entries.insert(sv.code.clone(), tv.code.clone());
+            }
+        }
+        table
+    }
+}
+
+/// A domain transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainTransformation {
+    /// Values carry over unchanged ("a direct correspondence (i.e., no
+    /// transformation is needed)").
+    Direct,
+    /// An algorithmic transformation: an expression over `$value`.
+    Algorithmic(Expr),
+    /// A code lookup table between coding schemes.
+    Lookup(LookupTable),
+}
+
+impl DomainTransformation {
+    /// Apply the transformation to one value.
+    pub fn apply(&self, value: &Value) -> Result<Value, EvalError> {
+        match self {
+            DomainTransformation::Direct => Ok(value.clone()),
+            DomainTransformation::Algorithmic(expr) => {
+                let mut env = Env::new();
+                env.bind_value("value", value.clone());
+                expr.eval(&env)
+            }
+            DomainTransformation::Lookup(table) => Ok(table.translate(&value.as_str())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn direct_passes_through() {
+        let t = DomainTransformation::Direct;
+        assert_eq!(t.apply(&Value::from("ASP")).unwrap(), Value::from("ASP"));
+    }
+
+    #[test]
+    fn algorithmic_feet_to_meters() {
+        let t = DomainTransformation::Algorithmic(parse_expr("feet-to-meters($value)").unwrap());
+        let out = t.apply(&Value::from(100.0)).unwrap();
+        assert!((out.as_num().unwrap() - 30.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_with_default_and_miss() {
+        let table = LookupTable::new()
+            .with("ASP", "1")
+            .with("CON", "2")
+            .with_default("0");
+        let t = DomainTransformation::Lookup(table);
+        assert_eq!(t.apply(&Value::from("ASP")).unwrap(), Value::from("1"));
+        assert_eq!(t.apply(&Value::from("XXX")).unwrap(), Value::from("0"));
+        let no_default = DomainTransformation::Lookup(LookupTable::new().with("A", "B"));
+        assert_eq!(no_default.apply(&Value::from("Z")).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn align_by_meaning_builds_code_bridge() {
+        let src = Domain::new("surface")
+            .with_value("ASP", "Asphalt surface")
+            .with_value("CON", "Concrete surface")
+            .with_value("UNK", "Unknown");
+        let tgt = Domain::new("sfc")
+            .with_value("1", "asphalt surface")
+            .with_value("2", "Concrete surface");
+        let table = LookupTable::align_by_meaning(&src, &tgt);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.translate("ASP"), Value::from("1"));
+        assert_eq!(table.translate("CON"), Value::from("2"));
+        assert_eq!(table.translate("UNK"), Value::Null);
+    }
+}

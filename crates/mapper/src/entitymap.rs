@@ -1,0 +1,231 @@
+//! Entity transformations (task 6, §3.3).
+//!
+//! "In the simplest case, a direct 1:1 mapping can be established.
+//! Alternatively, multiple entities may need to be combined (e.g., using
+//! join or union) to generate a single target entity. Or, a single
+//! entity may need to be split into multiple entities (e.g., based on
+//! the value of some attribute), which effectively elevates data in the
+//! source to metadata in the target."
+
+use crate::instance::Node;
+use crate::value::Value;
+
+/// How target entity instances are derived from source instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EntityMapping {
+    /// 1:1 — each occurrence of the source path yields one target
+    /// instance.
+    Direct {
+        /// Path (relative to the source document root) whose occurrences
+        /// are the source entities.
+        source: String,
+    },
+    /// Join two source entity sets on equal attribute values. The
+    /// resulting instance carries the left entity's children followed by
+    /// the right entity's children under one node.
+    Join {
+        /// Left entity path.
+        left: String,
+        /// Right entity path.
+        right: String,
+        /// Attribute of the left entity compared…
+        left_key: String,
+        /// …with this attribute of the right entity.
+        right_key: String,
+    },
+    /// Union of several entity sets (paper: "combined (e.g., using join
+    /// or union)").
+    Union(Vec<String>),
+    /// Split on an attribute value: only occurrences whose discriminator
+    /// equals `equals` yield instances ("elevates data in the source to
+    /// metadata in the target").
+    Split {
+        /// Source entity path.
+        source: String,
+        /// Discriminator attribute.
+        discriminator: String,
+        /// Selecting value.
+        equals: Value,
+    },
+}
+
+impl EntityMapping {
+    /// Compute the source entity instances from a document.
+    pub fn instances(&self, doc: &Node) -> Vec<Node> {
+        match self {
+            EntityMapping::Direct { source } => occurrences(doc, source),
+            EntityMapping::Union(paths) => paths
+                .iter()
+                .flat_map(|p| occurrences(doc, p))
+                .collect(),
+            EntityMapping::Split {
+                source,
+                discriminator,
+                equals,
+            } => occurrences(doc, source)
+                .into_iter()
+                .filter(|n| &n.value_at(discriminator) == equals)
+                .collect(),
+            EntityMapping::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let lefts = occurrences(doc, left);
+                let rights = occurrences(doc, right);
+                let mut out = Vec::new();
+                for l in &lefts {
+                    let lk = l.value_at(left_key);
+                    if lk.is_null() {
+                        continue;
+                    }
+                    for r in &rights {
+                        if r.value_at(right_key) == lk {
+                            let mut joined = Node::elem(format!("{}⋈{}", l.name, r.name));
+                            joined.children.extend(l.children.iter().cloned());
+                            joined.children.extend(
+                                r.children
+                                    .iter()
+                                    .filter(|c| l.child(&c.name).is_none())
+                                    .cloned(),
+                            );
+                            out.push(joined);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// All occurrences of a path under `doc` (repeated children followed at
+/// every step).
+pub fn occurrences(doc: &Node, path: &str) -> Vec<Node> {
+    let mut frontier = vec![doc.clone()];
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        let mut next = Vec::new();
+        for n in &frontier {
+            next.extend(n.children_named(seg).cloned());
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Node {
+        Node::elem("db")
+            .with(
+                Node::elem("AIRPORT")
+                    .with_leaf("ident", "KJFK")
+                    .with_leaf("name", "Kennedy Intl"),
+            )
+            .with(
+                Node::elem("AIRPORT")
+                    .with_leaf("ident", "KLGA")
+                    .with_leaf("name", "LaGuardia"),
+            )
+            .with(
+                Node::elem("RUNWAY")
+                    .with_leaf("arpt", "KJFK")
+                    .with_leaf("number", "04L")
+                    .with_leaf("surface", "ASP"),
+            )
+            .with(
+                Node::elem("RUNWAY")
+                    .with_leaf("arpt", "KJFK")
+                    .with_leaf("number", "13R")
+                    .with_leaf("surface", "CON"),
+            )
+            .with(
+                Node::elem("RUNWAY")
+                    .with_leaf("arpt", "KLGA")
+                    .with_leaf("number", "04")
+                    .with_leaf("surface", "ASP"),
+            )
+    }
+
+    #[test]
+    fn direct_enumerates_occurrences() {
+        let m = EntityMapping::Direct {
+            source: "AIRPORT".into(),
+        };
+        assert_eq!(m.instances(&db()).len(), 2);
+    }
+
+    #[test]
+    fn join_matches_on_keys() {
+        let m = EntityMapping::Join {
+            left: "RUNWAY".into(),
+            right: "AIRPORT".into(),
+            left_key: "arpt".into(),
+            right_key: "ident".into(),
+        };
+        let joined = m.instances(&db());
+        assert_eq!(joined.len(), 3);
+        // Every joined instance has runway + airport attributes.
+        for j in &joined {
+            assert!(!j.value_at("number").is_null());
+            assert!(!j.value_at("name").is_null());
+        }
+        let kjfk: Vec<&Node> = joined
+            .iter()
+            .filter(|j| j.value_at("arpt") == Value::from("KJFK"))
+            .collect();
+        assert_eq!(kjfk.len(), 2);
+        assert_eq!(kjfk[0].value_at("name"), Value::from("Kennedy Intl"));
+    }
+
+    #[test]
+    fn join_skips_null_keys_and_collision_keeps_left() {
+        let doc = Node::elem("db")
+            .with(Node::elem("L").with_leaf("k", "1").with_leaf("shared", "left"))
+            .with(Node::elem("L")) // null key
+            .with(Node::elem("R").with_leaf("k", "1").with_leaf("shared", "right"));
+        let m = EntityMapping::Join {
+            left: "L".into(),
+            right: "R".into(),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let joined = m.instances(&doc);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].value_at("shared"), Value::from("left"));
+    }
+
+    #[test]
+    fn union_concatenates_sets() {
+        let m = EntityMapping::Union(vec!["AIRPORT".into(), "RUNWAY".into()]);
+        assert_eq!(m.instances(&db()).len(), 5);
+    }
+
+    #[test]
+    fn split_selects_on_discriminator() {
+        let m = EntityMapping::Split {
+            source: "RUNWAY".into(),
+            discriminator: "surface".into(),
+            equals: Value::from("ASP"),
+        };
+        let asphalt = m.instances(&db());
+        assert_eq!(asphalt.len(), 2);
+        assert!(asphalt
+            .iter()
+            .all(|r| r.value_at("surface") == Value::from("ASP")));
+    }
+
+    #[test]
+    fn occurrences_follows_nested_paths() {
+        let doc = Node::elem("root").with(
+            Node::elem("a")
+                .with(Node::elem("b").with_leaf("x", 1i64))
+                .with(Node::elem("b").with_leaf("x", 2i64)),
+        );
+        assert_eq!(occurrences(&doc, "a/b").len(), 2);
+        assert!(occurrences(&doc, "a/zzz").is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Executing logical mappings over instance documents.
+//!
+//! The execution engine plays the role of the runtime that a commercial
+//! tool's generated XQuery would run in (§5.3: "At any point this code
+//! can be tested on sample documents").
+
+use crate::expr::EvalError;
+use crate::instance::Node;
+use crate::logical::LogicalMapping;
+
+/// Execute a mapping over a source document, producing the target
+/// document.
+///
+/// # Examples
+///
+/// ```
+/// use iwb_mapper::logical::AttrRule;
+/// use iwb_mapper::{execute, parse_expr, AttributeTransformation, EntityMapping,
+///                  EntityRule, LogicalMapping, Node};
+///
+/// let mapping = LogicalMapping::new("invoice").with_rule(
+///     EntityRule::new("info", EntityMapping::Direct { source: "shipTo".into() })
+///         .with_attr(AttrRule::new(
+///             "total",
+///             AttributeTransformation::Scalar(parse_expr("data($src/subtotal) * 1.05").unwrap()),
+///         )),
+/// );
+/// let doc = Node::elem("po").with(Node::elem("shipTo").with_leaf("subtotal", 100.0));
+/// let out = execute(&mapping, &doc).unwrap();
+/// assert_eq!(out.child("info").unwrap().value_at("total").as_num(), Some(105.0));
+/// ```
+pub fn execute(mapping: &LogicalMapping, source: &Node) -> Result<Node, EvalError> {
+    let mut root = Node::elem(mapping.target_root.clone());
+    for rule in &mapping.rules {
+        for entity in rule.entity.instances(source) {
+            let mut out = Node::elem(rule.target.clone());
+            let id = rule.key.generate(&entity);
+            if !id.is_null() {
+                out = out.with_leaf("id", id);
+            }
+            for attr in &rule.attrs {
+                let mut value = attr.transform.apply(&entity)?;
+                if let Some(domain) = &attr.domain {
+                    value = domain.apply(&value)?;
+                }
+                out = out.with_leaf(attr.target.clone(), value);
+            }
+            root.children.push(out);
+        }
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrmap::{AggregateOp, AttributeTransformation};
+    use crate::domainmap::{DomainTransformation, LookupTable};
+    use crate::entitymap::EntityMapping;
+    use crate::identity::KeyGen;
+    use crate::logical::{AttrRule, EntityRule};
+    use crate::parser::parse_expr;
+    use crate::value::Value;
+
+    /// The Figure 2/3 purchase-order → invoice mapping, end to end.
+    #[test]
+    fn figure3_mapping_executes() {
+        let source = Node::elem("purchaseOrder").with(
+            Node::elem("shipTo")
+                .with_leaf("firstName", "Ada")
+                .with_leaf("lastName", "Lovelace")
+                .with_leaf("subtotal", 100.0),
+        );
+        let mapping = LogicalMapping::new("invoice").with_rule(
+            EntityRule::new(
+                "shippingInfo",
+                EntityMapping::Direct {
+                    source: "shipTo".into(),
+                },
+            )
+            .with_attr(AttrRule::new(
+                "name",
+                AttributeTransformation::Scalar(
+                    parse_expr(
+                        "concat(data($src/lastName), concat(\", \", data($src/firstName)))",
+                    )
+                    .unwrap(),
+                ),
+            ))
+            .with_attr(AttrRule::new(
+                "total",
+                AttributeTransformation::Scalar(
+                    parse_expr("data($src/subtotal) * 1.05").unwrap(),
+                ),
+            )),
+        );
+        let out = execute(&mapping, &source).unwrap();
+        assert_eq!(out.name, "invoice");
+        let info = out.child("shippingInfo").unwrap();
+        assert_eq!(info.value_at("name"), Value::from("Lovelace, Ada"));
+        assert_eq!(info.value_at("total").as_num(), Some(105.0));
+    }
+
+    #[test]
+    fn join_union_split_and_keys_compose() {
+        let source = Node::elem("db")
+            .with(Node::elem("AIRPORT").with_leaf("ident", "KJFK").with_leaf("name", "Kennedy"))
+            .with(
+                Node::elem("RUNWAY")
+                    .with_leaf("arpt", "KJFK")
+                    .with_leaf("number", "04L")
+                    .with_leaf("surface", "ASP"),
+            )
+            .with(
+                Node::elem("RUNWAY")
+                    .with_leaf("arpt", "KJFK")
+                    .with_leaf("number", "13R")
+                    .with_leaf("surface", "CON"),
+            );
+        let lookup = LookupTable::new().with("ASP", "asphalt").with("CON", "concrete");
+        let mapping = LogicalMapping::new("facilities")
+            .with_rule(
+                EntityRule::new(
+                    "strip",
+                    EntityMapping::Join {
+                        left: "RUNWAY".into(),
+                        right: "AIRPORT".into(),
+                        left_key: "arpt".into(),
+                        right_key: "ident".into(),
+                    },
+                )
+                .with_key(KeyGen::Skolem {
+                    name: "strip".into(),
+                    args: vec!["arpt".into(), "number".into()],
+                })
+                .with_attr(AttrRule::new(
+                    "airportName",
+                    AttributeTransformation::Scalar(parse_expr("data($src/name)").unwrap()),
+                ))
+                .with_attr(
+                    AttrRule::new(
+                        "surfaceText",
+                        AttributeTransformation::Scalar(parse_expr("data($src/surface)").unwrap()),
+                    )
+                    .with_domain(DomainTransformation::Lookup(lookup)),
+                ),
+            )
+            .with_rule(
+                EntityRule::new(
+                    "asphaltRunway",
+                    EntityMapping::Split {
+                        source: "RUNWAY".into(),
+                        discriminator: "surface".into(),
+                        equals: Value::from("ASP"),
+                    },
+                )
+                .with_key(KeyGen::FromAttributes(vec!["arpt".into(), "number".into()])),
+            );
+        let out = execute(&mapping, &source).unwrap();
+        let strips: Vec<&Node> = out.children_named("strip").collect();
+        assert_eq!(strips.len(), 2);
+        assert_eq!(strips[0].value_at("id"), Value::from("strip(KJFK,04L)"));
+        assert_eq!(strips[0].value_at("airportName"), Value::from("Kennedy"));
+        assert_eq!(strips[0].value_at("surfaceText"), Value::from("asphalt"));
+        let asp: Vec<&Node> = out.children_named("asphaltRunway").collect();
+        assert_eq!(asp.len(), 1);
+        assert_eq!(asp[0].value_at("id"), Value::from("KJFK:04L"));
+    }
+
+    #[test]
+    fn aggregation_rule_executes() {
+        let source = Node::elem("hr").with(
+            Node::elem("DEPARTMENT")
+                .with_leaf("name", "tower")
+                .with(Node::elem("employee").with_leaf("salary", 10.0))
+                .with(Node::elem("employee").with_leaf("salary", 20.0)),
+        );
+        let mapping = LogicalMapping::new("report").with_rule(
+            EntityRule::new(
+                "deptSummary",
+                EntityMapping::Direct {
+                    source: "DEPARTMENT".into(),
+                },
+            )
+            .with_attr(AttrRule::new(
+                "avgSalary",
+                AttributeTransformation::Aggregate {
+                    op: AggregateOp::Avg,
+                    path: "employee/salary".into(),
+                },
+            )),
+        );
+        let out = execute(&mapping, &source).unwrap();
+        assert_eq!(
+            out.child("deptSummary").unwrap().value_at("avgSalary").as_num(),
+            Some(15.0)
+        );
+    }
+
+    #[test]
+    fn expression_errors_propagate() {
+        let source = Node::elem("doc").with(Node::elem("e").with_leaf("x", "text"));
+        let mapping = LogicalMapping::new("out").with_rule(
+            EntityRule::new("t", EntityMapping::Direct { source: "e".into() }).with_attr(
+                AttrRule::new(
+                    "bad",
+                    AttributeTransformation::Scalar(parse_expr("data($src/x) * 2").unwrap()),
+                ),
+            ),
+        );
+        assert!(execute(&mapping, &source).is_err());
+    }
+
+    #[test]
+    fn empty_mapping_emits_empty_root() {
+        let out = execute(&LogicalMapping::new("empty"), &Node::elem("src")).unwrap();
+        assert_eq!(out.name, "empty");
+        assert!(out.children.is_empty());
+    }
+}

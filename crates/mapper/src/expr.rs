@@ -1,0 +1,435 @@
+//! The transformation expression language.
+//!
+//! The mapping matrix's `code` annotations (Figure 3) hold expressions
+//! in a small XQuery-flavoured language: variables (`$shipto`), child
+//! paths (`$shipto/subtotal`), literals, arithmetic, comparisons,
+//! function calls (`concat(...)`, `data(...)`), and conditionals.
+//! [`Expr`] is the AST; evaluation happens against an [`Env`] binding
+//! variables to instance nodes or scalar values.
+
+use crate::functions::call_builtin;
+use crate::instance::Node;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A variable binding: a node (navigable) or a scalar.
+#[derive(Debug, Clone)]
+pub enum Binding {
+    /// A subtree of the instance document.
+    Node(Node),
+    /// A scalar value.
+    Value(Value),
+}
+
+/// The evaluation environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: HashMap<String, Binding>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable to an instance node.
+    pub fn bind_node(&mut self, name: impl Into<String>, node: Node) -> &mut Self {
+        self.vars.insert(name.into(), Binding::Node(node));
+        self
+    }
+
+    /// Bind a variable to a scalar.
+    pub fn bind_value(&mut self, name: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.vars.insert(name.into(), Binding::Value(value.into()));
+        self
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, name: &str) -> Option<&Binding> {
+        self.vars.get(name)
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Reference to an unbound variable.
+    UnboundVariable(String),
+    /// Path step applied to a scalar, or missing child.
+    BadPath(String),
+    /// Unknown function name.
+    UnknownFunction(String),
+    /// A function was called with unusable arguments.
+    BadArguments(String),
+    /// Arithmetic on non-numeric values.
+    NotNumeric(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            EvalError::BadPath(p) => write!(f, "path does not resolve: {p}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
+            EvalError::BadArguments(m) => write!(f, "bad arguments: {m}"),
+            EvalError::NotNumeric(m) => write!(f, "not numeric: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Equality (string-compare unless both numeric).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (numeric).
+    Lt,
+    /// Less-or-equal (numeric).
+    Le,
+    /// Greater-than (numeric).
+    Gt,
+    /// Greater-or-equal (numeric).
+    Ge,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A variable reference (`$name`).
+    Var(String),
+    /// Child-path navigation from a base expression
+    /// (`$shipto/subtotal`).
+    Path(Box<Expr>, Vec<String>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional: `if (cond) then a else b`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Shorthand for `$var/a/b`.
+    pub fn path(base: Expr, segments: &[&str]) -> Expr {
+        Expr::Path(Box::new(base), segments.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    /// Shorthand for a call.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.into(), args)
+    }
+
+    /// Evaluate to a scalar. Nodes decay to their value (or the value of
+    /// their single leaf content) the way XQuery atomisation works.
+    pub fn eval(&self, env: &Env) -> Result<Value, EvalError> {
+        match self.eval_binding(env)? {
+            Binding::Value(v) => Ok(v),
+            Binding::Node(n) => Ok(atomize(&n)),
+        }
+    }
+
+    fn eval_binding(&self, env: &Env) -> Result<Binding, EvalError> {
+        match self {
+            Expr::Lit(v) => Ok(Binding::Value(v.clone())),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            Expr::Path(base, segments) => {
+                let b = base.eval_binding(env)?;
+                let Binding::Node(mut node) = b else {
+                    return Err(EvalError::BadPath(format!(
+                        "{self} applies a path to a scalar"
+                    )));
+                };
+                for seg in segments {
+                    match node.child(seg) {
+                        Some(c) => node = c.clone(),
+                        None => return Ok(Binding::Value(Value::Null)),
+                    }
+                }
+                Ok(Binding::Node(node))
+            }
+            Expr::Call(name, args) => {
+                if name == "data" {
+                    // data() atomises its single argument.
+                    let [arg] = args.as_slice() else {
+                        return Err(EvalError::BadArguments("data() takes one argument".into()));
+                    };
+                    return Ok(Binding::Value(arg.eval(env)?));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(env)?);
+                }
+                call_builtin(name, &vals).map(Binding::Value)
+            }
+            Expr::Bin(op, l, r) => {
+                let lv = l.eval(env)?;
+                let rv = r.eval(env)?;
+                apply_binop(*op, &lv, &rv).map(Binding::Value)
+            }
+            Expr::If(c, t, e) => {
+                if c.eval(env)?.truthy() {
+                    t.eval_binding(env)
+                } else {
+                    e.eval_binding(env)
+                }
+            }
+        }
+    }
+}
+
+/// XQuery-style atomisation of a node: its own value, else the
+/// concatenated values of its leaf descendants.
+fn atomize(node: &Node) -> Value {
+    if let Some(v) = &node.value {
+        return v.clone();
+    }
+    let mut parts = Vec::new();
+    collect_leaves(node, &mut parts);
+    if parts.is_empty() {
+        Value::Null
+    } else {
+        Value::Str(parts.join(" "))
+    }
+}
+
+fn collect_leaves(node: &Node, out: &mut Vec<String>) {
+    if let Some(v) = &node.value {
+        out.push(v.as_str());
+    }
+    for c in &node.children {
+        collect_leaves(c, out);
+    }
+}
+
+fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div => {
+            let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
+                return Err(EvalError::NotNumeric(format!("{l:?} {op:?} {r:?}")));
+            };
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Num(v))
+        }
+        Eq | Ne => {
+            let equal = match (l.as_num(), r.as_num()) {
+                (Some(a), Some(b)) => a == b,
+                _ => l.as_str() == r.as_str(),
+            };
+            Ok(Value::Bool(if op == Eq { equal } else { !equal }))
+        }
+        Lt | Le | Gt | Ge => {
+            let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
+                // Fall back to string ordering.
+                let (a, b) = (l.as_str(), r.as_str());
+                let res = match op {
+                    Lt => a < b,
+                    Le => a <= b,
+                    Gt => a > b,
+                    Ge => a >= b,
+                    _ => unreachable!(),
+                };
+                return Ok(Value::Bool(res));
+            };
+            let res = match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(res))
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(Value::Str(s)) => write!(f, "\"{s}\""),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Var(n) => write!(f, "${n}"),
+            Expr::Path(base, segs) => {
+                write!(f, "{base}")?;
+                for s in segs {
+                    write!(f, "/{s}")?;
+                }
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Bin(op, l, r) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "div",
+                    BinOp::Eq => "=",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                };
+                write!(f, "{l} {sym} {r}")
+            }
+            Expr::If(c, t, e) => write!(f, "if ({c}) then {t} else {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Env {
+        let shipto = Node::elem("shipTo")
+            .with_leaf("firstName", "Ada")
+            .with_leaf("lastName", "Lovelace")
+            .with_leaf("subtotal", 100.0);
+        let mut e = Env::new();
+        e.bind_node("shipto", shipto);
+        e.bind_value("lName", "Lovelace");
+        e.bind_value("fName", "Ada");
+        e
+    }
+
+    #[test]
+    fn figure3_total_expression() {
+        // data($shipto/subtotal) * 1.05
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::call(
+                "data",
+                vec![Expr::path(Expr::var("shipto"), &["subtotal"])],
+            )),
+            Box::new(Expr::lit(1.05)),
+        );
+        assert_eq!(e.eval(&env()).unwrap().as_num(), Some(105.0));
+    }
+
+    #[test]
+    fn figure3_name_expression() {
+        // concat($lName, concat(", ", $fName))
+        let e = Expr::call(
+            "concat",
+            vec![
+                Expr::var("lName"),
+                Expr::call("concat", vec![Expr::lit(", "), Expr::var("fName")]),
+            ],
+        );
+        assert_eq!(e.eval(&env()).unwrap(), Value::from("Lovelace, Ada"));
+    }
+
+    #[test]
+    fn missing_path_is_null_not_error() {
+        let e = Expr::path(Expr::var("shipto"), &["zipCode"]);
+        assert_eq!(e.eval(&env()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = Expr::var("ghost");
+        assert_eq!(
+            e.eval(&env()).unwrap_err(),
+            EvalError::UnboundVariable("ghost".into())
+        );
+    }
+
+    #[test]
+    fn path_on_scalar_errors() {
+        let e = Expr::path(Expr::var("lName"), &["x"]);
+        assert!(matches!(e.eval(&env()).unwrap_err(), EvalError::BadPath(_)));
+    }
+
+    #[test]
+    fn comparisons_and_conditionals() {
+        let cond = Expr::Bin(
+            BinOp::Gt,
+            Box::new(Expr::path(Expr::var("shipto"), &["subtotal"])),
+            Box::new(Expr::lit(50.0)),
+        );
+        let e = Expr::If(
+            Box::new(cond),
+            Box::new(Expr::lit("large")),
+            Box::new(Expr::lit("small")),
+        );
+        assert_eq!(e.eval(&env()).unwrap(), Value::from("large"));
+    }
+
+    #[test]
+    fn equality_is_numeric_aware() {
+        let e = Expr::Bin(BinOp::Eq, Box::new(Expr::lit("5")), Box::new(Expr::lit(5.0)));
+        assert_eq!(e.eval(&Env::new()).unwrap(), Value::Bool(true));
+        let e = Expr::Bin(BinOp::Ne, Box::new(Expr::lit("a")), Box::new(Expr::lit("b")));
+        assert_eq!(e.eval(&Env::new()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn atomisation_joins_leaves() {
+        let mut e = Env::new();
+        e.bind_node(
+            "n",
+            Node::elem("x").with_leaf("a", "1").with_leaf("b", "2"),
+        );
+        assert_eq!(Expr::var("n").eval(&e).unwrap(), Value::from("1 2"));
+    }
+
+    #[test]
+    fn arithmetic_on_text_errors() {
+        let e = Expr::Bin(BinOp::Add, Box::new(Expr::lit("x")), Box::new(Expr::lit(1.0)));
+        assert!(matches!(e.eval(&Env::new()).unwrap_err(), EvalError::NotNumeric(_)));
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let e = Expr::call(
+            "concat",
+            vec![Expr::var("lName"), Expr::lit(", ")],
+        );
+        assert_eq!(e.to_string(), "concat($lName, \", \")");
+    }
+}

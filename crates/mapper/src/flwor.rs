@@ -1,0 +1,303 @@
+//! An interpreter for the generated XQuery subset.
+//!
+//! §5.3: "the integration engineer … can initiate the automatic
+//! generation of XQuery code … At any point this code can be tested on
+//! sample documents." [`run_xquery`] makes the generated program itself
+//! executable: it parses the FLWOR shape [`crate::xquery`] emits —
+//!
+//! ```text
+//! let $var := $doc/path/steps
+//! let $other := $var/more/steps
+//! return
+//!   <element>
+//!     <child>{ expression }</child>
+//!     <empty/>
+//!   </element>
+//! ```
+//!
+//! — binds the `let` variables against a source document (sequentially,
+//! so later bindings may reference earlier ones; `$doc` is the document
+//! root), and evaluates each embedded expression with the expression
+//! engine of [`crate::expr`].
+
+use crate::expr::{Env, EvalError};
+use crate::instance::Node;
+use crate::parser::parse_expr;
+use crate::value::Value;
+use std::fmt;
+
+/// A failure while parsing or running an XQuery program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XQueryError {
+    /// The program text doesn't have the expected FLWOR shape.
+    Malformed {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// An embedded expression failed to parse or evaluate.
+    Expression(String),
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XQueryError::Malformed { line, message } => {
+                write!(f, "malformed XQuery at line {line}: {message}")
+            }
+            XQueryError::Expression(m) => write!(f, "expression error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+impl From<EvalError> for XQueryError {
+    fn from(e: EvalError) -> Self {
+        XQueryError::Expression(e.to_string())
+    }
+}
+
+/// Execute a generated-subset XQuery program against a source document
+/// (bound as `$doc`). Returns the constructed target document.
+pub fn run_xquery(program: &str, doc: &Node) -> Result<Node, XQueryError> {
+    let mut env = Env::new();
+    env.bind_node("doc", doc.clone());
+
+    let mut lines = program.lines().enumerate().peekable();
+
+    // `let` clauses.
+    while let Some(&(lineno, line)) = lines.peek() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            lines.next();
+            continue;
+        }
+        let Some(rest) = trimmed.strip_prefix("let ") else {
+            break;
+        };
+        lines.next();
+        let (var, rhs) = rest.split_once(":=").ok_or(XQueryError::Malformed {
+            line: lineno + 1,
+            message: "let without ':='".into(),
+        })?;
+        let var = var.trim().strip_prefix('$').ok_or(XQueryError::Malformed {
+            line: lineno + 1,
+            message: "let variable must start with '$'".into(),
+        })?;
+        // The RHS is a path expression; bind the *node* so later paths
+        // can navigate into it.
+        let node = resolve_path_rhs(rhs.trim(), &env).map_err(|m| XQueryError::Malformed {
+            line: lineno + 1,
+            message: m,
+        })?;
+        match node {
+            Some(n) => env.bind_node(var.trim(), n),
+            None => env.bind_value(var.trim(), Value::Null),
+        };
+    }
+
+    // `return`.
+    match lines.next() {
+        Some((_, line)) if line.trim() == "return" => {}
+        Some((lineno, line)) => {
+            return Err(XQueryError::Malformed {
+                line: lineno + 1,
+                message: format!("expected 'return', found {:?}", line.trim()),
+            })
+        }
+        None => {
+            return Err(XQueryError::Malformed {
+                line: 0,
+                message: "missing 'return' clause".into(),
+            })
+        }
+    }
+
+    // Constructor block.
+    let rest: Vec<(usize, &str)> = lines.collect();
+    let mut idx = 0;
+    let root = parse_constructor(&rest, &mut idx, &env)?;
+    Ok(root)
+}
+
+/// Resolve a `$var/a/b` RHS into a subtree (None when a step misses).
+fn resolve_path_rhs(rhs: &str, env: &Env) -> Result<Option<Node>, String> {
+    let mut steps = rhs.split('/').map(str::trim);
+    let base = steps
+        .next()
+        .ok_or_else(|| "empty let binding".to_owned())?
+        .strip_prefix('$')
+        .ok_or_else(|| format!("let binding must start at a variable: {rhs:?}"))?;
+    let Some(binding) = env.get(base) else {
+        return Err(format!("unbound variable ${base}"));
+    };
+    let crate::expr::Binding::Node(mut node) = binding.clone() else {
+        return Err(format!("${base} is not a node"));
+    };
+    for step in steps {
+        match node.child(step) {
+            Some(c) => node = c.clone(),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(node))
+}
+
+/// Parse one `<name>…</name>` / `<name/>` / `<name>{ expr }</name>`
+/// constructor starting at `lines[*idx]`.
+fn parse_constructor(
+    lines: &[(usize, &str)],
+    idx: &mut usize,
+    env: &Env,
+) -> Result<Node, XQueryError> {
+    // Skip blank lines.
+    while *idx < lines.len() && lines[*idx].1.trim().is_empty() {
+        *idx += 1;
+    }
+    let Some(&(lineno, raw)) = lines.get(*idx) else {
+        return Err(XQueryError::Malformed {
+            line: 0,
+            message: "expected an element constructor".into(),
+        });
+    };
+    let line = raw.trim();
+    *idx += 1;
+
+    // Self-closing.
+    if let Some(name) = line.strip_prefix('<').and_then(|s| s.strip_suffix("/>")) {
+        return Ok(Node::elem(name.trim()));
+    }
+    // Single-line `<name>{ expr }</name>`.
+    if let Some((name, rest)) = line
+        .strip_prefix('<')
+        .and_then(|s| s.split_once('>'))
+    {
+        let close = format!("</{name}>");
+        if let Some(inner) = rest.strip_suffix(close.as_str()) {
+            let inner = inner.trim();
+            let inner_expr = inner
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or(XQueryError::Malformed {
+                    line: lineno + 1,
+                    message: format!("expected {{ expression }} inside <{name}>"),
+                })?;
+            let expr = parse_expr(inner_expr.trim())
+                .map_err(|e| XQueryError::Expression(e.to_string()))?;
+            let value = expr.eval(env)?;
+            return Ok(Node::leaf(name, value));
+        }
+        // Multi-line container: children until the closing tag.
+        let mut node = Node::elem(name);
+        loop {
+            while *idx < lines.len() && lines[*idx].1.trim().is_empty() {
+                *idx += 1;
+            }
+            let Some(&(l2, raw2)) = lines.get(*idx) else {
+                return Err(XQueryError::Malformed {
+                    line: lineno + 1,
+                    message: format!("unterminated <{name}>"),
+                });
+            };
+            if raw2.trim() == close {
+                *idx += 1;
+                return Ok(node);
+            }
+            let child = parse_constructor(lines, idx, env)?;
+            node.children.push(child);
+            let _ = l2;
+        }
+    }
+    Err(XQueryError::Malformed {
+        line: lineno + 1,
+        message: format!("expected an element constructor, found {line:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xquery::{generate_xquery, MatrixCodegen};
+
+    fn sample_doc() -> Node {
+        Node::elem("purchaseOrder").with(
+            Node::elem("shipTo")
+                .with_leaf("firstName", "Ada")
+                .with_leaf("lastName", "Lovelace")
+                .with_leaf("subtotal", 100.0),
+        )
+    }
+
+    const FIG3_PROGRAM: &str = "let $shipto := $doc/shipTo\n\
+         let $fName := $shipto/firstName\n\
+         let $lName := $shipto/lastName\n\
+         return\n  <shippingInfo>\n    \
+         <name>{ concat(data($lName), concat(\", \", data($fName))) }</name>\n    \
+         <total>{ data($shipto/subtotal) * 1.05 }</total>\n  </shippingInfo>\n";
+
+    #[test]
+    fn figure3_program_runs_directly() {
+        let out = run_xquery(FIG3_PROGRAM, &sample_doc()).unwrap();
+        assert_eq!(out.name, "shippingInfo");
+        assert_eq!(out.value_at("name"), Value::from("Lovelace, Ada"));
+        assert_eq!(out.value_at("total").as_num(), Some(105.0));
+    }
+
+    #[test]
+    fn generated_programs_are_executable() {
+        // Close the loop: what generate_xquery emits, run_xquery runs.
+        let input = MatrixCodegen::new("shippingInfo")
+            .with_row("shipto", "$doc/shipTo")
+            .with_column("total", "data($shipto/subtotal) * 1.05")
+            .with_empty_column("pending");
+        let program = generate_xquery(&input);
+        let out = run_xquery(&program, &sample_doc()).unwrap();
+        assert_eq!(out.value_at("total").as_num(), Some(105.0));
+        // The empty column becomes an empty element.
+        assert!(out.child("pending").unwrap().value.is_none());
+    }
+
+    #[test]
+    fn chained_lets_resolve_sequentially() {
+        let program = "let $a := $doc/shipTo\nlet $b := $a/firstName\nreturn\n  <out>\n    <x>{ data($b) }</x>\n  </out>\n";
+        let out = run_xquery(program, &sample_doc()).unwrap();
+        assert_eq!(out.value_at("x"), Value::from("Ada"));
+    }
+
+    #[test]
+    fn missing_paths_bind_null() {
+        let program = "let $z := $doc/noSuchChild\nreturn\n  <out>\n    <x>{ coalesce($z, \"fallback\") }</x>\n  </out>\n";
+        let out = run_xquery(program, &sample_doc()).unwrap();
+        assert_eq!(out.value_at("x"), Value::from("fallback"));
+    }
+
+    #[test]
+    fn malformed_programs_report_lines() {
+        let err = run_xquery("let $a = $doc\nreturn\n  <x/>", &sample_doc()).unwrap_err();
+        assert!(matches!(err, XQueryError::Malformed { line: 1, .. }));
+        let err = run_xquery("let $a := $doc\n  <x/>", &sample_doc()).unwrap_err();
+        assert!(matches!(err, XQueryError::Malformed { .. }));
+        let err = run_xquery("return\n  <x>not an expr</x>", &sample_doc()).unwrap_err();
+        assert!(matches!(err, XQueryError::Malformed { .. }));
+        let err = run_xquery("let $a := doc/x\nreturn\n  <x/>", &sample_doc()).unwrap_err();
+        assert!(err.to_string().contains("variable"));
+    }
+
+    #[test]
+    fn expression_errors_surface() {
+        let program = "return\n  <out>\n    <x>{ data($ghost) }</x>\n  </out>\n";
+        let err = run_xquery(program, &sample_doc()).unwrap_err();
+        assert!(matches!(err, XQueryError::Expression(_)));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn nested_constructors() {
+        let program = "return\n  <a>\n    <b>\n      <c>{ 1 + 1 }</c>\n    </b>\n    <d/>\n  </a>\n";
+        let out = run_xquery(program, &Node::elem("doc")).unwrap();
+        assert_eq!(out.value_at("b/c").as_num(), Some(2.0));
+        assert!(out.child("d").is_some());
+    }
+}

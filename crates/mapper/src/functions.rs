@@ -1,0 +1,218 @@
+//! The built-in function library.
+//!
+//! Task 4's "algorithmic transformation … for example, to convert from
+//! feet to meters, or from first- and last-name to full-name" (§3.3)
+//! and the string/date helpers that mapping code needs. All functions
+//! are pure `&[Value] -> Value`.
+
+use crate::expr::EvalError;
+use crate::value::Value;
+
+/// Invoke a built-in by name.
+pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let num = |i: usize| -> Result<f64, EvalError> {
+        args.get(i)
+            .and_then(Value::as_num)
+            .ok_or_else(|| EvalError::BadArguments(format!("{name}(): argument {i} not numeric")))
+    };
+    let text = |i: usize| -> Result<String, EvalError> {
+        args.get(i)
+            .map(Value::as_str)
+            .ok_or_else(|| EvalError::BadArguments(format!("{name}(): missing argument {i}")))
+    };
+    Ok(match name {
+        // String functions.
+        "concat" => {
+            let mut s = String::new();
+            for a in args {
+                s.push_str(&a.as_str());
+            }
+            Value::Str(s)
+        }
+        "upper-case" | "upper" => Value::Str(text(0)?.to_uppercase()),
+        "lower-case" | "lower" => Value::Str(text(0)?.to_lowercase()),
+        "trim" | "normalize-space" => {
+            Value::Str(text(0)?.split_whitespace().collect::<Vec<_>>().join(" "))
+        }
+        "string-length" => Value::Num(text(0)?.chars().count() as f64),
+        "substring" => {
+            // substring(s, start[, len]) — 1-based, like XQuery.
+            let s = text(0)?;
+            let start = num(1)? as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let from = start.saturating_sub(1).min(chars.len());
+            let to = match args.get(2) {
+                Some(v) => {
+                    let len = v.as_num().ok_or_else(|| {
+                        EvalError::BadArguments("substring(): length not numeric".into())
+                    })? as usize;
+                    (from + len).min(chars.len())
+                }
+                None => chars.len(),
+            };
+            Value::Str(chars[from..to].iter().collect())
+        }
+        "contains" => Value::Bool(text(0)?.contains(&text(1)?)),
+        "starts-with" => Value::Bool(text(0)?.starts_with(&text(1)?)),
+        "replace" => Value::Str(text(0)?.replace(&text(1)?, &text(2)?)),
+        "string" => Value::Str(text(0)?),
+        // Numeric functions.
+        "number" => Value::Num(num(0)?),
+        "round" => Value::Num(num(0)?.round()),
+        "floor" => Value::Num(num(0)?.floor()),
+        "ceiling" => Value::Num(num(0)?.ceil()),
+        "abs" => Value::Num(num(0)?.abs()),
+        // Unit conversions (task 4's canonical example).
+        "feet-to-meters" => Value::Num(num(0)? * 0.3048),
+        "meters-to-feet" => Value::Num(num(0)? / 0.3048),
+        "miles-to-km" => Value::Num(num(0)? * 1.609_344),
+        "km-to-miles" => Value::Num(num(0)? / 1.609_344),
+        "fahrenheit-to-celsius" => Value::Num((num(0)? - 32.0) * 5.0 / 9.0),
+        "celsius-to-fahrenheit" => Value::Num(num(0)? * 9.0 / 5.0 + 32.0),
+        "pounds-to-kg" => Value::Num(num(0)? * 0.453_592_37),
+        // Date helpers over ISO `YYYY-MM-DD` strings.
+        "year-of" => {
+            let s = text(0)?;
+            let year: f64 = s
+                .split('-')
+                .next()
+                .and_then(|y| y.parse().ok())
+                .ok_or_else(|| EvalError::BadArguments(format!("year-of(): bad date {s:?}")))?;
+            Value::Num(year)
+        }
+        // Age from birthdate, relative to an explicit as-of date
+        // (deterministic: no system clock). Task 5's "Age from
+        // Birthdate" example.
+        "age-at" => {
+            let birth = parse_iso_date(&text(0)?)
+                .ok_or_else(|| EvalError::BadArguments("age-at(): bad birth date".into()))?;
+            let asof = parse_iso_date(&text(1)?)
+                .ok_or_else(|| EvalError::BadArguments("age-at(): bad as-of date".into()))?;
+            let mut age = asof.0 - birth.0;
+            if (asof.1, asof.2) < (birth.1, birth.2) {
+                age -= 1;
+            }
+            Value::Num(age as f64)
+        }
+        // Null handling.
+        "coalesce" => args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null),
+        "if-empty" => {
+            let v = args
+                .first()
+                .ok_or_else(|| EvalError::BadArguments("if-empty(): no arguments".into()))?;
+            if v.is_null() || v.as_str().is_empty() {
+                args.get(1).cloned().unwrap_or(Value::Null)
+            } else {
+                v.clone()
+            }
+        }
+        _ => return Err(EvalError::UnknownFunction(name.to_owned())),
+    })
+}
+
+/// Parse `YYYY-MM-DD` into (year, month, day).
+fn parse_iso_date(s: &str) -> Option<(i64, u32, u32)> {
+    let mut it = s.split('-');
+    let y = it.next()?.parse().ok()?;
+    let m = it.next()?.parse().ok()?;
+    let d = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some((y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        call_builtin(name, args).unwrap()
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            call("concat", &["a".into(), "b".into(), 3i64.into()]),
+            Value::from("ab3")
+        );
+        assert_eq!(call("upper-case", &["abc".into()]), Value::from("ABC"));
+        assert_eq!(call("trim", &["  a   b ".into()]), Value::from("a b"));
+        assert_eq!(call("string-length", &["héllo".into()]).as_num(), Some(5.0));
+        assert_eq!(
+            call("substring", &["hello".into(), 2i64.into(), 3i64.into()]),
+            Value::from("ell")
+        );
+        assert_eq!(call("substring", &["hello".into(), 3i64.into()]), Value::from("llo"));
+        assert_eq!(call("contains", &["abc".into(), "bc".into()]), Value::Bool(true));
+        assert_eq!(
+            call("replace", &["a-b-c".into(), "-".into(), "/".into()]),
+            Value::from("a/b/c")
+        );
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let m = call("feet-to-meters", &[100i64.into()]).as_num().unwrap();
+        assert!((m - 30.48).abs() < 1e-9);
+        let f = call("meters-to-feet", &[Value::Num(30.48)]).as_num().unwrap();
+        assert!((f - 100.0).abs() < 1e-9);
+        let c = call("fahrenheit-to-celsius", &[212i64.into()]).as_num().unwrap();
+        assert!((c - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn date_functions() {
+        assert_eq!(call("year-of", &["1815-12-10".into()]).as_num(), Some(1815.0));
+        assert_eq!(
+            call("age-at", &["1815-12-10".into(), "1852-11-27".into()]).as_num(),
+            Some(36.0)
+        );
+        assert_eq!(
+            call("age-at", &["1815-12-10".into(), "1852-12-10".into()]).as_num(),
+            Some(37.0)
+        );
+        assert!(call_builtin("age-at", &["nonsense".into(), "2000-01-01".into()]).is_err());
+    }
+
+    #[test]
+    fn null_handling() {
+        assert_eq!(
+            call("coalesce", &[Value::Null, Value::Null, "x".into()]),
+            Value::from("x")
+        );
+        assert_eq!(call("coalesce", &[Value::Null]), Value::Null);
+        assert_eq!(
+            call("if-empty", &["".into(), "default".into()]),
+            Value::from("default")
+        );
+        assert_eq!(
+            call("if-empty", &["real".into(), "default".into()]),
+            Value::from("real")
+        );
+    }
+
+    #[test]
+    fn unknown_function_and_bad_args() {
+        assert!(matches!(
+            call_builtin("no-such-fn", &[]).unwrap_err(),
+            EvalError::UnknownFunction(_)
+        ));
+        assert!(matches!(
+            call_builtin("round", &["text".into()]).unwrap_err(),
+            EvalError::BadArguments(_)
+        ));
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call("round", &[Value::Num(2.5)]).as_num(), Some(3.0));
+        assert_eq!(call("floor", &[Value::Num(2.9)]).as_num(), Some(2.0));
+        assert_eq!(call("ceiling", &[Value::Num(2.1)]).as_num(), Some(3.0));
+        assert_eq!(call("abs", &[Value::Num(-2.0)]).as_num(), Some(2.0));
+    }
+}

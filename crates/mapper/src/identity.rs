@@ -1,0 +1,95 @@
+//! Object identity (task 7, §3.3).
+//!
+//! "For each entity in the target, the next step is to determine how
+//! unique identifiers will be generated. In the simplest case, explicit
+//! key attributes in the source can be used to generate key values in
+//! the target… For arbitrarily assigned identifiers (such as internal
+//! object identifiers), Skolem functions are commonly employed."
+
+use crate::instance::Node;
+use crate::value::Value;
+
+/// How a target instance's identifier is produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyGen {
+    /// Concatenate explicit source key attributes (joined with `:`).
+    FromAttributes(Vec<String>),
+    /// A Skolem function: a deterministic injective term over the named
+    /// argument attributes, rendered `name(v1,v2,…)`. Equal arguments ⇒
+    /// equal identifier; different functions never collide (the function
+    /// name is part of the term).
+    Skolem {
+        /// The Skolem function's name.
+        name: String,
+        /// Attribute paths supplying the arguments.
+        args: Vec<String>,
+    },
+    /// No identifier (targets without keys).
+    None,
+}
+
+impl KeyGen {
+    /// Generate the identifier for one source entity instance.
+    pub fn generate(&self, entity: &Node) -> Value {
+        match self {
+            KeyGen::FromAttributes(attrs) => {
+                let parts: Vec<String> = attrs
+                    .iter()
+                    .map(|a| entity.value_at(a).as_str())
+                    .collect();
+                Value::Str(parts.join(":"))
+            }
+            KeyGen::Skolem { name, args } => {
+                let parts: Vec<String> =
+                    args.iter().map(|a| entity.value_at(a).as_str()).collect();
+                Value::Str(format!("{name}({})", parts.join(",")))
+            }
+            KeyGen::None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runway() -> Node {
+        Node::elem("RUNWAY")
+            .with_leaf("arpt", "KJFK")
+            .with_leaf("number", "04L")
+    }
+
+    #[test]
+    fn key_from_attributes_concatenates() {
+        let k = KeyGen::FromAttributes(vec!["arpt".into(), "number".into()]);
+        assert_eq!(k.generate(&runway()), Value::from("KJFK:04L"));
+    }
+
+    #[test]
+    fn skolem_terms_are_deterministic_and_injective_per_function() {
+        let k = KeyGen::Skolem {
+            name: "rwy".into(),
+            args: vec!["arpt".into(), "number".into()],
+        };
+        let id1 = k.generate(&runway());
+        let id2 = k.generate(&runway());
+        assert_eq!(id1, id2, "deterministic");
+        assert_eq!(id1, Value::from("rwy(KJFK,04L)"));
+        let other_fn = KeyGen::Skolem {
+            name: "strip".into(),
+            args: vec!["arpt".into(), "number".into()],
+        };
+        assert_ne!(other_fn.generate(&runway()), id1, "function name disambiguates");
+    }
+
+    #[test]
+    fn missing_attributes_yield_empty_segments() {
+        let k = KeyGen::FromAttributes(vec!["arpt".into(), "ghost".into()]);
+        assert_eq!(k.generate(&runway()), Value::from("KJFK:"));
+    }
+
+    #[test]
+    fn none_generates_null() {
+        assert_eq!(KeyGen::None.generate(&runway()), Value::Null);
+    }
+}

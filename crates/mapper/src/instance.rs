@@ -1,0 +1,189 @@
+//! The instance data model mappings execute over.
+//!
+//! One tree shape covers both worlds the paper bridges: relational data
+//! (a table node whose children are row nodes whose children are typed
+//! leaves) and XML documents (arbitrarily nested elements). Leaves carry
+//! a [`Value`]; interior nodes carry children.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A node of an instance tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Element name (tag, table, or column name).
+    pub name: String,
+    /// Leaf payload; interior nodes have `None`.
+    pub value: Option<Value>,
+    /// Child nodes, in document order.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// An interior node.
+    pub fn elem(name: impl Into<String>) -> Self {
+        Node {
+            name: name.into(),
+            value: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// A leaf node with a value.
+    pub fn leaf(name: impl Into<String>, value: impl Into<Value>) -> Self {
+        Node {
+            name: name.into(),
+            value: Some(value.into()),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append a child.
+    pub fn with(mut self, child: Node) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder-style: append a leaf child.
+    pub fn with_leaf(self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.with(Node::leaf(name, value))
+    }
+
+    /// First child with the given name.
+    pub fn child(&self, name: &str) -> Option<&Node> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Node> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Navigate a slash-separated path of child names (first match per
+    /// step).
+    pub fn at(&self, path: &str) -> Option<&Node> {
+        let mut cur = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            cur = cur.child(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// The leaf value at a path, or [`Value::Null`] when the path or
+    /// value is missing.
+    pub fn value_at(&self, path: &str) -> Value {
+        self.at(path)
+            .and_then(|n| n.value.clone())
+            .unwrap_or(Value::Null)
+    }
+
+    /// Total node count of the subtree (self included).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Node::size).sum::<usize>()
+    }
+
+    /// Render as indented text (for examples and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, indent: usize, out: &mut String) {
+        use fmt::Write;
+        let pad = "  ".repeat(indent);
+        match &self.value {
+            Some(v) => {
+                let _ = writeln!(out, "{pad}{} = {v}", self.name);
+            }
+            None => {
+                let _ = writeln!(out, "{pad}{}", self.name);
+            }
+        }
+        for c in &self.children {
+            c.render_into(indent + 1, out);
+        }
+    }
+
+    /// Render as XML text (the shape AquaLogic-generated XQuery would
+    /// emit).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.xml_into(&mut out);
+        out
+    }
+
+    fn xml_into(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        out.push('>');
+        if let Some(v) = &self.value {
+            out.push_str(&escape(&v.as_str()));
+        }
+        for c in &self.children {
+            c.xml_into(out);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn po() -> Node {
+        Node::elem("purchaseOrder").with(
+            Node::elem("shipTo")
+                .with_leaf("firstName", "Ada")
+                .with_leaf("lastName", "Lovelace")
+                .with_leaf("subtotal", 100.0),
+        )
+    }
+
+    #[test]
+    fn navigation_by_path() {
+        let doc = po();
+        assert_eq!(doc.value_at("shipTo/firstName"), Value::from("Ada"));
+        assert_eq!(doc.value_at("shipTo/subtotal").as_num(), Some(100.0));
+        assert_eq!(doc.value_at("shipTo/missing"), Value::Null);
+        assert!(doc.at("nope").is_none());
+        assert_eq!(doc.at("").unwrap().name, "purchaseOrder");
+    }
+
+    #[test]
+    fn repeated_children() {
+        let t = Node::elem("AIRPORT")
+            .with(Node::elem("row").with_leaf("id", 1i64))
+            .with(Node::elem("row").with_leaf("id", 2i64));
+        assert_eq!(t.children_named("row").count(), 2);
+        assert_eq!(t.child("row").unwrap().value_at("id").as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn size_counts_subtree() {
+        assert_eq!(po().size(), 5);
+        assert_eq!(Node::leaf("x", 1i64).size(), 1);
+    }
+
+    #[test]
+    fn render_and_xml() {
+        let doc = po();
+        let text = doc.render();
+        assert!(text.contains("firstName = Ada"));
+        let xml = doc.to_xml();
+        assert!(xml.starts_with("<purchaseOrder><shipTo>"));
+        assert!(xml.contains("<subtotal>100</subtotal>"));
+    }
+
+    #[test]
+    fn xml_escapes_special_characters() {
+        let n = Node::leaf("note", "a<b & c>d");
+        assert_eq!(n.to_xml(), "<note>a&lt;b &amp; c&gt;d</note>");
+    }
+}

@@ -1,0 +1,57 @@
+//! # iwb-mapper — schema mapping and code generation
+//!
+//! The paper integrates Harmony with a commercial mapping tool (BEA
+//! AquaLogic) that supports "manual mapping and automatic code
+//! generation" (§5.3). No commercial tool is available here, so this
+//! crate implements the whole mapping phase of the task model (§3.3,
+//! tasks 4–9) from scratch:
+//!
+//! * [`value`]/[`instance`] — an instance data model (documents/records)
+//!   that mappings execute over;
+//! * [`expr`]/[`parser`]/[`functions`] — the transformation expression
+//!   language that appears in mapping-matrix `code` annotations
+//!   (Figure 3: `concat($lName, concat(", ", $fName))`,
+//!   `data($shipto/subtotal) * 1.05`);
+//! * [`domainmap`] — task 4, domain transformations (direct,
+//!   algorithmic, lookup-table);
+//! * [`attrmap`] — task 5, attribute transformations (scalar,
+//!   aggregation, metadata pushdown);
+//! * [`entitymap`] — task 6, entity transformations (1:1, join, union,
+//!   value-based split);
+//! * [`identity`] — task 7, object identity (key attributes and Skolem
+//!   functions);
+//! * [`logical`]/[`exec`] — task 8, assembling piecemeal transformations
+//!   into an executable whole-schema mapping;
+//! * [`verify`] — task 9, verifying generated instances against the
+//!   target schema;
+//! * [`xquery`] — XQuery-style code generation from mapping-matrix
+//!   annotations (the code generator tool of §5.2.1).
+
+pub mod attrmap;
+pub mod domainmap;
+pub mod entitymap;
+pub mod exec;
+pub mod expr;
+pub mod flwor;
+pub mod functions;
+pub mod identity;
+pub mod instance;
+pub mod logical;
+pub mod parser;
+pub mod value;
+pub mod verify;
+pub mod xquery;
+
+pub use attrmap::AttributeTransformation;
+pub use domainmap::{DomainTransformation, LookupTable};
+pub use entitymap::EntityMapping;
+pub use exec::execute;
+pub use expr::{EvalError, Expr};
+pub use flwor::{run_xquery, XQueryError};
+pub use identity::KeyGen;
+pub use instance::Node;
+pub use logical::{EntityRule, LogicalMapping};
+pub use parser::parse_expr;
+pub use value::Value;
+pub use verify::{verify_instance, Violation};
+pub use xquery::{generate_xquery, MatrixCodegen};

@@ -1,0 +1,143 @@
+//! Logical mappings (task 8, §3.3).
+//!
+//! "The next step is to aggregate the piecemeal mappings, which all
+//! concerned individual elements, into an explicit mapping for entire
+//! databases or documents." An [`EntityRule`] packages one target
+//! entity's entity mapping (task 6), its attribute transformations
+//! (task 5, each possibly wrapping a domain transformation from task 4),
+//! and its identity rule (task 7); a [`LogicalMapping`] is the ordered
+//! collection of rules for the whole target schema.
+
+use crate::attrmap::AttributeTransformation;
+use crate::domainmap::DomainTransformation;
+use crate::entitymap::EntityMapping;
+use crate::identity::KeyGen;
+
+/// One target attribute's population rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRule {
+    /// Target attribute name.
+    pub target: String,
+    /// How the raw value is computed from the source entity.
+    pub transform: AttributeTransformation,
+    /// Optional domain transformation applied to the computed value.
+    pub domain: Option<DomainTransformation>,
+}
+
+impl AttrRule {
+    /// A rule with no domain transformation.
+    pub fn new(target: impl Into<String>, transform: AttributeTransformation) -> Self {
+        AttrRule {
+            target: target.into(),
+            transform,
+            domain: None,
+        }
+    }
+
+    /// Attach a domain transformation.
+    pub fn with_domain(mut self, domain: DomainTransformation) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+}
+
+/// The mapping rule for one target entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityRule {
+    /// Target entity name (one instance node per source entity
+    /// instance).
+    pub target: String,
+    /// How source entity instances are derived (task 6).
+    pub entity: EntityMapping,
+    /// Attribute population rules (tasks 4–5).
+    pub attrs: Vec<AttrRule>,
+    /// Identifier generation (task 7); emitted as an `id` leaf when not
+    /// [`KeyGen::None`].
+    pub key: KeyGen,
+}
+
+impl EntityRule {
+    /// A rule with no attributes yet.
+    pub fn new(target: impl Into<String>, entity: EntityMapping) -> Self {
+        EntityRule {
+            target: target.into(),
+            entity,
+            attrs: Vec::new(),
+            key: KeyGen::None,
+        }
+    }
+
+    /// Append an attribute rule.
+    pub fn with_attr(mut self, rule: AttrRule) -> Self {
+        self.attrs.push(rule);
+        self
+    }
+
+    /// Set the key generator.
+    pub fn with_key(mut self, key: KeyGen) -> Self {
+        self.key = key;
+        self
+    }
+}
+
+/// A whole-target logical mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalMapping {
+    /// Name of the target document root the execution engine emits.
+    pub target_root: String,
+    /// Per-entity rules, in emission order.
+    pub rules: Vec<EntityRule>,
+}
+
+impl LogicalMapping {
+    /// An empty mapping for a target root.
+    pub fn new(target_root: impl Into<String>) -> Self {
+        LogicalMapping {
+            target_root: target_root.into(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Append an entity rule.
+    pub fn with_rule(mut self, rule: EntityRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Total number of attribute rules across entities.
+    pub fn attr_rule_count(&self) -> usize {
+        self.rules.iter().map(|r| r.attrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn builders_compose() {
+        let m = LogicalMapping::new("invoice").with_rule(
+            EntityRule::new(
+                "shippingInfo",
+                EntityMapping::Direct {
+                    source: "shipTo".into(),
+                },
+            )
+            .with_attr(AttrRule::new(
+                "total",
+                AttributeTransformation::Scalar(
+                    parse_expr("data($src/subtotal) * 1.05").unwrap(),
+                ),
+            ))
+            .with_key(KeyGen::Skolem {
+                name: "ship".into(),
+                args: vec!["lastName".into()],
+            }),
+        );
+        assert_eq!(m.rules.len(), 1);
+        assert_eq!(m.attr_rule_count(), 1);
+        assert_eq!(m.rules[0].target, "shippingInfo");
+        assert!(matches!(m.rules[0].key, KeyGen::Skolem { .. }));
+    }
+}

@@ -1,0 +1,404 @@
+//! Parser for the transformation expression language.
+//!
+//! Grammar (precedence climbing):
+//!
+//! ```text
+//! expr    := cmp
+//! cmp     := addsub (('='|'!='|'<'|'<='|'>'|'>=') addsub)?
+//! addsub  := muldiv (('+'|'-') muldiv)*
+//! muldiv  := unary (('*'|'div') unary)*
+//! unary   := '-' unary | primary
+//! primary := number | string | var | call | '(' expr ')' | if-then-else
+//! var     := '$' name ('/' name)*
+//! call    := name '(' (expr (',' expr)*)? ')'
+//! ```
+
+use crate::expr::{BinOp, Expr};
+use crate::value::Value;
+use std::fmt;
+
+/// A parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an expression string into an [`Expr`].
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let mut p = P {
+        src: input,
+        pos: 0,
+    };
+    let e = p.expr()?;
+    p.ws();
+    if p.pos < p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn ws(&mut self) {
+        // Advance by full characters: Unicode whitespace (e.g. U+0085)
+        // is multi-byte.
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.ws();
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Eat a keyword (must not be followed by an identifier char).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.ws();
+        let rest = &self.src[self.pos..];
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
+            if !matches!(after, Some(c) if c.is_alphanumeric() || c == '-' || c == '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        self.ws();
+        let start = self.pos;
+        for c in self.src[self.pos..].chars() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.addsub()?;
+        self.ws();
+        let op = if self.eat("!=") {
+            Some(BinOp::Ne)
+        } else if self.eat("<=") {
+            Some(BinOp::Le)
+        } else if self.eat(">=") {
+            Some(BinOp::Ge)
+        } else if self.eat("=") {
+            Some(BinOp::Eq)
+        } else if self.eat("<") {
+            Some(BinOp::Lt)
+        } else if self.eat(">") {
+            Some(BinOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let right = self.addsub()?;
+                Ok(Expr::Bin(op, Box::new(left), Box::new(right)))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn addsub(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.muldiv()?;
+        loop {
+            self.ws();
+            let op = if self.eat("+") {
+                BinOp::Add
+            } else if self.eat("-") {
+                BinOp::Sub
+            } else {
+                return Ok(left);
+            };
+            let right = self.muldiv()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn muldiv(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            self.ws();
+            let op = if self.eat("*") {
+                BinOp::Mul
+            } else if self.eat_kw("div") {
+                BinOp::Div
+            } else {
+                return Ok(left);
+            };
+            let right = self.unary()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.ws();
+        if self.eat("-") {
+            let inner = self.unary()?;
+            return Ok(Expr::Bin(
+                BinOp::Sub,
+                Box::new(Expr::lit(0.0)),
+                Box::new(inner),
+            ));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        self.ws();
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if !self.eat(")") {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some('"') | Some('\'') => self.string_lit(),
+            Some('$') => {
+                self.pos += 1;
+                let base = self.name()?;
+                let mut segments = Vec::new();
+                while self.src[self.pos..].starts_with('/') {
+                    self.pos += 1;
+                    segments.push(self.name()?);
+                }
+                let var = Expr::Var(base);
+                if segments.is_empty() {
+                    Ok(var)
+                } else {
+                    Ok(Expr::Path(Box::new(var), segments))
+                }
+            }
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) if c.is_alphabetic() => {
+                if self.eat_kw("if") {
+                    if !self.eat("(") {
+                        return Err(self.err("expected '(' after if"));
+                    }
+                    let cond = self.expr()?;
+                    if !self.eat(")") {
+                        return Err(self.err("expected ')' after if condition"));
+                    }
+                    if !self.eat_kw("then") {
+                        return Err(self.err("expected 'then'"));
+                    }
+                    let t = self.expr()?;
+                    if !self.eat_kw("else") {
+                        return Err(self.err("expected 'else'"));
+                    }
+                    let e = self.expr()?;
+                    return Ok(Expr::If(Box::new(cond), Box::new(t), Box::new(e)));
+                }
+                if self.eat_kw("true") {
+                    return Ok(Expr::lit(true));
+                }
+                if self.eat_kw("false") {
+                    return Ok(Expr::lit(false));
+                }
+                let name = self.name()?;
+                if !self.eat("(") {
+                    return Err(self.err(format!("expected '(' after function name {name}")));
+                }
+                let mut args = Vec::new();
+                self.ws();
+                if !self.eat(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(",") {
+                            continue;
+                        }
+                        if self.eat(")") {
+                            break;
+                        }
+                        return Err(self.err("expected ',' or ')' in argument list"));
+                    }
+                }
+                Ok(Expr::Call(name, args))
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<Expr, ParseError> {
+        let quote = self.peek().expect("caller checked");
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += c.len_utf8();
+            if c == quote {
+                return Ok(Expr::lit(s));
+            }
+            if c == '\\' {
+                let Some(escaped) = self.peek() else {
+                    return Err(self.err("dangling escape"));
+                };
+                self.pos += escaped.len_utf8();
+                s.push(escaped);
+            } else {
+                s.push(c);
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr, ParseError> {
+        let start = self.pos;
+        for c in self.src[self.pos..].chars() {
+            if c.is_ascii_digit() || c == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        text.parse::<f64>()
+            .map(|n| Expr::lit(Value::Num(n)))
+            .map_err(|_| self.err(format!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Env;
+    use crate::instance::Node;
+
+    #[test]
+    fn figure3_snippets_parse_and_run() {
+        let mut env = Env::new();
+        env.bind_node(
+            "shipto",
+            Node::elem("shipTo").with_leaf("subtotal", 100.0),
+        );
+        env.bind_value("lName", "Lovelace");
+        env.bind_value("fName", "Ada");
+
+        let total = parse_expr("data($shipto/subtotal) * 1.05").unwrap();
+        assert_eq!(total.eval(&env).unwrap().as_num(), Some(105.0));
+
+        let name = parse_expr(r#"concat($lName, concat(", ", $fName))"#).unwrap();
+        assert_eq!(name.eval(&env).unwrap().as_str(), "Lovelace, Ada");
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.eval(&Env::new()).unwrap().as_num(), Some(7.0));
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.eval(&Env::new()).unwrap().as_num(), Some(9.0));
+        let e = parse_expr("10 div 4").unwrap();
+        assert_eq!(e.eval(&Env::new()).unwrap().as_num(), Some(2.5));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expr("-5 + 2").unwrap();
+        assert_eq!(e.eval(&Env::new()).unwrap().as_num(), Some(-3.0));
+    }
+
+    #[test]
+    fn comparisons_and_conditionals() {
+        let e = parse_expr("if (2 > 1) then \"yes\" else \"no\"").unwrap();
+        assert_eq!(e.eval(&Env::new()).unwrap().as_str(), "yes");
+        let e = parse_expr("3 <= 3").unwrap();
+        assert!(e.eval(&Env::new()).unwrap().truthy());
+        let e = parse_expr("1 != 2").unwrap();
+        assert!(e.eval(&Env::new()).unwrap().truthy());
+    }
+
+    #[test]
+    fn string_quotes_both_kinds() {
+        assert_eq!(
+            parse_expr("concat('a', \"b\")").unwrap().eval(&Env::new()).unwrap().as_str(),
+            "ab"
+        );
+    }
+
+    #[test]
+    fn nested_paths_parse() {
+        let e = parse_expr("$doc/a/b/c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Path(
+                Box::new(Expr::var("doc")),
+                vec!["a".into(), "b".into(), "c".into()]
+            )
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("concat(").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("\"unterminated").is_err());
+        assert!(parse_expr("1 2").is_err());
+        let err = parse_expr("   @").unwrap_err();
+        assert!(err.offset >= 3);
+    }
+
+    #[test]
+    fn hyphenated_function_names() {
+        let e = parse_expr("feet-to-meters(100)").unwrap();
+        let v = e.eval(&Env::new()).unwrap().as_num().unwrap();
+        assert!((v - 30.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keywords_do_not_swallow_identifiers() {
+        // "divide" must not lex as the div operator.
+        let e = parse_expr("divide(1, 2)");
+        // divide is not a builtin, but it must PARSE as a call.
+        assert!(e.is_ok());
+        // "iffy" must not parse as if-expression.
+        assert!(parse_expr("iffy(1)").is_ok());
+    }
+}

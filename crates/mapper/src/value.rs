@@ -1,0 +1,130 @@
+//! Scalar values flowing through mapping execution.
+
+use std::fmt;
+
+/// A scalar instance value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Character data.
+    Str(String),
+    /// Numeric data (all numerics are f64 at execution time).
+    Num(f64),
+    /// Boolean data.
+    Bool(bool),
+    /// Absent/unknown.
+    Null,
+}
+
+impl Value {
+    /// Coerce to a number, if sensible: numbers pass through, numeric
+    /// strings parse, booleans map to 0/1.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(s) => s.trim().parse().ok(),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Null => None,
+        }
+    }
+
+    /// Render as a string (the string itself, numbers without trailing
+    /// `.0` for integral values, `true`/`false`, empty for null).
+    pub fn as_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Bool(b) => b.to_string(),
+            Value::Null => String::new(),
+        }
+    }
+
+    /// Truthiness: null, empty string, 0 and false are falsy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Str(s) => !s.is_empty(),
+            Value::Num(n) => *n != 0.0,
+            Value::Bool(b) => *b,
+            Value::Null => false,
+        }
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_str())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::from(3.5).as_num(), Some(3.5));
+        assert_eq!(Value::from(" 42 ").as_num(), Some(42.0));
+        assert_eq!(Value::from("x").as_num(), None);
+        assert_eq!(Value::from(true).as_num(), Some(1.0));
+        assert_eq!(Value::Null.as_num(), None);
+    }
+
+    #[test]
+    fn string_rendering() {
+        assert_eq!(Value::from(3.0).as_str(), "3");
+        assert_eq!(Value::from(3.25).as_str(), "3.25");
+        assert_eq!(Value::from("hi").as_str(), "hi");
+        assert_eq!(Value::Null.as_str(), "");
+        assert_eq!(Value::from(false).to_string(), "false");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::from("x").truthy());
+        assert!(!Value::from("").truthy());
+        assert!(!Value::from(0.0).truthy());
+        assert!(Value::from(0.1).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::Null.is_null());
+    }
+}

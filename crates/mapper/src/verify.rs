@@ -1,0 +1,307 @@
+//! Verifying mappings against the target schema (task 9, §3.3).
+//!
+//! "If the integration task included a specific target schema, the final
+//! step is to verify that the transformations are guaranteed to generate
+//! valid data instances (i.e., all constraints are satisfied)." The
+//! verifier checks a generated instance document against the canonical
+//! target schema graph:
+//!
+//! * every instance node's name must exist in the schema at the right
+//!   place (no stray elements);
+//! * leaves must parse as their declared data type;
+//! * coded attributes must hold a member of their domain;
+//! * key values (`id` leaves) must be unique per entity name.
+
+use crate::instance::Node;
+use crate::value::Value;
+use iwb_model::{DataType, Domain, EdgeKind, ElementId, SchemaGraph};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One verification failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An instance node has no corresponding schema element.
+    UnknownElement {
+        /// Path of the offending instance node.
+        path: String,
+    },
+    /// A leaf value does not conform to the declared type.
+    TypeMismatch {
+        /// Instance path.
+        path: String,
+        /// Declared type.
+        expected: String,
+        /// Offending value.
+        value: String,
+    },
+    /// A coded value is not a member of its domain.
+    NotInDomain {
+        /// Instance path.
+        path: String,
+        /// Domain name.
+        domain: String,
+        /// Offending code.
+        code: String,
+    },
+    /// Duplicate identifier within one entity set.
+    DuplicateKey {
+        /// Entity name.
+        entity: String,
+        /// The repeated id.
+        id: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnknownElement { path } => write!(f, "unknown element at {path}"),
+            Violation::TypeMismatch {
+                path,
+                expected,
+                value,
+            } => write!(f, "type mismatch at {path}: {value:?} is not {expected}"),
+            Violation::NotInDomain { path, domain, code } => {
+                write!(f, "{code:?} at {path} is not in domain {domain}")
+            }
+            Violation::DuplicateKey { entity, id } => {
+                write!(f, "duplicate key {id:?} among {entity} instances")
+            }
+        }
+    }
+}
+
+/// Verify an instance document against the target schema. The document
+/// root is matched against the schema's first top-level container (or
+/// the root itself when names align).
+pub fn verify_instance(schema: &SchemaGraph, doc: &Node) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Anchor: among schema elements named like the doc root, prefer one
+    // whose children overlap the document's children (the schema root
+    // and a same-named top-level element are distinct nodes in XSD
+    // imports); fall back to the first name hit, then the schema root.
+    let candidates: Vec<ElementId> = schema
+        .ids()
+        .filter(|&id| schema.element(id).name == doc.name)
+        .collect();
+    let anchor = candidates
+        .iter()
+        .copied()
+        .find(|&id| {
+            doc.children.iter().any(|c| {
+                schema
+                    .children(id)
+                    .iter()
+                    .any(|&(_, sc)| schema.element(sc).name == c.name)
+            })
+        })
+        .or_else(|| candidates.first().copied())
+        .unwrap_or_else(|| schema.root());
+    let mut keys: HashMap<String, HashSet<String>> = HashMap::new();
+    verify_node(schema, anchor, doc, &doc.name, &mut violations, &mut keys);
+    violations
+}
+
+fn verify_node(
+    schema: &SchemaGraph,
+    element: ElementId,
+    node: &Node,
+    path: &str,
+    violations: &mut Vec<Violation>,
+    keys: &mut HashMap<String, HashSet<String>>,
+) {
+    for child in &node.children {
+        let child_path = format!("{path}/{}", child.name);
+        // `id` leaves are identity artifacts (task 7), checked for
+        // uniqueness rather than against the schema.
+        if child.name == "id" && child.value.is_some() {
+            let id = child.value.clone().unwrap_or(Value::Null).as_str();
+            if !keys.entry(node.name.clone()).or_default().insert(id.clone()) {
+                violations.push(Violation::DuplicateKey {
+                    entity: node.name.clone(),
+                    id,
+                });
+            }
+            continue;
+        }
+        let schema_child = schema
+            .children(element)
+            .iter()
+            .map(|&(_, c)| c)
+            .find(|&c| schema.element(c).name == child.name);
+        let Some(schema_child) = schema_child else {
+            violations.push(Violation::UnknownElement { path: child_path });
+            continue;
+        };
+        if let Some(v) = &child.value {
+            check_type(schema, schema_child, v, &child_path, violations);
+        }
+        verify_node(schema, schema_child, child, &child_path, violations, keys);
+    }
+}
+
+fn check_type(
+    schema: &SchemaGraph,
+    element: ElementId,
+    value: &Value,
+    path: &str,
+    violations: &mut Vec<Violation>,
+) {
+    let Some(dt) = &schema.element(element).data_type else {
+        return;
+    };
+    if value.is_null() {
+        return; // nullability is a cleaning concern (task 11)
+    }
+    let ok = match dt {
+        DataType::Integer => value
+            .as_num()
+            .map(|n| n.fract() == 0.0)
+            .unwrap_or(false),
+        DataType::Decimal => value.as_num().is_some(),
+        DataType::Boolean => matches!(value, Value::Bool(_))
+            || matches!(value.as_str().as_str(), "true" | "false" | "0" | "1"),
+        DataType::Date => looks_like_date(&value.as_str()),
+        DataType::DateTime => value.as_str().len() >= 10 && looks_like_date(&value.as_str()[..10]),
+        DataType::VarChar(n) => value.as_str().chars().count() <= *n as usize,
+        DataType::Coded(domain_name) => {
+            // Resolve the domain via has-domain edge or by name.
+            let domain = schema
+                .cross_edges_from(element)
+                .find(|e| e.kind == EdgeKind::HasDomain)
+                .map(|e| e.to)
+                .or_else(|| {
+                    schema
+                        .ids_of_kind(iwb_model::ElementKind::Domain)
+                        .into_iter()
+                        .find(|&d| schema.element(d).name == *domain_name)
+                })
+                .and_then(|d| Domain::detach(schema, d));
+            match domain {
+                Some(d) => {
+                    if d.contains(&value.as_str()) {
+                        true
+                    } else {
+                        violations.push(Violation::NotInDomain {
+                            path: path.to_owned(),
+                            domain: domain_name.clone(),
+                            code: value.as_str(),
+                        });
+                        return;
+                    }
+                }
+                None => true, // unresolvable domain: nothing to check
+            }
+        }
+        DataType::Text | DataType::Binary | DataType::Other(_) => true,
+    };
+    if !ok {
+        violations.push(Violation::TypeMismatch {
+            path: path.to_owned(),
+            expected: dt.to_string(),
+            value: value.as_str(),
+        });
+    }
+}
+
+fn looks_like_date(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('-').collect();
+    parts.len() == 3
+        && parts[0].len() == 4
+        && parts.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{Metamodel, SchemaBuilder};
+
+    fn target_schema() -> SchemaGraph {
+        let d = Domain::new("surface").with_value("ASP", "Asphalt").with_value("CON", "Concrete");
+        SchemaBuilder::new("facilities", Metamodel::Xml)
+            .open("strip")
+            .attr("airportName", DataType::Text)
+            .attr("lengthFt", DataType::Integer)
+            .attr("opened", DataType::Date)
+            .attr("surface", DataType::Coded("surface".into()))
+            .domain_for_last_attr(&d)
+            .close()
+            .build()
+    }
+
+    fn valid_doc() -> Node {
+        Node::elem("facilities").with(
+            Node::elem("strip")
+                .with_leaf("id", "strip(KJFK,04L)")
+                .with_leaf("airportName", "Kennedy")
+                .with_leaf("lengthFt", 12000i64)
+                .with_leaf("opened", "1948-07-01")
+                .with_leaf("surface", "ASP"),
+        )
+    }
+
+    #[test]
+    fn valid_instance_passes() {
+        assert!(verify_instance(&target_schema(), &valid_doc()).is_empty());
+    }
+
+    #[test]
+    fn unknown_elements_reported() {
+        let doc = Node::elem("facilities")
+            .with(Node::elem("strip").with_leaf("bogus", "x"));
+        let v = verify_instance(&target_schema(), &doc);
+        assert!(matches!(&v[0], Violation::UnknownElement { path } if path.contains("bogus")));
+    }
+
+    #[test]
+    fn type_mismatches_reported() {
+        let doc = Node::elem("facilities").with(
+            Node::elem("strip")
+                .with_leaf("lengthFt", "12000.5")
+                .with_leaf("opened", "July 1948"),
+        );
+        let v = verify_instance(&target_schema(), &doc);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(
+            |x| matches!(x, Violation::TypeMismatch { expected, .. } if expected == "integer")
+        ));
+        assert!(v.iter().any(
+            |x| matches!(x, Violation::TypeMismatch { expected, .. } if expected == "date")
+        ));
+    }
+
+    #[test]
+    fn domain_membership_enforced() {
+        let doc = Node::elem("facilities")
+            .with(Node::elem("strip").with_leaf("surface", "DIRT"));
+        let v = verify_instance(&target_schema(), &doc);
+        assert!(matches!(&v[0], Violation::NotInDomain { code, .. } if code == "DIRT"));
+    }
+
+    #[test]
+    fn duplicate_keys_detected() {
+        let doc = Node::elem("facilities")
+            .with(Node::elem("strip").with_leaf("id", "k1"))
+            .with(Node::elem("strip").with_leaf("id", "k1"));
+        let v = verify_instance(&target_schema(), &doc);
+        assert!(matches!(&v[0], Violation::DuplicateKey { id, .. } if id == "k1"));
+    }
+
+    #[test]
+    fn nulls_are_not_type_errors() {
+        let doc = Node::elem("facilities")
+            .with(Node::elem("strip").with_leaf("lengthFt", Value::Null));
+        assert!(verify_instance(&target_schema(), &doc).is_empty());
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::NotInDomain {
+            path: "a/b".into(),
+            domain: "surface".into(),
+            code: "DIRT".into(),
+        };
+        assert!(v.to_string().contains("DIRT"));
+    }
+}

@@ -1,0 +1,136 @@
+//! XQuery-style code generation.
+//!
+//! §5.2.1: "a code-generator assembles the code associated with each
+//! column into a coherent whole. Thus, the code-generator must
+//! understand how to assemble code snippets based on the structure of
+//! the target schema graph." The input mirrors the mapping matrix of
+//! Figure 3: per-row `variable-name` annotations, per-column `code`
+//! annotations, and the matrix-level `code` that binds the row
+//! variables. The output reproduces the FLWOR shape shown in the
+//! figure's top-left cell:
+//!
+//! ```text
+//! let $shipto := $purchOrd/shipTo
+//! return
+//!   <shippingInfo>
+//!     <name>{ concat($lName, concat(", ", $fName)) }</name>
+//!     <total>{ data($shipto/subtotal) * 1.05 }</total>
+//!   </shippingInfo>
+//! ```
+
+use std::fmt::Write;
+
+/// One row's contribution: the variable bound to a source element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBinding {
+    /// Variable name, without `$` (Figure 3: `shipto`, `fname`, …).
+    pub variable: String,
+    /// Source path expression the variable binds to
+    /// (`$purchOrd/shipTo`).
+    pub bound_to: String,
+}
+
+/// Matrix-derived codegen input (§5.1.2's annotations, extracted).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatrixCodegen {
+    /// Name of the target document element to emit.
+    pub target_element: String,
+    /// Row variables, in row order.
+    pub rows: Vec<RowBinding>,
+    /// `(target column name, code annotation)` pairs, in column order.
+    /// Columns without code are emitted as empty elements.
+    pub columns: Vec<(String, Option<String>)>,
+}
+
+impl MatrixCodegen {
+    /// New codegen input for a target element.
+    pub fn new(target_element: impl Into<String>) -> Self {
+        MatrixCodegen {
+            target_element: target_element.into(),
+            rows: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Add a row binding.
+    pub fn with_row(mut self, variable: impl Into<String>, bound_to: impl Into<String>) -> Self {
+        self.rows.push(RowBinding {
+            variable: variable.into(),
+            bound_to: bound_to.into(),
+        });
+        self
+    }
+
+    /// Add a populated column.
+    pub fn with_column(mut self, target: impl Into<String>, code: impl Into<String>) -> Self {
+        self.columns.push((target.into(), Some(code.into())));
+        self
+    }
+
+    /// Add a column with no code yet (`is-complete=false` in Figure 3).
+    pub fn with_empty_column(mut self, target: impl Into<String>) -> Self {
+        self.columns.push((target.into(), None));
+        self
+    }
+}
+
+/// Assemble the XQuery program.
+pub fn generate_xquery(input: &MatrixCodegen) -> String {
+    let mut out = String::new();
+    for row in &input.rows {
+        let _ = writeln!(out, "let ${} := {}", row.variable, row.bound_to);
+    }
+    let _ = writeln!(out, "return");
+    let _ = writeln!(out, "  <{}>", input.target_element);
+    for (name, code) in &input.columns {
+        match code {
+            Some(code) => {
+                let _ = writeln!(out, "    <{name}>{{ {code} }}</{name}>");
+            }
+            None => {
+                let _ = writeln!(out, "    <{name}/>");
+            }
+        }
+    }
+    let _ = writeln!(out, "  </{}>", input.target_element);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the assembled code of Figure 3's matrix annotation.
+    #[test]
+    fn figure3_code_assembles() {
+        let input = MatrixCodegen::new("shippingInfo")
+            .with_row("shipto", "$purchOrd/shipTo")
+            .with_row("fname", "$shipto/firstName")
+            .with_row("lname", "$shipto/lastName")
+            .with_column("name", "concat($lName, concat(\", \", $fName))")
+            .with_column("total", "data($shipto/subtotal) * 1.05");
+        let q = generate_xquery(&input);
+        assert!(q.starts_with("let $shipto := $purchOrd/shipTo\n"));
+        assert!(q.contains("let $fname := $shipto/firstName"));
+        assert!(q.contains("return"));
+        assert!(q.contains("<shippingInfo>"));
+        assert!(q.contains("<name>{ concat($lName, concat(\", \", $fName)) }</name>"));
+        assert!(q.contains("<total>{ data($shipto/subtotal) * 1.05 }</total>"));
+        assert!(q.trim_end().ends_with("</shippingInfo>"));
+    }
+
+    #[test]
+    fn empty_columns_render_self_closing() {
+        let input = MatrixCodegen::new("t").with_empty_column("pending");
+        let q = generate_xquery(&input);
+        assert!(q.contains("<pending/>"));
+    }
+
+    #[test]
+    fn no_rows_still_produces_constructor() {
+        let input = MatrixCodegen::new("t").with_column("x", "1 + 1");
+        let q = generate_xquery(&input);
+        assert!(q.starts_with("return"));
+        assert!(q.contains("<x>{ 1 + 1 }</x>"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the mapping substrate.
+
+use iwb_mapper::expr::Env;
+use iwb_mapper::{parse_expr, AttributeTransformation, Node, Value};
+use iwb_mapper::attrmap::AggregateOp;
+use proptest::prelude::*;
+
+proptest! {
+    /// Expression Display output reparses to the same AST
+    /// (parse ∘ print = id on the printable fragment).
+    #[test]
+    fn expr_display_reparses(
+        a in -1000i64..1000,
+        b in 1i64..1000,
+        s in "[a-z ]{0,10}",
+        var in "[a-z]{1,6}",
+    ) {
+        let source = format!(
+            "concat(\"{s}\", string(${var})) ",
+        );
+        let e1 = parse_expr(source.trim()).unwrap();
+        let e2 = parse_expr(&e1.to_string()).unwrap();
+        prop_assert_eq!(&e1, &e2);
+
+        let arith = format!("({a} + {b}) * {b} div {b}");
+        let e = parse_expr(&arith).unwrap();
+        let v = e.eval(&Env::new()).unwrap().as_num().unwrap();
+        prop_assert!((v - (a + b) as f64).abs() < 1e-9);
+    }
+
+    /// Value numeric round-trip: rendering then re-coercing an integral
+    /// number is lossless.
+    #[test]
+    fn value_numeric_round_trip(n in -1_000_000i64..1_000_000) {
+        let v = Value::from(n);
+        let s = v.as_str();
+        prop_assert_eq!(Value::from(s.as_str()).as_num(), Some(n as f64));
+    }
+
+    /// Aggregates: min ≤ avg ≤ max; sum = avg × count; count counts.
+    #[test]
+    fn aggregate_relations(values in prop::collection::vec(-1000.0f64..1000.0, 1..30)) {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::Num(v)).collect();
+        let min = AggregateOp::Min.apply(&vals).as_num().unwrap();
+        let avg = AggregateOp::Avg.apply(&vals).as_num().unwrap();
+        let max = AggregateOp::Max.apply(&vals).as_num().unwrap();
+        let sum = AggregateOp::Sum.apply(&vals).as_num().unwrap();
+        let count = AggregateOp::Count.apply(&vals).as_num().unwrap();
+        prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9);
+        prop_assert!((sum - avg * count).abs() < 1e-6);
+        prop_assert_eq!(count as usize, values.len());
+    }
+
+    /// Scalar transformations over generated entities never panic and
+    /// produce the arithmetic they denote.
+    #[test]
+    fn scalar_transform_total(subtotal in 0.0f64..10_000.0, rate in 1.0f64..2.0) {
+        let entity = Node::elem("shipTo").with_leaf("subtotal", subtotal);
+        let t = AttributeTransformation::Scalar(
+            parse_expr(&format!("data($src/subtotal) * {rate}")).unwrap(),
+        );
+        let out = t.apply(&entity).unwrap().as_num().unwrap();
+        prop_assert!((out - subtotal * rate).abs() < 1e-6);
+    }
+
+    /// Node path navigation: a freshly attached leaf is always found at
+    /// its path, and absent paths are Null.
+    #[test]
+    fn node_navigation(names in prop::collection::vec("[a-z]{1,6}", 1..6), value in "[a-z]{0,8}") {
+        // Build a nested chain root/n0/n1/.../leaf.
+        let mut node = Node::leaf(names.last().unwrap().clone(), value.clone());
+        for name in names.iter().rev().skip(1) {
+            node = Node::elem(name.clone()).with(node);
+        }
+        let root = Node::elem("root").with(node);
+        let path = names.join("/");
+        prop_assert_eq!(root.value_at(&path), Value::from(value));
+        prop_assert_eq!(root.value_at(&format!("{path}/nope")), Value::Null);
+        prop_assert_eq!(root.size(), names.len() + 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Fuzz-style robustness for the expression language and the FLWOR
+//! interpreter: total on arbitrary input (Ok or Err, never a panic).
+
+use iwb_mapper::expr::Env;
+use iwb_mapper::{parse_expr, run_xquery, Node};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The expression parser never panics.
+    #[test]
+    fn expr_parser_total(input in ".{0,80}") {
+        let _ = parse_expr(&input);
+    }
+
+    /// …including expression-dense character soup.
+    #[test]
+    fn expr_parser_total_on_exprlike(input in "[$a-z0-9()+*/<>=!,'\" .-]{0,80}") {
+        let _ = parse_expr(&input);
+    }
+
+    /// Anything that parses can be evaluated against an empty env
+    /// without panicking (unbound variables are Errs, not panics).
+    #[test]
+    fn parsed_expressions_evaluate_totally(input in "[$a-z0-9()+*/,'\" .]{0,60}") {
+        if let Ok(expr) = parse_expr(&input) {
+            let _ = expr.eval(&Env::new());
+            // Display of any parsed expression reparses.
+            let printed = expr.to_string();
+            prop_assert!(parse_expr(&printed).is_ok(), "display {printed:?} must reparse");
+        }
+    }
+
+    /// The FLWOR interpreter never panics.
+    #[test]
+    fn flwor_total(input in "[a-z$<>/{}():=\\n .]{0,150}") {
+        let doc = Node::elem("doc").with_leaf("x", 1i64);
+        let _ = run_xquery(&input, &doc);
+    }
+}
+
+/// Corrupt a known-good generated program at each line and check the
+/// interpreter stays total.
+#[test]
+fn mutated_programs_never_panic() {
+    let program = "let $a := $doc/x\nreturn\n  <out>\n    <y>{ data($a) * 2 }</y>\n  </out>\n";
+    let doc = Node::elem("doc").with_leaf("x", 21i64);
+    assert!(run_xquery(program, &doc).is_ok());
+    let lines: Vec<&str> = program.lines().collect();
+    for skip in 0..lines.len() {
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = run_xquery(&mutated, &doc);
+    }
+    // Swap arbitrary characters for braces.
+    for (i, _) in program.char_indices().step_by(5) {
+        let mut s = program.to_owned();
+        s.replace_range(i..i + 1, "{");
+        let _ = run_xquery(&s, &doc);
+    }
+}

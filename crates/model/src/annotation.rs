@@ -1,0 +1,232 @@
+//! Arbitrary annotations on schema and mapping elements.
+//!
+//! The paper's blackboard stores everything in RDF precisely so that "any
+//! element can be annotated" (§5.1). In the canonical model we mirror that
+//! with a small ordered map from annotation keys (a controlled vocabulary
+//! plus free extension) to typed values.
+//!
+//! The controlled vocabulary from §5.1 is exposed as constants so tools
+//! agree on spelling: [`NAME`], [`TYPE`], [`DOCUMENTATION`],
+//! [`CONFIDENCE_SCORE`], [`IS_USER_DEFINED`], [`VARIABLE_NAME`], [`CODE`],
+//! [`IS_COMPLETE`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// `name` — the element's label, populated by import tools (§5.1.1).
+pub const NAME: &str = "name";
+/// `type` — the element's data type, populated by import tools (§5.1.1).
+pub const TYPE: &str = "type";
+/// `documentation` — prose definition attached to the element (§5.1.1).
+pub const DOCUMENTATION: &str = "documentation";
+/// `confidence-score` — per-cell match confidence in [-1, +1] (§5.1.2).
+pub const CONFIDENCE_SCORE: &str = "confidence-score";
+/// `is-user-defined` — true when the correspondence was drawn by the user.
+pub const IS_USER_DEFINED: &str = "is-user-defined";
+/// `variable-name` — per-row variable referenced by column code (§5.1.2).
+pub const VARIABLE_NAME: &str = "variable-name";
+/// `code` — per-column or whole-matrix transformation code (§5.1.2).
+pub const CODE: &str = "code";
+/// `is-complete` — Harmony's per-row/column progress marker (§5.1.2).
+pub const IS_COMPLETE: &str = "is-complete";
+
+/// A typed annotation value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnotationValue {
+    /// Free text (definitions, code snippets, variable names).
+    Text(String),
+    /// Numeric annotation (confidence scores, counts).
+    Number(f64),
+    /// Boolean flag (`is-user-defined`, `is-complete`).
+    Flag(bool),
+}
+
+impl AnnotationValue {
+    /// Borrow the text payload, if this is a text annotation.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AnnotationValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number annotation.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AnnotationValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a flag annotation.
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            AnnotationValue::Flag(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AnnotationValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotationValue::Text(s) => f.write_str(s),
+            AnnotationValue::Number(n) => write!(f, "{n}"),
+            AnnotationValue::Flag(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AnnotationValue {
+    fn from(s: &str) -> Self {
+        AnnotationValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for AnnotationValue {
+    fn from(s: String) -> Self {
+        AnnotationValue::Text(s)
+    }
+}
+
+impl From<f64> for AnnotationValue {
+    fn from(n: f64) -> Self {
+        AnnotationValue::Number(n)
+    }
+}
+
+impl From<bool> for AnnotationValue {
+    fn from(b: bool) -> Self {
+        AnnotationValue::Flag(b)
+    }
+}
+
+/// An ordered key→value annotation map.
+///
+/// Ordered (BTreeMap) so that serialisations and rendered figures are
+/// deterministic regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Annotations {
+    entries: BTreeMap<String, AnnotationValue>,
+}
+
+impl Annotations {
+    /// An empty annotation map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace an annotation; returns the previous value, if any.
+    pub fn set(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<AnnotationValue>,
+    ) -> Option<AnnotationValue> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// Look up an annotation by key.
+    pub fn get(&self, key: &str) -> Option<&AnnotationValue> {
+        self.entries.get(key)
+    }
+
+    /// Remove an annotation, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<AnnotationValue> {
+        self.entries.remove(key)
+    }
+
+    /// True if the key is annotated.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no annotations are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate annotations in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AnnotationValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Convenience: the text value under `key`, if any.
+    pub fn text(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(AnnotationValue::as_text)
+    }
+
+    /// Convenience: the numeric value under `key`, if any.
+    pub fn number(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(AnnotationValue::as_number)
+    }
+
+    /// Convenience: the flag value under `key`, if any.
+    pub fn flag(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(AnnotationValue::as_flag)
+    }
+}
+
+impl<K: Into<String>, V: Into<AnnotationValue>> FromIterator<(K, V)> for Annotations {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut ann = Annotations::new();
+        for (k, v) in iter {
+            ann.set(k, v);
+        }
+        ann
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_replace() {
+        let mut ann = Annotations::new();
+        assert!(ann.set(CONFIDENCE_SCORE, 0.8).is_none());
+        assert_eq!(ann.number(CONFIDENCE_SCORE), Some(0.8));
+        let old = ann.set(CONFIDENCE_SCORE, -0.4).unwrap();
+        assert_eq!(old.as_number(), Some(0.8));
+        assert_eq!(ann.number(CONFIDENCE_SCORE), Some(-0.4));
+    }
+
+    #[test]
+    fn typed_accessors_reject_mismatched_kinds() {
+        let mut ann = Annotations::new();
+        ann.set(IS_USER_DEFINED, true);
+        assert_eq!(ann.flag(IS_USER_DEFINED), Some(true));
+        assert_eq!(ann.number(IS_USER_DEFINED), None);
+        assert_eq!(ann.text(IS_USER_DEFINED), None);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let ann: Annotations = [("z", "1"), ("a", "2"), ("m", "3")].into_iter().collect();
+        let keys: Vec<&str> = ann.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn remove_and_emptiness() {
+        let mut ann = Annotations::new();
+        assert!(ann.is_empty());
+        ann.set(CODE, "concat($lName, $fName)");
+        assert_eq!(ann.len(), 1);
+        assert!(ann.contains(CODE));
+        let removed = ann.remove(CODE).unwrap();
+        assert_eq!(removed.as_text(), Some("concat($lName, $fName)"));
+        assert!(ann.is_empty());
+    }
+
+    #[test]
+    fn display_formats_by_kind() {
+        assert_eq!(AnnotationValue::from("x").to_string(), "x");
+        assert_eq!(AnnotationValue::from(0.5).to_string(), "0.5");
+        assert_eq!(AnnotationValue::from(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,251 @@
+//! Fluent construction of schema graphs.
+//!
+//! Loaders and tests build graphs through [`SchemaBuilder`], which keeps a
+//! cursor into the containment tree so nested structures read like the
+//! schema they describe.
+
+use crate::domain::Domain;
+use crate::edge::EdgeKind;
+use crate::element::{DataType, ElementKind, SchemaElement};
+use crate::graph::SchemaGraph;
+use crate::ids::{ElementId, SchemaId};
+use crate::metamodel::Metamodel;
+
+/// A cursor-based builder over a [`SchemaGraph`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    graph: SchemaGraph,
+    /// Stack of open containers; the last entry is the current parent.
+    stack: Vec<ElementId>,
+}
+
+impl SchemaBuilder {
+    /// Start building a schema of the given metamodel.
+    pub fn new(id: impl Into<SchemaId>, metamodel: Metamodel) -> Self {
+        let graph = SchemaGraph::new(id, metamodel);
+        let root = graph.root();
+        SchemaBuilder {
+            graph,
+            stack: vec![root],
+        }
+    }
+
+    /// The element currently acting as parent for additions.
+    pub fn cursor(&self) -> ElementId {
+        *self.stack.last().expect("stack never empty")
+    }
+
+    /// Document the element at the cursor.
+    pub fn doc(mut self, documentation: impl Into<String>) -> Self {
+        self.graph.element_mut(self.cursor()).documentation = Some(documentation.into());
+        self
+    }
+
+    /// Open a container child (table / entity / XML element, per the
+    /// metamodel) and move the cursor into it.
+    pub fn open(mut self, name: impl Into<String>) -> Self {
+        let kind = self.graph.metamodel().container_kind();
+        let edge = if self.cursor() == self.graph.root() {
+            self.graph.metamodel().top_level_edge()
+        } else {
+            // Nested containers only occur in XML.
+            EdgeKind::ContainsElement
+        };
+        let id = self
+            .graph
+            .add_child(self.cursor(), edge, SchemaElement::new(kind, name));
+        self.stack.push(id);
+        self
+    }
+
+    /// Close the innermost open container, moving the cursor back up.
+    ///
+    /// # Panics
+    /// If only the root is open.
+    pub fn close(mut self) -> Self {
+        assert!(self.stack.len() > 1, "close() without matching open()");
+        self.stack.pop();
+        self
+    }
+
+    /// Add an attribute (typed, optionally documented) under the cursor.
+    pub fn attr(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.graph.add_child(
+            self.cursor(),
+            EdgeKind::ContainsAttribute,
+            SchemaElement::new(ElementKind::Attribute, name).with_type(data_type),
+        );
+        self
+    }
+
+    /// Add a documented attribute under the cursor.
+    pub fn attr_doc(
+        mut self,
+        name: impl Into<String>,
+        data_type: DataType,
+        doc: impl Into<String>,
+    ) -> Self {
+        self.graph.add_child(
+            self.cursor(),
+            EdgeKind::ContainsAttribute,
+            SchemaElement::new(ElementKind::Attribute, name)
+                .with_type(data_type)
+                .with_doc(doc),
+        );
+        self
+    }
+
+    /// Add a key under the cursor that covers the named attributes (which
+    /// must already exist under the cursor).
+    ///
+    /// # Panics
+    /// If any named attribute is not a child of the cursor.
+    pub fn key(mut self, name: impl Into<String>, attrs: &[&str]) -> Self {
+        let parent = self.cursor();
+        let key = self.graph.add_child(
+            parent,
+            EdgeKind::ContainsKey,
+            SchemaElement::new(ElementKind::Key, name),
+        );
+        for a in attrs {
+            let target = self
+                .graph
+                .children(parent)
+                .iter()
+                .map(|&(_, c)| c)
+                .find(|&c| self.graph.element(c).name == *a)
+                .unwrap_or_else(|| panic!("key attribute {a} not found under cursor"));
+            self.graph.add_cross_edge(key, EdgeKind::KeyAttribute, target);
+        }
+        self
+    }
+
+    /// Attach a semantic domain at schema level and link the most recently
+    /// added attribute of the cursor to it via `has-domain`.
+    ///
+    /// # Panics
+    /// If the cursor has no attribute children.
+    pub fn domain_for_last_attr(mut self, domain: &Domain) -> Self {
+        let parent = self.cursor();
+        let attr = self
+            .graph
+            .children(parent)
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == EdgeKind::ContainsAttribute)
+            .map(|&(_, c)| c)
+            .expect("domain_for_last_attr requires a prior attr");
+        let dom = domain.attach(&mut self.graph);
+        self.graph.add_cross_edge(attr, EdgeKind::HasDomain, dom);
+        self
+    }
+
+    /// Add a foreign-key cross edge between two attributes identified by
+    /// path (e.g. `"db/ORDER/customer_id"` → `"db/CUSTOMER/id"`).
+    ///
+    /// # Panics
+    /// If either path does not resolve.
+    pub fn reference(mut self, from_path: &str, to_path: &str) -> Self {
+        let from = self
+            .graph
+            .find_by_path(from_path)
+            .unwrap_or_else(|| panic!("unresolved path {from_path}"));
+        let to = self
+            .graph
+            .find_by_path(to_path)
+            .unwrap_or_else(|| panic!("unresolved path {to_path}"));
+        self.graph.add_cross_edge(from, EdgeKind::References, to);
+        self
+    }
+
+    /// Finish, returning the built graph.
+    pub fn build(self) -> SchemaGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_xml_structure() {
+        let g = SchemaBuilder::new("invoice", Metamodel::Xml)
+            .open("shippingInfo")
+            .doc("Where the invoice ships.")
+            .attr("name", DataType::Text)
+            .attr("total", DataType::Decimal)
+            .open("address")
+            .attr("zip", DataType::Text)
+            .close()
+            .close()
+            .build();
+        assert_eq!(g.len(), 6);
+        let addr = g.find_by_path("invoice/shippingInfo/address").unwrap();
+        assert_eq!(g.depth(addr), 2);
+        assert_eq!(
+            g.find_by_path("invoice/shippingInfo/address/zip")
+                .map(|id| g.depth(id)),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn relational_key_links_attributes() {
+        let g = SchemaBuilder::new("db", Metamodel::Relational)
+            .open("CUSTOMER")
+            .attr("id", DataType::Integer)
+            .attr("name", DataType::Text)
+            .key("pk_customer", &["id"])
+            .close()
+            .build();
+        let key = g.find_by_name("pk_customer").unwrap();
+        let id_attr = g.find_by_path("db/CUSTOMER/id").unwrap();
+        let targets: Vec<ElementId> = g.cross_edges_from(key).map(|e| e.to).collect();
+        assert_eq!(targets, vec![id_attr]);
+    }
+
+    #[test]
+    fn domain_attachment_links_attribute() {
+        let d = Domain::new("aircraft-type").with_value("B747", "Boeing 747");
+        let g = SchemaBuilder::new("atc", Metamodel::Relational)
+            .open("FLIGHT")
+            .attr("acft_type", DataType::Coded("aircraft-type".into()))
+            .domain_for_last_attr(&d)
+            .close()
+            .build();
+        let attr = g.find_by_path("atc/FLIGHT/acft_type").unwrap();
+        let edge = g.cross_edges_from(attr).next().unwrap();
+        assert_eq!(edge.kind, EdgeKind::HasDomain);
+        assert_eq!(g.element(edge.to).kind, ElementKind::Domain);
+    }
+
+    #[test]
+    fn reference_edges_by_path() {
+        let g = SchemaBuilder::new("db", Metamodel::Relational)
+            .open("CUSTOMER")
+            .attr("id", DataType::Integer)
+            .close()
+            .open("ORDER")
+            .attr("customer_id", DataType::Integer)
+            .close()
+            .reference("db/ORDER/customer_id", "db/CUSTOMER/id")
+            .build();
+        let from = g.find_by_path("db/ORDER/customer_id").unwrap();
+        assert_eq!(g.cross_edges_from(from).next().unwrap().kind, EdgeKind::References);
+    }
+
+    #[test]
+    #[should_panic(expected = "close() without matching open()")]
+    fn unbalanced_close_panics() {
+        let _ = SchemaBuilder::new("s", Metamodel::Xml).close();
+    }
+
+    #[test]
+    #[should_panic(expected = "not found under cursor")]
+    fn key_over_missing_attribute_panics() {
+        let _ = SchemaBuilder::new("db", Metamodel::Relational)
+            .open("T")
+            .key("pk", &["missing"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! ASCII rendering of schema graphs.
+//!
+//! Regenerates the paper's Figure 2 ("Sample schema graphs"): an indented
+//! tree with edge labels, data types, and optional annotations. Also used
+//! by the workbench's CLI tools to show loaded schemata.
+
+use crate::graph::SchemaGraph;
+use crate::ids::ElementId;
+use std::fmt::Write;
+
+/// Options controlling schema rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    /// Show the containment edge label on each line.
+    pub show_edges: bool,
+    /// Show declared data types.
+    pub show_types: bool,
+    /// Show documentation strings (truncated).
+    pub show_docs: bool,
+    /// Truncate documentation to this many characters.
+    pub doc_width: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            show_edges: true,
+            show_types: true,
+            show_docs: false,
+            doc_width: 60,
+        }
+    }
+}
+
+/// Render the whole graph as an indented tree (root included).
+pub fn render(graph: &SchemaGraph) -> String {
+    render_with(graph, RenderOptions::default())
+}
+
+/// Render with explicit options.
+pub fn render_with(graph: &SchemaGraph, opts: RenderOptions) -> String {
+    let mut out = String::new();
+    render_node(graph, graph.root(), 0, None, opts, &mut out);
+    for e in graph.cross_edges() {
+        let _ = writeln!(
+            out,
+            "  ~ {} --{}--> {}",
+            graph.name_path(e.from),
+            e.kind,
+            graph.name_path(e.to)
+        );
+    }
+    out
+}
+
+fn render_node(
+    graph: &SchemaGraph,
+    id: ElementId,
+    indent: usize,
+    edge: Option<crate::EdgeKind>,
+    opts: RenderOptions,
+    out: &mut String,
+) {
+    let el = graph.element(id);
+    let pad = "  ".repeat(indent);
+    let _ = write!(out, "{pad}");
+    if let (true, Some(e)) = (opts.show_edges, edge) {
+        let _ = write!(out, "[{e}] ");
+    }
+    let _ = write!(out, "{}", el.name);
+    if opts.show_types {
+        if let Some(t) = &el.data_type {
+            let _ = write!(out, " : {t}");
+        }
+    }
+    if opts.show_docs {
+        if let Some(d) = &el.documentation {
+            let trimmed: String = d.chars().take(opts.doc_width).collect();
+            let ellipsis = if d.chars().count() > opts.doc_width {
+                "…"
+            } else {
+                ""
+            };
+            let _ = write!(out, "  — {trimmed}{ellipsis}");
+        }
+    }
+    let _ = writeln!(out);
+    for &(kind, child) in graph.children(id) {
+        render_node(graph, child, indent + 1, Some(kind), opts, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::element::DataType;
+    use crate::metamodel::Metamodel;
+
+    fn sample() -> SchemaGraph {
+        SchemaBuilder::new("purchaseOrder", Metamodel::Xml)
+            .open("shipTo")
+            .doc("Shipping destination for the order.")
+            .attr("firstName", DataType::Text)
+            .attr("lastName", DataType::Text)
+            .attr("subtotal", DataType::Decimal)
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn render_contains_all_names_indented() {
+        let s = render(&sample());
+        assert!(s.contains("purchaseOrder\n"));
+        assert!(s.contains("  [contains-element] shipTo"));
+        assert!(s.contains("    [contains-attribute] firstName : text"));
+        assert!(s.contains("subtotal : decimal"));
+    }
+
+    #[test]
+    fn options_suppress_edges_and_types() {
+        let opts = RenderOptions {
+            show_edges: false,
+            show_types: false,
+            ..Default::default()
+        };
+        let s = render_with(&sample(), opts);
+        assert!(!s.contains("contains-attribute"));
+        assert!(!s.contains(": text"));
+        assert!(s.contains("firstName"));
+    }
+
+    #[test]
+    fn docs_are_truncated() {
+        let opts = RenderOptions {
+            show_docs: true,
+            doc_width: 8,
+            ..Default::default()
+        };
+        let s = render_with(&sample(), opts);
+        assert!(s.contains("— Shipping…"));
+    }
+
+    #[test]
+    fn cross_edges_rendered_at_bottom() {
+        let g = SchemaBuilder::new("db", Metamodel::Relational)
+            .open("A")
+            .attr("x", DataType::Integer)
+            .close()
+            .open("B")
+            .attr("y", DataType::Integer)
+            .close()
+            .reference("db/B/y", "db/A/x")
+            .build();
+        let s = render(&g);
+        assert!(s.contains("~ db/B/y --references--> db/A/x"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Semantic domains (coding schemes) and their values.
+//!
+//! §2 argues that coding schemes should be modelled as first-class
+//! semantic domains rather than lost inside lookup tables: "A better
+//! solution would be to define semantic domains for each coding scheme so
+//! that integration tools could more easily identify domain
+//! correspondences." Integration engineers "manually inspected the domain
+//! values to find correspondences" and worked *up* the hierarchy from
+//! there; the domain-value match voter automates exactly that.
+
+use crate::edge::EdgeKind;
+use crate::element::{ElementKind, SchemaElement};
+use crate::graph::SchemaGraph;
+use crate::ids::ElementId;
+
+/// A single coded value inside a domain, e.g. `("B747", "Boeing 747")`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DomainValue {
+    /// The code as stored (string or stringified integer).
+    pub code: String,
+    /// Documentation of what the code means (often lost when the logical
+    /// schema is converted to SQL — preserved here).
+    pub meaning: Option<String>,
+}
+
+impl DomainValue {
+    /// A value with code and meaning.
+    pub fn new(code: impl Into<String>, meaning: impl Into<String>) -> Self {
+        DomainValue {
+            code: code.into(),
+            meaning: Some(meaning.into()),
+        }
+    }
+
+    /// A value with a bare code and no documentation.
+    pub fn bare(code: impl Into<String>) -> Self {
+        DomainValue {
+            code: code.into(),
+            meaning: None,
+        }
+    }
+}
+
+/// A semantic domain: a named coding scheme with enumerated values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    /// The domain's name, e.g. `aircraft-type`.
+    pub name: String,
+    /// Prose description of the domain.
+    pub documentation: Option<String>,
+    /// The enumerated values.
+    pub values: Vec<DomainValue>,
+}
+
+impl Domain {
+    /// A new, empty domain.
+    pub fn new(name: impl Into<String>) -> Self {
+        Domain {
+            name: name.into(),
+            documentation: None,
+            values: Vec::new(),
+        }
+    }
+
+    /// Builder-style: attach documentation.
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Self {
+        self.documentation = Some(doc.into());
+        self
+    }
+
+    /// Builder-style: append a value.
+    pub fn with_value(mut self, code: impl Into<String>, meaning: impl Into<String>) -> Self {
+        self.values.push(DomainValue::new(code, meaning));
+        self
+    }
+
+    /// Look up a value by code.
+    pub fn value(&self, code: &str) -> Option<&DomainValue> {
+        self.values.iter().find(|v| v.code == code)
+    }
+
+    /// True if `code` is a member of this domain.
+    pub fn contains(&self, code: &str) -> bool {
+        self.value(code).is_some()
+    }
+
+    /// Materialise the domain as graph nodes under the schema root:
+    /// one [`ElementKind::Domain`] node plus one [`ElementKind::DomainValue`]
+    /// per value. Returns the domain node's id.
+    pub fn attach(&self, graph: &mut SchemaGraph) -> ElementId {
+        let mut node = SchemaElement::new(ElementKind::Domain, self.name.clone());
+        node.documentation = self.documentation.clone();
+        let dom = graph.add_child(graph.root(), EdgeKind::ContainsDomain, node);
+        for v in &self.values {
+            let mut val = SchemaElement::new(ElementKind::DomainValue, v.code.clone());
+            val.documentation = v.meaning.clone();
+            graph.add_child(dom, EdgeKind::ContainsValue, val);
+        }
+        dom
+    }
+
+    /// Read a materialised domain back out of a graph, given the id of its
+    /// [`ElementKind::Domain`] node. Returns `None` if `id` is not a
+    /// domain node.
+    pub fn detach(graph: &SchemaGraph, id: ElementId) -> Option<Domain> {
+        let node = graph.element(id);
+        if node.kind != ElementKind::Domain {
+            return None;
+        }
+        let values = graph
+            .children(id)
+            .iter()
+            .filter(|(k, _)| *k == EdgeKind::ContainsValue)
+            .map(|&(_, c)| {
+                let e = graph.element(c);
+                DomainValue {
+                    code: e.name.clone(),
+                    meaning: e.documentation.clone(),
+                }
+            })
+            .collect();
+        Some(Domain {
+            name: node.name.clone(),
+            documentation: node.documentation.clone(),
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metamodel::Metamodel;
+
+    fn runway() -> Domain {
+        Domain::new("runway-type")
+            .with_doc("Coding scheme for runway surface classification.")
+            .with_value("ASP", "Asphalt surface")
+            .with_value("CON", "Concrete surface")
+            .with_value("GRS", "Grass or turf surface")
+    }
+
+    #[test]
+    fn lookup_and_membership() {
+        let d = runway();
+        assert!(d.contains("ASP"));
+        assert!(!d.contains("XYZ"));
+        assert_eq!(d.value("CON").unwrap().meaning.as_deref(), Some("Concrete surface"));
+    }
+
+    #[test]
+    fn attach_creates_domain_and_value_nodes() {
+        let mut g = SchemaGraph::new("atc", Metamodel::EntityRelationship);
+        let id = runway().attach(&mut g);
+        assert_eq!(g.element(id).kind, ElementKind::Domain);
+        assert_eq!(g.children(id).len(), 3);
+        assert_eq!(g.depth(id), 1);
+        let vals = g.ids_of_kind(ElementKind::DomainValue);
+        assert_eq!(vals.len(), 3);
+        assert_eq!(g.element(vals[0]).name, "ASP");
+    }
+
+    #[test]
+    fn detach_round_trips() {
+        let mut g = SchemaGraph::new("atc", Metamodel::EntityRelationship);
+        let d = runway();
+        let id = d.attach(&mut g);
+        let back = Domain::detach(&g, id).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn detach_rejects_non_domain_nodes() {
+        let g = SchemaGraph::new("atc", Metamodel::EntityRelationship);
+        assert!(Domain::detach(&g, g.root()).is_none());
+    }
+
+    #[test]
+    fn bare_values_have_no_meaning() {
+        let v = DomainValue::bare("42");
+        assert_eq!(v.code, "42");
+        assert!(v.meaning.is_none());
+    }
+}

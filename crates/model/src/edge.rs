@@ -1,0 +1,175 @@
+//! Typed edges of the canonical schema graph.
+
+use crate::ids::ElementId;
+use std::fmt;
+
+/// The label on a schema-graph edge.
+///
+/// §5.1.1: "contains-table edges are used to link a database to the tables
+/// it contains. Tables are linked to attributes via contains-attribute
+/// edges. In XML, elements are linked to subelements via contains-element
+/// edges, and to attributes via contains-attribute edges." Edge types are
+/// extensible for richer metamodels; the fixed set below covers the
+/// relational, XML, and ER metamodels plus domain/coding-scheme structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Database/schema → table.
+    ContainsTable,
+    /// ER schema → entity.
+    ContainsEntity,
+    /// ER schema → relationship.
+    ContainsRelationship,
+    /// XML element → sub-element (also schema root → top-level element).
+    ContainsElement,
+    /// Container → attribute.
+    ContainsAttribute,
+    /// Table/entity → key.
+    ContainsKey,
+    /// Schema → semantic domain (coding scheme) it declares.
+    ContainsDomain,
+    /// Domain → one of its coded values.
+    ContainsValue,
+    /// Attribute → the semantic domain its values are drawn from.
+    HasDomain,
+    /// Key → attribute that participates in it.
+    KeyAttribute,
+    /// Attribute → attribute it references (foreign key).
+    References,
+    /// ER relationship → entity it connects.
+    Connects,
+}
+
+impl EdgeKind {
+    /// The hyphenated label used in the RDF vocabulary and rendered figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::ContainsTable => "contains-table",
+            EdgeKind::ContainsEntity => "contains-entity",
+            EdgeKind::ContainsRelationship => "contains-relationship",
+            EdgeKind::ContainsElement => "contains-element",
+            EdgeKind::ContainsAttribute => "contains-attribute",
+            EdgeKind::ContainsKey => "contains-key",
+            EdgeKind::ContainsDomain => "contains-domain",
+            EdgeKind::ContainsValue => "contains-value",
+            EdgeKind::HasDomain => "has-domain",
+            EdgeKind::KeyAttribute => "key-attribute",
+            EdgeKind::References => "references",
+            EdgeKind::Connects => "connects",
+        }
+    }
+
+    /// Containment edges form the spanning tree of the schema graph; each
+    /// element has at most one containment parent.
+    pub fn is_containment(self) -> bool {
+        matches!(
+            self,
+            EdgeKind::ContainsTable
+                | EdgeKind::ContainsEntity
+                | EdgeKind::ContainsRelationship
+                | EdgeKind::ContainsElement
+                | EdgeKind::ContainsAttribute
+                | EdgeKind::ContainsKey
+                | EdgeKind::ContainsDomain
+                | EdgeKind::ContainsValue
+        )
+    }
+
+    /// Parse a hyphenated label back into an edge kind.
+    pub fn from_label(label: &str) -> Option<EdgeKind> {
+        Some(match label {
+            "contains-table" => EdgeKind::ContainsTable,
+            "contains-entity" => EdgeKind::ContainsEntity,
+            "contains-relationship" => EdgeKind::ContainsRelationship,
+            "contains-element" => EdgeKind::ContainsElement,
+            "contains-attribute" => EdgeKind::ContainsAttribute,
+            "contains-key" => EdgeKind::ContainsKey,
+            "contains-domain" => EdgeKind::ContainsDomain,
+            "contains-value" => EdgeKind::ContainsValue,
+            "has-domain" => EdgeKind::HasDomain,
+            "key-attribute" => EdgeKind::KeyAttribute,
+            "references" => EdgeKind::References,
+            "connects" => EdgeKind::Connects,
+            _ => return None,
+        })
+    }
+
+    /// All edge kinds in a stable order.
+    pub fn all() -> &'static [EdgeKind] {
+        &[
+            EdgeKind::ContainsTable,
+            EdgeKind::ContainsEntity,
+            EdgeKind::ContainsRelationship,
+            EdgeKind::ContainsElement,
+            EdgeKind::ContainsAttribute,
+            EdgeKind::ContainsKey,
+            EdgeKind::ContainsDomain,
+            EdgeKind::ContainsValue,
+            EdgeKind::HasDomain,
+            EdgeKind::KeyAttribute,
+            EdgeKind::References,
+            EdgeKind::Connects,
+        ]
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A directed, labelled edge between two schema elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source element (the subject of the RDF property).
+    pub from: ElementId,
+    /// Edge label.
+    pub kind: EdgeKind,
+    /// Target element (the object of the RDF property).
+    pub to: ElementId,
+}
+
+impl Edge {
+    /// A new edge `from --kind--> to`.
+    pub fn new(from: ElementId, kind: EdgeKind, to: ElementId) -> Self {
+        Edge { from, kind, to }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}--> {}", self.from, self.kind, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for &k in EdgeKind::all() {
+            assert_eq!(EdgeKind::from_label(k.label()), Some(k), "{k:?}");
+        }
+        assert_eq!(EdgeKind::from_label("no-such-edge"), None);
+    }
+
+    #[test]
+    fn containment_partition() {
+        assert!(EdgeKind::ContainsAttribute.is_containment());
+        assert!(EdgeKind::ContainsValue.is_containment());
+        assert!(!EdgeKind::HasDomain.is_containment());
+        assert!(!EdgeKind::References.is_containment());
+        assert!(!EdgeKind::Connects.is_containment());
+    }
+
+    #[test]
+    fn edge_display_shows_endpoints_and_label() {
+        let e = Edge::new(
+            ElementId::from_index(0),
+            EdgeKind::ContainsTable,
+            ElementId::from_index(3),
+        );
+        assert_eq!(e.to_string(), "e0 --contains-table--> e3");
+    }
+}

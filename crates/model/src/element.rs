@@ -1,0 +1,322 @@
+//! Schema elements: the nodes of the canonical schema graph.
+
+use crate::annotation::{Annotations, DOCUMENTATION, NAME, TYPE};
+use std::fmt;
+
+/// What kind of construct a schema element represents.
+///
+/// The paper enumerates node kinds per metamodel (§5.1.1): in the
+/// relational model "relations, attributes and keys"; in XML "elements and
+/// attributes"; in ER models entities and relationships. Domains and their
+/// values are first-class nodes because the pragmatics section (§2) argues
+/// coding schemes deserve explicit representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementKind {
+    /// The root node standing for the whole schema.
+    Schema,
+    /// Relational table / relation.
+    Table,
+    /// ER entity.
+    Entity,
+    /// ER relationship.
+    Relationship,
+    /// XML element declaration.
+    XmlElement,
+    /// Attribute of a table, entity, or XML element.
+    Attribute,
+    /// Key (primary or unique) of a table or entity.
+    Key,
+    /// A semantic domain / coding scheme.
+    Domain,
+    /// One coded value inside a domain.
+    DomainValue,
+}
+
+impl ElementKind {
+    /// Human-readable, hyphenated label (used in RDF vocabulary and figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            ElementKind::Schema => "schema",
+            ElementKind::Table => "table",
+            ElementKind::Entity => "entity",
+            ElementKind::Relationship => "relationship",
+            ElementKind::XmlElement => "element",
+            ElementKind::Attribute => "attribute",
+            ElementKind::Key => "key",
+            ElementKind::Domain => "domain",
+            ElementKind::DomainValue => "domain-value",
+        }
+    }
+
+    /// True for kinds that act as structural containers (can have children
+    /// that themselves carry data), as opposed to leaf-like kinds.
+    pub fn is_container(self) -> bool {
+        matches!(
+            self,
+            ElementKind::Schema
+                | ElementKind::Table
+                | ElementKind::Entity
+                | ElementKind::Relationship
+                | ElementKind::XmlElement
+                | ElementKind::Domain
+        )
+    }
+
+    /// All kinds, in a stable order (useful for per-kind statistics).
+    pub fn all() -> &'static [ElementKind] {
+        &[
+            ElementKind::Schema,
+            ElementKind::Table,
+            ElementKind::Entity,
+            ElementKind::Relationship,
+            ElementKind::XmlElement,
+            ElementKind::Attribute,
+            ElementKind::Key,
+            ElementKind::Domain,
+            ElementKind::DomainValue,
+        ]
+    }
+}
+
+impl fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Primitive or coded data type carried by leaf elements.
+///
+/// The `type` annotation of §5.1.1, given structure so that the data-type
+/// compatibility voter and the mapping verifier can reason about it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Character data of unbounded length.
+    Text,
+    /// Character data with a declared maximum length.
+    VarChar(u32),
+    /// Whole numbers.
+    Integer,
+    /// Fixed/floating point numbers.
+    Decimal,
+    /// True/false.
+    Boolean,
+    /// Calendar date.
+    Date,
+    /// Date plus time of day.
+    DateTime,
+    /// Values drawn from a named coding scheme (semantic domain).
+    Coded(String),
+    /// Uninterpreted bytes.
+    Binary,
+    /// Declared type not recognised by the loader; original spelling kept.
+    Other(String),
+}
+
+impl DataType {
+    /// A coarse family used for compatibility scoring: two types in the
+    /// same family are plausibly inter-convertible.
+    pub fn family(&self) -> TypeFamily {
+        match self {
+            DataType::Text | DataType::VarChar(_) => TypeFamily::Textual,
+            DataType::Integer | DataType::Decimal => TypeFamily::Numeric,
+            DataType::Boolean => TypeFamily::Boolean,
+            DataType::Date | DataType::DateTime => TypeFamily::Temporal,
+            DataType::Coded(_) => TypeFamily::Coded,
+            DataType::Binary => TypeFamily::Binary,
+            DataType::Other(_) => TypeFamily::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Text => f.write_str("text"),
+            DataType::VarChar(n) => write!(f, "varchar({n})"),
+            DataType::Integer => f.write_str("integer"),
+            DataType::Decimal => f.write_str("decimal"),
+            DataType::Boolean => f.write_str("boolean"),
+            DataType::Date => f.write_str("date"),
+            DataType::DateTime => f.write_str("datetime"),
+            DataType::Coded(d) => write!(f, "coded({d})"),
+            DataType::Binary => f.write_str("binary"),
+            DataType::Other(s) => write!(f, "other({s})"),
+        }
+    }
+}
+
+/// Coarse data-type family for compatibility scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeFamily {
+    /// Strings.
+    Textual,
+    /// Integers and decimals.
+    Numeric,
+    /// Booleans.
+    Boolean,
+    /// Dates and timestamps.
+    Temporal,
+    /// Values of a coding scheme.
+    Coded,
+    /// Raw bytes.
+    Binary,
+    /// Unrecognised.
+    Unknown,
+}
+
+/// A node of the canonical schema graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaElement {
+    /// The construct this node represents.
+    pub kind: ElementKind,
+    /// The element's label (the `name` annotation of §5.1.1).
+    pub name: String,
+    /// Declared data type, for leaf elements (the `type` annotation).
+    pub data_type: Option<DataType>,
+    /// Prose definition (the `documentation` annotation). §2 shows these
+    /// are present for the vast majority of enterprise schema elements.
+    pub documentation: Option<String>,
+    /// Further annotations beyond the three the paper singles out.
+    pub annotations: Annotations,
+}
+
+impl SchemaElement {
+    /// A new element of the given kind and name, with no type, docs, or
+    /// extra annotations.
+    pub fn new(kind: ElementKind, name: impl Into<String>) -> Self {
+        SchemaElement {
+            kind,
+            name: name.into(),
+            data_type: None,
+            documentation: None,
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// Builder-style: attach a data type.
+    pub fn with_type(mut self, data_type: DataType) -> Self {
+        self.data_type = Some(data_type);
+        self
+    }
+
+    /// Builder-style: attach documentation.
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Self {
+        self.documentation = Some(doc.into());
+        self
+    }
+
+    /// Builder-style: attach an arbitrary annotation.
+    pub fn with_annotation(
+        mut self,
+        key: impl Into<String>,
+        value: impl Into<crate::AnnotationValue>,
+    ) -> Self {
+        self.annotations.set(key, value);
+        self
+    }
+
+    /// The number of words in this element's documentation (0 if none).
+    /// Used by the Table 1 statistics and by documentation-based voters.
+    pub fn doc_word_count(&self) -> usize {
+        self.documentation
+            .as_deref()
+            .map(|d| d.split_whitespace().count())
+            .unwrap_or(0)
+    }
+
+    /// Render the element's three distinguished annotations as `(key,
+    /// value)` pairs, in the controlled vocabulary spelling, followed by
+    /// any extra annotations. Loaders populate these "so that they can be
+    /// used by schema matchers" (§5.1.1).
+    pub fn standard_annotations(&self) -> Vec<(&str, String)> {
+        let mut out = vec![(NAME, self.name.clone())];
+        if let Some(t) = &self.data_type {
+            out.push((TYPE, t.to_string()));
+        }
+        if let Some(d) = &self.documentation {
+            out.push((DOCUMENTATION, d.clone()));
+        }
+        for (k, v) in self.annotations.iter() {
+            out.push((k, v.to_string()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SchemaElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} «{}»", self.kind, self.name)?;
+        if let Some(t) = &self.data_type {
+            write!(f, ": {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_are_hyphenated_lowercase() {
+        assert_eq!(ElementKind::DomainValue.label(), "domain-value");
+        assert_eq!(ElementKind::XmlElement.label(), "element");
+        for k in ElementKind::all() {
+            assert_eq!(k.label(), k.label().to_lowercase());
+        }
+    }
+
+    #[test]
+    fn containers_vs_leaves() {
+        assert!(ElementKind::Table.is_container());
+        assert!(ElementKind::XmlElement.is_container());
+        assert!(!ElementKind::Attribute.is_container());
+        assert!(!ElementKind::DomainValue.is_container());
+    }
+
+    #[test]
+    fn type_families_group_convertible_types() {
+        assert_eq!(DataType::Integer.family(), DataType::Decimal.family());
+        assert_eq!(DataType::Text.family(), DataType::VarChar(30).family());
+        assert_ne!(DataType::Date.family(), DataType::Integer.family());
+        assert_eq!(
+            DataType::Coded("runway-type".into()).family(),
+            TypeFamily::Coded
+        );
+    }
+
+    #[test]
+    fn element_builder_chain() {
+        let e = SchemaElement::new(ElementKind::Attribute, "subtotal")
+            .with_type(DataType::Decimal)
+            .with_doc("The pre-tax sum of line item amounts.")
+            .with_annotation("unit", "USD");
+        assert_eq!(e.name, "subtotal");
+        assert_eq!(e.data_type, Some(DataType::Decimal));
+        assert_eq!(e.doc_word_count(), 7);
+        assert_eq!(e.annotations.text("unit"), Some("USD"));
+    }
+
+    #[test]
+    fn standard_annotations_use_controlled_vocabulary() {
+        let e = SchemaElement::new(ElementKind::Attribute, "code")
+            .with_type(DataType::Coded("aircraft-type".into()))
+            .with_doc("ICAO aircraft type designator.");
+        let anns = e.standard_annotations();
+        assert_eq!(anns[0], (NAME, "code".to_string()));
+        assert_eq!(anns[1].0, TYPE);
+        assert_eq!(anns[2].0, DOCUMENTATION);
+    }
+
+    #[test]
+    fn doc_word_count_zero_without_documentation() {
+        let e = SchemaElement::new(ElementKind::Table, "AIRPORT");
+        assert_eq!(e.doc_word_count(), 0);
+    }
+
+    #[test]
+    fn display_includes_kind_name_and_type() {
+        let e = SchemaElement::new(ElementKind::Attribute, "total").with_type(DataType::Decimal);
+        assert_eq!(e.to_string(), "attribute «total»: decimal");
+    }
+}

@@ -1,0 +1,413 @@
+//! The canonical schema graph: an arena of elements plus typed edges.
+//!
+//! Containment edges form a spanning tree rooted at the schema node, which
+//! gives every element a *depth* (ER entities at level 1, attributes at
+//! level 2 — the depth filter of §4.2 relies on this) and a *sub-tree*
+//! (the sub-tree filter and "mark sub-tree complete" of §4.3 rely on
+//! this). Non-containment edges (foreign keys, `has-domain`, ER
+//! `connects`) are overlaid on the tree.
+
+use crate::edge::{Edge, EdgeKind};
+use crate::element::{ElementKind, SchemaElement};
+use crate::ids::{ElementId, SchemaId};
+use crate::metamodel::Metamodel;
+use std::collections::VecDeque;
+
+/// A rooted, directed, labelled schema graph.
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    id: SchemaId,
+    metamodel: Metamodel,
+    elements: Vec<SchemaElement>,
+    /// Containment parent of each element (None only for the root).
+    parent: Vec<Option<(EdgeKind, ElementId)>>,
+    /// Containment children of each element, in insertion order.
+    children: Vec<Vec<(EdgeKind, ElementId)>>,
+    /// Depth of each element; the root is at depth 0.
+    depth: Vec<u32>,
+    /// Non-containment edges, in insertion order.
+    cross_edges: Vec<Edge>,
+}
+
+impl SchemaGraph {
+    /// Create a graph with a root [`ElementKind::Schema`] node named after
+    /// the schema id.
+    pub fn new(id: impl Into<SchemaId>, metamodel: Metamodel) -> Self {
+        let id = id.into();
+        let root = SchemaElement::new(ElementKind::Schema, id.as_str());
+        SchemaGraph {
+            id,
+            metamodel,
+            elements: vec![root],
+            parent: vec![None],
+            children: vec![Vec::new()],
+            depth: vec![0],
+            cross_edges: Vec::new(),
+        }
+    }
+
+    /// The schema's identifier.
+    pub fn id(&self) -> &SchemaId {
+        &self.id
+    }
+
+    /// The metamodel this schema was imported from.
+    pub fn metamodel(&self) -> Metamodel {
+        self.metamodel
+    }
+
+    /// The root element id (always present).
+    pub fn root(&self) -> ElementId {
+        ElementId::from_index(0)
+    }
+
+    /// Number of elements, including the root.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the graph holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.elements.len() == 1
+    }
+
+    /// Borrow an element.
+    ///
+    /// # Panics
+    /// If `id` was not issued by this graph.
+    pub fn element(&self, id: ElementId) -> &SchemaElement {
+        &self.elements[id.index()]
+    }
+
+    /// Mutably borrow an element.
+    ///
+    /// # Panics
+    /// If `id` was not issued by this graph.
+    pub fn element_mut(&mut self, id: ElementId) -> &mut SchemaElement {
+        &mut self.elements[id.index()]
+    }
+
+    /// Add `element` as a containment child of `parent` via `edge`.
+    ///
+    /// # Panics
+    /// If `edge` is not a containment kind, or `parent` is foreign.
+    pub fn add_child(
+        &mut self,
+        parent: ElementId,
+        edge: EdgeKind,
+        element: SchemaElement,
+    ) -> ElementId {
+        assert!(
+            edge.is_containment(),
+            "add_child requires a containment edge, got {edge}"
+        );
+        assert!(parent.index() < self.elements.len(), "foreign parent id");
+        let id = ElementId::from_index(self.elements.len());
+        self.elements.push(element);
+        self.parent.push(Some((edge, parent)));
+        self.children.push(Vec::new());
+        self.depth.push(self.depth[parent.index()] + 1);
+        self.children[parent.index()].push((edge, id));
+        id
+    }
+
+    /// Overlay a non-containment edge (foreign key, `has-domain`, …).
+    ///
+    /// # Panics
+    /// If `kind` is a containment kind (children must go through
+    /// [`Self::add_child`] to keep the tree consistent) or either endpoint
+    /// is foreign.
+    pub fn add_cross_edge(&mut self, from: ElementId, kind: EdgeKind, to: ElementId) {
+        assert!(
+            !kind.is_containment(),
+            "containment edges must be added via add_child"
+        );
+        assert!(from.index() < self.elements.len() && to.index() < self.elements.len());
+        self.cross_edges.push(Edge::new(from, kind, to));
+    }
+
+    /// The containment parent of `id`, with the connecting edge kind.
+    /// `None` only for the root.
+    pub fn parent(&self, id: ElementId) -> Option<(EdgeKind, ElementId)> {
+        self.parent[id.index()]
+    }
+
+    /// Containment children of `id`, in insertion order.
+    pub fn children(&self, id: ElementId) -> &[(EdgeKind, ElementId)] {
+        &self.children[id.index()]
+    }
+
+    /// Depth of `id` in the containment tree (root = 0).
+    pub fn depth(&self, id: ElementId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// Non-containment edges in insertion order.
+    pub fn cross_edges(&self) -> &[Edge] {
+        &self.cross_edges
+    }
+
+    /// Non-containment edges leaving `id`.
+    pub fn cross_edges_from(&self, id: ElementId) -> impl Iterator<Item = &Edge> {
+        self.cross_edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// All element ids in creation order (root first).
+    pub fn ids(&self) -> impl Iterator<Item = ElementId> {
+        (0..self.elements.len()).map(ElementId::from_index)
+    }
+
+    /// All `(id, element)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, &SchemaElement)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ElementId::from_index(i), e))
+    }
+
+    /// Ids of all elements of the given kind.
+    pub fn ids_of_kind(&self, kind: ElementKind) -> Vec<ElementId> {
+        self.iter()
+            .filter(|(_, e)| e.kind == kind)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Breadth-first traversal of the containment sub-tree rooted at `id`
+    /// (inclusive of `id` itself).
+    pub fn subtree(&self, id: ElementId) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            queue.extend(self.children(n).iter().map(|&(_, c)| c));
+        }
+        out
+    }
+
+    /// True if `descendant` lies in the containment sub-tree of `ancestor`
+    /// (an element is its own ancestor).
+    pub fn is_in_subtree(&self, ancestor: ElementId, descendant: ElementId) -> bool {
+        let mut cur = Some(descendant);
+        while let Some(n) = cur {
+            if n == ancestor {
+                return true;
+            }
+            cur = self.parent(n).map(|(_, p)| p);
+        }
+        false
+    }
+
+    /// Elements with no containment children.
+    pub fn leaves(&self) -> Vec<ElementId> {
+        self.ids()
+            .filter(|id| self.children(*id).is_empty())
+            .collect()
+    }
+
+    /// Ids at exactly the given containment depth.
+    pub fn ids_at_depth(&self, depth: u32) -> Vec<ElementId> {
+        self.ids().filter(|id| self.depth(*id) == depth).collect()
+    }
+
+    /// The maximum containment depth in the graph.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Slash-separated name path from the root to `id`, e.g.
+    /// `purchaseOrder/shipTo/firstName`.
+    pub fn name_path(&self, id: ElementId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            parts.push(self.element(n).name.as_str());
+            cur = self.parent(n).map(|(_, p)| p);
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// Find the first element (in BFS order from the root) whose
+    /// slash-separated name path equals `path`.
+    pub fn find_by_path(&self, path: &str) -> Option<ElementId> {
+        let mut segments = path.split('/');
+        let first = segments.next()?;
+        if self.element(self.root()).name != first {
+            return None;
+        }
+        let mut cur = self.root();
+        for seg in segments {
+            cur = self
+                .children(cur)
+                .iter()
+                .map(|&(_, c)| c)
+                .find(|&c| self.element(c).name == seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Find the first element of the given name anywhere in the graph
+    /// (BFS order, so shallower hits win).
+    pub fn find_by_name(&self, name: &str) -> Option<ElementId> {
+        let mut queue = VecDeque::from([self.root()]);
+        while let Some(n) = queue.pop_front() {
+            if self.element(n).name == name {
+                return Some(n);
+            }
+            queue.extend(self.children(n).iter().map(|&(_, c)| c));
+        }
+        None
+    }
+
+    /// Total count of edges (containment + cross).
+    pub fn edge_count(&self) -> usize {
+        // Every non-root element has exactly one containment edge.
+        (self.elements.len() - 1) + self.cross_edges.len()
+    }
+
+    /// All containment edges, in child-creation order.
+    pub fn containment_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.ids().skip(1).map(move |id| {
+            let (kind, parent) = self.parent(id).expect("non-root has parent");
+            Edge::new(parent, kind, id)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::DataType;
+
+    fn po_graph() -> (SchemaGraph, ElementId, ElementId, ElementId) {
+        // The source schema of the paper's Figure 2.
+        let mut g = SchemaGraph::new("purchaseOrder", Metamodel::Xml);
+        let ship_to = g.add_child(
+            g.root(),
+            EdgeKind::ContainsElement,
+            SchemaElement::new(ElementKind::XmlElement, "shipTo"),
+        );
+        let first = g.add_child(
+            ship_to,
+            EdgeKind::ContainsAttribute,
+            SchemaElement::new(ElementKind::Attribute, "firstName").with_type(DataType::Text),
+        );
+        g.add_child(
+            ship_to,
+            EdgeKind::ContainsAttribute,
+            SchemaElement::new(ElementKind::Attribute, "lastName").with_type(DataType::Text),
+        );
+        let sub = g.add_child(
+            ship_to,
+            EdgeKind::ContainsAttribute,
+            SchemaElement::new(ElementKind::Attribute, "subtotal").with_type(DataType::Decimal),
+        );
+        (g, ship_to, first, sub)
+    }
+
+    #[test]
+    fn root_exists_and_is_schema_kind() {
+        let g = SchemaGraph::new("s", Metamodel::Relational);
+        assert_eq!(g.len(), 1);
+        assert!(g.is_empty());
+        assert_eq!(g.element(g.root()).kind, ElementKind::Schema);
+        assert_eq!(g.element(g.root()).name, "s");
+    }
+
+    #[test]
+    fn depths_follow_containment() {
+        let (g, ship_to, first, _) = po_graph();
+        assert_eq!(g.depth(g.root()), 0);
+        assert_eq!(g.depth(ship_to), 1);
+        assert_eq!(g.depth(first), 2);
+        assert_eq!(g.max_depth(), 2);
+        assert_eq!(g.ids_at_depth(2).len(), 3);
+    }
+
+    #[test]
+    fn parent_and_children_are_consistent() {
+        let (g, ship_to, first, _) = po_graph();
+        assert_eq!(g.parent(first), Some((EdgeKind::ContainsAttribute, ship_to)));
+        let kids: Vec<ElementId> = g.children(ship_to).iter().map(|&(_, c)| c).collect();
+        assert!(kids.contains(&first));
+        assert_eq!(kids.len(), 3);
+        assert_eq!(g.parent(g.root()), None);
+    }
+
+    #[test]
+    fn subtree_is_inclusive_and_bfs() {
+        let (g, ship_to, _, _) = po_graph();
+        let sub = g.subtree(ship_to);
+        assert_eq!(sub.len(), 4); // shipTo + three attributes
+        assert_eq!(sub[0], ship_to);
+        assert!(g.is_in_subtree(ship_to, sub[3]));
+        assert!(g.is_in_subtree(ship_to, ship_to));
+        assert!(!g.is_in_subtree(sub[1], ship_to));
+    }
+
+    #[test]
+    fn name_paths_and_lookup() {
+        let (g, _, first, _) = po_graph();
+        assert_eq!(g.name_path(first), "purchaseOrder/shipTo/firstName");
+        assert_eq!(g.find_by_path("purchaseOrder/shipTo/firstName"), Some(first));
+        assert_eq!(g.find_by_path("purchaseOrder/shipTo/zip"), None);
+        assert_eq!(g.find_by_path("wrongRoot/shipTo"), None);
+        assert_eq!(g.find_by_name("firstName"), Some(first));
+        assert_eq!(g.find_by_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn leaves_have_no_children() {
+        let (g, ship_to, _, _) = po_graph();
+        let leaves = g.leaves();
+        assert_eq!(leaves.len(), 3);
+        assert!(!leaves.contains(&ship_to));
+        assert!(!leaves.contains(&g.root()));
+    }
+
+    #[test]
+    fn cross_edges_do_not_affect_depth() {
+        let (mut g, ship_to, first, sub) = po_graph();
+        g.add_cross_edge(first, EdgeKind::References, sub);
+        assert_eq!(g.depth(first), 2);
+        assert_eq!(g.cross_edges().len(), 1);
+        assert_eq!(g.cross_edges_from(first).count(), 1);
+        assert_eq!(g.cross_edges_from(ship_to).count(), 0);
+        assert_eq!(g.edge_count(), 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "containment")]
+    fn cross_edge_rejects_containment_kind() {
+        let (mut g, ship_to, first, _) = po_graph();
+        g.add_cross_edge(ship_to, EdgeKind::ContainsAttribute, first);
+    }
+
+    #[test]
+    #[should_panic(expected = "containment")]
+    fn add_child_rejects_cross_kind() {
+        let mut g = SchemaGraph::new("s", Metamodel::Xml);
+        g.add_child(
+            g.root(),
+            EdgeKind::References,
+            SchemaElement::new(ElementKind::Attribute, "a"),
+        );
+    }
+
+    #[test]
+    fn containment_edges_enumerate_every_nonroot() {
+        let (g, _, _, _) = po_graph();
+        let edges: Vec<Edge> = g.containment_edges().collect();
+        assert_eq!(edges.len(), g.len() - 1);
+        assert!(edges.iter().all(|e| e.kind.is_containment()));
+    }
+
+    #[test]
+    fn ids_of_kind_filters() {
+        let (g, _, _, _) = po_graph();
+        assert_eq!(g.ids_of_kind(ElementKind::Attribute).len(), 3);
+        assert_eq!(g.ids_of_kind(ElementKind::XmlElement).len(), 1);
+        assert_eq!(g.ids_of_kind(ElementKind::Table).len(), 0);
+    }
+}

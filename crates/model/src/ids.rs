@@ -1,0 +1,106 @@
+//! Strongly typed identifiers for schemata and schema elements.
+//!
+//! Elements are arena-allocated inside a [`crate::SchemaGraph`], so an
+//! [`ElementId`] is a dense index that is only meaningful relative to the
+//! graph that issued it. Schemata are globally identified by a
+//! [`SchemaId`], which the blackboard uses to key its repository.
+
+use std::fmt;
+
+/// Dense, graph-local identifier of a schema element.
+///
+/// Issued by [`crate::SchemaGraph::add_root`] / `add_child`; valid only for
+/// the issuing graph. The underlying index is exposed via [`Self::index`]
+/// for use in parallel arrays (the match engine keeps per-element score
+/// vectors indexed this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub(crate) u32);
+
+impl ElementId {
+    /// Construct an id from a raw index.
+    ///
+    /// Intended for deserialisers and tests; passing an index that was not
+    /// issued by the target graph makes later lookups panic.
+    pub fn from_index(index: usize) -> Self {
+        ElementId(u32::try_from(index).expect("element index exceeds u32"))
+    }
+
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a schema within a workbench instance.
+///
+/// The blackboard keys its schema repository by `SchemaId`; loaders derive
+/// it from the imported artifact's name (file stem, database name, message
+/// format name).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchemaId(String);
+
+impl SchemaId {
+    /// Create a schema id from any displayable name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaId(name.into())
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SchemaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SchemaId {
+    fn from(s: &str) -> Self {
+        SchemaId::new(s)
+    }
+}
+
+impl From<String> for SchemaId {
+    fn from(s: String) -> Self {
+        SchemaId::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_id_round_trips_through_index() {
+        let id = ElementId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "e42");
+    }
+
+    #[test]
+    fn element_ids_order_by_index() {
+        assert!(ElementId::from_index(1) < ElementId::from_index(2));
+    }
+
+    #[test]
+    fn schema_id_display_matches_source() {
+        let id = SchemaId::from("purchaseOrder");
+        assert_eq!(id.to_string(), "purchaseOrder");
+        assert_eq!(id.as_str(), "purchaseOrder");
+    }
+
+    #[test]
+    fn schema_ids_compare_by_name() {
+        assert_eq!(SchemaId::from("a"), SchemaId::new(String::from("a")));
+        assert_ne!(SchemaId::from("a"), SchemaId::from("b"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Source metamodels recognised by the workbench.
+//!
+//! Harmony "currently supports XML schemata, entity-relationship schemata
+//! from ERWin … and will soon support relational schemata" (§4). All three
+//! normalise into the same canonical graph; the metamodel tag is kept so
+//! tools can apply metamodel-specific conventions (e.g. the depth filter's
+//! "entities appear at level 1, attributes at level 2" reading for ER).
+
+use crate::edge::EdgeKind;
+use crate::element::ElementKind;
+use std::fmt;
+
+/// The modeling language a schema was imported from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metamodel {
+    /// SQL databases: tables, attributes (columns), keys.
+    Relational,
+    /// XML Schema: elements nested in elements, plus attributes.
+    Xml,
+    /// Entity-relationship models (ERWin-style).
+    EntityRelationship,
+}
+
+impl Metamodel {
+    /// The containment edge used to attach a top-level container to the
+    /// schema root in this metamodel.
+    pub fn top_level_edge(self) -> EdgeKind {
+        match self {
+            Metamodel::Relational => EdgeKind::ContainsTable,
+            Metamodel::Xml => EdgeKind::ContainsElement,
+            Metamodel::EntityRelationship => EdgeKind::ContainsEntity,
+        }
+    }
+
+    /// The element kind of a top-level container in this metamodel.
+    pub fn container_kind(self) -> ElementKind {
+        match self {
+            Metamodel::Relational => ElementKind::Table,
+            Metamodel::Xml => ElementKind::XmlElement,
+            Metamodel::EntityRelationship => ElementKind::Entity,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metamodel::Relational => "relational",
+            Metamodel::Xml => "xml",
+            Metamodel::EntityRelationship => "entity-relationship",
+        }
+    }
+}
+
+impl fmt::Display for Metamodel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_level_edges_match_metamodel() {
+        assert_eq!(
+            Metamodel::Relational.top_level_edge(),
+            EdgeKind::ContainsTable
+        );
+        assert_eq!(Metamodel::Xml.top_level_edge(), EdgeKind::ContainsElement);
+        assert_eq!(
+            Metamodel::EntityRelationship.top_level_edge(),
+            EdgeKind::ContainsEntity
+        );
+    }
+
+    #[test]
+    fn container_kinds_match_metamodel() {
+        assert_eq!(Metamodel::Relational.container_kind(), ElementKind::Table);
+        assert_eq!(Metamodel::Xml.container_kind(), ElementKind::XmlElement);
+        assert_eq!(
+            Metamodel::EntityRelationship.container_kind(),
+            ElementKind::Entity
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Metamodel::Xml.to_string(), "xml");
+        assert_eq!(
+            Metamodel::EntityRelationship.to_string(),
+            "entity-relationship"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Structured element paths.
+//!
+//! Mapping code snippets reference elements by path (Figure 3 uses XPath
+//! steps like `$purchOrd/shipTo` and `$shipto/subtotal`); [`ElementPath`]
+//! is the parsed form shared by the mapper's expression language and the
+//! blackboard's addressing scheme.
+
+use crate::graph::SchemaGraph;
+use crate::ids::ElementId;
+use std::fmt;
+
+/// A slash-separated path of element names, rooted at a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementPath {
+    segments: Vec<String>,
+}
+
+impl ElementPath {
+    /// Parse `a/b/c` into a path. Empty segments are dropped, so a
+    /// leading or trailing slash is tolerated.
+    pub fn parse(path: &str) -> Self {
+        ElementPath {
+            segments: path
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+
+    /// Build a path from segments.
+    pub fn from_segments(segments: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        ElementPath {
+            segments: segments.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The path of an element within its graph (root name included).
+    pub fn of(graph: &SchemaGraph, id: ElementId) -> Self {
+        Self::parse(&graph.name_path(id))
+    }
+
+    /// The path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// The final segment (the element's own name), if the path is
+    /// non-empty.
+    pub fn leaf(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+
+    /// The path without its final segment.
+    pub fn parent(&self) -> Option<ElementPath> {
+        if self.segments.len() <= 1 {
+            return None;
+        }
+        Some(ElementPath {
+            segments: self.segments[..self.segments.len() - 1].to_vec(),
+        })
+    }
+
+    /// Append a segment, yielding a child path.
+    pub fn child(&self, name: impl Into<String>) -> ElementPath {
+        let mut segments = self.segments.clone();
+        segments.push(name.into());
+        ElementPath { segments }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// True if `self` is a prefix of `other` (every path prefixes itself).
+    pub fn is_prefix_of(&self, other: &ElementPath) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+
+    /// Resolve this path against a graph, if the named chain exists.
+    pub fn resolve(&self, graph: &SchemaGraph) -> Option<ElementId> {
+        graph.find_by_path(&self.to_string())
+    }
+}
+
+impl fmt::Display for ElementPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.segments.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeKind;
+    use crate::element::{ElementKind, SchemaElement};
+    use crate::metamodel::Metamodel;
+
+    #[test]
+    fn parse_tolerates_stray_slashes() {
+        let p = ElementPath::parse("/a/b/c/");
+        assert_eq!(p.segments(), ["a", "b", "c"]);
+        assert_eq!(p.to_string(), "a/b/c");
+    }
+
+    #[test]
+    fn leaf_parent_child() {
+        let p = ElementPath::parse("purchaseOrder/shipTo/subtotal");
+        assert_eq!(p.leaf(), Some("subtotal"));
+        let parent = p.parent().unwrap();
+        assert_eq!(parent.to_string(), "purchaseOrder/shipTo");
+        assert_eq!(parent.child("subtotal"), p);
+        assert!(ElementPath::parse("x").parent().is_none());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = ElementPath::parse("s/shipTo");
+        let b = ElementPath::parse("s/shipTo/firstName");
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(!ElementPath::parse("s/other").is_prefix_of(&b));
+    }
+
+    #[test]
+    fn resolve_against_graph() {
+        let mut g = SchemaGraph::new("s", Metamodel::Xml);
+        let a = g.add_child(
+            g.root(),
+            EdgeKind::ContainsElement,
+            SchemaElement::new(ElementKind::XmlElement, "shipTo"),
+        );
+        let p = ElementPath::of(&g, a);
+        assert_eq!(p.to_string(), "s/shipTo");
+        assert_eq!(p.resolve(&g), Some(a));
+        assert_eq!(ElementPath::parse("s/missing").resolve(&g), None);
+    }
+
+    #[test]
+    fn from_segments_and_emptiness() {
+        let p = ElementPath::from_segments(["a", "b"]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(ElementPath::parse("").is_empty());
+    }
+}

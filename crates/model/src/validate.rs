@@ -1,0 +1,243 @@
+//! Structural validation of schema graphs.
+//!
+//! Loaders run [`validate`] before publishing a graph to the blackboard;
+//! the checks encode the invariants the rest of the workbench assumes.
+
+use crate::edge::EdgeKind;
+use crate::element::ElementKind;
+use crate::graph::SchemaGraph;
+use crate::ids::ElementId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A violated schema-graph invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// An element's name is empty or all whitespace.
+    EmptyName(ElementId),
+    /// A containment edge's kinds are inconsistent (e.g. `contains-table`
+    /// pointing at an attribute).
+    KindMismatch {
+        /// Edge label in question.
+        edge: EdgeKind,
+        /// The child element.
+        child: ElementId,
+        /// The child's actual kind.
+        found: ElementKind,
+    },
+    /// Two siblings share a name, making paths ambiguous.
+    DuplicateSiblingName {
+        /// The shared parent.
+        parent: ElementId,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A `has-domain` edge points at a non-domain node.
+    BadDomainReference(ElementId),
+    /// A `key-attribute` edge's source is not a key or its target is not
+    /// an attribute.
+    BadKeyEdge(ElementId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyName(id) => write!(f, "element {id} has an empty name"),
+            ValidationError::KindMismatch { edge, child, found } => {
+                write!(f, "edge {edge} points at {child} of kind {found}")
+            }
+            ValidationError::DuplicateSiblingName { parent, name } => {
+                write!(f, "children of {parent} share the name {name:?}")
+            }
+            ValidationError::BadDomainReference(id) => {
+                write!(f, "has-domain edge from {id} targets a non-domain node")
+            }
+            ValidationError::BadKeyEdge(id) => {
+                write!(f, "key-attribute edge at {id} violates key/attribute kinds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// The element kinds a containment edge may point at.
+fn allowed_child_kinds(edge: EdgeKind) -> &'static [ElementKind] {
+    match edge {
+        EdgeKind::ContainsTable => &[ElementKind::Table],
+        EdgeKind::ContainsEntity => &[ElementKind::Entity],
+        EdgeKind::ContainsRelationship => &[ElementKind::Relationship],
+        EdgeKind::ContainsElement => &[ElementKind::XmlElement],
+        EdgeKind::ContainsAttribute => &[ElementKind::Attribute],
+        EdgeKind::ContainsKey => &[ElementKind::Key],
+        EdgeKind::ContainsDomain => &[ElementKind::Domain],
+        EdgeKind::ContainsValue => &[ElementKind::DomainValue],
+        // Non-containment kinds are checked separately.
+        _ => ElementKind::all(),
+    }
+}
+
+/// Check all invariants, returning every violation found.
+pub fn validate(graph: &SchemaGraph) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    for (id, el) in graph.iter() {
+        if el.name.trim().is_empty() {
+            errors.push(ValidationError::EmptyName(id));
+        }
+        // Sibling name uniqueness (per edge kind: an attribute and a key
+        // may share a name without ambiguity concerns in practice, but we
+        // enforce global sibling uniqueness for unambiguous paths).
+        let mut seen: HashSet<&str> = HashSet::new();
+        for &(_, child) in graph.children(id) {
+            let name = graph.element(child).name.as_str();
+            if !seen.insert(name) {
+                errors.push(ValidationError::DuplicateSiblingName {
+                    parent: id,
+                    name: name.to_owned(),
+                });
+            }
+        }
+    }
+
+    for edge in graph.containment_edges() {
+        let found = graph.element(edge.to).kind;
+        if !allowed_child_kinds(edge.kind).contains(&found) {
+            errors.push(ValidationError::KindMismatch {
+                edge: edge.kind,
+                child: edge.to,
+                found,
+            });
+        }
+    }
+
+    for edge in graph.cross_edges() {
+        match edge.kind {
+            EdgeKind::HasDomain if graph.element(edge.to).kind != ElementKind::Domain => {
+                errors.push(ValidationError::BadDomainReference(edge.from));
+            }
+            EdgeKind::KeyAttribute => {
+                let ok = graph.element(edge.from).kind == ElementKind::Key
+                    && graph.element(edge.to).kind == ElementKind::Attribute;
+                if !ok {
+                    errors.push(ValidationError::BadKeyEdge(edge.from));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::element::{DataType, SchemaElement};
+    use crate::metamodel::Metamodel;
+
+    #[test]
+    fn well_formed_graph_passes() {
+        let g = SchemaBuilder::new("db", Metamodel::Relational)
+            .open("T")
+            .attr("a", DataType::Integer)
+            .attr("b", DataType::Text)
+            .key("pk", &["a"])
+            .close()
+            .build();
+        assert!(validate(&g).is_empty());
+    }
+
+    #[test]
+    fn empty_name_detected() {
+        let mut g = SchemaGraph::new("s", Metamodel::Xml);
+        g.add_child(
+            g.root(),
+            EdgeKind::ContainsElement,
+            SchemaElement::new(ElementKind::XmlElement, "   "),
+        );
+        let errs = validate(&g);
+        assert!(matches!(errs[0], ValidationError::EmptyName(_)));
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let mut g = SchemaGraph::new("s", Metamodel::Relational);
+        // contains-table pointing at an attribute node.
+        g.add_child(
+            g.root(),
+            EdgeKind::ContainsTable,
+            SchemaElement::new(ElementKind::Attribute, "oops"),
+        );
+        let errs = validate(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_sibling_names_detected() {
+        let mut g = SchemaGraph::new("s", Metamodel::Xml);
+        let p = g.add_child(
+            g.root(),
+            EdgeKind::ContainsElement,
+            SchemaElement::new(ElementKind::XmlElement, "e"),
+        );
+        for _ in 0..2 {
+            g.add_child(
+                p,
+                EdgeKind::ContainsAttribute,
+                SchemaElement::new(ElementKind::Attribute, "dup"),
+            );
+        }
+        let errs = validate(&g);
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::DuplicateSiblingName { name, .. } if name == "dup")
+        ));
+    }
+
+    #[test]
+    fn bad_domain_reference_detected() {
+        let mut g = SchemaGraph::new("s", Metamodel::Relational);
+        let t = g.add_child(
+            g.root(),
+            EdgeKind::ContainsTable,
+            SchemaElement::new(ElementKind::Table, "T"),
+        );
+        let a = g.add_child(
+            t,
+            EdgeKind::ContainsAttribute,
+            SchemaElement::new(ElementKind::Attribute, "a"),
+        );
+        g.add_cross_edge(a, EdgeKind::HasDomain, t); // target is a table
+        let errs = validate(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadDomainReference(_))));
+    }
+
+    #[test]
+    fn bad_key_edge_detected() {
+        let mut g = SchemaGraph::new("s", Metamodel::Relational);
+        let t = g.add_child(
+            g.root(),
+            EdgeKind::ContainsTable,
+            SchemaElement::new(ElementKind::Table, "T"),
+        );
+        let a = g.add_child(
+            t,
+            EdgeKind::ContainsAttribute,
+            SchemaElement::new(ElementKind::Attribute, "a"),
+        );
+        g.add_cross_edge(a, EdgeKind::KeyAttribute, a); // source not a key
+        let errs = validate(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadKeyEdge(_))));
+    }
+
+    #[test]
+    fn errors_display_readably() {
+        let e = ValidationError::EmptyName(ElementId::from_index(7));
+        assert!(e.to_string().contains("e7"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the canonical schema graph.
+
+use iwb_model::{
+    validate, DataType, EdgeKind, ElementKind, ElementPath, Metamodel, SchemaElement, SchemaGraph,
+};
+use proptest::prelude::*;
+
+/// A random tree-building script: each step attaches a new attribute or
+/// element under a previously created node (by index modulo).
+fn build(script: &[(u8, bool)]) -> SchemaGraph {
+    let mut g = SchemaGraph::new("s", Metamodel::Xml);
+    let mut containers = vec![g.root()];
+    for (i, &(parent_sel, is_container)) in script.iter().enumerate() {
+        let parent = containers[parent_sel as usize % containers.len()];
+        if is_container {
+            let id = g.add_child(
+                parent,
+                EdgeKind::ContainsElement,
+                SchemaElement::new(ElementKind::XmlElement, format!("e{i}")),
+            );
+            containers.push(id);
+        } else {
+            g.add_child(
+                parent,
+                EdgeKind::ContainsAttribute,
+                SchemaElement::new(ElementKind::Attribute, format!("a{i}"))
+                    .with_type(DataType::Text),
+            );
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Every generated tree satisfies the model invariants.
+    #[test]
+    fn random_trees_validate(script in prop::collection::vec((any::<u8>(), any::<bool>()), 0..60)) {
+        let g = build(&script);
+        prop_assert!(validate(&g).is_empty());
+        prop_assert_eq!(g.len(), script.len() + 1);
+    }
+
+    /// Depth is always parent depth + 1; subtree membership is
+    /// consistent with the parent chain.
+    #[test]
+    fn depth_and_subtree_consistency(script in prop::collection::vec((any::<u8>(), any::<bool>()), 1..60)) {
+        let g = build(&script);
+        for id in g.ids() {
+            match g.parent(id) {
+                Some((_, p)) => {
+                    prop_assert_eq!(g.depth(id), g.depth(p) + 1);
+                    prop_assert!(g.is_in_subtree(p, id));
+                    prop_assert!(g.is_in_subtree(g.root(), id));
+                }
+                None => prop_assert_eq!(g.depth(id), 0),
+            }
+        }
+    }
+
+    /// The subtree of the root enumerates every element exactly once.
+    #[test]
+    fn root_subtree_is_a_permutation(script in prop::collection::vec((any::<u8>(), any::<bool>()), 0..60)) {
+        let g = build(&script);
+        let mut sub = g.subtree(g.root());
+        sub.sort();
+        let all: Vec<_> = g.ids().collect();
+        prop_assert_eq!(sub, all);
+    }
+
+    /// name_path/find_by_path round-trip for every element (names are
+    /// unique by construction).
+    #[test]
+    fn paths_round_trip(script in prop::collection::vec((any::<u8>(), any::<bool>()), 0..40)) {
+        let g = build(&script);
+        for id in g.ids() {
+            let path = g.name_path(id);
+            prop_assert_eq!(g.find_by_path(&path), Some(id), "path {}", path);
+            let parsed = ElementPath::parse(&path);
+            prop_assert_eq!(parsed.resolve(&g), Some(id));
+        }
+    }
+
+    /// Containment edge count is exactly n-1 for n elements.
+    #[test]
+    fn tree_edge_count(script in prop::collection::vec((any::<u8>(), any::<bool>()), 0..60)) {
+        let g = build(&script);
+        prop_assert_eq!(g.containment_edges().count(), g.len() - 1);
+        prop_assert_eq!(g.edge_count(), g.len() - 1);
+    }
+}
+
+proptest! {
+    /// ElementPath parsing normalises separators idempotently.
+    #[test]
+    fn element_path_parse_idempotent(segs in prop::collection::vec("[a-z]{1,8}", 0..8)) {
+        let joined = segs.join("/");
+        let p1 = ElementPath::parse(&joined);
+        let p2 = ElementPath::parse(&p1.to_string());
+        prop_assert_eq!(&p1, &p2);
+        prop_assert_eq!(p1.segments().len(), segs.len());
+    }
+
+    /// A path is always a prefix of its children.
+    #[test]
+    fn path_prefix_of_child(segs in prop::collection::vec("[a-z]{1,8}", 1..8), child in "[a-z]{1,8}") {
+        let p = ElementPath::from_segments(segs);
+        let c = p.child(child);
+        prop_assert!(p.is_prefix_of(&c));
+        prop_assert_eq!(c.parent().unwrap(), p);
+    }
+}

@@ -1,0 +1,132 @@
+//! RDFS forward chaining.
+//!
+//! §5.1 motivates RDF Schema: "one can use RDF Schema to define useful
+//! built-in link types while still offering easy extensibility". The
+//! blackboard uses this to let a tool register, say, a custom containment
+//! property as `rdfs:subPropertyOf iwb:contains-element` and have generic
+//! tools still see the generic edge. Implemented rules (a useful subset
+//! of the RDFS entailment rules):
+//!
+//! * rdfs5  — subPropertyOf transitivity
+//! * rdfs7  — property inheritance: `(s p o), (p sub q) ⇒ (s q o)`
+//! * rdfs9  — type inheritance through subClassOf
+//! * rdfs11 — subClassOf transitivity
+
+use crate::store::TripleStore;
+use crate::term::Term;
+
+/// Compute the RDFS closure in place. Returns the number of triples
+/// added. Terminates because each pass only adds triples and the
+/// universe of derivable triples is finite.
+pub fn rdfs_closure(store: &mut TripleStore) -> usize {
+    let rdf_type = store.intern(Term::iri(crate::vocab::RDF_TYPE));
+    let sub_class = store.intern(Term::iri(crate::vocab::RDFS_SUBCLASS_OF));
+    let sub_prop = store.intern(Term::iri(crate::vocab::RDFS_SUBPROPERTY_OF));
+
+    let mut added = 0;
+    loop {
+        let mut new_triples = Vec::new();
+
+        // rdfs11: subClassOf transitivity.
+        for t1 in store.matching(None, Some(sub_class), None) {
+            for t2 in store.matching(Some(t1.o), Some(sub_class), None) {
+                if !store.contains_ids(t1.s, sub_class, t2.o) && t1.s != t2.o {
+                    new_triples.push((t1.s, sub_class, t2.o));
+                }
+            }
+        }
+        // rdfs9: type inheritance.
+        for t1 in store.matching(None, Some(rdf_type), None) {
+            for t2 in store.matching(Some(t1.o), Some(sub_class), None) {
+                if !store.contains_ids(t1.s, rdf_type, t2.o) {
+                    new_triples.push((t1.s, rdf_type, t2.o));
+                }
+            }
+        }
+        // rdfs5: subPropertyOf transitivity.
+        for t1 in store.matching(None, Some(sub_prop), None) {
+            for t2 in store.matching(Some(t1.o), Some(sub_prop), None) {
+                if !store.contains_ids(t1.s, sub_prop, t2.o) && t1.s != t2.o {
+                    new_triples.push((t1.s, sub_prop, t2.o));
+                }
+            }
+        }
+        // rdfs7: property inheritance.
+        for t1 in store.matching(None, Some(sub_prop), None) {
+            for t2 in store.matching(None, Some(t1.s), None) {
+                if !store.contains_ids(t2.s, t1.o, t2.o) {
+                    new_triples.push((t2.s, t1.o, t2.o));
+                }
+            }
+        }
+
+        if new_triples.is_empty() {
+            break;
+        }
+        for (s, p, o) in new_triples {
+            if store.insert_ids(s, p, o) {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn subclass_transitivity_and_type_inheritance() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("iwb:Key"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("iwb:Constraint"));
+        st.insert(
+            Term::iri("iwb:Constraint"),
+            Term::iri(vocab::RDFS_SUBCLASS_OF),
+            Term::iri(vocab::ELEMENT_CLASS),
+        );
+        st.insert(Term::iri("iwb:e/pk"), Term::iri(vocab::RDF_TYPE), Term::iri("iwb:Key"));
+        let added = rdfs_closure(&mut st);
+        assert!(added >= 3);
+        let pk = st.lookup(&Term::iri("iwb:e/pk")).unwrap();
+        let ty = st.lookup(&Term::iri(vocab::RDF_TYPE)).unwrap();
+        let elem = st.lookup(&Term::iri(vocab::ELEMENT_CLASS)).unwrap();
+        assert!(st.contains_ids(pk, ty, elem));
+    }
+
+    #[test]
+    fn subproperty_inheritance_propagates_edges() {
+        let mut st = TripleStore::new();
+        st.insert(
+            Term::iri("ex:contains-record"),
+            Term::iri(vocab::RDFS_SUBPROPERTY_OF),
+            Term::iri("iwb:contains-element"),
+        );
+        st.insert(Term::iri("ex:a"), Term::iri("ex:contains-record"), Term::iri("ex:b"));
+        rdfs_closure(&mut st);
+        let a = st.lookup(&Term::iri("ex:a")).unwrap();
+        let p = st.lookup(&Term::iri("iwb:contains-element")).unwrap();
+        let b = st.lookup(&Term::iri("ex:b")).unwrap();
+        assert!(st.contains_ids(a, p, b));
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("b"));
+        st.insert(Term::iri("b"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("c"));
+        let first = rdfs_closure(&mut st);
+        assert_eq!(first, 1);
+        assert_eq!(rdfs_closure(&mut st), 0);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("b"));
+        st.insert(Term::iri("b"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("a"));
+        rdfs_closure(&mut st); // must not loop forever
+        assert!(st.len() >= 2);
+    }
+}

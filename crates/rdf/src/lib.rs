@@ -1,0 +1,35 @@
+//! # iwb-rdf — RDF triple store substrate for the Integration Blackboard
+//!
+//! The paper proposes RDF for the blackboard because "1) it is natural for
+//! representing labeled graphs, 2) one can use RDF Schema to define useful
+//! built-in link types while still offering easy extensibility, 3) it is
+//! vendor-independent, and 4) it has significant development support"
+//! (§5.1). No RDF toolkit is assumed here; this crate is a from-scratch
+//! implementation of the features the blackboard needs:
+//!
+//! * [`term`] — IRIs, blank nodes, typed literals, and an interning pool;
+//! * [`store`] — an SPO/POS/OSP-indexed triple store;
+//! * [`pattern`]/[`query`] — triple patterns and basic-graph-pattern
+//!   evaluation with backtracking joins (the manager's "ad hoc queries");
+//! * [`update`] — transactional insert/delete batches with rollback
+//!   (the manager's "transactional updates to the IB");
+//! * [`vocab`] — the `iwb:` controlled vocabulary plus `rdf:`/`rdfs:`;
+//! * [`inference`] — RDFS subclass/subproperty forward chaining;
+//! * [`turtle`] — a Turtle-subset writer and parser for persistence;
+//! * [`schema_rdf`] — round-tripping canonical schema graphs to triples.
+
+pub mod inference;
+pub mod pattern;
+pub mod query;
+pub mod schema_rdf;
+pub mod store;
+pub mod term;
+pub mod turtle;
+pub mod update;
+pub mod vocab;
+
+pub use pattern::{PatternTerm, TriplePattern};
+pub use query::{select, Bindings};
+pub use store::{Triple, TripleStore};
+pub use term::{Term, TermId};
+pub use update::{ChangeSet, Transaction, TxnError};

@@ -1,0 +1,129 @@
+//! Triple patterns with variables.
+
+use crate::term::{Term, TermId};
+use crate::store::TripleStore;
+use std::fmt;
+
+/// One position of a triple pattern: a constant term or a named variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A constant, given as a term (interned lazily at evaluation time).
+    Const(Term),
+    /// A named variable, e.g. `?cell`.
+    Var(String),
+}
+
+impl PatternTerm {
+    /// A variable pattern term (leading `?` optional).
+    pub fn var(name: &str) -> Self {
+        PatternTerm::Var(name.trim_start_matches('?').to_owned())
+    }
+
+    /// The variable name if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Resolve a constant to its interned id (None when the constant has
+    /// never been interned — the pattern can then match nothing).
+    pub(crate) fn resolve(&self, store: &TripleStore) -> Resolution {
+        match self {
+            PatternTerm::Const(t) => match store.lookup(t) {
+                Some(id) => Resolution::Bound(id),
+                None => Resolution::Unsatisfiable,
+            },
+            PatternTerm::Var(v) => Resolution::Variable(v.clone()),
+        }
+    }
+}
+
+impl From<Term> for PatternTerm {
+    fn from(t: Term) -> Self {
+        PatternTerm::Const(t)
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Const(t) => write!(f, "{t}"),
+            PatternTerm::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+pub(crate) enum Resolution {
+    Bound(TermId),
+    Variable(String),
+    Unsatisfiable,
+}
+
+/// A triple pattern: three positions, each constant or variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: PatternTerm,
+    /// Predicate position.
+    pub p: PatternTerm,
+    /// Object position.
+    pub o: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Build a pattern from three positions.
+    pub fn new(
+        s: impl Into<PatternTerm>,
+        p: impl Into<PatternTerm>,
+        o: impl Into<PatternTerm>,
+    ) -> Self {
+        TriplePattern {
+            s: s.into(),
+            p: p.into(),
+            o: o.into(),
+        }
+    }
+
+    /// The variable names mentioned by the pattern, in S-P-O order.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.s, &self.p, &self.o]
+            .into_iter()
+            .filter_map(PatternTerm::as_var)
+            .collect()
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_strips_question_mark() {
+        assert_eq!(PatternTerm::var("?x"), PatternTerm::Var("x".into()));
+        assert_eq!(PatternTerm::var("x"), PatternTerm::Var("x".into()));
+    }
+
+    #[test]
+    fn variables_listed_in_order() {
+        let p = TriplePattern::new(
+            PatternTerm::var("cell"),
+            Term::iri("iwb:confidence-score"),
+            PatternTerm::var("score"),
+        );
+        assert_eq!(p.variables(), ["cell", "score"]);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let p = TriplePattern::new(PatternTerm::var("s"), Term::iri("rdf:type"), Term::iri("iwb:Schema"));
+        assert_eq!(p.to_string(), "?s rdf:type iwb:Schema .");
+    }
+}

@@ -1,0 +1,324 @@
+//! Round-tripping canonical schema graphs to RDF.
+//!
+//! §5.1.1: "The IB represents a schema as a directed, labeled graph"
+//! whose nodes are schema elements and whose edges are object properties
+//! (`contains-table`, `contains-attribute`, …), with `name`, `type` and
+//! `documentation` annotations populated by import tools.
+
+use crate::store::TripleStore;
+use crate::term::Term;
+use crate::vocab;
+use iwb_model::{
+    AnnotationValue, DataType, EdgeKind, ElementId, ElementKind, Metamodel, SchemaElement,
+    SchemaGraph,
+};
+
+/// Write a schema graph into the store. Returns the schema resource IRI.
+pub fn schema_to_rdf(graph: &SchemaGraph, store: &mut TripleStore) -> String {
+    let schema = vocab::schema_iri(graph.id().as_str());
+    store.insert(
+        Term::iri(schema.clone()),
+        Term::iri(vocab::RDF_TYPE),
+        Term::iri(vocab::SCHEMA_CLASS),
+    );
+    store.insert(
+        Term::iri(schema.clone()),
+        Term::iri(vocab::METAMODEL),
+        Term::literal(graph.metamodel().label()),
+    );
+    for (id, el) in graph.iter() {
+        let iri = vocab::element_iri(graph.id().as_str(), id.index());
+        let subject = Term::iri(iri.clone());
+        store.insert(
+            subject.clone(),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri(vocab::ELEMENT_CLASS),
+        );
+        store.insert(
+            subject.clone(),
+            Term::iri(vocab::KIND),
+            Term::literal(el.kind.label()),
+        );
+        store.insert(subject.clone(), Term::iri(vocab::NAME), Term::literal(&el.name));
+        if let Some(t) = &el.data_type {
+            store.insert(
+                subject.clone(),
+                Term::iri(vocab::TYPE),
+                Term::literal(t.to_string()),
+            );
+        }
+        if let Some(d) = &el.documentation {
+            store.insert(
+                subject.clone(),
+                Term::iri(vocab::DOCUMENTATION),
+                Term::literal(d),
+            );
+        }
+        for (k, v) in el.annotations.iter() {
+            let obj = match v {
+                AnnotationValue::Text(s) => Term::literal(s),
+                AnnotationValue::Number(n) => Term::double(*n),
+                AnnotationValue::Flag(b) => Term::boolean(*b),
+            };
+            store.insert(subject.clone(), Term::iri(format!("iwb:{k}")), obj);
+        }
+    }
+    for edge in graph.containment_edges() {
+        insert_edge(store, graph, edge.from, edge.kind, edge.to);
+    }
+    for edge in graph.cross_edges() {
+        insert_edge(store, graph, edge.from, edge.kind, edge.to);
+    }
+    schema
+}
+
+fn insert_edge(
+    store: &mut TripleStore,
+    graph: &SchemaGraph,
+    from: ElementId,
+    kind: EdgeKind,
+    to: ElementId,
+) {
+    store.insert(
+        Term::iri(vocab::element_iri(graph.id().as_str(), from.index())),
+        Term::iri(vocab::edge_property(kind.label())),
+        Term::iri(vocab::element_iri(graph.id().as_str(), to.index())),
+    );
+}
+
+/// Reconstruct a schema graph from the store.
+///
+/// Returns `None` if no schema with this id is present. Element ids are
+/// preserved (the IRIs encode the dense index), so ids taken before a
+/// round trip remain valid after.
+pub fn schema_from_rdf(store: &TripleStore, schema_id: &str) -> Option<SchemaGraph> {
+    let schema_iri = vocab::schema_iri(schema_id);
+    let schema_term = store.lookup(&Term::iri(schema_iri))?;
+    let metamodel_p = store.lookup(&Term::iri(vocab::METAMODEL))?;
+    let metamodel = match store
+        .term(store.object(schema_term, metamodel_p)?)
+        .as_literal()?
+    {
+        "relational" => Metamodel::Relational,
+        "xml" => Metamodel::Xml,
+        "entity-relationship" => Metamodel::EntityRelationship,
+        _ => return None,
+    };
+
+    // Collect elements by dense index.
+    let prefix = format!("iwb:schema/{schema_id}#e");
+    let mut elements: Vec<(usize, SchemaElement)> = Vec::new();
+    let kind_p = store.lookup(&Term::iri(vocab::KIND))?;
+    let name_p = store.lookup(&Term::iri(vocab::NAME))?;
+    let type_p = store.lookup(&Term::iri(vocab::TYPE));
+    let doc_p = store.lookup(&Term::iri(vocab::DOCUMENTATION));
+    for t in store.matching(None, Some(kind_p), None) {
+        let Term::Iri(iri) = store.term(t.s) else { continue };
+        let Some(idx) = iri.strip_prefix(&prefix).and_then(|s| s.parse::<usize>().ok()) else {
+            continue;
+        };
+        let kind = kind_from_label(store.term(t.o).as_literal()?)?;
+        let name = store
+            .object(t.s, name_p)
+            .and_then(|o| store.term(o).as_literal().map(str::to_owned))?;
+        let mut el = SchemaElement::new(kind, name);
+        if let Some(tp) = type_p {
+            if let Some(o) = store.object(t.s, tp) {
+                el.data_type = store.term(o).as_literal().map(parse_data_type);
+            }
+        }
+        if let Some(dp) = doc_p {
+            if let Some(o) = store.object(t.s, dp) {
+                el.documentation = store.term(o).as_literal().map(str::to_owned);
+            }
+        }
+        elements.push((idx, el));
+    }
+    elements.sort_by_key(|(i, _)| *i);
+
+    // Rebuild via graph, honoring containment edges.
+    let mut graph = SchemaGraph::new(schema_id, metamodel);
+    // Map: dense index → (parent index, edge kind) from containment
+    // triples; cross edges collected separately.
+    let mut parent_of: Vec<Option<(EdgeKind, usize)>> = vec![None; elements.len()];
+    let mut cross: Vec<(usize, EdgeKind, usize)> = Vec::new();
+    for kind in EdgeKind::all() {
+        let Some(p) = store.lookup(&Term::iri(vocab::edge_property(kind.label()))) else {
+            continue;
+        };
+        for t in store.matching(None, Some(p), None) {
+            let (Term::Iri(si), Term::Iri(oi)) = (store.term(t.s), store.term(t.o)) else {
+                continue;
+            };
+            let (Some(from), Some(to)) = (
+                si.strip_prefix(&prefix).and_then(|s| s.parse::<usize>().ok()),
+                oi.strip_prefix(&prefix).and_then(|s| s.parse::<usize>().ok()),
+            ) else {
+                continue;
+            };
+            if kind.is_containment() {
+                parent_of[to] = Some((*kind, from));
+            } else {
+                cross.push((from, *kind, to));
+            }
+        }
+    }
+
+    // Insert children in dense-index order; because add_child assigns ids
+    // sequentially and loaders create parents before children, index
+    // order reconstructs identical ids.
+    for (idx, el) in elements.iter().skip(1) {
+        let Some((kind, parent_idx)) = parent_of[*idx] else {
+            continue; // orphan (should not happen for valid stores)
+        };
+        let pid = ElementId::from_index(parent_idx);
+        let got = graph.add_child(pid, kind, el.clone());
+        debug_assert_eq!(got.index(), *idx);
+    }
+    // Root name/doc restoration.
+    if let Some((_, root_el)) = elements.first() {
+        let root = graph.root();
+        graph.element_mut(root).name = root_el.name.clone();
+        graph.element_mut(root).documentation = root_el.documentation.clone();
+    }
+    for (from, kind, to) in cross {
+        graph.add_cross_edge(ElementId::from_index(from), kind, ElementId::from_index(to));
+    }
+    Some(graph)
+}
+
+fn kind_from_label(label: &str) -> Option<ElementKind> {
+    ElementKind::all().iter().copied().find(|k| k.label() == label)
+}
+
+fn parse_data_type(s: &str) -> DataType {
+    match s {
+        "text" => DataType::Text,
+        "integer" => DataType::Integer,
+        "decimal" => DataType::Decimal,
+        "boolean" => DataType::Boolean,
+        "date" => DataType::Date,
+        "datetime" => DataType::DateTime,
+        "binary" => DataType::Binary,
+        _ => {
+            if let Some(inner) = s.strip_prefix("varchar(").and_then(|x| x.strip_suffix(')')) {
+                if let Ok(n) = inner.parse() {
+                    return DataType::VarChar(n);
+                }
+            }
+            if let Some(inner) = s.strip_prefix("coded(").and_then(|x| x.strip_suffix(')')) {
+                return DataType::Coded(inner.to_owned());
+            }
+            if let Some(inner) = s.strip_prefix("other(").and_then(|x| x.strip_suffix(')')) {
+                return DataType::Other(inner.to_owned());
+            }
+            DataType::Other(s.to_owned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::SchemaBuilder;
+
+    fn sample() -> SchemaGraph {
+        SchemaBuilder::new("purchaseOrder", Metamodel::Xml)
+            .open("shipTo")
+            .doc("Shipping destination.")
+            .attr("firstName", DataType::Text)
+            .attr_doc("subtotal", DataType::Decimal, "Pre-tax total.")
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn to_rdf_produces_expected_shape() {
+        let mut st = TripleStore::new();
+        let iri = schema_to_rdf(&sample(), &mut st);
+        assert_eq!(iri, "iwb:schema/purchaseOrder");
+        // 4 elements: root + shipTo + 2 attrs. Each has type/kind/name.
+        let kind_p = st.lookup(&Term::iri(vocab::KIND)).unwrap();
+        assert_eq!(st.matching(None, Some(kind_p), None).len(), 4);
+        let edge_p = st
+            .lookup(&Term::iri(vocab::edge_property("contains-attribute")))
+            .unwrap();
+        assert_eq!(st.matching(None, Some(edge_p), None).len(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = sample();
+        let mut st = TripleStore::new();
+        schema_to_rdf(&g, &mut st);
+        let back = schema_from_rdf(&st, "purchaseOrder").unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.metamodel(), Metamodel::Xml);
+        let sub = back.find_by_path("purchaseOrder/shipTo/subtotal").unwrap();
+        assert_eq!(back.element(sub).data_type, Some(DataType::Decimal));
+        assert_eq!(
+            back.element(sub).documentation.as_deref(),
+            Some("Pre-tax total.")
+        );
+        assert_eq!(back.depth(sub), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_element_ids() {
+        let g = sample();
+        let target = g.find_by_path("purchaseOrder/shipTo/firstName").unwrap();
+        let mut st = TripleStore::new();
+        schema_to_rdf(&g, &mut st);
+        let back = schema_from_rdf(&st, "purchaseOrder").unwrap();
+        assert_eq!(back.element(target).name, "firstName");
+    }
+
+    #[test]
+    fn cross_edges_survive() {
+        let g = SchemaBuilder::new("db", Metamodel::Relational)
+            .open("A")
+            .attr("x", DataType::Integer)
+            .close()
+            .open("B")
+            .attr("y", DataType::Integer)
+            .close()
+            .reference("db/B/y", "db/A/x")
+            .build();
+        let mut st = TripleStore::new();
+        schema_to_rdf(&g, &mut st);
+        let back = schema_from_rdf(&st, "db").unwrap();
+        assert_eq!(back.cross_edges().len(), 1);
+        assert_eq!(back.cross_edges()[0].kind, EdgeKind::References);
+    }
+
+    #[test]
+    fn missing_schema_returns_none() {
+        let st = TripleStore::new();
+        assert!(schema_from_rdf(&st, "nope").is_none());
+    }
+
+    #[test]
+    fn data_type_parser_handles_parameterised_types() {
+        assert_eq!(parse_data_type("varchar(30)"), DataType::VarChar(30));
+        assert_eq!(
+            parse_data_type("coded(runway-type)"),
+            DataType::Coded("runway-type".into())
+        );
+        assert_eq!(parse_data_type("weird"), DataType::Other("weird".into()));
+    }
+
+    #[test]
+    fn two_schemas_coexist() {
+        let mut st = TripleStore::new();
+        schema_to_rdf(&sample(), &mut st);
+        let g2 = SchemaBuilder::new("invoice", Metamodel::Xml)
+            .open("shippingInfo")
+            .attr("name", DataType::Text)
+            .close()
+            .build();
+        schema_to_rdf(&g2, &mut st);
+        assert!(schema_from_rdf(&st, "purchaseOrder").is_some());
+        let inv = schema_from_rdf(&st, "invoice").unwrap();
+        assert_eq!(inv.len(), 3);
+    }
+}

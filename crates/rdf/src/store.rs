@@ -1,0 +1,279 @@
+//! The indexed triple store.
+//!
+//! Three ordered indexes (SPO, POS, OSP) answer any triple pattern with a
+//! range scan; the pool interns terms so triples are three `u32`s.
+
+use crate::term::{Term, TermId, TermPool};
+use std::collections::BTreeSet;
+
+/// A triple of interned term ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject.
+    pub s: TermId,
+    /// Predicate.
+    pub p: TermId,
+    /// Object.
+    pub o: TermId,
+}
+
+/// An SPO/POS/OSP-indexed triple store with an interning term pool.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    pool: TermPool,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The term pool (read access).
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Intern a term.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.pool.intern(term)
+    }
+
+    /// Mint a fresh blank node.
+    pub fn fresh_blank(&mut self) -> TermId {
+        self.pool.fresh_blank()
+    }
+
+    /// Resolve a term id.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.pool.term(id)
+    }
+
+    /// Look up a term's id without interning.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.pool.get(term)
+    }
+
+    /// Insert a triple of already-interned ids. Returns true if new.
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Intern three terms and insert the triple. Returns true if new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.pool.intern(s);
+        let p = self.pool.intern(p);
+        let o = self.pool.intern(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Remove a triple. Returns true if it was present.
+    pub fn remove_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Remove a triple given as terms. Returns true if it was present.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.pool.get(s), self.pool.get(p), self.pool.get(o)) {
+            (Some(s), Some(p), Some(o)) => self.remove_ids(s, p, o),
+            _ => false,
+        }
+    }
+
+    /// True if the store contains the triple.
+    pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if no triples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// All triples matching a pattern where `None` is a wildcard. Uses the
+    /// most selective index for the bound positions.
+    pub fn matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        let from = |t: &(TermId, TermId, TermId)| Triple {
+            s: t.0,
+            p: t.1,
+            o: t.2,
+        };
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![Triple { s, p, o }]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, TermId(0))..=(s, p, TermId(u32::MAX)))
+                .map(from)
+                .collect(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, TermId(0), TermId(0))..=(s, TermId(u32::MAX), TermId(u32::MAX)))
+                .map(from)
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o, s, TermId(0))..=(o, s, TermId(u32::MAX)))
+                .map(|&(o, s, p)| Triple { s, p, o })
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p, o, TermId(0))..=(p, o, TermId(u32::MAX)))
+                .map(|&(p, o, s)| Triple { s, p, o })
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, TermId(0), TermId(0))..=(p, TermId(u32::MAX), TermId(u32::MAX)))
+                .map(|&(p, o, s)| Triple { s, p, o })
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, TermId(0), TermId(0))..=(o, TermId(u32::MAX), TermId(u32::MAX)))
+                .map(|&(o, s, p)| Triple { s, p, o })
+                .collect(),
+            (None, None, None) => self.spo.iter().map(from).collect(),
+        }
+    }
+
+    /// Convenience: the single object of `(s, p, ?)` if exactly one exists.
+    pub fn object(&self, s: TermId, p: TermId) -> Option<TermId> {
+        let matches = self.matching(Some(s), Some(p), None);
+        match matches.as_slice() {
+            [t] => Some(t.o),
+            _ => None,
+        }
+    }
+
+    /// Convenience: set-style property update — removes all `(s, p, *)`
+    /// then inserts `(s, p, o)`. Returns the number of removed triples.
+    pub fn set_object(&mut self, s: TermId, p: TermId, o: TermId) -> usize {
+        let old = self.matching(Some(s), Some(p), None);
+        for t in &old {
+            self.remove_ids(t.s, t.p, t.o);
+        }
+        self.insert_ids(s, p, o);
+        old.len()
+    }
+
+    /// Iterate all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(data: &[(&str, &str, &str)]) -> TripleStore {
+        let mut st = TripleStore::new();
+        for (s, p, o) in data {
+            st.insert(Term::iri(*s), Term::iri(*p), Term::iri(*o));
+        }
+        st
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut st = TripleStore::new();
+        assert!(st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b")));
+        assert!(!st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b")));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn all_eight_patterns_answer() {
+        let st = store_with(&[
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("a", "q", "b"),
+            ("d", "p", "b"),
+        ]);
+        let id = |s: &str| st.lookup(&Term::iri(s)).unwrap();
+        assert_eq!(st.matching(None, None, None).len(), 4);
+        assert_eq!(st.matching(Some(id("a")), None, None).len(), 3);
+        assert_eq!(st.matching(None, Some(id("p")), None).len(), 3);
+        assert_eq!(st.matching(None, None, Some(id("b"))).len(), 3);
+        assert_eq!(st.matching(Some(id("a")), Some(id("p")), None).len(), 2);
+        assert_eq!(st.matching(Some(id("a")), None, Some(id("b"))).len(), 2);
+        assert_eq!(st.matching(None, Some(id("p")), Some(id("b"))).len(), 2);
+        assert_eq!(
+            st.matching(Some(id("a")), Some(id("p")), Some(id("b"))).len(),
+            1
+        );
+        assert!(st
+            .matching(Some(id("d")), Some(id("q")), Some(id("c")))
+            .is_empty());
+    }
+
+    #[test]
+    fn removal_updates_all_indexes() {
+        let mut st = store_with(&[("a", "p", "b")]);
+        assert!(st.remove(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
+        assert!(st.is_empty());
+        assert!(st.matching(None, Some(st.lookup(&Term::iri("p")).unwrap()), None).is_empty());
+        assert!(!st.remove(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
+        assert!(!st.remove(&Term::iri("x"), &Term::iri("y"), &Term::iri("z")));
+    }
+
+    #[test]
+    fn object_requires_uniqueness() {
+        let mut st = store_with(&[("a", "p", "b")]);
+        let id = |st: &TripleStore, s: &str| st.lookup(&Term::iri(s)).unwrap();
+        assert_eq!(st.object(id(&st, "a"), id(&st, "p")), Some(id(&st, "b")));
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("c"));
+        assert_eq!(st.object(id(&st, "a"), id(&st, "p")), None);
+    }
+
+    #[test]
+    fn set_object_replaces_existing() {
+        let mut st = store_with(&[("a", "p", "b"), ("a", "p", "c")]);
+        let a = st.lookup(&Term::iri("a")).unwrap();
+        let p = st.lookup(&Term::iri("p")).unwrap();
+        let d = st.intern(Term::iri("d"));
+        assert_eq!(st.set_object(a, p, d), 2);
+        assert_eq!(st.object(a, p), Some(d));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn literals_and_blanks_are_storable() {
+        let mut st = TripleStore::new();
+        let b = st.fresh_blank();
+        let s = st.intern(Term::iri("cell"));
+        let p = st.intern(Term::iri("iwb:confidence-score"));
+        let o = st.intern(Term::double(0.8));
+        st.insert_ids(s, p, o);
+        st.insert_ids(b, p, o);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.term(o).as_f64(), Some(0.8));
+    }
+}

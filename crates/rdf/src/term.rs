@@ -1,0 +1,244 @@
+//! RDF terms: IRIs, blank nodes, and literals.
+
+use std::fmt;
+
+/// An RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A resource identified by IRI (stored as written, typically a
+    /// prefixed name like `iwb:shipTo` or a full IRI).
+    Iri(String),
+    /// An anonymous node with a store-local label.
+    Blank(u64),
+    /// A literal value, optionally tagged with a datatype IRI.
+    Literal {
+        /// Lexical form.
+        value: String,
+        /// Datatype IRI, `None` for plain literals.
+        datatype: Option<String>,
+    },
+}
+
+impl Term {
+    /// Construct an IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Construct a plain string literal.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal {
+            value: s.into(),
+            datatype: None,
+        }
+    }
+
+    /// Construct a typed literal.
+    pub fn typed_literal(s: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal {
+            value: s.into(),
+            datatype: Some(datatype.into()),
+        }
+    }
+
+    /// Construct a double literal (`xsd:double`).
+    pub fn double(v: f64) -> Self {
+        Term::typed_literal(format!("{v}"), crate::vocab::XSD_DOUBLE)
+    }
+
+    /// Construct a boolean literal (`xsd:boolean`).
+    pub fn boolean(v: bool) -> Self {
+        Term::typed_literal(if v { "true" } else { "false" }, crate::vocab::XSD_BOOLEAN)
+    }
+
+    /// The IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The lexical value if this term is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Term::Literal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Parse the literal as f64 when its datatype is numeric or untyped.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_literal().and_then(|v| v.parse().ok())
+    }
+
+    /// Parse the literal as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.as_literal()? {
+            "true" | "1" => Some(true),
+            "false" | "0" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => {
+                if s.contains("://") {
+                    write!(f, "<{s}>")
+                } else {
+                    f.write_str(s)
+                }
+            }
+            Term::Blank(n) => write!(f, "_:b{n}"),
+            Term::Literal { value, datatype } => {
+                let escaped = value
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+                    .replace('\t', "\\t");
+                write!(f, "\"{escaped}\"")?;
+                if let Some(dt) = datatype {
+                    write!(f, "^^{dt}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A dense handle to an interned [`Term`] inside a store's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interning pool mapping [`Term`]s to dense [`TermId`]s and back.
+#[derive(Debug, Clone, Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    lookup: std::collections::HashMap<Term, TermId>,
+    next_blank: u64,
+}
+
+impl TermPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id (stable across repeat interning).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.lookup.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term pool overflow"));
+        self.terms.push(term.clone());
+        self.lookup.insert(term, id);
+        id
+    }
+
+    /// Mint a fresh blank node and intern it.
+    pub fn fresh_blank(&mut self) -> TermId {
+        loop {
+            let t = Term::Blank(self.next_blank);
+            self.next_blank += 1;
+            // Skip labels that were interned explicitly.
+            if !self.lookup.contains_key(&t) {
+                return self.intern(t);
+            }
+        }
+    }
+
+    /// Resolve an id to its term.
+    ///
+    /// # Panics
+    /// If the id was not issued by this pool.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Look up an existing term's id without interning.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.lookup.get(term).copied()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut p = TermPool::new();
+        let a = p.intern(Term::iri("iwb:shipTo"));
+        let b = p.intern(Term::iri("iwb:shipTo"));
+        assert_eq!(a, b);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.term(a), &Term::iri("iwb:shipTo"));
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut p = TermPool::new();
+        let a = p.intern(Term::literal("x"));
+        let b = p.intern(Term::typed_literal("x", "xsd:string"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fresh_blanks_never_collide() {
+        let mut p = TermPool::new();
+        let explicit = p.intern(Term::Blank(0));
+        let fresh = p.fresh_blank();
+        assert_ne!(explicit, fresh);
+        assert_ne!(p.fresh_blank(), fresh);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut p = TermPool::new();
+        assert!(p.get(&Term::iri("x")).is_none());
+        let id = p.intern(Term::iri("x"));
+        assert_eq!(p.get(&Term::iri("x")), Some(id));
+    }
+
+    #[test]
+    fn literal_accessors() {
+        let t = Term::double(0.8);
+        assert_eq!(t.as_f64(), Some(0.8));
+        assert_eq!(Term::boolean(true).as_bool(), Some(true));
+        assert_eq!(Term::literal("hi").as_literal(), Some("hi"));
+        assert_eq!(Term::iri("x").as_iri(), Some("x"));
+        assert_eq!(Term::iri("x").as_literal(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("iwb:a").to_string(), "iwb:a");
+        assert_eq!(Term::iri("http://x/y").to_string(), "<http://x/y>");
+        assert_eq!(Term::Blank(3).to_string(), "_:b3");
+        assert_eq!(Term::literal("say \"hi\"").to_string(), "\"say \\\"hi\\\"\"");
+        assert_eq!(
+            Term::boolean(false).to_string(),
+            format!("\"false\"^^{}", crate::vocab::XSD_BOOLEAN)
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! A Turtle-subset reader and writer.
+//!
+//! The blackboard persists to and loads from a textual form so workbench
+//! state can be inspected, versioned, and shared across instances
+//! (§5.1.3: "the blackboard should be shared across multiple workbench
+//! instances"). The subset covers what the store produces: one triple
+//! per line, prefixed names or `<absolute>` IRIs, `_:bN` blank nodes,
+//! quoted literals with `\"`/`\\` escapes and optional `^^datatype`.
+
+use crate::store::TripleStore;
+use crate::term::Term;
+use std::fmt;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where parsing failed.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turtle parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialise every triple, one per line. Lines are sorted
+/// lexicographically so the output is canonical: two stores with the
+/// same triples serialise identically regardless of insertion order.
+pub fn write(store: &TripleStore) -> String {
+    let mut lines: Vec<String> = store
+        .iter()
+        .map(|t| {
+            format!(
+                "{} {} {} .\n",
+                store.term(t.s),
+                store.term(t.p),
+                store.term(t.o)
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    lines.concat()
+}
+
+/// Parse a Turtle-subset document into a new store.
+pub fn read(input: &str) -> Result<TripleStore, ParseError> {
+    let mut store = TripleStore::new();
+    read_into(input, &mut store)?;
+    Ok(store)
+}
+
+/// Parse a Turtle-subset document, inserting into an existing store.
+pub fn read_into(input: &str, store: &mut TripleStore) -> Result<(), ParseError> {
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut p = Parser {
+            chars: line.chars().collect(),
+            pos: 0,
+            line: lineno + 1,
+        };
+        let s = p.term()?;
+        let pr = p.term()?;
+        let o = p.term()?;
+        p.expect_dot()?;
+        store.insert(s, pr, o);
+    }
+    Ok(())
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => self.absolute_iri(),
+            Some('"') => self.literal(),
+            Some('_') => self.blank(),
+            Some(c) if c.is_alphanumeric() => self.prefixed_name(),
+            Some(c) => Err(self.error(format!("unexpected character {c:?}"))),
+            None => Err(self.error("unexpected end of line")),
+        }
+    }
+
+    fn absolute_iri(&mut self) -> Result<Term, ParseError> {
+        self.pos += 1; // '<'
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '>' {
+                let iri: String = self.chars[start..self.pos].iter().collect();
+                self.pos += 1;
+                return Ok(Term::iri(iri));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated <IRI>"))
+    }
+
+    fn prefixed_name(&mut self) -> Result<Term, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        let name: String = self.chars[start..self.pos].iter().collect();
+        // Allow a trailing '.' glued to the name only when it terminates
+        // the line (we keep it for expect_dot).
+        Ok(Term::iri(name))
+    }
+
+    fn blank(&mut self) -> Result<Term, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        let label: String = self.chars[start..self.pos].iter().collect();
+        let n = label
+            .strip_prefix("_:b")
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| self.error(format!("malformed blank node {label:?}")))?;
+        Ok(Term::Blank(n))
+    }
+
+    fn literal(&mut self) -> Result<Term, ParseError> {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some('"') => value.push('"'),
+                        Some('\\') => value.push('\\'),
+                        Some('n') => value.push('\n'),
+                        Some('t') => value.push('\t'),
+                        Some(c) => return Err(self.error(format!("bad escape \\{c}"))),
+                        None => return Err(self.error("dangling escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some('"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(c) => {
+                    value.push(c);
+                    self.pos += 1;
+                }
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+        // Optional ^^datatype
+        if self.peek() == Some('^') {
+            self.pos += 1;
+            if self.peek() != Some('^') {
+                return Err(self.error("expected ^^ before datatype"));
+            }
+            self.pos += 1;
+            let dt = self.term()?;
+            let dt = match dt {
+                Term::Iri(s) => s,
+                _ => return Err(self.error("datatype must be an IRI")),
+            };
+            return Ok(Term::typed_literal(value, dt));
+        }
+        Ok(Term::literal(value))
+    }
+
+    fn expect_dot(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        // A prefixed name may have consumed the final dot.
+        if self.peek() == Some('.') {
+            self.pos += 1;
+            self.skip_ws();
+            if self.pos != self.chars.len() {
+                return Err(self.error("trailing content after '.'"));
+            }
+            return Ok(());
+        }
+        Err(self.error("expected '.' at end of triple"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(build: impl FnOnce(&mut TripleStore)) {
+        let mut st = TripleStore::new();
+        build(&mut st);
+        let text = write(&st);
+        let back = read(&text).expect("reparse");
+        assert_eq!(back.len(), st.len());
+        let text2 = write(&back);
+        assert_eq!(text, text2, "serialisation not stable");
+    }
+
+    #[test]
+    fn round_trip_iris_and_literals() {
+        round_trip(|st| {
+            st.insert(Term::iri("iwb:cell/1"), Term::iri("iwb:code"), Term::literal("data($x) * 1.05"));
+            st.insert(Term::iri("iwb:cell/1"), Term::iri("iwb:confidence-score"), Term::double(0.8));
+            st.insert(Term::iri("iwb:cell/1"), Term::iri("iwb:is-user-defined"), Term::boolean(false));
+        });
+    }
+
+    #[test]
+    fn round_trip_escapes_and_blanks() {
+        round_trip(|st| {
+            st.insert(
+                Term::iri("a"),
+                Term::iri("iwb:documentation"),
+                Term::literal("say \"hi\" \\ and more"),
+            );
+            st.insert(Term::Blank(7), Term::iri("p"), Term::Blank(9));
+        });
+    }
+
+    #[test]
+    fn absolute_iris_round_trip() {
+        round_trip(|st| {
+            st.insert(
+                Term::iri("http://example.org/s"),
+                Term::iri("rdf:type"),
+                Term::iri("iwb:Schema"),
+            );
+        });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let st = read("# header\n\niwb:a iwb:p iwb:b .\n").unwrap();
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read("iwb:a iwb:p .\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = read("iwb:a iwb:p iwb:b .\niwb:x \"unterminated\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn bad_blank_nodes_rejected() {
+        assert!(read("_:zzz iwb:p iwb:b .").is_err());
+    }
+
+    #[test]
+    fn typed_literal_datatype_preserved() {
+        let st = read("iwb:c iwb:score \"0.5\"^^xsd:double .").unwrap();
+        let t = st.iter().next().unwrap();
+        assert_eq!(
+            st.term(t.o),
+            &Term::typed_literal("0.5", "xsd:double")
+        );
+    }
+}

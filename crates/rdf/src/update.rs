@@ -1,0 +1,240 @@
+//! Transactional updates.
+//!
+//! The workbench manager "provides transactional updates to the IB"
+//! (§5.2); during automated matching "all of the interactions with the IB
+//! are wrapped in a transaction; no events are generated until the
+//! mapping matrix has been updated" (§5.2.1). A [`Transaction`] buffers
+//! inserts and deletes, applies them atomically on commit, and reports
+//! the net change set so the manager can emit events afterwards.
+
+use crate::store::{Triple, TripleStore};
+use crate::term::Term;
+use std::fmt;
+
+/// A buffered update operation.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Insert(Term, Term, Term),
+    Delete(Term, Term, Term),
+}
+
+/// Errors surfaced at commit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The transaction was already consumed by commit or rollback.
+    AlreadyClosed,
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::AlreadyClosed => f.write_str("transaction already committed or rolled back"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// The net effect of a committed transaction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChangeSet {
+    /// Triples actually added (absent before, present after).
+    pub inserted: Vec<Triple>,
+    /// Triples actually removed (present before, absent after).
+    pub deleted: Vec<Triple>,
+}
+
+impl ChangeSet {
+    /// True if the commit changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+}
+
+/// A write transaction: buffers operations, applies them on commit.
+///
+/// Operations are applied in the order buffered, so a delete followed by
+/// an insert of the same triple leaves it present.
+#[derive(Debug, Default)]
+pub struct Transaction {
+    ops: Vec<Op>,
+    closed: bool,
+}
+
+impl Transaction {
+    /// Begin an empty transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer an insert.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> &mut Self {
+        self.ops.push(Op::Insert(s, p, o));
+        self
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, s: Term, p: Term, o: Term) -> &mut Self {
+        self.ops.push(Op::Delete(s, p, o));
+        self
+    }
+
+    /// Buffer a property overwrite: delete all `(s, p, *)` at commit
+    /// time, then insert `(s, p, o)`.
+    pub fn set(&mut self, s: Term, p: Term, o: Term) -> &mut Self {
+        self.ops.push(Op::Delete(s.clone(), p.clone(), wildcard()));
+        self.ops.push(Op::Insert(s, p, o));
+        self
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply every buffered operation to `store`, returning the net
+    /// change set. All-or-nothing is guaranteed trivially because the
+    /// buffered ops cannot fail individually.
+    pub fn commit(mut self, store: &mut TripleStore) -> Result<ChangeSet, TxnError> {
+        if self.closed {
+            return Err(TxnError::AlreadyClosed);
+        }
+        self.closed = true;
+        let mut change = ChangeSet::default();
+        for op in self.ops.drain(..) {
+            match op {
+                Op::Insert(s, p, o) => {
+                    let s = store.intern(s);
+                    let p = store.intern(p);
+                    let o = store.intern(o);
+                    if store.insert_ids(s, p, o) {
+                        record_insert(&mut change, Triple { s, p, o });
+                    }
+                }
+                Op::Delete(s, p, o) => {
+                    if o == wildcard() {
+                        let (Some(s), Some(p)) = (store.lookup(&s), store.lookup(&p)) else {
+                            continue;
+                        };
+                        for t in store.matching(Some(s), Some(p), None) {
+                            store.remove_ids(t.s, t.p, t.o);
+                            record_delete(&mut change, t);
+                        }
+                    } else if let (Some(s), Some(p), Some(o)) =
+                        (store.lookup(&s), store.lookup(&p), store.lookup(&o))
+                    {
+                        if store.remove_ids(s, p, o) {
+                            record_delete(&mut change, Triple { s, p, o });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(change)
+    }
+
+    /// Discard the transaction without touching the store.
+    pub fn rollback(mut self) {
+        self.closed = true;
+        self.ops.clear();
+    }
+}
+
+/// Sentinel literal used by [`Transaction::set`] to mark a wildcard
+/// delete. Never a legal application literal because of the private-use
+/// prefix.
+fn wildcard() -> Term {
+    Term::Literal {
+        value: "\u{F0000}__iwb_wildcard__".to_owned(),
+        datatype: None,
+    }
+}
+
+fn record_insert(change: &mut ChangeSet, t: Triple) {
+    // An insert cancels a pending delete of the same triple.
+    if let Some(pos) = change.deleted.iter().position(|&d| d == t) {
+        change.deleted.remove(pos);
+    } else if !change.inserted.contains(&t) {
+        change.inserted.push(t);
+    }
+}
+
+fn record_delete(change: &mut ChangeSet, t: Triple) {
+    if let Some(pos) = change.inserted.iter().position(|&i| i == t) {
+        change.inserted.remove(pos);
+    } else if !change.deleted.contains(&t) {
+        change.deleted.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_applies_in_order() {
+        let mut st = TripleStore::new();
+        let mut tx = Transaction::new();
+        tx.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        tx.delete(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        tx.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let change = tx.commit(&mut st).unwrap();
+        assert_eq!(st.len(), 1);
+        assert_eq!(change.inserted.len(), 1);
+        assert!(change.deleted.is_empty());
+    }
+
+    #[test]
+    fn rollback_leaves_store_untouched() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let mut tx = Transaction::new();
+        tx.delete(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        tx.rollback();
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn net_change_ignores_noops() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let mut tx = Transaction::new();
+        tx.insert(Term::iri("a"), Term::iri("p"), Term::iri("b")); // already there
+        tx.delete(Term::iri("x"), Term::iri("y"), Term::iri("z")); // never there
+        let change = tx.commit(&mut st).unwrap();
+        assert!(change.is_empty());
+    }
+
+    #[test]
+    fn set_replaces_all_objects() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("cell"), Term::iri("iwb:confidence-score"), Term::double(0.5));
+        st.insert(Term::iri("cell"), Term::iri("iwb:confidence-score"), Term::double(0.6));
+        let mut tx = Transaction::new();
+        tx.set(Term::iri("cell"), Term::iri("iwb:confidence-score"), Term::double(0.8));
+        let change = tx.commit(&mut st).unwrap();
+        assert_eq!(change.deleted.len(), 2);
+        assert_eq!(change.inserted.len(), 1);
+        let c = st.lookup(&Term::iri("cell")).unwrap();
+        let p = st.lookup(&Term::iri("iwb:confidence-score")).unwrap();
+        let o = st.object(c, p).unwrap();
+        assert_eq!(st.term(o).as_f64(), Some(0.8));
+    }
+
+    #[test]
+    fn delete_then_reinsert_within_txn_nets_to_nothing_when_preexisting() {
+        let mut st = TripleStore::new();
+        st.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let mut tx = Transaction::new();
+        tx.delete(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        tx.insert(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let change = tx.commit(&mut st).unwrap();
+        assert!(change.is_empty());
+        assert_eq!(st.len(), 1);
+    }
+}

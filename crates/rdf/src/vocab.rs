@@ -1,0 +1,116 @@
+//! The controlled vocabulary of the Integration Blackboard.
+//!
+//! §5.1 predefines certain annotations "using a controlled vocabulary";
+//! §5.1.1 names the schema-graph edge types and the three distinguished
+//! element annotations. Everything lives under the `iwb:` prefix;
+//! standard `rdf:`/`rdfs:`/`xsd:` terms are included for typing and
+//! inference.
+
+/// `rdf:type` — class membership.
+pub const RDF_TYPE: &str = "rdf:type";
+/// `rdfs:subClassOf` — class specialisation.
+pub const RDFS_SUBCLASS_OF: &str = "rdfs:subClassOf";
+/// `rdfs:subPropertyOf` — property specialisation.
+pub const RDFS_SUBPROPERTY_OF: &str = "rdfs:subPropertyOf";
+/// `rdfs:label` — display label.
+pub const RDFS_LABEL: &str = "rdfs:label";
+
+/// `xsd:double` datatype IRI.
+pub const XSD_DOUBLE: &str = "xsd:double";
+/// `xsd:boolean` datatype IRI.
+pub const XSD_BOOLEAN: &str = "xsd:boolean";
+/// `xsd:integer` datatype IRI.
+pub const XSD_INTEGER: &str = "xsd:integer";
+
+/// `iwb:Schema` — class of schema root resources.
+pub const SCHEMA_CLASS: &str = "iwb:Schema";
+/// `iwb:SchemaElement` — class of schema element resources.
+pub const ELEMENT_CLASS: &str = "iwb:SchemaElement";
+/// `iwb:MappingMatrix` — class of mapping matrix resources.
+pub const MATRIX_CLASS: &str = "iwb:MappingMatrix";
+/// `iwb:MappingCell` — class of matrix cell resources.
+pub const CELL_CLASS: &str = "iwb:MappingCell";
+
+/// `iwb:name` — element name annotation (§5.1.1).
+pub const NAME: &str = "iwb:name";
+/// `iwb:type` — element data type annotation (§5.1.1).
+pub const TYPE: &str = "iwb:type";
+/// `iwb:documentation` — element documentation annotation (§5.1.1).
+pub const DOCUMENTATION: &str = "iwb:documentation";
+/// `iwb:kind` — the element's [`iwb_model::ElementKind`] label.
+pub const KIND: &str = "iwb:kind";
+/// `iwb:metamodel` — the schema's source metamodel.
+pub const METAMODEL: &str = "iwb:metamodel";
+
+/// `iwb:confidence-score` — mapping cell confidence (§5.1.2).
+pub const CONFIDENCE_SCORE: &str = "iwb:confidence-score";
+/// `iwb:is-user-defined` — cell provenance flag (§5.1.2).
+pub const IS_USER_DEFINED: &str = "iwb:is-user-defined";
+/// `iwb:variable-name` — row variable annotation (§5.1.2).
+pub const VARIABLE_NAME: &str = "iwb:variable-name";
+/// `iwb:code` — column / matrix code annotation (§5.1.2).
+pub const CODE: &str = "iwb:code";
+/// `iwb:is-complete` — Harmony progress annotation (§5.1.2).
+pub const IS_COMPLETE: &str = "iwb:is-complete";
+/// `iwb:source-element` — cell → source element.
+pub const SOURCE_ELEMENT: &str = "iwb:source-element";
+/// `iwb:target-element` — cell → target element.
+pub const TARGET_ELEMENT: &str = "iwb:target-element";
+/// `iwb:in-matrix` — cell → its matrix.
+pub const IN_MATRIX: &str = "iwb:in-matrix";
+/// `iwb:source-schema` — matrix → source schema.
+pub const SOURCE_SCHEMA: &str = "iwb:source-schema";
+/// `iwb:target-schema` — matrix → target schema.
+pub const TARGET_SCHEMA: &str = "iwb:target-schema";
+
+/// `iwb:version-of` — schema version → the version series it belongs to.
+pub const VERSION_OF: &str = "iwb:version-of";
+/// `iwb:derived-from` — mapping provenance link (§5.1.3).
+pub const DERIVED_FROM: &str = "iwb:derived-from";
+
+/// The IRI of a schema resource.
+pub fn schema_iri(schema: &str) -> String {
+    format!("iwb:schema/{schema}")
+}
+
+/// The IRI of a schema element resource.
+pub fn element_iri(schema: &str, index: usize) -> String {
+    format!("iwb:schema/{schema}#e{index}")
+}
+
+/// The IRI of the containment/cross edge property for an
+/// [`iwb_model::EdgeKind`] label.
+pub fn edge_property(label: &str) -> String {
+    format!("iwb:{label}")
+}
+
+/// The IRI of a mapping matrix between two schemata.
+pub fn matrix_iri(source: &str, target: &str) -> String {
+    format!("iwb:matrix/{source}--{target}")
+}
+
+/// The IRI of one matrix cell.
+pub fn cell_iri(source: &str, target: &str, row: usize, col: usize) -> String {
+    format!("iwb:matrix/{source}--{target}#c{row}_{col}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_constructors_are_deterministic() {
+        assert_eq!(schema_iri("po"), "iwb:schema/po");
+        assert_eq!(element_iri("po", 3), "iwb:schema/po#e3");
+        assert_eq!(edge_property("contains-table"), "iwb:contains-table");
+        assert_eq!(matrix_iri("po", "inv"), "iwb:matrix/po--inv");
+        assert_eq!(cell_iri("po", "inv", 2, 1), "iwb:matrix/po--inv#c2_1");
+    }
+
+    #[test]
+    fn vocabulary_is_prefixed() {
+        for v in [NAME, TYPE, DOCUMENTATION, CONFIDENCE_SCORE, CODE, IS_COMPLETE] {
+            assert!(v.starts_with("iwb:"), "{v}");
+        }
+    }
+}

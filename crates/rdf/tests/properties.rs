@@ -1,0 +1,106 @@
+//! Property-based tests for the triple store and Turtle round-trips.
+
+use iwb_rdf::{turtle, Term, Transaction, TripleStore};
+use proptest::prelude::*;
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z]{1,6}".prop_map(|s| Term::iri(format!("iwb:{s}"))),
+        any::<u8>().prop_map(|n| Term::Blank(n as u64)),
+        "[ -~]{0,12}".prop_map(Term::literal),
+        any::<bool>().prop_map(Term::boolean),
+        (-100i32..100).prop_map(|n| Term::double(n as f64 / 10.0)),
+    ]
+}
+
+fn arb_triples() -> impl Strategy<Value = Vec<(Term, Term, Term)>> {
+    prop::collection::vec(
+        (
+            arb_term(),
+            "[a-z]{1,5}".prop_map(|s| Term::iri(format!("iwb:p-{s}"))),
+            arb_term(),
+        ),
+        0..40,
+    )
+}
+
+proptest! {
+    /// All three indexes agree: any pattern query returns exactly the
+    /// subset of the full scan matching the bound positions.
+    #[test]
+    fn indexes_agree_with_full_scan(triples in arb_triples()) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone());
+        }
+        let all: Vec<_> = st.matching(None, None, None);
+        for t in &all {
+            // Every partially-bound query that should contain t does.
+            for (s, p, o) in [
+                (Some(t.s), None, None),
+                (None, Some(t.p), None),
+                (None, None, Some(t.o)),
+                (Some(t.s), Some(t.p), None),
+                (Some(t.s), None, Some(t.o)),
+                (None, Some(t.p), Some(t.o)),
+                (Some(t.s), Some(t.p), Some(t.o)),
+            ] {
+                let hits = st.matching(s, p, o);
+                prop_assert!(hits.contains(t));
+                // And every hit actually satisfies the bindings.
+                for h in &hits {
+                    if let Some(s) = s { prop_assert_eq!(h.s, s); }
+                    if let Some(p) = p { prop_assert_eq!(h.p, p); }
+                    if let Some(o) = o { prop_assert_eq!(h.o, o); }
+                }
+            }
+        }
+    }
+
+    /// Insert-then-remove of the same set leaves the store empty.
+    #[test]
+    fn insert_remove_inverse(triples in arb_triples()) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone());
+        }
+        for (s, p, o) in &triples {
+            st.remove(s, p, o);
+        }
+        prop_assert!(st.is_empty());
+        prop_assert!(st.matching(None, None, None).is_empty());
+    }
+
+    /// Turtle serialisation round-trips every store exactly.
+    #[test]
+    fn turtle_round_trip(triples in arb_triples()) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone());
+        }
+        let text = turtle::write(&st);
+        let back = turtle::read(&text).expect("own output parses");
+        prop_assert_eq!(back.len(), st.len());
+        prop_assert_eq!(turtle::write(&back), text);
+    }
+
+    /// A committed transaction's change set matches the store delta.
+    #[test]
+    fn transaction_changeset_is_accurate(
+        initial in arb_triples(),
+        inserts in arb_triples(),
+    ) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &initial {
+            st.insert(s.clone(), p.clone(), o.clone());
+        }
+        let before = st.len();
+        let mut tx = Transaction::new();
+        for (s, p, o) in &inserts {
+            tx.insert(s.clone(), p.clone(), o.clone());
+        }
+        let change = tx.commit(&mut st).unwrap();
+        prop_assert_eq!(st.len(), before + change.inserted.len());
+        prop_assert!(change.deleted.is_empty());
+    }
+}

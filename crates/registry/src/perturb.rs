@@ -1,0 +1,362 @@
+//! Schema-pair workloads with known gold mappings.
+//!
+//! Matcher experiments need pairs of schemata whose true correspondences
+//! are known. [`perturb_schema`] derives a target schema from a source
+//! by realistic integration noise — synonym renames, abbreviations,
+//! naming-convention flips, dropped/added attributes, dropped
+//! documentation — and records the gold mapping *by construction*.
+//! [`set_doc_density`] thins documentation to a chosen coverage level
+//! (E1 sweeps {0, 50, 83, 99}%).
+
+use iwb_harmony::GoldStandard;
+use iwb_ling::{split_identifier, Thesaurus};
+use iwb_model::{EdgeKind, ElementId, ElementKind, SchemaGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Full-form → abbreviation pairs (the inverse of the thesaurus table,
+/// as a DBA would abbreviate when squeezing names into column limits).
+const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("aircraft", "acft"),
+    ("airport", "arpt"),
+    ("runway", "rwy"),
+    ("flight", "flt"),
+    ("weather", "wx"),
+    ("facility", "fac"),
+    ("code", "cd"),
+    ("identifier", "id"),
+    ("number", "nbr"),
+    ("quantity", "qty"),
+    ("amount", "amt"),
+    ("address", "addr"),
+    ("country", "ctry"),
+    ("telephone", "tel"),
+    ("department", "dept"),
+    ("division", "div"),
+    ("employee", "emp"),
+    ("customer", "cust"),
+    ("vendor", "vend"),
+    ("order", "ord"),
+    ("purchase", "purch"),
+    ("invoice", "inv"),
+    ("description", "desc"),
+    ("date", "dt"),
+    ("time", "tm"),
+    ("location", "loc"),
+    ("organization", "org"),
+];
+
+/// Perturbation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability a name token is replaced by a synonym.
+    pub rename_prob: f64,
+    /// Probability a name token is abbreviated.
+    pub abbreviate_prob: f64,
+    /// Flip the naming convention (SNAKE_UPPER ↔ camelCase).
+    pub flip_convention: bool,
+    /// Probability an element's documentation is dropped in the target.
+    pub drop_doc_prob: f64,
+    /// Probability an attribute is dropped from the target.
+    pub drop_attr_prob: f64,
+    /// Probability a noise attribute is added per entity.
+    pub add_attr_prob: f64,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        PerturbConfig {
+            seed: 1,
+            rename_prob: 0.35,
+            abbreviate_prob: 0.2,
+            flip_convention: true,
+            drop_doc_prob: 0.15,
+            drop_attr_prob: 0.1,
+            add_attr_prob: 0.15,
+        }
+    }
+}
+
+impl PerturbConfig {
+    /// A mild perturbation (easy matching problem).
+    pub fn mild(seed: u64) -> Self {
+        PerturbConfig {
+            seed,
+            rename_prob: 0.15,
+            abbreviate_prob: 0.1,
+            flip_convention: true,
+            drop_doc_prob: 0.05,
+            drop_attr_prob: 0.05,
+            add_attr_prob: 0.05,
+        }
+    }
+
+    /// A harsh perturbation (hard matching problem).
+    pub fn harsh(seed: u64) -> Self {
+        PerturbConfig {
+            seed,
+            rename_prob: 0.6,
+            abbreviate_prob: 0.35,
+            flip_convention: true,
+            drop_doc_prob: 0.4,
+            drop_attr_prob: 0.2,
+            add_attr_prob: 0.3,
+        }
+    }
+}
+
+/// A matcher workload: source, derived target, and the gold mapping.
+#[derive(Debug, Clone)]
+pub struct SchemaPair {
+    /// The original schema.
+    pub source: SchemaGraph,
+    /// The perturbed derivative.
+    pub target: SchemaGraph,
+    /// True correspondences, by name path.
+    pub gold: GoldStandard,
+}
+
+/// Derive a perturbed target from `source` and record the gold mapping.
+pub fn perturb_schema(source: &SchemaGraph, cfg: &PerturbConfig) -> SchemaPair {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let thesaurus = Thesaurus::builtin();
+    let target_id = format!("{}_target", source.id().as_str());
+    let mut target = SchemaGraph::new(target_id, source.metamodel());
+    let mut id_map: HashMap<ElementId, ElementId> = HashMap::new();
+    id_map.insert(source.root(), target.root());
+    let mut gold = GoldStandard::new();
+
+    // Clone the containment tree in creation order (parents precede
+    // children in the arena, so the map is always populated).
+    for (id, el) in source.iter().skip(1) {
+        let Some(&(edge, parent)) = source.parent(id).as_ref() else {
+            continue;
+        };
+        let Some(&new_parent) = id_map.get(&parent) else {
+            continue; // parent was dropped
+        };
+        if el.kind == ElementKind::Attribute && rng.gen_bool(cfg.drop_attr_prob) {
+            continue;
+        }
+        let mut new_el = el.clone();
+        // Domain values keep their codes; everything else gets renamed.
+        if el.kind != ElementKind::DomainValue && el.kind != ElementKind::Key {
+            new_el.name = perturb_name(&mut rng, &thesaurus, &el.name, cfg);
+        }
+        if rng.gen_bool(cfg.drop_doc_prob) {
+            new_el.documentation = None;
+        }
+        let new_id = target.add_child(new_parent, edge, new_el);
+        id_map.insert(id, new_id);
+        if matches!(
+            el.kind,
+            ElementKind::Entity
+                | ElementKind::Relationship
+                | ElementKind::Table
+                | ElementKind::XmlElement
+                | ElementKind::Attribute
+                | ElementKind::Domain
+        ) {
+            gold.add(source.name_path(id), target.name_path(new_id));
+        }
+        // Noise attributes on containers.
+        if el.kind.is_container() && rng.gen_bool(cfg.add_attr_prob) {
+            let noise = iwb_model::SchemaElement::new(
+                ElementKind::Attribute,
+                format!("extra_field_{}", rng.gen_range(0..1000)),
+            )
+            .with_type(iwb_model::DataType::Text);
+            target.add_child(new_id, EdgeKind::ContainsAttribute, noise);
+        }
+    }
+
+    // Cross edges whose endpoints both survived.
+    for e in source.cross_edges() {
+        if let (Some(&from), Some(&to)) = (id_map.get(&e.from), id_map.get(&e.to)) {
+            target.add_cross_edge(from, e.kind, to);
+        }
+    }
+
+    SchemaPair {
+        source: source.clone(),
+        target,
+        gold,
+    }
+}
+
+/// Perturb one element name: token-wise synonym/abbreviation
+/// substitution plus convention flip.
+fn perturb_name(rng: &mut StdRng, thesaurus: &Thesaurus, name: &str, cfg: &PerturbConfig) -> String {
+    let was_upper = name.chars().any(|c| c.is_uppercase())
+        && name.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase());
+    let tokens = split_identifier(name);
+    if tokens.is_empty() {
+        return name.to_owned();
+    }
+    let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+    for t in &tokens {
+        let mut tok = t.clone();
+        if rng.gen_bool(cfg.rename_prob) {
+            let syns = thesaurus.synonyms(&tok);
+            let alternatives: Vec<&str> = syns.into_iter().filter(|s| *s != tok).collect();
+            if !alternatives.is_empty() {
+                tok = alternatives[rng.gen_range(0..alternatives.len())].to_owned();
+            }
+        }
+        if rng.gen_bool(cfg.abbreviate_prob) {
+            if let Some((_, abbr)) = ABBREVIATIONS.iter().find(|(full, _)| *full == tok) {
+                tok = (*abbr).to_owned();
+            }
+        }
+        out.push(tok);
+    }
+    if cfg.flip_convention {
+        if was_upper {
+            // SNAKE_UPPER → camelCase
+            let mut s = out[0].clone();
+            for t in &out[1..] {
+                let mut c = t.chars();
+                if let Some(f) = c.next() {
+                    s.push_str(&f.to_uppercase().collect::<String>());
+                    s.push_str(c.as_str());
+                }
+            }
+            s
+        } else {
+            // camelCase → SNAKE_UPPER
+            out.join("_").to_uppercase()
+        }
+    } else {
+        out.join("_")
+    }
+}
+
+/// Thin documentation to approximately `rate` coverage over entities,
+/// relationships and attributes (domain values untouched). Returns the
+/// modified copy.
+pub fn set_doc_density(graph: &SchemaGraph, rate: f64, seed: u64) -> SchemaGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = graph.clone();
+    for id in out.ids().collect::<Vec<_>>() {
+        let el = out.element_mut(id);
+        if matches!(
+            el.kind,
+            ElementKind::Entity
+                | ElementKind::Relationship
+                | ElementKind::Table
+                | ElementKind::XmlElement
+                | ElementKind::Attribute
+        ) && el.documentation.is_some()
+            && !rng.gen_bool(rate.clamp(0.0, 1.0))
+        {
+            el.documentation = None;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_registry, GeneratorConfig};
+
+    fn model() -> SchemaGraph {
+        let reg = generate_registry(GeneratorConfig::scaled(21, 0.004));
+        reg.models.into_iter().max_by_key(|m| m.len()).unwrap()
+    }
+
+    #[test]
+    fn gold_mapping_covers_surviving_elements() {
+        let src = model();
+        let pair = perturb_schema(&src, &PerturbConfig::default());
+        assert!(!pair.gold.is_empty());
+        // Every gold pair resolves in both schemata.
+        for (sp, tp) in pair.gold.iter() {
+            assert!(
+                iwb_model::ElementPath::parse(sp).resolve(&pair.source).is_some(),
+                "{sp}"
+            );
+            assert!(
+                iwb_model::ElementPath::parse(tp).resolve(&pair.target).is_some(),
+                "{tp}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_target_is_valid_and_different() {
+        let src = model();
+        let pair = perturb_schema(&src, &PerturbConfig::default());
+        assert!(iwb_model::validate(&pair.target).is_empty());
+        // Names actually changed for a decent fraction of gold pairs.
+        let changed = pair
+            .gold
+            .iter()
+            .filter(|(s, t)| {
+                s.rsplit('/').next().unwrap().to_lowercase()
+                    != t.rsplit('/').next().unwrap().to_lowercase()
+            })
+            .count();
+        assert!(changed > 0, "perturbation must rename something");
+    }
+
+    #[test]
+    fn harsh_drops_more_than_mild() {
+        let src = model();
+        let mild = perturb_schema(&src, &PerturbConfig::mild(5));
+        let harsh = perturb_schema(&src, &PerturbConfig::harsh(5));
+        assert!(harsh.target.len() <= mild.target.len() + 5);
+        let mild_docs = doc_count(&mild.target);
+        let harsh_docs = doc_count(&harsh.target);
+        assert!(harsh_docs < mild_docs);
+    }
+
+    fn doc_count(g: &SchemaGraph) -> usize {
+        g.iter().filter(|(_, e)| e.documentation.is_some()).count()
+    }
+
+    #[test]
+    fn perturbation_is_deterministic() {
+        let src = model();
+        let a = perturb_schema(&src, &PerturbConfig::default());
+        let b = perturb_schema(&src, &PerturbConfig::default());
+        assert_eq!(a.target.len(), b.target.len());
+        assert_eq!(a.gold.len(), b.gold.len());
+    }
+
+    #[test]
+    fn doc_density_thinning() {
+        let src = model();
+        let none = set_doc_density(&src, 0.0, 3);
+        assert_eq!(
+            none.iter()
+                .filter(|(_, e)| matches!(e.kind, ElementKind::Entity | ElementKind::Attribute)
+                    && e.documentation.is_some())
+                .count(),
+            0
+        );
+        let half = set_doc_density(&src, 0.5, 3);
+        let full_docs = doc_count(&src);
+        let half_docs = doc_count(&half);
+        assert!(half_docs < full_docs);
+        assert!(half_docs > 0);
+    }
+
+    #[test]
+    fn convention_flip_round_trip_tokens() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let th = Thesaurus::builtin();
+        let cfg = PerturbConfig {
+            rename_prob: 0.0,
+            abbreviate_prob: 0.0,
+            ..PerturbConfig::default()
+        };
+        let flipped = perturb_name(&mut rng, &th, "ACFT_TYPE_CD", &cfg);
+        assert_eq!(flipped, "acftTypeCd");
+        let back = perturb_name(&mut rng, &th, "acftTypeCd", &cfg);
+        assert_eq!(back, "ACFT_TYPE_CD");
+    }
+}

@@ -1,0 +1,170 @@
+//! Vocabulary and definition grammar for the synthetic registry.
+//!
+//! Word lists are drawn from the domains the paper names (air traffic
+//! control, defense logistics, personnel) so that generated names and
+//! definitions look like real registry content and exercise the same
+//! linguistic code paths (tokenisation, stemming, IDF) that real
+//! documentation would.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Nouns used for entity names.
+pub const ENTITY_NOUNS: &[&str] = &[
+    "aircraft", "airport", "runway", "flight", "route", "waypoint", "sector", "facility",
+    "carrier", "mission", "sortie", "unit", "organization", "person", "employee", "position",
+    "billet", "vehicle", "vessel", "convoy", "shipment", "cargo", "container", "depot",
+    "warehouse", "requisition", "order", "contract", "vendor", "supplier", "item", "part",
+    "asset", "equipment", "weapon", "sensor", "radar", "antenna", "frequency", "channel",
+    "message", "report", "incident", "event", "exercise", "operation", "deployment", "location",
+    "installation", "base", "region", "country", "weather", "forecast", "observation", "hazard",
+    "clearance", "authorization", "certificate", "inspection", "maintenance", "repair",
+    "schedule", "budget", "fund", "account", "transaction", "payment", "invoice", "fuel",
+    "munition", "supply", "stock", "inventory", "track", "target", "threat", "alert",
+];
+
+/// Qualifiers combined with nouns to make compound names.
+pub const QUALIFIERS: &[&str] = &[
+    "active", "primary", "secondary", "alternate", "planned", "actual", "estimated", "assigned",
+    "authorized", "current", "previous", "projected", "tactical", "strategic", "joint",
+    "regional", "local", "remote", "foreign", "domestic", "air", "ground", "maritime", "medical",
+    "logistics", "supply", "transport", "support", "command", "control",
+];
+
+/// Attribute-name suffixes (the classic registry naming convention).
+pub const ATTR_SUFFIXES: &[&str] = &[
+    "identifier", "code", "name", "type", "category", "status", "date", "time", "quantity",
+    "count", "amount", "rate", "length", "width", "height", "weight", "capacity", "elevation",
+    "latitude", "longitude", "speed", "heading", "priority", "level", "grade", "rank",
+    "description", "text", "remark", "indicator", "flag", "number", "version", "source",
+];
+
+/// Verbs/phrases used by the definition grammar.
+const DEF_VERBS: &[&str] = &[
+    "identifies", "describes", "specifies", "records", "indicates", "denotes", "represents",
+    "designates", "characterizes", "classifies", "quantifies", "establishes",
+];
+
+const DEF_OPENERS: &[&str] = &[
+    "The", "A", "An authoritative", "The official", "The unique", "The designated",
+    "The reported", "The recorded",
+];
+
+const DEF_TAILS: &[&str] = &[
+    "as maintained in the authoritative source system",
+    "for command and control purposes",
+    "in accordance with the governing directive",
+    "as reported by the originating organization",
+    "used for planning and execution",
+    "within the area of responsibility",
+    "at the time of the observation",
+    "for interoperability with allied systems",
+    "subject to periodic revalidation",
+    "derived from the parent record",
+];
+
+/// Pick a random slice element.
+pub fn pick<'a>(rng: &mut StdRng, words: &[&'a str]) -> &'a str {
+    words[rng.gen_range(0..words.len())]
+}
+
+/// Generate a definition of approximately `target_words` words using
+/// the opener-verb-subject-tail grammar. The result's word count varies
+/// around the target (±40%), mimicking the spread in real registries.
+pub fn definition(rng: &mut StdRng, subject: &str, target_words: f64) -> String {
+    let lo = (target_words * 0.6).max(2.0) as usize;
+    let hi = (target_words * 1.4).ceil() as usize + 1;
+    let budget = rng.gen_range(lo..hi.max(lo + 1));
+    let mut words: Vec<String> = Vec::with_capacity(budget + 8);
+    words.push(pick(rng, DEF_OPENERS).to_owned());
+    words.push(pick(rng, QUALIFIERS).to_owned());
+    words.push(subject.replace('_', " "));
+    words.push("that".to_owned());
+    words.push(pick(rng, DEF_VERBS).to_owned());
+    words.push("the".to_owned());
+    words.push(pick(rng, ENTITY_NOUNS).to_owned());
+    while words.iter().map(|w| w.split(' ').count()).sum::<usize>() < budget {
+        let tail = pick(rng, DEF_TAILS);
+        words.push(tail.to_owned());
+    }
+    // Trim to the sampled budget so the mean definition length tracks
+    // the Table 1 calibration exactly.
+    let flat: Vec<&str> = words.iter().flat_map(|w| w.split(' ')).collect();
+    let mut s = flat[..budget.min(flat.len())].join(" ");
+    s.push('.');
+    s
+}
+
+/// Short domain-value meaning (~`target_words` words), e.g. "Asphalt
+/// surface".
+pub fn short_meaning(rng: &mut StdRng, target_words: f64) -> String {
+    // Uniform on 1..=2t-1 has mean t.
+    let hi = ((target_words * 2.0 - 1.0).round() as usize).max(1);
+    let n = rng.gen_range(1..=hi);
+    let mut words = Vec::with_capacity(n);
+    for i in 0..n {
+        let w = if i == 0 {
+            let q = pick(rng, QUALIFIERS);
+            let mut c = q.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        } else {
+            pick(rng, ENTITY_NOUNS).to_owned()
+        };
+        words.push(w);
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn definitions_hit_word_targets_on_average() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0usize;
+        let n = 300;
+        for _ in 0..n {
+            total += definition(&mut rng, "aircraft type", 16.4)
+                .split_whitespace()
+                .count();
+        }
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 16.4).abs() < 3.0,
+            "mean definition length {mean} too far from 16.4"
+        );
+    }
+
+    #[test]
+    fn short_meanings_are_short() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0usize;
+        let n = 500;
+        for _ in 0..n {
+            total += short_meaning(&mut rng, 3.68).split_whitespace().count();
+        }
+        let mean = total as f64 / n as f64;
+        assert!((2.0..6.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn definitions_are_deterministic_per_seed() {
+        let a = definition(&mut StdRng::seed_from_u64(42), "runway", 11.0);
+        let b = definition(&mut StdRng::seed_from_u64(42), "runway", 11.0);
+        assert_eq!(a, b);
+        assert!(a.ends_with('.'));
+    }
+
+    #[test]
+    fn word_lists_are_nonempty_and_lowercase() {
+        for list in [ENTITY_NOUNS, QUALIFIERS, ATTR_SUFFIXES] {
+            assert!(!list.is_empty());
+            assert!(list.iter().all(|w| *w == w.to_lowercase()));
+        }
+    }
+}

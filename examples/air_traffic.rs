@@ -1,0 +1,185 @@
+//! The air traffic flow management workflow of §4.1: focus on
+//! conceptual sub-schemata (facilities / weather / routing), match one
+//! sub-schema at a time with the depth and sub-tree filters, inspect
+//! domain correspondences at the value level (§2's bottom-up pattern),
+//! and link the instance layer (tasks 10–11).
+//!
+//! ```sh
+//! cargo run --example air_traffic
+//! ```
+
+use integration_workbench::harmony::filters::{FilterSet, LinkFilter, NodeFilter, Side};
+use integration_workbench::harmony::MatchSession;
+use integration_workbench::instance::{
+    link_records, merge_cluster, BlockingKey, Cleaner, CleaningRule, CompareMethod,
+    FieldComparator, LinkageConfig,
+};
+use integration_workbench::loaders::{ErLoader, SchemaLoader, SqlDdlLoader};
+use integration_workbench::mapper::Node;
+use integration_workbench::model::Domain;
+
+const ER_MODEL: &str = r#"
+    model atfm "Air traffic flow management conceptual model."
+
+    domain runway-surface "Runway surface classification codes." {
+      ASP "Asphalt surface"
+      CON "Concrete surface"
+      GRS "Grass or turf surface"
+    }
+
+    entity AIRPORT "An airport facility with one or more runways." {
+      ident : text key "The ICAO identifier of the airport."
+      name  : text "Official name of the airport facility."
+      elevation : integer "Field elevation above mean sea level in feet."
+    }
+
+    entity RUNWAY "A runway belonging to an airport facility." {
+      number  : text key "The runway designator."
+      surface : coded domain runway-surface "Coded surface classification."
+      length  : integer "Usable length in feet."
+    }
+
+    entity WEATHER_OBS "A surface weather observation at a facility." {
+      obs_time : datetime key "Time the observation was taken."
+      visibility : decimal "Prevailing visibility in statute miles."
+      wind_speed : integer "Sustained wind speed in knots."
+    }
+
+    relationship HAS_RUNWAY connects AIRPORT, RUNWAY "An airport has runways."
+    relationship OBSERVED_AT connects WEATHER_OBS, AIRPORT "Observations are taken at airports."
+"#;
+
+const SQL_MODEL: &str = r#"
+    CREATE TABLE ARPT_FAC (
+        ARPT_IDENT VARCHAR(4) PRIMARY KEY,
+        FAC_NAME VARCHAR(80),
+        ELEV_FT INT
+    );
+    COMMENT ON TABLE ARPT_FAC IS 'Airport facility master record.';
+    COMMENT ON COLUMN ARPT_FAC.ARPT_IDENT IS 'ICAO identifier of the airport facility.';
+    COMMENT ON COLUMN ARPT_FAC.FAC_NAME IS 'The official facility name.';
+    COMMENT ON COLUMN ARPT_FAC.ELEV_FT IS 'Elevation above mean sea level in feet.';
+    CREATE TABLE RWY (
+        RWY_NBR VARCHAR(3),
+        SFC_CD CHAR(3),
+        LEN_FT INT,
+        ARPT_IDENT VARCHAR(4) REFERENCES ARPT_FAC (ARPT_IDENT)
+    );
+    COMMENT ON TABLE RWY IS 'A runway at an airport facility.';
+    COMMENT ON COLUMN RWY.SFC_CD IS 'Coded runway surface classification.';
+    COMMENT ON COLUMN RWY.LEN_FT IS 'Usable runway length in feet.';
+    CREATE TABLE WX_OBS (
+        OBS_TM TIMESTAMP,
+        VIS_SM DECIMAL(4,1),
+        WIND_KT INT,
+        ARPT_IDENT VARCHAR(4) REFERENCES ARPT_FAC (ARPT_IDENT)
+    );
+    COMMENT ON TABLE WX_OBS IS 'Surface weather observation taken at an airport.';
+"#;
+
+fn main() {
+    // Schema preparation: an ER conceptual model and a SQL system.
+    let source = ErLoader.load(ER_MODEL, "atfm").expect("ER model parses");
+    let target = SqlDdlLoader.load(SQL_MODEL, "legacy").expect("DDL parses");
+
+    let mut session = MatchSession::new(&source, &target);
+    session.run();
+
+    // §4.2: "using this filter, the engineer can focus exclusively on
+    // matching entities" — depth ≤ 1 on both sides, best links only.
+    println!("═══ pass 1: entity level (depth filter) ═══");
+    let entity_view = FilterSet::new()
+        .with_node(NodeFilter::MaxDepth(Side::Source, 1))
+        .with_node(NodeFilter::MaxDepth(Side::Target, 1))
+        .with_link(LinkFilter::BestPerElement)
+        .with_link(LinkFilter::ConfidenceAtLeast(0.15));
+    for l in session.visible(&entity_view) {
+        println!(
+            "  {:<26} ↔ {:<22} {}",
+            source.name_path(l.src),
+            target.name_path(l.tgt),
+            l.confidence
+        );
+    }
+
+    // §2: engineers go to the domain values next. Compare the coding
+    // schemes directly.
+    println!("\n═══ pass 2: domain values (the §2 bottom-up step) ═══");
+    let dom_id = source
+        .ids_of_kind(integration_workbench::model::ElementKind::Domain)
+        .into_iter()
+        .next()
+        .expect("ER model declares a domain");
+    let dom = Domain::detach(&source, dom_id).unwrap();
+    println!("  source domain {}: {:?}", dom.name, dom.values.iter().map(|v| v.code.as_str()).collect::<Vec<_>>());
+    println!("  (the domain voter scores SFC_CD against surface through these values)");
+
+    // §4.2: the sub-tree filter — focus on the facilities sub-schema.
+    println!("\n═══ pass 3: the AIRPORT sub-schema (sub-tree filter) ═══");
+    let airport = source.find_by_name("AIRPORT").unwrap();
+    let facility_view = FilterSet::new()
+        .with_node(NodeFilter::Subtree(Side::Source, airport))
+        .with_link(LinkFilter::BestPerElement)
+        .with_link(LinkFilter::ConfidenceAtLeast(0.15));
+    for l in session.visible(&facility_view) {
+        println!(
+            "  {:<26} ↔ {:<22} {}",
+            source.name_path(l.src),
+            target.name_path(l.tgt),
+            l.confidence
+        );
+    }
+
+    // §4.3: mark the sub-schema complete and check the progress bar.
+    session.mark_complete(airport, &facility_view);
+    println!(
+        "\nprogress after marking AIRPORT complete: {:.0}%",
+        session.progress() * 100.0
+    );
+
+    // Tasks 10–11: instance integration on airport records from two
+    // sources.
+    println!("\n═══ instance integration (tasks 10–11) ═══");
+    let records = vec![
+        Node::elem("airport")
+            .with_leaf("ident", "KJFK")
+            .with_leaf("name", "John F Kennedy Intl")
+            .with_leaf("elevation", 13.0),
+        Node::elem("airport")
+            .with_leaf("ident", "KJFK")
+            .with_leaf("name", "John F. Kennedy International")
+            .with_leaf("elevation", 13.0),
+        Node::elem("airport")
+            .with_leaf("ident", "KLGA")
+            .with_leaf("name", "LaGuardia")
+            .with_leaf("elevation", 21.0),
+        Node::elem("airport")
+            .with_leaf("ident", "KBOS")
+            .with_leaf("name", "Logan Intl")
+            .with_leaf("elevation", 99999.0), // bad elevation
+    ];
+    let cfg = LinkageConfig {
+        blocking: BlockingKey::Attribute("ident".into()),
+        comparators: vec![
+            FieldComparator::new("ident", CompareMethod::Exact, 2.0),
+            FieldComparator::new("name", CompareMethod::JaroWinkler, 1.0),
+        ],
+        threshold: 0.85,
+    };
+    let clusters = link_records(&records, &cfg);
+    println!("  {} records → {} real-world airports", records.len(), clusters.len());
+    let mut merged: Vec<Node> = clusters.iter().map(|c| merge_cluster(&records, c)).collect();
+
+    let cleaner = Cleaner::new().with_rule(CleaningRule::Range {
+        field: "elevation".into(),
+        min: -1500.0,
+        max: 30000.0,
+    });
+    let actions = cleaner.clean(&mut merged);
+    for a in &actions {
+        println!("  cleaning: {a}");
+    }
+    for m in &merged {
+        println!("  {}", m.render().replace('\n', " "));
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's running example end to end: the Figure 2 purchase-order
+//! → invoice pair, the Figure 3 decisions and code, execution on a
+//! sample document, and verification against the target schema.
+//!
+//! ```sh
+//! cargo run --example purchase_order
+//! ```
+
+use integration_workbench::core::casestudy::run_case_study;
+
+fn main() {
+    let report = run_case_study().expect("case study pipeline");
+
+    println!("═══ the annotated mapping matrix (Figure 3) ═══\n");
+    println!("{}", report.matrix_text);
+
+    println!("═══ assembled XQuery ═══\n{}", report.xquery);
+
+    println!("═══ executed on a sample purchase order (§5.3) ═══\n");
+    println!("input:\n{}", report.sample_input.render());
+    println!("output:\n{}", report.sample_output.render());
+    println!("output as XML:\n{}\n", report.sample_output.to_xml());
+
+    if report.violations.is_empty() {
+        println!("task 9 verification: the generated instance satisfies the target schema ✓");
+    } else {
+        println!("task 9 verification FAILED:");
+        for v in &report.violations {
+            println!("  {v}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Quickstart: load two schemata, run the Harmony matcher, inspect the
+//! proposed correspondences, accept one, and look at the mapping matrix.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use integration_workbench::core::tool::ToolArgs;
+use integration_workbench::core::WorkbenchManager;
+use integration_workbench::model::SchemaId;
+
+const SOURCE_DDL: &str = r#"
+    CREATE TABLE CUSTOMER (
+        CUST_ID INT PRIMARY KEY,
+        FIRST_NAME VARCHAR(40),
+        LAST_NAME VARCHAR(40),
+        PHONE_NBR VARCHAR(20)
+    );
+    COMMENT ON TABLE CUSTOMER IS 'A person or organization that places orders.';
+    COMMENT ON COLUMN CUSTOMER.CUST_ID IS 'The unique identifier of the customer.';
+    COMMENT ON COLUMN CUSTOMER.PHONE_NBR IS 'Primary telephone number for contact.';
+"#;
+
+const TARGET_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="client">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="identifier" type="xs:integer">
+          <xs:annotation><xs:documentation>Unique identifier of this client.</xs:documentation></xs:annotation>
+        </xs:element>
+        <xs:element name="givenName" type="xs:string"/>
+        <xs:element name="familyName" type="xs:string"/>
+        <xs:element name="telephone" type="xs:string">
+          <xs:annotation><xs:documentation>Telephone number used for contact.</xs:documentation></xs:annotation>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"#;
+
+fn main() {
+    // One workbench: blackboard + the four built-in tools (Figure 4).
+    let mut workbench = WorkbenchManager::with_builtin_tools();
+
+    // Task 1–2: load a relational source and an XML target.
+    workbench
+        .invoke(
+            "schema-loader",
+            &ToolArgs::new()
+                .with("format", "sql-ddl")
+                .with("text", SOURCE_DDL)
+                .with("schema-id", "crm"),
+        )
+        .expect("source loads");
+    workbench
+        .invoke(
+            "schema-loader",
+            &ToolArgs::new()
+                .with("format", "xsd")
+                .with("text", TARGET_XSD)
+                .with("schema-id", "client"),
+        )
+        .expect("target loads");
+
+    // Task 3: automatic matching.
+    let report = workbench
+        .invoke(
+            "harmony",
+            &ToolArgs::new().with("source", "crm").with("target", "client"),
+        )
+        .expect("matcher runs");
+    println!("harmony: {}", report.output);
+
+    // Inspect the strongest proposals.
+    let crm = SchemaId::new("crm");
+    let client = SchemaId::new("client");
+    let bb = workbench.blackboard();
+    let (source, target) = (bb.schema(&crm).unwrap(), bb.schema(&client).unwrap());
+    let matrix = bb.matrix(&crm, &client).unwrap();
+    println!("\nstrongest proposal per source element:");
+    for &row in matrix.rows() {
+        let best = matrix
+            .cols()
+            .iter()
+            .map(|&col| (col, matrix.cell(row, col).confidence))
+            .max_by(|a, b| a.1.value().total_cmp(&b.1.value()));
+        if let Some((col, confidence)) = best {
+            if confidence.value() > 0.2 {
+                println!(
+                    "  {:<28} ↔ {:<28} {confidence}",
+                    source.name_path(row),
+                    target.name_path(col),
+                );
+            }
+        }
+    }
+
+    // The engineer confirms one correspondence; the mapper reacts with a
+    // candidate transformation and the code generator assembles XQuery.
+    let report = workbench
+        .invoke(
+            "harmony",
+            &ToolArgs::new()
+                .with("action", "accept")
+                .with("source", "crm")
+                .with("target", "client")
+                .with("row", "crm/CUSTOMER/PHONE_NBR")
+                .with("col", "client/client/telephone"),
+        )
+        .expect("accept");
+    println!("\nevents from one accepted link:");
+    for e in &report.events {
+        println!("  {e}");
+    }
+    let code = workbench
+        .blackboard()
+        .matrix(&crm, &client)
+        .unwrap()
+        .code
+        .clone()
+        .unwrap_or_default();
+    println!("\nassembled mapping so far:\n{code}");
+}

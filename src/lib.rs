@@ -1,0 +1,16 @@
+//! # integration-workbench
+//!
+//! Facade crate for the Integration Workbench reproduction (Mork et al.,
+//! "Integration Workbench: Integrating Schema Integration Tools",
+//! ICDE 2006). Re-exports every subsystem crate under one roof so
+//! examples and downstream users can depend on a single crate.
+
+pub use iwb_core as core;
+pub use iwb_harmony as harmony;
+pub use iwb_instance as instance;
+pub use iwb_ling as ling;
+pub use iwb_loaders as loaders;
+pub use iwb_mapper as mapper;
+pub use iwb_model as model;
+pub use iwb_rdf as rdf;
+pub use iwb_registry as registry;

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full workbench pipeline from
+//! loading through matching, mapping, code generation, execution, and
+//! verification.
+
+use integration_workbench::core::tool::ToolArgs;
+use integration_workbench::core::{casestudy, WorkbenchManager};
+use integration_workbench::harmony::Confidence;
+use integration_workbench::mapper::Value;
+use integration_workbench::model::SchemaId;
+use integration_workbench::rdf::{PatternTerm, Term, TriplePattern};
+
+#[test]
+fn case_study_reproduces_figure3_and_executes() {
+    let report = casestudy::run_case_study().expect("pipeline");
+    // The Figure 3 mapping matrix annotations are all present.
+    assert!(report.matrix_text.contains("variable=shipto"));
+    assert!(report.matrix_text.contains("code=concat"));
+    assert!(report.matrix_text.contains("user-defined=true"));
+    // Generated XQuery has the figure's FLWOR shape.
+    assert!(report.xquery.contains("let $shipto := $doc/purchaseOrder/shipTo"));
+    assert!(report.xquery.trim_end().ends_with("</invoice>"));
+    // Execution produced the expected values and verified.
+    let info = report.sample_output.child("shippingInfo").unwrap();
+    assert_eq!(info.value_at("name"), Value::from("Lovelace, Ada"));
+    assert_eq!(info.value_at("total").as_num(), Some(105.0));
+    assert!(report.violations.is_empty());
+}
+
+#[test]
+fn cross_metamodel_matching_sql_to_er() {
+    // A relational system and a conceptual ER model of the same domain.
+    let mut m = WorkbenchManager::with_builtin_tools();
+    m.invoke(
+        "schema-loader",
+        &ToolArgs::new()
+            .with("format", "sql-ddl")
+            .with(
+                "text",
+                "CREATE TABLE EMP (EMP_ID INT PRIMARY KEY, LAST_NAME VARCHAR(40), SALARY DECIMAL(10,2));
+                 COMMENT ON COLUMN EMP.SALARY IS 'Annual compensation in dollars.';",
+            )
+            .with("schema-id", "hr"),
+    )
+    .unwrap();
+    m.invoke(
+        "schema-loader",
+        &ToolArgs::new()
+            .with("format", "er")
+            .with(
+                "text",
+                r#"entity Employee "A person employed by the organization." {
+                      identifier : integer key "Unique employee identifier."
+                      surname : text "Family name of the employee."
+                      compensation : decimal "Annual compensation in dollars."
+                   }"#,
+            )
+            .with("schema-id", "model"),
+    )
+    .unwrap();
+    m.invoke(
+        "harmony",
+        &ToolArgs::new().with("source", "hr").with("target", "model"),
+    )
+    .unwrap();
+
+    let hr = SchemaId::new("hr");
+    let er = SchemaId::new("model");
+    let bb = m.blackboard();
+    let (s, t) = (bb.schema(&hr).unwrap(), bb.schema(&er).unwrap());
+    let matrix = bb.matrix(&hr, &er).unwrap();
+    // Thesaurus (salary ~ compensation; last ~ family/surname) and
+    // documentation carry these pairs.
+    let salary = s.find_by_name("SALARY").unwrap();
+    let comp = t.find_by_name("compensation").unwrap();
+    assert!(
+        matrix.cell(salary, comp).confidence.value() > 0.3,
+        "salary↔compensation got {}",
+        matrix.cell(salary, comp).confidence
+    );
+    let last = s.find_by_name("LAST_NAME").unwrap();
+    let surname = t.find_by_name("surname").unwrap();
+    let ident = t.find_by_name("identifier").unwrap();
+    assert!(
+        matrix.cell(last, surname).confidence.value() > matrix.cell(last, ident).confidence.value()
+    );
+}
+
+#[test]
+fn blackboard_survives_turtle_round_trip() {
+    let mut m = WorkbenchManager::with_builtin_tools();
+    m.invoke(
+        "schema-loader",
+        &ToolArgs::new()
+            .with("format", "er")
+            .with("text", "entity A { x : text \"Doc for x.\" }")
+            .with("schema-id", "left"),
+    )
+    .unwrap();
+    m.invoke(
+        "schema-loader",
+        &ToolArgs::new()
+            .with("format", "er")
+            .with("text", "entity B { y : text }")
+            .with("schema-id", "right"),
+    )
+    .unwrap();
+    m.invoke(
+        "harmony",
+        &ToolArgs::new().with("source", "left").with("target", "right"),
+    )
+    .unwrap();
+    let turtle = m.blackboard().export_turtle();
+    let store = integration_workbench::rdf::turtle::read(&turtle).expect("reparse");
+    // The reloaded store still answers schema reconstruction.
+    let left = integration_workbench::rdf::schema_rdf::schema_from_rdf(&store, "left").unwrap();
+    assert!(left.find_by_path("left/A/x").is_some());
+    let x = left.find_by_path("left/A/x").unwrap();
+    assert_eq!(left.element(x).documentation.as_deref(), Some("Doc for x."));
+}
+
+#[test]
+fn manager_queries_find_user_decisions() {
+    let mut m = WorkbenchManager::with_builtin_tools();
+    for (text, id) in [("entity A { x : text }", "s1"), ("entity B { y : text }", "s2")] {
+        m.invoke(
+            "schema-loader",
+            &ToolArgs::new()
+                .with("format", "er")
+                .with("text", text)
+                .with("schema-id", id),
+        )
+        .unwrap();
+    }
+    m.invoke(
+        "harmony",
+        &ToolArgs::new()
+            .with("action", "accept")
+            .with("source", "s1")
+            .with("target", "s2")
+            .with("row", "s1/A/x")
+            .with("col", "s2/B/y"),
+    )
+    .unwrap();
+    let solutions = m.query(&[TriplePattern::new(
+        PatternTerm::var("cell"),
+        Term::iri("iwb:is-user-defined"),
+        Term::boolean(true),
+    )]);
+    assert_eq!(solutions.len(), 1);
+    // And the cell is frozen at +1 on the matrix.
+    let s1 = SchemaId::new("s1");
+    let s2 = SchemaId::new("s2");
+    let bb = m.blackboard();
+    let s = bb.schema(&s1).unwrap();
+    let t = bb.schema(&s2).unwrap();
+    let cell = bb
+        .matrix(&s1, &s2)
+        .unwrap()
+        .cell(s.find_by_name("x").unwrap(), t.find_by_name("y").unwrap());
+    assert_eq!(cell.confidence, Confidence::ACCEPT);
+}
+
+#[test]
+fn mapping_library_archives_and_reuses() {
+    let mut m = WorkbenchManager::with_builtin_tools();
+    for (text, id) in [("entity A { x : text }", "src"), ("entity B { y : text }", "tgt")] {
+        m.invoke(
+            "schema-loader",
+            &ToolArgs::new()
+                .with("format", "er")
+                .with("text", text)
+                .with("schema-id", id),
+        )
+        .unwrap();
+    }
+    m.invoke(
+        "harmony",
+        &ToolArgs::new().with("source", "src").with("target", "tgt"),
+    )
+    .unwrap();
+    let src = SchemaId::new("src");
+    let tgt = SchemaId::new("tgt");
+    let snapshot = m.blackboard().matrix(&src, &tgt).unwrap().clone();
+    let bb = m.blackboard_mut();
+    let v1 = bb.library.archive(snapshot.clone());
+    let v2 = bb.library.archive(snapshot);
+    assert_eq!((v1, v2), (1, 2));
+    assert_eq!(bb.library.latest(&src, &tgt).unwrap().version, 2);
+    assert_eq!(bb.library.involving(&src).len(), 2);
+}

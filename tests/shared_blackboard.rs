@@ -1,0 +1,132 @@
+//! §5.1.3: "The blackboard should be shared across multiple workbench
+//! instances." One engineer's workbench exports its state; a second
+//! workbench imports it and continues the work — decisions, variables
+//! and code intact.
+
+use integration_workbench::core::tool::ToolArgs;
+use integration_workbench::core::{Blackboard, WorkbenchManager};
+use integration_workbench::harmony::Confidence;
+use integration_workbench::model::SchemaId;
+
+#[test]
+fn second_workbench_continues_where_the_first_stopped() {
+    // ── Workbench instance 1: load, match, decide, bind, code. ──
+    let mut first = WorkbenchManager::with_builtin_tools();
+    for (text, id) in [
+        (
+            "CREATE TABLE ORDERS (ID INT PRIMARY KEY, TOTAL DECIMAL(10,2));",
+            "sales",
+        ),
+        (
+            "CREATE TABLE INVOICE (INV_NO INT PRIMARY KEY, AMOUNT DECIMAL(10,2));",
+            "billing",
+        ),
+    ] {
+        first
+            .invoke(
+                "schema-loader",
+                &ToolArgs::new()
+                    .with("format", "sql-ddl")
+                    .with("text", text)
+                    .with("schema-id", id),
+            )
+            .unwrap();
+    }
+    first
+        .invoke(
+            "harmony",
+            &ToolArgs::new().with("source", "sales").with("target", "billing"),
+        )
+        .unwrap();
+    first
+        .invoke(
+            "harmony",
+            &ToolArgs::new()
+                .with("action", "accept")
+                .with("source", "sales")
+                .with("target", "billing")
+                .with("row", "sales/ORDERS/TOTAL")
+                .with("col", "billing/INVOICE/AMOUNT"),
+        )
+        .unwrap();
+    first
+        .invoke(
+            "aqualogic-mapper",
+            &ToolArgs::new()
+                .with("action", "bind-variable")
+                .with("source", "sales")
+                .with("target", "billing")
+                .with("row", "sales/ORDERS")
+                .with("variable", "ord"),
+        )
+        .unwrap();
+    let exported = first.blackboard().export_turtle();
+
+    // ── Workbench instance 2: import and continue. ──
+    let imported = Blackboard::import_turtle(&exported).expect("import");
+    let mut second = WorkbenchManager::with_builtin_tools();
+    *second.blackboard_mut() = imported;
+
+    let sales = SchemaId::new("sales");
+    let billing = SchemaId::new("billing");
+    let bb = second.blackboard();
+    let s = bb.schema(&sales).expect("schema travelled");
+    let t = bb.schema(&billing).expect("schema travelled");
+    let total = s.find_by_name("TOTAL").unwrap();
+    let amount = t.find_by_name("AMOUNT").unwrap();
+    let matrix = bb.matrix(&sales, &billing).expect("matrix travelled");
+    assert_eq!(matrix.cell(total, amount).confidence, Confidence::ACCEPT);
+    assert!(matrix.cell(total, amount).user_defined);
+    let orders = s.find_by_name("ORDERS").unwrap();
+    assert_eq!(matrix.row_meta(orders).unwrap().variable.as_deref(), Some("ord"));
+
+    // The second engineer re-runs the matcher: the imported decision is
+    // locked, and new machine scores appear around it.
+    second
+        .invoke(
+            "harmony",
+            &ToolArgs::new().with("source", "sales").with("target", "billing"),
+        )
+        .unwrap();
+    let matrix = second.blackboard().matrix(&sales, &billing).unwrap();
+    assert_eq!(matrix.cell(total, amount).confidence, Confidence::ACCEPT);
+    let id = second
+        .blackboard()
+        .schema(&sales)
+        .unwrap()
+        .find_by_name("ID")
+        .unwrap();
+    let inv_no = second
+        .blackboard()
+        .schema(&billing)
+        .unwrap()
+        .find_by_name("INV_NO")
+        .unwrap();
+    assert_ne!(
+        matrix.cell(id, inv_no).confidence,
+        Confidence::UNKNOWN,
+        "fresh machine scores on the imported board"
+    );
+
+    // …and generates code on top of the imported state.
+    second
+        .invoke(
+            "aqualogic-mapper",
+            &ToolArgs::new()
+                .with("action", "set-code")
+                .with("source", "sales")
+                .with("target", "billing")
+                .with("col", "billing/INVOICE/AMOUNT")
+                .with("code", "data($ord/TOTAL)"),
+        )
+        .unwrap();
+    let code = second
+        .blackboard()
+        .matrix(&sales, &billing)
+        .unwrap()
+        .code
+        .clone()
+        .expect("codegen cascaded from the mapping-vector event");
+    assert!(code.contains("let $ord := $doc/ORDERS"), "{code}");
+    assert!(code.contains("data($ord/TOTAL)"));
+}

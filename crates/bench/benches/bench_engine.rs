@@ -31,7 +31,14 @@ fn bench_context(c: &mut Criterion) {
     let p = pair_sized(12);
     let th = Thesaurus::builtin();
     c.bench_function("engine/context build", |b| {
-        b.iter(|| MatchContext::build(black_box(&p.source), black_box(&p.target), &th, Corpus::new()))
+        b.iter(|| {
+            MatchContext::build(
+                black_box(&p.source),
+                black_box(&p.target),
+                &th,
+                Corpus::new(),
+            )
+        })
     });
 }
 
@@ -65,7 +72,11 @@ fn bench_flooding(c: &mut Criterion) {
     let (srcs, tgts) = (m.src_ids().to_vec(), m.tgt_ids().to_vec());
     for (i, &s) in srcs.iter().enumerate() {
         for (j, &t) in tgts.iter().enumerate() {
-            m.set(s, t, Confidence::engine(((i * 31 + j * 17) % 200) as f64 / 100.0 - 1.0));
+            m.set(
+                s,
+                t,
+                Confidence::engine(((i * 31 + j * 17) % 200) as f64 / 100.0 - 1.0),
+            );
         }
     }
     c.bench_function("engine/flooding fixpoint", |b| {

@@ -3,8 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use iwb_instance::{
-    link_records, BlockingKey, Cleaner, CleaningRule, CompareMethod, FieldComparator,
-    LinkageConfig,
+    link_records, BlockingKey, Cleaner, CleaningRule, CompareMethod, FieldComparator, LinkageConfig,
 };
 use iwb_mapper::Node;
 use iwb_model::Domain;

@@ -38,7 +38,11 @@ fn bench_tfidf(c: &mut Criterion) {
     for i in 0..1000 {
         corpus.add_document([
             "unique",
-            if i % 2 == 0 { "identifier" } else { "designation" },
+            if i % 2 == 0 {
+                "identifier"
+            } else {
+                "designation"
+            },
             "airport",
             "facility",
         ]);
@@ -60,5 +64,11 @@ fn bench_thesaurus(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_preprocess, bench_similarity, bench_tfidf, bench_thesaurus);
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_similarity,
+    bench_tfidf,
+    bench_thesaurus
+);
 criterion_main!(benches);

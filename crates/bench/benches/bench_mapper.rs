@@ -55,12 +55,18 @@ fn mapping() -> LogicalMapping {
 
 fn bench_parse_eval(c: &mut Criterion) {
     c.bench_function("mapper/parse expr", |b| {
-        b.iter(|| parse_expr(black_box("concat(data($lName), concat(\", \", data($fName)))")))
+        b.iter(|| {
+            parse_expr(black_box(
+                "concat(data($lName), concat(\", \", data($fName)))",
+            ))
+        })
     });
     let expr = parse_expr("data($src/length_ft) * 0.3048 + 10").unwrap();
     let mut env = iwb_mapper::expr::Env::new();
     env.bind_node("src", Node::elem("r").with_leaf("length_ft", 9000.0));
-    c.bench_function("mapper/eval expr", |b| b.iter(|| expr.eval(black_box(&env))));
+    c.bench_function("mapper/eval expr", |b| {
+        b.iter(|| expr.eval(black_box(&env)))
+    });
 }
 
 fn bench_execute(c: &mut Criterion) {
@@ -95,5 +101,10 @@ fn bench_codegen_and_verify(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse_eval, bench_execute, bench_codegen_and_verify);
+criterion_group!(
+    benches,
+    bench_parse_eval,
+    bench_execute,
+    bench_codegen_and_verify
+);
 criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Load generator for the workbench daemon.
+//!
+//! Spawns an in-process `iwb-server` (or targets an external one via
+//! `--addr`), drives N concurrent client sessions — each loading its
+//! own pair of generated ER schemata, matching them, and issuing a
+//! read-heavy command mix — then reports client-side throughput and
+//! the server's own latency histogram (`stats` command), and verifies
+//! zero cross-session schema leakage.
+//!
+//! ```sh
+//! cargo run --release -p iwb-bench --bin bench_server -- \
+//!     --sessions 8 --commands 200
+//! ```
+
+use iwb_loaders::to_er_text;
+use iwb_registry::GeneratorConfig;
+use iwb_server::client::Client;
+use iwb_server::server::{serve, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Instant;
+
+struct Args {
+    sessions: usize,
+    commands: usize,
+    workers: usize,
+    seed: u64,
+    scale: f64,
+    addr: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sessions: 8,
+            commands: 200,
+            workers: 8,
+            seed: 42,
+            scale: 0.0005,
+            addr: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_server [--sessions N] [--commands N] [--workers N] \
+         [--seed N] [--scale F] [--addr HOST:PORT]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--sessions" => out.sessions = value().parse().unwrap_or_else(|_| usage()),
+            "--commands" => out.commands = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => out.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => out.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => out.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--addr" => out.addr = Some(value()),
+            _ => usage(),
+        }
+    }
+    if out.sessions == 0 || out.commands < 4 {
+        usage();
+    }
+    out
+}
+
+/// One session's workload: its own schema pair plus the command loop.
+fn run_session(
+    addr: SocketAddr,
+    index: usize,
+    commands: usize,
+    seed: u64,
+    scale: f64,
+) -> (u64, String) {
+    let tag = format!("bench{index}");
+    let left = format!("{tag}_left");
+    let right = format!("{tag}_right");
+
+    // Two small generated ER models, distinct per session.
+    let config = GeneratorConfig {
+        models: 2,
+        ..GeneratorConfig::scaled(seed ^ (index as u64).wrapping_mul(0x9e37_79b9), scale)
+    };
+    let registry = iwb_registry::generate_registry(config);
+    let left_text = to_er_text(&registry.models[0]);
+    let right_text = to_er_text(&registry.models[1]);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.session_new(Some(&tag)).expect("session new");
+
+    fn step(
+        r: std::io::Result<iwb_server::client::Response>,
+        tag: &str,
+        issued: &mut u64,
+    ) -> String {
+        let resp = r.expect("request io");
+        assert!(resp.ok, "session {tag}: server error: {}", resp.body);
+        *issued += 1;
+        resp.body
+    }
+
+    let mut issued: u64 = 0;
+    step(
+        client.request_with_heredoc(&format!("load er {left}"), &left_text),
+        &tag,
+        &mut issued,
+    );
+    step(
+        client.request_with_heredoc(&format!("load er {right}"), &right_text),
+        &tag,
+        &mut issued,
+    );
+    step(
+        client.request(&format!("match {left} {right}")),
+        &tag,
+        &mut issued,
+    );
+
+    // Read-heavy steady state, with a periodic re-match.
+    while issued < commands.saturating_sub(1) as u64 {
+        let request = match issued % 5 {
+            0 => client.request(&format!("show matrix {left} {right}")),
+            1 => client.request("show coverage"),
+            2 => client.request(&format!("show schema {left}")),
+            3 => client.request("query ? ? ?"),
+            _ => client.request(&format!("match {left} {right}")),
+        };
+        step(request, &tag, &mut issued);
+    }
+    let export = step(client.request("export"), &tag, &mut issued);
+    (issued, export)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Either target an external daemon or spin one up in-process.
+    let mut local: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &args.addr {
+        Some(a) => a.parse().expect("bad --addr"),
+        None => {
+            let handle = serve(ServerConfig {
+                workers: args.workers,
+                max_sessions: args.sessions + 4,
+                ..ServerConfig::default()
+            })
+            .expect("bind ephemeral port");
+            let addr = handle.addr();
+            local = Some(handle);
+            addr
+        }
+    };
+
+    println!(
+        "bench_server: {} sessions x {} commands against {addr} (seed {})",
+        args.sessions, args.commands, args.seed
+    );
+
+    let started = Instant::now();
+    let joins: Vec<_> = (0..args.sessions)
+        .map(|i| {
+            let (commands, seed, scale) = (args.commands, args.seed, args.scale);
+            thread::spawn(move || run_session(addr, i, commands, seed, scale))
+        })
+        .collect();
+    let results: Vec<(u64, String)> = joins
+        .into_iter()
+        .map(|j| j.join().expect("session thread"))
+        .collect();
+    let elapsed = started.elapsed();
+
+    // Zero cross-session leakage: session i's export must not mention
+    // any other session's schema ids.
+    let mut leaks = 0usize;
+    for (i, (_, export)) in results.iter().enumerate() {
+        for j in 0..args.sessions {
+            if j != i && export.contains(&format!("bench{j}_")) {
+                eprintln!("LEAK: session {i} export mentions bench{j}_*");
+                leaks += 1;
+            }
+        }
+    }
+
+    let total: u64 = results.iter().map(|(n, _)| n).sum();
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "client side: {total} commands in {secs:.3}s  ({:.0} cmd/s, {:.0} cmd/s/session)",
+        total as f64 / secs,
+        total as f64 / secs / args.sessions as f64
+    );
+
+    let mut admin = Client::connect(addr).expect("admin connect");
+    println!("server stats:");
+    for line in admin.stats().expect("stats").lines() {
+        println!("  {line}");
+    }
+
+    if local.is_some() {
+        admin.shutdown().expect("shutdown");
+    }
+    if let Some(handle) = local {
+        handle.join();
+    }
+
+    if leaks > 0 {
+        eprintln!("bench_server: FAILED — {leaks} cross-session leak(s)");
+        std::process::exit(1);
+    }
+    println!("bench_server: ok — zero cross-session leakage");
+}

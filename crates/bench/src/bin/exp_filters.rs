@@ -20,7 +20,15 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
     println!("E5 — filter effectiveness (seed={SEED}, elements/model={size})\n");
-    let pair = &standard_pairs(SEED, 1, size, &PerturbConfig { seed: SEED, ..Default::default() })[0];
+    let pair = &standard_pairs(
+        SEED,
+        1,
+        size,
+        &PerturbConfig {
+            seed: SEED,
+            ..Default::default()
+        },
+    )[0];
     let mut engine = HarmonyEngine::default();
     let result = engine.run(&pair.source, &pair.target, &HashMap::new());
     let total_cells = result.matrix.len();
@@ -96,7 +104,10 @@ fn main() {
             precision
         );
     }
-    println!("\n(total candidate cells: {total_cells}; gold pairs: {})", pair.gold.len());
+    println!(
+        "\n(total candidate cells: {total_cells}; gold pairs: {})",
+        pair.gold.len()
+    );
     println!("expected shape: each added filter shrinks the displayed set and raises precision —");
     println!("clutter removal without losing the true links the engineer needs next.");
 }

@@ -42,7 +42,13 @@ fn main() {
     );
     for (name, cfg) in configs {
         for (pname, perturb) in [
-            ("default", PerturbConfig { seed: SEED, ..Default::default() }),
+            (
+                "default",
+                PerturbConfig {
+                    seed: SEED,
+                    ..Default::default()
+                },
+            ),
             ("harsh", PerturbConfig::harsh(SEED)),
         ] {
             let pairs = standard_pairs(SEED, 3, size, &perturb);

@@ -19,7 +19,11 @@ const SEED: u64 = 20060406;
 const THRESHOLD: f64 = 0.25;
 
 fn single_voter_engine(voter: Box<dyn MatchVoter>) -> HarmonyEngine {
-    HarmonyEngine::new(vec![voter], VoteMerger::default(), FloodingConfig::disabled())
+    HarmonyEngine::new(
+        vec![voter],
+        VoteMerger::default(),
+        FloodingConfig::disabled(),
+    )
 }
 
 fn engines() -> Vec<(&'static str, HarmonyEngine)> {
@@ -37,12 +41,18 @@ fn engines() -> Vec<(&'static str, HarmonyEngine)> {
             "structure",
             single_voter_engine(Box::new(StructureVoter::default())),
         ),
-        ("domain", single_voter_engine(Box::new(DomainVoter::default()))),
+        (
+            "domain",
+            single_voter_engine(Box::new(DomainVoter::default())),
+        ),
         (
             "datatype",
             single_voter_engine(Box::new(DataTypeVoter::default())),
         ),
-        ("acronym", single_voter_engine(Box::new(AcronymVoter::default()))),
+        (
+            "acronym",
+            single_voter_engine(Box::new(AcronymVoter::default())),
+        ),
         ("merged(uniform)", {
             HarmonyEngine::new(
                 iwb_harmony::voters::default_suite(),
@@ -69,13 +79,31 @@ fn main() {
 
     for (perturb_name, perturb) in [
         ("mild", PerturbConfig::mild(SEED)),
-        ("default", PerturbConfig { seed: SEED, ..Default::default() }),
+        (
+            "default",
+            PerturbConfig {
+                seed: SEED,
+                ..Default::default()
+            },
+        ),
         ("harsh", PerturbConfig::harsh(SEED)),
     ] {
         println!("── perturbation: {perturb_name} ──");
         println!(
             "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "voter", "P@0%", "R@0%", "F1@0%", "P@50%", "R@50%", "F1@50%", "P@83%", "R@83%", "F1@83%", "P@99%", "R@99%", "F1@99%"
+            "voter",
+            "P@0%",
+            "R@0%",
+            "F1@0%",
+            "P@50%",
+            "R@50%",
+            "F1@50%",
+            "P@83%",
+            "R@83%",
+            "F1@83%",
+            "P@99%",
+            "R@99%",
+            "F1@99%"
         );
         let base_pairs = standard_pairs(SEED, 3, size, &perturb);
         for (name, mut engine) in engines() {
@@ -105,7 +133,9 @@ fn main() {
         }
         println!();
     }
-    println!("expected shape (paper §4.1): documentation voter recall > precision where docs exist;");
+    println!(
+        "expected shape (paper §4.1): documentation voter recall > precision where docs exist;"
+    );
     println!("documentation voter ≈ useless at 0% density; merged(full) ≥ every single voter;");
     println!("magnitude weighting ≥ uniform averaging.");
 }

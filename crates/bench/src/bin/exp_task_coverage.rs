@@ -7,9 +7,9 @@
 //! §4.1's observation that matching alone "does not greatly assist the
 //! integration engineer".
 
+use iwb_core::taskmodel::{coverage_table, Task};
 use iwb_core::tool::WorkbenchTool;
 use iwb_core::tools::{CodegenTool, HarmonyTool, LoaderTool, MapperTool};
-use iwb_core::taskmodel::{coverage_table, Task};
 
 fn main() {
     println!("E4 — task-model coverage of the registered tools\n");

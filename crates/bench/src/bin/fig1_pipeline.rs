@@ -58,7 +58,11 @@ fn main() {
 
     println!("\n[3] vote merger (magnitude-weighted; per-voter weights from past performance)");
     for name in engine.voter_names() {
-        println!("      {:<14} weight={:.2}", name, engine.merger().weight(name));
+        println!(
+            "      {:<14} weight={:.2}",
+            name,
+            engine.merger().weight(name)
+        );
     }
 
     println!(
@@ -79,7 +83,10 @@ fn main() {
         .with_link(LinkFilter::BestPerElement)
         .with_link(LinkFilter::ConfidenceAtLeast(0.2));
     let links = filters.visible(&result.matrix, &source, &target, &HashSet::new());
-    println!("\n[5] GUI filters (best-per-element ∧ confidence ≥ 0.2): {} link(s) displayed", links.len());
+    println!(
+        "\n[5] GUI filters (best-per-element ∧ confidence ≥ 0.2): {} link(s) displayed",
+        links.len()
+    );
     let mut sorted = links;
     sorted.sort_by(|a, b| b.confidence.value().total_cmp(&a.confidence.value()));
     for l in sorted {

@@ -26,5 +26,7 @@ fn main() {
         print!("{}", render_with(&graph, opts));
         println!();
     }
-    println!("(edge labels are the §5.1.1 controlled vocabulary: contains-element, contains-attribute)");
+    println!(
+        "(edge labels are the §5.1.1 controlled vocabulary: contains-element, contains-attribute)"
+    );
 }

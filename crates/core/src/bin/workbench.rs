@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Reads a script from stdin (see [`iwb_core::shell`] for the command
-//! language) and prints the transcript.
+//! language) and prints the transcript. Exits nonzero if any command
+//! failed, so scripted sessions are CI-checkable.
 
 use std::io::Read;
 
@@ -16,5 +17,13 @@ fn main() {
         eprintln!("failed to read stdin");
         std::process::exit(1);
     }
-    print!("{}", iwb_core::shell::run_script(&script));
+    let outcome = iwb_core::shell::run_script_counted(&script);
+    print!("{}", outcome.transcript);
+    if outcome.errors > 0 {
+        eprintln!(
+            "workbench: {} of {} command(s) failed",
+            outcome.errors, outcome.commands
+        );
+        std::process::exit(1);
+    }
 }

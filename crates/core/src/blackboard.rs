@@ -89,7 +89,10 @@ impl Blackboard {
     /// # Panics
     /// If either schema is missing.
     pub fn ensure_matrix(&mut self, source: &SchemaId, target: &SchemaId) -> &mut MappingMatrix {
-        if !self.matrices.contains_key(&(source.clone(), target.clone())) {
+        if !self
+            .matrices
+            .contains_key(&(source.clone(), target.clone()))
+        {
             let s = self.schemas.get(source).expect("source schema installed");
             let t = self.schemas.get(target).expect("target schema installed");
             // "the IB … extends the mapping matrix accordingly" (§5.2.1)
@@ -216,7 +219,9 @@ impl Blackboard {
             // Row and column annotations (§5.1.2: variable-name, code,
             // is-complete) as header resources.
             for (r, &row) in matrix.rows().iter().enumerate() {
-                let Some(meta) = matrix.row_meta(row) else { continue };
+                let Some(meta) = matrix.row_meta(row) else {
+                    continue;
+                };
                 if meta.variable.is_none() && !meta.complete {
                     continue;
                 }
@@ -245,7 +250,9 @@ impl Blackboard {
                 );
             }
             for (c, &col) in matrix.cols().iter().enumerate() {
-                let Some(meta) = matrix.col_meta(col) else { continue };
+                let Some(meta) = matrix.col_meta(col) else {
+                    continue;
+                };
                 if meta.code.is_none() && !meta.complete {
                     continue;
                 }
@@ -279,8 +286,7 @@ impl Blackboard {
                     if cell.confidence == Confidence::UNKNOWN && !cell.user_defined {
                         continue; // only materialise informative cells
                     }
-                    let cell_iri =
-                        iwb_rdf::vocab::cell_iri(source.as_str(), target.as_str(), r, c);
+                    let cell_iri = iwb_rdf::vocab::cell_iri(source.as_str(), target.as_str(), r, c);
                     let subject = Term::iri(cell_iri);
                     store.insert(
                         subject.clone(),
@@ -347,8 +353,12 @@ impl Blackboard {
         let schema_class = store.lookup(&Term::iri(iwb_rdf::vocab::SCHEMA_CLASS));
         if let (Some(p), Some(o)) = (rdf_type, schema_class) {
             for t in store.matching(None, Some(p), Some(o)) {
-                let Some(iri) = store.term(t.s).as_iri() else { continue };
-                let Some(id) = iri.strip_prefix("iwb:schema/") else { continue };
+                let Some(iri) = store.term(t.s).as_iri() else {
+                    continue;
+                };
+                let Some(id) = iri.strip_prefix("iwb:schema/") else {
+                    continue;
+                };
                 let graph = schema_rdf::schema_from_rdf(&store, id)
                     .ok_or_else(|| format!("schema {id} did not reconstruct"))?;
                 bb.put_schema(graph);
@@ -383,7 +393,9 @@ impl Blackboard {
                     }
                 }
                 // Members (cells and headers) of this matrix.
-                let Some(in_matrix_p) = lookup(iwb_rdf::vocab::IN_MATRIX) else { continue };
+                let Some(in_matrix_p) = lookup(iwb_rdf::vocab::IN_MATRIX) else {
+                    continue;
+                };
                 let elem_index = |term_id| -> Option<usize> {
                     let iri: &str = store.term(term_id).as_iri()?;
                     iri.rsplit_once("#e")?.1.parse().ok()
@@ -509,10 +521,26 @@ mod tests {
         bb.ensure_matrix(s.id(), t.id());
         let sub = s.find_by_name("subtotal").unwrap();
         let total = t.find_by_name("total").unwrap();
-        assert!(bb.set_cell("harmony", s.id(), t.id(), sub, total, Confidence::engine(0.8), false));
+        assert!(bb.set_cell(
+            "harmony",
+            s.id(),
+            t.id(),
+            sub,
+            total,
+            Confidence::engine(0.8),
+            false
+        ));
         assert!(bb.set_cell("user", s.id(), t.id(), sub, total, Confidence::ACCEPT, true));
         // Machine cannot override the decision.
-        assert!(!bb.set_cell("harmony", s.id(), t.id(), sub, total, Confidence::engine(0.1), false));
+        assert!(!bb.set_cell(
+            "harmony",
+            s.id(),
+            t.id(),
+            sub,
+            total,
+            Confidence::engine(0.1),
+            false
+        ));
         let m = bb.matrix(s.id(), t.id()).unwrap();
         assert_eq!(m.cell(sub, total).confidence, Confidence::ACCEPT);
         assert_eq!(bb.provenance.cell_history(sub, total).len(), 2);
@@ -557,7 +585,13 @@ mod tests {
         bb.put_schema(t.clone());
         bb.ensure_matrix(s.id(), t.id());
         let total = t.find_by_name("total").unwrap();
-        assert!(bb.set_column_code("aqualogic", s.id(), t.id(), total, "data($shipto/subtotal) * 1.05"));
+        assert!(bb.set_column_code(
+            "aqualogic",
+            s.id(),
+            t.id(),
+            total,
+            "data($shipto/subtotal) * 1.05"
+        ));
         let m = bb.matrix(s.id(), t.id()).unwrap();
         assert!(m.col_meta(total).unwrap().code.is_some());
         assert_eq!(bb.provenance.by_tool("aqualogic").len(), 1);
@@ -576,11 +610,32 @@ mod tests {
         let total = t.find_by_name("total").unwrap();
         let ship = s.find_by_name("shipTo").unwrap();
         bb.set_cell("user", s.id(), t.id(), sub, total, Confidence::ACCEPT, true);
-        bb.set_cell("harmony", s.id(), t.id(), ship, total, Confidence::engine(-0.4), false);
-        bb.matrix_mut(s.id(), t.id()).unwrap().row_meta_mut(ship).unwrap().variable =
-            Some("shipto".into());
-        bb.set_column_code("mapper", s.id(), t.id(), total, "data($shipto/subtotal) * 1.05");
-        bb.matrix_mut(s.id(), t.id()).unwrap().col_meta_mut(total).unwrap().complete = true;
+        bb.set_cell(
+            "harmony",
+            s.id(),
+            t.id(),
+            ship,
+            total,
+            Confidence::engine(-0.4),
+            false,
+        );
+        bb.matrix_mut(s.id(), t.id())
+            .unwrap()
+            .row_meta_mut(ship)
+            .unwrap()
+            .variable = Some("shipto".into());
+        bb.set_column_code(
+            "mapper",
+            s.id(),
+            t.id(),
+            total,
+            "data($shipto/subtotal) * 1.05",
+        );
+        bb.matrix_mut(s.id(), t.id())
+            .unwrap()
+            .col_meta_mut(total)
+            .unwrap()
+            .complete = true;
         bb.matrix_mut(s.id(), t.id()).unwrap().code = Some("the whole mapping".into());
 
         let text = bb.export_turtle();
@@ -595,9 +650,18 @@ mod tests {
         assert!(cell.user_defined);
         assert!((m.cell(ship, total).confidence.value() + 0.4).abs() < 1e-9);
         assert!(!m.cell(ship, total).user_defined);
-        assert_eq!(m.row_meta(ship).unwrap().variable.as_deref(), Some("shipto"));
+        assert_eq!(
+            m.row_meta(ship).unwrap().variable.as_deref(),
+            Some("shipto")
+        );
         assert!(m.col_meta(total).unwrap().complete);
-        assert!(m.col_meta(total).unwrap().code.as_deref().unwrap().contains("1.05"));
+        assert!(m
+            .col_meta(total)
+            .unwrap()
+            .code
+            .as_deref()
+            .unwrap()
+            .contains("1.05"));
         assert_eq!(m.code.as_deref(), Some("the whole mapping"));
         // The import is on the provenance record.
         assert!(imported.provenance.by_tool("import").len() >= 2);

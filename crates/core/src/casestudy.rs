@@ -51,7 +51,10 @@ pub fn run_case_study() -> Result<CaseStudyReport, ToolError> {
     let inv = SchemaId::new("invoice");
 
     // Step 1: load both schemata.
-    for (text, id) in [(FIG2_SOURCE_XSD, "purchaseOrder"), (FIG2_TARGET_XSD, "invoice")] {
+    for (text, id) in [
+        (FIG2_SOURCE_XSD, "purchaseOrder"),
+        (FIG2_TARGET_XSD, "invoice"),
+    ] {
         m.invoke(
             "schema-loader",
             &ToolArgs::new()
@@ -246,8 +249,12 @@ mod tests {
         let report = run_case_study().unwrap();
         // Figure 3's annotations appear in the rendered matrix.
         assert!(report.matrix_text.contains("variable=shipto"));
-        assert!(report.matrix_text.contains("confidence=+1.00 user-defined=true"));
-        assert!(report.matrix_text.contains("confidence=-1.00 user-defined=true"));
+        assert!(report
+            .matrix_text
+            .contains("confidence=+1.00 user-defined=true"));
+        assert!(report
+            .matrix_text
+            .contains("confidence=-1.00 user-defined=true"));
         // The assembled XQuery has the figure's shape.
         assert!(report.xquery.contains("let $shipto :="));
         assert!(report.xquery.contains("* 1.05"));

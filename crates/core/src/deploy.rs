@@ -308,7 +308,10 @@ mod tests {
         let mut app = solution(OperationalConstraints::default()).deploy();
         let out = app.process(&[good_doc(1.0), good_doc(2.0)]).unwrap();
         assert_eq!(out.len(), 2);
-        assert_eq!(out[1].child("item").unwrap().value_at("total").as_num(), Some(4.0));
+        assert_eq!(
+            out[1].child("item").unwrap().value_at("total").as_num(),
+            Some(4.0)
+        );
         assert_eq!(app.stats().succeeded, 2);
         assert_eq!(app.stats().batches, 2, "continuous = batch size 1");
     }
@@ -328,7 +331,9 @@ mod tests {
     #[test]
     fn skip_policy_counts_failures_and_continues() {
         let mut app = solution(OperationalConstraints::default()).deploy();
-        let out = app.process(&[good_doc(1.0), bad_doc(), good_doc(3.0)]).unwrap();
+        let out = app
+            .process(&[good_doc(1.0), bad_doc(), good_doc(3.0)])
+            .unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(app.stats().failed, 1);
         assert!(app.dead_letters().is_empty());
@@ -379,12 +384,8 @@ mod tests {
                 AttributeTransformation::Scalar(parse_expr("1").unwrap()),
             )),
         );
-        let sol = IntegrationSolution::new(
-            "strict",
-            mapping,
-            target,
-            OperationalConstraints::default(),
-        );
+        let sol =
+            IntegrationSolution::new("strict", mapping, target, OperationalConstraints::default());
         let mut app = sol.deploy();
         let out = app.process(&[good_doc(1.0)]).unwrap();
         assert!(out.is_empty());

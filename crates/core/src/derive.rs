@@ -171,7 +171,11 @@ fn merged_element(l: &SchemaElement, r: &SchemaElement, kind: ElementKind) -> Sc
         (None, None) => None,
     };
     el.documentation = match (&l.documentation, &r.documentation) {
-        (Some(a), Some(b)) => Some(if a.len() >= b.len() { a.clone() } else { b.clone() }),
+        (Some(a), Some(b)) => Some(if a.len() >= b.len() {
+            a.clone()
+        } else {
+            b.clone()
+        }),
         (Some(a), None) => Some(a.clone()),
         (None, Some(b)) => Some(b.clone()),
         (None, None) => None,
@@ -240,7 +244,12 @@ mod tests {
         assert!(t.find_by_name("CLIENT").is_none(), "merged into CUSTOMER");
         // Merged container keeps the longer documentation (from CLIENT).
         let cust = t.find_by_path("merged/CUSTOMER").unwrap();
-        assert!(t.element(cust).documentation.as_deref().unwrap().contains("billing"));
+        assert!(t
+            .element(cust)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("billing"));
     }
 
     #[test]
@@ -259,7 +268,12 @@ mod tests {
         assert!(t.find_by_path("merged/CUSTOMER/TAX_CODE").is_some());
         // Merged attribute kept documentation from the documented side.
         let id = t.find_by_path("merged/CUSTOMER/ID").unwrap();
-        assert!(t.element(id).documentation.as_deref().unwrap().contains("identifier"));
+        assert!(t
+            .element(id)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("identifier"));
     }
 
     #[test]

@@ -121,6 +121,8 @@ mod tests {
     fn empty_library() {
         let lib = MappingLibrary::new();
         assert!(lib.is_empty());
-        assert!(lib.latest(&SchemaId::new("a"), &SchemaId::new("b")).is_none());
+        assert!(lib
+            .latest(&SchemaId::new("a"), &SchemaId::new("b"))
+            .is_none());
     }
 }

@@ -64,7 +64,9 @@ pub struct InvokeReport {
 #[derive(Default)]
 pub struct WorkbenchManager {
     blackboard: Blackboard,
-    tools: Vec<Box<dyn WorkbenchTool>>,
+    // `Send` so a whole workbench can be moved into (and locked inside)
+    // a server worker thread; see `iwb-server`.
+    tools: Vec<Box<dyn WorkbenchTool + Send>>,
     session_trace: Vec<String>,
 }
 
@@ -87,7 +89,7 @@ impl WorkbenchManager {
     }
 
     /// Register a tool.
-    pub fn register(&mut self, tool: impl WorkbenchTool + 'static) {
+    pub fn register(&mut self, tool: impl WorkbenchTool + Send + 'static) {
         self.session_trace
             .push(format!("register {} ({})", tool.name(), tool.kind()));
         self.tools.push(Box::new(tool));
@@ -190,7 +192,8 @@ impl WorkbenchManager {
             trace.push(format!("round {round} (suppressed): {event}"));
             all_events.push(event);
         }
-        self.session_trace.extend(trace.iter().map(|t| format!("  {t}")));
+        self.session_trace
+            .extend(trace.iter().map(|t| format!("  {t}")));
         let tool = self.tools[idx].name();
         Ok(InvokeReport {
             tool,
@@ -249,7 +252,12 @@ mod tests {
         let m = WorkbenchManager::with_builtin_tools();
         assert_eq!(
             m.tool_names(),
-            vec!["schema-loader", "harmony", "aqualogic-mapper", "xquery-codegen"]
+            vec![
+                "schema-loader",
+                "harmony",
+                "aqualogic-mapper",
+                "xquery-codegen"
+            ]
         );
         assert!(m.trace().iter().any(|t| t.contains("subscribes")));
     }
@@ -308,10 +316,7 @@ mod tests {
             .unwrap();
         assert!(report.output.contains("cells updated"));
         // The trace shows the transaction committed before propagation.
-        assert!(m
-            .trace()
-            .iter()
-            .any(|t| t.contains("txn commit")));
+        assert!(m.trace().iter().any(|t| t.contains("txn commit")));
     }
 
     #[test]

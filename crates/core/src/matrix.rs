@@ -218,11 +218,7 @@ impl MappingMatrix {
             self.source.as_str(),
             self.target.as_str()
         );
-        let _ = writeln!(
-            out,
-            "code = {}",
-            self.code.as_deref().unwrap_or("<unset>")
-        );
+        let _ = writeln!(out, "code = {}", self.code.as_deref().unwrap_or("<unset>"));
         for (c, &col) in self.cols.iter().enumerate() {
             let meta = &self.col_meta[c];
             let _ = writeln!(
@@ -314,8 +310,17 @@ mod tests {
         m.col_meta_mut(total).unwrap().code = Some("data($shipto/subtotal) * 1.05".into());
         m.col_meta_mut(total).unwrap().complete = false;
         m.code = Some("let $shipto := $purchOrd/shipTo return …".into());
-        assert_eq!(m.row_meta(ship).unwrap().variable.as_deref(), Some("shipto"));
-        assert!(m.col_meta(total).unwrap().code.as_deref().unwrap().contains("1.05"));
+        assert_eq!(
+            m.row_meta(ship).unwrap().variable.as_deref(),
+            Some("shipto")
+        );
+        assert!(m
+            .col_meta(total)
+            .unwrap()
+            .code
+            .as_deref()
+            .unwrap()
+            .contains("1.05"));
     }
 
     #[test]
@@ -327,7 +332,11 @@ mod tests {
         let first = s.find_by_name("firstName").unwrap();
         m.decide(sub, total, true);
         m.decide(first, total, false);
-        m.suggest(first, t.find_by_name("name").unwrap(), Confidence::engine(0.9));
+        m.suggest(
+            first,
+            t.find_by_name("name").unwrap(),
+            Confidence::engine(0.9),
+        );
         assert_eq!(m.accepted(), vec![(sub, total)]);
     }
 

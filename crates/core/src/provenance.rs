@@ -206,7 +206,10 @@ mod tests {
         // The final word on the cell was the user's.
         assert!(matches!(
             &history.last().unwrap().kind,
-            ProvenanceKind::CellSet { user_defined: true, .. }
+            ProvenanceKind::CellSet {
+                user_defined: true,
+                ..
+            }
         ));
         assert_eq!(log.by_tool("user").len(), 2);
     }

@@ -55,9 +55,8 @@ impl Shell {
         let words: Vec<&str> = line.split_whitespace().collect();
         match words.as_slice() {
             ["load", format, schema_id, ..] => {
-                let text = heredoc.ok_or_else(|| {
-                    ToolError::Failed("load requires a <<EOF … EOF body".into())
-                })?;
+                let text = heredoc
+                    .ok_or_else(|| ToolError::Failed("load requires a <<EOF … EOF body".into()))?;
                 let report = self.manager.invoke(
                     "schema-loader",
                     &ToolArgs::new()
@@ -70,7 +69,9 @@ impl Shell {
             ["match", source, target] => {
                 let report = self.manager.invoke(
                     "harmony",
-                    &ToolArgs::new().with("source", *source).with("target", *target),
+                    &ToolArgs::new()
+                        .with("source", *source)
+                        .with("target", *target),
                 )?;
                 Ok(report.output)
             }
@@ -132,7 +133,9 @@ impl Shell {
             ["generate", source, target] => {
                 let report = self.manager.invoke(
                     "xquery-codegen",
-                    &ToolArgs::new().with("source", *source).with("target", *target),
+                    &ToolArgs::new()
+                        .with("source", *source)
+                        .with("target", *target),
                 )?;
                 Ok(report.output)
             }
@@ -150,8 +153,12 @@ impl Shell {
                 let matrix = bb
                     .matrix(&s_id, &t_id)
                     .ok_or_else(|| ToolError::Failed("no matrix for that pair".into()))?;
-                let s = bb.schema(&s_id).ok_or_else(|| ToolError::UnknownSchema(s_id.to_string()))?;
-                let t = bb.schema(&t_id).ok_or_else(|| ToolError::UnknownSchema(t_id.to_string()))?;
+                let s = bb
+                    .schema(&s_id)
+                    .ok_or_else(|| ToolError::UnknownSchema(s_id.to_string()))?;
+                let t = bb
+                    .schema(&t_id)
+                    .ok_or_else(|| ToolError::UnknownSchema(t_id.to_string()))?;
                 Ok(matrix.render(s, t))
             }
             ["show", "coverage"] => Ok(self.manager.coverage()),
@@ -170,9 +177,9 @@ impl Shell {
                         },
                     }
                 };
-                let solutions = self
-                    .manager
-                    .query(&[TriplePattern::new(part(s), part(p), part(o))]);
+                let solutions =
+                    self.manager
+                        .query(&[TriplePattern::new(part(s), part(p), part(o))]);
                 let mut out = format!("{} solution(s)\n", solutions.len());
                 let store = self.manager.blackboard().materialize_rdf();
                 for sol in solutions.iter().take(20) {
@@ -192,46 +199,92 @@ impl Shell {
     }
 }
 
+/// The heredoc marker a command line ends with to open a body
+/// (`load er po <<EOF`).
+pub const HEREDOC_MARKER: &str = "<<EOF";
+
+/// The line terminating a heredoc body.
+pub const HEREDOC_END: &str = "EOF";
+
+/// If `line` opens a heredoc, the command part without the marker.
+///
+/// Shared by [`run_script`] and the `iwb-server` connection loop so
+/// the wire protocol and the script language stay identical.
+pub fn heredoc_start(line: &str) -> Option<&str> {
+    line.trim().strip_suffix(HEREDOC_MARKER).map(str::trim)
+}
+
+/// The outcome of running a script: the transcript plus how many
+/// commands failed (scripted sessions are CI-checkable through the
+/// error count — the `workbench` binary exits nonzero on it).
+#[derive(Debug, Clone)]
+pub struct ScriptOutcome {
+    /// The interleaved `> command` / output transcript.
+    pub transcript: String,
+    /// Commands executed (comments and blank lines excluded).
+    pub commands: usize,
+    /// Commands that returned an error.
+    pub errors: usize,
+}
+
 /// Run a whole script (commands separated by newlines; a trailing
 /// `<<EOF` on a command starts a heredoc terminated by a line holding
 /// only `EOF`). Lines starting with `#` are comments. Errors are
 /// reported in the transcript and do not abort the script.
 pub fn run_script(script: &str) -> String {
-    let mut shell = Shell::new();
-    let mut transcript = String::new();
-    let mut lines = script.lines().peekable();
-    while let Some(line) = lines.next() {
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let (command, heredoc) = match trimmed.strip_suffix("<<EOF") {
-            Some(cmd) => {
-                let mut body = String::new();
-                for body_line in lines.by_ref() {
-                    if body_line.trim() == "EOF" {
-                        break;
-                    }
-                    body.push_str(body_line);
-                    body.push('\n');
-                }
-                (cmd.trim().to_owned(), Some(body))
-            }
-            None => (trimmed.to_owned(), None),
+    run_script_counted(script).transcript
+}
+
+/// [`run_script`] with the error count, on a fresh workbench.
+pub fn run_script_counted(script: &str) -> ScriptOutcome {
+    Shell::new().run_on(script)
+}
+
+impl Shell {
+    /// Run a script against *this* shell (state accumulates across
+    /// calls), returning the transcript and error count.
+    pub fn run_on(&mut self, script: &str) -> ScriptOutcome {
+        let mut outcome = ScriptOutcome {
+            transcript: String::new(),
+            commands: 0,
+            errors: 0,
         };
-        let _ = writeln!(transcript, "> {command}");
-        match shell.execute(&command, heredoc.as_deref()) {
-            Ok(out) => {
-                for l in out.lines() {
-                    let _ = writeln!(transcript, "  {l}");
+        let mut lines = script.lines();
+        while let Some(line) = lines.next() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (command, heredoc) = match heredoc_start(trimmed) {
+                Some(cmd) => {
+                    let mut body = String::new();
+                    for body_line in lines.by_ref() {
+                        if body_line.trim() == HEREDOC_END {
+                            break;
+                        }
+                        body.push_str(body_line);
+                        body.push('\n');
+                    }
+                    (cmd.to_owned(), Some(body))
+                }
+                None => (trimmed.to_owned(), None),
+            };
+            outcome.commands += 1;
+            let _ = writeln!(outcome.transcript, "> {command}");
+            match self.execute(&command, heredoc.as_deref()) {
+                Ok(out) => {
+                    for l in out.lines() {
+                        let _ = writeln!(outcome.transcript, "  {l}");
+                    }
+                }
+                Err(e) => {
+                    outcome.errors += 1;
+                    let _ = writeln!(outcome.transcript, "  error: {e}");
                 }
             }
-            Err(e) => {
-                let _ = writeln!(transcript, "  error: {e}");
-            }
         }
+        outcome
     }
-    transcript
 }
 
 #[cfg(test)]
@@ -274,6 +327,32 @@ show coverage
         let transcript = run_script("frobnicate\nshow coverage\n");
         assert!(transcript.contains("error: unknown command"));
         assert!(transcript.contains("task"), "later commands still run");
+    }
+
+    #[test]
+    fn counted_outcome_tracks_commands_and_errors() {
+        let outcome = run_script_counted("frobnicate\nshow coverage\n# comment\n\n");
+        assert_eq!(outcome.commands, 2);
+        assert_eq!(outcome.errors, 1);
+        let clean = run_script_counted("show coverage\n");
+        assert_eq!((clean.commands, clean.errors), (1, 0));
+    }
+
+    #[test]
+    fn run_on_accumulates_state_across_calls() {
+        let mut shell = Shell::new();
+        let first = shell.run_on("load er s <<EOF\nentity E { f : text }\nEOF\n");
+        assert_eq!(first.errors, 0);
+        let second = shell.run_on("show schema s\n");
+        assert_eq!(second.errors, 0);
+        assert!(second.transcript.contains("[contains-entity] E"));
+    }
+
+    #[test]
+    fn heredoc_start_strips_marker() {
+        assert_eq!(heredoc_start("load er po <<EOF"), Some("load er po"));
+        assert_eq!(heredoc_start("  load er po <<EOF  "), Some("load er po"));
+        assert_eq!(heredoc_start("show coverage"), None);
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl Task {
 
     /// The paper's 1-based task number.
     pub fn number(self) -> u8 {
-        Task::all().iter().position(|&t| t == self).expect("all() is complete") as u8 + 1
+        Task::all()
+            .iter()
+            .position(|&t| t == self)
+            .expect("all() is complete") as u8
+            + 1
     }
 
     /// Which phase the task belongs to (§3's grouping).
@@ -216,7 +220,10 @@ mod tests {
             .find(|l| l.contains("semantic correspondences"))
             .unwrap();
         assert_eq!(corr_line.matches('✓').count(), 2); // harmony + combined
-        let logical_line = table.lines().find(|l| l.contains("logical mappings")).unwrap();
+        let logical_line = table
+            .lines()
+            .find(|l| l.contains("logical mappings"))
+            .unwrap();
         assert_eq!(logical_line.matches('✓').count(), 2); // mapper + combined
         let deploy_line = table.lines().find(|l| l.contains("deploy")).unwrap();
         assert_eq!(deploy_line.matches('✓').count(), 0);

@@ -139,7 +139,9 @@ mod tests {
 
     #[test]
     fn args_builder_and_require() {
-        let args = ToolArgs::new().with("format", "xsd").with("schema-id", "po");
+        let args = ToolArgs::new()
+            .with("format", "xsd")
+            .with("schema-id", "po");
         assert_eq!(args.get("format"), Some("xsd"));
         assert_eq!(args.require("schema-id").unwrap(), "po");
         let err = args.require("missing").unwrap_err();

@@ -186,8 +186,11 @@ mod tests {
         let t = bb.schema(&inv).unwrap().clone();
         let ship = s.find_by_name("shipTo").unwrap();
         let total = t.find_by_name("total").unwrap();
-        bb.matrix_mut(&po, &inv).unwrap().row_meta_mut(ship).unwrap().variable =
-            Some("shipto".into());
+        bb.matrix_mut(&po, &inv)
+            .unwrap()
+            .row_meta_mut(ship)
+            .unwrap()
+            .variable = Some("shipto".into());
         bb.set_column_code("t", &po, &inv, total, "data($shipto/subtotal) * 1.05");
         let mut tool = CodegenTool::new();
         let mut events = Vec::new();
@@ -224,7 +227,13 @@ mod tests {
             &mut cascade,
         );
         assert_eq!(cascade.len(), 1);
-        assert!(bb.matrix(&po, &inv).unwrap().code.as_deref().unwrap().contains("1 + 1"));
+        assert!(bb
+            .matrix(&po, &inv)
+            .unwrap()
+            .code
+            .as_deref()
+            .unwrap()
+            .contains("1 + 1"));
     }
 
     #[test]

@@ -236,7 +236,10 @@ mod tests {
             .with("target", "invoice");
         let out = tool.invoke(&mut bb, &args, &mut events).unwrap();
         assert!(out.contains("cells updated"));
-        assert!(!events.is_empty(), "strong links must emit mapping-cell events");
+        assert!(
+            !events.is_empty(),
+            "strong links must emit mapping-cell events"
+        );
         let matrix = bb.matrix(&po, &inv).unwrap();
         let s = bb.schema(&po).unwrap();
         let t = bb.schema(&inv).unwrap();
@@ -313,7 +316,9 @@ mod tests {
         let err = tool
             .invoke(
                 &mut bb,
-                &ToolArgs::new().with("source", "ghost").with("target", "ghost2"),
+                &ToolArgs::new()
+                    .with("source", "ghost")
+                    .with("target", "ghost2"),
                 &mut Vec::new(),
             )
             .unwrap_err();

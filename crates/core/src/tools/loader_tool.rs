@@ -129,7 +129,10 @@ mod tests {
         assert!(out.contains("1 applied"));
         let g = bb.schema(&SchemaId::new("db")).unwrap();
         let x = g.find_by_path("db/T/X").unwrap();
-        assert_eq!(g.element(x).documentation.as_deref(), Some("The only column."));
+        assert_eq!(
+            g.element(x).documentation.as_deref(),
+            Some("The only column.")
+        );
     }
 
     #[test]
@@ -149,7 +152,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ToolError::Failed(_)));
         assert!(events.is_empty());
-        let missing = tool.invoke(&mut bb, &ToolArgs::new(), &mut events).unwrap_err();
+        let missing = tool
+            .invoke(&mut bb, &ToolArgs::new(), &mut events)
+            .unwrap_err();
         assert!(matches!(missing, ToolError::MissingArgument(_)));
     }
 }

@@ -265,7 +265,10 @@ mod tests {
         let s = bb.schema(&po).unwrap();
         let matrix = bb.matrix(&po, &inv).unwrap();
         let ship = s.find_by_name("shipTo").unwrap();
-        assert_eq!(matrix.row_meta(ship).unwrap().variable.as_deref(), Some("shipto"));
+        assert_eq!(
+            matrix.row_meta(ship).unwrap().variable.as_deref(),
+            Some("shipto")
+        );
     }
 
     #[test]
@@ -328,7 +331,12 @@ mod tests {
         );
         assert!(cascade.is_empty());
         assert_eq!(
-            bb.matrix(&po, &inv).unwrap().col_meta(total).unwrap().code.as_deref(),
+            bb.matrix(&po, &inv)
+                .unwrap()
+                .col_meta(total)
+                .unwrap()
+                .code
+                .as_deref(),
             Some("handwritten")
         );
     }
@@ -347,7 +355,9 @@ mod tests {
             propose_conversion("$x", Some(&DataType::Integer), Some(&DataType::Text)),
             "string(data($x))"
         );
-        assert!(propose_conversion("$x", Some(&DataType::Date), Some(&DataType::Boolean))
-            .contains("TODO"));
+        assert!(
+            propose_conversion("$x", Some(&DataType::Date), Some(&DataType::Boolean))
+                .contains("TODO")
+        );
     }
 }

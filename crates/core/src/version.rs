@@ -50,8 +50,14 @@ pub fn diff(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
     let old_keys: BTreeSet<&String> = old_map.keys().collect();
     let new_keys: BTreeSet<&String> = new_map.keys().collect();
     SchemaDiff {
-        added: new_keys.difference(&old_keys).map(|s| (*s).clone()).collect(),
-        removed: old_keys.difference(&new_keys).map(|s| (*s).clone()).collect(),
+        added: new_keys
+            .difference(&old_keys)
+            .map(|s| (*s).clone())
+            .collect(),
+        removed: old_keys
+            .difference(&new_keys)
+            .map(|s| (*s).clone())
+            .collect(),
         changed: old_keys
             .intersection(&new_keys)
             .filter(|k| old_map[**k] != new_map[**k])
@@ -86,9 +92,7 @@ impl SchemaVersions {
 
     /// A specific version (1-based).
     pub fn version(&self, id: &SchemaId, version: u32) -> Option<&SchemaGraph> {
-        self.chains
-            .get(id)?
-            .get(version.checked_sub(1)? as usize)
+        self.chains.get(id)?.get(version.checked_sub(1)? as usize)
     }
 
     /// The latest version.

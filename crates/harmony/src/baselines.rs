@@ -107,7 +107,11 @@ mod tests {
             .build();
         let t = SchemaBuilder::new("t", Metamodel::Relational)
             .open("CUSTOMER")
-            .attr_doc("identifier", DataType::Integer, "Unique customer identifier.")
+            .attr_doc(
+                "identifier",
+                DataType::Integer,
+                "Unique customer identifier.",
+            )
             .attr("ship_to", DataType::Text)
             .close()
             .build();

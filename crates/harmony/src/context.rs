@@ -145,12 +145,18 @@ impl<'a> MatchContext<'a> {
 
     /// The samples recorded for a source element (empty when none).
     pub fn src_samples(&self, id: ElementId) -> &[String] {
-        self.source_samples.get(&id).map(Vec::as_slice).unwrap_or(&[])
+        self.source_samples
+            .get(&id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The samples recorded for a target element (empty when none).
     pub fn tgt_samples(&self, id: ElementId) -> &[String] {
-        self.target_samples.get(&id).map(Vec::as_slice).unwrap_or(&[])
+        self.target_samples
+            .get(&id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Features of a source element.
@@ -212,13 +218,21 @@ mod tests {
         let d = Domain::new("surface").with_value("ASP", "Asphalt surface");
         let s = SchemaBuilder::new("src", Metamodel::Relational)
             .open("RUNWAY")
-            .attr_doc("SURFACE_CD", DataType::Coded("surface".into()), "Coded runway surface type.")
+            .attr_doc(
+                "SURFACE_CD",
+                DataType::Coded("surface".into()),
+                "Coded runway surface type.",
+            )
             .domain_for_last_attr(&d)
             .close()
             .build();
         let t = SchemaBuilder::new("tgt", Metamodel::Xml)
             .open("runway")
-            .attr_doc("surfaceType", DataType::Text, "The runway surface classification.")
+            .attr_doc(
+                "surfaceType",
+                DataType::Text,
+                "The runway surface classification.",
+            )
             .close()
             .build();
         (s, t)
@@ -258,7 +272,10 @@ mod tests {
         let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
         let attr = s.find_by_name("SURFACE_CD").unwrap();
         assert_eq!(ctx.src(attr).domain_codes, ["asp"]);
-        assert!(ctx.src(attr).domain_meaning_stems.contains(&"asphalt".to_owned()));
+        assert!(ctx
+            .src(attr)
+            .domain_meaning_stems
+            .contains(&"asphalt".to_owned()));
         let tattr = t.find_by_name("surfaceType").unwrap();
         assert!(ctx.tgt(tattr).domain_codes.is_empty());
     }

@@ -81,7 +81,11 @@ pub struct HarmonyEngine {
 
 impl Default for HarmonyEngine {
     fn default() -> Self {
-        HarmonyEngine::new(default_suite(), VoteMerger::default(), FloodingConfig::default())
+        HarmonyEngine::new(
+            default_suite(),
+            VoteMerger::default(),
+            FloodingConfig::default(),
+        )
     }
 }
 
@@ -156,8 +160,14 @@ impl HarmonyEngine {
     ) -> MatchResult {
         let mut ctx =
             MatchContext::build(source, target, &self.thesaurus, self.corpus_seed.clone());
-        ctx.set_samples(crate::context::SchemaSide::Source, self.source_samples.clone());
-        ctx.set_samples(crate::context::SchemaSide::Target, self.target_samples.clone());
+        ctx.set_samples(
+            crate::context::SchemaSide::Source,
+            self.source_samples.clone(),
+        );
+        ctx.set_samples(
+            crate::context::SchemaSide::Target,
+            self.target_samples.clone(),
+        );
         let ctx = ctx;
 
         // Stage 2 (Figure 1): every voter scores every matchable pair.
@@ -231,8 +241,8 @@ impl HarmonyEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iwb_loaders::{SchemaLoader, XsdLoader};
     use iwb_loaders::xsd::{FIG2_SOURCE_XSD, FIG2_TARGET_XSD};
+    use iwb_loaders::{SchemaLoader, XsdLoader};
     use iwb_model::{DataType, Metamodel, SchemaBuilder};
 
     fn fig2() -> (SchemaGraph, SchemaGraph) {
@@ -284,7 +294,10 @@ mod tests {
         let sub = s.find_by_name("subtotal").unwrap();
         let total = t.find_by_name("total").unwrap();
         assert!(result.vote_of("name", sub, total).value() > 0.0);
-        assert_eq!(result.vote_of("nonexistent", sub, total), Confidence::UNKNOWN);
+        assert_eq!(
+            result.vote_of("nonexistent", sub, total),
+            Confidence::UNKNOWN
+        );
     }
 
     #[test]

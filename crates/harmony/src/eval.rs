@@ -169,7 +169,9 @@ mod tests {
             .attr("y", DataType::Text)
             .close()
             .build();
-        let gold: GoldStandard = [("s/e/a", "t/f/x"), ("s/e/b", "t/f/y")].into_iter().collect();
+        let gold: GoldStandard = [("s/e/a", "t/f/x"), ("s/e/b", "t/f/y")]
+            .into_iter()
+            .collect();
         let a = s.find_by_name("a").unwrap();
         let b = s.find_by_name("b").unwrap();
         let x = t.find_by_name("x").unwrap();

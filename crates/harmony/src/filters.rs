@@ -253,9 +253,7 @@ mod tests {
         let fs = FilterSet::new().with_node(NodeFilter::MaxDepth(Side::Source, 1));
         let links = fs.visible(&m, &s, &t, &HashSet::new());
         // Source attributes (depth 2) are disabled → their links gone.
-        assert!(links
-            .iter()
-            .all(|l| s.depth(l.src) <= 1));
+        assert!(links.iter().all(|l| s.depth(l.src) <= 1));
         // Element-level link still present.
         assert!(links
             .iter()

@@ -193,7 +193,10 @@ mod tests {
             ..Default::default()
         };
         flood(&mut m, &s, &t, &HashSet::new(), &cfg);
-        assert!(m.get(sku, given).value() < 0.3, "mismatched parent lowers child");
+        assert!(
+            m.get(sku, given).value() < 0.3,
+            "mismatched parent lowers child"
+        );
     }
 
     #[test]

@@ -106,11 +106,9 @@ impl ScoreMatrix {
 
     /// Iterate `(src, tgt, score)` over every cell, row-major.
     pub fn iter(&self) -> impl Iterator<Item = (ElementId, ElementId, Confidence)> + '_ {
-        self.src_ids.iter().flat_map(move |&s| {
-            self.tgt_ids
-                .iter()
-                .map(move |&t| (s, t, self.get(s, t)))
-        })
+        self.src_ids
+            .iter()
+            .flat_map(move |&s| self.tgt_ids.iter().map(move |&t| (s, t, self.get(s, t))))
     }
 
     /// The column with the maximal score in a row, with the score

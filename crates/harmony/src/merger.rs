@@ -70,8 +70,10 @@ impl VoteMerger {
 
     /// Set a voter's weight explicitly (clamped to the legal range).
     pub fn set_weight(&mut self, voter: &str, weight: f64) {
-        self.weights
-            .insert(voter.to_owned(), weight.clamp(self.min_weight, self.max_weight));
+        self.weights.insert(
+            voter.to_owned(),
+            weight.clamp(self.min_weight, self.max_weight),
+        );
     }
 
     /// All learned weights, by voter name.
@@ -137,8 +139,8 @@ impl VoteMerger {
                 continue; // voter abstained throughout; leave its weight
             }
             let accuracy = agreement / evidence; // in [-1, 1]
-            // §4.3 guard: if the voter was saturated on most judged pairs
-            // the user probably drew on the same evidence — damp growth.
+                                                 // §4.3 guard: if the voter was saturated on most judged pairs
+                                                 // the user probably drew on the same evidence — damp growth.
             let saturated_frac = saturation / feedback.len() as f64;
             let cap = if saturated_frac > 0.5 {
                 1.0 + (self.growth_cap - 1.0) * 0.4
@@ -192,7 +194,10 @@ mod tests {
     fn empty_and_all_abstain_merge_to_unknown() {
         let m = VoteMerger::default();
         assert_eq!(m.merge(&[]), Confidence::UNKNOWN);
-        assert_eq!(m.merge(&[("a", c(0.0)), ("b", c(0.0))]), Confidence::UNKNOWN);
+        assert_eq!(
+            m.merge(&[("a", c(0.0)), ("b", c(0.0))]),
+            Confidence::UNKNOWN
+        );
     }
 
     #[test]
@@ -222,7 +227,10 @@ mod tests {
         )];
         fast.learn(&fb, &["v"], |_, fb| c(0.6 * fb.sign()));
         slow.learn(&fb, &["v"], |_, fb| c(0.95 * fb.sign()));
-        assert!(slow.weight("v") < fast.weight("v"), "§4.3 evidence-overlap guard");
+        assert!(
+            slow.weight("v") < fast.weight("v"),
+            "§4.3 evidence-overlap guard"
+        );
         assert!(slow.weight("v") > 1.0);
     }
 

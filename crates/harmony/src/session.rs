@@ -125,11 +125,7 @@ impl<'a> MatchSession<'a> {
             Confidence::REJECT
         };
         self.decisions.insert((src, tgt), c);
-        self.fresh_feedback.push(Feedback {
-            src,
-            tgt,
-            accepted,
-        });
+        self.fresh_feedback.push(Feedback { src, tgt, accepted });
         if let Some(result) = &mut self.result {
             result.matrix.set(src, tgt, c);
         }

@@ -97,9 +97,18 @@ mod tests {
 
     #[test]
     fn acronym_requires_full_cover() {
-        assert!(is_acronym("poc", &["point".into(), "of".into(), "contact".into()]));
-        assert!(!is_acronym("pc", &["point".into(), "of".into(), "contact".into()]));
+        assert!(is_acronym(
+            "poc",
+            &["point".into(), "of".into(), "contact".into()]
+        ));
+        assert!(!is_acronym(
+            "pc",
+            &["point".into(), "of".into(), "contact".into()]
+        ));
         assert!(!is_acronym("poc", &["contact".into()]));
-        assert!(!is_acronym("xyz", &["point".into(), "of".into(), "contact".into()]));
+        assert!(!is_acronym(
+            "xyz",
+            &["point".into(), "of".into(), "contact".into()]
+        ));
     }
 }

@@ -92,15 +92,31 @@ mod tests {
     fn schemas() -> (SchemaGraph, SchemaGraph) {
         let s = SchemaBuilder::new("s", Metamodel::Relational)
             .open("AIRPORT")
-            .attr_doc("IDENT", DataType::Text, "The unique ICAO identifier assigned to the airport.")
-            .attr_doc("ELEV", DataType::Integer, "Field elevation above mean sea level in feet.")
+            .attr_doc(
+                "IDENT",
+                DataType::Text,
+                "The unique ICAO identifier assigned to the airport.",
+            )
+            .attr_doc(
+                "ELEV",
+                DataType::Integer,
+                "Field elevation above mean sea level in feet.",
+            )
             .attr("NODOC", DataType::Text)
             .close()
             .build();
         let t = SchemaBuilder::new("t", Metamodel::Xml)
             .open("facility")
-            .attr_doc("identifier", DataType::Text, "Unique ICAO identifier of this airport facility.")
-            .attr_doc("runwayCount", DataType::Integer, "Number of active runways at the facility.")
+            .attr_doc(
+                "identifier",
+                DataType::Text,
+                "Unique ICAO identifier of this airport facility.",
+            )
+            .attr_doc(
+                "runwayCount",
+                DataType::Integer,
+                "Number of active runways at the facility.",
+            )
             .close()
             .build();
         (s, t)

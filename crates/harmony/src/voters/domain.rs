@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn identical_codes_match_directly() {
-        let d = Domain::new("d").with_value("ASP", "x").with_value("CON", "y");
+        let d = Domain::new("d")
+            .with_value("ASP", "x")
+            .with_value("CON", "y");
         let s = SchemaBuilder::new("s", Metamodel::Relational)
             .open("A")
             .attr("c1", DataType::Coded("d".into()))

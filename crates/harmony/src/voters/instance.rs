@@ -88,13 +88,22 @@ mod tests {
         let c1 = s.find_by_name("c1").unwrap();
         let c2 = s.find_by_name("c2").unwrap();
         let k1 = t.find_by_name("k1").unwrap();
-        ctx.set_samples(SchemaSide::Source, [
-            (c1, vals(&["ASP", "CON", "GRS"])),
-            (c2, vals(&["red", "green", "blue"])),
-        ]);
-        ctx.set_samples(SchemaSide::Target, [(k1, vals(&["asp", "con", "grs", "dirt"]))]);
+        ctx.set_samples(
+            SchemaSide::Source,
+            [
+                (c1, vals(&["ASP", "CON", "GRS"])),
+                (c2, vals(&["red", "green", "blue"])),
+            ],
+        );
+        ctx.set_samples(
+            SchemaSide::Target,
+            [(k1, vals(&["asp", "con", "grs", "dirt"]))],
+        );
         let v = InstanceVoter::default();
-        assert!(v.vote(&ctx, c1, k1).value() > 0.4, "case-insensitive overlap");
+        assert!(
+            v.vote(&ctx, c1, k1).value() > 0.4,
+            "case-insensitive overlap"
+        );
         assert!(v.vote(&ctx, c2, k1).value() < 0.0, "disjoint values");
     }
 
@@ -109,6 +118,10 @@ mod tests {
         assert_eq!(v.vote(&ctx, c1, k1), Confidence::UNKNOWN);
         ctx.set_samples(SchemaSide::Source, [(c1, vals(&["x", "y"]))]);
         ctx.set_samples(SchemaSide::Target, [(k1, vals(&["x", "y"]))]);
-        assert_eq!(v.vote(&ctx, c1, k1), Confidence::UNKNOWN, "below min_distinct");
+        assert_eq!(
+            v.vote(&ctx, c1, k1),
+            Confidence::UNKNOWN,
+            "below min_distinct"
+        );
     }
 }

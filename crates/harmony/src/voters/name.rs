@@ -43,11 +43,8 @@ impl NameVoter {
         } else {
             (b_tokens, a_tokens)
         };
-        let overlap = small
-            .iter()
-            .filter(|t| large.contains(t))
-            .count() as f64
-            / small.len() as f64;
+        let overlap =
+            small.iter().filter(|t| large.contains(t)).count() as f64 / small.len() as f64;
         0.4 * jw + 0.35 * dice + 0.25 * overlap
     }
 }

@@ -94,7 +94,10 @@ mod tests {
         let v = ThesaurusVoter::default();
         let acft = s.find_by_name("ACFT_TYPE").unwrap();
         let plane = t.find_by_name("airplaneKind").unwrap();
-        assert!(v.vote(&ctx, acft, plane).value() > 0.5, "acft~airplane, type~kind");
+        assert!(
+            v.vote(&ctx, acft, plane).value() > 0.5,
+            "acft~airplane, type~kind"
+        );
     }
 
     #[test]

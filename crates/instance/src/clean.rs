@@ -180,7 +180,11 @@ impl Cleaner {
             return (a.1.clone(), None);
         }
         let rank = |s: &str| self.reliability.get(s).copied().unwrap_or(0);
-        let (kept, discarded) = if rank(b.0) > rank(a.0) { (b, a) } else { (a, b) };
+        let (kept, discarded) = if rank(b.0) > rank(a.0) {
+            (b, a)
+        } else {
+            (a, b)
+        };
         (
             kept.1.clone(),
             Some(CleaningAction::ResolvedContradiction {
@@ -291,9 +295,8 @@ mod tests {
 
     #[test]
     fn nested_paths_null_correctly() {
-        let mut records = vec![Node::elem("r").with(
-            Node::elem("specs").with_leaf("length_ft", 99.0),
-        )];
+        let mut records =
+            vec![Node::elem("r").with(Node::elem("specs").with_leaf("length_ft", 99.0))];
         let c = Cleaner::new().with_rule(CleaningRule::Range {
             field: "specs/length_ft".into(),
             min: 500.0,

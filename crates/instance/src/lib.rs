@@ -15,5 +15,7 @@
 pub mod clean;
 pub mod linkage;
 
-pub use clean::{CleaningAction, CleaningRule, Cleaner};
-pub use linkage::{link_records, merge_cluster, BlockingKey, CompareMethod, FieldComparator, LinkageConfig};
+pub use clean::{Cleaner, CleaningAction, CleaningRule};
+pub use linkage::{
+    link_records, merge_cluster, BlockingKey, CompareMethod, FieldComparator, LinkageConfig,
+};

@@ -26,9 +26,7 @@ impl BlockingKey {
         match self {
             BlockingKey::None => String::new(),
             BlockingKey::Attribute(f) => record.value_at(f).as_str().to_lowercase(),
-            BlockingKey::SoundexOf(f) => {
-                soundex(&record.value_at(f).as_str()).unwrap_or_default()
-            }
+            BlockingKey::SoundexOf(f) => soundex(&record.value_at(f).as_str()).unwrap_or_default(),
         }
     }
 }
@@ -212,7 +210,10 @@ impl UnionFind {
             }
             by_root.entry(r).or_default().push(i);
         }
-        order.into_iter().map(|r| by_root.remove(&r).unwrap()).collect()
+        order
+            .into_iter()
+            .map(|r| by_root.remove(&r).unwrap())
+            .collect()
     }
 }
 

@@ -21,7 +21,11 @@ fn records(names: &[String]) -> Vec<Node> {
 fn config(threshold: f64, blocking: BlockingKey) -> LinkageConfig {
     LinkageConfig {
         blocking,
-        comparators: vec![FieldComparator::new("name", CompareMethod::JaroWinkler, 1.0)],
+        comparators: vec![FieldComparator::new(
+            "name",
+            CompareMethod::JaroWinkler,
+            1.0,
+        )],
         threshold,
     }
 }

@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn levenshtein_is_symmetric() {
-        assert_eq!(levenshtein("shipTo", "shippingInfo"), levenshtein("shippingInfo", "shipTo"));
+        assert_eq!(
+            levenshtein("shipTo", "shippingInfo"),
+            levenshtein("shippingInfo", "shipTo")
+        );
     }
 
     #[test]

@@ -90,9 +90,7 @@ mod tests {
     #[test]
     fn concatenation_robustness() {
         assert!(dice_coefficient("lastname", "lastName".to_lowercase().as_str(), 2) > 0.9);
-        assert!(
-            dice_coefficient("subtotal", "total", 2) > dice_coefficient("subtotal", "name", 2)
-        );
+        assert!(dice_coefficient("subtotal", "total", 2) > dice_coefficient("subtotal", "name", 2));
     }
 
     #[test]

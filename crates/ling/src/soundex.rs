@@ -31,10 +31,7 @@ fn digit(c: u8) -> Option<u8> {
 /// assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
 /// ```
 pub fn soundex(word: &str) -> Option<String> {
-    let bytes: Vec<u8> = word
-        .bytes()
-        .filter(|b| b.is_ascii_alphabetic())
-        .collect();
+    let bytes: Vec<u8> = word.bytes().filter(|b| b.is_ascii_alphabetic()).collect();
     let &first = bytes.first()?;
     let mut code = String::new();
     code.push(first.to_ascii_uppercase() as char);
@@ -84,7 +81,7 @@ mod tests {
             ("Rupert", "R163"),
             ("Ashcraft", "A261"), // h transparent between s and c
             ("Ashcroft", "A261"),
-            ("Tymczak", "T522"),  // vowel separates cz
+            ("Tymczak", "T522"), // vowel separates cz
             ("Pfister", "P236"),
             ("Honeyman", "H555"),
             ("Jackson", "J250"),

@@ -5,17 +5,17 @@
 
 /// Alphabetically ordered stop list (binary-searchable).
 static STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are",
-    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
-    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "etc", "few",
-    "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
-    "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just", "may",
-    "me", "might", "more", "most", "must", "my", "no", "nor", "not", "of", "off", "on", "once",
-    "only", "or", "other", "our", "ours", "out", "over", "own", "same", "shall", "she",
-    "should", "so", "some", "such", "than", "that", "the", "their", "theirs", "them", "then",
-    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
-    "upon", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
-    "whom", "why", "will", "with", "would", "you", "your", "yours",
+    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
+    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "etc", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his",
+    "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just", "may", "me", "might",
+    "more", "most", "must", "my", "no", "nor", "not", "of", "off", "on", "once", "only", "or",
+    "other", "our", "ours", "out", "over", "own", "same", "shall", "she", "should", "so", "some",
+    "such", "than", "that", "the", "their", "theirs", "them", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up", "upon", "very", "was", "we",
+    "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with",
+    "would", "you", "your", "yours",
 ];
 
 /// True if `word` (lowercase) is a stop word.

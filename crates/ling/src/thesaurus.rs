@@ -167,7 +167,10 @@ impl Thesaurus {
 
     /// Expand `word` if it is a known abbreviation, else return it as-is.
     pub fn expand<'a>(&'a self, word: &'a str) -> &'a str {
-        self.abbreviations.get(word).map(String::as_str).unwrap_or(word)
+        self.abbreviations
+            .get(word)
+            .map(String::as_str)
+            .unwrap_or(word)
     }
 
     /// True if the two words are synonymous: equal after abbreviation

@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn pascal_and_acronym_runs() {
         assert_eq!(split_identifier("XMLSchema"), ["xml", "schema"]);
-        assert_eq!(split_identifier("ParseXMLSchema"), ["parse", "xml", "schema"]);
+        assert_eq!(
+            split_identifier("ParseXMLSchema"),
+            ["parse", "xml", "schema"]
+        );
         assert_eq!(split_identifier("URI"), ["uri"]);
     }
 
@@ -109,11 +112,17 @@ mod tests {
     #[test]
     fn prose_tokenisation() {
         let t = tokenize_prose("The pre-tax sum, in U.S. dollars (USD).");
-        assert_eq!(t, ["the", "pre", "tax", "sum", "in", "u", "s", "dollars", "usd"]);
+        assert_eq!(
+            t,
+            ["the", "pre", "tax", "sum", "in", "u", "s", "dollars", "usd"]
+        );
     }
 
     #[test]
     fn prose_keeps_numbers() {
-        assert_eq!(tokenize_prose("code 42 means B747"), ["code", "42", "means", "b747"]);
+        assert_eq!(
+            tokenize_prose("code 42 means B747"),
+            ["code", "42", "means", "b747"]
+        );
     }
 }

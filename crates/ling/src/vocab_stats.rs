@@ -109,7 +109,13 @@ impl DocStats {
         let _ = writeln!(
             out,
             "{:<10} {:>11} {:>13} {:>11} {:>12} {:>11} {:>13}",
-            "Item", "Item Count", "# With Defn", "% With Defn", "Word Count", "Words/Item", "Words/Defn"
+            "Item",
+            "Item Count",
+            "# With Defn",
+            "% With Defn",
+            "Word Count",
+            "Words/Item",
+            "Words/Defn"
         );
         for (kind, r) in self.rows() {
             let _ = writeln!(

@@ -99,21 +99,29 @@ mod tests {
         assert_eq!(report.applied, 2);
         assert_eq!(report.unresolved, 0);
         let ident = g.find_by_path("db/AIRPORT/IDENT").unwrap();
-        assert_eq!(g.element(ident).documentation.as_deref(), Some("The ICAO identifier."));
+        assert_eq!(
+            g.element(ident).documentation.as_deref(),
+            Some("The ICAO identifier.")
+        );
     }
 
     #[test]
     fn existing_docs_kept_unless_overwrite() {
         let mut g = graph();
-        let report =
-            apply_dictionary(&mut g, "AIRPORT/NAME = new definition", false).unwrap();
+        let report = apply_dictionary(&mut g, "AIRPORT/NAME = new definition", false).unwrap();
         assert_eq!(report.applied, 0);
         let name = g.find_by_path("db/AIRPORT/NAME").unwrap();
-        assert_eq!(g.element(name).documentation.as_deref(), Some("existing doc"));
+        assert_eq!(
+            g.element(name).documentation.as_deref(),
+            Some("existing doc")
+        );
 
         let report = apply_dictionary(&mut g, "AIRPORT/NAME = new definition", true).unwrap();
         assert_eq!(report.overwritten, 1);
-        assert_eq!(g.element(name).documentation.as_deref(), Some("new definition"));
+        assert_eq!(
+            g.element(name).documentation.as_deref(),
+            Some("new definition")
+        );
     }
 
     #[test]

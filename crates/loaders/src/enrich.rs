@@ -105,8 +105,7 @@ pub fn attach_inferred(graph: &mut SchemaGraph, inferred: &[InferredDomain]) -> 
         }
         let dom = inf.domain.attach(graph);
         graph.add_cross_edge(inf.attribute, EdgeKind::HasDomain, dom);
-        graph.element_mut(inf.attribute).data_type =
-            Some(DataType::Coded(inf.domain.name.clone()));
+        graph.element_mut(inf.attribute).data_type = Some(DataType::Coded(inf.domain.name.clone()));
         attached += 1;
     }
     attached
@@ -115,9 +114,7 @@ pub fn attach_inferred(graph: &mut SchemaGraph, inferred: &[InferredDomain]) -> 
 /// A value "looks like a code" when it is short and has no interior
 /// whitespace (ASP, CON, B747, 01, ACTIVE).
 fn looks_like_code(v: &str, config: &InferenceConfig) -> bool {
-    !v.is_empty()
-        && v.len() <= config.max_code_length
-        && !v.chars().any(char::is_whitespace)
+    !v.is_empty() && v.len() <= config.max_code_length && !v.chars().any(char::is_whitespace)
 }
 
 #[cfg(test)]
@@ -142,10 +139,12 @@ mod tests {
         vec![
             (
                 sfc,
-                ["ASP", "CON", "ASP", "GRS", "ASP", "CON", "ASP", "GRS", "CON"]
-                    .iter()
-                    .map(|s| (*s).to_string())
-                    .collect(),
+                [
+                    "ASP", "CON", "ASP", "GRS", "ASP", "CON", "ASP", "GRS", "CON",
+                ]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
             ),
             (
                 remarks,
@@ -179,7 +178,9 @@ mod tests {
         assert_eq!(n, 2);
         let sfc = g.find_by_name("SFC_CD").unwrap();
         assert!(matches!(g.element(sfc).data_type, Some(DataType::Coded(_))));
-        assert!(g.cross_edges_from(sfc).any(|e| e.kind == EdgeKind::HasDomain));
+        assert!(g
+            .cross_edges_from(sfc)
+            .any(|e| e.kind == EdgeKind::HasDomain));
         assert!(iwb_model::validate(&g).is_empty());
         // Re-attachment is idempotent.
         assert_eq!(attach_inferred(&mut g, &inferred), 0);

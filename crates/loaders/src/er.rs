@@ -99,11 +99,10 @@ impl SchemaLoader for ErLoader {
                             break;
                         }
                     }
-                    let mut attr = SchemaElement::new(ElementKind::Attribute, attr_name)
-                        .with_type(data_type);
+                    let mut attr =
+                        SchemaElement::new(ElementKind::Attribute, attr_name).with_type(data_type);
                     attr.documentation = p.maybe_string();
-                    let attr_id =
-                        graph.add_child(entity, EdgeKind::ContainsAttribute, attr);
+                    let attr_id = graph.add_child(entity, EdgeKind::ContainsAttribute, attr);
                     if is_key {
                         key_attrs.push(attr_id);
                     }
@@ -129,8 +128,7 @@ impl SchemaLoader for ErLoader {
                 let mut node = SchemaElement::new(ElementKind::Relationship, name);
                 // Doc can precede or follow the connects clause.
                 node.documentation = p.maybe_string();
-                let rel =
-                    graph.add_child(graph.root(), EdgeKind::ContainsRelationship, node);
+                let rel = graph.add_child(graph.root(), EdgeKind::ContainsRelationship, node);
                 p.expect_word("connects")?;
                 loop {
                     let target = p.word()?;
@@ -152,7 +150,10 @@ impl SchemaLoader for ErLoader {
 
         for (rel, target) in pending_connects {
             let entity = entities.get(&target).copied().ok_or_else(|| {
-                LoadError::new("er", format!("relationship connects unknown entity {target}"))
+                LoadError::new(
+                    "er",
+                    format!("relationship connects unknown entity {target}"),
+                )
             })?;
             graph.add_cross_edge(rel, EdgeKind::Connects, entity);
         }
@@ -380,7 +381,10 @@ mod tests {
         assert_eq!(edge.kind, EdgeKind::HasDomain);
         let dom = Domain::detach(&g, edge.to).unwrap();
         assert_eq!(dom.values.len(), 3);
-        assert_eq!(dom.value("GRS").unwrap().meaning.as_deref(), Some("Grass or turf surface"));
+        assert_eq!(
+            dom.value("GRS").unwrap().meaning.as_deref(),
+            Some("Grass or turf surface")
+        );
     }
 
     #[test]

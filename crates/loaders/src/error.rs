@@ -32,7 +32,11 @@ impl LoadError {
 impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "{} load error at line {}: {}", self.format, self.line, self.message)
+            write!(
+                f,
+                "{} load error at line {}: {}",
+                self.format, self.line, self.message
+            )
         } else {
             write!(f, "{} load error: {}", self.format, self.message)
         }
@@ -51,6 +55,9 @@ mod tests {
             LoadError::at("xsd", 3, "boom").to_string(),
             "xsd load error at line 3: boom"
         );
-        assert_eq!(LoadError::new("er", "boom").to_string(), "er load error: boom");
+        assert_eq!(
+            LoadError::new("er", "boom").to_string(),
+            "er load error: boom"
+        );
     }
 }

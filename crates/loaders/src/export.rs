@@ -29,7 +29,9 @@ pub fn to_er_text(graph: &SchemaGraph) -> String {
 
     // Domains first (the loader requires them before use).
     for dom_id in graph.ids_of_kind(ElementKind::Domain) {
-        let Some(domain) = Domain::detach(graph, dom_id) else { continue };
+        let Some(domain) = Domain::detach(graph, dom_id) else {
+            continue;
+        };
         match &domain.documentation {
             Some(doc) => {
                 let _ = writeln!(out, "domain {} \"{}\" {{", domain.name, escape(doc));
@@ -112,7 +114,12 @@ pub fn to_er_text(graph: &SchemaGraph) -> String {
         if connects.is_empty() {
             continue;
         }
-        let _ = write!(out, "relationship {} connects {}", rel.name, connects.join(", "));
+        let _ = write!(
+            out,
+            "relationship {} connects {}",
+            rel.name,
+            connects.join(", ")
+        );
         if let Some(doc) = &rel.documentation {
             let _ = write!(out, " \"{}\"", escape(doc));
         }
@@ -269,7 +276,9 @@ mod tests {
         assert_eq!(g1.len(), g2.len(), "element counts differ:\n{text}");
         for (id, el) in g1.iter() {
             let path = g1.name_path(id);
-            let other = g2.find_by_path(&path).unwrap_or_else(|| panic!("missing {path}"));
+            let other = g2
+                .find_by_path(&path)
+                .unwrap_or_else(|| panic!("missing {path}"));
             let o = g2.element(other);
             assert_eq!(el.kind, o.kind, "{path}");
             assert_eq!(el.data_type, o.data_type, "{path}");
@@ -293,7 +302,10 @@ mod tests {
         let g2 = SqlDdlLoader.load(&ddl, "db").unwrap();
         assert_eq!(g1.len(), g2.len(), "{ddl}");
         let name = g2.find_by_path("db/A/NAME").unwrap();
-        assert_eq!(g2.element(name).documentation.as_deref(), Some("It's a name."));
+        assert_eq!(
+            g2.element(name).documentation.as_deref(),
+            Some("It's a name.")
+        );
         assert_eq!(g2.element(name).annotations.flag("not-null"), Some(true));
         let fk = g2.find_by_path("db/B/A_ID").unwrap();
         assert_eq!(
@@ -368,7 +380,12 @@ mod registry_round_trip {
                     .map(|e| g.name_path(e.to))
                     .collect()
             };
-            assert_eq!(key_participants(g1), key_participants(&g2), "model {}", g1.id());
+            assert_eq!(
+                key_participants(g1),
+                key_participants(&g2),
+                "model {}",
+                g1.id()
+            );
         }
     }
 }

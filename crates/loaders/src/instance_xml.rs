@@ -114,8 +114,7 @@ mod tests {
     fn round_trip_through_mapping_execution() {
         use iwb_mapper::logical::AttrRule;
         use iwb_mapper::{
-            execute, parse_expr, AttributeTransformation, EntityMapping, EntityRule,
-            LogicalMapping,
+            execute, parse_expr, AttributeTransformation, EntityMapping, EntityRule, LogicalMapping,
         };
         let doc = parse_instance(
             "<po><shipTo><firstName>Ada</firstName><subtotal>100</subtotal></shipTo></po>",
@@ -130,12 +129,13 @@ mod tests {
             )
             .with_attr(AttrRule::new(
                 "total",
-                AttributeTransformation::Scalar(
-                    parse_expr("data($src/subtotal) * 1.05").unwrap(),
-                ),
+                AttributeTransformation::Scalar(parse_expr("data($src/subtotal) * 1.05").unwrap()),
             )),
         );
         let out = execute(&mapping, &doc).unwrap();
-        assert_eq!(out.child("info").unwrap().value_at("total").as_num(), Some(105.0));
+        assert_eq!(
+            out.child("info").unwrap().value_at("total").as_num(),
+            Some(105.0)
+        );
     }
 }

@@ -102,20 +102,15 @@ impl SchemaLoader for SqlDdlLoader {
                                 let target_cols = p.paren_identifier_list()?;
                                 let tc = target_cols.first().cloned().unwrap_or_default();
                                 // Resolved after all tables are parsed.
-                                inline_refs
-                                    .push((target_table.to_uppercase(), tc.to_uppercase()));
+                                inline_refs.push((target_table.to_uppercase(), tc.to_uppercase()));
                             } else if p.eat_kw("DEFAULT") {
                                 p.skip_default_value();
                             } else {
                                 break;
                             }
                         }
-                        let id =
-                            graph.add_child(table, EdgeKind::ContainsAttribute, col);
-                        columns.insert(
-                            (table_name.to_uppercase(), col_name.to_uppercase()),
-                            id,
-                        );
+                        let id = graph.add_child(table, EdgeKind::ContainsAttribute, col);
+                        columns.insert((table_name.to_uppercase(), col_name.to_uppercase()), id);
                         for (t, c) in inline_refs {
                             pending_fks.push((id, t, c));
                         }
@@ -399,9 +394,7 @@ impl DdlParser {
             self.expect_sym(")")?;
         }
         Ok(match name.as_str() {
-            "VARCHAR" | "CHAR" | "CHARACTER" | "NVARCHAR" => {
-                DataType::VarChar(arg.unwrap_or(255))
-            }
+            "VARCHAR" | "CHAR" | "CHARACTER" | "NVARCHAR" => DataType::VarChar(arg.unwrap_or(255)),
             "TEXT" | "CLOB" | "STRING" => DataType::Text,
             "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "SERIAL" => DataType::Integer,
             "DECIMAL" | "NUMERIC" | "FLOAT" | "REAL" | "DOUBLE" | "MONEY" => DataType::Decimal,
@@ -465,9 +458,19 @@ mod tests {
     fn comments_become_documentation() {
         let g = SqlDdlLoader.load(DDL, "flights").unwrap();
         let airport = g.find_by_path("flights/AIRPORT").unwrap();
-        assert!(g.element(airport).documentation.as_deref().unwrap().contains("airport facility"));
+        assert!(g
+            .element(airport)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("airport facility"));
         let ident = g.find_by_path("flights/AIRPORT/IDENT").unwrap();
-        assert!(g.element(ident).documentation.as_deref().unwrap().contains("ICAO"));
+        assert!(g
+            .element(ident)
+            .documentation
+            .as_deref()
+            .unwrap()
+            .contains("ICAO"));
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl XmlNode {
 
     /// Child elements with the given local name.
     pub fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a XmlNode> {
-        self.children.iter().filter(move |c| c.local_name() == local)
+        self.children
+            .iter()
+            .filter(move |c| c.local_name() == local)
     }
 
     /// First child with the given local name.
@@ -330,7 +332,8 @@ mod tests {
 
     #[test]
     fn declaration_comments_and_doctype_skipped() {
-        let doc = parse("<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<!-- hi -->\n<a/>\n<!-- bye -->").unwrap();
+        let doc = parse("<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<!-- hi -->\n<a/>\n<!-- bye -->")
+            .unwrap();
         assert_eq!(doc.name, "a");
     }
 

@@ -83,7 +83,10 @@ fn load_element(
     depth: usize,
 ) -> Result<(), LoadError> {
     if depth > MAX_DEPTH {
-        return Err(LoadError::new("xsd", "element nesting exceeds supported depth"));
+        return Err(LoadError::new(
+            "xsd",
+            "element nesting exceeds supported depth",
+        ));
     }
     let name = el
         .attr("name")
@@ -288,7 +291,9 @@ mod tests {
     fn figure2_source_loads() {
         let g = XsdLoader.load(FIG2_SOURCE_XSD, "purchaseOrder").unwrap();
         assert_eq!(g.metamodel(), Metamodel::Xml);
-        let ship = g.find_by_path("purchaseOrder/purchaseOrder/shipTo").unwrap();
+        let ship = g
+            .find_by_path("purchaseOrder/purchaseOrder/shipTo")
+            .unwrap();
         assert_eq!(g.children(ship).len(), 3);
         assert!(g
             .element(ship)
@@ -349,7 +354,10 @@ mod tests {
         assert_eq!(dom_edge.kind, EdgeKind::HasDomain);
         let dom = Domain::detach(&g, dom_edge.to).unwrap();
         assert_eq!(dom.values.len(), 2);
-        assert_eq!(dom.value("ASP").unwrap().meaning.as_deref(), Some("Asphalt"));
+        assert_eq!(
+            dom.value("ASP").unwrap().meaning.as_deref(),
+            Some("Asphalt")
+        );
     }
 
     #[test]
@@ -376,7 +384,9 @@ mod tests {
 
     #[test]
     fn malformed_xml_propagates_error() {
-        assert!(XsdLoader.load("<xs:schema><xs:element></xs:schema>", "s").is_err());
+        assert!(XsdLoader
+            .load("<xs:schema><xs:element></xs:schema>", "s")
+            .is_err());
     }
 
     #[test]

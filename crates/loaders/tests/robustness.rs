@@ -1,7 +1,9 @@
 //! Fuzz-style robustness properties: loaders must reject garbage with
 //! an error, never panic, on arbitrary input.
 
-use iwb_loaders::{parse_instance, ErLoader, LoaderRegistry, SchemaLoader, SqlDdlLoader, XsdLoader};
+use iwb_loaders::{
+    parse_instance, ErLoader, LoaderRegistry, SchemaLoader, SqlDdlLoader, XsdLoader,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -121,7 +121,11 @@ mod tests {
     fn dept() -> Node {
         Node::elem("DEPARTMENT")
             .with_leaf("name", "ATC")
-            .with(Node::elem("employee").with_leaf("salary", 100.0).with_leaf("dob", "1990-03-02"))
+            .with(
+                Node::elem("employee")
+                    .with_leaf("salary", 100.0)
+                    .with_leaf("dob", "1990-03-02"),
+            )
             .with(Node::elem("employee").with_leaf("salary", 140.0))
             .with(Node::elem("employee").with_leaf("salary", 120.0))
     }

@@ -54,10 +54,7 @@ impl EntityMapping {
     pub fn instances(&self, doc: &Node) -> Vec<Node> {
         match self {
             EntityMapping::Direct { source } => occurrences(doc, source),
-            EntityMapping::Union(paths) => paths
-                .iter()
-                .flat_map(|p| occurrences(doc, p))
-                .collect(),
+            EntityMapping::Union(paths) => paths.iter().flat_map(|p| occurrences(doc, p)).collect(),
             EntityMapping::Split {
                 source,
                 discriminator,
@@ -184,9 +181,17 @@ mod tests {
     #[test]
     fn join_skips_null_keys_and_collision_keeps_left() {
         let doc = Node::elem("db")
-            .with(Node::elem("L").with_leaf("k", "1").with_leaf("shared", "left"))
+            .with(
+                Node::elem("L")
+                    .with_leaf("k", "1")
+                    .with_leaf("shared", "left"),
+            )
             .with(Node::elem("L")) // null key
-            .with(Node::elem("R").with_leaf("k", "1").with_leaf("shared", "right"));
+            .with(
+                Node::elem("R")
+                    .with_leaf("k", "1")
+                    .with_leaf("shared", "right"),
+            );
         let m = EntityMapping::Join {
             left: "L".into(),
             right: "R".into(),

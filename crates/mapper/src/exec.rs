@@ -81,17 +81,13 @@ mod tests {
             .with_attr(AttrRule::new(
                 "name",
                 AttributeTransformation::Scalar(
-                    parse_expr(
-                        "concat(data($src/lastName), concat(\", \", data($src/firstName)))",
-                    )
-                    .unwrap(),
+                    parse_expr("concat(data($src/lastName), concat(\", \", data($src/firstName)))")
+                        .unwrap(),
                 ),
             ))
             .with_attr(AttrRule::new(
                 "total",
-                AttributeTransformation::Scalar(
-                    parse_expr("data($src/subtotal) * 1.05").unwrap(),
-                ),
+                AttributeTransformation::Scalar(parse_expr("data($src/subtotal) * 1.05").unwrap()),
             )),
         );
         let out = execute(&mapping, &source).unwrap();
@@ -104,7 +100,11 @@ mod tests {
     #[test]
     fn join_union_split_and_keys_compose() {
         let source = Node::elem("db")
-            .with(Node::elem("AIRPORT").with_leaf("ident", "KJFK").with_leaf("name", "Kennedy"))
+            .with(
+                Node::elem("AIRPORT")
+                    .with_leaf("ident", "KJFK")
+                    .with_leaf("name", "Kennedy"),
+            )
             .with(
                 Node::elem("RUNWAY")
                     .with_leaf("arpt", "KJFK")
@@ -117,7 +117,9 @@ mod tests {
                     .with_leaf("number", "13R")
                     .with_leaf("surface", "CON"),
             );
-        let lookup = LookupTable::new().with("ASP", "asphalt").with("CON", "concrete");
+        let lookup = LookupTable::new()
+            .with("ASP", "asphalt")
+            .with("CON", "concrete");
         let mapping = LogicalMapping::new("facilities")
             .with_rule(
                 EntityRule::new(
@@ -192,7 +194,10 @@ mod tests {
         );
         let out = execute(&mapping, &source).unwrap();
         assert_eq!(
-            out.child("deptSummary").unwrap().value_at("avgSalary").as_num(),
+            out.child("deptSummary")
+                .unwrap()
+                .value_at("avgSalary")
+                .as_num(),
             Some(15.0)
         );
     }

@@ -137,7 +137,10 @@ impl Expr {
 
     /// Shorthand for `$var/a/b`.
     pub fn path(base: Expr, segments: &[&str]) -> Expr {
-        Expr::Path(Box::new(base), segments.iter().map(|s| (*s).to_owned()).collect())
+        Expr::Path(
+            Box::new(base),
+            segments.iter().map(|s| (*s).to_owned()).collect(),
+        )
     }
 
     /// Shorthand for a call.
@@ -402,34 +405,43 @@ mod tests {
 
     #[test]
     fn equality_is_numeric_aware() {
-        let e = Expr::Bin(BinOp::Eq, Box::new(Expr::lit("5")), Box::new(Expr::lit(5.0)));
+        let e = Expr::Bin(
+            BinOp::Eq,
+            Box::new(Expr::lit("5")),
+            Box::new(Expr::lit(5.0)),
+        );
         assert_eq!(e.eval(&Env::new()).unwrap(), Value::Bool(true));
-        let e = Expr::Bin(BinOp::Ne, Box::new(Expr::lit("a")), Box::new(Expr::lit("b")));
+        let e = Expr::Bin(
+            BinOp::Ne,
+            Box::new(Expr::lit("a")),
+            Box::new(Expr::lit("b")),
+        );
         assert_eq!(e.eval(&Env::new()).unwrap(), Value::Bool(true));
     }
 
     #[test]
     fn atomisation_joins_leaves() {
         let mut e = Env::new();
-        e.bind_node(
-            "n",
-            Node::elem("x").with_leaf("a", "1").with_leaf("b", "2"),
-        );
+        e.bind_node("n", Node::elem("x").with_leaf("a", "1").with_leaf("b", "2"));
         assert_eq!(Expr::var("n").eval(&e).unwrap(), Value::from("1 2"));
     }
 
     #[test]
     fn arithmetic_on_text_errors() {
-        let e = Expr::Bin(BinOp::Add, Box::new(Expr::lit("x")), Box::new(Expr::lit(1.0)));
-        assert!(matches!(e.eval(&Env::new()).unwrap_err(), EvalError::NotNumeric(_)));
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::lit("x")),
+            Box::new(Expr::lit(1.0)),
+        );
+        assert!(matches!(
+            e.eval(&Env::new()).unwrap_err(),
+            EvalError::NotNumeric(_)
+        ));
     }
 
     #[test]
     fn display_round_trips_shape() {
-        let e = Expr::call(
-            "concat",
-            vec![Expr::var("lName"), Expr::lit(", ")],
-        );
+        let e = Expr::call("concat", vec![Expr::var("lName"), Expr::lit(", ")]);
         assert_eq!(e.to_string(), "concat($lName, \", \")");
     }
 }

@@ -170,10 +170,7 @@ fn parse_constructor(
         return Ok(Node::elem(name.trim()));
     }
     // Single-line `<name>{ expr }</name>`.
-    if let Some((name, rest)) = line
-        .strip_prefix('<')
-        .and_then(|s| s.split_once('>'))
-    {
+    if let Some((name, rest)) = line.strip_prefix('<').and_then(|s| s.split_once('>')) {
         let close = format!("</{name}>");
         if let Some(inner) = rest.strip_suffix(close.as_str()) {
             let inner = inner.trim();
@@ -295,7 +292,8 @@ mod tests {
 
     #[test]
     fn nested_constructors() {
-        let program = "return\n  <a>\n    <b>\n      <c>{ 1 + 1 }</c>\n    </b>\n    <d/>\n  </a>\n";
+        let program =
+            "return\n  <a>\n    <b>\n      <c>{ 1 + 1 }</c>\n    </b>\n    <d/>\n  </a>\n";
         let out = run_xquery(program, &Node::elem("doc")).unwrap();
         assert_eq!(out.value_at("b/c").as_num(), Some(2.0));
         assert!(out.child("d").is_some());

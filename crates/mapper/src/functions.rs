@@ -147,8 +147,14 @@ mod tests {
             call("substring", &["hello".into(), 2i64.into(), 3i64.into()]),
             Value::from("ell")
         );
-        assert_eq!(call("substring", &["hello".into(), 3i64.into()]), Value::from("llo"));
-        assert_eq!(call("contains", &["abc".into(), "bc".into()]), Value::Bool(true));
+        assert_eq!(
+            call("substring", &["hello".into(), 3i64.into()]),
+            Value::from("llo")
+        );
+        assert_eq!(
+            call("contains", &["abc".into(), "bc".into()]),
+            Value::Bool(true)
+        );
         assert_eq!(
             call("replace", &["a-b-c".into(), "-".into(), "/".into()]),
             Value::from("a/b/c")
@@ -159,15 +165,22 @@ mod tests {
     fn unit_conversions() {
         let m = call("feet-to-meters", &[100i64.into()]).as_num().unwrap();
         assert!((m - 30.48).abs() < 1e-9);
-        let f = call("meters-to-feet", &[Value::Num(30.48)]).as_num().unwrap();
+        let f = call("meters-to-feet", &[Value::Num(30.48)])
+            .as_num()
+            .unwrap();
         assert!((f - 100.0).abs() < 1e-9);
-        let c = call("fahrenheit-to-celsius", &[212i64.into()]).as_num().unwrap();
+        let c = call("fahrenheit-to-celsius", &[212i64.into()])
+            .as_num()
+            .unwrap();
         assert!((c - 100.0).abs() < 1e-9);
     }
 
     #[test]
     fn date_functions() {
-        assert_eq!(call("year-of", &["1815-12-10".into()]).as_num(), Some(1815.0));
+        assert_eq!(
+            call("year-of", &["1815-12-10".into()]).as_num(),
+            Some(1815.0)
+        );
         assert_eq!(
             call("age-at", &["1815-12-10".into(), "1852-11-27".into()]).as_num(),
             Some(36.0)

@@ -33,15 +33,12 @@ impl KeyGen {
     pub fn generate(&self, entity: &Node) -> Value {
         match self {
             KeyGen::FromAttributes(attrs) => {
-                let parts: Vec<String> = attrs
-                    .iter()
-                    .map(|a| entity.value_at(a).as_str())
-                    .collect();
+                let parts: Vec<String> =
+                    attrs.iter().map(|a| entity.value_at(a).as_str()).collect();
                 Value::Str(parts.join(":"))
             }
             KeyGen::Skolem { name, args } => {
-                let parts: Vec<String> =
-                    args.iter().map(|a| entity.value_at(a).as_str()).collect();
+                let parts: Vec<String> = args.iter().map(|a| entity.value_at(a).as_str()).collect();
                 Value::Str(format!("{name}({})", parts.join(",")))
             }
             KeyGen::None => Value::Null,
@@ -79,7 +76,11 @@ mod tests {
             name: "strip".into(),
             args: vec!["arpt".into(), "number".into()],
         };
-        assert_ne!(other_fn.generate(&runway()), id1, "function name disambiguates");
+        assert_ne!(
+            other_fn.generate(&runway()),
+            id1,
+            "function name disambiguates"
+        );
     }
 
     #[test]

@@ -126,9 +126,7 @@ mod tests {
             )
             .with_attr(AttrRule::new(
                 "total",
-                AttributeTransformation::Scalar(
-                    parse_expr("data($src/subtotal) * 1.05").unwrap(),
-                ),
+                AttributeTransformation::Scalar(parse_expr("data($src/subtotal) * 1.05").unwrap()),
             ))
             .with_key(KeyGen::Skolem {
                 name: "ship".into(),

@@ -36,10 +36,7 @@ impl std::error::Error for ParseError {}
 
 /// Parse an expression string into an [`Expr`].
 pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
-    let mut p = P {
-        src: input,
-        pos: 0,
-    };
+    let mut p = P { src: input, pos: 0 };
     let e = p.expr()?;
     p.ws();
     if p.pos < p.src.len() {
@@ -314,10 +311,7 @@ mod tests {
     #[test]
     fn figure3_snippets_parse_and_run() {
         let mut env = Env::new();
-        env.bind_node(
-            "shipto",
-            Node::elem("shipTo").with_leaf("subtotal", 100.0),
-        );
+        env.bind_node("shipto", Node::elem("shipTo").with_leaf("subtotal", 100.0));
         env.bind_value("lName", "Lovelace");
         env.bind_value("fName", "Ada");
 
@@ -357,7 +351,11 @@ mod tests {
     #[test]
     fn string_quotes_both_kinds() {
         assert_eq!(
-            parse_expr("concat('a', \"b\")").unwrap().eval(&Env::new()).unwrap().as_str(),
+            parse_expr("concat('a', \"b\")")
+                .unwrap()
+                .eval(&Env::new())
+                .unwrap()
+                .as_str(),
             "ab"
         );
     }

@@ -117,7 +117,11 @@ fn verify_node(
         // uniqueness rather than against the schema.
         if child.name == "id" && child.value.is_some() {
             let id = child.value.clone().unwrap_or(Value::Null).as_str();
-            if !keys.entry(node.name.clone()).or_default().insert(id.clone()) {
+            if !keys
+                .entry(node.name.clone())
+                .or_default()
+                .insert(id.clone())
+            {
                 violations.push(Violation::DuplicateKey {
                     entity: node.name.clone(),
                     id,
@@ -155,13 +159,12 @@ fn check_type(
         return; // nullability is a cleaning concern (task 11)
     }
     let ok = match dt {
-        DataType::Integer => value
-            .as_num()
-            .map(|n| n.fract() == 0.0)
-            .unwrap_or(false),
+        DataType::Integer => value.as_num().map(|n| n.fract() == 0.0).unwrap_or(false),
         DataType::Decimal => value.as_num().is_some(),
-        DataType::Boolean => matches!(value, Value::Bool(_))
-            || matches!(value.as_str().as_str(), "true" | "false" | "0" | "1"),
+        DataType::Boolean => {
+            matches!(value, Value::Bool(_))
+                || matches!(value.as_str().as_str(), "true" | "false" | "0" | "1")
+        }
         DataType::Date => looks_like_date(&value.as_str()),
         DataType::DateTime => value.as_str().len() >= 10 && looks_like_date(&value.as_str()[..10]),
         DataType::VarChar(n) => value.as_str().chars().count() <= *n as usize,
@@ -218,7 +221,9 @@ mod tests {
     use iwb_model::{Metamodel, SchemaBuilder};
 
     fn target_schema() -> SchemaGraph {
-        let d = Domain::new("surface").with_value("ASP", "Asphalt").with_value("CON", "Concrete");
+        let d = Domain::new("surface")
+            .with_value("ASP", "Asphalt")
+            .with_value("CON", "Concrete");
         SchemaBuilder::new("facilities", Metamodel::Xml)
             .open("strip")
             .attr("airportName", DataType::Text)
@@ -248,8 +253,7 @@ mod tests {
 
     #[test]
     fn unknown_elements_reported() {
-        let doc = Node::elem("facilities")
-            .with(Node::elem("strip").with_leaf("bogus", "x"));
+        let doc = Node::elem("facilities").with(Node::elem("strip").with_leaf("bogus", "x"));
         let v = verify_instance(&target_schema(), &doc);
         assert!(matches!(&v[0], Violation::UnknownElement { path } if path.contains("bogus")));
     }
@@ -266,15 +270,14 @@ mod tests {
         assert!(v.iter().any(
             |x| matches!(x, Violation::TypeMismatch { expected, .. } if expected == "integer")
         ));
-        assert!(v.iter().any(
-            |x| matches!(x, Violation::TypeMismatch { expected, .. } if expected == "date")
-        ));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::TypeMismatch { expected, .. } if expected == "date")));
     }
 
     #[test]
     fn domain_membership_enforced() {
-        let doc = Node::elem("facilities")
-            .with(Node::elem("strip").with_leaf("surface", "DIRT"));
+        let doc = Node::elem("facilities").with(Node::elem("strip").with_leaf("surface", "DIRT"));
         let v = verify_instance(&target_schema(), &doc);
         assert!(matches!(&v[0], Violation::NotInDomain { code, .. } if code == "DIRT"));
     }
@@ -290,8 +293,8 @@ mod tests {
 
     #[test]
     fn nulls_are_not_type_errors() {
-        let doc = Node::elem("facilities")
-            .with(Node::elem("strip").with_leaf("lengthFt", Value::Null));
+        let doc =
+            Node::elem("facilities").with(Node::elem("strip").with_leaf("lengthFt", Value::Null));
         assert!(verify_instance(&target_schema(), &doc).is_empty());
     }
 

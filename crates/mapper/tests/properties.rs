@@ -1,8 +1,8 @@
 //! Property-based tests for the mapping substrate.
 
+use iwb_mapper::attrmap::AggregateOp;
 use iwb_mapper::expr::Env;
 use iwb_mapper::{parse_expr, AttributeTransformation, Node, Value};
-use iwb_mapper::attrmap::AggregateOp;
 use proptest::prelude::*;
 
 proptest! {

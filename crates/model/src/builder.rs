@@ -115,7 +115,8 @@ impl SchemaBuilder {
                 .map(|&(_, c)| c)
                 .find(|&c| self.graph.element(c).name == *a)
                 .unwrap_or_else(|| panic!("key attribute {a} not found under cursor"));
-            self.graph.add_cross_edge(key, EdgeKind::KeyAttribute, target);
+            self.graph
+                .add_cross_edge(key, EdgeKind::KeyAttribute, target);
         }
         self
     }
@@ -232,7 +233,10 @@ mod tests {
             .reference("db/ORDER/customer_id", "db/CUSTOMER/id")
             .build();
         let from = g.find_by_path("db/ORDER/customer_id").unwrap();
-        assert_eq!(g.cross_edges_from(from).next().unwrap().kind, EdgeKind::References);
+        assert_eq!(
+            g.cross_edges_from(from).next().unwrap().kind,
+            EdgeKind::References
+        );
     }
 
     #[test]

@@ -145,7 +145,10 @@ mod tests {
         let d = runway();
         assert!(d.contains("ASP"));
         assert!(!d.contains("XYZ"));
-        assert_eq!(d.value("CON").unwrap().meaning.as_deref(), Some("Concrete surface"));
+        assert_eq!(
+            d.value("CON").unwrap().meaning.as_deref(),
+            Some("Concrete surface")
+        );
     }
 
     #[test]

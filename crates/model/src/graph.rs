@@ -328,7 +328,10 @@ mod tests {
     #[test]
     fn parent_and_children_are_consistent() {
         let (g, ship_to, first, _) = po_graph();
-        assert_eq!(g.parent(first), Some((EdgeKind::ContainsAttribute, ship_to)));
+        assert_eq!(
+            g.parent(first),
+            Some((EdgeKind::ContainsAttribute, ship_to))
+        );
         let kids: Vec<ElementId> = g.children(ship_to).iter().map(|&(_, c)| c).collect();
         assert!(kids.contains(&first));
         assert_eq!(kids.len(), 3);
@@ -350,7 +353,10 @@ mod tests {
     fn name_paths_and_lookup() {
         let (g, _, first, _) = po_graph();
         assert_eq!(g.name_path(first), "purchaseOrder/shipTo/firstName");
-        assert_eq!(g.find_by_path("purchaseOrder/shipTo/firstName"), Some(first));
+        assert_eq!(
+            g.find_by_path("purchaseOrder/shipTo/firstName"),
+            Some(first)
+        );
         assert_eq!(g.find_by_path("purchaseOrder/shipTo/zip"), None);
         assert_eq!(g.find_by_path("wrongRoot/shipTo"), None);
         assert_eq!(g.find_by_name("firstName"), Some(first));

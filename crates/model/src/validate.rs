@@ -232,7 +232,9 @@ mod tests {
         );
         g.add_cross_edge(a, EdgeKind::KeyAttribute, a); // source not a key
         let errs = validate(&g);
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadKeyEdge(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadKeyEdge(_))));
     }
 
     #[test]

@@ -80,13 +80,21 @@ mod tests {
     #[test]
     fn subclass_transitivity_and_type_inheritance() {
         let mut st = TripleStore::new();
-        st.insert(Term::iri("iwb:Key"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("iwb:Constraint"));
+        st.insert(
+            Term::iri("iwb:Key"),
+            Term::iri(vocab::RDFS_SUBCLASS_OF),
+            Term::iri("iwb:Constraint"),
+        );
         st.insert(
             Term::iri("iwb:Constraint"),
             Term::iri(vocab::RDFS_SUBCLASS_OF),
             Term::iri(vocab::ELEMENT_CLASS),
         );
-        st.insert(Term::iri("iwb:e/pk"), Term::iri(vocab::RDF_TYPE), Term::iri("iwb:Key"));
+        st.insert(
+            Term::iri("iwb:e/pk"),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("iwb:Key"),
+        );
         let added = rdfs_closure(&mut st);
         assert!(added >= 3);
         let pk = st.lookup(&Term::iri("iwb:e/pk")).unwrap();
@@ -103,7 +111,11 @@ mod tests {
             Term::iri(vocab::RDFS_SUBPROPERTY_OF),
             Term::iri("iwb:contains-element"),
         );
-        st.insert(Term::iri("ex:a"), Term::iri("ex:contains-record"), Term::iri("ex:b"));
+        st.insert(
+            Term::iri("ex:a"),
+            Term::iri("ex:contains-record"),
+            Term::iri("ex:b"),
+        );
         rdfs_closure(&mut st);
         let a = st.lookup(&Term::iri("ex:a")).unwrap();
         let p = st.lookup(&Term::iri("iwb:contains-element")).unwrap();
@@ -114,8 +126,16 @@ mod tests {
     #[test]
     fn closure_is_idempotent() {
         let mut st = TripleStore::new();
-        st.insert(Term::iri("a"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("b"));
-        st.insert(Term::iri("b"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("c"));
+        st.insert(
+            Term::iri("a"),
+            Term::iri(vocab::RDFS_SUBCLASS_OF),
+            Term::iri("b"),
+        );
+        st.insert(
+            Term::iri("b"),
+            Term::iri(vocab::RDFS_SUBCLASS_OF),
+            Term::iri("c"),
+        );
         let first = rdfs_closure(&mut st);
         assert_eq!(first, 1);
         assert_eq!(rdfs_closure(&mut st), 0);
@@ -124,8 +144,16 @@ mod tests {
     #[test]
     fn cycles_terminate() {
         let mut st = TripleStore::new();
-        st.insert(Term::iri("a"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("b"));
-        st.insert(Term::iri("b"), Term::iri(vocab::RDFS_SUBCLASS_OF), Term::iri("a"));
+        st.insert(
+            Term::iri("a"),
+            Term::iri(vocab::RDFS_SUBCLASS_OF),
+            Term::iri("b"),
+        );
+        st.insert(
+            Term::iri("b"),
+            Term::iri(vocab::RDFS_SUBCLASS_OF),
+            Term::iri("a"),
+        );
         rdfs_closure(&mut st); // must not loop forever
         assert!(st.len() >= 2);
     }

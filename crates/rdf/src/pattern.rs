@@ -1,7 +1,7 @@
 //! Triple patterns with variables.
 
-use crate::term::{Term, TermId};
 use crate::store::TripleStore;
+use crate::term::{Term, TermId};
 use std::fmt;
 
 /// One position of a triple pattern: a constant term or a named variable.
@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn display_round_trip_shape() {
-        let p = TriplePattern::new(PatternTerm::var("s"), Term::iri("rdf:type"), Term::iri("iwb:Schema"));
+        let p = TriplePattern::new(
+            PatternTerm::var("s"),
+            Term::iri("rdf:type"),
+            Term::iri("iwb:Schema"),
+        );
         assert_eq!(p.to_string(), "?s rdf:type iwb:Schema .");
     }
 }

@@ -85,9 +85,15 @@ fn solve(
             },
         }
     };
-    let Some((s, sv)) = resolve(&pat.s) else { return };
-    let Some((p, pv)) = resolve(&pat.p) else { return };
-    let Some((o, ov)) = resolve(&pat.o) else { return };
+    let Some((s, sv)) = resolve(&pat.s) else {
+        return;
+    };
+    let Some((p, pv)) = resolve(&pat.p) else {
+        return;
+    };
+    let Some((o, ov)) = resolve(&pat.o) else {
+        return;
+    };
 
     for triple in store.matching(s, p, o) {
         let mut local = Vec::with_capacity(3);
@@ -213,8 +219,16 @@ mod tests {
     #[test]
     fn repeated_variable_within_pattern_requires_equality() {
         let mut st = sample();
-        st.insert(Term::iri("iwb:x"), Term::iri("iwb:self"), Term::iri("iwb:x"));
-        st.insert(Term::iri("iwb:y"), Term::iri("iwb:self"), Term::iri("iwb:z"));
+        st.insert(
+            Term::iri("iwb:x"),
+            Term::iri("iwb:self"),
+            Term::iri("iwb:x"),
+        );
+        st.insert(
+            Term::iri("iwb:y"),
+            Term::iri("iwb:self"),
+            Term::iri("iwb:z"),
+        );
         let sols = select(&st, &[pat("?a", "iwb:self", "?a")]);
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0]["a"], st.lookup(&Term::iri("iwb:x")).unwrap());

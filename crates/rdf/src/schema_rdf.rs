@@ -39,7 +39,11 @@ pub fn schema_to_rdf(graph: &SchemaGraph, store: &mut TripleStore) -> String {
             Term::iri(vocab::KIND),
             Term::literal(el.kind.label()),
         );
-        store.insert(subject.clone(), Term::iri(vocab::NAME), Term::literal(&el.name));
+        store.insert(
+            subject.clone(),
+            Term::iri(vocab::NAME),
+            Term::literal(&el.name),
+        );
         if let Some(t) = &el.data_type {
             store.insert(
                 subject.clone(),
@@ -113,8 +117,13 @@ pub fn schema_from_rdf(store: &TripleStore, schema_id: &str) -> Option<SchemaGra
     let type_p = store.lookup(&Term::iri(vocab::TYPE));
     let doc_p = store.lookup(&Term::iri(vocab::DOCUMENTATION));
     for t in store.matching(None, Some(kind_p), None) {
-        let Term::Iri(iri) = store.term(t.s) else { continue };
-        let Some(idx) = iri.strip_prefix(&prefix).and_then(|s| s.parse::<usize>().ok()) else {
+        let Term::Iri(iri) = store.term(t.s) else {
+            continue;
+        };
+        let Some(idx) = iri
+            .strip_prefix(&prefix)
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
             continue;
         };
         let kind = kind_from_label(store.term(t.o).as_literal()?)?;
@@ -151,8 +160,10 @@ pub fn schema_from_rdf(store: &TripleStore, schema_id: &str) -> Option<SchemaGra
                 continue;
             };
             let (Some(from), Some(to)) = (
-                si.strip_prefix(&prefix).and_then(|s| s.parse::<usize>().ok()),
-                oi.strip_prefix(&prefix).and_then(|s| s.parse::<usize>().ok()),
+                si.strip_prefix(&prefix)
+                    .and_then(|s| s.parse::<usize>().ok()),
+                oi.strip_prefix(&prefix)
+                    .and_then(|s| s.parse::<usize>().ok()),
             ) else {
                 continue;
             };
@@ -188,7 +199,10 @@ pub fn schema_from_rdf(store: &TripleStore, schema_id: &str) -> Option<SchemaGra
 }
 
 fn kind_from_label(label: &str) -> Option<ElementKind> {
-    ElementKind::all().iter().copied().find(|k| k.label() == label)
+    ElementKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.label() == label)
 }
 
 fn parse_data_type(s: &str) -> DataType {

@@ -110,12 +110,7 @@ impl TripleStore {
 
     /// All triples matching a pattern where `None` is a wildcard. Uses the
     /// most selective index for the bound positions.
-    pub fn matching(
-        &self,
-        s: Option<TermId>,
-        p: Option<TermId>,
-        o: Option<TermId>,
-    ) -> Vec<Triple> {
+    pub fn matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
         let from = |t: &(TermId, TermId, TermId)| Triple {
             s: t.0,
             p: t.1,
@@ -226,7 +221,8 @@ mod tests {
         assert_eq!(st.matching(Some(id("a")), None, Some(id("b"))).len(), 2);
         assert_eq!(st.matching(None, Some(id("p")), Some(id("b"))).len(), 2);
         assert_eq!(
-            st.matching(Some(id("a")), Some(id("p")), Some(id("b"))).len(),
+            st.matching(Some(id("a")), Some(id("p")), Some(id("b")))
+                .len(),
             1
         );
         assert!(st
@@ -239,7 +235,9 @@ mod tests {
         let mut st = store_with(&[("a", "p", "b")]);
         assert!(st.remove(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
         assert!(st.is_empty());
-        assert!(st.matching(None, Some(st.lookup(&Term::iri("p")).unwrap()), None).is_empty());
+        assert!(st
+            .matching(None, Some(st.lookup(&Term::iri("p")).unwrap()), None)
+            .is_empty());
         assert!(!st.remove(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
         assert!(!st.remove(&Term::iri("x"), &Term::iri("y"), &Term::iri("z")));
     }

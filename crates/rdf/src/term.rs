@@ -235,7 +235,10 @@ mod tests {
         assert_eq!(Term::iri("iwb:a").to_string(), "iwb:a");
         assert_eq!(Term::iri("http://x/y").to_string(), "<http://x/y>");
         assert_eq!(Term::Blank(3).to_string(), "_:b3");
-        assert_eq!(Term::literal("say \"hi\"").to_string(), "\"say \\\"hi\\\"\"");
+        assert_eq!(
+            Term::literal("say \"hi\"").to_string(),
+            "\"say \\\"hi\\\"\""
+        );
         assert_eq!(
             Term::boolean(false).to_string(),
             format!("\"false\"^^{}", crate::vocab::XSD_BOOLEAN)

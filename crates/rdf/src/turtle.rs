@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "turtle parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "turtle parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -232,9 +236,21 @@ mod tests {
     #[test]
     fn round_trip_iris_and_literals() {
         round_trip(|st| {
-            st.insert(Term::iri("iwb:cell/1"), Term::iri("iwb:code"), Term::literal("data($x) * 1.05"));
-            st.insert(Term::iri("iwb:cell/1"), Term::iri("iwb:confidence-score"), Term::double(0.8));
-            st.insert(Term::iri("iwb:cell/1"), Term::iri("iwb:is-user-defined"), Term::boolean(false));
+            st.insert(
+                Term::iri("iwb:cell/1"),
+                Term::iri("iwb:code"),
+                Term::literal("data($x) * 1.05"),
+            );
+            st.insert(
+                Term::iri("iwb:cell/1"),
+                Term::iri("iwb:confidence-score"),
+                Term::double(0.8),
+            );
+            st.insert(
+                Term::iri("iwb:cell/1"),
+                Term::iri("iwb:is-user-defined"),
+                Term::boolean(false),
+            );
         });
     }
 
@@ -284,9 +300,6 @@ mod tests {
     fn typed_literal_datatype_preserved() {
         let st = read("iwb:c iwb:score \"0.5\"^^xsd:double .").unwrap();
         let t = st.iter().next().unwrap();
-        assert_eq!(
-            st.term(t.o),
-            &Term::typed_literal("0.5", "xsd:double")
-        );
+        assert_eq!(st.term(t.o), &Term::typed_literal("0.5", "xsd:double"));
     }
 }

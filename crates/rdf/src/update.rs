@@ -213,10 +213,22 @@ mod tests {
     #[test]
     fn set_replaces_all_objects() {
         let mut st = TripleStore::new();
-        st.insert(Term::iri("cell"), Term::iri("iwb:confidence-score"), Term::double(0.5));
-        st.insert(Term::iri("cell"), Term::iri("iwb:confidence-score"), Term::double(0.6));
+        st.insert(
+            Term::iri("cell"),
+            Term::iri("iwb:confidence-score"),
+            Term::double(0.5),
+        );
+        st.insert(
+            Term::iri("cell"),
+            Term::iri("iwb:confidence-score"),
+            Term::double(0.6),
+        );
         let mut tx = Transaction::new();
-        tx.set(Term::iri("cell"), Term::iri("iwb:confidence-score"), Term::double(0.8));
+        tx.set(
+            Term::iri("cell"),
+            Term::iri("iwb:confidence-score"),
+            Term::double(0.8),
+        );
         let change = tx.commit(&mut st).unwrap();
         assert_eq!(change.deleted.len(), 2);
         assert_eq!(change.inserted.len(), 1);

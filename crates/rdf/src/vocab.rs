@@ -109,7 +109,14 @@ mod tests {
 
     #[test]
     fn vocabulary_is_prefixed() {
-        for v in [NAME, TYPE, DOCUMENTATION, CONFIDENCE_SCORE, CODE, IS_COMPLETE] {
+        for v in [
+            NAME,
+            TYPE,
+            DOCUMENTATION,
+            CONFIDENCE_SCORE,
+            CODE,
+            IS_COMPLETE,
+        ] {
             assert!(v.starts_with("iwb:"), "{v}");
         }
     }

@@ -6,11 +6,8 @@
 //! a definition; mean definition lengths ~11.1 / ~16.4 / ~3.68 words.
 
 use crate::vocabulary::{definition, pick, short_meaning, ATTR_SUFFIXES, ENTITY_NOUNS, QUALIFIERS};
-use iwb_model::{
-    DataType, Domain, EdgeKind, ElementKind, Metamodel, SchemaElement, SchemaGraph,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iwb_model::{DataType, Domain, EdgeKind, ElementKind, Metamodel, SchemaElement, SchemaGraph};
+use iwb_rng::StdRng;
 use std::collections::HashSet;
 
 /// Generator parameters. Defaults reproduce Table 1 at `scale = 1.0`.
@@ -157,7 +154,7 @@ pub fn generate_registry(config: GeneratorConfig) -> Registry {
         let mut remaining_values = values_per_model[m];
         let mut dom_idx = 0;
         while remaining_values > 0 {
-            let size = rng.gen_range(4..=40).min(remaining_values.max(1));
+            let size = rng.gen_range(4usize..=40).min(remaining_values.max(1));
             let mut dom = Domain::new(format!(
                 "{}-{}-cd-{dom_idx}",
                 pick(&mut rng, ENTITY_NOUNS),
@@ -195,8 +192,7 @@ pub fn generate_registry(config: GeneratorConfig) -> Registry {
             if is_relationship && entity_ids.len() >= 2 {
                 let mut el = SchemaElement::new(ElementKind::Relationship, name);
                 if rng.gen_bool(config.element_doc_rate) {
-                    el.documentation =
-                        Some(definition(&mut rng, base, config.element_def_words));
+                    el.documentation = Some(definition(&mut rng, base, config.element_def_words));
                 }
                 let rel = graph.add_child(graph.root(), EdgeKind::ContainsRelationship, el);
                 // Connect two distinct entities.
@@ -221,8 +217,7 @@ pub fn generate_registry(config: GeneratorConfig) -> Registry {
             for _ in 0..n_attrs {
                 let suffix = pick(&mut rng, ATTR_SUFFIXES);
                 let qual2 = pick(&mut rng, ENTITY_NOUNS);
-                let mut attr_name =
-                    format!("{}_{}", qual2.to_uppercase(), suffix.to_uppercase());
+                let mut attr_name = format!("{}_{}", qual2.to_uppercase(), suffix.to_uppercase());
                 while !used_attr_names.insert(attr_name.clone()) {
                     attr_name = format!("{attr_name}_{}", rng.gen_range(2..99));
                 }

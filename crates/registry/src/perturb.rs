@@ -11,8 +11,7 @@
 use iwb_harmony::GoldStandard;
 use iwb_ling::{split_identifier, Thesaurus};
 use iwb_model::{EdgeKind, ElementId, ElementKind, SchemaGraph};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iwb_rng::StdRng;
 use std::collections::HashMap;
 
 /// Full-form → abbreviation pairs (the inverse of the thesaurus table,
@@ -189,9 +188,17 @@ pub fn perturb_schema(source: &SchemaGraph, cfg: &PerturbConfig) -> SchemaPair {
 
 /// Perturb one element name: token-wise synonym/abbreviation
 /// substitution plus convention flip.
-fn perturb_name(rng: &mut StdRng, thesaurus: &Thesaurus, name: &str, cfg: &PerturbConfig) -> String {
+fn perturb_name(
+    rng: &mut StdRng,
+    thesaurus: &Thesaurus,
+    name: &str,
+    cfg: &PerturbConfig,
+) -> String {
     let was_upper = name.chars().any(|c| c.is_uppercase())
-        && name.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase());
+        && name
+            .chars()
+            .filter(|c| c.is_alphabetic())
+            .all(|c| c.is_uppercase());
     let tokens = split_identifier(name);
     if tokens.is_empty() {
         return name.to_owned();
@@ -276,11 +283,15 @@ mod tests {
         // Every gold pair resolves in both schemata.
         for (sp, tp) in pair.gold.iter() {
             assert!(
-                iwb_model::ElementPath::parse(sp).resolve(&pair.source).is_some(),
+                iwb_model::ElementPath::parse(sp)
+                    .resolve(&pair.source)
+                    .is_some(),
                 "{sp}"
             );
             assert!(
-                iwb_model::ElementPath::parse(tp).resolve(&pair.target).is_some(),
+                iwb_model::ElementPath::parse(tp)
+                    .resolve(&pair.target)
+                    .is_some(),
                 "{tp}"
             );
         }
@@ -333,8 +344,10 @@ mod tests {
         let none = set_doc_density(&src, 0.0, 3);
         assert_eq!(
             none.iter()
-                .filter(|(_, e)| matches!(e.kind, ElementKind::Entity | ElementKind::Attribute)
-                    && e.documentation.is_some())
+                .filter(
+                    |(_, e)| matches!(e.kind, ElementKind::Entity | ElementKind::Attribute)
+                        && e.documentation.is_some()
+                )
                 .count(),
             0
         );

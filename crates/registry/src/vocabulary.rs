@@ -6,48 +6,187 @@
 //! linguistic code paths (tokenisation, stemming, IDF) that real
 //! documentation would.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use iwb_rng::StdRng;
 
 /// Nouns used for entity names.
 pub const ENTITY_NOUNS: &[&str] = &[
-    "aircraft", "airport", "runway", "flight", "route", "waypoint", "sector", "facility",
-    "carrier", "mission", "sortie", "unit", "organization", "person", "employee", "position",
-    "billet", "vehicle", "vessel", "convoy", "shipment", "cargo", "container", "depot",
-    "warehouse", "requisition", "order", "contract", "vendor", "supplier", "item", "part",
-    "asset", "equipment", "weapon", "sensor", "radar", "antenna", "frequency", "channel",
-    "message", "report", "incident", "event", "exercise", "operation", "deployment", "location",
-    "installation", "base", "region", "country", "weather", "forecast", "observation", "hazard",
-    "clearance", "authorization", "certificate", "inspection", "maintenance", "repair",
-    "schedule", "budget", "fund", "account", "transaction", "payment", "invoice", "fuel",
-    "munition", "supply", "stock", "inventory", "track", "target", "threat", "alert",
+    "aircraft",
+    "airport",
+    "runway",
+    "flight",
+    "route",
+    "waypoint",
+    "sector",
+    "facility",
+    "carrier",
+    "mission",
+    "sortie",
+    "unit",
+    "organization",
+    "person",
+    "employee",
+    "position",
+    "billet",
+    "vehicle",
+    "vessel",
+    "convoy",
+    "shipment",
+    "cargo",
+    "container",
+    "depot",
+    "warehouse",
+    "requisition",
+    "order",
+    "contract",
+    "vendor",
+    "supplier",
+    "item",
+    "part",
+    "asset",
+    "equipment",
+    "weapon",
+    "sensor",
+    "radar",
+    "antenna",
+    "frequency",
+    "channel",
+    "message",
+    "report",
+    "incident",
+    "event",
+    "exercise",
+    "operation",
+    "deployment",
+    "location",
+    "installation",
+    "base",
+    "region",
+    "country",
+    "weather",
+    "forecast",
+    "observation",
+    "hazard",
+    "clearance",
+    "authorization",
+    "certificate",
+    "inspection",
+    "maintenance",
+    "repair",
+    "schedule",
+    "budget",
+    "fund",
+    "account",
+    "transaction",
+    "payment",
+    "invoice",
+    "fuel",
+    "munition",
+    "supply",
+    "stock",
+    "inventory",
+    "track",
+    "target",
+    "threat",
+    "alert",
 ];
 
 /// Qualifiers combined with nouns to make compound names.
 pub const QUALIFIERS: &[&str] = &[
-    "active", "primary", "secondary", "alternate", "planned", "actual", "estimated", "assigned",
-    "authorized", "current", "previous", "projected", "tactical", "strategic", "joint",
-    "regional", "local", "remote", "foreign", "domestic", "air", "ground", "maritime", "medical",
-    "logistics", "supply", "transport", "support", "command", "control",
+    "active",
+    "primary",
+    "secondary",
+    "alternate",
+    "planned",
+    "actual",
+    "estimated",
+    "assigned",
+    "authorized",
+    "current",
+    "previous",
+    "projected",
+    "tactical",
+    "strategic",
+    "joint",
+    "regional",
+    "local",
+    "remote",
+    "foreign",
+    "domestic",
+    "air",
+    "ground",
+    "maritime",
+    "medical",
+    "logistics",
+    "supply",
+    "transport",
+    "support",
+    "command",
+    "control",
 ];
 
 /// Attribute-name suffixes (the classic registry naming convention).
 pub const ATTR_SUFFIXES: &[&str] = &[
-    "identifier", "code", "name", "type", "category", "status", "date", "time", "quantity",
-    "count", "amount", "rate", "length", "width", "height", "weight", "capacity", "elevation",
-    "latitude", "longitude", "speed", "heading", "priority", "level", "grade", "rank",
-    "description", "text", "remark", "indicator", "flag", "number", "version", "source",
+    "identifier",
+    "code",
+    "name",
+    "type",
+    "category",
+    "status",
+    "date",
+    "time",
+    "quantity",
+    "count",
+    "amount",
+    "rate",
+    "length",
+    "width",
+    "height",
+    "weight",
+    "capacity",
+    "elevation",
+    "latitude",
+    "longitude",
+    "speed",
+    "heading",
+    "priority",
+    "level",
+    "grade",
+    "rank",
+    "description",
+    "text",
+    "remark",
+    "indicator",
+    "flag",
+    "number",
+    "version",
+    "source",
 ];
 
 /// Verbs/phrases used by the definition grammar.
 const DEF_VERBS: &[&str] = &[
-    "identifies", "describes", "specifies", "records", "indicates", "denotes", "represents",
-    "designates", "characterizes", "classifies", "quantifies", "establishes",
+    "identifies",
+    "describes",
+    "specifies",
+    "records",
+    "indicates",
+    "denotes",
+    "represents",
+    "designates",
+    "characterizes",
+    "classifies",
+    "quantifies",
+    "establishes",
 ];
 
 const DEF_OPENERS: &[&str] = &[
-    "The", "A", "An authoritative", "The official", "The unique", "The designated",
-    "The reported", "The recorded",
+    "The",
+    "A",
+    "An authoritative",
+    "The official",
+    "The unique",
+    "The designated",
+    "The reported",
+    "The recorded",
 ];
 
 const DEF_TAILS: &[&str] = &[
@@ -121,7 +260,6 @@ pub fn short_meaning(rng: &mut StdRng, target_words: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn definitions_hit_word_targets_on_average() {

@@ -1,0 +1,89 @@
+//! `workbenchd` — the multi-session workbench daemon.
+//!
+//! ```sh
+//! cargo run --release -p iwb-server --bin workbenchd -- --addr 127.0.0.1:7171
+//! ```
+//!
+//! Options:
+//!
+//! * `--addr HOST:PORT`        bind address (default `127.0.0.1:7171`;
+//!   port `0` picks an ephemeral port and prints it)
+//! * `--workers N`             worker threads (default 8)
+//! * `--max-sessions N`        live-session cap (default 64)
+//! * `--idle-timeout SECS`     session idle eviction (default 300)
+//! * `--read-timeout SECS`     stalled-connection drop (default 30)
+//!
+//! The daemon exits after a client issues the `shutdown` protocol
+//! command (graceful: in-flight requests drain first).
+
+use iwb_server::server::{serve, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: workbenchd [--addr HOST:PORT] [--workers N] [--max-sessions N] \
+         [--idle-timeout SECS] [--read-timeout SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("missing value for {flag}");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--max-sessions" => match value("--max-sessions").parse() {
+                Ok(n) if n > 0 => config.max_sessions = n,
+                _ => usage(),
+            },
+            "--idle-timeout" => match value("--idle-timeout").parse() {
+                Ok(secs) => config.session_idle_timeout = Duration::from_secs(secs),
+                _ => usage(),
+            },
+            "--read-timeout" => match value("--read-timeout").parse() {
+                Ok(secs) => config.read_timeout = Duration::from_secs(secs),
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    let workers = config.workers;
+    let max_sessions = config.max_sessions;
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("workbenchd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "workbenchd listening on {} (workers={workers} max-sessions={max_sessions})",
+        handle.addr()
+    );
+    handle.join();
+    println!("workbenchd: drained and stopped");
+}

@@ -1,0 +1,182 @@
+//! A small blocking client for the workbench daemon.
+//!
+//! Used by the `bench_server` load generator, the integration tests,
+//! and scripts. One [`Client`] is one connection; requests are
+//! synchronous (write command, read the `ok/err <n>`-framed reply).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One framed server reply.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Whether the server answered `ok` (vs `err`).
+    pub ok: bool,
+    /// The body (joined lines, no trailing newline).
+    pub body: String,
+}
+
+impl Response {
+    /// The body if `ok`, else an `io::Error` carrying the error body.
+    pub fn expect_ok(self) -> io::Result<String> {
+        if self.ok {
+            Ok(self.body)
+        } else {
+            Err(io::Error::other(format!("server error: {}", self.body)))
+        }
+    }
+}
+
+/// A blocking connection to `workbenchd`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A generous client-side timeout so a wedged server surfaces
+        // as an error instead of hanging the caller forever.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one single-line command and read the reply.
+    pub fn request(&mut self, command: &str) -> io::Result<Response> {
+        if command.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "multi-line commands must use request_with_heredoc",
+            ));
+        }
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Send a command with a heredoc body (the `<<EOF` marker is
+    /// appended automatically; `body` need not end with a newline).
+    pub fn request_with_heredoc(&mut self, command: &str, body: &str) -> io::Result<Response> {
+        writeln!(self.writer, "{command} <<EOF")?;
+        for line in body.lines() {
+            writeln!(self.writer, "{line}")?;
+        }
+        writeln!(self.writer, "EOF")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `session new [id]`; returns the created session id.
+    pub fn session_new(&mut self, id: Option<&str>) -> io::Result<String> {
+        let command = match id {
+            Some(id) => format!("session new {id}"),
+            None => "session new".to_owned(),
+        };
+        let body = self.request(&command)?.expect_ok()?;
+        // "session <id> created (attached)"
+        body.split_whitespace()
+            .nth(1)
+            .map(str::to_owned)
+            .ok_or_else(|| io::Error::other(format!("malformed reply: {body}")))
+    }
+
+    /// The server's `stats` body.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.request("stats")?.expect_ok()
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request("shutdown")
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut header = String::new();
+        if self.reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let header = header.trim_end();
+        let (status, count) = header
+            .split_once(' ')
+            .ok_or_else(|| io::Error::other(format!("malformed header: {header:?}")))?;
+        let ok = match status {
+            "ok" => true,
+            "err" => false,
+            other => {
+                return Err(io::Error::other(format!("malformed status: {other:?}")));
+            }
+        };
+        let n: usize = count
+            .parse()
+            .map_err(|_| io::Error::other(format!("malformed line count: {count:?}")))?;
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            lines.push(line);
+        }
+        Ok(Response {
+            ok,
+            body: lines.join("\n"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServerConfig};
+
+    #[test]
+    fn client_roundtrip_against_live_server() {
+        let handle = serve(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let pong = c.request("ping").unwrap();
+        assert!(pong.ok);
+        assert_eq!(pong.body, "pong");
+
+        let sid = c.session_new(None).unwrap();
+        assert_eq!(sid, "s1");
+        let loaded = c
+            .request_with_heredoc("load er po", "entity A { x : text }")
+            .unwrap();
+        assert!(loaded.ok, "{}", loaded.body);
+        assert!(loaded.body.contains("loaded po"));
+
+        let schema = c.request("show schema po").unwrap().expect_ok().unwrap();
+        assert!(schema.contains("[contains-entity] A"), "{schema}");
+
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("cmd load count=1"), "{stats}");
+
+        let err = c.request("frobnicate").unwrap();
+        assert!(!err.ok);
+
+        assert!(c.shutdown().unwrap().ok);
+        handle.join();
+    }
+}

@@ -1,0 +1,54 @@
+//! # iwb-server — the multi-session workbench service
+//!
+//! The paper's workbench is explicitly single-user: one engineer per
+//! workbench instance (§5.2, Figure 4). This crate turns the
+//! reproduction into a servable system: `workbenchd` is a TCP daemon
+//! that multiplexes many independent integration sessions — each one a
+//! full [`iwb_core::shell::Shell`] over its own blackboard — behind
+//! the existing line-oriented shell command language.
+//!
+//! Architecture:
+//!
+//! * [`session`] — the session registry: IDs → live shells, with
+//!   create/attach/close, an idle-eviction sweep, and a cap on live
+//!   sessions;
+//! * [`server`] — the daemon: an acceptor feeding a worker thread pool
+//!   over an mpsc channel, per-connection read timeouts, per-session
+//!   locking (sessions run in parallel, commands within a session stay
+//!   serialized), and graceful drain on shutdown;
+//! * [`stats`] — per-command counters and fixed-bucket latency
+//!   histograms, exposed through the `stats` protocol command;
+//! * [`client`] — a small blocking client used by the `bench_server`
+//!   load generator and the integration tests.
+//!
+//! ## Wire protocol
+//!
+//! Requests are the shell command language, one command per line;
+//! `load … <<EOF` opens a heredoc terminated by a line holding `EOF`,
+//! exactly as in scripts. The server adds session and admin commands:
+//!
+//! ```text
+//! session new [id]      create a session and attach this connection
+//! session attach <id>   attach to an existing session
+//! session detach        detach (the session stays alive)
+//! session close [id]    close a session (default: the attached one)
+//! session list          one line per live session
+//! session current       the attached session id
+//! stats                 server counters + latency percentiles
+//! ping                  liveness probe
+//! shutdown              begin graceful shutdown (drains in-flight)
+//! quit                  close this connection
+//! ```
+//!
+//! Every response is `ok <n>` or `err <n>` followed by exactly `n`
+//! body lines, so multi-line transcripts need no escaping.
+
+pub mod client;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use client::{Client, Response};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use session::{Session, SessionRegistry};
+pub use stats::{CommandClass, ServerStats};

@@ -1,0 +1,560 @@
+//! The TCP daemon: acceptor → channel → worker pool.
+//!
+//! One acceptor thread pushes connections into an mpsc channel; a
+//! fixed pool of workers pops them and serves each connection to
+//! completion. Per-session locking lives in [`crate::session`]:
+//! workers serving different sessions run fully in parallel, while two
+//! connections attached to the same session serialize on its shell
+//! lock. Sockets carry a short read timeout used as a poll tick, so a
+//! stalled client is dropped after `read_timeout` and every blocking
+//! point notices shutdown within a tick.
+
+use crate::session::SessionRegistry;
+use crate::stats::{CommandClass, ServerStats};
+use iwb_core::shell::{heredoc_start, HEREDOC_END};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Socket read-timeout granularity: every blocking read wakes at least
+/// this often to check the shutdown flag and the idle budget.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Acceptor poll interval while no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// How often the housekeeper sweeps for idle sessions.
+const SWEEP_TICK: Duration = Duration::from_millis(250);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (= max concurrently served connections).
+    pub workers: usize,
+    /// Cap on live sessions.
+    pub max_sessions: usize,
+    /// Idle time after which a session is evicted.
+    pub session_idle_timeout: Duration,
+    /// Idle time after which a silent connection is dropped.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 8,
+            max_sessions: 64,
+            session_idle_timeout: Duration::from_secs(300),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A handle to a running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    registry: Arc<SessionRegistry>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server stats (shared with the workers).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The session registry.
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// Begin graceful shutdown: stop accepting, let in-flight commands
+    /// finish. Returns immediately; use [`ServerHandle::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wait for every server thread to exit.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start the daemon; returns once the listener is bound and the
+/// threads are running.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::new());
+    let registry = Arc::new(SessionRegistry::new(
+        config.max_sessions,
+        config.session_idle_timeout,
+    ));
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::new();
+
+    // Acceptor.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let read_timeout = config.read_timeout;
+        threads.push(thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_read_timeout(Some(POLL_TICK));
+                        let _ = stream.set_nodelay(true);
+                        let _ = read_timeout; // connection idle budget enforced by workers
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(ACCEPT_TICK);
+                    }
+                    Err(_) => thread::sleep(ACCEPT_TICK),
+                }
+            }
+            // Dropping `tx` lets idle workers drain and exit.
+        }));
+    }
+
+    // Workers.
+    for _ in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        let registry = Arc::clone(&registry);
+        let config = config.clone();
+        threads.push(thread::spawn(move || loop {
+            let next = rx.lock().expect("worker queue poisoned").recv();
+            match next {
+                Ok(stream) => {
+                    serve_connection(stream, &registry, &stats, &shutdown, &config);
+                }
+                Err(_) => break, // acceptor gone and queue drained
+            }
+        }));
+    }
+
+    // Housekeeper: idle-session eviction.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let registry = Arc::clone(&registry);
+        let stats = Arc::clone(&stats);
+        threads.push(thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                thread::sleep(SWEEP_TICK);
+                let evicted = registry.evict_idle();
+                if !evicted.is_empty() {
+                    stats.sessions_evicted(evicted.len() as u64);
+                }
+            }
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        threads,
+        stats,
+        registry,
+    })
+}
+
+/// Read one protocol line, honoring the poll tick. Returns `None` when
+/// the peer closed, the idle budget ran out, or shutdown was requested
+/// while the line buffer was empty (drain semantics: bytes already
+/// received still form a served request).
+fn read_protocol_line(
+    reader: &mut BufReader<TcpStream>,
+    shutdown: &AtomicBool,
+    idle_budget: Duration,
+) -> io::Result<Option<String>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let started = Instant::now();
+    loop {
+        enum Step {
+            Done,
+            More,
+            Eof,
+        }
+        let (consumed, step) = match reader.fill_buf() {
+            Ok([]) => (0, Step::Eof),
+            Ok(available) => match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    (pos + 1, Step::Done)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), Step::More)
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+                    return Ok(None);
+                }
+                if started.elapsed() >= idle_budget {
+                    return Ok(None); // stalled client: free the worker
+                }
+                (0, Step::More)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => (0, Step::More),
+            Err(e) => return Err(e),
+        };
+        reader.consume(consumed);
+        match step {
+            Step::Done => {
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            Step::Eof => {
+                return Ok(if buf.is_empty() {
+                    None
+                } else {
+                    Some(String::from_utf8_lossy(&buf).into_owned())
+                });
+            }
+            Step::More => {}
+        }
+    }
+}
+
+/// Write one `ok <n>`/`err <n>` framed response.
+fn write_response(writer: &mut BufWriter<TcpStream>, ok: bool, body: &str) -> io::Result<()> {
+    let lines: Vec<&str> = if body.is_empty() {
+        Vec::new()
+    } else {
+        body.lines().collect()
+    };
+    writeln!(writer, "{} {}", if ok { "ok" } else { "err" }, lines.len())?;
+    for line in lines {
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()
+}
+
+/// Serve one connection to completion.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &Arc<SessionRegistry>,
+    stats: &Arc<ServerStats>,
+    shutdown: &Arc<AtomicBool>,
+    config: &ServerConfig,
+) {
+    stats.connection_opened();
+    let result = (|| -> io::Result<()> {
+        let write_half = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut writer = BufWriter::new(write_half);
+        let mut attached: Option<Arc<crate::session::Session>> = None;
+
+        while let Some(line) = read_protocol_line(&mut reader, shutdown, config.read_timeout)? {
+            let command = line.trim().to_owned();
+            if command.is_empty() || command.starts_with('#') {
+                write_response(&mut writer, true, "")?;
+                continue;
+            }
+
+            // Heredoc: gather the body before touching any session.
+            let heredoc = if let Some(cmd) = heredoc_start(&command) {
+                let mut body = String::new();
+                let complete = loop {
+                    match read_protocol_line(&mut reader, shutdown, config.read_timeout)? {
+                        Some(l) if l.trim() == HEREDOC_END => break true,
+                        Some(l) => {
+                            body.push_str(&l);
+                            body.push('\n');
+                        }
+                        None => break false,
+                    }
+                };
+                if !complete {
+                    break; // connection died mid-heredoc
+                }
+                Some((cmd.to_owned(), body))
+            } else {
+                None
+            };
+            let (command, heredoc_body) = match heredoc {
+                Some((cmd, body)) => (cmd, Some(body)),
+                None => (command, None),
+            };
+
+            let class = CommandClass::of(&command);
+            let start = Instant::now();
+            let (ok, body, action) = dispatch(
+                &command,
+                heredoc_body.as_deref(),
+                &mut attached,
+                registry,
+                stats,
+                shutdown,
+            );
+            stats.record_command(class, start.elapsed(), ok);
+            write_response(&mut writer, ok, &body)?;
+            match action {
+                Action::Continue => {}
+                Action::CloseConnection => break,
+            }
+        }
+        Ok(())
+    })();
+    let _ = result;
+    stats.connection_closed();
+}
+
+enum Action {
+    Continue,
+    CloseConnection,
+}
+
+/// Execute one protocol command; returns `(ok, body, action)`.
+fn dispatch(
+    command: &str,
+    heredoc: Option<&str>,
+    attached: &mut Option<Arc<crate::session::Session>>,
+    registry: &Arc<SessionRegistry>,
+    stats: &Arc<ServerStats>,
+    shutdown: &Arc<AtomicBool>,
+) -> (bool, String, Action) {
+    let words: Vec<&str> = command.split_whitespace().collect();
+    match words.as_slice() {
+        ["session", "new"] | ["session", "new", _] => {
+            let requested = words.get(2).copied();
+            match registry.create(requested) {
+                Ok(session) => {
+                    stats.session_created();
+                    let body = format!("session {} created (attached)", session.id());
+                    *attached = Some(session);
+                    (true, body, Action::Continue)
+                }
+                Err(e) => (false, e.to_string(), Action::Continue),
+            }
+        }
+        ["session", "attach", id] => match registry.get(id) {
+            Some(session) => {
+                let body = format!("session {} attached", session.id());
+                *attached = Some(session);
+                (true, body, Action::Continue)
+            }
+            None => (false, format!("no session {id:?}"), Action::Continue),
+        },
+        ["session", "detach"] => match attached.take() {
+            Some(session) => (
+                true,
+                format!("session {} detached", session.id()),
+                Action::Continue,
+            ),
+            None => (false, "no session attached".to_owned(), Action::Continue),
+        },
+        ["session", "close"] | ["session", "close", _] => {
+            let id = match words.get(2).copied() {
+                Some(id) => id.to_owned(),
+                None => match attached.as_ref() {
+                    Some(s) => s.id().to_owned(),
+                    None => {
+                        return (
+                            false,
+                            "no session attached; name one: session close <id>".to_owned(),
+                            Action::Continue,
+                        )
+                    }
+                },
+            };
+            if attached.as_ref().is_some_and(|s| s.id() == id) {
+                *attached = None;
+            }
+            if registry.close(&id) {
+                stats.session_closed();
+                (true, format!("session {id} closed"), Action::Continue)
+            } else {
+                (false, format!("no session {id:?}"), Action::Continue)
+            }
+        }
+        ["session", "list"] => {
+            let rows = registry.list();
+            let body = rows
+                .iter()
+                .map(|(id, commands, idle)| {
+                    format!("id={id} commands={commands} idle_ms={}", idle.as_millis())
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            (true, body, Action::Continue)
+        }
+        ["session", "current"] => match attached.as_ref() {
+            Some(s) => (true, format!("session {}", s.id()), Action::Continue),
+            None => (true, "none".to_owned(), Action::Continue),
+        },
+        ["session", ..] => (
+            false,
+            "usage: session new [id] | attach <id> | detach | close [id] | list | current"
+                .to_owned(),
+            Action::Continue,
+        ),
+        ["stats"] => (true, stats.render(registry.len()), Action::Continue),
+        ["ping"] => (true, "pong".to_owned(), Action::Continue),
+        ["shutdown"] => {
+            shutdown.store(true, Ordering::SeqCst);
+            (
+                true,
+                "shutting down (draining in-flight requests)".to_owned(),
+                Action::CloseConnection,
+            )
+        }
+        ["quit"] => (true, "bye".to_owned(), Action::CloseConnection),
+        _ => match attached.as_ref() {
+            Some(session) => {
+                let result = session.with_shell(|shell| shell.execute(command, heredoc));
+                match result {
+                    Ok(output) => (true, output, Action::Continue),
+                    Err(e) => (false, e.to_string(), Action::Continue),
+                }
+            }
+            None => (
+                false,
+                "no session attached (use: session new)".to_owned(),
+                Action::Continue,
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_ctx() -> (
+        Arc<SessionRegistry>,
+        Arc<ServerStats>,
+        Arc<AtomicBool>,
+        Option<Arc<crate::session::Session>>,
+    ) {
+        (
+            Arc::new(SessionRegistry::new(8, Duration::from_secs(60))),
+            Arc::new(ServerStats::new()),
+            Arc::new(AtomicBool::new(false)),
+            None,
+        )
+    }
+
+    #[test]
+    fn dispatch_requires_attachment_for_shell_commands() {
+        let (reg, stats, shutdown, mut attached) = fresh_ctx();
+        let (ok, body, _) = dispatch(
+            "show coverage",
+            None,
+            &mut attached,
+            &reg,
+            &stats,
+            &shutdown,
+        );
+        assert!(!ok);
+        assert!(body.contains("no session attached"));
+    }
+
+    #[test]
+    fn dispatch_full_session_flow() {
+        let (reg, stats, shutdown, mut attached) = fresh_ctx();
+        let (ok, body, _) = dispatch(
+            "session new alpha",
+            None,
+            &mut attached,
+            &reg,
+            &stats,
+            &shutdown,
+        );
+        assert!(ok, "{body}");
+        assert!(attached.is_some());
+
+        let (ok, body, _) = dispatch(
+            "load er po",
+            Some("entity A { x : text }\n"),
+            &mut attached,
+            &reg,
+            &stats,
+            &shutdown,
+        );
+        assert!(ok, "{body}");
+        assert!(body.contains("loaded po"));
+
+        let (ok, body, _) = dispatch("session list", None, &mut attached, &reg, &stats, &shutdown);
+        assert!(ok);
+        assert!(body.contains("id=alpha commands=1"));
+
+        // Command latency counters are recorded by `serve_connection`
+        // (not by `dispatch`), so only the gauges appear here; the
+        // client round-trip test covers the full recording path.
+        let (ok, body, _) = dispatch("stats", None, &mut attached, &reg, &stats, &shutdown);
+        assert!(ok);
+        assert!(body.contains("sessions live=1"), "{body}");
+        assert!(body.contains("created=1"), "{body}");
+
+        let (ok, _, _) = dispatch(
+            "session close",
+            None,
+            &mut attached,
+            &reg,
+            &stats,
+            &shutdown,
+        );
+        assert!(ok);
+        assert!(attached.is_none());
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn shutdown_command_sets_the_flag_and_closes() {
+        let (reg, stats, shutdown, mut attached) = fresh_ctx();
+        let (ok, _, action) = dispatch("shutdown", None, &mut attached, &reg, &stats, &shutdown);
+        assert!(ok);
+        assert!(shutdown.load(Ordering::SeqCst));
+        assert!(matches!(action, Action::CloseConnection));
+    }
+
+    #[test]
+    fn serve_binds_ephemeral_port_and_shuts_down() {
+        let handle = serve(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        assert_ne!(handle.addr().port(), 0);
+        handle.shutdown();
+        handle.join();
+    }
+}

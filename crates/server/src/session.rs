@@ -1,0 +1,308 @@
+//! The session registry: session IDs → live shells.
+//!
+//! Each session owns a full [`Shell`] (its own
+//! [`iwb_core::WorkbenchManager`] and blackboard) behind a `Mutex`, so
+//! commands *within* a session are serialized — the manager's
+//! transactional invariants (§5.2) hold unchanged — while different
+//! sessions execute in parallel on different worker threads. The
+//! registry enforces a live-session cap and evicts sessions that have
+//! been idle past a configurable timeout.
+
+use iwb_core::shell::Shell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One live integration session.
+pub struct Session {
+    id: String,
+    shell: Mutex<Shell>,
+    last_used: Mutex<Instant>,
+    commands: AtomicU64,
+}
+
+impl Session {
+    fn new(id: String) -> Self {
+        Session {
+            id,
+            shell: Mutex::new(Shell::new()),
+            last_used: Mutex::new(Instant::now()),
+            commands: AtomicU64::new(0),
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Run `f` holding this session's shell lock; refreshes the idle
+    /// clock and the command counter.
+    pub fn with_shell<R>(&self, f: impl FnOnce(&mut Shell) -> R) -> R {
+        let mut shell = self.shell.lock().expect("session shell poisoned");
+        let out = f(&mut shell);
+        self.commands.fetch_add(1, Ordering::Relaxed);
+        *self.last_used.lock().expect("session clock poisoned") = Instant::now();
+        out
+    }
+
+    /// Time since the last command (or creation).
+    pub fn idle_for(&self) -> Duration {
+        self.last_used
+            .lock()
+            .expect("session clock poisoned")
+            .elapsed()
+    }
+
+    /// Commands executed in this session.
+    pub fn command_count(&self) -> u64 {
+        self.commands.load(Ordering::Relaxed)
+    }
+
+    /// Whether the session is evictable right now: idle past the
+    /// timeout *and* not mid-command (the shell lock is free).
+    fn evictable(&self, idle_timeout: Duration) -> bool {
+        self.shell.try_lock().is_ok() && self.idle_for() >= idle_timeout
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("commands", &self.command_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a session could not be created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The live-session cap is reached and nothing is evictable.
+    AtCapacity(usize),
+    /// The requested id is already in use.
+    DuplicateId(String),
+    /// The requested id is empty or contains whitespace.
+    BadId(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::AtCapacity(cap) => {
+                write!(f, "session cap reached ({cap} live sessions)")
+            }
+            RegistryError::DuplicateId(id) => write!(f, "session {id:?} already exists"),
+            RegistryError::BadId(id) => write!(f, "bad session id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry of live sessions.
+pub struct SessionRegistry {
+    sessions: Mutex<HashMap<String, Arc<Session>>>,
+    max_sessions: usize,
+    idle_timeout: Duration,
+    counter: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// A registry holding at most `max_sessions` sessions, evicting
+    /// after `idle_timeout` of inactivity.
+    pub fn new(max_sessions: usize, idle_timeout: Duration) -> Self {
+        SessionRegistry {
+            sessions: Mutex::new(HashMap::new()),
+            max_sessions: max_sessions.max(1),
+            idle_timeout,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a session. With `requested: None` an id is minted
+    /// (`s1`, `s2`, …). At capacity, idle sessions are evicted first;
+    /// if none are evictable the call fails.
+    pub fn create(&self, requested: Option<&str>) -> Result<Arc<Session>, RegistryError> {
+        let id = match requested {
+            Some(name) => {
+                if name.is_empty() || name.chars().any(char::is_whitespace) {
+                    return Err(RegistryError::BadId(name.to_owned()));
+                }
+                name.to_owned()
+            }
+            None => format!("s{}", self.counter.fetch_add(1, Ordering::Relaxed) + 1),
+        };
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        if map.contains_key(&id) {
+            return Err(RegistryError::DuplicateId(id));
+        }
+        if map.len() >= self.max_sessions {
+            Self::evict_idle_locked(&mut map, self.idle_timeout);
+        }
+        if map.len() >= self.max_sessions {
+            return Err(RegistryError::AtCapacity(self.max_sessions));
+        }
+        let session = Arc::new(Session::new(id.clone()));
+        map.insert(id, Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Look up a session.
+    pub fn get(&self, id: &str) -> Option<Arc<Session>> {
+        self.sessions
+            .lock()
+            .expect("registry poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// Close a session; `true` if it existed.
+    pub fn close(&self, id: &str) -> bool {
+        self.sessions
+            .lock()
+            .expect("registry poisoned")
+            .remove(id)
+            .is_some()
+    }
+
+    /// Evict every idle session (idle past the timeout and not
+    /// mid-command); returns the evicted ids.
+    pub fn evict_idle(&self) -> Vec<String> {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        Self::evict_idle_locked(&mut map, self.idle_timeout)
+    }
+
+    fn evict_idle_locked(
+        map: &mut HashMap<String, Arc<Session>>,
+        idle_timeout: Duration,
+    ) -> Vec<String> {
+        let victims: Vec<String> = map
+            .iter()
+            .filter(|(_, s)| s.evictable(idle_timeout))
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &victims {
+            map.remove(id);
+        }
+        victims
+    }
+
+    /// Live sessions right now.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One `(id, commands, idle)` row per live session, sorted by id.
+    pub fn list(&self) -> Vec<(String, u64, Duration)> {
+        let map = self.sessions.lock().expect("registry poisoned");
+        let mut rows: Vec<(String, u64, Duration)> = map
+            .values()
+            .map(|s| (s.id().to_owned(), s.command_count(), s.idle_for()))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_close_roundtrip() {
+        let reg = SessionRegistry::new(4, Duration::from_secs(60));
+        let s = reg.create(None).unwrap();
+        assert_eq!(s.id(), "s1");
+        assert!(reg.get("s1").is_some());
+        let named = reg.create(Some("alice")).unwrap();
+        assert_eq!(named.id(), "alice");
+        assert_eq!(reg.len(), 2);
+        assert!(reg.close("alice"));
+        assert!(!reg.close("alice"));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_bad_ids_are_rejected() {
+        let reg = SessionRegistry::new(4, Duration::from_secs(60));
+        reg.create(Some("x")).unwrap();
+        assert_eq!(
+            reg.create(Some("x")).unwrap_err(),
+            RegistryError::DuplicateId("x".into())
+        );
+        assert!(matches!(
+            reg.create(Some("a b")).unwrap_err(),
+            RegistryError::BadId(_)
+        ));
+        assert!(matches!(
+            reg.create(Some("")).unwrap_err(),
+            RegistryError::BadId(_)
+        ));
+    }
+
+    #[test]
+    fn cap_is_enforced_and_eviction_frees_slots() {
+        let reg = SessionRegistry::new(2, Duration::from_millis(0));
+        reg.create(Some("a")).unwrap();
+        reg.create(Some("b")).unwrap();
+        // idle_timeout = 0 means both are instantly evictable, so a
+        // third create succeeds by evicting.
+        reg.create(Some("c")).unwrap();
+        assert!(reg.len() <= 2);
+
+        let strict = SessionRegistry::new(2, Duration::from_secs(3600));
+        strict.create(Some("a")).unwrap();
+        strict.create(Some("b")).unwrap();
+        assert_eq!(
+            strict.create(Some("c")).unwrap_err(),
+            RegistryError::AtCapacity(2)
+        );
+    }
+
+    #[test]
+    fn sessions_isolate_state_and_count_commands() {
+        let reg = SessionRegistry::new(4, Duration::from_secs(60));
+        let a = reg.create(Some("a")).unwrap();
+        let b = reg.create(Some("b")).unwrap();
+        let out = a.with_shell(|sh| {
+            sh.run_on("load er only_in_a <<EOF\nentity E { f : text }\nEOF\n")
+                .transcript
+        });
+        assert!(out.contains("loaded only_in_a"), "{out}");
+        let b_export = b.with_shell(|sh| sh.run_on("export\n").transcript);
+        assert!(!b_export.contains("only_in_a"), "leak: {b_export}");
+        assert_eq!(a.command_count(), 1);
+        assert_eq!(b.command_count(), 1);
+    }
+
+    #[test]
+    fn busy_sessions_are_not_evicted() {
+        let reg = SessionRegistry::new(2, Duration::from_millis(0));
+        let a = reg.create(Some("a")).unwrap();
+        // Hold a's shell lock: a is "mid-command" and must survive.
+        let guard = a.shell.lock().unwrap();
+        let evicted = reg.evict_idle();
+        assert!(!evicted.contains(&"a".to_owned()));
+        drop(guard);
+        assert!(reg.evict_idle().contains(&"a".to_owned()));
+    }
+
+    #[test]
+    fn list_reports_rows_sorted() {
+        let reg = SessionRegistry::new(4, Duration::from_secs(60));
+        reg.create(Some("zeta")).unwrap();
+        reg.create(Some("alpha")).unwrap();
+        let rows = reg.list();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "alpha");
+        assert_eq!(rows[1].0, "zeta");
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration test: concurrent sessions against a live daemon.
+//!
+//! Starts `iwb-server` on an ephemeral port, drives several concurrent
+//! client sessions loading *different* schemata and matching them, and
+//! asserts (1) session isolation — no schema from one session is
+//! visible in another's `show coverage`/`export` — and (2) clean
+//! graceful shutdown.
+
+use iwb_server::client::Client;
+use iwb_server::server::{serve, ServerConfig};
+use std::thread;
+use std::time::Duration;
+
+const SESSIONS: usize = 4;
+
+fn schema_body(tag: &str, side: &str) -> String {
+    format!(
+        "entity {tag}_{side}_entity \"Entity of {tag}.\" {{ {tag}_{side}_field : text \"Field of {tag}.\" }}"
+    )
+}
+
+#[test]
+fn concurrent_sessions_are_isolated_and_shutdown_is_clean() {
+    let handle = serve(ServerConfig {
+        workers: SESSIONS + 2,
+        max_sessions: SESSIONS + 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            thread::spawn(move || -> (String, String) {
+                let tag = format!("t{i}");
+                let mut c = Client::connect(addr).expect("connect");
+                let sid = c.session_new(Some(&tag)).expect("session new");
+                assert_eq!(sid, tag);
+
+                // Load a source and a target schema unique to this session.
+                let left = format!("{tag}_left");
+                let right = format!("{tag}_right");
+                c.request_with_heredoc(&format!("load er {left}"), &schema_body(&tag, "l"))
+                    .unwrap()
+                    .expect_ok()
+                    .unwrap();
+                c.request_with_heredoc(&format!("load er {right}"), &schema_body(&tag, "r"))
+                    .unwrap()
+                    .expect_ok()
+                    .unwrap();
+
+                // Match them; the matcher must see exactly this pair.
+                let matched = c
+                    .request(&format!("match {left} {right}"))
+                    .unwrap()
+                    .expect_ok()
+                    .unwrap();
+                assert!(matched.contains("cells updated"), "{matched}");
+
+                // A few reads to interleave with the other sessions.
+                for _ in 0..5 {
+                    c.request("show coverage").unwrap().expect_ok().unwrap();
+                    c.request(&format!("show matrix {left} {right}"))
+                        .unwrap()
+                        .expect_ok()
+                        .unwrap();
+                }
+                let coverage = c.request("show coverage").unwrap().expect_ok().unwrap();
+                let export = c.request("export").unwrap().expect_ok().unwrap();
+                (coverage, export)
+            })
+        })
+        .collect();
+
+    let outputs: Vec<(String, String)> = workers
+        .into_iter()
+        .map(|w| w.join().expect("session thread"))
+        .collect();
+
+    // Isolation: session i's export mentions its own schemata and no
+    // other session's.
+    for (i, (_coverage, export)) in outputs.iter().enumerate() {
+        assert!(
+            export.contains(&format!("t{i}_left")),
+            "session {i} lost its own schema:\n{export}"
+        );
+        for j in 0..SESSIONS {
+            if i == j {
+                continue;
+            }
+            assert!(
+                !export.contains(&format!("t{j}_left")),
+                "session {i} sees session {j}'s schema:\n{export}"
+            );
+            assert!(
+                !export.contains(&format!("t{j}_right")),
+                "session {i} leaks session {j}'s schema"
+            );
+        }
+    }
+
+    // The server saw all sessions and commands.
+    let mut admin = Client::connect(addr).expect("admin connect");
+    let stats = admin.stats().expect("stats");
+    assert!(
+        stats.contains(&format!("created={SESSIONS}")),
+        "stats should count {SESSIONS} sessions:\n{stats}"
+    );
+    assert!(stats.contains("cmd load count=8"), "{stats}");
+    assert!(stats.contains("cmd match count=4"), "{stats}");
+
+    // Graceful shutdown: the daemon drains and every thread joins.
+    assert!(admin.shutdown().expect("shutdown request").ok);
+    handle.join();
+}
+
+#[test]
+fn detached_sessions_survive_and_reattach() {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let mut a = Client::connect(addr).unwrap();
+    a.session_new(Some("durable")).unwrap();
+    a.request_with_heredoc("load er keep", "entity K { f : text }")
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    drop(a); // connection gone, session stays
+
+    let mut b = Client::connect(addr).unwrap();
+    let attached = b.request("session attach durable").unwrap();
+    assert!(attached.ok, "{}", attached.body);
+    let schema = b.request("show schema keep").unwrap().expect_ok().unwrap();
+    assert!(schema.contains("[contains-entity] K"), "{schema}");
+
+    b.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn idle_sessions_are_evicted_by_the_housekeeper() {
+    let handle = serve(ServerConfig {
+        session_idle_timeout: Duration::from_millis(50),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.session_new(Some("ephemeral")).unwrap();
+    assert_eq!(handle.registry().len(), 1);
+
+    // Wait out the idle timeout plus a housekeeper sweep.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !handle.registry().is_empty() && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(handle.registry().len(), 0, "idle session not evicted");
+
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("evicted=1"), "{stats}");
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn session_cap_rejects_with_a_protocol_error() {
+    let handle = serve(ServerConfig {
+        max_sessions: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.session_new(Some("one")).unwrap();
+    c.session_new(Some("two")).unwrap();
+    let third = c.request("session new three").unwrap();
+    assert!(!third.ok);
+    assert!(third.body.contains("cap"), "{}", third.body);
+
+    c.shutdown().unwrap();
+    handle.join();
+}

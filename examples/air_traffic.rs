@@ -111,7 +111,14 @@ fn main() {
         .next()
         .expect("ER model declares a domain");
     let dom = Domain::detach(&source, dom_id).unwrap();
-    println!("  source domain {}: {:?}", dom.name, dom.values.iter().map(|v| v.code.as_str()).collect::<Vec<_>>());
+    println!(
+        "  source domain {}: {:?}",
+        dom.name,
+        dom.values
+            .iter()
+            .map(|v| v.code.as_str())
+            .collect::<Vec<_>>()
+    );
     println!("  (the domain voter scores SFC_CD against surface through these values)");
 
     // §4.2: the sub-tree filter — focus on the facilities sub-schema.
@@ -167,8 +174,15 @@ fn main() {
         threshold: 0.85,
     };
     let clusters = link_records(&records, &cfg);
-    println!("  {} records → {} real-world airports", records.len(), clusters.len());
-    let mut merged: Vec<Node> = clusters.iter().map(|c| merge_cluster(&records, c)).collect();
+    println!(
+        "  {} records → {} real-world airports",
+        records.len(),
+        clusters.len()
+    );
+    let mut merged: Vec<Node> = clusters
+        .iter()
+        .map(|c| merge_cluster(&records, c))
+        .collect();
 
     let cleaner = Cleaner::new().with_rule(CleaningRule::Range {
         field: "elevation".into(),

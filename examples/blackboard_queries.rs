@@ -37,7 +37,9 @@ fn main() {
     .expect("load");
     m.invoke(
         "harmony",
-        &ToolArgs::new().with("source", "sales").with("target", "billing"),
+        &ToolArgs::new()
+            .with("source", "sales")
+            .with("target", "billing"),
     )
     .expect("match");
 

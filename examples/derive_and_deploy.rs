@@ -64,7 +64,10 @@ fn main() {
         Metamodel::Relational,
     );
     println!("\nderived target schema:");
-    print!("{}", integration_workbench::model::display::render(&derived.schema));
+    print!(
+        "{}",
+        integration_workbench::model::display::render(&derived.schema)
+    );
     println!("\nelement origins:");
     for o in &derived.origins {
         println!("  {:<28} ← {}", o.target_path, o.source_paths.join(" + "));

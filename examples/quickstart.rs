@@ -68,7 +68,9 @@ fn main() {
     let report = workbench
         .invoke(
             "harmony",
-            &ToolArgs::new().with("source", "crm").with("target", "client"),
+            &ToolArgs::new()
+                .with("source", "crm")
+                .with("target", "client"),
         )
         .expect("matcher runs");
     println!("harmony: {}", report.output);

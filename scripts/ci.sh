@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass offline — the workspace has no
+# external crates (see vendor/ and crates/rng), so a network-less
+# builder is the default, not a degraded mode.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: ok"

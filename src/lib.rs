@@ -14,3 +14,5 @@ pub use iwb_mapper as mapper;
 pub use iwb_model as model;
 pub use iwb_rdf as rdf;
 pub use iwb_registry as registry;
+pub use iwb_rng as rng;
+pub use iwb_server as server;

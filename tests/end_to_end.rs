@@ -17,7 +17,9 @@ fn case_study_reproduces_figure3_and_executes() {
     assert!(report.matrix_text.contains("code=concat"));
     assert!(report.matrix_text.contains("user-defined=true"));
     // Generated XQuery has the figure's FLWOR shape.
-    assert!(report.xquery.contains("let $shipto := $doc/purchaseOrder/shipTo"));
+    assert!(report
+        .xquery
+        .contains("let $shipto := $doc/purchaseOrder/shipTo"));
     assert!(report.xquery.trim_end().ends_with("</invoice>"));
     // Execution produced the expected values and verified.
     let info = report.sample_output.child("shippingInfo").unwrap();
@@ -106,7 +108,9 @@ fn blackboard_survives_turtle_round_trip() {
     .unwrap();
     m.invoke(
         "harmony",
-        &ToolArgs::new().with("source", "left").with("target", "right"),
+        &ToolArgs::new()
+            .with("source", "left")
+            .with("target", "right"),
     )
     .unwrap();
     let turtle = m.blackboard().export_turtle();
@@ -121,7 +125,10 @@ fn blackboard_survives_turtle_round_trip() {
 #[test]
 fn manager_queries_find_user_decisions() {
     let mut m = WorkbenchManager::with_builtin_tools();
-    for (text, id) in [("entity A { x : text }", "s1"), ("entity B { y : text }", "s2")] {
+    for (text, id) in [
+        ("entity A { x : text }", "s1"),
+        ("entity B { y : text }", "s2"),
+    ] {
         m.invoke(
             "schema-loader",
             &ToolArgs::new()
@@ -163,7 +170,10 @@ fn manager_queries_find_user_decisions() {
 #[test]
 fn mapping_library_archives_and_reuses() {
     let mut m = WorkbenchManager::with_builtin_tools();
-    for (text, id) in [("entity A { x : text }", "src"), ("entity B { y : text }", "tgt")] {
+    for (text, id) in [
+        ("entity A { x : text }", "src"),
+        ("entity B { y : text }", "tgt"),
+    ] {
         m.invoke(
             "schema-loader",
             &ToolArgs::new()

@@ -35,7 +35,9 @@ fn second_workbench_continues_where_the_first_stopped() {
     first
         .invoke(
             "harmony",
-            &ToolArgs::new().with("source", "sales").with("target", "billing"),
+            &ToolArgs::new()
+                .with("source", "sales")
+                .with("target", "billing"),
         )
         .unwrap();
     first
@@ -78,14 +80,19 @@ fn second_workbench_continues_where_the_first_stopped() {
     assert_eq!(matrix.cell(total, amount).confidence, Confidence::ACCEPT);
     assert!(matrix.cell(total, amount).user_defined);
     let orders = s.find_by_name("ORDERS").unwrap();
-    assert_eq!(matrix.row_meta(orders).unwrap().variable.as_deref(), Some("ord"));
+    assert_eq!(
+        matrix.row_meta(orders).unwrap().variable.as_deref(),
+        Some("ord")
+    );
 
     // The second engineer re-runs the matcher: the imported decision is
     // locked, and new machine scores appear around it.
     second
         .invoke(
             "harmony",
-            &ToolArgs::new().with("source", "sales").with("target", "billing"),
+            &ToolArgs::new()
+                .with("source", "sales")
+                .with("target", "billing"),
         )
         .unwrap();
     let matrix = second.blackboard().matrix(&sales, &billing).unwrap();

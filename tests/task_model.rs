@@ -8,11 +8,11 @@ use integration_workbench::instance::{
     FieldComparator, LinkageConfig,
 };
 use integration_workbench::loaders::{apply_dictionary, ErLoader, SchemaLoader, SqlDdlLoader};
+use integration_workbench::mapper::logical::AttrRule;
 use integration_workbench::mapper::{
     execute, parse_expr, verify_instance, AttributeTransformation, DomainTransformation,
     EntityMapping, EntityRule, KeyGen, LogicalMapping, LookupTable, Node, Value,
 };
-use integration_workbench::mapper::logical::AttrRule;
 use integration_workbench::model::Domain;
 
 #[test]
@@ -68,9 +68,8 @@ fn all_thirteen_tasks_execute() {
     assert_eq!(lookup.translate("ASP"), Value::from("1"));
 
     // ── Task 5: attribute transformations (feet → meters). ──
-    let feet_to_m = AttributeTransformation::Scalar(
-        parse_expr("feet-to-meters(data($src/LEN_FT))").unwrap(),
-    );
+    let feet_to_m =
+        AttributeTransformation::Scalar(parse_expr("feet-to-meters(data($src/LEN_FT))").unwrap());
 
     // ── Task 6: entity transformations (direct 1:1 here). ──
     let entity = EntityMapping::Direct {
@@ -131,9 +130,15 @@ fn all_thirteen_tasks_execute() {
 
     // ── Task 10: link instance elements. ──
     let records = vec![
-        Node::elem("strip").with_leaf("designator", "04L").with_leaf("airport", "KJFK"),
-        Node::elem("strip").with_leaf("designator", "04L").with_leaf("airport", "KJFK"),
-        Node::elem("strip").with_leaf("designator", "13R").with_leaf("airport", "KJFK"),
+        Node::elem("strip")
+            .with_leaf("designator", "04L")
+            .with_leaf("airport", "KJFK"),
+        Node::elem("strip")
+            .with_leaf("designator", "04L")
+            .with_leaf("airport", "KJFK"),
+        Node::elem("strip")
+            .with_leaf("designator", "13R")
+            .with_leaf("airport", "KJFK"),
     ];
     let clusters = link_records(
         &records,

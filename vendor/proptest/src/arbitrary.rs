@@ -1,0 +1,98 @@
+//! `any::<T>()` for the primitive types the tests draw.
+
+use crate::strategy::Strategy;
+use iwb_rng::StdRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "arbitrary value" distribution.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// A mix that keeps the full adversarial surface: specials (NaN,
+    /// infinities, zero), moderate magnitudes, and raw bit patterns
+    /// (subnormals, huge exponents).
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        match rng.gen_range(0..10u32) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4..=7 => rng.gen_range(-1.0e3..1.0e3),
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        // Printable ASCII most of the time, arbitrary scalar otherwise.
+        if rng.gen_bool(0.85) {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            char::from_u32(rng.gen_range(0u32..=0x10_FFFF)).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_hits_specials_and_finites() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..500).map(|_| f64::arbitrary(&mut rng)).collect();
+        assert!(draws.iter().any(|v| v.is_nan()));
+        assert!(draws.iter().any(|v| v.is_infinite()));
+        assert!(draws.iter().any(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn u8_covers_both_halves() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<u8> = (0..300).map(|_| u8::arbitrary(&mut rng)).collect();
+        assert!(draws.iter().any(|&v| v < 128) && draws.iter().any(|&v| v >= 128));
+    }
+}

@@ -1,0 +1,60 @@
+//! Run configuration for `proptest!` blocks.
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases per property (shim default 64; the real crate's is 256).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test seed: an FNV-1a hash of the test path,
+/// overridable with `IWB_PROPTEST_SEED` for replaying a reported
+/// failure.
+pub fn shim_seed(test_path: &str) -> u64 {
+    if let Some(seed) = std::env::var("IWB_PROPTEST_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s))
+    {
+        return seed;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_test_and_parse_forms() {
+        assert_ne!(shim_seed("a::b"), shim_seed("a::c"));
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! # proptest (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the external `proptest`
+//! crate so the workspace builds and tests **without network access**.
+//! It implements the subset of the API this repository's property
+//! tests use — `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `any::<T>()`, numeric-range strategies, single-atom
+//! regex string strategies (`"[a-z]{1,8}"`, `".{0,60}"`),
+//! `prop::collection::vec`, tuples, `Just`, and `prop_map` — backed by
+//! the workspace's seeded [`iwb_rng`] generator.
+//!
+//! Differences from real proptest: cases are sampled independently
+//! (no shrinking on failure) and the per-test RNG seed is derived from
+//! the invocation site, so runs are deterministic. On failure the
+//! failing case index and seed are printed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod strategy;
+pub mod string;
+
+#[doc(hidden)]
+pub use iwb_rng as __rng;
+
+/// The `prop::` path tests reach collections through
+/// (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property body (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// The `proptest!` block: one or more `#[test]` functions whose
+/// arguments are drawn from strategies for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::config::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __seed = $crate::config::shim_seed(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __rng = $crate::__rng::StdRng::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body }),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest-shim: {} failed at case {}/{} (seed {:#x})",
+                        stringify!($name), __case + 1, __cfg.cases, __seed,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(xs in prop::collection::vec(0usize..10, 1..6), f in 0.0f64..1.0) {
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z]{2,5}", t in ".{0,10}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 10);
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (any::<u8>(), any::<bool>())) {
+            let (n, b) = pair;
+            prop_assert!(u16::from(n) < 256);
+            prop_assert!(usize::from(b) <= 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0i32..10).prop_map(|n| n * 2),
+            Just(1000i32),
+        ]) {
+            prop_assert!(v == 1000 || (v % 2 == 0 && v < 20));
+        }
+    }
+}

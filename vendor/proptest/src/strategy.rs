@@ -1,0 +1,170 @@
+//! The [`Strategy`] trait and combinators (sample-only, no shrinking).
+
+use iwb_rng::StdRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values for one property-test argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Strategies behind references sample through.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn sample(&self, _rng: &mut StdRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice over boxed alternatives ([`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over at least one arm.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Numeric half-open ranges are strategies (`0..60`, `0.0f64..1.0`).
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: iwb_rng::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Inclusive ranges are strategies (`4..=40`).
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: iwb_rng::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String literals are single-atom regex strategies
+/// (`"[a-z]{1,8}"`, `".{0,60}"`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws: Vec<u8> = (0..64).map(|_| u.sample(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+
+    #[test]
+    fn map_composes() {
+        let s = (0u32..10).prop_map(|n| n * 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut rng) % 3, 0);
+        }
+    }
+}

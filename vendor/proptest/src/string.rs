@@ -1,0 +1,164 @@
+//! Single-atom regex string strategies.
+//!
+//! The workspace's property tests only ever use patterns of the shape
+//! `<atom><quantifier>` where the atom is `.` or a character class
+//! `[...]` (with ranges, escapes, and literal `-` in the last
+//! position) and the quantifier is `{m,n}`, `{n}`, `*`, `+`, or
+//! absent. Anything that does not parse as that shape is treated as a
+//! literal string.
+
+use iwb_rng::StdRng;
+
+/// Characters `.` draws from: printable ASCII plus a handful of
+/// multi-byte code points so "arbitrary text" robustness tests still
+/// exercise non-ASCII handling.
+fn any_char_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend(['é', 'ß', 'λ', '中', '→', '\u{00a0}', '😀']);
+    pool
+}
+
+struct Parsed {
+    pool: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+/// Parse `pattern`; `None` means "not atom+quantifier shaped".
+fn parse(pattern: &str) -> Option<Parsed> {
+    let mut chars = pattern.chars().peekable();
+    let pool = match chars.next()? {
+        '.' => any_char_pool(),
+        '[' => {
+            let mut pool = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                let c = chars.next()?;
+                match c {
+                    ']' => break,
+                    '\\' => {
+                        let esc = chars.next()?;
+                        let lit = match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        };
+                        pool.push(lit);
+                        prev = Some(lit);
+                    }
+                    '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                        let hi = match chars.next()? {
+                            '\\' => chars.next()?,
+                            other => other,
+                        };
+                        let lo = prev.take()?;
+                        if lo > hi {
+                            return None;
+                        }
+                        pool.extend(lo..=hi);
+                    }
+                    other => {
+                        pool.push(other);
+                        prev = Some(other);
+                    }
+                }
+            }
+            if pool.is_empty() {
+                return None;
+            }
+            pool
+        }
+        _ => return None,
+    };
+    let (lo, hi) = match chars.next() {
+        None => (1, 1),
+        Some('*') => (0, 8),
+        Some('+') => (1, 8),
+        Some('{') => {
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match body.split_once(',') {
+                Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        }
+        Some(_) => return None,
+    };
+    if chars.next().is_some() || lo > hi {
+        return None;
+    }
+    Some(Parsed { pool, lo, hi })
+}
+
+/// Draw one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    match parse(pattern) {
+        Some(p) => {
+            let len = rng.gen_range(p.lo..=p.hi);
+            (0..len).map(|_| *rng.choose(&p.pool)).collect()
+        }
+        None => pattern.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[A-Za-z0-9_\\- ]{0,24}", &mut r);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ' '));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z{}:\"#, \\n-]{0,20}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "{}:\"#, \n-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_spans_lengths() {
+        let mut r = rng();
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(sample_pattern(".{0,60}", &mut r).chars().count());
+        }
+        assert!(max > 30 && max <= 60, "{max}");
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_pattern("[ -~]{0,12}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_and_bare_quantifiers() {
+        let mut r = rng();
+        assert_eq!(sample_pattern("[a-z]{4}", &mut r).len(), 4);
+        assert_eq!(sample_pattern("[x]", &mut r), "x");
+        assert_eq!(sample_pattern("not-a-pattern", &mut r), "not-a-pattern");
+    }
+}

@@ -11,14 +11,28 @@
 //! cargo run --release -p iwb-bench --bin bench_server -- \
 //!     --sessions 8 --commands 200
 //! ```
+//!
+//! With `--faults SPEC` the in-process daemon runs under deterministic
+//! fault injection (see `iwb_server::fault`) and the report adds the
+//! chaos view: protocol errors observed, recovery latency (first error
+//! to the next successful command, per incident), quarantine events
+//! handled by close-and-recreate, and the server's error-budget
+//! counters:
+//!
+//! ```sh
+//! cargo run --release -p iwb-bench --bin bench_server -- \
+//!     --sessions 8 --commands 200 \
+//!     --faults seed=42,exec-panic=0.02,exec-slow=0.05:5
+//! ```
 
 use iwb_loaders::to_er_text;
 use iwb_registry::GeneratorConfig;
 use iwb_server::client::Client;
+use iwb_server::fault::FaultSpec;
 use iwb_server::server::{serve, ServerConfig, ServerHandle};
 use std::net::SocketAddr;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     sessions: usize,
@@ -27,6 +41,7 @@ struct Args {
     seed: u64,
     scale: f64,
     addr: Option<String>,
+    faults: Option<String>,
 }
 
 impl Default for Args {
@@ -38,6 +53,7 @@ impl Default for Args {
             seed: 42,
             scale: 0.0005,
             addr: None,
+            faults: None,
         }
     }
 }
@@ -45,7 +61,7 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_server [--sessions N] [--commands N] [--workers N] \
-         [--seed N] [--scale F] [--addr HOST:PORT]"
+         [--seed N] [--scale F] [--addr HOST:PORT] [--faults SPEC]"
     );
     std::process::exit(2);
 }
@@ -62,23 +78,43 @@ fn parse_args() -> Args {
             "--seed" => out.seed = value().parse().unwrap_or_else(|_| usage()),
             "--scale" => out.scale = value().parse().unwrap_or_else(|_| usage()),
             "--addr" => out.addr = Some(value()),
+            "--faults" => out.faults = Some(value()),
             _ => usage(),
         }
     }
     if out.sessions == 0 || out.commands < 4 {
         usage();
     }
+    if out.addr.is_some() && out.faults.is_some() {
+        eprintln!("--faults configures the in-process daemon; it cannot target --addr");
+        usage();
+    }
     out
 }
 
+/// What one session observed.
+struct SessionReport {
+    issued: u64,
+    errors: u64,
+    quarantines: u64,
+    /// Error → next-success gaps, one per incident.
+    recoveries: Vec<Duration>,
+    /// The final export (`None` if the session never reached one).
+    export: Option<String>,
+}
+
 /// One session's workload: its own schema pair plus the command loop.
+/// Under `chaos`, protocol errors are expected: they are counted, the
+/// first error of an incident starts a recovery clock that the next
+/// success stops, and a quarantined session is closed and recreated.
 fn run_session(
     addr: SocketAddr,
     index: usize,
     commands: usize,
     seed: u64,
     scale: f64,
-) -> (u64, String) {
+    chaos: bool,
+) -> SessionReport {
     let tag = format!("bench{index}");
     let left = format!("{tag}_left");
     let right = format!("{tag}_right");
@@ -95,51 +131,125 @@ fn run_session(
     let mut client = Client::connect(addr).expect("connect");
     client.session_new(Some(&tag)).expect("session new");
 
+    let mut report = SessionReport {
+        issued: 0,
+        errors: 0,
+        quarantines: 0,
+        recoveries: Vec::new(),
+        export: None,
+    };
+    let mut error_since: Option<Instant> = None;
+
+    // Issue one request; returns the body on success. Under chaos an
+    // `err` reply feeds the incident clock instead of aborting.
+    #[allow(clippy::too_many_arguments)]
     fn step(
-        r: std::io::Result<iwb_server::client::Response>,
+        client: &mut Client,
+        report: &mut SessionReport,
+        error_since: &mut Option<Instant>,
+        chaos: bool,
         tag: &str,
-        issued: &mut u64,
-    ) -> String {
-        let resp = r.expect("request io");
-        assert!(resp.ok, "session {tag}: server error: {}", resp.body);
-        *issued += 1;
-        resp.body
+        reload: &[(String, String)],
+        run: impl FnOnce(&mut Client) -> std::io::Result<iwb_server::client::Response>,
+    ) -> Option<String> {
+        let resp = run(client).expect("request io");
+        report.issued += 1;
+        if resp.ok {
+            if let Some(start) = error_since.take() {
+                report.recoveries.push(start.elapsed());
+            }
+            return Some(resp.body);
+        }
+        assert!(chaos, "session {tag}: server error: {}", resp.body);
+        report.errors += 1;
+        error_since.get_or_insert_with(Instant::now);
+        if resp.body.contains("quarantined") {
+            // The supervision contract: quarantined sessions reject
+            // commands but still close. Recreate and reload to keep
+            // the load alive.
+            report.quarantines += 1;
+            client
+                .request(&format!("session close {tag}"))
+                .expect("close quarantined");
+            client.session_new(Some(tag)).expect("recreate session");
+            for (command, body) in reload {
+                let _ = client.request_with_heredoc(command, body);
+            }
+        }
+        None
     }
 
-    let mut issued: u64 = 0;
-    step(
-        client.request_with_heredoc(&format!("load er {left}"), &left_text),
-        &tag,
-        &mut issued,
+    let reload = [
+        (format!("load er {left}"), left_text.clone()),
+        (format!("load er {right}"), right_text.clone()),
+    ];
+    let mut run = |report: &mut SessionReport,
+                   error_since: &mut Option<Instant>,
+                   command: String,
+                   heredoc: Option<&str>|
+     -> Option<String> {
+        step(
+            &mut client,
+            report,
+            error_since,
+            chaos,
+            &tag,
+            &reload,
+            |c| match heredoc {
+                Some(body) => c.request_with_heredoc(&command, body),
+                None => c.request(&command),
+            },
+        )
+    };
+
+    run(
+        &mut report,
+        &mut error_since,
+        format!("load er {left}"),
+        Some(&left_text),
     );
-    step(
-        client.request_with_heredoc(&format!("load er {right}"), &right_text),
-        &tag,
-        &mut issued,
+    run(
+        &mut report,
+        &mut error_since,
+        format!("load er {right}"),
+        Some(&right_text),
     );
-    step(
-        client.request(&format!("match {left} {right}")),
-        &tag,
-        &mut issued,
+    run(
+        &mut report,
+        &mut error_since,
+        format!("match {left} {right}"),
+        None,
     );
 
     // Read-heavy steady state, with a periodic re-match.
-    while issued < commands.saturating_sub(1) as u64 {
-        let request = match issued % 5 {
-            0 => client.request(&format!("show matrix {left} {right}")),
-            1 => client.request("show coverage"),
-            2 => client.request(&format!("show schema {left}")),
-            3 => client.request("query ? ? ?"),
-            _ => client.request(&format!("match {left} {right}")),
+    while report.issued < commands.saturating_sub(1) as u64 {
+        let command = match report.issued % 5 {
+            0 => format!("show matrix {left} {right}"),
+            1 => "show coverage".to_owned(),
+            2 => format!("show schema {left}"),
+            3 => "query ? ? ?".to_owned(),
+            _ => format!("match {left} {right}"),
         };
-        step(request, &tag, &mut issued);
+        run(&mut report, &mut error_since, command, None);
     }
-    let export = step(client.request("export"), &tag, &mut issued);
-    (issued, export)
+    report.export = run(&mut report, &mut error_since, "export".to_owned(), None);
+    report
 }
 
 fn main() {
     let args = parse_args();
+    let fault_plan = args.faults.as_deref().map(|spec| {
+        FaultSpec::parse(spec)
+            .unwrap_or_else(|e| {
+                eprintln!("bad --faults spec: {e}");
+                usage();
+            })
+            .build()
+    });
+    let chaos = fault_plan.as_ref().is_some_and(|p| p.is_active());
+    if chaos {
+        iwb_server::quiet_injected_panics();
+    }
 
     // Either target an external daemon or spin one up in-process.
     let mut local: Option<ServerHandle> = None;
@@ -149,6 +259,7 @@ fn main() {
             let handle = serve(ServerConfig {
                 workers: args.workers,
                 max_sessions: args.sessions + 4,
+                faults: fault_plan.unwrap_or_default(),
                 ..ServerConfig::default()
             })
             .expect("bind ephemeral port");
@@ -159,27 +270,37 @@ fn main() {
     };
 
     println!(
-        "bench_server: {} sessions x {} commands against {addr} (seed {})",
-        args.sessions, args.commands, args.seed
+        "bench_server: {} sessions x {} commands against {addr} (seed {}{})",
+        args.sessions,
+        args.commands,
+        args.seed,
+        match &args.faults {
+            Some(spec) => format!(", faults {spec}"),
+            None => String::new(),
+        }
     );
 
     let started = Instant::now();
     let joins: Vec<_> = (0..args.sessions)
         .map(|i| {
             let (commands, seed, scale) = (args.commands, args.seed, args.scale);
-            thread::spawn(move || run_session(addr, i, commands, seed, scale))
+            thread::spawn(move || run_session(addr, i, commands, seed, scale, chaos))
         })
         .collect();
-    let results: Vec<(u64, String)> = joins
+    let results: Vec<SessionReport> = joins
         .into_iter()
         .map(|j| j.join().expect("session thread"))
         .collect();
     let elapsed = started.elapsed();
 
     // Zero cross-session leakage: session i's export must not mention
-    // any other session's schema ids.
+    // any other session's schema ids. Under chaos only sessions whose
+    // final export succeeded are checkable.
     let mut leaks = 0usize;
-    for (i, (_, export)) in results.iter().enumerate() {
+    for (i, report) in results.iter().enumerate() {
+        let Some(export) = &report.export else {
+            continue;
+        };
         for j in 0..args.sessions {
             if j != i && export.contains(&format!("bench{j}_")) {
                 eprintln!("LEAK: session {i} export mentions bench{j}_*");
@@ -188,13 +309,39 @@ fn main() {
         }
     }
 
-    let total: u64 = results.iter().map(|(n, _)| n).sum();
+    let total: u64 = results.iter().map(|r| r.issued).sum();
     let secs = elapsed.as_secs_f64();
     println!(
         "client side: {total} commands in {secs:.3}s  ({:.0} cmd/s, {:.0} cmd/s/session)",
         total as f64 / secs,
         total as f64 / secs / args.sessions as f64
     );
+
+    if chaos {
+        let errors: u64 = results.iter().map(|r| r.errors).sum();
+        let quarantines: u64 = results.iter().map(|r| r.quarantines).sum();
+        let recoveries: Vec<Duration> = results
+            .iter()
+            .flat_map(|r| r.recoveries.iter().copied())
+            .collect();
+        let (mean_us, max_us) = if recoveries.is_empty() {
+            (0, 0)
+        } else {
+            (
+                recoveries.iter().map(Duration::as_micros).sum::<u128>() / recoveries.len() as u128,
+                recoveries
+                    .iter()
+                    .map(Duration::as_micros)
+                    .max()
+                    .unwrap_or(0),
+            )
+        };
+        println!(
+            "chaos: {errors} protocol errors, {quarantines} quarantines handled, \
+             {} recoveries (mean {mean_us} us, max {max_us} us)",
+            recoveries.len()
+        );
+    }
 
     let mut admin = Client::connect(addr).expect("admin connect");
     println!("server stats:");
@@ -213,5 +360,9 @@ fn main() {
         eprintln!("bench_server: FAILED — {leaks} cross-session leak(s)");
         std::process::exit(1);
     }
-    println!("bench_server: ok — zero cross-session leakage");
+    let checked = results.iter().filter(|r| r.export.is_some()).count();
+    println!(
+        "bench_server: ok — zero cross-session leakage ({checked}/{} exports checked)",
+        results.len()
+    );
 }

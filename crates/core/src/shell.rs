@@ -51,6 +51,18 @@ impl Shell {
 
     /// Execute one command line (heredoc bodies are handled by
     /// [`run_script`]); returns the command's output text.
+    ///
+    /// # Panic safety
+    ///
+    /// `execute` itself never intentionally panics, but it runs tool
+    /// code (see [`crate::tool::WorkbenchTool`]) that might. A panic
+    /// can unwind out of a partially applied transaction, leaving the
+    /// blackboard in an intermediate state; callers that must survive
+    /// faulty tools (e.g. `iwb-server`) should wrap the call in
+    /// [`std::panic::catch_unwind`] *inside* whatever lock guards the
+    /// shell — so the lock is released cleanly instead of poisoned —
+    /// and treat the session as suspect afterwards (the server
+    /// quarantines it after repeated panics).
     pub fn execute(&mut self, line: &str, heredoc: Option<&str>) -> Result<String, ToolError> {
         let words: Vec<&str> = line.split_whitespace().collect();
         match words.as_slice() {
@@ -206,6 +218,19 @@ pub const HEREDOC_MARKER: &str = "<<EOF";
 /// The line terminating a heredoc body.
 pub const HEREDOC_END: &str = "EOF";
 
+/// Whether a command line mutates blackboard state (as opposed to
+/// `show`/`query`/`export` reads and blank/comment lines).
+///
+/// This is the single source of truth for what the server's session
+/// journal must persist: replaying exactly the successful mutating
+/// commands of a session, in order, rebuilds its state.
+pub fn mutates(line: &str) -> bool {
+    matches!(
+        line.split_whitespace().next().unwrap_or(""),
+        "load" | "match" | "accept" | "reject" | "bind" | "code" | "generate"
+    )
+}
+
 /// If `line` opens a heredoc, the command part without the marker.
 ///
 /// Shared by [`run_script`] and the `iwb-server` connection loop so
@@ -353,6 +378,57 @@ show coverage
         assert_eq!(heredoc_start("load er po <<EOF"), Some("load er po"));
         assert_eq!(heredoc_start("  load er po <<EOF  "), Some("load er po"));
         assert_eq!(heredoc_start("show coverage"), None);
+    }
+
+    #[test]
+    fn heredoc_missing_terminator_at_eof_takes_rest_of_script() {
+        // No closing EOF line: the body runs to end of input, and the
+        // command still executes (scripts truncated by a crash degrade
+        // to a best-effort load rather than a hang).
+        let outcome = run_script_counted("load er s <<EOF\nentity E { f : text }");
+        assert_eq!((outcome.commands, outcome.errors), (1, 0));
+        assert!(
+            outcome.transcript.contains("loaded s"),
+            "{}",
+            outcome.transcript
+        );
+    }
+
+    #[test]
+    fn heredoc_terminator_tolerates_trailing_whitespace() {
+        let outcome =
+            run_script_counted("load er s <<EOF\nentity E { f : text }\nEOF   \nshow schema s\n");
+        assert_eq!((outcome.commands, outcome.errors), (2, 0));
+        assert!(outcome.transcript.contains("[contains-entity] E"));
+    }
+
+    #[test]
+    fn heredoc_empty_body_loads_an_empty_schema() {
+        let outcome = run_script_counted("load er s <<EOF\nEOF\n");
+        assert_eq!((outcome.commands, outcome.errors), (1, 0));
+        assert!(
+            outcome.transcript.contains("loaded s (er, 1 elements"),
+            "{}",
+            outcome.transcript
+        );
+    }
+
+    #[test]
+    fn mutates_classifies_the_shell_language() {
+        for cmd in [
+            "load er po <<EOF",
+            "match a b",
+            "accept a b r c",
+            "reject a b r c",
+            "bind a b r v",
+            "code a b c := x",
+            "generate a b",
+        ] {
+            assert!(mutates(cmd), "{cmd} should mutate");
+        }
+        for cmd in ["show coverage", "query ? ? ?", "export", "", "# note"] {
+            assert!(!mutates(cmd), "{cmd} should not mutate");
+        }
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl std::error::Error for ToolError {}
 /// manager wraps every invocation in a transaction and propagates the
 /// events only after the tool returns (§5.2.1: "no events are generated
 /// until the mapping matrix has been updated").
+///
+/// # Panic safety
+///
+/// Report failures through [`ToolError`], never by panicking: a panic
+/// unwinds out of the manager's transaction and can leave the
+/// blackboard half-updated. Hosts that embed third-party tools (the
+/// `iwb-server` daemon) defend against this by catching unwinds at the
+/// invocation boundary and quarantining sessions whose tools panic
+/// repeatedly — but a quarantined session has lost in-memory state
+/// fidelity, so `catch_unwind` is containment, not absolution.
 pub trait WorkbenchTool {
     /// Unique tool name.
     fn name(&self) -> &'static str;

@@ -12,17 +12,32 @@
 //! * `--max-sessions N`        live-session cap (default 64)
 //! * `--idle-timeout SECS`     session idle eviction (default 300)
 //! * `--read-timeout SECS`     stalled-connection drop (default 30)
+//! * `--journal DIR`           journal every session's mutating
+//!   commands under DIR (fsync on commit)
+//! * `--recover DIR`           like `--journal DIR`, plus replay the
+//!   journals found there on startup — sessions survive a daemon
+//!   crash and clients re-`session attach` their old ids
+//! * `--quarantine-after N`    quarantine a session after N
+//!   consecutive panicking commands (default 3; 0 disables)
+//! * `--max-line-bytes N`      protocol line bound (default 65536)
+//! * `--max-heredoc-bytes N`   heredoc body bound (default 4194304)
+//! * `--faults SPEC`           deterministic fault injection, e.g.
+//!   `seed=42,exec-panic=0.01,exec-slow=0.05:20,journal-torn=0.02`
+//!   (chaos testing; see `iwb_server::fault`)
 //!
 //! The daemon exits after a client issues the `shutdown` protocol
 //! command (graceful: in-flight requests drain first).
 
+use iwb_server::fault::FaultSpec;
 use iwb_server::server::{serve, ServerConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: workbenchd [--addr HOST:PORT] [--workers N] [--max-sessions N] \
-         [--idle-timeout SECS] [--read-timeout SECS]"
+         [--idle-timeout SECS] [--read-timeout SECS] [--journal DIR] [--recover DIR] \
+         [--quarantine-after N] [--max-line-bytes N] [--max-heredoc-bytes N] [--faults SPEC]"
     );
     std::process::exit(2);
 }
@@ -59,6 +74,30 @@ fn parse_args() -> ServerConfig {
                 Ok(secs) => config.read_timeout = Duration::from_secs(secs),
                 _ => usage(),
             },
+            "--journal" => config.journal_dir = Some(PathBuf::from(value("--journal"))),
+            "--recover" => {
+                config.journal_dir = Some(PathBuf::from(value("--recover")));
+                config.recover = true;
+            }
+            "--quarantine-after" => match value("--quarantine-after").parse() {
+                Ok(n) => config.quarantine_after = n,
+                _ => usage(),
+            },
+            "--max-line-bytes" => match value("--max-line-bytes").parse() {
+                Ok(n) if n > 0 => config.max_line_bytes = n,
+                _ => usage(),
+            },
+            "--max-heredoc-bytes" => match value("--max-heredoc-bytes").parse() {
+                Ok(n) if n > 0 => config.max_heredoc_bytes = n,
+                _ => usage(),
+            },
+            "--faults" => match FaultSpec::parse(&value("--faults")) {
+                Ok(spec) => config.faults = spec.build(),
+                Err(e) => {
+                    eprintln!("bad --faults spec: {e}");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -73,13 +112,24 @@ fn main() {
     let config = parse_args();
     let workers = config.workers;
     let max_sessions = config.max_sessions;
+    if config.faults.is_active() {
+        // Injected panics are part of the chaos plan, not crashes
+        // worth a backtrace each.
+        iwb_server::quiet_injected_panics();
+    }
     let handle = match serve(config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("workbenchd: bind failed: {e}");
+            eprintln!("workbenchd: startup failed: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(report) = handle.recovery() {
+        println!(
+            "workbenchd: recovered {} session(s) ({} command(s) replayed, {} torn tail(s) healed, {} file(s) skipped)",
+            report.sessions, report.replayed, report.torn_tails, report.skipped
+        );
+    }
     println!(
         "workbenchd listening on {} (workers={workers} max-sessions={max_sessions})",
         handle.addr()

@@ -3,9 +3,19 @@
 //! Used by the `bench_server` load generator, the integration tests,
 //! and scripts. One [`Client`] is one connection; requests are
 //! synchronous (write command, read the `ok/err <n>`-framed reply).
+//!
+//! For long-lived callers the client also knows how to survive a
+//! daemon restart: [`Client::connect_with_backoff`] retries the dial
+//! with exponential backoff + jitter, and [`Client::reconnect`]
+//! re-dials the same peer and safely re-attaches the session the
+//! client was using (sessions survive restarts when the daemon runs
+//! with `--recover`, so a reconnect usually lands exactly where the
+//! crash interrupted).
 
+use iwb_rng::StdRng;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
 use std::time::Duration;
 
 /// One framed server reply.
@@ -28,10 +38,52 @@ impl Response {
     }
 }
 
+/// Exponential backoff with jitter for (re)connect attempts.
+///
+/// Attempt `i` sleeps `min(base * 2^i, max)` scaled by a jitter factor
+/// drawn uniformly from `[0.5, 1.0)` — jitter is seeded, so a chaos
+/// run's reconnect timing is as reproducible as its fault plan.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// Connection attempts before giving up (≥ 1).
+    pub attempts: u32,
+    /// Delay before the second attempt.
+    pub base: Duration,
+    /// Cap on any single delay.
+    pub max: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            attempts: 8,
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            seed: 0x1b_0ff,
+        }
+    }
+}
+
+impl Backoff {
+    /// The jittered delay to sleep after failed attempt `attempt`
+    /// (0-based).
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.max);
+        exp.mul_f64(0.5 + rng.next_f64() / 2.0)
+    }
+}
+
 /// A blocking connection to `workbenchd`.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: SocketAddr,
+    session: Option<String>,
 }
 
 impl Client {
@@ -42,11 +94,60 @@ impl Client {
         // A generous client-side timeout so a wedged server surfaces
         // as an error instead of hanging the caller forever.
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let peer = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            peer,
+            session: None,
         })
+    }
+
+    /// Connect, retrying with exponential backoff + jitter — for
+    /// clients that start before the daemon, or reconnect while it is
+    /// restarting.
+    pub fn connect_with_backoff(addr: impl ToSocketAddrs, backoff: &Backoff) -> io::Result<Client> {
+        let mut rng = StdRng::seed_from_u64(backoff.seed);
+        let mut last_err = io::Error::other("no connection attempts made");
+        for attempt in 0..backoff.attempts.max(1) {
+            match Self::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = e,
+            }
+            if attempt + 1 < backoff.attempts.max(1) {
+                thread::sleep(backoff.delay(attempt, &mut rng));
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The session id this client is attached to (tracked by
+    /// [`Client::session_new`] and [`Client::session_attach`]).
+    pub fn session(&self) -> Option<&str> {
+        self.session.as_deref()
+    }
+
+    /// Re-dial the same peer (with backoff) and re-attach the tracked
+    /// session. If the server no longer knows the session — it crashed
+    /// without journaling, or the session was evicted — the tracked id
+    /// is cleared and an error naming the lost session is returned, so
+    /// the caller can decide between `session new` and giving up.
+    pub fn reconnect(&mut self, backoff: &Backoff) -> io::Result<()> {
+        let fresh = Self::connect_with_backoff(self.peer, backoff)?;
+        self.reader = fresh.reader;
+        self.writer = fresh.writer;
+        if let Some(id) = self.session.clone() {
+            let resp = self.request(&format!("session attach {id}"))?;
+            if !resp.ok {
+                self.session = None;
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("reconnected, but session {id:?} is gone: {}", resp.body),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Send one single-line command and read the reply.
@@ -74,7 +175,8 @@ impl Client {
         self.read_response()
     }
 
-    /// `session new [id]`; returns the created session id.
+    /// `session new [id]`; returns the created session id and tracks
+    /// it for [`Client::reconnect`].
     pub fn session_new(&mut self, id: Option<&str>) -> io::Result<String> {
         let command = match id {
             Some(id) => format!("session new {id}"),
@@ -82,10 +184,20 @@ impl Client {
         };
         let body = self.request(&command)?.expect_ok()?;
         // "session <id> created (attached)"
-        body.split_whitespace()
+        let sid = body
+            .split_whitespace()
             .nth(1)
             .map(str::to_owned)
-            .ok_or_else(|| io::Error::other(format!("malformed reply: {body}")))
+            .ok_or_else(|| io::Error::other(format!("malformed reply: {body}")))?;
+        self.session = Some(sid.clone());
+        Ok(sid)
+    }
+
+    /// `session attach <id>`; tracks the id for [`Client::reconnect`].
+    pub fn session_attach(&mut self, id: &str) -> io::Result<String> {
+        let body = self.request(&format!("session attach {id}"))?.expect_ok()?;
+        self.session = Some(id.to_owned());
+        Ok(body)
     }
 
     /// The server's `stats` body.
@@ -161,6 +273,7 @@ mod tests {
 
         let sid = c.session_new(None).unwrap();
         assert_eq!(sid, "s1");
+        assert_eq!(c.session(), Some("s1"));
         let loaded = c
             .request_with_heredoc("load er po", "entity A { x : text }")
             .unwrap();
@@ -177,6 +290,77 @@ mod tests {
         assert!(!err.ok);
 
         assert!(c.shutdown().unwrap().ok);
+        handle.join();
+    }
+
+    #[test]
+    fn backoff_delays_grow_and_stay_jittered_under_the_cap() {
+        let b = Backoff {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(200),
+            seed: 7,
+        };
+        let mut rng = StdRng::seed_from_u64(b.seed);
+        let delays: Vec<Duration> = (0..6).map(|i| b.delay(i, &mut rng)).collect();
+        for (i, d) in delays.iter().enumerate() {
+            let ceiling = Duration::from_millis(10 * (1 << i)).min(b.max);
+            assert!(*d <= ceiling, "delay {i} {d:?} above {ceiling:?}");
+            assert!(
+                *d >= ceiling / 2,
+                "delay {i} {d:?} below half of {ceiling:?}"
+            );
+        }
+        // Deterministic per seed.
+        let mut rng2 = StdRng::seed_from_u64(b.seed);
+        assert_eq!(delays[0], b.delay(0, &mut rng2));
+    }
+
+    #[test]
+    fn connect_with_backoff_survives_a_late_server() {
+        // Reserve a port, keep it closed for a moment, then serve.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            serve(ServerConfig {
+                addr: addr.to_string(),
+                workers: 1,
+                ..ServerConfig::default()
+            })
+            .unwrap()
+        });
+        let mut c = Client::connect_with_backoff(
+            addr,
+            &Backoff {
+                attempts: 20,
+                base: Duration::from_millis(25),
+                max: Duration::from_millis(100),
+                seed: 3,
+            },
+        )
+        .expect("backoff should outlast the late bind");
+        assert!(c.request("ping").unwrap().ok);
+        let handle = server.join().unwrap();
+        c.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn reconnect_reports_a_lost_session() {
+        let handle = serve(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.session_new(Some("fleeting")).unwrap();
+        // Close the session behind the client's back; reconnect must
+        // surface the loss rather than silently running detached.
+        let mut other = Client::connect(handle.addr()).unwrap();
+        other.request("session close fleeting").unwrap();
+        let err = c.reconnect(&Backoff::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("fleeting"), "{err}");
+        assert_eq!(c.session(), None);
+        other.shutdown().unwrap();
         handle.join();
     }
 }

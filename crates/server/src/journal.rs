@@ -1,0 +1,471 @@
+//! Append-only per-session command journals with crash recovery.
+//!
+//! Every successful *mutating* command (`load`, `match`, `accept`,
+//! `reject`, `bind`, `code`, `generate` — see
+//! [`iwb_core::shell::mutates`]) is appended to
+//! `<dir>/<session-id>.journal` and fsynced before the server
+//! acknowledges it, so a daemon crash loses at most the command whose
+//! `ok` the client never saw. Because the shell language is
+//! deterministic, replaying the journal rebuilds the session's exact
+//! blackboard state — `workbenchd --recover <dir>` does that on
+//! startup and clients simply `session attach` their pre-crash ids.
+//!
+//! ## On-disk format
+//!
+//! Line-oriented and length-framed, like the wire protocol:
+//!
+//! ```text
+//! iwbj1 <session-id>\n                      file header
+//! r <payload-len> <fnv1a64-hex> <h|->\n     record header
+//! <payload bytes>\n                         command [+ \n + heredoc]
+//! ```
+//!
+//! The payload is the command line; with a heredoc body (`h` flag) the
+//! body follows after one `\n`. Length + checksum framing makes torn
+//! tails detectable: recovery replays records up to the first
+//! malformed/truncated one and drops the rest (at most the final
+//! unacknowledged command).
+//!
+//! ## Compaction
+//!
+//! The journal keeps its record list in memory; every
+//! `compact_every` appends (and after recovering a torn file) it is
+//! rewritten atomically (tmp + fsync + rename), healing torn garbage
+//! and re-framing the history into one clean segment. True state
+//! snapshots are impossible while blackboard state is only
+//! reconstructible by replay, so compaction bounds *waste*, not the
+//! logical history.
+
+use crate::fault::{FaultPlan, JOURNAL_TORN};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File extension for session journals.
+const EXT: &str = "journal";
+/// File header magic.
+const MAGIC: &str = "iwbj1";
+
+/// Journal configuration, shared by every session of a registry.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding one `<session-id>.journal` per session.
+    pub dir: PathBuf,
+    /// fsync each record before acknowledging (durability; tests may
+    /// turn it off for speed).
+    pub fsync: bool,
+    /// Rewrite the file after this many appends.
+    pub compact_every: u64,
+}
+
+impl JournalConfig {
+    /// Durable defaults rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            dir: dir.into(),
+            fsync: true,
+            compact_every: 256,
+        }
+    }
+}
+
+/// One journaled command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The command line (no newline).
+    pub command: String,
+    /// The heredoc body, if the command carried one.
+    pub heredoc: Option<String>,
+}
+
+impl JournalRecord {
+    fn payload(&self) -> Vec<u8> {
+        let mut out = self.command.clone().into_bytes();
+        if let Some(body) = &self.heredoc {
+            out.push(b'\n');
+            out.extend_from_slice(body.as_bytes());
+        }
+        out
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = format!(
+            "r {} {:016x} {}\n",
+            payload.len(),
+            crate::fault::fnv1a64(&payload),
+            if self.heredoc.is_some() { 'h' } else { '-' }
+        )
+        .into_bytes();
+        out.extend_from_slice(&payload);
+        out.push(b'\n');
+        out
+    }
+}
+
+/// A journal file loaded for recovery.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The session id from the file header.
+    pub session_id: String,
+    /// Records up to the first torn/corrupt one.
+    pub records: Vec<JournalRecord>,
+    /// Whether a torn/corrupt tail was dropped.
+    pub torn_tail: bool,
+}
+
+/// One live session's journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    session_id: String,
+    records: Vec<JournalRecord>,
+    appends_since_compact: u64,
+    /// A torn write left garbage at the file tail; rewrite before the
+    /// next append so the garbage never buries later records.
+    dirty_tail: bool,
+    config: JournalConfig,
+}
+
+impl Journal {
+    /// Path of a session's journal under `dir`.
+    pub fn path_for(dir: &Path, session_id: &str) -> PathBuf {
+        dir.join(format!("{session_id}.{EXT}"))
+    }
+
+    /// Create (truncate) a fresh journal for a session.
+    pub fn create(config: &JournalConfig, session_id: &str) -> io::Result<Journal> {
+        fs::create_dir_all(&config.dir)?;
+        let path = Self::path_for(&config.dir, session_id);
+        let mut file = File::create(&path)?;
+        file.write_all(format!("{MAGIC} {session_id}\n").as_bytes())?;
+        if config.fsync {
+            file.sync_data()?;
+        }
+        Ok(Journal {
+            path,
+            file,
+            session_id: session_id.to_owned(),
+            records: Vec::new(),
+            appends_since_compact: 0,
+            dirty_tail: false,
+            config: config.clone(),
+        })
+    }
+
+    /// Rebuild a journal from recovered records, rewriting the file
+    /// into one clean segment (heals any torn tail on disk).
+    pub fn adopt(
+        config: &JournalConfig,
+        session_id: &str,
+        records: Vec<JournalRecord>,
+    ) -> io::Result<Journal> {
+        let mut journal = Self::create(config, session_id)?;
+        journal.records = records;
+        journal.compact()?;
+        Ok(journal)
+    }
+
+    /// Records committed so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append one record and (by default) fsync it — the commit point.
+    /// A `journal-torn` fault persists only a prefix of the record's
+    /// bytes, simulating a crash mid-write; the record stays in memory
+    /// and the next append heals the file by compaction, so the tear
+    /// is observable only if the process dies first (exactly the
+    /// window a real torn write has). Returns `true` if a torn write
+    /// was injected.
+    pub fn append(&mut self, record: JournalRecord, faults: &FaultPlan) -> io::Result<bool> {
+        if self.dirty_tail {
+            self.compact()?;
+        }
+        let encoded = record.encode();
+        let torn = faults.fires(JOURNAL_TORN).is_some();
+        let bytes = if torn {
+            &encoded[..encoded.len() / 2]
+        } else {
+            &encoded[..]
+        };
+        self.file.write_all(bytes)?;
+        if self.config.fsync {
+            self.file.sync_data()?;
+        }
+        self.records.push(record);
+        self.dirty_tail = torn;
+        self.appends_since_compact += 1;
+        if self.appends_since_compact >= self.config.compact_every.max(1) && !self.dirty_tail {
+            self.compact()?;
+        }
+        Ok(torn)
+    }
+
+    /// Atomically rewrite the file from the in-memory history: write a
+    /// tmp file, fsync, rename over the live path, reopen for append.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let tmp = self.path.with_extension(format!("{EXT}.tmp"));
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(format!("{MAGIC} {}\n", self.session_id).as_bytes())?;
+            for record in &self.records {
+                out.write_all(&record.encode())?;
+            }
+            out.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.appends_since_compact = 0;
+        self.dirty_tail = false;
+        Ok(())
+    }
+
+    /// Delete the journal file (session closed or evicted cleanly —
+    /// there is nothing left to recover).
+    pub fn discard(self) -> io::Result<()> {
+        fs::remove_file(&self.path)
+    }
+
+    /// Parse a journal file; never fails on torn/corrupt tails — they
+    /// are reported via [`LoadedJournal::torn_tail`] instead.
+    pub fn load(path: &Path) -> io::Result<LoadedJournal> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let (header, mut rest) = split_line(&bytes).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "journal missing header line")
+        })?;
+        let header = String::from_utf8_lossy(header);
+        let session_id = header
+            .strip_prefix(MAGIC)
+            .map(str::trim)
+            .filter(|id| !id.is_empty())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad journal header: {header:?}"),
+                )
+            })?
+            .to_owned();
+
+        let mut records = Vec::new();
+        let mut torn_tail = false;
+        while !rest.is_empty() {
+            match parse_record(rest) {
+                Some((record, after)) => {
+                    records.push(record);
+                    rest = after;
+                }
+                None => {
+                    torn_tail = true;
+                    break;
+                }
+            }
+        }
+        Ok(LoadedJournal {
+            session_id,
+            records,
+            torn_tail,
+        })
+    }
+
+    /// Journal files under `dir`, sorted by file name (empty when the
+    /// directory is missing).
+    pub fn scan_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(EXT) {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Split at the first `\n`; `None` if there is none.
+fn split_line(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    let pos = bytes.iter().position(|&b| b == b'\n')?;
+    Some((&bytes[..pos], &bytes[pos + 1..]))
+}
+
+/// Parse one record off the front; `None` on any truncation or
+/// corruption (the caller stops there).
+fn parse_record(bytes: &[u8]) -> Option<(JournalRecord, &[u8])> {
+    let (header, rest) = split_line(bytes)?;
+    let header = std::str::from_utf8(header).ok()?;
+    let mut words = header.split_whitespace();
+    if words.next()? != "r" {
+        return None;
+    }
+    let len: usize = words.next()?.parse().ok()?;
+    let hash = u64::from_str_radix(words.next()?, 16).ok()?;
+    let has_heredoc = match words.next()? {
+        "h" => true,
+        "-" => false,
+        _ => return None,
+    };
+    if words.next().is_some() || rest.len() < len + 1 || rest[len] != b'\n' {
+        return None;
+    }
+    let payload = &rest[..len];
+    if crate::fault::fnv1a64(payload) != hash {
+        return None;
+    }
+    let text = String::from_utf8_lossy(payload);
+    let (command, heredoc) = if has_heredoc {
+        let (cmd, body) = text.split_once('\n')?;
+        (cmd.to_owned(), Some(body.to_owned()))
+    } else {
+        (text.into_owned(), None)
+    };
+    Some((JournalRecord { command, heredoc }, &rest[len + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "iwb-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(command: &str, heredoc: Option<&str>) -> JournalRecord {
+        JournalRecord {
+            command: command.to_owned(),
+            heredoc: heredoc.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn append_load_roundtrip_with_heredoc_bodies() {
+        let config = JournalConfig::new(tmp_dir("roundtrip"));
+        let mut j = Journal::create(&config, "alpha").unwrap();
+        let none = FaultPlan::none();
+        j.append(rec("load er po", Some("entity A { x : text }\n")), &none)
+            .unwrap();
+        j.append(rec("match po inv", None), &none).unwrap();
+        j.append(rec("accept po inv r c", None), &none).unwrap();
+        assert_eq!(j.len(), 3);
+
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "alpha")).unwrap();
+        assert_eq!(loaded.session_id, "alpha");
+        assert!(!loaded.torn_tail);
+        assert_eq!(loaded.records.len(), 3);
+        assert_eq!(
+            loaded.records[0].heredoc.as_deref(),
+            Some("entity A { x : text }\n")
+        );
+        assert_eq!(loaded.records[1], rec("match po inv", None));
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped_on_load() {
+        let config = JournalConfig::new(tmp_dir("torn"));
+        let torn_last = FaultSpec::seeded(0).at(JOURNAL_TORN, &[2]).build();
+        let mut j = Journal::create(&config, "s").unwrap();
+        assert!(!j.append(rec("match a b", None), &torn_last).unwrap());
+        assert!(!j.append(rec("accept a b r c", None), &torn_last).unwrap());
+        assert!(j.append(rec("reject a b r c", None), &torn_last).unwrap());
+        drop(j); // simulated crash before any heal
+
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "s")).unwrap();
+        assert!(loaded.torn_tail);
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[1].command, "accept a b r c");
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn torn_middle_write_heals_on_next_append() {
+        let config = JournalConfig::new(tmp_dir("heal"));
+        let torn_first = FaultSpec::seeded(0).at(JOURNAL_TORN, &[0]).build();
+        let mut j = Journal::create(&config, "s").unwrap();
+        assert!(j.append(rec("match a b", None), &torn_first).unwrap());
+        // The next append first compacts, so both records survive.
+        assert!(!j.append(rec("accept a b r c", None), &torn_first).unwrap());
+        drop(j);
+
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "s")).unwrap();
+        assert!(!loaded.torn_tail);
+        assert_eq!(loaded.records.len(), 2);
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_history() {
+        let config = JournalConfig {
+            compact_every: 4,
+            ..JournalConfig::new(tmp_dir("compact"))
+        };
+        let mut j = Journal::create(&config, "s").unwrap();
+        let none = FaultPlan::none();
+        for i in 0..10 {
+            j.append(rec(&format!("match a b{i}"), None), &none)
+                .unwrap();
+        }
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "s")).unwrap();
+        assert_eq!(loaded.records.len(), 10);
+        assert!(!loaded.torn_tail);
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn adopt_heals_a_manually_truncated_file() {
+        let config = JournalConfig::new(tmp_dir("adopt"));
+        let mut j = Journal::create(&config, "s").unwrap();
+        let none = FaultPlan::none();
+        j.append(rec("match a b", None), &none).unwrap();
+        j.append(rec("accept a b r c", None), &none).unwrap();
+        drop(j);
+        let path = Journal::path_for(&config.dir, "s");
+
+        // Chop bytes off the tail: the last record becomes torn.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let loaded = Journal::load(&path).unwrap();
+        assert!(loaded.torn_tail);
+        assert_eq!(loaded.records.len(), 1);
+
+        let healed = Journal::adopt(&config, "s", loaded.records).unwrap();
+        assert_eq!(healed.len(), 1);
+        let reloaded = Journal::load(&path).unwrap();
+        assert!(!reloaded.torn_tail);
+        assert_eq!(reloaded.records.len(), 1);
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn scan_dir_lists_only_journals_and_tolerates_missing_dir() {
+        let dir = tmp_dir("scan");
+        assert!(Journal::scan_dir(&dir).unwrap().is_empty());
+        let config = JournalConfig::new(dir.clone());
+        Journal::create(&config, "b").unwrap();
+        Journal::create(&config, "a").unwrap();
+        fs::write(dir.join("notes.txt"), "x").unwrap();
+        let found = Journal::scan_dir(&dir).unwrap();
+        assert_eq!(found.len(), 2);
+        assert!(found[0].ends_with("a.journal"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -10,16 +10,26 @@
 //! Architecture:
 //!
 //! * [`session`] — the session registry: IDs → live shells, with
-//!   create/attach/close, an idle-eviction sweep, and a cap on live
-//!   sessions;
+//!   create/attach/close, an idle-eviction sweep, a cap on live
+//!   sessions, panic isolation (`catch_unwind` inside the shell lock)
+//!   and per-session quarantine after repeated faults;
 //! * [`server`] — the daemon: an acceptor feeding a worker thread pool
-//!   over an mpsc channel, per-connection read timeouts, per-session
-//!   locking (sessions run in parallel, commands within a session stay
-//!   serialized), and graceful drain on shutdown;
+//!   over an mpsc channel, per-connection read timeouts and byte
+//!   bounds, per-session locking (sessions run in parallel, commands
+//!   within a session stay serialized), and graceful drain on
+//!   shutdown;
+//! * [`journal`] — append-only per-session command journals (fsync on
+//!   commit, periodic compaction) and the crash-recovery replay behind
+//!   `workbenchd --recover`;
+//! * [`fault`] — deterministic, seeded fault injection (tool errors,
+//!   panics, slow commands, torn journal writes) for chaos tests and
+//!   `bench_server --faults`;
 //! * [`stats`] — per-command counters and fixed-bucket latency
-//!   histograms, exposed through the `stats` protocol command;
+//!   histograms plus the robustness error-budget counters, exposed
+//!   through the `stats` protocol command;
 //! * [`client`] — a small blocking client used by the `bench_server`
-//!   load generator and the integration tests.
+//!   load generator and the integration tests, with exponential
+//!   backoff + jitter reconnects that safely re-attach their session.
 //!
 //! ## Wire protocol
 //!
@@ -41,14 +51,49 @@
 //! ```
 //!
 //! Every response is `ok <n>` or `err <n>` followed by exactly `n`
-//! body lines, so multi-line transcripts need no escaping.
+//! body lines, so multi-line transcripts need no escaping. A command
+//! that panics server-side answers `err` with a `command panicked: …`
+//! body — the connection, the worker, and every other session keep
+//! running.
 
 pub mod client;
+pub mod fault;
+pub mod journal;
 pub mod server;
 pub mod session;
 pub mod stats;
 
-pub use client::{Client, Response};
+pub use client::{Backoff, Client, Response};
+pub use fault::{FaultPlan, FaultSpec};
+pub use journal::{Journal, JournalConfig, JournalRecord};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use session::{Session, SessionRegistry};
+pub use session::{ExecOutcome, RecoveryReport, Session, SessionRegistry};
 pub use stats::{CommandClass, ServerStats};
+
+/// Install a process-wide panic hook that stays silent for *injected*
+/// panics (payloads mentioning `injected fault`) and defers to the
+/// previous hook for everything else. Chaos tests and
+/// `bench_server --faults` call this so deliberately injected panics
+/// do not flood stderr with backtrace noise; real panics still print.
+pub fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected fault"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected fault"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}

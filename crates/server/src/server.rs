@@ -8,12 +8,24 @@
 //! lock. Sockets carry a short read timeout used as a poll tick, so a
 //! stalled client is dropped after `read_timeout` and every blocking
 //! point notices shutdown within a tick.
+//!
+//! Supervision: shell commands run through
+//! [`crate::session::Session::execute_command`], which contains panics
+//! (`catch_unwind` inside the shell lock), quarantines sessions after
+//! repeated faults, journals mutating commands when a journal
+//! directory is configured, and honors the configured
+//! [`crate::fault::FaultPlan`]. Protocol reads are bounded
+//! (`max_line_bytes` / `max_heredoc_bytes`), so a malicious client
+//! cannot balloon worker memory.
 
-use crate::session::SessionRegistry;
+use crate::fault::FaultPlan;
+use crate::journal::JournalConfig;
+use crate::session::{ExecOutcome, RecoveryReport, SessionRegistry};
 use crate::stats::{CommandClass, ServerStats};
 use iwb_core::shell::{heredoc_start, HEREDOC_END};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
@@ -43,6 +55,24 @@ pub struct ServerConfig {
     pub session_idle_timeout: Duration,
     /// Idle time after which a silent connection is dropped.
     pub read_timeout: Duration,
+    /// Quarantine a session after this many *consecutive* panicking
+    /// commands (0 disables quarantine).
+    pub quarantine_after: u32,
+    /// Reject protocol lines longer than this many bytes.
+    pub max_line_bytes: usize,
+    /// Reject heredoc bodies larger than this many bytes.
+    pub max_heredoc_bytes: usize,
+    /// Directory for per-session command journals (`None`: in-memory
+    /// sessions only, the pre-journal behavior).
+    pub journal_dir: Option<PathBuf>,
+    /// Replay journals found in `journal_dir` on startup.
+    pub recover: bool,
+    /// fsync each journal record before acknowledging the command.
+    pub journal_fsync: bool,
+    /// Rewrite a session's journal after this many appends.
+    pub journal_compact_every: u64,
+    /// Deterministic fault injection (default: inject nothing).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +83,14 @@ impl Default for ServerConfig {
             max_sessions: 64,
             session_idle_timeout: Duration::from_secs(300),
             read_timeout: Duration::from_secs(30),
+            quarantine_after: 3,
+            max_line_bytes: 64 * 1024,
+            max_heredoc_bytes: 4 * 1024 * 1024,
+            journal_dir: None,
+            recover: false,
+            journal_fsync: true,
+            journal_compact_every: 256,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -64,6 +102,7 @@ pub struct ServerHandle {
     threads: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
     registry: Arc<SessionRegistry>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl ServerHandle {
@@ -80,6 +119,12 @@ impl ServerHandle {
     /// The session registry.
     pub fn registry(&self) -> &SessionRegistry {
         &self.registry
+    }
+
+    /// The startup recovery report (`Some` iff the config asked for
+    /// recovery).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Begin graceful shutdown: stop accepting, let in-flight commands
@@ -101,8 +146,8 @@ impl ServerHandle {
     }
 }
 
-/// Start the daemon; returns once the listener is bound and the
-/// threads are running.
+/// Start the daemon; returns once the listener is bound, recovery (if
+/// requested) has replayed every journal, and the threads are running.
 pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -110,10 +155,23 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::new());
-    let registry = Arc::new(SessionRegistry::new(
-        config.max_sessions,
-        config.session_idle_timeout,
-    ));
+    let mut registry = SessionRegistry::new(config.max_sessions, config.session_idle_timeout);
+    if let Some(dir) = &config.journal_dir {
+        registry = registry.with_journal(JournalConfig {
+            dir: dir.clone(),
+            fsync: config.journal_fsync,
+            compact_every: config.journal_compact_every,
+        });
+    }
+    let registry = Arc::new(registry);
+
+    // Crash recovery happens before the listener starts serving, so a
+    // reconnecting client never observes a half-replayed session.
+    let recovery = if config.recover {
+        Some(registry.recover(&stats)?)
+    } else {
+        None
+    };
 
     let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
     let rx = Arc::new(Mutex::new(rx));
@@ -122,14 +180,16 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     // Acceptor.
     {
         let shutdown = Arc::clone(&shutdown);
-        let read_timeout = config.read_timeout;
+        // The socket poll tick must not exceed the connection idle
+        // budget, or a `read_timeout` shorter than one tick would
+        // never be enforced.
+        let tick = POLL_TICK.min(config.read_timeout.max(Duration::from_millis(1)));
         threads.push(thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        let _ = stream.set_read_timeout(Some(POLL_TICK));
+                        let _ = stream.set_read_timeout(Some(tick));
                         let _ = stream.set_nodelay(true);
-                        let _ = read_timeout; // connection idle budget enforced by workers
                         if tx.send(stream).is_err() {
                             break;
                         }
@@ -152,7 +212,10 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         let registry = Arc::clone(&registry);
         let config = config.clone();
         threads.push(thread::spawn(move || loop {
-            let next = rx.lock().expect("worker queue poisoned").recv();
+            let next = rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .recv();
             match next {
                 Ok(stream) => {
                     serve_connection(stream, &registry, &stats, &shutdown, &config);
@@ -184,18 +247,32 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         threads,
         stats,
         registry,
+        recovery,
     })
 }
 
-/// Read one protocol line, honoring the poll tick. Returns `None` when
-/// the peer closed, the idle budget ran out, or shutdown was requested
-/// while the line buffer was empty (drain semantics: bytes already
-/// received still form a served request).
+/// One bounded protocol read.
+enum LineRead {
+    /// A complete line (CR/LF stripped).
+    Line(String),
+    /// Peer closed, idle budget exhausted, or shutdown while idle.
+    Closed,
+    /// The line exceeded `max_line_bytes`; the connection cannot be
+    /// resynchronized and must be dropped after an error reply.
+    OverLimit,
+}
+
+/// Read one protocol line, honoring the poll tick and the byte bound.
+/// Returns [`LineRead::Closed`] when the peer closed, the idle budget
+/// ran out, or shutdown was requested while the line buffer was empty
+/// (drain semantics: bytes already received still form a served
+/// request).
 fn read_protocol_line(
     reader: &mut BufReader<TcpStream>,
     shutdown: &AtomicBool,
     idle_budget: Duration,
-) -> io::Result<Option<String>> {
+    max_line_bytes: usize,
+) -> io::Result<LineRead> {
     let mut buf: Vec<u8> = Vec::new();
     let started = Instant::now();
     loop {
@@ -223,10 +300,10 @@ fn read_protocol_line(
                 ) =>
             {
                 if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
-                    return Ok(None);
+                    return Ok(LineRead::Closed);
                 }
                 if started.elapsed() >= idle_budget {
-                    return Ok(None); // stalled client: free the worker
+                    return Ok(LineRead::Closed); // stalled client: free the worker
                 }
                 (0, Step::More)
             }
@@ -234,18 +311,21 @@ fn read_protocol_line(
             Err(e) => return Err(e),
         };
         reader.consume(consumed);
+        if buf.len() > max_line_bytes {
+            return Ok(LineRead::OverLimit);
+        }
         match step {
             Step::Done => {
                 if buf.last() == Some(&b'\r') {
                     buf.pop();
                 }
-                return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
             }
             Step::Eof => {
                 return Ok(if buf.is_empty() {
-                    None
+                    LineRead::Closed
                 } else {
-                    Some(String::from_utf8_lossy(&buf).into_owned())
+                    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
                 });
             }
             Step::More => {}
@@ -276,54 +356,106 @@ fn serve_connection(
     config: &ServerConfig,
 ) {
     stats.connection_opened();
+    let ctx = DispatchCtx {
+        registry,
+        stats,
+        shutdown,
+        faults: &config.faults,
+        quarantine_after: config.quarantine_after,
+    };
     let result = (|| -> io::Result<()> {
         let write_half = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
         let mut writer = BufWriter::new(write_half);
         let mut attached: Option<Arc<crate::session::Session>> = None;
 
-        while let Some(line) = read_protocol_line(&mut reader, shutdown, config.read_timeout)? {
+        loop {
+            let line = match read_protocol_line(
+                &mut reader,
+                shutdown,
+                config.read_timeout,
+                config.max_line_bytes,
+            )? {
+                LineRead::Line(line) => line,
+                LineRead::Closed => break,
+                LineRead::OverLimit => {
+                    write_response(
+                        &mut writer,
+                        false,
+                        &format!(
+                            "protocol error: line exceeds {} bytes; closing connection",
+                            config.max_line_bytes
+                        ),
+                    )?;
+                    break;
+                }
+            };
             let command = line.trim().to_owned();
             if command.is_empty() || command.starts_with('#') {
                 write_response(&mut writer, true, "")?;
                 continue;
             }
 
-            // Heredoc: gather the body before touching any session.
+            // Heredoc: gather the body (bounded) before touching any
+            // session.
+            enum Gathered {
+                Body(Option<String>),
+                ConnectionDead,
+                TooLarge,
+            }
             let heredoc = if let Some(cmd) = heredoc_start(&command) {
+                let cmd = cmd.to_owned();
                 let mut body = String::new();
-                let complete = loop {
-                    match read_protocol_line(&mut reader, shutdown, config.read_timeout)? {
-                        Some(l) if l.trim() == HEREDOC_END => break true,
-                        Some(l) => {
+                let gathered = loop {
+                    match read_protocol_line(
+                        &mut reader,
+                        shutdown,
+                        config.read_timeout,
+                        config.max_line_bytes,
+                    )? {
+                        LineRead::Line(l) if l.trim() == HEREDOC_END => {
+                            break Gathered::Body(Some(body))
+                        }
+                        LineRead::Line(l) => {
+                            if body.len() + l.len() + 1 > config.max_heredoc_bytes {
+                                break Gathered::TooLarge;
+                            }
                             body.push_str(&l);
                             body.push('\n');
                         }
-                        None => break false,
+                        LineRead::Closed => break Gathered::ConnectionDead,
+                        LineRead::OverLimit => break Gathered::TooLarge,
                     }
                 };
-                if !complete {
-                    break; // connection died mid-heredoc
+                match gathered {
+                    Gathered::Body(body) => Some((cmd, body)),
+                    // Connection died mid-heredoc: the command never
+                    // ran, so no partial state and nothing journaled.
+                    Gathered::ConnectionDead => break,
+                    Gathered::TooLarge => {
+                        write_response(
+                            &mut writer,
+                            false,
+                            &format!(
+                                "protocol error: heredoc exceeds {} bytes; closing connection",
+                                config.max_heredoc_bytes
+                            ),
+                        )?;
+                        break;
+                    }
                 }
-                Some((cmd.to_owned(), body))
             } else {
                 None
             };
             let (command, heredoc_body) = match heredoc {
-                Some((cmd, body)) => (cmd, Some(body)),
+                Some((cmd, body)) => (cmd, body),
                 None => (command, None),
             };
 
             let class = CommandClass::of(&command);
             let start = Instant::now();
-            let (ok, body, action) = dispatch(
-                &command,
-                heredoc_body.as_deref(),
-                &mut attached,
-                registry,
-                stats,
-                shutdown,
-            );
+            let (ok, body, action) =
+                dispatch(&ctx, &command, heredoc_body.as_deref(), &mut attached);
             stats.record_command(class, start.elapsed(), ok);
             write_response(&mut writer, ok, &body)?;
             match action {
@@ -342,15 +474,25 @@ enum Action {
     CloseConnection,
 }
 
+/// Everything a command dispatch needs besides the command itself.
+struct DispatchCtx<'a> {
+    registry: &'a Arc<SessionRegistry>,
+    stats: &'a Arc<ServerStats>,
+    shutdown: &'a Arc<AtomicBool>,
+    faults: &'a FaultPlan,
+    quarantine_after: u32,
+}
+
 /// Execute one protocol command; returns `(ok, body, action)`.
 fn dispatch(
+    ctx: &DispatchCtx<'_>,
     command: &str,
     heredoc: Option<&str>,
     attached: &mut Option<Arc<crate::session::Session>>,
-    registry: &Arc<SessionRegistry>,
-    stats: &Arc<ServerStats>,
-    shutdown: &Arc<AtomicBool>,
 ) -> (bool, String, Action) {
+    let DispatchCtx {
+        registry, stats, ..
+    } = ctx;
     let words: Vec<&str> = command.split_whitespace().collect();
     match words.as_slice() {
         ["session", "new"] | ["session", "new", _] => {
@@ -409,8 +551,16 @@ fn dispatch(
             let rows = registry.list();
             let body = rows
                 .iter()
-                .map(|(id, commands, idle)| {
-                    format!("id={id} commands={commands} idle_ms={}", idle.as_millis())
+                .map(|(id, commands, idle, quarantined)| {
+                    format!(
+                        "id={id} commands={commands} idle_ms={}{}",
+                        idle.as_millis(),
+                        if *quarantined {
+                            " quarantined=true"
+                        } else {
+                            ""
+                        }
+                    )
                 })
                 .collect::<Vec<_>>()
                 .join("\n");
@@ -429,7 +579,7 @@ fn dispatch(
         ["stats"] => (true, stats.render(registry.len()), Action::Continue),
         ["ping"] => (true, "pong".to_owned(), Action::Continue),
         ["shutdown"] => {
-            shutdown.store(true, Ordering::SeqCst);
+            ctx.shutdown.store(true, Ordering::SeqCst);
             (
                 true,
                 "shutting down (draining in-flight requests)".to_owned(),
@@ -437,113 +587,188 @@ fn dispatch(
             )
         }
         ["quit"] => (true, "bye".to_owned(), Action::CloseConnection),
-        _ => match attached.as_ref() {
-            Some(session) => {
-                let result = session.with_shell(|shell| shell.execute(command, heredoc));
-                match result {
-                    Ok(output) => (true, output, Action::Continue),
-                    Err(e) => (false, e.to_string(), Action::Continue),
+        _ => {
+            match attached.as_ref() {
+                Some(session) => {
+                    let outcome = session.execute_command(
+                        command,
+                        heredoc,
+                        ctx.faults,
+                        ctx.quarantine_after,
+                        stats,
+                    );
+                    match outcome {
+                        ExecOutcome::Output(output) => (true, output, Action::Continue),
+                        ExecOutcome::ToolError(e) => (false, e, Action::Continue),
+                        ExecOutcome::Panicked {
+                            message,
+                            quarantined,
+                        } => {
+                            let id = session.id();
+                            let note = if quarantined {
+                                format!("; session {id} quarantined (close it with: session close {id})")
+                            } else {
+                                String::new()
+                            };
+                            (
+                                false,
+                                format!("command panicked: {message}{note}"),
+                                Action::Continue,
+                            )
+                        }
+                        ExecOutcome::Quarantined => {
+                            let id = session.id();
+                            (
+                                false,
+                                format!(
+                                    "session {id} is quarantined after repeated faults \
+                                 (close it with: session close {id})"
+                                ),
+                                Action::Continue,
+                            )
+                        }
+                    }
                 }
+                None => (
+                    false,
+                    "no session attached (use: session new)".to_owned(),
+                    Action::Continue,
+                ),
             }
-            None => (
-                false,
-                "no session attached (use: session new)".to_owned(),
-                Action::Continue,
-            ),
-        },
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultSpec, EXEC_PANIC};
 
-    fn fresh_ctx() -> (
-        Arc<SessionRegistry>,
-        Arc<ServerStats>,
-        Arc<AtomicBool>,
-        Option<Arc<crate::session::Session>>,
-    ) {
-        (
-            Arc::new(SessionRegistry::new(8, Duration::from_secs(60))),
-            Arc::new(ServerStats::new()),
-            Arc::new(AtomicBool::new(false)),
-            None,
-        )
+    struct Ctx {
+        registry: Arc<SessionRegistry>,
+        stats: Arc<ServerStats>,
+        shutdown: Arc<AtomicBool>,
+        faults: FaultPlan,
+    }
+
+    impl Ctx {
+        fn new() -> Ctx {
+            Ctx::with_faults(FaultPlan::none())
+        }
+
+        fn with_faults(faults: FaultPlan) -> Ctx {
+            Ctx {
+                registry: Arc::new(SessionRegistry::new(8, Duration::from_secs(60))),
+                stats: Arc::new(ServerStats::new()),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                faults,
+            }
+        }
+
+        fn dispatch(
+            &self,
+            command: &str,
+            heredoc: Option<&str>,
+            attached: &mut Option<Arc<crate::session::Session>>,
+        ) -> (bool, String, Action) {
+            dispatch(
+                &DispatchCtx {
+                    registry: &self.registry,
+                    stats: &self.stats,
+                    shutdown: &self.shutdown,
+                    faults: &self.faults,
+                    quarantine_after: 3,
+                },
+                command,
+                heredoc,
+                attached,
+            )
+        }
     }
 
     #[test]
     fn dispatch_requires_attachment_for_shell_commands() {
-        let (reg, stats, shutdown, mut attached) = fresh_ctx();
-        let (ok, body, _) = dispatch(
-            "show coverage",
-            None,
-            &mut attached,
-            &reg,
-            &stats,
-            &shutdown,
-        );
+        let ctx = Ctx::new();
+        let mut attached = None;
+        let (ok, body, _) = ctx.dispatch("show coverage", None, &mut attached);
         assert!(!ok);
         assert!(body.contains("no session attached"));
     }
 
     #[test]
     fn dispatch_full_session_flow() {
-        let (reg, stats, shutdown, mut attached) = fresh_ctx();
-        let (ok, body, _) = dispatch(
-            "session new alpha",
-            None,
-            &mut attached,
-            &reg,
-            &stats,
-            &shutdown,
-        );
+        let ctx = Ctx::new();
+        let mut attached = None;
+        let (ok, body, _) = ctx.dispatch("session new alpha", None, &mut attached);
         assert!(ok, "{body}");
         assert!(attached.is_some());
 
-        let (ok, body, _) = dispatch(
-            "load er po",
-            Some("entity A { x : text }\n"),
-            &mut attached,
-            &reg,
-            &stats,
-            &shutdown,
-        );
+        let (ok, body, _) =
+            ctx.dispatch("load er po", Some("entity A { x : text }\n"), &mut attached);
         assert!(ok, "{body}");
         assert!(body.contains("loaded po"));
 
-        let (ok, body, _) = dispatch("session list", None, &mut attached, &reg, &stats, &shutdown);
+        let (ok, body, _) = ctx.dispatch("session list", None, &mut attached);
         assert!(ok);
         assert!(body.contains("id=alpha commands=1"));
 
         // Command latency counters are recorded by `serve_connection`
         // (not by `dispatch`), so only the gauges appear here; the
         // client round-trip test covers the full recording path.
-        let (ok, body, _) = dispatch("stats", None, &mut attached, &reg, &stats, &shutdown);
+        let (ok, body, _) = ctx.dispatch("stats", None, &mut attached);
         assert!(ok);
         assert!(body.contains("sessions live=1"), "{body}");
         assert!(body.contains("created=1"), "{body}");
 
-        let (ok, _, _) = dispatch(
-            "session close",
-            None,
-            &mut attached,
-            &reg,
-            &stats,
-            &shutdown,
-        );
+        let (ok, _, _) = ctx.dispatch("session close", None, &mut attached);
         assert!(ok);
         assert!(attached.is_none());
-        assert_eq!(reg.len(), 0);
+        assert_eq!(ctx.registry.len(), 0);
     }
 
     #[test]
     fn shutdown_command_sets_the_flag_and_closes() {
-        let (reg, stats, shutdown, mut attached) = fresh_ctx();
-        let (ok, _, action) = dispatch("shutdown", None, &mut attached, &reg, &stats, &shutdown);
+        let ctx = Ctx::new();
+        let mut attached = None;
+        let (ok, _, action) = ctx.dispatch("shutdown", None, &mut attached);
         assert!(ok);
-        assert!(shutdown.load(Ordering::SeqCst));
+        assert!(ctx.shutdown.load(Ordering::SeqCst));
         assert!(matches!(action, Action::CloseConnection));
+    }
+
+    #[test]
+    fn panicking_command_surfaces_as_protocol_error() {
+        crate::quiet_injected_panics();
+        let ctx = Ctx::with_faults(FaultSpec::seeded(1).at(EXEC_PANIC, &[0]).build());
+        let mut attached = None;
+        ctx.dispatch("session new x", None, &mut attached);
+        let (ok, body, _) = ctx.dispatch("show coverage", None, &mut attached);
+        assert!(!ok);
+        assert!(body.contains("command panicked"), "{body}");
+        // The session survives the contained panic.
+        let (ok, _, _) = ctx.dispatch("show coverage", None, &mut attached);
+        assert!(ok);
+        assert_eq!(ctx.stats.panics_caught_count(), 1);
+    }
+
+    #[test]
+    fn quarantined_sessions_reject_commands_but_close() {
+        crate::quiet_injected_panics();
+        let ctx = Ctx::with_faults(FaultSpec::seeded(1).at(EXEC_PANIC, &[0, 1, 2]).build());
+        let mut attached = None;
+        ctx.dispatch("session new x", None, &mut attached);
+        for _ in 0..3 {
+            let (ok, _, _) = ctx.dispatch("show coverage", None, &mut attached);
+            assert!(!ok);
+        }
+        let (ok, body, _) = ctx.dispatch("show coverage", None, &mut attached);
+        assert!(!ok);
+        assert!(body.contains("quarantined"), "{body}");
+        let (ok, body, _) = ctx.dispatch("session list", None, &mut attached);
+        assert!(ok);
+        assert!(body.contains("quarantined=true"), "{body}");
+        let (ok, _, _) = ctx.dispatch("session close", None, &mut attached);
+        assert!(ok);
     }
 
     #[test]
@@ -554,6 +779,7 @@ mod tests {
         })
         .unwrap();
         assert_ne!(handle.addr().port(), 0);
+        assert!(handle.recovery().is_none());
         handle.shutdown();
         handle.join();
     }

@@ -180,6 +180,16 @@ pub struct ServerStats {
     sessions_created: AtomicU64,
     sessions_closed: AtomicU64,
     sessions_evicted: AtomicU64,
+    // Robustness / error-budget counters (see ISSUE: supervision +
+    // durability layer): how often the supervision machinery fired.
+    faults_injected: AtomicU64,
+    panics_caught: AtomicU64,
+    sessions_quarantined: AtomicU64,
+    journal_records: AtomicU64,
+    journal_torn: AtomicU64,
+    journal_errors: AtomicU64,
+    sessions_recovered: AtomicU64,
+    commands_replayed: AtomicU64,
     per_class: [ClassStats; 11],
 }
 
@@ -192,6 +202,14 @@ impl Default for ServerStats {
             sessions_created: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            sessions_quarantined: AtomicU64::new(0),
+            journal_records: AtomicU64::new(0),
+            journal_torn: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
+            sessions_recovered: AtomicU64::new(0),
+            commands_replayed: AtomicU64::new(0),
             per_class: std::array::from_fn(|_| ClassStats::default()),
         }
     }
@@ -239,6 +257,51 @@ impl ServerStats {
         self.sessions_evicted.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// A configured fault fired (see [`crate::fault::FaultPlan`]).
+    pub fn fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A command panicked and the panic was contained.
+    pub fn panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session crossed the consecutive-panic threshold.
+    pub fn session_quarantined(&self) {
+        self.sessions_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A journal record was committed.
+    pub fn journal_record(&self) {
+        self.journal_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A journal append was torn (fault injection).
+    pub fn journal_torn(&self) {
+        self.journal_torn.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A journal operation failed with an I/O error.
+    pub fn journal_error(&self) {
+        self.journal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Startup recovery completed with this report.
+    pub fn recovery(&self, report: &crate::session::RecoveryReport) {
+        self.sessions_recovered
+            .fetch_add(report.sessions as u64, Ordering::Relaxed);
+        self.commands_replayed
+            .fetch_add(report.replayed as u64, Ordering::Relaxed);
+        self.journal_torn
+            .fetch_add(report.torn_tails as u64, Ordering::Relaxed);
+    }
+
+    /// Panics contained so far.
+    pub fn panics_caught_count(&self) -> u64 {
+        self.panics_caught.load(Ordering::Relaxed)
+    }
+
     /// Total commands across classes.
     pub fn total_commands(&self) -> u64 {
         self.per_class
@@ -277,6 +340,20 @@ impl ServerStats {
             "commands total={} errors={}\n",
             self.total_commands(),
             self.total_errors(),
+        ));
+        out.push_str(&format!(
+            "faults injected={} panics_caught={} quarantined={}\n",
+            self.faults_injected.load(Ordering::Relaxed),
+            self.panics_caught.load(Ordering::Relaxed),
+            self.sessions_quarantined.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "journal records={} torn={} errors={} recovered_sessions={} replayed={}\n",
+            self.journal_records.load(Ordering::Relaxed),
+            self.journal_torn.load(Ordering::Relaxed),
+            self.journal_errors.load(Ordering::Relaxed),
+            self.sessions_recovered.load(Ordering::Relaxed),
+            self.commands_replayed.load(Ordering::Relaxed),
         ));
         for class in ALL_CLASSES {
             let c = &self.per_class[class.index()];
@@ -358,5 +435,34 @@ mod tests {
         assert!(text.contains("commands total=2 errors=1"));
         assert!(text.contains("cmd load count=2 errors=1"));
         assert!(!text.contains("cmd match"), "{text}");
+    }
+
+    #[test]
+    fn render_exposes_the_error_budget_counters() {
+        let s = ServerStats::new();
+        s.fault_injected();
+        s.panic_caught();
+        s.panic_caught();
+        s.session_quarantined();
+        s.journal_record();
+        s.journal_torn();
+        s.journal_error();
+        s.recovery(&crate::session::RecoveryReport {
+            sessions: 2,
+            replayed: 7,
+            torn_tails: 1,
+            skipped: 0,
+            replay_errors: 0,
+        });
+        let text = s.render(0);
+        assert!(
+            text.contains("faults injected=1 panics_caught=2 quarantined=1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("journal records=1 torn=2 errors=1 recovered_sessions=2 replayed=7"),
+            "{text}"
+        );
+        assert_eq!(s.panics_caught_count(), 2);
     }
 }

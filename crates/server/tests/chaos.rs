@@ -1,0 +1,383 @@
+//! Chaos integration tests: deterministic fault injection against a
+//! live daemon.
+//!
+//! Every test runs with a fixed seed, so a failure reproduces exactly
+//! — rerunning replays the same faults at the same per-point call
+//! indices regardless of worker interleaving. Covered:
+//!
+//! * a panicking command answers a protocol error while the session
+//!   stays usable and *other* sessions are unaffected;
+//! * quarantine after repeated panics, then `session close`;
+//! * crash + `--recover` restart restores a journaled session
+//!   byte-identically (stats-visible state and query results);
+//! * a torn final journal record recovers the un-torn prefix;
+//! * client reconnect (backoff + re-attach) across the restart;
+//! * a connection dying mid-heredoc journals nothing.
+
+use iwb_server::client::{Backoff, Client};
+use iwb_server::fault::{FaultSpec, EXEC_PANIC, JOURNAL_TORN};
+use iwb_server::server::{serve, ServerConfig, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const SCHEMA_A: &str = "entity Customer \"A customer.\" { name : text \"Full name.\" }";
+const SCHEMA_B: &str = "entity Client { client_name : text }";
+
+/// A scratch journal directory, cleaned on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("iwb-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn serve_config(config: ServerConfig) -> ServerHandle {
+    serve(config).expect("bind ephemeral port")
+}
+
+/// Restart "the daemon" on the same address with recovery enabled.
+/// The old listener must be fully closed first, so this retries the
+/// bind briefly.
+fn restart_with_recovery(addr: &str, journal_dir: &Path) -> ServerHandle {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match serve(ServerConfig {
+            addr: addr.to_owned(),
+            journal_dir: Some(journal_dir.to_path_buf()),
+            recover: true,
+            ..ServerConfig::default()
+        }) {
+            Ok(handle) => return handle,
+            Err(e) if std::time::Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("could not rebind {addr}: {e}"),
+        }
+    }
+}
+
+/// Everything `stats`-visible and query-visible about a session's
+/// integration state, for byte-identical comparison across a restart.
+fn observable_state(c: &mut Client) -> String {
+    let export = c.request("export").unwrap().expect_ok().unwrap();
+    let coverage = c.request("show coverage").unwrap().expect_ok().unwrap();
+    format!("{export}\n---\n{coverage}")
+}
+
+#[test]
+fn panicking_command_is_isolated_and_other_sessions_keep_working() {
+    iwb_server::quiet_injected_panics();
+    // Fixed seed; panic on exactly the third shell command the daemon
+    // executes (victim's `match`), nowhere else.
+    let handle = serve_config(ServerConfig {
+        faults: FaultSpec::seeded(42).at(EXEC_PANIC, &[2]).build(),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut victim = Client::connect(addr).unwrap();
+    victim.session_new(Some("victim")).unwrap();
+    victim
+        .request_with_heredoc("load er src", SCHEMA_A)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    victim
+        .request_with_heredoc("load er dst", SCHEMA_B)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+
+    let boom = victim.request("match src dst").unwrap();
+    assert!(!boom.ok, "fault index 2 must fire: {}", boom.body);
+    assert!(boom.body.contains("command panicked"), "{}", boom.body);
+
+    // The victim session survives the contained panic...
+    let retry = victim.request("match src dst").unwrap();
+    assert!(retry.ok, "session unusable after panic: {}", retry.body);
+    assert!(retry.body.contains("cells updated"), "{}", retry.body);
+
+    // ...and a session created *after* the fault is fully healthy.
+    let mut bystander = Client::connect(addr).unwrap();
+    bystander.session_new(Some("bystander")).unwrap();
+    bystander
+        .request_with_heredoc("load er other", SCHEMA_B)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    let export = bystander.request("export").unwrap().expect_ok().unwrap();
+    assert!(export.contains("other"), "{export}");
+    assert!(!export.contains("src"), "bystander sees victim state");
+
+    let stats = bystander.stats().unwrap();
+    assert!(stats.contains("panics_caught=1"), "{stats}");
+    assert!(stats.contains("faults injected=1"), "{stats}");
+
+    bystander.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn quarantine_after_repeated_panics_then_close() {
+    iwb_server::quiet_injected_panics();
+    let handle = serve_config(ServerConfig {
+        quarantine_after: 2,
+        faults: FaultSpec::seeded(7).at(EXEC_PANIC, &[0, 1]).build(),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.session_new(Some("sick")).unwrap();
+
+    let first = c.request("show coverage").unwrap();
+    assert!(
+        !first.ok && first.body.contains("command panicked"),
+        "{}",
+        first.body
+    );
+    let second = c.request("show coverage").unwrap();
+    assert!(second.body.contains("quarantined"), "{}", second.body);
+
+    // Quarantined: commands rejected without running...
+    let rejected = c.request("show coverage").unwrap();
+    assert!(!rejected.ok);
+    assert!(
+        rejected.body.contains("is quarantined"),
+        "{}",
+        rejected.body
+    );
+
+    // ...other sessions unaffected, and `session close` still works.
+    let mut healthy = Client::connect(handle.addr()).unwrap();
+    healthy.session_new(Some("fine")).unwrap();
+    assert!(healthy.request("show coverage").unwrap().ok);
+
+    let stats = healthy.stats().unwrap();
+    assert!(stats.contains("quarantined=1"), "{stats}");
+    assert!(c.request("session close sick").unwrap().ok);
+
+    healthy.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn recover_restores_a_journaled_session_byte_identically() {
+    let dir = TempDir::new("recover");
+    let handle = serve_config(ServerConfig {
+        journal_dir: Some(dir.0.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_new(Some("work")).unwrap();
+    c.request_with_heredoc("load er src", SCHEMA_A)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    c.request_with_heredoc("load er dst", SCHEMA_B)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    c.request("match src dst").unwrap().expect_ok().unwrap();
+    let before = observable_state(&mut c);
+    let matrix_before = c
+        .request("show matrix src dst")
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+
+    // "Crash": shut the daemon down without closing the session, so
+    // its journal file stays behind.
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    let restarted = restart_with_recovery(&addr, &dir.0);
+    let report = restarted.recovery().expect("recovery ran").clone();
+    assert_eq!(report.sessions, 1, "{report:?}");
+    assert_eq!(report.replayed, 3, "load, load, match: {report:?}");
+    assert_eq!(report.replay_errors, 0, "{report:?}");
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_attach("work").unwrap();
+    assert_eq!(
+        observable_state(&mut c),
+        before,
+        "state drifted across recovery"
+    );
+    let matrix_after = c
+        .request("show matrix src dst")
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    assert_eq!(matrix_after, matrix_before);
+
+    // The replayed command count is stats-visible on `session list`.
+    let list = c.request("session list").unwrap().expect_ok().unwrap();
+    assert!(list.contains("id=work"), "{list}");
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("recovered_sessions=1"), "{stats}");
+    assert!(stats.contains("replayed=3"), "{stats}");
+
+    c.shutdown().unwrap();
+    restarted.join();
+}
+
+#[test]
+fn torn_final_journal_record_recovers_the_prefix() {
+    let dir = TempDir::new("torn");
+    // Tear exactly the third journal append (the `match`): the two
+    // loads commit cleanly, the match's record is half-written.
+    let handle = serve_config(ServerConfig {
+        journal_dir: Some(dir.0.clone()),
+        faults: FaultSpec::seeded(11).at(JOURNAL_TORN, &[2]).build(),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_new(Some("frayed")).unwrap();
+    c.request_with_heredoc("load er src", SCHEMA_A)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    c.request_with_heredoc("load er dst", SCHEMA_B)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    // The command itself succeeds — only its durability record tears.
+    c.request("match src dst").unwrap().expect_ok().unwrap();
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    let restarted = restart_with_recovery(&addr, &dir.0);
+    let report = restarted.recovery().expect("recovery ran").clone();
+    assert_eq!(report.sessions, 1, "{report:?}");
+    assert_eq!(
+        report.torn_tails, 1,
+        "torn tail must be detected: {report:?}"
+    );
+    assert_eq!(
+        report.replayed, 2,
+        "only the clean prefix replays: {report:?}"
+    );
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_attach("frayed").unwrap();
+    let export = c.request("export").unwrap().expect_ok().unwrap();
+    assert!(export.contains("src"), "{export}");
+    assert!(export.contains("dst"), "{export}");
+    // The torn match is gone — and can simply be rerun.
+    let rematch = c.request("match src dst").unwrap();
+    assert!(rematch.ok, "{}", rematch.body);
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("torn=1") || stats.contains("recovered_sessions=1"),
+        "{stats}"
+    );
+
+    c.shutdown().unwrap();
+    restarted.join();
+}
+
+#[test]
+fn client_reconnects_and_reattaches_across_a_restart() {
+    let dir = TempDir::new("reconnect");
+    let handle = serve_config(ServerConfig {
+        journal_dir: Some(dir.0.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_new(Some("sticky")).unwrap();
+    c.request_with_heredoc("load er src", SCHEMA_A)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    let before = observable_state(&mut c);
+
+    handle.shutdown();
+    handle.join();
+    // The daemon is dead: requests now fail.
+    assert!(c.request("ping").is_err());
+
+    let restarted = restart_with_recovery(&addr, &dir.0);
+    c.reconnect(&Backoff {
+        attempts: 40,
+        base: Duration::from_millis(25),
+        max: Duration::from_millis(200),
+        seed: 99,
+    })
+    .expect("reconnect + re-attach");
+    assert_eq!(c.session(), Some("sticky"));
+    assert_eq!(observable_state(&mut c), before);
+
+    c.shutdown().unwrap();
+    restarted.join();
+}
+
+#[test]
+fn dying_mid_heredoc_journals_nothing() {
+    let dir = TempDir::new("midheredoc");
+    let handle = serve_config(ServerConfig {
+        journal_dir: Some(dir.0.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_new(Some("partial")).unwrap();
+    c.request_with_heredoc("load er whole", SCHEMA_A)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+
+    // A raw connection that opens a heredoc and dies before the
+    // terminator: the command must never execute, so nothing lands in
+    // the journal.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(b"session attach partial\n").unwrap();
+        raw.write_all(b"load er torn <<EOF\nentity Half {\n")
+            .unwrap();
+        raw.flush().unwrap();
+        // Drop without sending EOF.
+    }
+    // Give the worker a moment to notice the dead connection.
+    std::thread::sleep(Duration::from_millis(200));
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    let restarted = restart_with_recovery(&addr, &dir.0);
+    let report = restarted.recovery().expect("recovery ran").clone();
+    assert_eq!(report.replayed, 1, "only the completed load: {report:?}");
+    assert_eq!(report.replay_errors, 0, "{report:?}");
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_attach("partial").unwrap();
+    let export = c.request("export").unwrap().expect_ok().unwrap();
+    assert!(export.contains("whole"), "{export}");
+    assert!(
+        !export.contains("torn"),
+        "half-received command leaked: {export}"
+    );
+
+    c.shutdown().unwrap();
+    restarted.join();
+}

@@ -8,6 +8,8 @@
 
 use iwb_server::client::Client;
 use iwb_server::server::{serve, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::thread;
 use std::time::Duration;
 
@@ -160,6 +162,135 @@ fn idle_sessions_are_evicted_by_the_housekeeper() {
     let stats = c.stats().unwrap();
     assert!(stats.contains("evicted=1"), "{stats}");
 
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+/// Read one `ok <n>`/`err <n>` framed reply from a raw socket.
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Option<(bool, String)> {
+    let mut header = String::new();
+    if reader.read_line(&mut header).ok()? == 0 {
+        return None;
+    }
+    let (status, count) = header.trim_end().split_once(' ')?;
+    let n: usize = count.parse().ok()?;
+    let mut lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        lines.push(line.trim_end().to_owned());
+    }
+    Some((status == "ok", lines.join("\n")))
+}
+
+#[test]
+fn heredoc_missing_terminator_at_eof_never_executes() {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // A raw connection that opens a heredoc and closes before the
+    // terminator: the half-received command must not run.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        raw.write_all(b"session new frag\n").unwrap();
+        assert!(read_reply(&mut reader).unwrap().0);
+        raw.write_all(b"load er half <<EOF\nentity Broken {\n")
+            .unwrap();
+        raw.flush().unwrap();
+        // Drop: EOF before the heredoc terminator.
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    c.session_attach("frag").unwrap();
+    let export = c.request("export").unwrap().expect_ok().unwrap();
+    assert!(
+        !export.contains("half"),
+        "partial heredoc executed: {export}"
+    );
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn heredoc_terminator_with_trailing_whitespace_terminates() {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    raw.write_all(b"session new ws\n").unwrap();
+    assert!(read_reply(&mut reader).unwrap().0);
+    raw.write_all(b"load er padded <<EOF\nentity P { f : text }\nEOF   \n")
+        .unwrap();
+    raw.flush().unwrap();
+    let (ok, body) = read_reply(&mut reader).unwrap();
+    assert!(ok, "{body}");
+    assert!(body.contains("loaded padded"), "{body}");
+    raw.write_all(b"shutdown\n").unwrap();
+    assert!(read_reply(&mut reader).unwrap().0);
+    handle.join();
+}
+
+#[test]
+fn heredoc_with_empty_body_loads() {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    raw.write_all(b"session new empty\n").unwrap();
+    assert!(read_reply(&mut reader).unwrap().0);
+    raw.write_all(b"load er nothing <<EOF\nEOF\n").unwrap();
+    raw.flush().unwrap();
+    let (ok, body) = read_reply(&mut reader).unwrap();
+    assert!(ok, "{body}");
+    assert!(body.contains("loaded nothing"), "{body}");
+    raw.write_all(b"shutdown\n").unwrap();
+    assert!(read_reply(&mut reader).unwrap().0);
+    handle.join();
+}
+
+#[test]
+fn oversized_lines_and_heredocs_get_a_clean_protocol_error() {
+    let handle = serve(ServerConfig {
+        max_line_bytes: 128,
+        max_heredoc_bytes: 256,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    // An oversized command line: one error reply, then the connection
+    // closes (it cannot be resynchronized).
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let long = format!("load er big {}\n", "x".repeat(4096));
+        raw.write_all(long.as_bytes()).unwrap();
+        raw.flush().unwrap();
+        let (ok, body) = read_reply(&mut reader).unwrap();
+        assert!(!ok);
+        assert!(body.contains("line exceeds 128 bytes"), "{body}");
+        assert!(read_reply(&mut reader).is_none(), "connection should close");
+    }
+
+    // An oversized heredoc body: same contract.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        raw.write_all(b"session new fat\n").unwrap();
+        assert!(read_reply(&mut reader).unwrap().0);
+        raw.write_all(b"load er blob <<EOF\n").unwrap();
+        for _ in 0..16 {
+            raw.write_all(b"entity Filler { ffffffffffffffffffffffff : text }\n")
+                .unwrap();
+        }
+        raw.write_all(b"EOF\n").unwrap();
+        raw.flush().unwrap();
+        let (ok, body) = read_reply(&mut reader).unwrap();
+        assert!(!ok);
+        assert!(body.contains("heredoc exceeds 256 bytes"), "{body}");
+        assert!(read_reply(&mut reader).is_none(), "connection should close");
+    }
+
+    let mut c = Client::connect(addr).unwrap();
     c.shutdown().unwrap();
     handle.join();
 }

@@ -17,4 +17,7 @@ cargo fmt --check
 echo "== cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== chaos smoke (fault-injection integration tests, fixed seeds)"
+cargo test -q --offline -p iwb-server --test chaos
+
 echo "ci: ok"

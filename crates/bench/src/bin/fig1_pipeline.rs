@@ -27,8 +27,8 @@ fn main() {
         println!(
             "    {:<40} tokens={:?} stems={:?}",
             source.name_path(id),
-            f.name.tokens,
-            f.name.stems
+            f.text.name.tokens,
+            f.text.name.stems
         );
         let _ = el;
     }

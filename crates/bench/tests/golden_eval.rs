@@ -1,0 +1,72 @@
+//! Golden evaluation regression: the default engine's match quality on
+//! a fixed-seed registry workload, pinned to a checked-in file.
+//!
+//! The generator, perturbation, linguistic pipeline, and engine are all
+//! seeded and deterministic, so precision/recall/F1 are exact values —
+//! any drift (a voter tweak, a merger change, a flooding adjustment)
+//! shows up as a diff against `tests/golden/eval_metrics.txt`.
+//!
+//! To accept an intentional change, re-bless:
+//!
+//! ```sh
+//! IWB_BLESS=1 cargo test -p iwb-bench --test golden_eval
+//! ```
+
+use iwb_bench::{micro_average, score, standard_pairs};
+use iwb_harmony::HarmonyEngine;
+use iwb_registry::perturb::PerturbConfig;
+use std::fmt::Write;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/eval_metrics.txt")
+}
+
+#[test]
+fn eval_metrics_match_golden() {
+    let pairs = standard_pairs(7, 3, 10, &PerturbConfig::mild(7));
+    let mut engine = HarmonyEngine::default();
+    let mut report = String::new();
+    let mut metrics = Vec::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        let m = score(&mut engine, pair, 0.25);
+        writeln!(
+            report,
+            "pair {i}: tp={} predicted={} actual={}",
+            m.true_positives, m.predicted, m.actual
+        )
+        .unwrap();
+        metrics.push(m);
+    }
+    let avg = micro_average(&metrics);
+    writeln!(
+        report,
+        "micro: precision={:.6} recall={:.6} f1={:.6}",
+        avg.precision(),
+        avg.recall(),
+        avg.f1()
+    )
+    .unwrap();
+
+    let path = golden_path();
+    if std::env::var_os("IWB_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &report).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it with \
+             IWB_BLESS=1 cargo test -p iwb-bench --test golden_eval",
+            path.display()
+        )
+    });
+    assert_eq!(
+        report,
+        golden,
+        "evaluation metrics drifted from {}; if intentional, re-bless with \
+         IWB_BLESS=1 cargo test -p iwb-bench --test golden_eval",
+        path.display()
+    );
+}

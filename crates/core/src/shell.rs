@@ -9,6 +9,7 @@
 //! ```text
 //! load <format> <schema-id> <<EOF … EOF      # task 1/2
 //! match <source> <target> [subtree <path>]   # task 3 (automatic)
+//! match-config [threads <n>] [cache on|off]  # engine parallelism/cache knobs
 //! accept <source> <target> <row> <col>       # task 3 (manual)
 //! reject <source> <target> <row> <col>
 //! bind <source> <target> <row> <variable>    # mapping
@@ -96,6 +97,24 @@ impl Shell {
                         .with("subtree", *path),
                 )?;
                 Ok(report.output)
+            }
+            ["match-config", rest @ ..] => {
+                let mut tool_args = ToolArgs::new().with("action", "configure");
+                let mut it = rest.iter();
+                while let Some(key) = it.next() {
+                    let value = it.next().ok_or_else(|| {
+                        ToolError::Failed("usage: match-config [threads <n>] [cache on|off]".into())
+                    })?;
+                    match *key {
+                        "threads" | "cache" => tool_args = tool_args.with(*key, *value),
+                        other => {
+                            return Err(ToolError::Failed(format!(
+                                "unknown match-config key {other:?} (threads, cache)"
+                            )))
+                        }
+                    }
+                }
+                Ok(self.manager.invoke("harmony", &tool_args)?.output)
             }
             [action @ ("accept" | "reject"), source, target, row, col] => {
                 let report = self.manager.invoke(
@@ -227,7 +246,10 @@ pub const HEREDOC_END: &str = "EOF";
 pub fn mutates(line: &str) -> bool {
     matches!(
         line.split_whitespace().next().unwrap_or(""),
-        "load" | "match" | "accept" | "reject" | "bind" | "code" | "generate"
+        // `match-config` mutates no matrix, but it changes engine state
+        // that later `match` commands depend on — replaying it keeps a
+        // recovered session's configuration (and thus timing) faithful.
+        "load" | "match" | "match-config" | "accept" | "reject" | "bind" | "code" | "generate"
     )
 }
 
@@ -418,6 +440,7 @@ show coverage
         for cmd in [
             "load er po <<EOF",
             "match a b",
+            "match-config threads 4",
             "accept a b r c",
             "reject a b r c",
             "bind a b r v",
@@ -429,6 +452,25 @@ show coverage
         for cmd in ["show coverage", "query ? ? ?", "export", "", "# note"] {
             assert!(!mutates(cmd), "{cmd} should not mutate");
         }
+    }
+
+    #[test]
+    fn match_config_shows_and_sets_engine_knobs() {
+        let mut shell = Shell::new();
+        let shown = shell.execute("match-config", None).unwrap();
+        assert!(shown.contains("threads=1"), "{shown}");
+        assert!(shown.contains("cache=on"), "{shown}");
+        let set = shell
+            .execute("match-config threads 4 cache off", None)
+            .unwrap();
+        assert!(set.contains("threads=4"), "{set}");
+        assert!(set.contains("cache=off"), "{set}");
+        let err = shell.execute("match-config cache maybe", None).unwrap_err();
+        assert!(err.to_string().contains("on or off"));
+        let err = shell.execute("match-config threads", None).unwrap_err();
+        assert!(err.to_string().contains("usage"));
+        let err = shell.execute("match-config flux 9", None).unwrap_err();
+        assert!(err.to_string().contains("unknown match-config key"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! updates the cells of the mapping matrix."
 
 use crate::blackboard::Blackboard;
-use crate::event::WorkbenchEvent;
+use crate::event::{EventKind, WorkbenchEvent};
 use crate::taskmodel::Task;
 use crate::tool::{ToolArgs, ToolError, ToolKind, WorkbenchTool};
 use iwb_harmony::{Confidence, Feedback, HarmonyEngine, MatchResult};
@@ -46,6 +46,47 @@ impl HarmonyTool {
     /// Access the engine (e.g. for weight inspection in experiments).
     pub fn engine(&self) -> &HarmonyEngine {
         &self.engine
+    }
+
+    /// Mutable engine access (e.g. to install a thesaurus or tune the
+    /// match configuration programmatically).
+    pub fn engine_mut(&mut self) -> &mut HarmonyEngine {
+        &mut self.engine
+    }
+
+    /// The `configure` action: adjust `threads` / `cache` and report
+    /// the resulting [`iwb_harmony::MatchConfig`] plus cache counters.
+    fn configure(&mut self, args: &ToolArgs) -> Result<String, ToolError> {
+        let mut config = self.engine.match_config();
+        if let Some(t) = args.get("threads") {
+            config.threads = t
+                .parse()
+                .map_err(|_| ToolError::Failed(format!("threads must be a number, got {t:?}")))?;
+        }
+        if let Some(c) = args.get("cache") {
+            config.cache = match c {
+                "on" => true,
+                "off" => false,
+                other => {
+                    return Err(ToolError::Failed(format!(
+                        "cache must be on or off, got {other:?}"
+                    )))
+                }
+            };
+        }
+        self.engine.set_match_config(config);
+        let stats = self.engine.cache_stats();
+        Ok(format!(
+            "match-config: threads={} (effective {}), cache={}; \
+             context cache {} hit(s) / {} miss(es), text cache {} hit(s) / {} miss(es)",
+            config.threads,
+            self.engine.effective_threads(),
+            if config.cache { "on" } else { "off" },
+            stats.context_hits,
+            stats.context_misses,
+            stats.text_hits,
+            stats.text_misses,
+        ))
     }
 
     fn resolve(
@@ -175,15 +216,38 @@ impl WorkbenchTool for HarmonyTool {
         vec![Task::ObtainSourceSchemata, Task::GenerateCorrespondences]
     }
 
-    /// Arguments: `action` = `match` (default) | `accept` | `reject`;
-    /// `source`, `target`; for match: optional `subtree` (source path);
-    /// for accept/reject: `row` and `col` paths.
+    fn subscriptions(&self) -> Vec<EventKind> {
+        // A (re)imported schema invalidates everything derived from its
+        // elements: cached linguistic features and prior match results.
+        vec![EventKind::SchemaGraph]
+    }
+
+    fn on_event(
+        &mut self,
+        _blackboard: &mut Blackboard,
+        event: &WorkbenchEvent,
+        _events: &mut Vec<WorkbenchEvent>,
+    ) {
+        if let WorkbenchEvent::SchemaGraph { schema } = event {
+            self.engine.invalidate_features();
+            self.last_result
+                .retain(|(s, t), _| s != schema && t != schema);
+        }
+    }
+
+    /// Arguments: `action` = `match` (default) | `accept` | `reject` |
+    /// `configure`; `source`, `target`; for match: optional `subtree`
+    /// (source path); for accept/reject: `row` and `col` paths; for
+    /// configure: optional `threads` (0 = auto) and `cache` (`on`/`off`).
     fn invoke(
         &mut self,
         blackboard: &mut Blackboard,
         args: &ToolArgs,
         events: &mut Vec<WorkbenchEvent>,
     ) -> Result<String, ToolError> {
+        if args.get("action") == Some("configure") {
+            return self.configure(args);
+        }
         let source = SchemaId::new(args.require("source")?);
         let target = SchemaId::new(args.require("target")?);
         match args.get("action").unwrap_or("match") {
@@ -307,6 +371,68 @@ mod tests {
         // Inside the subtree, cells were written.
         let ship = s.find_by_name("shipTo").unwrap();
         assert_ne!(matrix.cell(ship, info).confidence, Confidence::UNKNOWN);
+    }
+
+    #[test]
+    fn configure_action_sets_threads_and_cache() {
+        let mut bb = Blackboard::new();
+        let mut tool = HarmonyTool::new();
+        let shown = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new().with("action", "configure"),
+                &mut Vec::new(),
+            )
+            .unwrap();
+        assert!(shown.contains("threads=1"), "{shown}");
+        assert!(shown.contains("cache=on"), "{shown}");
+        let set = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("action", "configure")
+                    .with("threads", "4")
+                    .with("cache", "off"),
+                &mut Vec::new(),
+            )
+            .unwrap();
+        assert!(set.contains("threads=4"), "{set}");
+        assert!(set.contains("cache=off"), "{set}");
+        assert_eq!(tool.engine().match_config().threads, 4);
+        assert!(!tool.engine().match_config().cache);
+        let err = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("action", "configure")
+                    .with("cache", "maybe"),
+                &mut Vec::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("on or off"));
+    }
+
+    #[test]
+    fn schema_graph_event_invalidates_the_feature_cache() {
+        let (mut bb, po, inv) = loaded_bb();
+        let mut tool = HarmonyTool::new();
+        let args = ToolArgs::new()
+            .with("source", "purchaseOrder")
+            .with("target", "invoice");
+        tool.invoke(&mut bb, &args, &mut Vec::new()).unwrap();
+        tool.invoke(&mut bb, &args, &mut Vec::new()).unwrap();
+        assert_eq!(tool.engine().cache_stats().context_hits, 1);
+        // Re-importing a schema must drop the cached features and the
+        // remembered result for every pair the schema participates in.
+        assert!(tool.subscriptions().contains(&EventKind::SchemaGraph));
+        tool.on_event(
+            &mut bb,
+            &WorkbenchEvent::SchemaGraph { schema: po.clone() },
+            &mut Vec::new(),
+        );
+        assert!(!tool.last_result.contains_key(&(po, inv)));
+        tool.invoke(&mut bb, &args, &mut Vec::new()).unwrap();
+        assert_eq!(tool.engine().cache_stats().context_misses, 2);
     }
 
     #[test]

@@ -34,9 +34,9 @@ impl MatchVoter for ExactNameVoter {
         "exact-name"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        let a = &ctx.src(src).name.tokens;
-        let b = &ctx.tgt(tgt).name.tokens;
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = &ctx.src(src).text.name.tokens;
+        let b = &ctx.tgt(tgt).text.name.tokens;
         if !a.is_empty() && a == b {
             Confidence::engine(0.95)
         } else {

@@ -2,38 +2,65 @@
 //!
 //! The linguistic preprocessing stage of Figure 1 runs once per element,
 //! not once per voter per pair: [`MatchContext`] caches tokenised names,
-//! stemmed documentation, TF-IDF vectors, and domain value sets for both
-//! schemata, and hands voters read access.
+//! stemmed documentation, character-bigram profiles, thesaurus
+//! expansions, TF-IDF vectors, and domain value sets for both schemata,
+//! and hands voters read access.
+//!
+//! The context owns its schemata and thesaurus behind `Arc`s, so one
+//! built context can be shared read-only across the engine's worker
+//! threads and across re-runs within a session (see
+//! [`crate::cache::FeatureCache`]). Per-element features split in two:
+//!
+//! * [`TextFeatures`] — corpus-independent (tokens, stems, bigrams,
+//!   thesaurus expansions, domain values). Cacheable per schema.
+//! * the TF-IDF [`ElementFeatures::vector`] — depends on the combined
+//!   corpus of *both* schemata plus learned boosts, so it is rebuilt per
+//!   context.
 
 use iwb_ling::pipeline::{preprocess_doc, preprocess_name, Preprocessed};
-use iwb_ling::{Corpus, TermVector, Thesaurus};
+use iwb_ling::{porter_stem, Corpus, NgramProfile, TermVector, Thesaurus};
 use iwb_model::{Domain, EdgeKind, ElementId, SchemaGraph};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Cached per-element linguistic features.
+/// Corpus-independent linguistic features of one element, cacheable per
+/// schema (and thesaurus) across engine runs.
 #[derive(Debug, Clone, Default)]
-pub struct ElementFeatures {
+pub struct TextFeatures {
     /// Tokenised, stop-filtered name.
     pub name: Preprocessed,
     /// Tokenised, stop-filtered documentation.
     pub doc: Preprocessed,
-    /// TF-IDF vector over name + documentation stems.
-    pub vector: TermVector,
     /// Codes (and meanings, stemmed) of the element's domain, when the
     /// element is a domain or an attribute linked to one.
     pub domain_codes: Vec<String>,
     /// Stemmed meaning tokens of the domain values.
     pub domain_meaning_stems: Vec<String>,
+    /// Name tokens joined with no separator (the name voter's
+    /// whole-string view).
+    pub joined_name: String,
+    /// Character-bigram profile of [`Self::joined_name`].
+    pub name_profile: NgramProfile,
+    /// `porter_stem(thesaurus.expand(token))` per name token, aligned
+    /// with `name.tokens` (the thesaurus and path voters' hot loop).
+    pub expanded_stems: Vec<String>,
+}
+
+/// Cached per-element features: shared text features plus the
+/// context-specific TF-IDF vector.
+#[derive(Debug, Clone, Default)]
+pub struct ElementFeatures {
+    /// Corpus-independent text features (possibly shared with a cache).
+    pub text: Arc<TextFeatures>,
+    /// TF-IDF vector over name + documentation stems.
+    pub vector: TermVector,
 }
 
 /// Read-only context shared by all voters during one engine run.
-pub struct MatchContext<'a> {
-    /// The source schema.
-    pub source: &'a SchemaGraph,
-    /// The target schema.
-    pub target: &'a SchemaGraph,
-    /// The thesaurus used by the thesaurus-expansion voter.
-    pub thesaurus: &'a Thesaurus,
+pub struct MatchContext {
+    source: Arc<SchemaGraph>,
+    target: Arc<SchemaGraph>,
+    thesaurus: Arc<Thesaurus>,
     /// Document-frequency corpus built over both schemata's elements.
     pub corpus: Corpus,
     source_features: HashMap<ElementId, ElementFeatures>,
@@ -54,67 +81,108 @@ pub enum SchemaSide {
     Target,
 }
 
-impl<'a> MatchContext<'a> {
+/// Compute the corpus-independent text features of every element of a
+/// schema, in graph iteration order.
+pub(crate) fn schema_text_features(
+    graph: &SchemaGraph,
+    thesaurus: &Thesaurus,
+) -> HashMap<ElementId, Arc<TextFeatures>> {
+    let mut map = HashMap::with_capacity(graph.len());
+    for (id, el) in graph.iter() {
+        let name = preprocess_name(&el.name);
+        let doc = el
+            .documentation
+            .as_deref()
+            .map(preprocess_doc)
+            .unwrap_or_default();
+        let (domain_codes, domain_meaning_stems) = domain_features(graph, id);
+        let joined_name = name.tokens.join("");
+        let name_profile = NgramProfile::new(&joined_name, 2);
+        let expanded_stems = name
+            .tokens
+            .iter()
+            .map(|t| porter_stem(thesaurus.expand(t)))
+            .collect();
+        map.insert(
+            id,
+            Arc::new(TextFeatures {
+                name,
+                doc,
+                domain_codes,
+                domain_meaning_stems,
+                joined_name,
+                name_profile,
+                expanded_stems,
+            }),
+        );
+    }
+    map
+}
+
+impl MatchContext {
     /// Precompute features for every element of both schemata. The
     /// corpus can be pre-seeded (e.g. carried over between iterations to
     /// keep learned term boosts — §4.3); pass `Corpus::new()` otherwise.
     pub fn build(
-        source: &'a SchemaGraph,
-        target: &'a SchemaGraph,
-        thesaurus: &'a Thesaurus,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        thesaurus: &Thesaurus,
+        corpus: Corpus,
+    ) -> Self {
+        let source = Arc::new(source.clone());
+        let target = Arc::new(target.clone());
+        let thesaurus = Arc::new(thesaurus.clone());
+        let source_text = schema_text_features(&source, &thesaurus);
+        let target_text = schema_text_features(&target, &thesaurus);
+        Self::from_parts(source, target, thesaurus, corpus, source_text, target_text)
+    }
+
+    /// Assemble a context from shared graphs and (possibly cached)
+    /// per-schema text features: register every element's stems in the
+    /// corpus, then derive TF-IDF vectors against the completed corpus.
+    pub(crate) fn from_parts(
+        source: Arc<SchemaGraph>,
+        target: Arc<SchemaGraph>,
+        thesaurus: Arc<Thesaurus>,
         mut corpus: Corpus,
+        source_text: HashMap<ElementId, Arc<TextFeatures>>,
+        target_text: HashMap<ElementId, Arc<TextFeatures>>,
     ) -> Self {
         // First pass: register documents so IDF reflects both schemata.
-        for graph in [source, target] {
-            for (_, el) in graph.iter() {
-                let name = preprocess_name(&el.name);
-                let doc = el
-                    .documentation
-                    .as_deref()
-                    .map(preprocess_doc)
-                    .unwrap_or_default();
-                let all: Vec<&str> = name
+        // Iterate in graph order — map order is not deterministic.
+        for (graph, text) in [(&source, &source_text), (&target, &target_text)] {
+            for (id, _) in graph.iter() {
+                let t = &text[&id];
+                let all: Vec<&str> = t
+                    .name
                     .stems
                     .iter()
-                    .chain(doc.stems.iter())
+                    .chain(t.doc.stems.iter())
                     .map(String::as_str)
                     .collect();
                 corpus.add_document(all);
             }
         }
         // Second pass: vectors against the complete corpus.
-        let features = |graph: &SchemaGraph, corpus: &Corpus| {
-            let mut map = HashMap::new();
-            for (id, el) in graph.iter() {
-                let name = preprocess_name(&el.name);
-                let doc = el
-                    .documentation
-                    .as_deref()
-                    .map(preprocess_doc)
-                    .unwrap_or_default();
-                let all: Vec<&str> = name
-                    .stems
-                    .iter()
-                    .chain(doc.stems.iter())
-                    .map(String::as_str)
-                    .collect();
-                let vector = corpus.vector(all);
-                let (domain_codes, domain_meaning_stems) = domain_features(graph, id);
-                map.insert(
-                    id,
-                    ElementFeatures {
-                        name,
-                        doc,
-                        vector,
-                        domain_codes,
-                        domain_meaning_stems,
-                    },
-                );
-            }
-            map
-        };
-        let source_features = features(source, &corpus);
-        let target_features = features(target, &corpus);
+        let features =
+            |graph: &SchemaGraph, text: HashMap<ElementId, Arc<TextFeatures>>, corpus: &Corpus| {
+                let mut map = HashMap::with_capacity(text.len());
+                for (id, _) in graph.iter() {
+                    let t = text[&id].clone();
+                    let all: Vec<&str> = t
+                        .name
+                        .stems
+                        .iter()
+                        .chain(t.doc.stems.iter())
+                        .map(String::as_str)
+                        .collect();
+                    let vector = corpus.vector(all);
+                    map.insert(id, ElementFeatures { text: t, vector });
+                }
+                map
+            };
+        let source_features = features(&source, source_text, &corpus);
+        let target_features = features(&target, target_text, &corpus);
         MatchContext {
             source,
             target,
@@ -125,6 +193,21 @@ impl<'a> MatchContext<'a> {
             source_samples: HashMap::new(),
             target_samples: HashMap::new(),
         }
+    }
+
+    /// The source schema.
+    pub fn source(&self) -> &SchemaGraph {
+        &self.source
+    }
+
+    /// The target schema.
+    pub fn target(&self) -> &SchemaGraph {
+        &self.target
+    }
+
+    /// The thesaurus used by the expansion-based voters.
+    pub fn thesaurus(&self) -> &Thesaurus {
+        &self.thesaurus
     }
 
     /// Attach instance value samples (lowercased on insert) for the
@@ -169,11 +252,28 @@ impl<'a> MatchContext<'a> {
         &self.target_features[&id]
     }
 
+    /// The shared text features of the source side, keyed by element
+    /// (for rebuilding a context with different samples attached).
+    pub(crate) fn src_text_map(&self) -> HashMap<ElementId, Arc<TextFeatures>> {
+        self.source_features
+            .iter()
+            .map(|(&id, f)| (id, Arc::clone(&f.text)))
+            .collect()
+    }
+
+    /// The shared text features of the target side, keyed by element.
+    pub(crate) fn tgt_text_map(&self) -> HashMap<ElementId, Arc<TextFeatures>> {
+        self.target_features
+            .iter()
+            .map(|(&id, f)| (id, Arc::clone(&f.text)))
+            .collect()
+    }
+
     /// The graph for a side.
     pub fn graph(&self, side: SchemaSide) -> &SchemaGraph {
         match side {
-            SchemaSide::Source => self.source,
-            SchemaSide::Target => self.target,
+            SchemaSide::Source => &self.source,
+            SchemaSide::Target => &self.target,
         }
     }
 }
@@ -248,10 +348,10 @@ mod tests {
             let _ = ctx.src(id);
         }
         let attr = s.find_by_name("SURFACE_CD").unwrap();
-        assert_eq!(ctx.src(attr).name.tokens, ["surface", "cd"]);
+        assert_eq!(ctx.src(attr).text.name.tokens, ["surface", "cd"]);
         assert!(!ctx.src(attr).vector.is_empty());
         let tattr = t.find_by_name("surfaceType").unwrap();
-        assert_eq!(ctx.tgt(tattr).name.tokens, ["surface", "type"]);
+        assert_eq!(ctx.tgt(tattr).text.name.tokens, ["surface", "type"]);
     }
 
     #[test]
@@ -271,13 +371,14 @@ mod tests {
         let th = Thesaurus::builtin();
         let ctx = MatchContext::build(&s, &t, &th, Corpus::new());
         let attr = s.find_by_name("SURFACE_CD").unwrap();
-        assert_eq!(ctx.src(attr).domain_codes, ["asp"]);
+        assert_eq!(ctx.src(attr).text.domain_codes, ["asp"]);
         assert!(ctx
             .src(attr)
+            .text
             .domain_meaning_stems
             .contains(&"asphalt".to_owned()));
         let tattr = t.find_by_name("surfaceType").unwrap();
-        assert!(ctx.tgt(tattr).domain_codes.is_empty());
+        assert!(ctx.tgt(tattr).text.domain_codes.is_empty());
     }
 
     #[test]
@@ -288,5 +389,21 @@ mod tests {
         corpus.adjust_boost("surfac", 3.0);
         let ctx = MatchContext::build(&s, &t, &th, corpus);
         assert!((ctx.corpus.boost("surfac") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_name_views_are_consistent() {
+        let (s, _t) = schemas();
+        let th = Thesaurus::builtin();
+        let ctx = MatchContext::build(&s, &s, &th, Corpus::new());
+        let attr = s.find_by_name("SURFACE_CD").unwrap();
+        let f = &ctx.src(attr).text;
+        assert_eq!(f.joined_name, "surfacecd");
+        assert_eq!(f.name_profile, NgramProfile::new("surfacecd", 2));
+        assert_eq!(f.expanded_stems.len(), f.name.tokens.len());
+        assert_eq!(
+            f.expanded_stems[0],
+            porter_stem(th.expand(&f.name.tokens[0]))
+        );
     }
 }

@@ -4,18 +4,65 @@
 //! voter suite and the merger (both stateful — they learn across
 //! iterations, §4.3) and is reused across runs of a
 //! [`crate::session::MatchSession`].
+//!
+//! # Parallelism and determinism
+//!
+//! Every stage that iterates the S×T cross product (voter scoring,
+//! vote merging, each flooding iteration) runs through a *row-range
+//! kernel*: a pure function from the shared read-only state to the new
+//! values of a contiguous range of source rows. With
+//! [`MatchConfig::threads`] ≤ 1 the engine calls the kernel once over
+//! all rows; with more threads it shards the rows across an
+//! [`iwb_pool::ThreadPool`] and splices each shard's slab back in fixed
+//! row order. Because every cell is computed independently from the
+//! same inputs and lands in a caller-owned slot, the parallel result is
+//! **bit-identical** to the sequential one — no float reassociation, no
+//! scheduling-dependent order (asserted by `tests/determinism.rs`).
+//!
+//! # Feature caching
+//!
+//! With [`MatchConfig::cache`] on (default), the engine keeps a
+//! [`FeatureCache`] of per-schema text features and fully built
+//! [`MatchContext`]s, keyed by schema content fingerprints and a corpus
+//! epoch that is bumped whenever learning, the thesaurus, or instance
+//! samples change. Cache hits are value-identical to fresh builds.
 
+use crate::cache::{CacheStats, FeatureCache};
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use crate::feedback::Feedback;
-use crate::flooding::{flood, FloodingConfig};
-use crate::matrix::ScoreMatrix;
+use crate::flooding::{flood, flood_rows, FloodingConfig};
+use crate::matrix::{matchable_ids, ScoreMatrix};
 use crate::merger::VoteMerger;
 use crate::voter::MatchVoter;
 use crate::voters::default_suite;
 use iwb_ling::{Corpus, Thesaurus};
 use iwb_model::{ElementId, SchemaGraph};
+use iwb_pool::ThreadPool;
 use std::collections::{HashMap, HashSet};
+use std::sync::{mpsc, Arc};
+
+/// Execution knobs for [`HarmonyEngine::run`], exposed through the
+/// workbench shell (`match-config`) and the `workbenchd` protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchConfig {
+    /// Worker threads for the cross-product stages. `1` runs inline on
+    /// the calling thread; `0` means "auto" (the machine's available
+    /// parallelism). Results are identical for every value.
+    pub threads: usize,
+    /// Reuse cached linguistic features across runs. Results are
+    /// identical with the cache on or off.
+    pub cache: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            threads: 1,
+            cache: true,
+        }
+    }
+}
 
 /// Output of one engine run.
 #[derive(Debug, Clone)]
@@ -69,7 +116,7 @@ pub struct HarmonyEngine {
     voters: Vec<Box<dyn MatchVoter>>,
     merger: VoteMerger,
     flooding: FloodingConfig,
-    thesaurus: Thesaurus,
+    thesaurus: Arc<Thesaurus>,
     /// Term-boost state carried between runs so documentation learning
     /// persists (§4.3).
     corpus_seed: Corpus,
@@ -77,6 +124,13 @@ pub struct HarmonyEngine {
     /// when available).
     source_samples: Vec<(ElementId, Vec<String>)>,
     target_samples: Vec<(ElementId, Vec<String>)>,
+    config: MatchConfig,
+    cache: FeatureCache,
+    /// Bumped whenever state that feeds a [`MatchContext`] changes
+    /// (learned boosts, thesaurus, samples); part of the cache key.
+    corpus_epoch: u64,
+    /// Lazily built worker pool, kept while the thread count is stable.
+    pool: Option<ThreadPool>,
 }
 
 impl Default for HarmonyEngine {
@@ -101,10 +155,14 @@ impl HarmonyEngine {
             voters,
             merger,
             flooding,
-            thesaurus: Thesaurus::builtin(),
+            thesaurus: Arc::new(Thesaurus::builtin()),
             corpus_seed: Corpus::new(),
             source_samples: Vec::new(),
             target_samples: Vec::new(),
+            config: MatchConfig::default(),
+            cache: FeatureCache::new(),
+            corpus_epoch: 0,
+            pool: None,
         }
     }
 
@@ -117,11 +175,15 @@ impl HarmonyEngine {
     ) {
         self.source_samples = source;
         self.target_samples = target;
+        self.corpus_epoch += 1;
     }
 
-    /// Replace the thesaurus (e.g. with a domain-specific one).
+    /// Replace the thesaurus (e.g. with a domain-specific one). Cached
+    /// features depend on thesaurus expansions, so the cache is cleared.
     pub fn set_thesaurus(&mut self, thesaurus: Thesaurus) {
-        self.thesaurus = thesaurus;
+        self.thesaurus = Arc::new(thesaurus);
+        self.cache.clear();
+        self.corpus_epoch += 1;
     }
 
     /// The merger (to inspect learned weights).
@@ -144,9 +206,97 @@ impl HarmonyEngine {
         &mut self.flooding
     }
 
+    /// The execution configuration.
+    pub fn match_config(&self) -> MatchConfig {
+        self.config
+    }
+
+    /// Set threads/cache. Turning the cache off also drops any cached
+    /// features; the worker pool is rebuilt lazily on the next run.
+    pub fn set_match_config(&mut self, config: MatchConfig) {
+        if !config.cache {
+            self.cache.clear();
+        }
+        self.config = config;
+    }
+
+    /// Cumulative feature-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached features (call when a schema was edited in
+    /// place; the workbench does this on blackboard schema events).
+    pub fn invalidate_features(&mut self) {
+        self.cache.clear();
+    }
+
     /// Voter names in execution order.
     pub fn voter_names(&self) -> Vec<&'static str> {
         self.voters.iter().map(|v| v.name()).collect()
+    }
+
+    /// The thread count [`MatchConfig::threads`] resolves to.
+    pub fn effective_threads(&self) -> usize {
+        match self.config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// The worker pool for the current thread count, (re)built on size
+    /// changes.
+    fn pool(&mut self, threads: usize) -> &ThreadPool {
+        if self.pool.as_ref().map(ThreadPool::threads) != Some(threads) {
+            self.pool = Some(ThreadPool::new(threads));
+        }
+        self.pool.as_ref().expect("pool just ensured")
+    }
+
+    /// A built match context for the pair — served from the feature
+    /// cache when enabled.
+    fn context(&mut self, source: &SchemaGraph, target: &SchemaGraph) -> Arc<MatchContext> {
+        let corpus = self.corpus_seed.clone();
+        let thesaurus = Arc::clone(&self.thesaurus);
+        let mut ctx = if self.config.cache {
+            let th = Arc::clone(&thesaurus);
+            let built = self.cache.context(
+                source,
+                target,
+                &thesaurus,
+                self.corpus_epoch,
+                move |src, tgt, src_text, tgt_text| {
+                    MatchContext::from_parts(src, tgt, th, corpus, src_text, tgt_text)
+                },
+            );
+            if self.source_samples.is_empty() && self.target_samples.is_empty() {
+                return built;
+            }
+            // Samples are attached post-build; contexts in the cache
+            // stay sample-free, so clone-on-write here. The epoch bump
+            // in `set_instance_samples` keeps keys honest either way.
+            MatchContext::from_parts(
+                Arc::new(source.clone()),
+                Arc::new(target.clone()),
+                thesaurus,
+                self.corpus_seed.clone(),
+                built.src_text_map(),
+                built.tgt_text_map(),
+            )
+        } else {
+            MatchContext::build(source, target, &thesaurus, corpus)
+        };
+        ctx.set_samples(
+            crate::context::SchemaSide::Source,
+            self.source_samples.clone(),
+        );
+        ctx.set_samples(
+            crate::context::SchemaSide::Target,
+            self.target_samples.clone(),
+        );
+        Arc::new(ctx)
     }
 
     /// Run the full pipeline. `locked` maps user-decided pairs to their
@@ -158,57 +308,167 @@ impl HarmonyEngine {
         target: &SchemaGraph,
         locked: &HashMap<(ElementId, ElementId), Confidence>,
     ) -> MatchResult {
-        let mut ctx =
-            MatchContext::build(source, target, &self.thesaurus, self.corpus_seed.clone());
-        ctx.set_samples(
-            crate::context::SchemaSide::Source,
-            self.source_samples.clone(),
-        );
-        ctx.set_samples(
-            crate::context::SchemaSide::Target,
-            self.target_samples.clone(),
-        );
-        let ctx = ctx;
+        let ctx = self.context(source, target);
+        let src_ids = Arc::new(matchable_ids(source));
+        let tgt_ids = Arc::new(matchable_ids(target));
+        let rows = src_ids.len();
+        let threads = self.effective_threads().min(rows.max(1));
 
-        // Stage 2 (Figure 1): every voter scores every matchable pair.
-        let mut per_voter: Vec<(String, ScoreMatrix)> = Vec::with_capacity(self.voters.len());
-        for voter in &self.voters {
-            let mut m = ScoreMatrix::for_schemas(source, target);
-            for &s in m.src_ids().to_vec().iter() {
-                for &t in m.tgt_ids().to_vec().iter() {
-                    m.set(s, t, voter.vote(&ctx, s, t));
+        // Stage 2 (Figure 1): every voter scores every matchable pair,
+        // row ranges sharded across the pool.
+        let names: Vec<String> = self.voters.iter().map(|v| v.name().to_owned()).collect();
+        let mut per_voter: Vec<(String, ScoreMatrix)> = names
+            .iter()
+            .map(|n| {
+                (
+                    n.clone(),
+                    ScoreMatrix::new((*src_ids).clone(), (*tgt_ids).clone()),
+                )
+            })
+            .collect();
+        if threads <= 1 {
+            let slabs = score_rows(&ctx, &self.voters, &src_ids, &tgt_ids, 0, rows);
+            for (vi, slab) in slabs.into_iter().enumerate() {
+                per_voter[vi].1.splice_rows(0, &slab);
+            }
+        } else {
+            let shards = shard_ranges(rows, threads);
+            let voters = Arc::new(std::mem::take(&mut self.voters));
+            let (tx, rx) = mpsc::channel();
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
+                    let (ctx, voters) = (Arc::clone(&ctx), Arc::clone(&voters));
+                    let (src_ids, tgt_ids) = (Arc::clone(&src_ids), Arc::clone(&tgt_ids));
+                    let tx = tx.clone();
+                    Box::new(move || {
+                        let slabs = score_rows(&ctx, &voters, &src_ids, &tgt_ids, lo, hi);
+                        tx.send((i, slabs)).expect("score shard channel");
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            self.pool(threads).run_all(jobs);
+            drop(tx);
+            for (i, slabs) in rx {
+                for (vi, slab) in slabs.into_iter().enumerate() {
+                    per_voter[vi].1.splice_rows(shards[i].0, &slab);
                 }
             }
-            per_voter.push((voter.name().to_owned(), m));
+            self.voters = Arc::try_unwrap(voters)
+                .ok()
+                .expect("all scoring jobs completed");
         }
 
-        // Stage 3: merge.
-        let mut matrix = ScoreMatrix::for_schemas(source, target);
-        let names: Vec<&str> = per_voter.iter().map(|(n, _)| n.as_str()).collect();
-        for &s in matrix.src_ids().to_vec().iter() {
-            for &t in matrix.tgt_ids().to_vec().iter() {
-                if let Some(&c) = locked.get(&(s, t)) {
-                    matrix.set(s, t, c);
-                    continue;
-                }
-                let votes: Vec<(&str, Confidence)> = names
-                    .iter()
-                    .zip(per_voter.iter())
-                    .map(|(&n, (_, m))| (n, m.get(s, t)))
-                    .collect();
-                matrix.set(s, t, self.merger.merge(&votes));
+        // Stage 3: merge (locked cells pass through unchanged).
+        let mut matrix = ScoreMatrix::new((*src_ids).clone(), (*tgt_ids).clone());
+        if threads <= 1 {
+            let slab = merge_rows(
+                &per_voter,
+                &self.merger,
+                locked,
+                &src_ids,
+                &tgt_ids,
+                0,
+                rows,
+            );
+            matrix.splice_rows(0, &slab);
+        } else {
+            let shards = shard_ranges(rows, threads);
+            let shared = Arc::new(per_voter);
+            let merger = Arc::new(self.merger.clone());
+            let locked_arc = Arc::new(locked.clone());
+            let (tx, rx) = mpsc::channel();
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
+                    let (shared, merger) = (Arc::clone(&shared), Arc::clone(&merger));
+                    let locked = Arc::clone(&locked_arc);
+                    let (src_ids, tgt_ids) = (Arc::clone(&src_ids), Arc::clone(&tgt_ids));
+                    let tx = tx.clone();
+                    Box::new(move || {
+                        let slab =
+                            merge_rows(&shared, &merger, &locked, &src_ids, &tgt_ids, lo, hi);
+                        tx.send((i, slab)).expect("merge shard channel");
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            self.pool(threads).run_all(jobs);
+            drop(tx);
+            for (i, slab) in rx {
+                matrix.splice_rows(shards[i].0, &slab);
             }
+            per_voter =
+                Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("all merge jobs completed"));
         }
 
         // Stage 4: similarity flooding, user cells pinned.
         let locked_set: HashSet<(ElementId, ElementId)> = locked.keys().copied().collect();
-        let flooding_iterations = flood(&mut matrix, source, target, &locked_set, &self.flooding);
+        let flooding_iterations = if threads <= 1 {
+            flood(&mut matrix, source, target, &locked_set, &self.flooding)
+        } else {
+            self.flood_parallel(&mut matrix, &ctx, &locked_set, threads)
+        };
 
         MatchResult {
             matrix,
             per_voter,
             flooding_iterations,
         }
+    }
+
+    /// The flooding fixpoint loop with each iteration's rows sharded
+    /// across the pool. Mirrors [`flood`] exactly: same kernel, same
+    /// snapshot, same convergence test.
+    fn flood_parallel(
+        &mut self,
+        matrix: &mut ScoreMatrix,
+        ctx: &Arc<MatchContext>,
+        locked: &HashSet<(ElementId, ElementId)>,
+        threads: usize,
+    ) -> usize {
+        let config = self.flooding;
+        if !config.enable_up && !config.enable_down {
+            return 0;
+        }
+        let rows = matrix.src_ids().len();
+        let shards = shard_ranges(rows, threads);
+        let locked = Arc::new(locked.clone());
+        for iteration in 0..config.max_iterations {
+            let before = Arc::new(matrix.clone());
+            let (tx, rx) = mpsc::channel();
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
+                    let (before, ctx, locked) =
+                        (Arc::clone(&before), Arc::clone(ctx), Arc::clone(&locked));
+                    let tx = tx.clone();
+                    Box::new(move || {
+                        let slab = flood_rows(
+                            &before,
+                            ctx.source(),
+                            ctx.target(),
+                            &locked,
+                            &config,
+                            lo,
+                            hi,
+                        );
+                        tx.send((i, slab)).expect("flood shard channel");
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            self.pool(threads).run_all(jobs);
+            drop(tx);
+            for (i, slab) in rx {
+                matrix.splice_rows(shards[i].0, &slab);
+            }
+            if matrix.mean_abs_diff(&before) < config.epsilon {
+                return iteration + 1;
+            }
+        }
+        config.max_iterations
     }
 
     /// Feed user decisions back into the engine (§4.3): each voter
@@ -229,13 +489,85 @@ impl HarmonyEngine {
         for voter in &mut self.voters {
             voter.learn(&mut ctx, feedback);
         }
-        // Persist term boosts learned by voters into the seed corpus.
+        // Persist term boosts learned by voters into the seed corpus;
+        // the epoch bump invalidates cached contexts built on the old
+        // boosts.
         self.corpus_seed = ctx.corpus;
+        self.corpus_epoch += 1;
         let names: Vec<&str> = self.voters.iter().map(|v| v.name()).collect();
         self.merger.learn(feedback, &names, |voter, fb| {
             previous.vote_of(voter, fb.src, fb.tgt)
         });
     }
+}
+
+/// Contiguous row ranges `(lo, hi)` splitting `rows` into `shards`
+/// near-equal parts (the first `rows % shards` parts get one extra).
+/// The partition is a pure function of its inputs, so shard assembly
+/// order is fixed.
+fn shard_ranges(rows: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1).min(rows.max(1));
+    let base = rows / shards;
+    let extra = rows % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for i in 0..shards {
+        let hi = lo + base + usize::from(i < extra);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// Stage-2 kernel: every voter's scores for source rows `lo..hi`,
+/// returned as one row-major slab per voter.
+fn score_rows(
+    ctx: &MatchContext,
+    voters: &[Box<dyn MatchVoter>],
+    src_ids: &[ElementId],
+    tgt_ids: &[ElementId],
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<f64>> {
+    let cells = (hi - lo) * tgt_ids.len();
+    let mut out: Vec<Vec<f64>> = voters.iter().map(|_| Vec::with_capacity(cells)).collect();
+    for &s in &src_ids[lo..hi] {
+        for &t in tgt_ids {
+            for (vi, voter) in voters.iter().enumerate() {
+                out[vi].push(voter.vote(ctx, s, t).value());
+            }
+        }
+    }
+    out
+}
+
+/// Stage-3 kernel: merged scores for source rows `lo..hi`. The votes
+/// buffer is hoisted and reused across cells — no per-pair allocation.
+fn merge_rows(
+    per_voter: &[(String, ScoreMatrix)],
+    merger: &VoteMerger,
+    locked: &HashMap<(ElementId, ElementId), Confidence>,
+    src_ids: &[ElementId],
+    tgt_ids: &[ElementId],
+    lo: usize,
+    hi: usize,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity((hi - lo) * tgt_ids.len());
+    let mut votes: Vec<(&str, Confidence)> = Vec::with_capacity(per_voter.len());
+    for &s in &src_ids[lo..hi] {
+        for &t in tgt_ids {
+            if let Some(&c) = locked.get(&(s, t)) {
+                out.push(c.value());
+                continue;
+            }
+            votes.clear();
+            for (name, m) in per_voter {
+                votes.push((name.as_str(), m.get(s, t)));
+            }
+            out.push(merger.merge(&votes).value());
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -360,5 +692,54 @@ mod tests {
         let mut engine = HarmonyEngine::default();
         let result = engine.run(&s, &t, &HashMap::new());
         assert!(result.matrix.is_empty());
+    }
+
+    #[test]
+    fn empty_schemas_work_with_threads() {
+        let s = SchemaBuilder::new("s", Metamodel::Xml).build();
+        let t = SchemaBuilder::new("t", Metamodel::Xml)
+            .open("e")
+            .attr("x", DataType::Text)
+            .close()
+            .build();
+        let mut engine = HarmonyEngine::default();
+        engine.set_match_config(MatchConfig {
+            threads: 4,
+            cache: true,
+        });
+        let result = engine.run(&s, &t, &HashMap::new());
+        assert!(result.matrix.is_empty());
+        let result = engine.run(&t, &s, &HashMap::new());
+        assert!(result.matrix.is_empty());
+    }
+
+    #[test]
+    fn cache_hits_on_rerun() {
+        let (s, t) = fig2();
+        let mut engine = HarmonyEngine::default();
+        engine.run(&s, &t, &HashMap::new());
+        engine.run(&s, &t, &HashMap::new());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.context_hits, 1);
+        assert_eq!(stats.context_misses, 1);
+        // Invalidation forces a rebuild (text features recomputed too).
+        engine.invalidate_features();
+        engine.run(&s, &t, &HashMap::new());
+        assert_eq!(engine.cache_stats().context_misses, 2);
+        assert_eq!(engine.cache_stats().text_misses, 4);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        assert_eq!(shard_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(shard_ranges(2, 8), vec![(0, 1), (1, 2)]);
+        assert_eq!(shard_ranges(0, 4), vec![(0, 0)]);
+        let ranges = shard_ranges(97, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 97);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
     }
 }

@@ -66,6 +66,83 @@ impl FloodingConfig {
     }
 }
 
+/// Compute one flooding iteration for source rows `lo..hi` against the
+/// pre-iteration snapshot, returning the new row-major values. Locked
+/// cells keep their snapshot value. This per-row kernel is the single
+/// code path behind both the sequential [`flood`] loop and the engine's
+/// sharded parallel loop, so the two are bit-identical by construction.
+pub(crate) fn flood_rows(
+    before: &ScoreMatrix,
+    source: &SchemaGraph,
+    target: &SchemaGraph,
+    locked: &HashSet<(ElementId, ElementId)>,
+    config: &FloodingConfig,
+    lo: usize,
+    hi: usize,
+) -> Vec<f64> {
+    let src_ids = before.src_ids();
+    let tgt_ids = before.tgt_ids();
+    let mut out = Vec::with_capacity((hi - lo) * tgt_ids.len());
+    // Children lists are per-row (source) and per-column (target), not
+    // per-cell: hoist the column lists once per kernel call.
+    let t_children: Vec<Vec<ElementId>> = if config.enable_up {
+        tgt_ids
+            .iter()
+            .map(|&t| target.children(t).iter().map(|&(_, c)| c).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for &s in &src_ids[lo..hi] {
+        let s_children: Vec<ElementId> = if config.enable_up {
+            source.children(s).iter().map(|&(_, c)| c).collect()
+        } else {
+            Vec::new()
+        };
+        for (col, &t) in tgt_ids.iter().enumerate() {
+            let current = before.get(s, t).value();
+            if locked.contains(&(s, t)) {
+                out.push(current);
+                continue;
+            }
+            let mut adjusted = current;
+
+            if config.enable_up {
+                let t_children = &t_children[col];
+                if !s_children.is_empty() && !t_children.is_empty() {
+                    let mut total = 0.0;
+                    let mut counted = 0usize;
+                    for &cs in &s_children {
+                        let best = t_children
+                            .iter()
+                            .map(|&ct| before.get(cs, ct).value())
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        if best.is_finite() && best > 0.0 {
+                            total += best;
+                        }
+                        counted += 1;
+                    }
+                    if counted > 0 {
+                        adjusted += config.up_coefficient * (total / counted as f64);
+                    }
+                }
+            }
+
+            if config.enable_down {
+                if let (Some((_, ps)), Some((_, pt))) = (source.parent(s), target.parent(t)) {
+                    let parent_score = before.get(ps, pt).value();
+                    if parent_score < 0.0 {
+                        adjusted += config.down_coefficient * parent_score;
+                    }
+                }
+            }
+
+            out.push(Confidence::engine(adjusted).value());
+        }
+    }
+    out
+}
+
 /// Run flooding in place. `locked` cells keep their value. Returns the
 /// number of iterations executed.
 pub fn flood(
@@ -78,54 +155,11 @@ pub fn flood(
     if !config.enable_up && !config.enable_down {
         return 0;
     }
-    let src_ids: Vec<ElementId> = matrix.src_ids().to_vec();
-    let tgt_ids: Vec<ElementId> = matrix.tgt_ids().to_vec();
+    let rows = matrix.src_ids().len();
     for iteration in 0..config.max_iterations {
         let before = matrix.clone();
-        for &s in &src_ids {
-            for &t in &tgt_ids {
-                if locked.contains(&(s, t)) {
-                    continue;
-                }
-                let current = before.get(s, t).value();
-                let mut adjusted = current;
-
-                if config.enable_up {
-                    let s_children: Vec<ElementId> =
-                        source.children(s).iter().map(|&(_, c)| c).collect();
-                    let t_children: Vec<ElementId> =
-                        target.children(t).iter().map(|&(_, c)| c).collect();
-                    if !s_children.is_empty() && !t_children.is_empty() {
-                        let mut total = 0.0;
-                        let mut counted = 0usize;
-                        for &cs in &s_children {
-                            let best = t_children
-                                .iter()
-                                .map(|&ct| before.get(cs, ct).value())
-                                .fold(f64::NEG_INFINITY, f64::max);
-                            if best.is_finite() && best > 0.0 {
-                                total += best;
-                            }
-                            counted += 1;
-                        }
-                        if counted > 0 {
-                            adjusted += config.up_coefficient * (total / counted as f64);
-                        }
-                    }
-                }
-
-                if config.enable_down {
-                    if let (Some((_, ps)), Some((_, pt))) = (source.parent(s), target.parent(t)) {
-                        let parent_score = before.get(ps, pt).value();
-                        if parent_score < 0.0 {
-                            adjusted += config.down_coefficient * parent_score;
-                        }
-                    }
-                }
-
-                matrix.set(s, t, Confidence::engine(adjusted));
-            }
-        }
+        let values = flood_rows(&before, source, target, locked, config, 0, rows);
+        matrix.splice_rows(0, &values);
         if matrix.mean_abs_diff(&before) < config.epsilon {
             return iteration + 1;
         }

@@ -27,6 +27,7 @@
 //! the experiment harness.
 
 pub mod baselines;
+pub mod cache;
 pub mod confidence;
 pub mod context;
 pub mod engine;
@@ -41,9 +42,10 @@ pub mod voter;
 pub mod voters;
 
 pub use baselines::{coma_like_engine, cupid_like_engine, name_equivalence_engine};
+pub use cache::{fingerprint, CacheStats, FeatureCache};
 pub use confidence::Confidence;
 pub use context::MatchContext;
-pub use engine::{HarmonyEngine, MatchResult};
+pub use engine::{HarmonyEngine, MatchConfig, MatchResult};
 pub use eval::{GoldStandard, PrMetrics};
 pub use feedback::Feedback;
 pub use filters::{FilterSet, Link, LinkFilter, NodeFilter, Side};

@@ -135,6 +135,34 @@ impl ScoreMatrix {
             .map(|(s, v)| (s, Confidence::raw(v)))
     }
 
+    /// The raw row-major score slab (row = source index, column =
+    /// target index). Exact bit equality of two slabs is the
+    /// determinism contract of the parallel engine.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Overwrite whole rows starting at `start_row` with `values`
+    /// (row-major, a multiple of the column count long). This is how
+    /// the engine merges per-shard score slabs back deterministically:
+    /// each shard owns a disjoint row range, so splice order cannot
+    /// change the result.
+    ///
+    /// # Panics
+    /// If `values` is not a whole number of rows or overruns the matrix.
+    pub fn splice_rows(&mut self, start_row: usize, values: &[f64]) {
+        let cols = self.tgt_ids.len();
+        if values.is_empty() {
+            return;
+        }
+        assert!(cols > 0, "splice into a zero-column matrix");
+        assert_eq!(values.len() % cols, 0, "partial row in splice");
+        let start = start_row * cols;
+        let end = start + values.len();
+        assert!(end <= self.scores.len(), "splice overruns the matrix");
+        self.scores[start..end].copy_from_slice(values);
+    }
+
     /// Mean absolute difference to another matrix of identical shape
     /// (used as the flooding fixpoint test).
     ///
@@ -230,6 +258,29 @@ mod tests {
         let (s, t) = graphs();
         let m = ScoreMatrix::for_schemas(&s, &t);
         assert_eq!(m.iter().count(), 6);
+    }
+
+    #[test]
+    fn splice_rows_overwrites_disjoint_ranges() {
+        let (s, t) = graphs();
+        let mut direct = ScoreMatrix::for_schemas(&s, &t);
+        let mut spliced = direct.clone();
+        let values: Vec<f64> = (0..direct.len()).map(|i| i as f64 / 10.0).collect();
+        for (i, (sid, tid, _)) in direct.clone().iter().enumerate() {
+            direct.set(sid, tid, Confidence::engine(values[i]));
+        }
+        // Two shards: row 0, then rows 1-2.
+        spliced.splice_rows(0, &values[0..2]);
+        spliced.splice_rows(1, &values[2..6]);
+        assert_eq!(direct.scores(), spliced.scores());
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn splice_rows_checks_bounds() {
+        let (s, t) = graphs();
+        let mut m = ScoreMatrix::for_schemas(&s, &t);
+        m.splice_rows(3, &[0.0, 0.0]);
     }
 
     #[test]

@@ -84,6 +84,11 @@ impl<'a> MatchSession<'a> {
         &self.engine
     }
 
+    /// Mutable engine access (to reconfigure threads/cache mid-session).
+    pub fn engine_mut(&mut self) -> &mut HarmonyEngine {
+        &mut self.engine
+    }
+
     /// Run (or re-run) the engine. On re-runs, fresh user decisions are
     /// first fed to the learning path (§4.3: "the engineer can rerun the
     /// Harmony engine, which can learn from her feedback").

@@ -3,8 +3,9 @@
 //! §4: "several *match voters* are invoked, each of which identifies
 //! correspondences using a different strategy." A voter sees the shared
 //! [`MatchContext`] and scores one (source, target) element pair at a
-//! time; the engine drives the full cross product and hands the
-//! per-voter matrices to the merger.
+//! time; the engine drives the full cross product — sharded by source
+//! rows across worker threads when configured — and hands the per-voter
+//! matrices to the merger.
 
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
@@ -12,19 +13,24 @@ use crate::feedback::Feedback;
 use iwb_model::ElementId;
 
 /// One match strategy (Figure 1's "match voters" box).
-pub trait MatchVoter: Send {
+///
+/// `Send + Sync` because the engine scores disjoint row ranges on a
+/// thread pool with the voter suite shared read-only; `vote` must not
+/// mutate hidden state (learning happens through [`MatchVoter::learn`],
+/// which takes `&mut self` between runs).
+pub trait MatchVoter: Send + Sync {
     /// Stable, unique voter name (used for merger weights and reports).
     fn name(&self) -> &'static str;
 
     /// Confidence that `src` and `tgt` correspond. Must return
     /// [`Confidence::UNKNOWN`] (or near it) when this voter's kind of
     /// evidence is absent for the pair.
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence;
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence;
 
     /// Learn from explicit user decisions (§4.3: "each candidate matcher
     /// can learn from the user's choices and refine any internal
     /// parameters"). Default: no-op.
-    fn learn(&mut self, _ctx: &mut MatchContext<'_>, _feedback: &[Feedback]) {}
+    fn learn(&mut self, _ctx: &mut MatchContext, _feedback: &[Feedback]) {}
 }
 
 #[cfg(test)]
@@ -38,7 +44,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "const"
         }
-        fn vote(&self, _: &MatchContext<'_>, _: ElementId, _: ElementId) -> Confidence {
+        fn vote(&self, _: &MatchContext, _: ElementId, _: ElementId) -> Confidence {
             Confidence::engine(self.0)
         }
     }

@@ -41,12 +41,12 @@ impl MatchVoter for AcronymVoter {
         "acronym"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
         // Unfiltered tokens: stop words ("of" in pointOfContact) carry
         // letters of the initialism, so the preprocessed stream would
         // miss them.
-        let a = iwb_ling::split_identifier(&ctx.source.element(src).name);
-        let b = iwb_ling::split_identifier(&ctx.target.element(tgt).name);
+        let a = iwb_ling::split_identifier(&ctx.source().element(src).name);
+        let b = iwb_ling::split_identifier(&ctx.target().element(tgt).name);
         let (a, b) = (&a, &b);
         let hit = match (a.as_slice(), b.as_slice()) {
             ([single], many) if many.len() >= 2 => is_acronym(single, many),

@@ -44,9 +44,9 @@ impl MatchVoter for DataTypeVoter {
         "datatype"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        let a = ctx.source.element(src);
-        let b = ctx.target.element(tgt);
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = ctx.source().element(src);
+        let b = ctx.target().element(tgt);
         // Kind clash: a container never corresponds to a leaf attribute.
         if a.kind.is_container() != b.kind.is_container() {
             return Confidence::engine(self.incompatible);

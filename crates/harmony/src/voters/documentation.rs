@@ -47,11 +47,11 @@ impl MatchVoter for DocumentationVoter {
         "documentation"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
         let a = ctx.src(src);
         let b = ctx.tgt(tgt);
         // No definitions on either side → no evidence, not a negative.
-        if a.doc.is_empty() || b.doc.is_empty() {
+        if a.text.doc.is_empty() || b.text.doc.is_empty() {
             return Confidence::UNKNOWN;
         }
         let sim = cosine(&a.vector, &b.vector);
@@ -63,11 +63,11 @@ impl MatchVoter for DocumentationVoter {
     /// which words were most predictive." Words shared by an *accepted*
     /// pair's definitions get boosted; words shared by a *rejected*
     /// pair's definitions get damped.
-    fn learn(&mut self, ctx: &mut MatchContext<'_>, feedback: &[Feedback]) {
+    fn learn(&mut self, ctx: &mut MatchContext, feedback: &[Feedback]) {
         let mut boosts: Vec<(String, f64)> = Vec::new();
         for fb in feedback {
-            let a: HashSet<&String> = ctx.src(fb.src).doc.stems.iter().collect();
-            let b: HashSet<&String> = ctx.tgt(fb.tgt).doc.stems.iter().collect();
+            let a: HashSet<&String> = ctx.src(fb.src).text.doc.stems.iter().collect();
+            let b: HashSet<&String> = ctx.tgt(fb.tgt).text.doc.stems.iter().collect();
             let factor = if fb.accepted {
                 self.boost_factor
             } else {

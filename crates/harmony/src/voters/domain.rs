@@ -50,9 +50,9 @@ impl MatchVoter for DomainVoter {
         "domain"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        let a = ctx.src(src);
-        let b = ctx.tgt(tgt);
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = &ctx.src(src).text;
+        let b = &ctx.tgt(tgt).text;
         // Abstain unless both sides have domain evidence.
         if a.domain_codes.is_empty() || b.domain_codes.is_empty() {
             return Confidence::UNKNOWN;

@@ -42,7 +42,7 @@ impl MatchVoter for InstanceVoter {
         "instance"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
         let a: HashSet<&String> = ctx.src_samples(src).iter().collect();
         let b: HashSet<&String> = ctx.tgt_samples(tgt).iter().collect();
         if a.len() < self.min_distinct || b.len() < self.min_distinct {

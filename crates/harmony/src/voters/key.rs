@@ -42,14 +42,14 @@ impl MatchVoter for KeyVoter {
         "key"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        if ctx.source.element(src).kind != ElementKind::Attribute
-            || ctx.target.element(tgt).kind != ElementKind::Attribute
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        if ctx.source().element(src).kind != ElementKind::Attribute
+            || ctx.target().element(tgt).kind != ElementKind::Attribute
         {
             return Confidence::UNKNOWN;
         }
-        let a = is_key_participant(ctx.source, src);
-        let b = is_key_participant(ctx.target, tgt);
+        let a = is_key_participant(ctx.source(), src);
+        let b = is_key_participant(ctx.target(), tgt);
         match (a, b) {
             (true, true) => Confidence::engine(self.both),
             (true, false) | (false, true) => Confidence::engine(self.mismatch),

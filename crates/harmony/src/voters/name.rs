@@ -6,9 +6,9 @@
 //! overlap. The blend is mapped to a confidence around a noise baseline.
 
 use crate::confidence::Confidence;
-use crate::context::MatchContext;
+use crate::context::{MatchContext, TextFeatures};
 use crate::voter::MatchVoter;
-use iwb_ling::{dice_coefficient, jaro_winkler};
+use iwb_ling::{dice_profiles, jaro_winkler};
 use iwb_model::ElementId;
 
 /// Voter over element names.
@@ -30,14 +30,24 @@ impl Default for NameVoter {
 }
 
 impl NameVoter {
-    fn similarity(a_tokens: &[String], b_tokens: &[String]) -> f64 {
-        if a_tokens.is_empty() || b_tokens.is_empty() {
-            return 0.0;
-        }
-        let a_join = a_tokens.join("");
-        let b_join = b_tokens.join("");
-        let jw = jaro_winkler(&a_join, &b_join);
-        let dice = dice_coefficient(&a_join, &b_join, 2);
+    /// The blended similarity over two elements' cached name features
+    /// (joined strings, bigram profiles, token lists).
+    fn similarity(a: &TextFeatures, b: &TextFeatures) -> f64 {
+        let jw = jaro_winkler(&a.joined_name, &b.joined_name);
+        // Bigram Dice from the cached profiles; names too short to have
+        // a bigram fall back to exact comparison (matching
+        // `dice_coefficient` on the joined strings).
+        let dice = if a.name_profile.total() + b.name_profile.total() == 0 {
+            if a.joined_name == b.joined_name {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            dice_profiles(&a.name_profile, &b.name_profile)
+        };
+        let a_tokens = &a.name.tokens;
+        let b_tokens = &b.name.tokens;
         let (small, large) = if a_tokens.len() <= b_tokens.len() {
             (a_tokens, b_tokens)
         } else {
@@ -54,10 +64,10 @@ impl MatchVoter for NameVoter {
         "name"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        let a = &ctx.src(src).name.tokens;
-        let b = &ctx.tgt(tgt).name.tokens;
-        if a.is_empty() || b.is_empty() {
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = &ctx.src(src).text;
+        let b = &ctx.tgt(tgt).text;
+        if a.name.tokens.is_empty() || b.name.tokens.is_empty() {
             return Confidence::UNKNOWN;
         }
         Confidence::from_similarity(Self::similarity(a, b), self.baseline, self.cap)

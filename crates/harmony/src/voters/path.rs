@@ -10,7 +10,6 @@
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use crate::voter::MatchVoter;
-use iwb_ling::porter_stem;
 use iwb_model::ElementId;
 
 /// Voter over the containment context (parent names).
@@ -37,32 +36,47 @@ impl MatchVoter for PathVoter {
         "path"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        let (Some((_, ps)), Some((_, pt))) = (ctx.source.parent(src), ctx.target.parent(tgt))
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        let (Some((_, ps)), Some((_, pt))) = (ctx.source().parent(src), ctx.target().parent(tgt))
         else {
             return Confidence::UNKNOWN;
         };
         // Parents at the schema root carry no discriminating context.
-        if ps == ctx.source.root() || pt == ctx.target.root() {
+        if ps == ctx.source().root() || pt == ctx.target().root() {
             return Confidence::UNKNOWN;
         }
-        let a = &ctx.src(ps).name.tokens;
-        let b = &ctx.tgt(pt).name.tokens;
-        if a.is_empty() || b.is_empty() {
+        let a = &ctx.src(ps).text;
+        let b = &ctx.tgt(pt).text;
+        if a.name.tokens.is_empty() || b.name.tokens.is_empty() {
             return Confidence::UNKNOWN;
         }
-        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        // Parent tokens are compared through the cached per-token
+        // `expanded_stems` (see the thesaurus voter).
+        let (small, large) = if a.name.tokens.len() <= b.name.tokens.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let thesaurus = ctx.thesaurus();
         let hits = small
+            .name
+            .tokens
             .iter()
-            .filter(|x| {
-                large.iter().any(|y| {
-                    ctx.thesaurus.synonymous(x, y)
-                        || porter_stem(ctx.thesaurus.expand(x))
-                            == porter_stem(ctx.thesaurus.expand(y))
-                })
+            .zip(small.expanded_stems.iter())
+            .filter(|(x, xs)| {
+                large
+                    .name
+                    .tokens
+                    .iter()
+                    .zip(large.expanded_stems.iter())
+                    .any(|(y, ys)| thesaurus.synonymous(x, y) || **xs == *ys)
             })
             .count();
-        Confidence::from_similarity(hits as f64 / small.len() as f64, self.baseline, self.cap)
+        Confidence::from_similarity(
+            hits as f64 / small.name.tokens.len() as f64,
+            self.baseline,
+            self.cap,
+        )
     }
 }
 

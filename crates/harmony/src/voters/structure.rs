@@ -31,7 +31,7 @@ impl Default for StructureVoter {
 }
 
 fn child_stems(
-    ctx: &MatchContext<'_>,
+    ctx: &MatchContext,
     graph: &SchemaGraph,
     id: ElementId,
     source_side: bool,
@@ -41,7 +41,7 @@ fn child_stems(
         .iter()
         .flat_map(|&(_, c)| {
             let f = if source_side { ctx.src(c) } else { ctx.tgt(c) };
-            f.name.stems.iter().cloned()
+            f.text.name.stems.iter().cloned()
         })
         .collect()
 }
@@ -51,9 +51,9 @@ impl MatchVoter for StructureVoter {
         "structure"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        let a = child_stems(ctx, ctx.source, src, true);
-        let b = child_stems(ctx, ctx.target, tgt, false);
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = child_stems(ctx, ctx.source(), src, true);
+        let b = child_stems(ctx, ctx.target(), tgt, false);
         if a.is_empty() || b.is_empty() {
             return Confidence::UNKNOWN;
         }

@@ -8,7 +8,6 @@
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use crate::voter::MatchVoter;
-use iwb_ling::porter_stem;
 use iwb_model::ElementId;
 
 /// Voter over thesaurus-expanded name tokens.
@@ -32,8 +31,11 @@ impl Default for ThesaurusVoter {
 impl ThesaurusVoter {
     /// True if two tokens are equivalent under the thesaurus: equal,
     /// synonymous after abbreviation expansion, or sharing a stem after
-    /// expansion.
+    /// expansion. `vote` computes the same relation through the cached
+    /// `expanded_stems`; this spelled-out form documents and tests it.
+    #[cfg(test)]
     fn equivalent(thesaurus: &iwb_ling::Thesaurus, a: &str, b: &str) -> bool {
+        use iwb_ling::porter_stem;
         if thesaurus.synonymous(a, b) {
             return true;
         }
@@ -48,18 +50,36 @@ impl MatchVoter for ThesaurusVoter {
         "thesaurus"
     }
 
-    fn vote(&self, ctx: &MatchContext<'_>, src: ElementId, tgt: ElementId) -> Confidence {
-        let a = &ctx.src(src).name.tokens;
-        let b = &ctx.tgt(tgt).name.tokens;
-        if a.is_empty() || b.is_empty() {
+    fn vote(&self, ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        let a = &ctx.src(src).text;
+        let b = &ctx.tgt(tgt).text;
+        if a.name.tokens.is_empty() || b.name.tokens.is_empty() {
             return Confidence::UNKNOWN;
         }
-        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        // Expansion + stemming is precomputed per token in
+        // `expanded_stems` (aligned with `name.tokens`); only the
+        // synonym-ring lookup still needs the thesaurus per pair.
+        let (small, large) = if a.name.tokens.len() <= b.name.tokens.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let thesaurus = ctx.thesaurus();
         let hits = small
+            .name
+            .tokens
             .iter()
-            .filter(|x| large.iter().any(|y| Self::equivalent(ctx.thesaurus, x, y)))
+            .zip(small.expanded_stems.iter())
+            .filter(|(x, xs)| {
+                large
+                    .name
+                    .tokens
+                    .iter()
+                    .zip(large.expanded_stems.iter())
+                    .any(|(y, ys)| thesaurus.synonymous(x, y) || **xs == *ys)
+            })
             .count();
-        let overlap = hits as f64 / small.len() as f64;
+        let overlap = hits as f64 / small.name.tokens.len() as f64;
         Confidence::from_similarity(overlap, self.baseline, self.cap)
     }
 }

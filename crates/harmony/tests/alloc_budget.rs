@@ -1,0 +1,140 @@
+//! Allocation budget for the engine's scoring hot path.
+//!
+//! `Engine::run` used to clone the source/target id slices for every
+//! voter, allocating O(voters × pairs) vectors per run. The rewritten
+//! row-range kernels hoist all per-run buffers, so a warm run (features
+//! cached, flooding disabled, a voter with no internal allocations)
+//! must allocate *fewer total heap blocks than there are candidate
+//! pairs* — any per-pair or per-(voter, pair) allocation would blow
+//! that budget by an order of magnitude.
+//!
+//! The counting allocator is the one sanctioned use of `unsafe` in the
+//! repository: a test-only shim that defers straight to `System`.
+
+use iwb_harmony::{
+    Confidence, FloodingConfig, HarmonyEngine, MatchConfig, MatchContext, MatchVoter, VoteMerger,
+};
+use iwb_model::{DataType, ElementId, Metamodel, SchemaBuilder, SchemaGraph};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap blocks allocated while running `f`.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// A voter that allocates nothing per vote, so the measurement sees
+/// only the engine framework's own allocations.
+struct ConstVoter;
+
+impl MatchVoter for ConstVoter {
+    fn name(&self) -> &'static str {
+        "const"
+    }
+
+    fn vote(&self, _ctx: &MatchContext, src: ElementId, tgt: ElementId) -> Confidence {
+        // Vary by ids so the merged matrix is not trivially uniform.
+        let v = ((src.index() * 7 + tgt.index() * 3) % 10) as f64 / 20.0;
+        Confidence::engine(v)
+    }
+}
+
+fn flat_schema(name: &str, entities: usize) -> SchemaGraph {
+    let mut b = SchemaBuilder::new(name, Metamodel::Relational);
+    for e in 0..entities {
+        b = b
+            .open(format!("{name}_e{e}"))
+            .attr(format!("{name}_a{e}"), DataType::Text)
+            .close();
+    }
+    b.build()
+}
+
+#[test]
+fn warm_engine_run_allocates_less_than_one_block_per_pair() {
+    let source = flat_schema("src", 12);
+    let target = flat_schema("tgt", 12);
+    let mut engine = HarmonyEngine::new(
+        vec![
+            Box::new(ConstVoter),
+            Box::new(ConstVoter),
+            Box::new(ConstVoter),
+        ],
+        VoteMerger::default(),
+        FloodingConfig::disabled(),
+    );
+    engine.set_match_config(MatchConfig {
+        threads: 1,
+        cache: true,
+    });
+    let locked = HashMap::new();
+    // Warm-up run: builds and caches the match context.
+    let warmup = engine.run(&source, &target, &locked);
+    let pairs = warmup.matrix.src_ids().len() * warmup.matrix.tgt_ids().len();
+    assert!(pairs >= 400, "workload too small to be meaningful: {pairs}");
+
+    let allocs = allocations_during(|| {
+        let result = engine.run(&source, &target, &locked);
+        assert_eq!(
+            result.matrix.src_ids().len() * result.matrix.tgt_ids().len(),
+            pairs
+        );
+    });
+    assert!(
+        allocs < pairs,
+        "engine framework allocated {allocs} blocks for {pairs} pairs — \
+         something in the hot path allocates per pair again"
+    );
+}
+
+#[test]
+fn allocations_stay_flat_when_pairs_quadruple() {
+    // Doubling both sides quadruples the pair count; the framework's
+    // per-run allocation count must stay nearly flat (slab vectors and
+    // result matrices scale in *size*, not in *count*).
+    let locked = HashMap::new();
+    let measure = |entities: usize| {
+        let source = flat_schema("src", entities);
+        let target = flat_schema("tgt", entities);
+        let mut engine = HarmonyEngine::new(
+            vec![Box::new(ConstVoter) as Box<dyn MatchVoter>],
+            VoteMerger::default(),
+            FloodingConfig::disabled(),
+        );
+        engine.set_match_config(MatchConfig {
+            threads: 1,
+            cache: true,
+        });
+        engine.run(&source, &target, &locked);
+        allocations_during(|| {
+            engine.run(&source, &target, &locked);
+        })
+    };
+    let small = measure(8);
+    let big = measure(16);
+    assert!(
+        big <= small * 2,
+        "4x the pairs took {big} allocations vs {small} — scaling with the pair count"
+    );
+}

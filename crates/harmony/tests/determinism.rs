@@ -1,0 +1,124 @@
+//! The determinism contract of the parallel, feature-cached engine:
+//! `HarmonyEngine::run` produces **byte-identical** results for every
+//! thread count and cache setting — the merged matrix, every per-voter
+//! matrix, and the flooding iteration count, compared through
+//! `f64::to_bits` so even last-bit rounding drift fails.
+//!
+//! Workloads are seeded registry pairs (generator → mild perturbation),
+//! so the suite is reproducible across runs and machines.
+
+use iwb_harmony::{Confidence, HarmonyEngine, MatchConfig, MatchResult, ScoreMatrix};
+use iwb_registry::perturb::{perturb_schema, PerturbConfig};
+use iwb_registry::{generate_registry, GeneratorConfig, SchemaPair};
+use std::collections::HashMap;
+
+/// One seeded (source, target, gold) pair of roughly
+/// `entities * 6` elements per side.
+fn seeded_pair(seed: u64, entities: usize) -> SchemaPair {
+    let cfg = GeneratorConfig {
+        seed,
+        models: 1,
+        elements: entities,
+        attributes: entities * 5,
+        domain_values: entities * 8,
+        ..GeneratorConfig::default()
+    };
+    let registry = generate_registry(cfg);
+    perturb_schema(&registry.models[0], &PerturbConfig::mild(seed))
+}
+
+fn run_with(
+    pair: &SchemaPair,
+    threads: usize,
+    cache: bool,
+    locked: &HashMap<(iwb_model::ElementId, iwb_model::ElementId), Confidence>,
+) -> MatchResult {
+    let mut engine = HarmonyEngine::default();
+    engine.set_match_config(MatchConfig { threads, cache });
+    engine.run(&pair.source, &pair.target, locked)
+}
+
+fn bits(m: &ScoreMatrix) -> Vec<u64> {
+    m.scores().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Bit-exact equality of two results, with a stage-naming panic message.
+fn assert_identical(a: &MatchResult, b: &MatchResult, what: &str) {
+    assert_eq!(
+        a.flooding_iterations, b.flooding_iterations,
+        "{what}: flooding iteration count"
+    );
+    assert_eq!(a.matrix.src_ids(), b.matrix.src_ids(), "{what}: row ids");
+    assert_eq!(a.matrix.tgt_ids(), b.matrix.tgt_ids(), "{what}: col ids");
+    assert_eq!(a.per_voter.len(), b.per_voter.len(), "{what}: voter count");
+    for ((an, am), (bn, bm)) in a.per_voter.iter().zip(&b.per_voter) {
+        assert_eq!(an, bn, "{what}: voter order");
+        assert_eq!(bits(am), bits(bm), "{what}: voter {an} matrix");
+    }
+    assert_eq!(bits(&a.matrix), bits(&b.matrix), "{what}: merged matrix");
+}
+
+#[test]
+fn thread_count_and_cache_never_change_the_result() {
+    let pair = seeded_pair(11, 10);
+    let locked = HashMap::new();
+    let baseline = run_with(&pair, 1, false, &locked);
+    for threads in [1, 2, 8] {
+        for cache in [false, true] {
+            let r = run_with(&pair, threads, cache, &locked);
+            assert_identical(&baseline, &r, &format!("threads={threads} cache={cache}"));
+        }
+    }
+}
+
+#[test]
+fn auto_thread_count_is_identical_too() {
+    let pair = seeded_pair(13, 8);
+    let locked = HashMap::new();
+    let baseline = run_with(&pair, 1, false, &locked);
+    // threads: 0 resolves to the machine's available parallelism.
+    let auto = run_with(&pair, 0, true, &locked);
+    assert_identical(&baseline, &auto, "threads=auto");
+}
+
+#[test]
+fn cache_hits_are_byte_identical_to_cold_builds() {
+    let pair = seeded_pair(17, 8);
+    let locked = HashMap::new();
+    let mut engine = HarmonyEngine::default(); // threads=1, cache=on
+    let cold = engine.run(&pair.source, &pair.target, &locked);
+    let warm = engine.run(&pair.source, &pair.target, &locked);
+    assert_eq!(engine.cache_stats().context_hits, 1, "second run must hit");
+    assert_identical(&cold, &warm, "cache hit vs cold build");
+}
+
+#[test]
+fn locked_cells_are_identical_and_pinned_across_threads() {
+    let pair = seeded_pair(19, 8);
+    // Pick locked pairs out of the matrix itself so they are matchable.
+    let probe = run_with(&pair, 1, false, &HashMap::new());
+    let src = probe.matrix.src_ids().to_vec();
+    let tgt = probe.matrix.tgt_ids().to_vec();
+    let mut locked = HashMap::new();
+    locked.insert((src[1], tgt[1]), Confidence::ACCEPT);
+    locked.insert((src[2], tgt[1]), Confidence::REJECT);
+    let baseline = run_with(&pair, 1, false, &locked);
+    for threads in [2, 8] {
+        let r = run_with(&pair, threads, true, &locked);
+        assert_identical(&baseline, &r, &format!("locked, threads={threads}"));
+        assert_eq!(r.matrix.get(src[1], tgt[1]), Confidence::ACCEPT);
+        assert_eq!(r.matrix.get(src[2], tgt[1]), Confidence::REJECT);
+    }
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_matrices() {
+    // Sanity check that the suite is not vacuous: different workloads
+    // must actually differ, or bit-equality above proves nothing.
+    let a = seeded_pair(11, 8);
+    let b = seeded_pair(12, 8);
+    let locked = HashMap::new();
+    let ra = run_with(&a, 1, false, &locked);
+    let rb = run_with(&b, 1, false, &locked);
+    assert_ne!(bits(&ra.matrix), bits(&rb.matrix));
+}

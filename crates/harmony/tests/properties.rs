@@ -76,6 +76,73 @@ proptest! {
         }
     }
 
+    /// Sharded splice is equivalent to one whole-matrix splice: cutting
+    /// a row-major slab at arbitrary row boundaries and splicing the
+    /// shards in *any* order reproduces the slab bit-for-bit. This is
+    /// the invariant the parallel engine's merge step rests on.
+    #[test]
+    fn sharded_splice_equals_whole_splice(
+        rows in 1usize..10,
+        cols in 1usize..8,
+        cuts in prop::collection::vec(0usize..10, 0..4),
+        reverse in any::<bool>(),
+        raw in prop::collection::vec(-1.0f64..1.0, 90),
+    ) {
+        let slab: Vec<f64> = raw.iter().copied().take(rows * cols).collect();
+        let src: Vec<ElementId> = (0..rows).map(ElementId::from_index).collect();
+        let tgt: Vec<ElementId> = (100..100 + cols).map(ElementId::from_index).collect();
+
+        let mut whole = ScoreMatrix::new(src.clone(), tgt.clone());
+        whole.splice_rows(0, &slab);
+
+        // Arbitrary shard boundaries from the random cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (rows + 1)).collect();
+        bounds.push(0);
+        bounds.push(rows);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut shards: Vec<(usize, usize)> =
+            bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        if reverse {
+            // Splice order must not matter (the engine receives shards
+            // in channel arrival order, not row order).
+            shards.reverse();
+        }
+
+        let mut sharded = ScoreMatrix::new(src, tgt);
+        for &(lo, hi) in &shards {
+            sharded.splice_rows(lo, &slab[lo * cols..hi * cols]);
+        }
+        let bits = |m: &ScoreMatrix| m.scores().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&whole), bits(&sharded));
+    }
+
+    /// Splicing a row range leaves every other row untouched.
+    #[test]
+    fn splice_preserves_untouched_rows(
+        rows in 2usize..10,
+        cols in 1usize..8,
+        lo in 0usize..10,
+        len in 1usize..10,
+        raw in prop::collection::vec(-1.0f64..1.0, 90),
+    ) {
+        let lo = lo % rows;
+        let hi = (lo + len).min(rows);
+        let src: Vec<ElementId> = (0..rows).map(ElementId::from_index).collect();
+        let tgt: Vec<ElementId> = (100..100 + cols).map(ElementId::from_index).collect();
+        let mut m = ScoreMatrix::new(src.clone(), tgt.clone());
+        let base: Vec<f64> = raw.iter().copied().take(rows * cols).collect();
+        m.splice_rows(0, &base);
+        let patch: Vec<f64> = vec![0.5; (hi - lo) * cols];
+        m.splice_rows(lo, &patch);
+        for r in 0..rows {
+            for c in 0..cols {
+                let expected = if (lo..hi).contains(&r) { 0.5 } else { base[r * cols + c] };
+                prop_assert_eq!(m.scores()[r * cols + c].to_bits(), expected.to_bits());
+            }
+        }
+    }
+
     /// Merger learning keeps weights within the clamp bounds no matter
     /// what the feedback looks like.
     #[test]

@@ -32,7 +32,7 @@ pub mod tokenize;
 pub mod vocab_stats;
 
 pub use editdist::{jaro_winkler, levenshtein, normalized_levenshtein};
-pub use ngram::{dice_coefficient, ngrams};
+pub use ngram::{dice_coefficient, dice_profiles, ngrams, NgramProfile};
 pub use pipeline::{preprocess, Preprocessed};
 pub use soundex::soundex;
 pub use stem::porter_stem;

@@ -26,6 +26,45 @@ pub fn ngrams(s: &str, n: usize) -> HashMap<String, usize> {
     out
 }
 
+/// A precomputed n-gram multiset with its total gram count, so repeated
+/// Dice comparisons against the same string skip re-extraction (the
+/// match engine caches one profile per element name).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NgramProfile {
+    grams: HashMap<String, usize>,
+    total: usize,
+}
+
+impl NgramProfile {
+    /// Profile of `s` under `n`-grams.
+    pub fn new(s: &str, n: usize) -> Self {
+        let grams = ngrams(s, n);
+        let total = grams.values().sum();
+        NgramProfile { grams, total }
+    }
+
+    /// Total gram count (with multiplicity).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Dice coefficient between two precomputed profiles. Identical to
+/// [`dice_coefficient`] on the originating strings: a zero gram total on
+/// both sides only happens for two empty strings, which compare equal.
+pub fn dice_profiles(a: &NgramProfile, b: &NgramProfile) -> f64 {
+    let total = a.total + b.total;
+    if total == 0 {
+        return 1.0;
+    }
+    let overlap: usize = a
+        .grams
+        .iter()
+        .map(|(g, &ca)| ca.min(b.grams.get(g).copied().unwrap_or(0)))
+        .sum();
+    2.0 * overlap as f64 / total as f64
+}
+
 /// Dice coefficient over character `n`-gram multisets, in [0, 1].
 ///
 /// `2·|A ∩ B| / (|A| + |B|)` with multiset intersection.
@@ -36,17 +75,11 @@ pub fn ngrams(s: &str, n: usize) -> HashMap<String, usize> {
 /// assert_eq!(dice_coefficient("abc", "abc", 2), 1.0);
 /// ```
 pub fn dice_coefficient(a: &str, b: &str, n: usize) -> f64 {
-    let ga = ngrams(a, n);
-    let gb = ngrams(b, n);
-    let total: usize = ga.values().sum::<usize>() + gb.values().sum::<usize>();
-    if total == 0 {
+    let (pa, pb) = (NgramProfile::new(a, n), NgramProfile::new(b, n));
+    if pa.total + pb.total == 0 {
         return if a == b { 1.0 } else { 0.0 };
     }
-    let overlap: usize = ga
-        .iter()
-        .map(|(g, &ca)| ca.min(gb.get(g).copied().unwrap_or(0)))
-        .sum();
-    2.0 * overlap as f64 / total as f64
+    dice_profiles(&pa, &pb)
 }
 
 #[cfg(test)]

@@ -7,12 +7,19 @@
 //! frequencies plus a learned per-term weight multiplier to support
 //! exactly that adjustment.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A sparse term-weight vector.
+///
+/// Weights live in a `BTreeMap` so every float reduction over the
+/// vector (norm, cosine dot product) runs in term order. `HashMap`
+/// iteration order differs per map instance, and f64 addition is not
+/// associative — with a hash map, two vectors built from the same
+/// tokens could produce cosines differing in the last bits, breaking
+/// the match engine's bit-identical determinism contract.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TermVector {
-    weights: HashMap<String, f64>,
+    weights: BTreeMap<String, f64>,
 }
 
 impl TermVector {
@@ -36,7 +43,7 @@ impl TermVector {
         self.weights.is_empty()
     }
 
-    /// Iterate `(term, weight)` pairs in arbitrary order.
+    /// Iterate `(term, weight)` pairs in term order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.weights.iter().map(|(t, &w)| (t.as_str(), w))
     }

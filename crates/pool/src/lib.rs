@@ -1,0 +1,239 @@
+//! Fixed worker-thread pool.
+//!
+//! Extracted from the server's connection-worker loop so the same pool
+//! drives both long-lived connection serving (`execute`, fire-and-forget)
+//! and the Harmony engine's sharded scoring (`run_all`, a blocking
+//! fork-join barrier). Workers are spawned once at construction and pull
+//! jobs from a shared FIFO channel; dropping the pool (or calling
+//! [`ThreadPool::close`]) stops intake, lets the workers drain whatever
+//! is already queued, and joins them.
+//!
+//! `run_all` must not be called from inside a pool job: a job that
+//! blocks on its own pool's queue can deadlock once all workers are
+//! occupied by such jobs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads consuming jobs from a FIFO queue.
+pub struct ThreadPool {
+    sender: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+/// Countdown latch used by [`ThreadPool::run_all`]: remaining jobs plus
+/// how many of them panicked.
+struct Latch {
+    state: Mutex<(usize, usize)>,
+    done: Condvar,
+}
+
+impl ThreadPool {
+    /// Spawn `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("iwb-pool-{index}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(workers),
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Queue a job without waiting for it. Returns `false` if the pool
+    /// has been closed (the job is dropped unrun).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let guard = self.sender.lock().expect("pool sender lock");
+        match guard.as_ref() {
+            Some(sender) => sender.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Run every job on the pool and block until all have finished.
+    ///
+    /// Jobs are queued in order (FIFO), so with a single worker they run
+    /// exactly in sequence. If any job panics, the panic is re-raised
+    /// here after the whole batch has completed, so the caller never
+    /// observes a half-finished batch silently.
+    pub fn run_all(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch {
+            state: Mutex::new((jobs.len(), 0)),
+            done: Condvar::new(),
+        });
+        for job in jobs {
+            let latch = Arc::clone(&latch);
+            let queued = self.execute(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                let mut state = latch.state.lock().expect("latch lock");
+                state.0 -= 1;
+                if result.is_err() {
+                    state.1 += 1;
+                }
+                latch.done.notify_all();
+            });
+            assert!(queued, "run_all on a closed pool");
+        }
+        let mut state = latch.state.lock().expect("latch lock");
+        while state.0 > 0 {
+            state = latch.done.wait(state).expect("latch wait");
+        }
+        let panics = state.1;
+        drop(state);
+        assert!(panics == 0, "{panics} pool job(s) panicked");
+    }
+
+    /// Stop accepting new jobs and let workers drain the queue, then
+    /// join them. Idempotent; also invoked by `Drop`.
+    pub fn close(&self) {
+        drop(self.sender.lock().expect("pool sender lock").take());
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers lock"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Worker body: run queued jobs until the sender side is dropped. Each
+/// job runs under `catch_unwind` so a panicking job cannot take the
+/// worker (and everything queued behind it) down with it.
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_queued_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.close();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn run_all_blocks_until_every_job_finishes() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..17)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run_all(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn run_all_works_repeatedly_and_alongside_execute() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let fire = Arc::clone(&counter);
+            pool.execute(move || {
+                fire.fetch_add(1, Ordering::SeqCst);
+            });
+            let jobs: Vec<Job> = (0..5)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }) as Job
+                })
+                .collect();
+            pool.run_all(jobs);
+        }
+        pool.close();
+        assert_eq!(counter.load(Ordering::SeqCst), 18);
+    }
+
+    #[test]
+    fn panicking_job_propagates_without_killing_workers() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_all(vec![
+                Box::new(|| panic!("boom")) as Job,
+                Box::new(|| {}) as Job,
+            ]);
+        }));
+        assert!(result.is_err(), "panic must propagate out of run_all");
+        // Workers stay alive and keep serving jobs afterwards.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run_all(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn execute_after_close_reports_failure() {
+        let pool = ThreadPool::new(1);
+        pool.close();
+        assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        pool.run_all(vec![Box::new(|| {}) as Job]);
+    }
+}

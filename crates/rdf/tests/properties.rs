@@ -71,7 +71,9 @@ proptest! {
         prop_assert!(st.matching(None, None, None).is_empty());
     }
 
-    /// Turtle serialisation round-trips every store exactly.
+    /// Turtle serialisation round-trips every store exactly: same
+    /// triple count, the *same set of triples* (by term value, not just
+    /// count), and a stable re-serialisation.
     #[test]
     fn turtle_round_trip(triples in arb_triples()) {
         let mut st = TripleStore::new();
@@ -81,6 +83,19 @@ proptest! {
         let text = turtle::write(&st);
         let back = turtle::read(&text).expect("own output parses");
         prop_assert_eq!(back.len(), st.len());
+        let term_set = |store: &TripleStore| {
+            let mut set: Vec<(Term, Term, Term)> = store
+                .iter()
+                .map(|t| (
+                    store.term(t.s).clone(),
+                    store.term(t.p).clone(),
+                    store.term(t.o).clone(),
+                ))
+                .collect();
+            set.sort_by_key(|(s, p, o)| format!("{s} {p} {o}"));
+            set
+        };
+        prop_assert_eq!(term_set(&st), term_set(&back));
         prop_assert_eq!(turtle::write(&back), text);
     }
 

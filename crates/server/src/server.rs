@@ -1,7 +1,8 @@
-//! The TCP daemon: acceptor → channel → worker pool.
+//! The TCP daemon: acceptor → worker pool.
 //!
-//! One acceptor thread pushes connections into an mpsc channel; a
-//! fixed pool of workers pops them and serves each connection to
+//! One acceptor thread submits connections to a shared
+//! [`iwb_pool::ThreadPool`] (the same pool abstraction the Harmony
+//! engine shards match runs over); each job serves one connection to
 //! completion. Per-session locking lives in [`crate::session`]:
 //! workers serving different sessions run fully in parallel, while two
 //! connections attached to the same session serialize on its shell
@@ -23,12 +24,12 @@ use crate::journal::JournalConfig;
 use crate::session::{ExecOutcome, RecoveryReport, SessionRegistry};
 use crate::stats::{CommandClass, ServerStats};
 use iwb_core::shell::{heredoc_start, HEREDOC_END};
+use iwb_pool::ThreadPool;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -100,6 +101,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    pool: Arc<ThreadPool>,
     stats: Arc<ServerStats>,
     registry: Arc<SessionRegistry>,
     recovery: Option<RecoveryReport>,
@@ -138,11 +140,14 @@ impl ServerHandle {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Wait for every server thread to exit.
+    /// Wait for every server thread to exit: first the acceptor and
+    /// housekeeper, then the worker pool (which drains any connections
+    /// still queued before its threads stop).
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
         }
+        self.pool.close();
     }
 }
 
@@ -173,13 +178,18 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         None
     };
 
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
-    let rx = Arc::new(Mutex::new(rx));
+    let pool = Arc::new(ThreadPool::new(config.workers));
     let mut threads = Vec::new();
 
-    // Acceptor.
+    // Acceptor: each accepted connection becomes one pool job served to
+    // completion (the pool's queue replaces the old hand-rolled
+    // channel-of-streams).
     {
         let shutdown = Arc::clone(&shutdown);
+        let pool = Arc::clone(&pool);
+        let stats = Arc::clone(&stats);
+        let registry = Arc::clone(&registry);
+        let config = config.clone();
         // The socket poll tick must not exceed the connection idle
         // budget, or a `read_timeout` shorter than one tick would
         // never be enforced.
@@ -190,8 +200,15 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                     Ok((stream, _peer)) => {
                         let _ = stream.set_read_timeout(Some(tick));
                         let _ = stream.set_nodelay(true);
-                        if tx.send(stream).is_err() {
-                            break;
+                        let shutdown = Arc::clone(&shutdown);
+                        let stats = Arc::clone(&stats);
+                        let registry = Arc::clone(&registry);
+                        let config = config.clone();
+                        let queued = pool.execute(move || {
+                            serve_connection(stream, &registry, &stats, &shutdown, &config);
+                        });
+                        if !queued {
+                            break; // pool closed under us: shutting down
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -199,28 +216,6 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                     }
                     Err(_) => thread::sleep(ACCEPT_TICK),
                 }
-            }
-            // Dropping `tx` lets idle workers drain and exit.
-        }));
-    }
-
-    // Workers.
-    for _ in 0..config.workers.max(1) {
-        let rx = Arc::clone(&rx);
-        let shutdown = Arc::clone(&shutdown);
-        let stats = Arc::clone(&stats);
-        let registry = Arc::clone(&registry);
-        let config = config.clone();
-        threads.push(thread::spawn(move || loop {
-            let next = rx
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .recv();
-            match next {
-                Ok(stream) => {
-                    serve_connection(stream, &registry, &stats, &shutdown, &config);
-                }
-                Err(_) => break, // acceptor gone and queue drained
             }
         }));
     }
@@ -245,6 +240,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         addr,
         shutdown,
         threads,
+        pool,
         stats,
         registry,
         recovery,

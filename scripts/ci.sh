@@ -20,4 +20,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== chaos smoke (fault-injection integration tests, fixed seeds)"
 cargo test -q --offline -p iwb-server --test chaos
 
+echo "== determinism suite (byte-identical engine across threads/cache)"
+cargo test -q --offline -p iwb-harmony --test determinism
+
+echo "== bench_match smoke (byte-identity + speedup floor, quick workload)"
+cargo run -q --release --offline -p iwb-bench --bin bench_match -- \
+    --quick --out target/BENCH_match_quick.json
+grep -q '"byte_identical": true' target/BENCH_match_quick.json
+
 echo "ci: ok"

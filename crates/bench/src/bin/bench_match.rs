@@ -143,6 +143,7 @@ fn main() {
     seq_engine.set_match_config(MatchConfig {
         threads: 1,
         cache: false,
+        ..MatchConfig::default()
     });
     let (seq_ms, seq_result) = time_runs(&mut seq_engine, &pair, args.repeats);
 
@@ -151,6 +152,7 @@ fn main() {
     par_engine.set_match_config(MatchConfig {
         threads: args.threads,
         cache: false,
+        ..MatchConfig::default()
     });
     let (par_ms, par_result) = time_runs(&mut par_engine, &pair, args.repeats);
 
@@ -160,6 +162,7 @@ fn main() {
     cached_engine.set_match_config(MatchConfig {
         threads: 1,
         cache: true,
+        ..MatchConfig::default()
     });
     let _ = cached_engine.run(&pair.source, &pair.target, &HashMap::new());
     let (cached_ms, cached_result) = time_runs(&mut cached_engine, &pair, args.repeats);

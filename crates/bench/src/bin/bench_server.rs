@@ -4,8 +4,9 @@
 //! `--addr`), drives N concurrent client sessions — each loading its
 //! own pair of generated ER schemata, matching them, and issuing a
 //! read-heavy command mix — then reports client-side throughput and
-//! the server's own latency histogram (`stats` command), and verifies
-//! zero cross-session schema leakage.
+//! the server's own latency histogram (`stats` command), verifies
+//! zero cross-session schema leakage, and writes a machine-readable
+//! report to `BENCH_server.json`.
 //!
 //! ```sh
 //! cargo run --release -p iwb-bench --bin bench_server -- \
@@ -24,13 +25,32 @@
 //!     --sessions 8 --commands 200 \
 //!     --faults seed=42,exec-panic=0.02,exec-slow=0.05:5
 //! ```
+//!
+//! With `--deadline-ms N` the in-process daemon applies a default
+//! deadline to every shell command; commands reaped by it come back
+//! as `command aborted: deadline exceeded` and are counted instead of
+//! failing the run. `--max-pending N` enables admission control.
+//!
+//! With `--cancel-storm` the tool switches workloads entirely: every
+//! session issues one command that hangs (via the `exec-hang` fault
+//! point), an admin connection cancels each in turn, and the report
+//! measures cancel latency (cancel issued → command aborted), the
+//! shed rate under a concurrent connection burst, and that no session
+//! leaks — every stormed session must remain attachable and close
+//! cleanly afterwards.
+//!
+//! ```sh
+//! cargo run --release -p iwb-bench --bin bench_server -- \
+//!     --cancel-storm --sessions 8
+//! ```
 
 use iwb_loaders::to_er_text;
 use iwb_registry::GeneratorConfig;
 use iwb_server::client::Client;
-use iwb_server::fault::FaultSpec;
+use iwb_server::fault::{FaultSpec, EXEC_HANG};
 use iwb_server::server::{serve, ServerConfig, ServerHandle};
 use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -42,6 +62,13 @@ struct Args {
     scale: f64,
     addr: Option<String>,
     faults: Option<String>,
+    /// Default per-command deadline applied by the in-process daemon.
+    deadline_ms: Option<u64>,
+    /// Admission-control bound for the in-process daemon.
+    max_pending: Option<usize>,
+    /// Run the cancel-storm workload instead of the load mix.
+    cancel_storm: bool,
+    out: String,
 }
 
 impl Default for Args {
@@ -54,6 +81,10 @@ impl Default for Args {
             scale: 0.0005,
             addr: None,
             faults: None,
+            deadline_ms: None,
+            max_pending: None,
+            cancel_storm: false,
+            out: "BENCH_server.json".to_owned(),
         }
     }
 }
@@ -61,7 +92,8 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_server [--sessions N] [--commands N] [--workers N] \
-         [--seed N] [--scale F] [--addr HOST:PORT] [--faults SPEC]"
+         [--seed N] [--scale F] [--addr HOST:PORT] [--faults SPEC] \
+         [--deadline-ms N] [--max-pending N] [--cancel-storm] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -79,14 +111,22 @@ fn parse_args() -> Args {
             "--scale" => out.scale = value().parse().unwrap_or_else(|_| usage()),
             "--addr" => out.addr = Some(value()),
             "--faults" => out.faults = Some(value()),
+            "--deadline-ms" => out.deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--max-pending" => out.max_pending = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--cancel-storm" => out.cancel_storm = true,
+            "--out" => out.out = value(),
             _ => usage(),
         }
     }
     if out.sessions == 0 || out.commands < 4 {
         usage();
     }
-    if out.addr.is_some() && out.faults.is_some() {
-        eprintln!("--faults configures the in-process daemon; it cannot target --addr");
+    if out.addr.is_some() && (out.faults.is_some() || out.cancel_storm || out.deadline_ms.is_some())
+    {
+        eprintln!(
+            "--faults/--deadline-ms/--cancel-storm configure the in-process daemon; \
+             they cannot target --addr"
+        );
         usage();
     }
     out
@@ -97,6 +137,8 @@ struct SessionReport {
     issued: u64,
     errors: u64,
     quarantines: u64,
+    /// Commands reaped by the server's default deadline.
+    deadline_aborts: u64,
     /// Error → next-success gaps, one per incident.
     recoveries: Vec<Duration>,
     /// The final export (`None` if the session never reached one).
@@ -107,6 +149,8 @@ struct SessionReport {
 /// Under `chaos`, protocol errors are expected: they are counted, the
 /// first error of an incident starts a recovery clock that the next
 /// success stops, and a quarantined session is closed and recreated.
+/// Under `deadline`, `command aborted: deadline exceeded` replies are
+/// likewise expected and tallied separately.
 fn run_session(
     addr: SocketAddr,
     index: usize,
@@ -114,6 +158,7 @@ fn run_session(
     seed: u64,
     scale: f64,
     chaos: bool,
+    deadline: bool,
 ) -> SessionReport {
     let tag = format!("bench{index}");
     let left = format!("{tag}_left");
@@ -135,19 +180,22 @@ fn run_session(
         issued: 0,
         errors: 0,
         quarantines: 0,
+        deadline_aborts: 0,
         recoveries: Vec::new(),
         export: None,
     };
     let mut error_since: Option<Instant> = None;
 
     // Issue one request; returns the body on success. Under chaos an
-    // `err` reply feeds the incident clock instead of aborting.
+    // `err` reply feeds the incident clock instead of aborting; under
+    // a deadline, reaped commands are tallied and skipped.
     #[allow(clippy::too_many_arguments)]
     fn step(
         client: &mut Client,
         report: &mut SessionReport,
         error_since: &mut Option<Instant>,
         chaos: bool,
+        deadline: bool,
         tag: &str,
         reload: &[(String, String)],
         run: impl FnOnce(&mut Client) -> std::io::Result<iwb_server::client::Response>,
@@ -159,6 +207,15 @@ fn run_session(
                 report.recoveries.push(start.elapsed());
             }
             return Some(resp.body);
+        }
+        if resp.body.contains("command aborted: deadline exceeded") {
+            assert!(
+                deadline || chaos,
+                "session {tag}: unexpected deadline abort: {}",
+                resp.body
+            );
+            report.deadline_aborts += 1;
+            return None;
         }
         assert!(chaos, "session {tag}: server error: {}", resp.body);
         report.errors += 1;
@@ -193,6 +250,7 @@ fn run_session(
             report,
             error_since,
             chaos,
+            deadline,
             &tag,
             &reload,
             |c| match heredoc {
@@ -236,6 +294,149 @@ fn run_session(
     report
 }
 
+/// What the cancel-storm observed.
+struct StormReport {
+    /// Cancel acknowledged → `command aborted: cancelled` reply, per victim.
+    latencies: Vec<Duration>,
+    /// RETRY-AFTER rejections seen by the concurrent probe burst.
+    probes_shed: u64,
+    probes_total: u64,
+    /// Stormed sessions that failed to re-attach or close afterwards.
+    leaks: usize,
+    elapsed: Duration,
+}
+
+/// Cancel-storm workload: every victim session issues one command
+/// that the `exec-hang` fault point parks for 60 s, a probe burst
+/// measures the shed rate while all victims are in flight, then an
+/// admin connection cancels each victim and the time from the cancel
+/// being acknowledged to the victim's command aborting is recorded.
+fn run_cancel_storm(args: &Args, handle: &ServerHandle) -> StormReport {
+    let victims = args.sessions;
+    let addr = handle.addr();
+    let started = Instant::now();
+
+    // All victims arm their hang together; main passes the barrier to
+    // know the storm is underway.
+    let barrier = Arc::new(Barrier::new(victims + 1));
+    let joins: Vec<_> = (0..victims)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("victim connect");
+                client
+                    .session_new(Some(&format!("storm{i}")))
+                    .expect("victim session");
+                barrier.wait();
+                // Parks on the exec-hang fault until cancelled.
+                let resp = client.request("show coverage").expect("victim request io");
+                let returned = Instant::now();
+                assert!(
+                    !resp.ok && resp.body.contains("command aborted: cancelled"),
+                    "victim storm{i}: expected a cancel abort, got: {}",
+                    resp.body
+                );
+                returned
+            })
+        })
+        .collect();
+    barrier.wait();
+    // Give the hang commands time to reach the server and arm their
+    // cancel tokens before probing and cancelling.
+    thread::sleep(Duration::from_millis(50));
+
+    // Overload burst: with every victim parked, concurrent probes past
+    // the admission bound must be shed with RETRY-AFTER, not queued.
+    let probes_total = (victims as u64).max(8) * 2;
+    let probe_joins: Vec<_> = (0..probes_total)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("probe connect");
+                match c.request("ping") {
+                    Ok(r) if r.ok => 0u64,
+                    Ok(r) if r.body.starts_with("RETRY-AFTER") => 1,
+                    Ok(r) => panic!("probe: unexpected error: {}", r.body),
+                    // The acceptor may close a shed connection before
+                    // the probe's request is read.
+                    Err(_) => 1,
+                }
+            })
+        })
+        .collect();
+    let probes_shed: u64 = probe_joins
+        .into_iter()
+        .map(|j| j.join().expect("probe thread"))
+        .sum();
+
+    // Cancel each victim and time cancel-ack → abort.
+    let mut admin = Client::connect(addr).expect("admin connect");
+    let mut cancel_issued = vec![started; victims];
+    for (i, slot) in cancel_issued.iter_mut().enumerate() {
+        loop {
+            let before = Instant::now();
+            let resp = admin
+                .request(&format!("cancel storm{i}"))
+                .expect("cancel io");
+            if resp.ok {
+                *slot = before;
+                break;
+            }
+            assert!(
+                resp.body.contains("no command in flight"),
+                "cancel storm{i}: {}",
+                resp.body
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    let latencies: Vec<Duration> = joins
+        .into_iter()
+        .zip(&cancel_issued)
+        .map(|(j, &issued)| {
+            let returned = j.join().expect("victim thread");
+            returned.saturating_duration_since(issued)
+        })
+        .collect();
+
+    // Zero session leakage: every stormed session must still be
+    // attachable (alive, not quarantined) and close cleanly.
+    let mut leaks = 0usize;
+    for i in 0..victims {
+        let attach = admin
+            .request(&format!("session attach storm{i}"))
+            .expect("attach io");
+        let close = admin
+            .request(&format!("session close storm{i}"))
+            .expect("close io");
+        if !attach.ok || !close.ok {
+            eprintln!(
+                "LEAK: storm{i} attach ok={} close ok={}: {} / {}",
+                attach.ok, close.ok, attach.body, close.body
+            );
+            leaks += 1;
+        }
+    }
+
+    StormReport {
+        latencies,
+        probes_shed,
+        probes_total,
+        leaks,
+        elapsed: started.elapsed(),
+    }
+}
+
+fn mean_max_us(samples: &[Duration]) -> (u128, u128) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    (
+        samples.iter().map(Duration::as_micros).sum::<u128>() / samples.len() as u128,
+        samples.iter().map(Duration::as_micros).max().unwrap_or(0),
+    )
+}
+
 fn main() {
     let args = parse_args();
     let fault_plan = args.faults.as_deref().map(|spec| {
@@ -251,6 +452,84 @@ fn main() {
         iwb_server::quiet_injected_panics();
     }
 
+    if args.cancel_storm {
+        // The storm parks one worker per victim, so the daemon needs
+        // headroom for the admin connection, and the admission bound
+        // sits just above the victims so the probe burst sheds.
+        let handle = serve(ServerConfig {
+            workers: args.sessions + 2,
+            max_sessions: args.sessions + 4,
+            max_pending: args.max_pending.unwrap_or(args.sessions + 2),
+            faults: FaultSpec::seeded(args.seed)
+                .rate(EXEC_HANG, 1.0)
+                .millis(EXEC_HANG, 60_000)
+                .build(),
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = handle.addr();
+        println!(
+            "bench_server: cancel-storm, {} victims against {addr} (seed {})",
+            args.sessions, args.seed
+        );
+
+        let report = run_cancel_storm(&args, &handle);
+        let (mean_us, max_us) = mean_max_us(&report.latencies);
+        let cancelled = handle.stats().commands_cancelled_count();
+        let shed = handle.stats().connections_shed_count();
+        let shed_rate = report.probes_shed as f64 / report.probes_total as f64;
+        println!(
+            "cancel latency: mean {mean_us} us, max {max_us} us over {} cancels",
+            report.latencies.len()
+        );
+        println!(
+            "admission: {}/{} probes shed ({:.0}% shed rate), server shed counter {shed}",
+            report.probes_shed,
+            report.probes_total,
+            shed_rate * 100.0
+        );
+        println!(
+            "sessions: {} stormed, {} leaked, server cancelled counter {cancelled}",
+            args.sessions, report.leaks
+        );
+
+        let json = format!(
+            "{{\n  \"mode\": \"cancel-storm\",\n  \"seed\": {},\n  \"sessions\": {},\n  \
+             \"elapsed_s\": {:.3},\n  \"cancel_latency_mean_us\": {mean_us},\n  \
+             \"cancel_latency_max_us\": {max_us},\n  \"probes_shed\": {},\n  \
+             \"probes_total\": {},\n  \"shed_rate\": {shed_rate:.3},\n  \
+             \"server_cancelled\": {cancelled},\n  \"server_shed\": {shed},\n  \
+             \"session_leaks\": {}\n}}\n",
+            args.seed,
+            args.sessions,
+            report.elapsed.as_secs_f64(),
+            report.probes_shed,
+            report.probes_total,
+            report.leaks,
+        );
+        std::fs::write(&args.out, &json).expect("write report");
+        println!("report written to {}", args.out);
+
+        let mut admin = Client::connect(addr).expect("admin connect");
+        println!("server stats:");
+        for line in admin.stats().expect("stats").lines() {
+            println!("  {line}");
+        }
+        admin.shutdown().expect("shutdown");
+        handle.join();
+
+        let ok = report.leaks == 0
+            && cancelled >= args.sessions as u64
+            && report.probes_shed > 0
+            && report.latencies.len() == args.sessions;
+        if !ok {
+            eprintln!("bench_server: FAILED — cancel-storm invariants violated");
+            std::process::exit(1);
+        }
+        println!("bench_server: ok — cancel-storm, zero session leakage");
+        return;
+    }
+
     // Either target an external daemon or spin one up in-process.
     let mut local: Option<ServerHandle> = None;
     let addr: SocketAddr = match &args.addr {
@@ -260,6 +539,8 @@ fn main() {
                 workers: args.workers,
                 max_sessions: args.sessions + 4,
                 faults: fault_plan.unwrap_or_default(),
+                default_deadline: args.deadline_ms.map(Duration::from_millis),
+                max_pending: args.max_pending.unwrap_or(0),
                 ..ServerConfig::default()
             })
             .expect("bind ephemeral port");
@@ -270,21 +551,26 @@ fn main() {
     };
 
     println!(
-        "bench_server: {} sessions x {} commands against {addr} (seed {}{})",
+        "bench_server: {} sessions x {} commands against {addr} (seed {}{}{})",
         args.sessions,
         args.commands,
         args.seed,
         match &args.faults {
             Some(spec) => format!(", faults {spec}"),
             None => String::new(),
+        },
+        match args.deadline_ms {
+            Some(ms) => format!(", deadline {ms} ms"),
+            None => String::new(),
         }
     );
 
     let started = Instant::now();
+    let deadline = args.deadline_ms.is_some();
     let joins: Vec<_> = (0..args.sessions)
         .map(|i| {
             let (commands, seed, scale) = (args.commands, args.seed, args.scale);
-            thread::spawn(move || run_session(addr, i, commands, seed, scale, chaos))
+            thread::spawn(move || run_session(addr, i, commands, seed, scale, chaos, deadline))
         })
         .collect();
     let results: Vec<SessionReport> = joins
@@ -317,31 +603,57 @@ fn main() {
         total as f64 / secs / args.sessions as f64
     );
 
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let quarantines: u64 = results.iter().map(|r| r.quarantines).sum();
+    let deadline_aborts: u64 = results.iter().map(|r| r.deadline_aborts).sum();
     if chaos {
-        let errors: u64 = results.iter().map(|r| r.errors).sum();
-        let quarantines: u64 = results.iter().map(|r| r.quarantines).sum();
         let recoveries: Vec<Duration> = results
             .iter()
             .flat_map(|r| r.recoveries.iter().copied())
             .collect();
-        let (mean_us, max_us) = if recoveries.is_empty() {
-            (0, 0)
-        } else {
-            (
-                recoveries.iter().map(Duration::as_micros).sum::<u128>() / recoveries.len() as u128,
-                recoveries
-                    .iter()
-                    .map(Duration::as_micros)
-                    .max()
-                    .unwrap_or(0),
-            )
-        };
+        let (mean_us, max_us) = mean_max_us(&recoveries);
         println!(
             "chaos: {errors} protocol errors, {quarantines} quarantines handled, \
              {} recoveries (mean {mean_us} us, max {max_us} us)",
             recoveries.len()
         );
     }
+    if deadline {
+        println!(
+            "deadline: {deadline_aborts} commands reaped by the {} ms default",
+            args.deadline_ms.unwrap_or(0)
+        );
+    }
+
+    let (cancelled, deadline_exceeded, shed) = match &local {
+        Some(handle) => (
+            handle.stats().commands_cancelled_count(),
+            handle.stats().commands_deadline_exceeded_count(),
+            handle.stats().connections_shed_count(),
+        ),
+        None => (0, 0, 0),
+    };
+    let json = format!(
+        "{{\n  \"mode\": \"load\",\n  \"seed\": {},\n  \"sessions\": {},\n  \
+         \"commands\": {},\n  \"workers\": {},\n  \"chaos\": {chaos},\n  \
+         \"deadline_ms\": {},\n  \"elapsed_s\": {secs:.3},\n  \
+         \"commands_total\": {total},\n  \"cmd_per_s\": {:.1},\n  \
+         \"protocol_errors\": {errors},\n  \"quarantines\": {quarantines},\n  \
+         \"deadline_aborts\": {deadline_aborts},\n  \"server_cancelled\": {cancelled},\n  \
+         \"server_deadline_exceeded\": {deadline_exceeded},\n  \"server_shed\": {shed},\n  \
+         \"cross_session_leaks\": {leaks}\n}}\n",
+        args.seed,
+        args.sessions,
+        args.commands,
+        args.workers,
+        match args.deadline_ms {
+            Some(ms) => ms.to_string(),
+            None => "null".to_owned(),
+        },
+        total as f64 / secs,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("report written to {}", args.out);
 
     let mut admin = Client::connect(addr).expect("admin connect");
     println!("server stats:");

@@ -9,7 +9,8 @@
 //! ```text
 //! load <format> <schema-id> <<EOF … EOF      # task 1/2
 //! match <source> <target> [subtree <path>]   # task 3 (automatic)
-//! match-config [threads <n>] [cache on|off]  # engine parallelism/cache knobs
+//! match-config [threads <n>] [cache on|off] [timeout <ms>]
+//!                                             # engine parallelism/cache/deadline knobs
 //! accept <source> <target> <row> <col>       # task 3 (manual)
 //! reject <source> <target> <row> <col>
 //! bind <source> <target> <row> <variable>    # mapping
@@ -23,18 +24,24 @@
 use crate::manager::WorkbenchManager;
 use crate::tool::{ToolArgs, ToolError};
 use iwb_model::SchemaId;
+use iwb_pool::Budget;
 use iwb_rdf::{PatternTerm, Term, TriplePattern};
 use std::fmt::Write;
 
 /// A shell session holding the workbench and accumulating output.
 pub struct Shell {
     manager: WorkbenchManager,
+    /// Interruption budget attached to every tool invocation of the
+    /// command currently executing (unlimited outside
+    /// [`Shell::execute_with_budget`]).
+    budget: Budget,
 }
 
 impl Default for Shell {
     fn default() -> Self {
         Shell {
             manager: WorkbenchManager::with_builtin_tools(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -65,14 +72,45 @@ impl Shell {
     /// and treat the session as suspect afterwards (the server
     /// quarantines it after repeated panics).
     pub fn execute(&mut self, line: &str, heredoc: Option<&str>) -> Result<String, ToolError> {
+        self.execute_with_budget(line, heredoc, &Budget::unlimited())
+    }
+
+    /// [`Shell::execute`] under a cooperative interruption [`Budget`]
+    /// (deadline and/or cancel token). The budget rides along on every
+    /// tool invocation the command makes; an interrupted tool aborts
+    /// with [`ToolError::Cancelled`] / [`ToolError::DeadlineExceeded`]
+    /// before writing anything, so blackboard state is untouched.
+    pub fn execute_with_budget(
+        &mut self,
+        line: &str,
+        heredoc: Option<&str>,
+        budget: &Budget,
+    ) -> Result<String, ToolError> {
+        self.budget = budget.clone();
+        let result = self.dispatch(line, heredoc);
+        self.budget = Budget::unlimited();
+        result
+    }
+
+    /// Invoke a tool with the executing command's budget attached.
+    fn invoke_tool(
+        &mut self,
+        tool: &str,
+        args: ToolArgs,
+    ) -> Result<crate::manager::InvokeReport, ToolError> {
+        let args = args.with_budget(self.budget.clone());
+        self.manager.invoke(tool, &args)
+    }
+
+    fn dispatch(&mut self, line: &str, heredoc: Option<&str>) -> Result<String, ToolError> {
         let words: Vec<&str> = line.split_whitespace().collect();
         match words.as_slice() {
             ["load", format, schema_id, ..] => {
                 let text = heredoc
                     .ok_or_else(|| ToolError::Failed("load requires a <<EOF … EOF body".into()))?;
-                let report = self.manager.invoke(
+                let report = self.invoke_tool(
                     "schema-loader",
-                    &ToolArgs::new()
+                    ToolArgs::new()
                         .with("format", *format)
                         .with("text", text)
                         .with("schema-id", *schema_id),
@@ -80,18 +118,18 @@ impl Shell {
                 Ok(report.output)
             }
             ["match", source, target] => {
-                let report = self.manager.invoke(
+                let report = self.invoke_tool(
                     "harmony",
-                    &ToolArgs::new()
+                    ToolArgs::new()
                         .with("source", *source)
                         .with("target", *target),
                 )?;
                 Ok(report.output)
             }
             ["match", source, target, "subtree", path] => {
-                let report = self.manager.invoke(
+                let report = self.invoke_tool(
                     "harmony",
-                    &ToolArgs::new()
+                    ToolArgs::new()
                         .with("source", *source)
                         .with("target", *target)
                         .with("subtree", *path),
@@ -103,23 +141,26 @@ impl Shell {
                 let mut it = rest.iter();
                 while let Some(key) = it.next() {
                     let value = it.next().ok_or_else(|| {
-                        ToolError::Failed("usage: match-config [threads <n>] [cache on|off]".into())
+                        ToolError::Failed(
+                            "usage: match-config [threads <n>] [cache on|off] [timeout <ms>]"
+                                .into(),
+                        )
                     })?;
                     match *key {
-                        "threads" | "cache" => tool_args = tool_args.with(*key, *value),
+                        "threads" | "cache" | "timeout" => tool_args = tool_args.with(*key, *value),
                         other => {
                             return Err(ToolError::Failed(format!(
-                                "unknown match-config key {other:?} (threads, cache)"
+                                "unknown match-config key {other:?} (threads, cache, timeout)"
                             )))
                         }
                     }
                 }
-                Ok(self.manager.invoke("harmony", &tool_args)?.output)
+                Ok(self.invoke_tool("harmony", tool_args)?.output)
             }
             [action @ ("accept" | "reject"), source, target, row, col] => {
-                let report = self.manager.invoke(
+                let report = self.invoke_tool(
                     "harmony",
-                    &ToolArgs::new()
+                    ToolArgs::new()
                         .with("action", *action)
                         .with("source", *source)
                         .with("target", *target)
@@ -133,9 +174,9 @@ impl Shell {
                 ))
             }
             ["bind", source, target, row, variable] => {
-                let report = self.manager.invoke(
+                let report = self.invoke_tool(
                     "aqualogic-mapper",
-                    &ToolArgs::new()
+                    ToolArgs::new()
                         .with("action", "bind-variable")
                         .with("source", *source)
                         .with("target", *target)
@@ -150,9 +191,9 @@ impl Shell {
                     .map(|(_, rhs)| rhs.trim())
                     .filter(|s| !s.is_empty())
                     .ok_or_else(|| ToolError::Failed("empty code expression".into()))?;
-                let report = self.manager.invoke(
+                let report = self.invoke_tool(
                     "aqualogic-mapper",
-                    &ToolArgs::new()
+                    ToolArgs::new()
                         .with("action", "set-code")
                         .with("source", *source)
                         .with("target", *target)
@@ -162,9 +203,9 @@ impl Shell {
                 Ok(report.output)
             }
             ["generate", source, target] => {
-                let report = self.manager.invoke(
+                let report = self.invoke_tool(
                     "xquery-codegen",
-                    &ToolArgs::new()
+                    ToolArgs::new()
                         .with("source", *source)
                         .with("target", *target),
                 )?;
@@ -460,17 +501,45 @@ show coverage
         let shown = shell.execute("match-config", None).unwrap();
         assert!(shown.contains("threads=1"), "{shown}");
         assert!(shown.contains("cache=on"), "{shown}");
+        assert!(shown.contains("timeout=none"), "{shown}");
         let set = shell
-            .execute("match-config threads 4 cache off", None)
+            .execute("match-config threads 4 cache off timeout 2500", None)
             .unwrap();
         assert!(set.contains("threads=4"), "{set}");
         assert!(set.contains("cache=off"), "{set}");
+        assert!(set.contains("timeout=2500ms"), "{set}");
+        let cleared = shell.execute("match-config timeout 0", None).unwrap();
+        assert!(cleared.contains("timeout=none"), "{cleared}");
         let err = shell.execute("match-config cache maybe", None).unwrap_err();
         assert!(err.to_string().contains("on or off"));
         let err = shell.execute("match-config threads", None).unwrap_err();
         assert!(err.to_string().contains("usage"));
         let err = shell.execute("match-config flux 9", None).unwrap_err();
         assert!(err.to_string().contains("unknown match-config key"));
+        let err = shell
+            .execute("match-config timeout never", None)
+            .unwrap_err();
+        assert!(err.to_string().contains("milliseconds"));
+    }
+
+    #[test]
+    fn execute_with_budget_cancels_cooperative_commands() {
+        use iwb_pool::{CancelToken, Deadline};
+        let mut shell = Shell::new();
+        let load = shell.run_on(
+            "load er a <<EOF\nentity A { x : text }\nEOF\nload er b <<EOF\nentity B { y : text }\nEOF\n",
+        );
+        assert_eq!(load.errors, 0, "{}", load.transcript);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::new(token, Deadline::none());
+        let err = shell
+            .execute_with_budget("match a b", None, &budget)
+            .unwrap_err();
+        assert_eq!(err, ToolError::Cancelled);
+        // The budget does not leak into the next (plain) command.
+        let out = shell.execute("match a b", None).unwrap();
+        assert!(out.contains("cells updated"), "{out}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::blackboard::Blackboard;
 use crate::event::{EventKind, WorkbenchEvent};
 use crate::taskmodel::Task;
+use iwb_pool::{Budget, Interrupt};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -36,10 +37,13 @@ impl fmt::Display for ToolKind {
     }
 }
 
-/// String-keyed invocation arguments (what the GUI dialog would gather).
+/// String-keyed invocation arguments (what the GUI dialog would gather),
+/// plus the typed interruption [`Budget`] the host attached to the
+/// invocation (unlimited by default).
 #[derive(Debug, Clone, Default)]
 pub struct ToolArgs {
     args: BTreeMap<String, String>,
+    budget: Budget,
 }
 
 impl ToolArgs {
@@ -52,6 +56,19 @@ impl ToolArgs {
     pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
         self.args.insert(key.into(), value.into());
         self
+    }
+
+    /// Builder-style interruption budget (deadline + cancel token) for
+    /// this invocation. Long-running tools check it cooperatively and
+    /// abort with [`ToolError::Cancelled`] / [`ToolError::DeadlineExceeded`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The interruption budget attached to this invocation.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Fetch an argument.
@@ -73,6 +90,13 @@ pub enum ToolError {
     MissingArgument(String),
     /// A referenced schema is not on the blackboard.
     UnknownSchema(String),
+    /// The invocation's [`Budget`] was cancelled mid-run. The tool
+    /// aborted cooperatively before writing any result, so blackboard
+    /// state is exactly as before the invocation.
+    Cancelled,
+    /// The invocation's [`Budget`] deadline passed mid-run; like
+    /// [`ToolError::Cancelled`], no partial result was written.
+    DeadlineExceeded,
     /// Anything else, with a message.
     Failed(String),
 }
@@ -82,7 +106,18 @@ impl fmt::Display for ToolError {
         match self {
             ToolError::MissingArgument(a) => write!(f, "missing argument {a:?}"),
             ToolError::UnknownSchema(s) => write!(f, "schema {s:?} not on the blackboard"),
+            ToolError::Cancelled => f.write_str("cancelled"),
+            ToolError::DeadlineExceeded => f.write_str("deadline exceeded"),
             ToolError::Failed(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<Interrupt> for ToolError {
+    fn from(why: Interrupt) -> ToolError {
+        match why {
+            Interrupt::Cancelled => ToolError::Cancelled,
+            Interrupt::DeadlineExceeded => ToolError::DeadlineExceeded,
         }
     }
 }
@@ -163,5 +198,28 @@ mod tests {
     fn tool_kinds_display() {
         assert_eq!(ToolKind::CodeGenerator.to_string(), "code-generator");
         assert_eq!(ToolKind::Loader.to_string(), "loader");
+    }
+
+    #[test]
+    fn args_carry_an_interruption_budget() {
+        use iwb_pool::CancelToken;
+        let args = ToolArgs::new();
+        assert_eq!(args.budget().check(), Ok(()), "default budget is unlimited");
+        let token = CancelToken::new();
+        let args = args.with_budget(Budget::new(token.clone(), iwb_pool::Deadline::none()));
+        assert_eq!(args.budget().check(), Ok(()));
+        token.cancel();
+        assert_eq!(args.budget().check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn interrupts_convert_to_structured_tool_errors() {
+        assert_eq!(ToolError::from(Interrupt::Cancelled), ToolError::Cancelled);
+        assert_eq!(
+            ToolError::from(Interrupt::DeadlineExceeded),
+            ToolError::DeadlineExceeded
+        );
+        assert_eq!(ToolError::Cancelled.to_string(), "cancelled");
+        assert_eq!(ToolError::DeadlineExceeded.to_string(), "deadline exceeded");
     }
 }

@@ -9,9 +9,10 @@ use crate::blackboard::Blackboard;
 use crate::event::{EventKind, WorkbenchEvent};
 use crate::taskmodel::Task;
 use crate::tool::{ToolArgs, ToolError, ToolKind, WorkbenchTool};
-use iwb_harmony::{Confidence, Feedback, HarmonyEngine, MatchResult};
+use iwb_harmony::{Budget, Confidence, Feedback, HarmonyEngine, MatchResult};
 use iwb_model::{ElementPath, SchemaId};
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
 /// The Harmony matcher as a tool. The engine persists across
 /// invocations so learning (§4.3) carries forward.
@@ -54,8 +55,9 @@ impl HarmonyTool {
         &mut self.engine
     }
 
-    /// The `configure` action: adjust `threads` / `cache` and report
-    /// the resulting [`iwb_harmony::MatchConfig`] plus cache counters.
+    /// The `configure` action: adjust `threads` / `cache` / `timeout`
+    /// and report the resulting [`iwb_harmony::MatchConfig`] plus cache
+    /// counters.
     fn configure(&mut self, args: &ToolArgs) -> Result<String, ToolError> {
         let mut config = self.engine.match_config();
         if let Some(t) = args.get("threads") {
@@ -74,14 +76,25 @@ impl HarmonyTool {
                 }
             };
         }
+        if let Some(ms) = args.get("timeout") {
+            let ms: u64 = ms.parse().map_err(|_| {
+                ToolError::Failed(format!("timeout must be milliseconds, got {ms:?}"))
+            })?;
+            // `timeout 0` clears the per-run deadline.
+            config.timeout_ms = (ms > 0).then_some(ms);
+        }
         self.engine.set_match_config(config);
         let stats = self.engine.cache_stats();
         Ok(format!(
-            "match-config: threads={} (effective {}), cache={}; \
+            "match-config: threads={} (effective {}), cache={}, timeout={}; \
              context cache {} hit(s) / {} miss(es), text cache {} hit(s) / {} miss(es)",
             config.threads,
             self.engine.effective_threads(),
             if config.cache { "on" } else { "off" },
+            match config.timeout_ms {
+                Some(ms) => format!("{ms}ms"),
+                None => "none".to_owned(),
+            },
             stats.context_hits,
             stats.context_misses,
             stats.text_hits,
@@ -108,6 +121,7 @@ impl HarmonyTool {
         source: &SchemaId,
         target: &SchemaId,
         subtree: Option<&str>,
+        budget: &Budget,
         events: &mut Vec<WorkbenchEvent>,
     ) -> Result<String, ToolError> {
         let src_graph = bb
@@ -118,29 +132,31 @@ impl HarmonyTool {
             .schema(target)
             .ok_or_else(|| ToolError::UnknownSchema(target.to_string()))?
             .clone();
-        bb.ensure_matrix(source, target);
-
-        // Locked cells: existing user decisions in the matrix.
-        let matrix = bb.matrix(source, target).expect("just ensured");
+        // Locked cells: existing user decisions in the matrix. The
+        // matrix itself is only ensured *after* the engine completes —
+        // an aborted run must leave the blackboard untouched, without
+        // even an empty matrix as a trace.
         let mut locked = HashMap::new();
         let mut fresh_feedback = Vec::new();
-        for &row in matrix.rows() {
-            for &col in matrix.cols() {
-                let cell = matrix.cell(row, col);
-                if cell.user_defined {
-                    locked.insert((row, col), cell.confidence);
-                    let key = (
-                        source.clone(),
-                        target.clone(),
-                        src_graph.name_path(row),
-                        tgt_graph.name_path(col),
-                    );
-                    if self.learned.insert(key) {
-                        fresh_feedback.push(Feedback {
-                            src: row,
-                            tgt: col,
-                            accepted: cell.confidence == Confidence::ACCEPT,
-                        });
+        if let Some(matrix) = bb.matrix(source, target) {
+            for &row in matrix.rows() {
+                for &col in matrix.cols() {
+                    let cell = matrix.cell(row, col);
+                    if cell.user_defined {
+                        locked.insert((row, col), cell.confidence);
+                        let key = (
+                            source.clone(),
+                            target.clone(),
+                            src_graph.name_path(row),
+                            tgt_graph.name_path(col),
+                        );
+                        if self.learned.insert(key) {
+                            fresh_feedback.push(Feedback {
+                                src: row,
+                                tgt: col,
+                                accepted: cell.confidence == Confidence::ACCEPT,
+                            });
+                        }
                     }
                 }
             }
@@ -164,7 +180,23 @@ impl HarmonyTool {
             None => None,
         };
 
-        let result = self.engine.run(&src_graph, &tgt_graph, &locked);
+        // The effective budget is the host's (per-command deadline,
+        // cancel token) tightened by the engine's own configured
+        // per-run timeout — whichever expires first wins. An abort
+        // returns here *before* any cell is written, so the matrix is
+        // exactly as it was (feedback learned above is monotone engine
+        // state, not session output, and is kept).
+        let budget = budget.tightened(
+            self.engine
+                .match_config()
+                .timeout_ms
+                .map(Duration::from_millis),
+        );
+        let result = self
+            .engine
+            .run_budgeted(&src_graph, &tgt_graph, &locked, &budget)
+            .map_err(ToolError::from)?;
+        bb.ensure_matrix(source, target);
         let mut written = 0usize;
         let mut emitted = 0usize;
         for &row in result.matrix.src_ids() {
@@ -238,7 +270,9 @@ impl WorkbenchTool for HarmonyTool {
     /// Arguments: `action` = `match` (default) | `accept` | `reject` |
     /// `configure`; `source`, `target`; for match: optional `subtree`
     /// (source path); for accept/reject: `row` and `col` paths; for
-    /// configure: optional `threads` (0 = auto) and `cache` (`on`/`off`).
+    /// configure: optional `threads` (0 = auto), `cache` (`on`/`off`),
+    /// and `timeout` (per-run deadline in ms, 0 = none). A `match` also
+    /// honours the invocation's [`ToolArgs::budget`].
     fn invoke(
         &mut self,
         blackboard: &mut Blackboard,
@@ -251,7 +285,14 @@ impl WorkbenchTool for HarmonyTool {
         let source = SchemaId::new(args.require("source")?);
         let target = SchemaId::new(args.require("target")?);
         match args.get("action").unwrap_or("match") {
-            "match" => self.run_match(blackboard, &source, &target, args.get("subtree"), events),
+            "match" => self.run_match(
+                blackboard,
+                &source,
+                &target,
+                args.get("subtree"),
+                args.budget(),
+                events,
+            ),
             action @ ("accept" | "reject") => {
                 let row = Self::resolve(blackboard, &source, args.require("row")?)?;
                 let col = Self::resolve(blackboard, &target, args.require("col")?)?;
@@ -410,6 +451,135 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.to_string().contains("on or off"));
+    }
+
+    #[test]
+    fn configure_action_sets_and_clears_the_timeout() {
+        let mut bb = Blackboard::new();
+        let mut tool = HarmonyTool::new();
+        let shown = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new().with("action", "configure"),
+                &mut Vec::new(),
+            )
+            .unwrap();
+        assert!(shown.contains("timeout=none"), "{shown}");
+        let set = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("action", "configure")
+                    .with("timeout", "1500"),
+                &mut Vec::new(),
+            )
+            .unwrap();
+        assert!(set.contains("timeout=1500ms"), "{set}");
+        assert_eq!(tool.engine().match_config().timeout_ms, Some(1500));
+        let cleared = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("action", "configure")
+                    .with("timeout", "0"),
+                &mut Vec::new(),
+            )
+            .unwrap();
+        assert!(cleared.contains("timeout=none"), "{cleared}");
+        assert_eq!(tool.engine().match_config().timeout_ms, None);
+        let err = tool
+            .invoke(
+                &mut bb,
+                &ToolArgs::new()
+                    .with("action", "configure")
+                    .with("timeout", "soon"),
+                &mut Vec::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("milliseconds"));
+    }
+
+    #[test]
+    fn cancelled_match_aborts_and_leaves_the_matrix_untouched() {
+        use iwb_harmony::{CancelToken, Deadline};
+        let (mut bb, po, inv) = loaded_bb();
+        let mut tool = HarmonyTool::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let args = ToolArgs::new()
+            .with("source", "purchaseOrder")
+            .with("target", "invoice")
+            .with_budget(Budget::new(token, Deadline::none()));
+        let err = tool.invoke(&mut bb, &args, &mut Vec::new()).unwrap_err();
+        assert_eq!(err, ToolError::Cancelled);
+        assert!(
+            bb.matrix(&po, &inv).is_none(),
+            "an aborted match must not leave even an empty matrix behind"
+        );
+    }
+
+    #[test]
+    fn expired_configured_timeout_aborts_the_match() {
+        let (mut bb, _, _) = loaded_bb();
+        let mut tool = HarmonyTool::new();
+        tool.invoke(
+            &mut bb,
+            &ToolArgs::new()
+                .with("action", "configure")
+                .with("timeout", "1"),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        // A 1ms deadline expires while the engine builds its context,
+        // well before any cell is written.
+        std::thread::sleep(Duration::from_millis(5));
+        let args = ToolArgs::new()
+            .with("source", "purchaseOrder")
+            .with("target", "invoice");
+        // The deadline starts at run time, not configure time, so spin
+        // until the clock has visibly advanced past 1ms inside the run:
+        // with such a tight budget the very first check can only pass
+        // on an absurdly fast machine, in which case later stage checks
+        // still fire. Either way the result must be a structured abort
+        // or a completed, fully-written run — never a partial one.
+        match tool.invoke(&mut bb, &args, &mut Vec::new()) {
+            Err(ToolError::DeadlineExceeded) => {}
+            Ok(out) => assert!(out.contains("cells updated"), "{out}"),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn generous_timeout_matches_identically_to_none() {
+        let (mut bb1, po, inv) = loaded_bb();
+        let (mut bb2, _, _) = loaded_bb();
+        let mut plain = HarmonyTool::new();
+        let args = ToolArgs::new()
+            .with("source", "purchaseOrder")
+            .with("target", "invoice");
+        plain.invoke(&mut bb1, &args, &mut Vec::new()).unwrap();
+        let mut timed = HarmonyTool::new();
+        timed
+            .invoke(
+                &mut bb2,
+                &ToolArgs::new()
+                    .with("action", "configure")
+                    .with("timeout", "3600000"),
+                &mut Vec::new(),
+            )
+            .unwrap();
+        timed.invoke(&mut bb2, &args, &mut Vec::new()).unwrap();
+        let m1 = bb1.matrix(&po, &inv).unwrap();
+        let m2 = bb2.matrix(&po, &inv).unwrap();
+        for &row in m1.rows() {
+            for &col in m1.cols() {
+                assert_eq!(
+                    m1.cell(row, col).confidence.value().to_bits(),
+                    m2.cell(row, col).confidence.value().to_bits(),
+                    "unexpired deadline must not change results"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,14 +31,14 @@ use crate::cache::{CacheStats, FeatureCache};
 use crate::confidence::Confidence;
 use crate::context::MatchContext;
 use crate::feedback::Feedback;
-use crate::flooding::{flood, flood_rows, FloodingConfig};
+use crate::flooding::{flood_budgeted, flood_rows, FloodingConfig};
 use crate::matrix::{matchable_ids, ScoreMatrix};
 use crate::merger::VoteMerger;
 use crate::voter::MatchVoter;
 use crate::voters::default_suite;
 use iwb_ling::{Corpus, Thesaurus};
 use iwb_model::{ElementId, SchemaGraph};
-use iwb_pool::ThreadPool;
+use iwb_pool::{Budget, Interrupt, ThreadPool};
 use std::collections::{HashMap, HashSet};
 use std::sync::{mpsc, Arc};
 
@@ -53,6 +53,11 @@ pub struct MatchConfig {
     /// Reuse cached linguistic features across runs. Results are
     /// identical with the cache on or off.
     pub cache: bool,
+    /// Per-run deadline in milliseconds (`match-config timeout MS`).
+    /// `None` (or `timeout 0` in the shell) means no per-run limit; an
+    /// external budget can still impose one. A run that completes
+    /// within the deadline is byte-identical to an unlimited run.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for MatchConfig {
@@ -60,6 +65,7 @@ impl Default for MatchConfig {
         MatchConfig {
             threads: 1,
             cache: true,
+            timeout_ms: None,
         }
     }
 }
@@ -302,13 +308,46 @@ impl HarmonyEngine {
     /// Run the full pipeline. `locked` maps user-decided pairs to their
     /// ±1 confidence; the engine copies them into the result unchanged
     /// and flooding never modifies them (§4.3).
+    ///
+    /// Equivalent to [`HarmonyEngine::run_budgeted`] with an unlimited
+    /// [`Budget`] — it cannot be interrupted and never fails.
     pub fn run(
         &mut self,
         source: &SchemaGraph,
         target: &SchemaGraph,
         locked: &HashMap<(ElementId, ElementId), Confidence>,
     ) -> MatchResult {
+        self.run_budgeted(source, target, locked, &Budget::unlimited())
+            .expect("unlimited budget never interrupts")
+    }
+
+    /// [`HarmonyEngine::run`] under a cooperative [`Budget`].
+    ///
+    /// The budget is consulted between the pipeline stages (context
+    /// build → voter scoring → merge → flooding), at every shard
+    /// boundary inside the parallel stages, and before each flooding
+    /// iteration (whose count is already bounded by the deterministic
+    /// [`FloodingConfig::max_iterations`] budget). A cancelled or
+    /// expired run returns a structured [`Interrupt`] and produces **no
+    /// partial result** — engine state (voters, merger, caches) is left
+    /// exactly as it was, so a later retry is byte-identical to a fresh
+    /// run. A run that completes is byte-identical to an unbudgeted
+    /// one: the budget only decides *whether* stages run, never *what*
+    /// they compute.
+    ///
+    /// [`MatchConfig::timeout_ms`] is interpreted by the caller (the
+    /// workbench harmony tool tightens the budget with it); the engine
+    /// itself only honours the budget it is handed.
+    pub fn run_budgeted(
+        &mut self,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        locked: &HashMap<(ElementId, ElementId), Confidence>,
+        budget: &Budget,
+    ) -> Result<MatchResult, Interrupt> {
+        budget.check()?;
         let ctx = self.context(source, target);
+        budget.check()?;
         let src_ids = Arc::new(matchable_ids(source));
         let tgt_ids = Arc::new(matchable_ids(target));
         let rows = src_ids.len();
@@ -348,17 +387,23 @@ impl HarmonyEngine {
                     }) as Box<dyn FnOnce() + Send>
                 })
                 .collect();
-            self.pool(threads).run_all(jobs);
+            let outcome = self.pool(threads).run_all_budgeted(jobs, budget);
             drop(tx);
-            for (i, slabs) in rx {
+            let collected: Vec<_> = rx.into_iter().collect();
+            // Skipped shards dropped their closures (and voter clones),
+            // so ownership can be reclaimed whether the batch completed
+            // or was interrupted — the engine is reusable after aborts.
+            self.voters = Arc::try_unwrap(voters)
+                .ok()
+                .expect("all scoring jobs completed or were dropped");
+            outcome?;
+            for (i, slabs) in collected {
                 for (vi, slab) in slabs.into_iter().enumerate() {
                     per_voter[vi].1.splice_rows(shards[i].0, &slab);
                 }
             }
-            self.voters = Arc::try_unwrap(voters)
-                .ok()
-                .expect("all scoring jobs completed");
         }
+        budget.check()?;
 
         // Stage 3: merge (locked cells pass through unchanged).
         let mut matrix = ScoreMatrix::new((*src_ids).clone(), (*tgt_ids).clone());
@@ -394,28 +439,40 @@ impl HarmonyEngine {
                     }) as Box<dyn FnOnce() + Send>
                 })
                 .collect();
-            self.pool(threads).run_all(jobs);
+            let outcome = self.pool(threads).run_all_budgeted(jobs, budget);
             drop(tx);
-            for (i, slab) in rx {
+            let collected: Vec<_> = rx.into_iter().collect();
+            per_voter = Arc::try_unwrap(shared)
+                .unwrap_or_else(|_| panic!("all merge jobs completed or were dropped"));
+            outcome?;
+            for (i, slab) in collected {
                 matrix.splice_rows(shards[i].0, &slab);
             }
-            per_voter =
-                Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("all merge jobs completed"));
         }
+        budget.check()?;
 
-        // Stage 4: similarity flooding, user cells pinned.
+        // Stage 4: similarity flooding, user cells pinned. The fixpoint
+        // loop is bounded by the deterministic `max_iterations` budget
+        // and re-checks the interruption budget before each iteration.
         let locked_set: HashSet<(ElementId, ElementId)> = locked.keys().copied().collect();
         let flooding_iterations = if threads <= 1 {
-            flood(&mut matrix, source, target, &locked_set, &self.flooding)
+            flood_budgeted(
+                &mut matrix,
+                source,
+                target,
+                &locked_set,
+                &self.flooding,
+                budget,
+            )?
         } else {
-            self.flood_parallel(&mut matrix, &ctx, &locked_set, threads)
+            self.flood_parallel(&mut matrix, &ctx, &locked_set, threads, budget)?
         };
 
-        MatchResult {
+        Ok(MatchResult {
             matrix,
             per_voter,
             flooding_iterations,
-        }
+        })
     }
 
     /// The flooding fixpoint loop with each iteration's rows sharded
@@ -427,15 +484,17 @@ impl HarmonyEngine {
         ctx: &Arc<MatchContext>,
         locked: &HashSet<(ElementId, ElementId)>,
         threads: usize,
-    ) -> usize {
+        budget: &Budget,
+    ) -> Result<usize, Interrupt> {
         let config = self.flooding;
         if !config.enable_up && !config.enable_down {
-            return 0;
+            return Ok(0);
         }
         let rows = matrix.src_ids().len();
         let shards = shard_ranges(rows, threads);
         let locked = Arc::new(locked.clone());
         for iteration in 0..config.max_iterations {
+            budget.check()?;
             let before = Arc::new(matrix.clone());
             let (tx, rx) = mpsc::channel();
             let jobs: Vec<Box<dyn FnOnce() + Send>> = shards
@@ -459,16 +518,18 @@ impl HarmonyEngine {
                     }) as Box<dyn FnOnce() + Send>
                 })
                 .collect();
-            self.pool(threads).run_all(jobs);
+            let outcome = self.pool(threads).run_all_budgeted(jobs, budget);
             drop(tx);
-            for (i, slab) in rx {
+            let collected: Vec<_> = rx.into_iter().collect();
+            outcome?;
+            for (i, slab) in collected {
                 matrix.splice_rows(shards[i].0, &slab);
             }
             if matrix.mean_abs_diff(&before) < config.epsilon {
-                return iteration + 1;
+                return Ok(iteration + 1);
             }
         }
-        config.max_iterations
+        Ok(config.max_iterations)
     }
 
     /// Feed user decisions back into the engine (§4.3): each voter
@@ -706,6 +767,7 @@ mod tests {
         engine.set_match_config(MatchConfig {
             threads: 4,
             cache: true,
+            ..MatchConfig::default()
         });
         let result = engine.run(&s, &t, &HashMap::new());
         assert!(result.matrix.is_empty());

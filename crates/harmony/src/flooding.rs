@@ -23,6 +23,7 @@
 use crate::confidence::Confidence;
 use crate::matrix::ScoreMatrix;
 use iwb_model::{ElementId, SchemaGraph};
+use iwb_pool::{Budget, Interrupt};
 use std::collections::HashSet;
 
 /// Flooding parameters.
@@ -152,19 +153,38 @@ pub fn flood(
     locked: &HashSet<(ElementId, ElementId)>,
     config: &FloodingConfig,
 ) -> usize {
+    flood_budgeted(matrix, source, target, locked, config, &Budget::unlimited())
+        .expect("unlimited budget never interrupts")
+}
+
+/// [`flood`] under a cooperative [`Budget`], checked before every
+/// iteration. The fixpoint loop is already bounded by the explicit,
+/// deterministic [`FloodingConfig::max_iterations`] budget; the
+/// interruption budget only aborts it earlier, and an abort leaves the
+/// matrix mid-fixpoint only in the caller's local copy — the engine
+/// discards it, so no partial result is ever observed.
+pub fn flood_budgeted(
+    matrix: &mut ScoreMatrix,
+    source: &SchemaGraph,
+    target: &SchemaGraph,
+    locked: &HashSet<(ElementId, ElementId)>,
+    config: &FloodingConfig,
+    budget: &Budget,
+) -> Result<usize, Interrupt> {
     if !config.enable_up && !config.enable_down {
-        return 0;
+        return Ok(0);
     }
     let rows = matrix.src_ids().len();
     for iteration in 0..config.max_iterations {
+        budget.check()?;
         let before = matrix.clone();
         let values = flood_rows(&before, source, target, locked, config, 0, rows);
         matrix.splice_rows(0, &values);
         if matrix.mean_abs_diff(&before) < config.epsilon {
-            return iteration + 1;
+            return Ok(iteration + 1);
         }
     }
-    config.max_iterations
+    Ok(config.max_iterations)
 }
 
 #[cfg(test)]

@@ -25,6 +25,13 @@
 //!
 //! [`eval`] provides gold-standard precision/recall/F1 scoring used by
 //! the experiment harness.
+//!
+//! Long runs are cooperatively interruptible: [`HarmonyEngine::run_budgeted`]
+//! threads an [`iwb_pool::Budget`] (cancel token + deadline, re-exported
+//! here) through every stage and aborts with a structured [`Interrupt`]
+//! without producing partial results.
+//!
+//! [`HarmonyEngine::run_budgeted`]: engine::HarmonyEngine::run_budgeted
 
 pub mod baselines;
 pub mod cache;
@@ -50,6 +57,7 @@ pub use eval::{GoldStandard, PrMetrics};
 pub use feedback::Feedback;
 pub use filters::{FilterSet, Link, LinkFilter, NodeFilter, Side};
 pub use flooding::FloodingConfig;
+pub use iwb_pool::{Budget, CancelToken, Deadline, Interrupt};
 pub use matrix::ScoreMatrix;
 pub use merger::{MergeStrategy, VoteMerger};
 pub use session::MatchSession;

@@ -87,6 +87,7 @@ fn warm_engine_run_allocates_less_than_one_block_per_pair() {
     engine.set_match_config(MatchConfig {
         threads: 1,
         cache: true,
+        ..MatchConfig::default()
     });
     let locked = HashMap::new();
     // Warm-up run: builds and caches the match context.
@@ -125,6 +126,7 @@ fn allocations_stay_flat_when_pairs_quadruple() {
         engine.set_match_config(MatchConfig {
             threads: 1,
             cache: true,
+            ..MatchConfig::default()
         });
         engine.run(&source, &target, &locked);
         allocations_during(|| {

@@ -7,7 +7,10 @@
 //! Workloads are seeded registry pairs (generator → mild perturbation),
 //! so the suite is reproducible across runs and machines.
 
-use iwb_harmony::{Confidence, HarmonyEngine, MatchConfig, MatchResult, ScoreMatrix};
+use iwb_harmony::{
+    Budget, CancelToken, Confidence, Deadline, HarmonyEngine, Interrupt, MatchConfig, MatchResult,
+    ScoreMatrix,
+};
 use iwb_registry::perturb::{perturb_schema, PerturbConfig};
 use iwb_registry::{generate_registry, GeneratorConfig, SchemaPair};
 use std::collections::HashMap;
@@ -34,7 +37,11 @@ fn run_with(
     locked: &HashMap<(iwb_model::ElementId, iwb_model::ElementId), Confidence>,
 ) -> MatchResult {
     let mut engine = HarmonyEngine::default();
-    engine.set_match_config(MatchConfig { threads, cache });
+    engine.set_match_config(MatchConfig {
+        threads,
+        cache,
+        ..MatchConfig::default()
+    });
     engine.run(&pair.source, &pair.target, locked)
 }
 
@@ -108,6 +115,79 @@ fn locked_cells_are_identical_and_pinned_across_threads() {
         assert_identical(&baseline, &r, &format!("locked, threads={threads}"));
         assert_eq!(r.matrix.get(src[1], tgt[1]), Confidence::ACCEPT);
         assert_eq!(r.matrix.get(src[2], tgt[1]), Confidence::REJECT);
+    }
+}
+
+#[test]
+fn unexpired_deadlines_never_change_the_result() {
+    // The interruption budget decides *whether* stages run, never what
+    // they compute: with a deadline set but unexpired, every thread ×
+    // cache combination stays byte-identical to the unbudgeted run.
+    let pair = seeded_pair(11, 10);
+    let locked = HashMap::new();
+    let baseline = run_with(&pair, 1, false, &locked);
+    for threads in [1, 2, 8] {
+        for cache in [false, true] {
+            let mut engine = HarmonyEngine::default();
+            engine.set_match_config(MatchConfig {
+                threads,
+                cache,
+                ..MatchConfig::default()
+            });
+            let budget = Budget::new(
+                CancelToken::new(),
+                Deadline::within(std::time::Duration::from_secs(3600)),
+            );
+            let r = engine
+                .run_budgeted(&pair.source, &pair.target, &locked, &budget)
+                .expect("an hour-long deadline must not expire");
+            assert_identical(
+                &baseline,
+                &r,
+                &format!("deadline set, threads={threads} cache={cache}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn aborted_runs_leave_the_engine_reusable_and_identical() {
+    // A cancelled run yields a structured abort, and the *same engine*
+    // still produces byte-identical results afterwards — no partial
+    // state sticks.
+    let pair = seeded_pair(11, 10);
+    let locked = HashMap::new();
+    let baseline = run_with(&pair, 1, false, &locked);
+    for threads in [1, 2, 8] {
+        let mut engine = HarmonyEngine::default();
+        engine.set_match_config(MatchConfig {
+            threads,
+            cache: true,
+            ..MatchConfig::default()
+        });
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let budget = Budget::new(cancelled, Deadline::none());
+        let err = engine
+            .run_budgeted(&pair.source, &pair.target, &locked, &budget)
+            .expect_err("cancelled before start must abort");
+        assert_eq!(err, Interrupt::Cancelled);
+        let expired = Budget::new(
+            CancelToken::new(),
+            Deadline::within(std::time::Duration::ZERO),
+        );
+        let err = engine
+            .run_budgeted(&pair.source, &pair.target, &locked, &expired)
+            .expect_err("expired deadline must abort");
+        assert_eq!(err, Interrupt::DeadlineExceeded);
+        let r = engine
+            .run_budgeted(&pair.source, &pair.target, &locked, &Budget::unlimited())
+            .expect("unlimited budget");
+        assert_identical(
+            &baseline,
+            &r,
+            &format!("post-abort rerun, threads={threads}"),
+        );
     }
 }
 

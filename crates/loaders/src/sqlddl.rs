@@ -44,7 +44,7 @@ impl SchemaLoader for SqlDdlLoader {
                     SchemaElement::new(ElementKind::Table, table_name.clone()),
                 );
                 tables.insert(table_name.to_uppercase(), table);
-                p.expect_sym("(")?;
+                p.expect_sym('(')?;
                 let mut key_counter = 0usize;
                 loop {
                     if p.eat_kw("PRIMARY") {
@@ -125,13 +125,13 @@ impl SchemaLoader for SqlDdlLoader {
                             )?;
                         }
                     }
-                    if p.eat_sym(",") {
+                    if p.eat_sym(',') {
                         continue;
                     }
-                    p.expect_sym(")")?;
+                    p.expect_sym(')')?;
                     break;
                 }
-                p.eat_sym(";");
+                p.eat_sym(';');
             } else if p.eat_kw("COMMENT") {
                 p.expect_kw("ON")?;
                 if p.eat_kw("TABLE") {
@@ -145,7 +145,7 @@ impl SchemaLoader for SqlDdlLoader {
                 } else {
                     p.expect_kw("COLUMN")?;
                     let t = p.identifier()?;
-                    p.expect_sym(".")?;
+                    p.expect_sym('.')?;
                     let c = p.identifier()?;
                     p.expect_kw("IS")?;
                     let text = p.string()?;
@@ -157,7 +157,7 @@ impl SchemaLoader for SqlDdlLoader {
                         })?;
                     graph.element_mut(id).documentation = Some(text);
                 }
-                p.eat_sym(";");
+                p.eat_sym(';');
             } else {
                 return Err(LoadError::new(
                     "sql-ddl",
@@ -319,10 +319,9 @@ impl DdlParser {
         }
     }
 
-    fn eat_sym(&mut self, sym: &str) -> bool {
-        let c = sym.chars().next().unwrap();
+    fn eat_sym(&mut self, sym: char) -> bool {
         if let Some(Tok::Sym(s)) = self.tokens.get(self.pos) {
-            if *s == c {
+            if *s == sym {
                 self.pos += 1;
                 return true;
             }
@@ -330,7 +329,7 @@ impl DdlParser {
         false
     }
 
-    fn expect_sym(&mut self, sym: &str) -> Result<(), LoadError> {
+    fn expect_sym(&mut self, sym: char) -> Result<(), LoadError> {
         if self.eat_sym(sym) {
             Ok(())
         } else {
@@ -370,12 +369,12 @@ impl DdlParser {
     }
 
     fn paren_identifier_list(&mut self) -> Result<Vec<String>, LoadError> {
-        self.expect_sym("(")?;
+        self.expect_sym('(')?;
         let mut out = vec![self.identifier()?];
-        while self.eat_sym(",") {
+        while self.eat_sym(',') {
             out.push(self.identifier()?);
         }
-        self.expect_sym(")")?;
+        self.expect_sym(')')?;
         Ok(out)
     }
 
@@ -383,15 +382,15 @@ impl DdlParser {
         let name = self.identifier()?.to_uppercase();
         // Optional length/precision argument(s).
         let mut arg: Option<u32> = None;
-        if self.eat_sym("(") {
+        if self.eat_sym('(') {
             if let Some(Tok::Num(n)) = self.tokens.get(self.pos) {
                 arg = n.parse().ok();
                 self.pos += 1;
             }
-            while self.eat_sym(",") {
+            while self.eat_sym(',') {
                 self.pos += 1; // skip scale etc.
             }
-            self.expect_sym(")")?;
+            self.expect_sym(')')?;
         }
         Ok(match name.as_str() {
             "VARCHAR" | "CHAR" | "CHARACTER" | "NVARCHAR" => DataType::VarChar(arg.unwrap_or(255)),

@@ -61,6 +61,11 @@ impl XmlNode {
     }
 }
 
+/// Element nesting deeper than this is rejected as malformed input:
+/// the parser recurses per level, so an adversarial document of
+/// absurd depth must fail with a [`LoadError`], not a stack overflow.
+const MAX_ELEMENT_DEPTH: usize = 256;
+
 /// Parse a document, returning its root element.
 pub fn parse(input: &str) -> Result<XmlNode, LoadError> {
     let mut p = Parser {
@@ -69,7 +74,7 @@ pub fn parse(input: &str) -> Result<XmlNode, LoadError> {
         line: 1,
     };
     p.skip_misc()?;
-    let root = p.element()?;
+    let root = p.element(0)?;
     p.skip_misc()?;
     if p.pos < p.bytes.len() {
         return Err(p.error("content after document root"));
@@ -178,7 +183,12 @@ impl<'a> Parser<'a> {
         Err(self.error("unterminated attribute value"))
     }
 
-    fn element(&mut self) -> Result<XmlNode, LoadError> {
+    fn element(&mut self, depth: usize) -> Result<XmlNode, LoadError> {
+        if depth >= MAX_ELEMENT_DEPTH {
+            return Err(self.error(format!(
+                "element nesting deeper than {MAX_ELEMENT_DEPTH} levels"
+            )));
+        }
         if self.bump() != Some(b'<') {
             return Err(self.error("expected '<'"));
         }
@@ -258,7 +268,7 @@ impl<'a> Parser<'a> {
                 self.skip(2);
                 self.skip_until("?>")?;
             } else if self.peek() == Some(b'<') {
-                node.children.push(self.element()?);
+                node.children.push(self.element(depth + 1)?);
             } else if self.peek().is_some() {
                 let start = self.pos;
                 while let Some(b) = self.peek() {

@@ -106,7 +106,9 @@ fn load_element(
         let id = graph.add_child(parent, EdgeKind::ContainsElement, node);
         let body = inline_complex
             .or_else(|| declared_type.and_then(|t| ctx.complex_types.get(strip_prefix(t)).copied()))
-            .expect("is_complex implies a body");
+            .ok_or_else(|| {
+                LoadError::new("xsd", format!("missing complex type body for {name:?}"))
+            })?;
         load_complex_body(body, id, graph, ctx, depth + 1)?;
     } else {
         // Leaf: map the declared type; enumerated simple types become

@@ -1,0 +1,172 @@
+//! Adversarial-corpus robustness tests: a fixed corpus of malformed
+//! documents — truncated files, bytes that were never valid UTF-8,
+//! unclosed tags, absurd nesting — fed to every loader through
+//! `catch_unwind`. Each loader must return a structured `LoadError`
+//! (or, for near-valid prefixes, an `Ok`), never panic, and never
+//! overflow the stack.
+//!
+//! Complements `robustness.rs` (randomized proptest sweeps) with the
+//! specific shapes attackers and broken exporters actually produce.
+
+use iwb_loaders::{
+    parse_instance, ErLoader, LoaderRegistry, SchemaLoader, SqlDdlLoader, XsdLoader,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Valid seeds that the corpus truncates and corrupts.
+const VALID_XSD: &str = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="po">
+    <xs:complexType><xs:sequence>
+      <xs:element name="item" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+const VALID_ER: &str = "entity Airport \"An airport.\" {\n  ident : text \"ICAO code.\"\n}\n";
+
+const VALID_DDL: &str =
+    "CREATE TABLE AIRPORT (IDENT VARCHAR(4) PRIMARY KEY, ELEVATION_FT INTEGER);";
+
+const VALID_XML: &str = "<rows><row><ident>KSEA</ident></row></rows>";
+
+/// Every truncation point of `text` (prefixes on char boundaries).
+fn truncations(text: &str) -> Vec<String> {
+    text.char_indices()
+        .map(|(i, _)| text[..i].to_owned())
+        .chain([text.to_owned()])
+        .collect()
+}
+
+/// Bytes that are not valid UTF-8, decoded the way file readers feed
+/// loaders (lossy): the replacement characters must not trip parsers.
+fn bad_utf8_corpus() -> Vec<String> {
+    let raw: Vec<Vec<u8>> = vec![
+        vec![0xff, 0xfe, b'<', b'a', b'>', 0x80, b'<', b'/', b'a', b'>'],
+        vec![b'e', b'n', b't', b'i', b't', b'y', b' ', 0xc3, b'{', b'}'],
+        vec![0xf0, 0x28, 0x8c, 0xbc],
+        [VALID_DDL.as_bytes(), &[0x80, 0x81, 0x82]].concat(),
+    ];
+    raw.iter()
+        .map(|b| String::from_utf8_lossy(b).into_owned())
+        .collect()
+}
+
+/// The shapes the issue calls out, plus close variants.
+fn handcrafted_corpus() -> Vec<String> {
+    let deep_open = "<a>".repeat(4_000);
+    let deep_er = format!("entity E {{ {} }}", "f : text ".repeat(2_000));
+    vec![
+        String::new(),
+        " ".to_owned(),
+        "<".to_owned(),
+        "<a".to_owned(),
+        "<a>".to_owned(),
+        "<a><b></a></b>".to_owned(),
+        "<a attr=>".to_owned(),
+        "<a attr=\"unterminated>".to_owned(),
+        "<a><![CDATA[never closed".to_owned(),
+        "<!-- never closed".to_owned(),
+        deep_open.clone(),
+        format!("{deep_open}x"),
+        "entity {".to_owned(),
+        "entity E { f : }".to_owned(),
+        "entity E { f : text \"unterminated".to_owned(),
+        deep_er,
+        "CREATE TABLE (".to_owned(),
+        "CREATE TABLE T (C".to_owned(),
+        "CREATE TABLE T (C VARCHAR(".to_owned(),
+        "CREATE TABLE T (C INTEGER,,);".to_owned(),
+        ");(,.".repeat(500),
+    ]
+}
+
+/// Run one loader over the whole corpus inside catch_unwind; panics
+/// and stack-depth blowups fail the test with the offending input.
+fn assert_total(tag: &str, f: impl Fn(&str)) {
+    let mut corpus = handcrafted_corpus();
+    corpus.extend(bad_utf8_corpus());
+    for seed in [VALID_XSD, VALID_ER, VALID_DDL, VALID_XML] {
+        corpus.extend(truncations(seed));
+    }
+    for (i, input) in corpus.iter().enumerate() {
+        let result = catch_unwind(AssertUnwindSafe(|| f(input)));
+        assert!(
+            result.is_ok(),
+            "{tag} panicked on corpus[{i}] ({} bytes): {:?}",
+            input.len(),
+            &input[..input.len().min(80)]
+        );
+    }
+}
+
+#[test]
+fn xsd_loader_survives_the_adversarial_corpus() {
+    assert_total("xsd", |input| {
+        let _ = XsdLoader.load(input, "adversarial");
+    });
+}
+
+#[test]
+fn er_loader_survives_the_adversarial_corpus() {
+    assert_total("er", |input| {
+        let _ = ErLoader.load(input, "adversarial");
+    });
+}
+
+#[test]
+fn sql_ddl_loader_survives_the_adversarial_corpus() {
+    assert_total("sql-ddl", |input| {
+        let _ = SqlDdlLoader.load(input, "adversarial");
+    });
+}
+
+#[test]
+fn xml_parser_and_instance_import_survive_the_adversarial_corpus() {
+    assert_total("xml", |input| {
+        let _ = iwb_loaders::xml::parse(input);
+        let _ = parse_instance(input);
+    });
+}
+
+#[test]
+fn registry_dispatch_survives_the_adversarial_corpus() {
+    let registry = LoaderRegistry::with_builtin();
+    assert_total("registry", |input| {
+        for name in ["a.xsd", "a.er", "a.sql", "a.xml", "a", ""] {
+            let _ = registry.load_named(name, input);
+        }
+    });
+}
+
+#[test]
+fn absurd_nesting_is_rejected_with_an_error_not_a_stack_overflow() {
+    // Depth 4000 is ~16x the parser's cap; must come back as Err.
+    let mut doc = "<a>".repeat(4_000);
+    doc.push_str("deep");
+    doc.push_str(&"</a>".repeat(4_000));
+    let err = iwb_loaders::xml::parse(&doc).unwrap_err();
+    assert!(err.to_string().contains("nesting"), "{err}");
+    // At or under the cap, deep-but-sane documents still parse.
+    let mut ok_doc = "<a>".repeat(200);
+    ok_doc.push_str(&"</a>".repeat(200));
+    assert!(iwb_loaders::xml::parse(&ok_doc).is_ok());
+}
+
+#[test]
+fn truncated_valid_documents_error_with_positions_not_panics() {
+    for input in truncations(VALID_XSD) {
+        if input.len() < VALID_XSD.len() {
+            // Every strict prefix is malformed; the error must be
+            // structured (the Display form names the format).
+            if let Err(e) = XsdLoader.load(&input, "trunc") {
+                let msg = e.to_string();
+                assert!(msg.contains("xsd") || msg.contains("xml"), "{msg}");
+            }
+        }
+    }
+    for input in truncations(VALID_DDL) {
+        if let Err(e) = SqlDdlLoader.load(&input, "trunc") {
+            assert!(e.to_string().contains("sql-ddl"), "{}", e.to_string());
+        }
+    }
+}

@@ -11,13 +11,200 @@
 //! `run_all` must not be called from inside a pool job: a job that
 //! blocks on its own pool's queue can deadlock once all workers are
 //! occupied by such jobs.
+//!
+//! # Cancellation and deadlines
+//!
+//! [`Budget`] bundles a shared [`CancelToken`] and a [`Deadline`] into
+//! one cooperative interruption handle. Long computations call
+//! [`Budget::check`] at natural boundaries (shard starts, pipeline
+//! stages, fixpoint iterations); the first failing check yields a
+//! structured [`Interrupt`] that callers propagate as an abort.
+//! [`ThreadPool::run_all_budgeted`] applies the same check before every
+//! queued job, so an expired batch skips the jobs that have not started
+//! yet instead of grinding through them.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a budgeted computation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The [`CancelToken`] was fired (e.g. `cancel <session>`).
+    Cancelled,
+    /// The [`Deadline`] passed before the work completed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// A shared cancellation flag. Cloning yields a handle to the same
+/// flag, so one side can `cancel()` while another polls
+/// `is_cancelled()` — the core of cross-connection `cancel <session>`.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fire the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has any clone fired the token?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// An optional wall-clock deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: never expires.
+    pub fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// A deadline `timeout` from now.
+    pub fn within(timeout: Duration) -> Deadline {
+        Deadline(Some(Instant::now() + timeout))
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline(Some(instant))
+    }
+
+    /// Is a deadline set at all?
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        matches!(self.0, Some(at) if Instant::now() >= at)
+    }
+
+    /// Time left, if a deadline is set (zero once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.0
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// The earlier of two deadlines (an unset side never wins).
+    pub fn earlier(self, other: Deadline) -> Deadline {
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => Deadline(Some(a.min(b))),
+            (a, b) => Deadline(a.or(b)),
+        }
+    }
+}
+
+/// Poll tick used while a `stall` is in effect, so a stalled check
+/// still notices cancellation/expiry promptly.
+const STALL_TICK: Duration = Duration::from_millis(10);
+
+/// A cooperative interruption budget: cancel token + deadline, plus an
+/// optional injected stall (fault point `shard-stall`) that delays every
+/// check while still polling the token and deadline — a deterministic
+/// stand-in for a shard that has stopped making progress.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    token: CancelToken,
+    deadline: Deadline,
+    stall_ms: u64,
+}
+
+impl Budget {
+    /// A budget that never interrupts.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget from an existing token and deadline.
+    pub fn new(token: CancelToken, deadline: Deadline) -> Budget {
+        Budget {
+            token,
+            deadline,
+            stall_ms: 0,
+        }
+    }
+
+    /// The cancel token (clone it to cancel from elsewhere).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// The deadline.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+
+    /// A copy whose deadline is the earlier of the current one and
+    /// `timeout` from now. `None` leaves the budget unchanged.
+    pub fn tightened(&self, timeout: Option<Duration>) -> Budget {
+        let mut out = self.clone();
+        if let Some(t) = timeout {
+            out.deadline = out.deadline.earlier(Deadline::within(t));
+        }
+        out
+    }
+
+    /// A copy that stalls `ms` milliseconds at every [`Budget::check`]
+    /// (fault injection only).
+    pub fn with_stall_ms(&self, ms: u64) -> Budget {
+        let mut out = self.clone();
+        out.stall_ms = ms;
+        out
+    }
+
+    /// Check the budget at a shard/stage boundary. Under an injected
+    /// stall, sleeps in short ticks while polling, so a stalled shard
+    /// is still reaped within roughly one tick of cancellation/expiry.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        if self.stall_ms > 0 {
+            let until = Instant::now() + Duration::from_millis(self.stall_ms);
+            loop {
+                if self.token.is_cancelled() {
+                    return Err(Interrupt::Cancelled);
+                }
+                if self.deadline.expired() {
+                    return Err(Interrupt::DeadlineExceeded);
+                }
+                let left = until.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                thread::sleep(left.min(STALL_TICK));
+            }
+        }
+        if self.token.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        if self.deadline.expired() {
+            return Err(Interrupt::DeadlineExceeded);
+        }
+        Ok(())
+    }
+}
 
 /// A fixed set of worker threads consuming jobs from a FIFO queue.
 pub struct ThreadPool {
@@ -77,22 +264,54 @@ impl ThreadPool {
     /// here after the whole batch has completed, so the caller never
     /// observes a half-finished batch silently.
     pub fn run_all(&self, jobs: Vec<Job>) {
+        self.run_all_budgeted(jobs, &Budget::unlimited())
+            .expect("unlimited budget never interrupts");
+    }
+
+    /// [`ThreadPool::run_all`] under a [`Budget`]: every job checks the
+    /// budget just before running and is *skipped* once it fails, so an
+    /// expired or cancelled batch drains quickly instead of finishing
+    /// every queued shard. Returns the first [`Interrupt`] observed;
+    /// `Ok(())` guarantees every job ran to completion (panics still
+    /// propagate as in `run_all`), so results spliced from the batch are
+    /// complete — never a silent partial set.
+    pub fn run_all_budgeted(&self, jobs: Vec<Job>, budget: &Budget) -> Result<(), Interrupt> {
         if jobs.is_empty() {
-            return;
+            return Ok(());
         }
         let latch = Arc::new(Latch {
             state: Mutex::new((jobs.len(), 0)),
             done: Condvar::new(),
         });
+        let interrupted = Arc::new(Mutex::new(None::<Interrupt>));
         for job in jobs {
             let latch = Arc::clone(&latch);
+            let interrupted = Arc::clone(&interrupted);
+            let budget = budget.clone();
             let queued = self.execute(move || {
-                let result = catch_unwind(AssertUnwindSafe(job));
+                match budget.check() {
+                    Ok(()) => {
+                        let result = catch_unwind(AssertUnwindSafe(job));
+                        let mut state = latch.state.lock().expect("latch lock");
+                        state.0 -= 1;
+                        if result.is_err() {
+                            state.1 += 1;
+                        }
+                        latch.done.notify_all();
+                        return;
+                    }
+                    Err(why) => {
+                        interrupted
+                            .lock()
+                            .expect("interrupt slot lock")
+                            .get_or_insert(why);
+                        // The unrun job is dropped here, releasing any
+                        // shared state it captured.
+                        drop(job);
+                    }
+                }
                 let mut state = latch.state.lock().expect("latch lock");
                 state.0 -= 1;
-                if result.is_err() {
-                    state.1 += 1;
-                }
                 latch.done.notify_all();
             });
             assert!(queued, "run_all on a closed pool");
@@ -104,6 +323,11 @@ impl ThreadPool {
         let panics = state.1;
         drop(state);
         assert!(panics == 0, "{panics} pool job(s) panicked");
+        let why = *interrupted.lock().expect("interrupt slot lock");
+        match why {
+            Some(why) => Err(why),
+            None => Ok(()),
+        }
     }
 
     /// Stop accepting new jobs and let workers drain the queue, then
@@ -235,5 +459,137 @@ mod tests {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
         pool.run_all(vec![Box::new(|| {}) as Job]);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry_and_earlier() {
+        assert!(!Deadline::none().expired());
+        assert!(!Deadline::none().is_set());
+        let far = Deadline::within(Duration::from_secs(3600));
+        assert!(far.is_set() && !far.expired());
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert!(far.earlier(past).expired());
+        assert!(past.earlier(far).expired());
+        assert!(Deadline::none().earlier(past).expired());
+        assert!(!far.earlier(Deadline::none()).expired());
+    }
+
+    #[test]
+    fn budget_check_reports_structured_interrupts() {
+        let unlimited = Budget::unlimited();
+        assert_eq!(unlimited.check(), Ok(()));
+        let token = CancelToken::new();
+        let b = Budget::new(token.clone(), Deadline::none());
+        assert_eq!(b.check(), Ok(()));
+        token.cancel();
+        assert_eq!(b.check(), Err(Interrupt::Cancelled));
+        let expired = Budget::new(
+            CancelToken::new(),
+            Deadline::at(Instant::now() - Duration::from_millis(1)),
+        );
+        assert_eq!(expired.check(), Err(Interrupt::DeadlineExceeded));
+        // Cancellation wins when both apply, so the operator-initiated
+        // abort is reported as such.
+        let both = Budget::new(
+            token,
+            Deadline::at(Instant::now() - Duration::from_millis(1)),
+        );
+        assert_eq!(both.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn tightened_takes_the_earlier_deadline() {
+        let b = Budget::unlimited().tightened(Some(Duration::from_secs(3600)));
+        assert!(b.deadline().is_set() && !b.deadline().expired());
+        let tighter = b.tightened(Some(Duration::ZERO));
+        assert!(tighter.deadline().expired());
+        // Tightening with a later timeout keeps the earlier deadline.
+        let still = tighter.tightened(Some(Duration::from_secs(3600)));
+        assert!(still.deadline().expired());
+        assert!(!b.tightened(None).deadline().expired());
+    }
+
+    #[test]
+    fn stalled_check_is_reaped_by_the_deadline() {
+        let budget = Budget::new(
+            CancelToken::new(),
+            Deadline::within(Duration::from_millis(30)),
+        )
+        .with_stall_ms(60_000);
+        let start = Instant::now();
+        assert_eq!(budget.check(), Err(Interrupt::DeadlineExceeded));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stall must not run to completion"
+        );
+    }
+
+    #[test]
+    fn run_all_budgeted_skips_jobs_once_interrupted() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let budget = Budget::new(token.clone(), Deadline::none());
+        let ran = Arc::new(AtomicUsize::new(0));
+        // First wave completes, then the token fires and the second
+        // wave is skipped entirely.
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        assert_eq!(pool.run_all_budgeted(jobs, &budget), Ok(()));
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+        token.cancel();
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        assert_eq!(
+            pool.run_all_budgeted(jobs, &budget),
+            Err(Interrupt::Cancelled)
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 4, "no job may run after cancel");
+    }
+
+    #[test]
+    fn run_all_budgeted_releases_captured_state_of_skipped_jobs() {
+        let pool = ThreadPool::new(1);
+        let shared = Arc::new(());
+        let token = CancelToken::new();
+        token.cancel();
+        let jobs: Vec<Job> = (0..3)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                Box::new(move || {
+                    let _keep = &shared;
+                }) as Job
+            })
+            .collect();
+        let budget = Budget::new(token, Deadline::none());
+        assert_eq!(
+            pool.run_all_budgeted(jobs, &budget),
+            Err(Interrupt::Cancelled)
+        );
+        // Every skipped job dropped its clone, so the caller can
+        // reclaim exclusive ownership (the engine relies on this to
+        // restore its voters after an abort).
+        assert!(Arc::try_unwrap(shared).is_ok());
     }
 }

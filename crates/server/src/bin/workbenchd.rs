@@ -21,6 +21,13 @@
 //!   consecutive panicking commands (default 3; 0 disables)
 //! * `--max-line-bytes N`      protocol line bound (default 65536)
 //! * `--max-heredoc-bytes N`   heredoc body bound (default 4194304)
+//! * `--default-deadline-ms N` wall-clock deadline for every shell
+//!   command; a command past it aborts cooperatively with
+//!   `command aborted: deadline exceeded` (default: unbounded; 0
+//!   means unbounded)
+//! * `--max-pending N`         admission control: shed connections
+//!   with a `RETRY-AFTER` protocol error once N are pending or being
+//!   served (default 64; 0 disables shedding)
 //! * `--faults SPEC`           deterministic fault injection, e.g.
 //!   `seed=42,exec-panic=0.01,exec-slow=0.05:20,journal-torn=0.02`
 //!   (chaos testing; see `iwb_server::fault`)
@@ -37,7 +44,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: workbenchd [--addr HOST:PORT] [--workers N] [--max-sessions N] \
          [--idle-timeout SECS] [--read-timeout SECS] [--journal DIR] [--recover DIR] \
-         [--quarantine-after N] [--max-line-bytes N] [--max-heredoc-bytes N] [--faults SPEC]"
+         [--quarantine-after N] [--max-line-bytes N] [--max-heredoc-bytes N] \
+         [--default-deadline-ms N] [--max-pending N] [--faults SPEC]"
     );
     std::process::exit(2);
 }
@@ -89,6 +97,14 @@ fn parse_args() -> ServerConfig {
             },
             "--max-heredoc-bytes" => match value("--max-heredoc-bytes").parse() {
                 Ok(n) if n > 0 => config.max_heredoc_bytes = n,
+                _ => usage(),
+            },
+            "--default-deadline-ms" => match value("--default-deadline-ms").parse::<u64>() {
+                Ok(ms) => config.default_deadline = (ms > 0).then(|| Duration::from_millis(ms)),
+                _ => usage(),
+            },
+            "--max-pending" => match value("--max-pending").parse() {
+                Ok(n) => config.max_pending = n,
                 _ => usage(),
             },
             "--faults" => match FaultSpec::parse(&value("--faults")) {

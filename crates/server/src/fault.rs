@@ -15,6 +15,11 @@
 //! | `exec-error`   | the command fails with an injected tool error   |
 //! | `exec-panic`   | the command panics (exercises `catch_unwind`)   |
 //! | `exec-slow`    | the command sleeps `millis` before executing    |
+//! | `exec-hang`    | the command hangs `millis` *before* executing,  |
+//! |                | polling its budget — a deadline or `cancel`     |
+//! |                | reaps it without the command ever running       |
+//! | `shard-stall`  | every in-engine budget check stalls `millis`,   |
+//! |                | simulating a shard that stops making progress   |
 //! | `journal-torn` | the journal append writes only a record prefix  |
 //!
 //! Plans are built from a compact spec string (`--faults` on
@@ -39,10 +44,24 @@ pub const EXEC_ERROR: &str = "exec-error";
 pub const EXEC_PANIC: &str = "exec-panic";
 /// Fault point: the command sleeps before executing.
 pub const EXEC_SLOW: &str = "exec-slow";
+/// Fault point: the command hangs before executing, cooperatively
+/// polling its budget — only a deadline or cancellation frees it early.
+pub const EXEC_HANG: &str = "exec-hang";
+/// Fault point: every in-engine budget check stalls for the payload
+/// duration (still polling), simulating a shard that stopped making
+/// progress.
+pub const SHARD_STALL: &str = "shard-stall";
 /// Fault point: the journal append persists only a record prefix.
 pub const JOURNAL_TORN: &str = "journal-torn";
 
-const POINTS: [&str; 4] = [EXEC_ERROR, EXEC_PANIC, EXEC_SLOW, JOURNAL_TORN];
+const POINTS: [&str; 6] = [
+    EXEC_ERROR,
+    EXEC_PANIC,
+    EXEC_SLOW,
+    EXEC_HANG,
+    SHARD_STALL,
+    JOURNAL_TORN,
+];
 
 /// FNV-1a 64-bit hash (shared by the fault and journal modules; no
 /// external crates).
@@ -280,6 +299,23 @@ mod tests {
         assert!(FaultSpec::parse("exec-panic@x").is_err());
         assert!(FaultSpec::parse("seed=nope").is_err());
         assert!(FaultSpec::parse("").unwrap().build().inner.is_none());
+    }
+
+    #[test]
+    fn hang_and_stall_points_parse_and_fire() {
+        let spec = FaultSpec::parse("seed=5, exec-hang@0:60000, shard-stall=1.0:500").unwrap();
+        assert_eq!(
+            spec,
+            FaultSpec::seeded(5)
+                .at(EXEC_HANG, &[0])
+                .millis(EXEC_HANG, 60_000)
+                .rate(SHARD_STALL, 1.0)
+                .millis(SHARD_STALL, 500)
+        );
+        let plan = spec.build();
+        assert_eq!(plan.fires(EXEC_HANG), Some(60_000));
+        assert_eq!(plan.fires(EXEC_HANG), None);
+        assert_eq!(plan.fires(SHARD_STALL), Some(500));
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //!   commit, periodic compaction) and the crash-recovery replay behind
 //!   `workbenchd --recover`;
 //! * [`fault`] — deterministic, seeded fault injection (tool errors,
-//!   panics, slow commands, torn journal writes) for chaos tests and
-//!   `bench_server --faults`;
+//!   panics, slow/hung/stalled commands, torn journal writes) for
+//!   chaos tests and `bench_server --faults`;
 //! * [`stats`] — per-command counters and fixed-bucket latency
 //!   histograms plus the robustness error-budget counters, exposed
 //!   through the `stats` protocol command;
@@ -44,6 +44,7 @@
 //! session close [id]    close a session (default: the attached one)
 //! session list          one line per live session
 //! session current       the attached session id
+//! cancel <id>           interrupt the command in flight in a session
 //! stats                 server counters + latency percentiles
 //! ping                  liveness probe
 //! shutdown              begin graceful shutdown (drains in-flight)
@@ -55,6 +56,20 @@
 //! that panics server-side answers `err` with a `command panicked: …`
 //! body — the connection, the worker, and every other session keep
 //! running.
+//!
+//! ## Deadlines, cancellation, admission control
+//!
+//! Every shell command runs under an interruption budget: the daemon's
+//! `--default-deadline-ms` bounds wall-clock time, and `cancel <id>`
+//! from any connection interrupts the command in flight in session
+//! `<id>`. Both abort cooperatively — the reply is `err` with a
+//! `command aborted: cancelled` / `command aborted: deadline exceeded`
+//! body, nothing is journaled, and session state is exactly as before
+//! the command (completed runs stay byte-identical; there are no
+//! partial results). When more than `--max-pending` connections are
+//! pending or being served, new connections are shed with an `err`
+//! reply whose body starts with `RETRY-AFTER <ms>` instead of
+//! queueing unboundedly.
 
 pub mod client;
 pub mod fault;

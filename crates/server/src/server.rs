@@ -18,6 +18,13 @@
 //! [`crate::fault::FaultPlan`]. Protocol reads are bounded
 //! (`max_line_bytes` / `max_heredoc_bytes`), so a malicious client
 //! cannot balloon worker memory.
+//!
+//! Overload and runaway commands are bounded too: the acceptor sheds
+//! connections past `max_pending` with a `RETRY-AFTER` protocol error
+//! (admission control), every shell command runs under the configured
+//! `default_deadline`, and `cancel <session>` interrupts the command
+//! in flight on another connection — both aborts are cooperative, so
+//! session state stays exactly as before the command.
 
 use crate::fault::FaultPlan;
 use crate::journal::JournalConfig;
@@ -28,7 +35,7 @@ use iwb_pool::ThreadPool;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -42,6 +49,10 @@ const ACCEPT_TICK: Duration = Duration::from_millis(25);
 
 /// How often the housekeeper sweeps for idle sessions.
 const SWEEP_TICK: Duration = Duration::from_millis(250);
+
+/// Retry hint (milliseconds) carried by the `RETRY-AFTER` load-shed
+/// error a client receives when the pending-connection bound is hit.
+const RETRY_AFTER_HINT_MS: u64 = 100;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +85,16 @@ pub struct ServerConfig {
     pub journal_compact_every: u64,
     /// Deterministic fault injection (default: inject nothing).
     pub faults: FaultPlan,
+    /// Default wall-clock deadline applied to every shell command
+    /// (`None`: commands run unbounded). A command past its deadline
+    /// aborts cooperatively with a `deadline exceeded` error, leaving
+    /// session state untouched.
+    pub default_deadline: Option<Duration>,
+    /// Admission control: cap on connections pending or being served.
+    /// At the cap the acceptor sheds load — the client receives a
+    /// `RETRY-AFTER` protocol error instead of queueing unboundedly.
+    /// 0 disables shedding.
+    pub max_pending: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +113,8 @@ impl Default for ServerConfig {
             journal_fsync: true,
             journal_compact_every: 256,
             faults: FaultPlan::none(),
+            default_deadline: None,
+            max_pending: 64,
         }
     }
 }
@@ -194,18 +217,40 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         // budget, or a `read_timeout` shorter than one tick would
         // never be enforced.
         let tick = POLL_TICK.min(config.read_timeout.max(Duration::from_millis(1)));
+        let pending = Arc::new(AtomicUsize::new(0));
         threads.push(thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let _ = stream.set_read_timeout(Some(tick));
                         let _ = stream.set_nodelay(true);
+                        // Admission control: at the pending bound the
+                        // connection is shed with a structured
+                        // RETRY-AFTER error instead of queueing
+                        // unboundedly behind a saturated pool.
+                        let live = pending.load(Ordering::SeqCst);
+                        if config.max_pending > 0 && live >= config.max_pending {
+                            stats.connection_shed();
+                            let mut writer = BufWriter::new(stream);
+                            let _ = write_response(
+                                &mut writer,
+                                false,
+                                &format!(
+                                    "RETRY-AFTER {RETRY_AFTER_HINT_MS}ms: server at capacity \
+                                     ({live} connections pending)"
+                                ),
+                            );
+                            continue;
+                        }
+                        pending.fetch_add(1, Ordering::SeqCst);
+                        let pending = Arc::clone(&pending);
                         let shutdown = Arc::clone(&shutdown);
                         let stats = Arc::clone(&stats);
                         let registry = Arc::clone(&registry);
                         let config = config.clone();
                         let queued = pool.execute(move || {
                             serve_connection(stream, &registry, &stats, &shutdown, &config);
+                            pending.fetch_sub(1, Ordering::SeqCst);
                         });
                         if !queued {
                             break; // pool closed under us: shutting down
@@ -358,6 +403,7 @@ fn serve_connection(
         shutdown,
         faults: &config.faults,
         quarantine_after: config.quarantine_after,
+        default_deadline: config.default_deadline,
     };
     let result = (|| -> io::Result<()> {
         let write_half = stream.try_clone()?;
@@ -477,6 +523,7 @@ struct DispatchCtx<'a> {
     shutdown: &'a Arc<AtomicBool>,
     faults: &'a FaultPlan,
     quarantine_after: u32,
+    default_deadline: Option<Duration>,
 }
 
 /// Execute one protocol command; returns `(ok, body, action)`.
@@ -572,6 +619,29 @@ fn dispatch(
                 .to_owned(),
             Action::Continue,
         ),
+        ["cancel", id] => match registry.get(id) {
+            Some(session) => {
+                if session.cancel() {
+                    (
+                        true,
+                        format!("session {id}: cancel requested"),
+                        Action::Continue,
+                    )
+                } else {
+                    (
+                        false,
+                        format!("session {id} has no command in flight"),
+                        Action::Continue,
+                    )
+                }
+            }
+            None => (false, format!("no session {id:?}"), Action::Continue),
+        },
+        ["cancel"] => (
+            false,
+            "usage: cancel <session>".to_owned(),
+            Action::Continue,
+        ),
         ["stats"] => (true, stats.render(registry.len()), Action::Continue),
         ["ping"] => (true, "pong".to_owned(), Action::Continue),
         ["shutdown"] => {
@@ -592,10 +662,14 @@ fn dispatch(
                         ctx.faults,
                         ctx.quarantine_after,
                         stats,
+                        ctx.default_deadline,
                     );
                     match outcome {
                         ExecOutcome::Output(output) => (true, output, Action::Continue),
                         ExecOutcome::ToolError(e) => (false, e, Action::Continue),
+                        ExecOutcome::Interrupted(why) => {
+                            (false, format!("command aborted: {why}"), Action::Continue)
+                        }
                         ExecOutcome::Panicked {
                             message,
                             quarantined,
@@ -674,6 +748,7 @@ mod tests {
                     shutdown: &self.shutdown,
                     faults: &self.faults,
                     quarantine_after: 3,
+                    default_deadline: None,
                 },
                 command,
                 heredoc,

@@ -21,16 +21,26 @@
 //! with a protocol error while `session close` still works and every
 //! other session keeps running.
 //!
+//! Each command additionally runs under an interruption
+//! [`Budget`]: the daemon's `--default-deadline-ms` (or a per-call
+//! deadline) bounds wall-clock time, and `cancel <session>` from any
+//! connection flips the in-flight command's [`CancelToken`]. Both
+//! abort cooperatively with [`ExecOutcome::Interrupted`] — the command
+//! writes no partial result and is never journaled, so the session
+//! stays attachable with exactly its pre-command state.
+//!
 //! With journaling enabled (see [`crate::journal`]) each successful
 //! mutating command is appended to the session's journal before the
 //! response is sent; [`SessionRegistry::recover`] replays journals on
 //! startup so a restarted daemon reattaches clients to their
 //! pre-crash sessions.
 
-use crate::fault::{FaultPlan, EXEC_ERROR, EXEC_PANIC, EXEC_SLOW};
+use crate::fault::{FaultPlan, EXEC_ERROR, EXEC_HANG, EXEC_PANIC, EXEC_SLOW, SHARD_STALL};
 use crate::journal::{Journal, JournalConfig, JournalRecord};
 use crate::stats::ServerStats;
 use iwb_core::shell::Shell;
+use iwb_core::tool::ToolError;
+use iwb_pool::{Budget, CancelToken, Deadline, Interrupt};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -56,6 +66,10 @@ pub enum ExecOutcome {
     Output(String),
     /// The command failed with a (real or injected) tool error.
     ToolError(String),
+    /// The command was aborted cooperatively — cancelled via
+    /// [`Session::cancel`] or past its deadline — before writing any
+    /// result. Nothing was journaled; session state is untouched.
+    Interrupted(Interrupt),
     /// The command panicked; the panic was contained. `quarantined`
     /// reports whether this fault tripped the quarantine threshold.
     Panicked {
@@ -77,6 +91,11 @@ pub struct Session {
     commands: AtomicU64,
     consecutive_panics: AtomicU32,
     quarantined: AtomicBool,
+    /// Cancel token of the command in flight right now, if any. Armed
+    /// by [`Session::execute_command`] for its duration; another
+    /// connection's `cancel <session>` flips it without needing the
+    /// shell lock.
+    current_cancel: Mutex<Option<CancelToken>>,
 }
 
 impl Session {
@@ -89,6 +108,7 @@ impl Session {
             commands: AtomicU64::new(0),
             consecutive_panics: AtomicU32::new(0),
             quarantined: AtomicBool::new(false),
+            current_cancel: Mutex::new(None),
         }
     }
 
@@ -119,15 +139,21 @@ impl Session {
         faults: &FaultPlan,
         quarantine_after: u32,
         stats: &ServerStats,
+        deadline: Option<Duration>,
     ) -> ExecOutcome {
         if self.quarantined.load(Ordering::SeqCst) {
             return ExecOutcome::Quarantined;
         }
         let slow = faults.fires(EXEC_SLOW).filter(|&ms| ms > 0);
+        let hang = faults.fires(EXEC_HANG).filter(|&ms| ms > 0);
+        let stall = faults.fires(SHARD_STALL).filter(|&ms| ms > 0);
         let inject_error = faults.fires(EXEC_ERROR).is_some();
         let inject_panic = faults.fires(EXEC_PANIC).is_some();
-        for _ in
-            0..(usize::from(slow.is_some()) + usize::from(inject_error) + usize::from(inject_panic))
+        for _ in 0..(usize::from(slow.is_some())
+            + usize::from(hang.is_some())
+            + usize::from(stall.is_some())
+            + usize::from(inject_error)
+            + usize::from(inject_panic))
         {
             stats.fault_injected();
         }
@@ -135,29 +161,64 @@ impl Session {
             return ExecOutcome::ToolError(format!("injected fault: tool failure ({EXEC_ERROR})"));
         }
 
+        // Arm the cancel slot so `cancel <session>` issued on another
+        // connection can interrupt this command while it runs.
+        let token = CancelToken::new();
+        *recover(self.current_cancel.lock()) = Some(token.clone());
+        let budget = Budget::new(
+            token,
+            deadline.map_or_else(Deadline::none, Deadline::within),
+        );
+        let budget = match stall {
+            Some(ms) => budget.with_stall_ms(ms),
+            None => budget,
+        };
+
         // The catch_unwind sits *inside* the critical section so an
         // unwinding tool releases (not poisons) the shell lock.
         let result = self.with_shell(|shell| {
             if let Some(ms) = slow {
                 std::thread::sleep(Duration::from_millis(ms));
             }
-            catch_unwind(AssertUnwindSafe(|| {
+            // An injected hang sleeps in short ticks while watching the
+            // budget: a deadline or cancel reaps the command *before*
+            // it executes, so nothing mutates and nothing is journaled.
+            if let Some(ms) = hang {
+                wait_out_hang(ms, &budget)?;
+            }
+            Ok(catch_unwind(AssertUnwindSafe(|| {
                 if inject_panic {
                     panic!("injected fault: panic ({EXEC_PANIC})");
                 }
-                shell.execute(command, heredoc)
-            }))
+                shell.execute_with_budget(command, heredoc, &budget)
+            })))
         });
+        *recover(self.current_cancel.lock()) = None;
         match result {
-            Ok(Ok(output)) => {
+            Ok(Ok(Ok(output))) => {
                 self.consecutive_panics.store(0, Ordering::SeqCst);
                 if iwb_core::shell::mutates(command) {
                     self.journal_commit(command, heredoc, faults, stats);
                 }
                 ExecOutcome::Output(output)
             }
-            Ok(Err(e)) => ExecOutcome::ToolError(e.to_string()),
-            Err(payload) => {
+            Err(why) => {
+                self.consecutive_panics.store(0, Ordering::SeqCst);
+                record_interrupt(stats, why);
+                ExecOutcome::Interrupted(why)
+            }
+            Ok(Ok(Err(ToolError::Cancelled))) => {
+                self.consecutive_panics.store(0, Ordering::SeqCst);
+                record_interrupt(stats, Interrupt::Cancelled);
+                ExecOutcome::Interrupted(Interrupt::Cancelled)
+            }
+            Ok(Ok(Err(ToolError::DeadlineExceeded))) => {
+                self.consecutive_panics.store(0, Ordering::SeqCst);
+                record_interrupt(stats, Interrupt::DeadlineExceeded);
+                ExecOutcome::Interrupted(Interrupt::DeadlineExceeded)
+            }
+            Ok(Ok(Err(e))) => ExecOutcome::ToolError(e.to_string()),
+            Ok(Err(payload)) => {
                 stats.panic_caught();
                 let n = self.consecutive_panics.fetch_add(1, Ordering::SeqCst) + 1;
                 let quarantined = quarantine_after > 0 && n >= quarantine_after;
@@ -169,6 +230,20 @@ impl Session {
                     quarantined,
                 }
             }
+        }
+    }
+
+    /// Cancel the command currently executing in this session, if any;
+    /// `true` when an in-flight command was told to stop. Safe to call
+    /// from any thread — it flips the armed [`CancelToken`] without
+    /// touching the shell lock.
+    pub fn cancel(&self) -> bool {
+        match recover(self.current_cancel.lock()).as_ref() {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
         }
     }
 
@@ -229,6 +304,36 @@ impl Session {
     /// timeout *and* not mid-command (the shell lock is free).
     fn evictable(&self, idle_timeout: Duration) -> bool {
         self.shell.try_lock().is_ok() && self.idle_for() >= idle_timeout
+    }
+}
+
+/// Sleep out an injected `exec-hang` in short ticks, aborting early if
+/// the command's budget is cancelled or past its deadline. Polls the
+/// token and deadline directly (not [`Budget::check`]) because a
+/// concurrent `shard-stall` fault makes `check` itself stall.
+fn wait_out_hang(ms: u64, budget: &Budget) -> Result<(), Interrupt> {
+    const TICK: Duration = Duration::from_millis(10);
+    let end = Instant::now() + Duration::from_millis(ms);
+    loop {
+        if budget.token().is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        if budget.deadline().expired() {
+            return Err(Interrupt::DeadlineExceeded);
+        }
+        let now = Instant::now();
+        if now >= end {
+            return Ok(());
+        }
+        std::thread::sleep((end - now).min(TICK));
+    }
+}
+
+/// Bump the matching error-budget counter for an interrupted command.
+fn record_interrupt(stats: &ServerStats, why: Interrupt) {
+    match why {
+        Interrupt::Cancelled => stats.command_cancelled(),
+        Interrupt::DeadlineExceeded => stats.command_deadline_exceeded(),
     }
 }
 
@@ -518,7 +623,7 @@ mod tests {
         faults: &FaultPlan,
         stats: &ServerStats,
     ) -> ExecOutcome {
-        session.execute_command(command, heredoc, faults, 3, stats)
+        session.execute_command(command, heredoc, faults, 3, stats, None)
     }
 
     #[test]
@@ -689,6 +794,93 @@ mod tests {
             ));
         }
         assert!(!s.is_quarantined());
+    }
+
+    #[test]
+    fn a_hung_command_is_reaped_by_the_deadline_and_not_journaled() {
+        let dir = std::env::temp_dir().join(format!("iwb-reg-hang-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = JournalConfig::new(&dir);
+        let stats = ServerStats::new();
+        let reg = SessionRegistry::new(4, Duration::from_secs(60)).with_journal(config.clone());
+        let s = reg.create(Some("hang")).unwrap();
+        // The command would hang for 60 s; a 50 ms deadline must reap
+        // it within 2x the deadline, before it executes or journals.
+        let plan = FaultSpec::seeded(1)
+            .at(EXEC_HANG, &[0])
+            .millis(EXEC_HANG, 60_000)
+            .build();
+        let started = Instant::now();
+        let outcome = s.execute_command(
+            "load er po",
+            Some("entity A { x : text }\n"),
+            &plan,
+            3,
+            &stats,
+            Some(Duration::from_millis(50)),
+        );
+        assert!(
+            matches!(
+                outcome,
+                ExecOutcome::Interrupted(Interrupt::DeadlineExceeded)
+            ),
+            "{outcome:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "reap took {:?}, budget was 50ms",
+            started.elapsed()
+        );
+        assert_eq!(stats.commands_deadline_exceeded_count(), 1);
+        // The session survives and the aborted command left no trace:
+        // a restart replays an empty journal.
+        let export = match s.execute_command("export", None, &FaultPlan::none(), 3, &stats, None) {
+            ExecOutcome::Output(out) => out,
+            other => panic!("{other:?}"),
+        };
+        assert!(!export.contains("po"), "aborted load leaked: {export}");
+        drop(reg);
+        let fresh = SessionRegistry::new(4, Duration::from_secs(60)).with_journal(config);
+        let report = fresh.recover(&stats).unwrap();
+        assert_eq!((report.sessions, report.replayed), (1, 0), "{report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_interrupts_an_in_flight_command_from_another_thread() {
+        let reg = SessionRegistry::new(4, Duration::from_secs(60));
+        let stats = ServerStats::new();
+        let s = reg.create(Some("busy")).unwrap();
+        let plan = FaultSpec::seeded(1)
+            .at(EXEC_HANG, &[0])
+            .millis(EXEC_HANG, 60_000)
+            .build();
+        let worker = {
+            let s = Arc::clone(&s);
+            let stats = ServerStats::new();
+            std::thread::spawn(move || {
+                s.execute_command("show coverage", None, &plan, 3, &stats, None)
+            })
+        };
+        // Spin until the command has armed its cancel token.
+        let started = Instant::now();
+        while !s.cancel() {
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "command never armed its cancel token"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let outcome = worker.join().unwrap();
+        assert!(
+            matches!(outcome, ExecOutcome::Interrupted(Interrupt::Cancelled)),
+            "{outcome:?}"
+        );
+        // With nothing in flight, cancel reports so.
+        assert!(!s.cancel());
+        // The session remains fully usable.
+        let outcome = s.execute_command("show coverage", None, &FaultPlan::none(), 3, &stats, None);
+        assert!(matches!(outcome, ExecOutcome::Output(_)), "{outcome:?}");
     }
 
     #[test]

@@ -185,6 +185,11 @@ pub struct ServerStats {
     faults_injected: AtomicU64,
     panics_caught: AtomicU64,
     sessions_quarantined: AtomicU64,
+    // Request-lifecycle counters: commands reaped by their budget and
+    // connections shed by admission control.
+    commands_cancelled: AtomicU64,
+    commands_deadline_exceeded: AtomicU64,
+    connections_shed: AtomicU64,
     journal_records: AtomicU64,
     journal_torn: AtomicU64,
     journal_errors: AtomicU64,
@@ -205,6 +210,9 @@ impl Default for ServerStats {
             faults_injected: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
             sessions_quarantined: AtomicU64::new(0),
+            commands_cancelled: AtomicU64::new(0),
+            commands_deadline_exceeded: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
             journal_records: AtomicU64::new(0),
             journal_torn: AtomicU64::new(0),
             journal_errors: AtomicU64::new(0),
@@ -270,6 +278,37 @@ impl ServerStats {
     /// A session crossed the consecutive-panic threshold.
     pub fn session_quarantined(&self) {
         self.sessions_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A command was cancelled mid-flight (`cancel <session>`).
+    pub fn command_cancelled(&self) {
+        self.commands_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A command was reaped by its deadline.
+    pub fn command_deadline_exceeded(&self) {
+        self.commands_deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was shed by admission control (`RETRY-AFTER`).
+    pub fn connection_shed(&self) {
+        self.connections_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn connections_shed_count(&self) -> u64 {
+        self.connections_shed.load(Ordering::Relaxed)
+    }
+
+    /// Commands cancelled so far.
+    pub fn commands_cancelled_count(&self) -> u64 {
+        self.commands_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Commands reaped by a deadline so far.
+    pub fn commands_deadline_exceeded_count(&self) -> u64 {
+        self.commands_deadline_exceeded.load(Ordering::Relaxed)
     }
 
     /// A journal record was committed.
@@ -346,6 +385,12 @@ impl ServerStats {
             self.faults_injected.load(Ordering::Relaxed),
             self.panics_caught.load(Ordering::Relaxed),
             self.sessions_quarantined.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "budget cancelled={} deadline_exceeded={} shed={}\n",
+            self.commands_cancelled.load(Ordering::Relaxed),
+            self.commands_deadline_exceeded.load(Ordering::Relaxed),
+            self.connections_shed.load(Ordering::Relaxed),
         ));
         out.push_str(&format!(
             "journal records={} torn={} errors={} recovered_sessions={} replayed={}\n",
@@ -457,6 +502,10 @@ mod tests {
         let text = s.render(0);
         assert!(
             text.contains("faults injected=1 panics_caught=2 quarantined=1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("budget cancelled=0 deadline_exceeded=0 shed=0"),
             "{text}"
         );
         assert!(

@@ -12,15 +12,20 @@
 //!   byte-identically (stats-visible state and query results);
 //! * a torn final journal record recovers the un-torn prefix;
 //! * client reconnect (backoff + re-attach) across the restart;
-//! * a connection dying mid-heredoc journals nothing.
+//! * a connection dying mid-heredoc journals nothing;
+//! * a `shard-stall`ed match is reaped by the deadline within 2x the
+//!   budget, the session survives, and the journal replays cleanly;
+//! * `cancel <session>` from another connection interrupts a hung
+//!   mutating command, which is never journaled;
+//! * past `max_pending` connections are shed with `RETRY-AFTER`.
 
 use iwb_server::client::{Backoff, Client};
-use iwb_server::fault::{FaultSpec, EXEC_PANIC, JOURNAL_TORN};
+use iwb_server::fault::{FaultSpec, EXEC_HANG, EXEC_PANIC, JOURNAL_TORN, SHARD_STALL};
 use iwb_server::server::{serve, ServerConfig, ServerHandle};
 use std::io::Write;
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const SCHEMA_A: &str = "entity Customer \"A customer.\" { name : text \"Full name.\" }";
 const SCHEMA_B: &str = "entity Client { client_name : text }";
@@ -74,6 +79,240 @@ fn observable_state(c: &mut Client) -> String {
     let export = c.request("export").unwrap().expect_ok().unwrap();
     let coverage = c.request("show coverage").unwrap().expect_ok().unwrap();
     format!("{export}\n---\n{coverage}")
+}
+
+/// A synthetic registry-style ER schema: `entities` entities of
+/// `fields` fields each, names prefixed so source and target overlap
+/// without being identical (the match has real work to do).
+fn synthetic_registry(prefix: &str, entities: usize, fields: usize) -> String {
+    let mut out = String::new();
+    for e in 0..entities {
+        out.push_str(&format!(
+            "entity {prefix}Reg{e} \"Registry entry {e}.\" {{\n"
+        ));
+        for f in 0..fields {
+            out.push_str(&format!(
+                "  {prefix}_field_{e}_{f} : text \"Attribute {f} of entry {e}.\"\n"
+            ));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[test]
+fn stalled_match_is_reaped_by_the_deadline_and_the_session_survives() {
+    let dir = TempDir::new("stall");
+    const DEADLINE: Duration = Duration::from_millis(2_000);
+    // The fifth shell command (the match; two loads and the two
+    // state-capture reads come first) stalls its in-engine budget
+    // checks for 60 s — far past the 2 s default deadline. The
+    // deadline must reap it within 2x the budget.
+    let handle = serve_config(ServerConfig {
+        journal_dir: Some(dir.0.clone()),
+        default_deadline: Some(DEADLINE),
+        faults: FaultSpec::seeded(23)
+            .at(SHARD_STALL, &[4])
+            .millis(SHARD_STALL, 60_000)
+            .build(),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_new(Some("reg")).unwrap();
+    c.request_with_heredoc("load er src", &synthetic_registry("s", 16, 5))
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    c.request_with_heredoc("load er dst", &synthetic_registry("d", 16, 5))
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    let before = observable_state(&mut c);
+
+    let started = Instant::now();
+    let reaped = c.request("match src dst").unwrap();
+    let elapsed = started.elapsed();
+    assert!(!reaped.ok, "stalled match must abort: {}", reaped.body);
+    assert!(
+        reaped.body.contains("command aborted: deadline exceeded"),
+        "{}",
+        reaped.body
+    );
+    assert!(
+        elapsed < DEADLINE * 2,
+        "reap took {elapsed:?}, budget was {DEADLINE:?}"
+    );
+
+    // The abort is stats-visible and left no partial state behind.
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("deadline_exceeded=1"), "{stats}");
+    assert_eq!(observable_state(&mut c), before, "aborted match leaked");
+
+    // The session stays attachable from a fresh connection, and the
+    // fault plan only stalls command index 2 — a rerun completes.
+    let mut second = Client::connect(&addr).unwrap();
+    second.session_attach("reg").unwrap();
+    let rerun = second.request("match src dst").unwrap();
+    assert!(rerun.ok, "{}", rerun.body);
+    assert!(rerun.body.contains("cells updated"), "{}", rerun.body);
+    let after_rerun = observable_state(&mut second);
+
+    // Crash + recover: the journal holds the two loads and the one
+    // *successful* match (never the reaped one) and replays cleanly.
+    handle.shutdown();
+    drop(c);
+    drop(second);
+    handle.join();
+    let restarted = restart_with_recovery(&addr, &dir.0);
+    let report = restarted.recovery().expect("recovery ran").clone();
+    assert_eq!(report.sessions, 1, "{report:?}");
+    assert_eq!(report.replayed, 3, "load, load, rerun match: {report:?}");
+    assert_eq!(report.replay_errors, 0, "{report:?}");
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_attach("reg").unwrap();
+    assert_eq!(observable_state(&mut c), after_rerun, "replay drifted");
+
+    c.shutdown().unwrap();
+    restarted.join();
+}
+
+#[test]
+fn cancel_from_another_connection_interrupts_a_hung_command() {
+    let dir = TempDir::new("cancel");
+    // The third shell command (a mutating match) hangs for 60 s; a
+    // `cancel` issued on a second connection must interrupt it, and the
+    // cancelled command must never reach the journal.
+    let handle = serve_config(ServerConfig {
+        journal_dir: Some(dir.0.clone()),
+        faults: FaultSpec::seeded(31)
+            .at(EXEC_HANG, &[2])
+            .millis(EXEC_HANG, 60_000)
+            .build(),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.session_new(Some("hung")).unwrap();
+    c.request_with_heredoc("load er src", SCHEMA_A)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+    c.request_with_heredoc("load er dst", SCHEMA_B)
+        .unwrap()
+        .expect_ok()
+        .unwrap();
+
+    let hung = std::thread::spawn(move || {
+        let reply = c.request("match src dst").unwrap();
+        (c, reply)
+    });
+
+    // From a second connection, cancel the in-flight command. Retry
+    // until the hung command has armed its token (cancel errs with
+    // "no command in flight" before that).
+    let mut admin = Client::connect(&addr).unwrap();
+    let started = Instant::now();
+    let issued = loop {
+        let reply = admin.request("cancel hung").unwrap();
+        if reply.ok {
+            break Instant::now();
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "cancel never landed: {}",
+            reply.body
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    let (mut c, reply) = hung.join().unwrap();
+    assert!(!reply.ok, "cancelled command must err: {}", reply.body);
+    assert!(
+        reply.body.contains("command aborted: cancelled"),
+        "{}",
+        reply.body
+    );
+    assert!(
+        issued.elapsed() < Duration::from_secs(2),
+        "cancel-to-abort latency {:?}",
+        issued.elapsed()
+    );
+    let stats = admin.stats().unwrap();
+    assert!(stats.contains("cancelled=1"), "{stats}");
+
+    // The session still works on the original connection...
+    let rerun = c.request("match src dst").unwrap();
+    assert!(rerun.ok, "{}", rerun.body);
+
+    // ...and after a crash the journal replays the loads and the
+    // successful rerun — never the cancelled attempt.
+    handle.shutdown();
+    drop(c);
+    drop(admin);
+    handle.join();
+    let restarted = restart_with_recovery(&addr, &dir.0);
+    let report = restarted.recovery().expect("recovery ran").clone();
+    assert_eq!(report.replayed, 3, "load, load, rerun match: {report:?}");
+    assert_eq!(report.replay_errors, 0, "{report:?}");
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    restarted.join();
+}
+
+#[test]
+fn connections_past_the_pending_bound_are_shed_with_retry_after() {
+    let handle = serve_config(ServerConfig {
+        workers: 2,
+        max_pending: 1,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // First connection fills the single admission slot...
+    let mut first = Client::connect(&addr).unwrap();
+    assert!(first.request("ping").unwrap().ok);
+
+    // ...so the next one is shed by the acceptor with a structured
+    // RETRY-AFTER error instead of queueing.
+    let mut shed = Client::connect(&addr).unwrap();
+    let reply = shed.request("ping").unwrap();
+    assert!(!reply.ok, "expected load shed, got: {}", reply.body);
+    assert!(reply.body.starts_with("RETRY-AFTER "), "{}", reply.body);
+    assert_eq!(handle.stats().connections_shed_count(), 1);
+
+    // Honoring the hint works: once the first connection closes, a
+    // retry is admitted (retries racing the slot release may be shed
+    // again, bumping the counter) and the sheds are stats-visible.
+    drop(first);
+    drop(shed);
+    let started = Instant::now();
+    let stats = loop {
+        let mut retry = Client::connect(&addr).unwrap();
+        let reply = retry.request("stats").unwrap();
+        if reply.ok {
+            break reply.body;
+        }
+        assert!(
+            reply.body.starts_with("RETRY-AFTER "),
+            "unexpected error: {}",
+            reply.body
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "slot never freed"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let shed_total = handle.stats().connections_shed_count();
+    assert!(shed_total >= 1);
+    assert!(stats.contains(&format!("shed={shed_total}")), "{stats}");
+
+    handle.shutdown();
+    handle.join();
 }
 
 #[test]

@@ -20,6 +20,15 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== chaos smoke (fault-injection integration tests, fixed seeds)"
 cargo test -q --offline -p iwb-server --test chaos
 
+echo "== cancellation/deadline chaos (hung + stalled commands reaped, sessions survive)"
+cargo test -q --offline -p iwb-server --test chaos -- \
+    stalled_match_is_reaped_by_the_deadline_and_the_session_survives \
+    cancel_from_another_connection_interrupts_a_hung_command \
+    connections_past_the_pending_bound_are_shed_with_retry_after
+
+echo "== loader adversarial corpus (malformed input never panics)"
+cargo test -q --offline -p iwb-loaders --test adversarial
+
 echo "== determinism suite (byte-identical engine across threads/cache)"
 cargo test -q --offline -p iwb-harmony --test determinism
 
@@ -27,5 +36,10 @@ echo "== bench_match smoke (byte-identity + speedup floor, quick workload)"
 cargo run -q --release --offline -p iwb-bench --bin bench_match -- \
     --quick --out target/BENCH_match_quick.json
 grep -q '"byte_identical": true' target/BENCH_match_quick.json
+
+echo "== bench_server cancel-storm smoke (cancel latency, shed rate, zero leakage)"
+cargo run -q --release --offline -p iwb-bench --bin bench_server -- \
+    --cancel-storm --sessions 4 --out target/BENCH_server_storm.json
+grep -q '"session_leaks": 0' target/BENCH_server_storm.json
 
 echo "ci: ok"

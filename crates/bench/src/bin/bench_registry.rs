@@ -1,0 +1,322 @@
+//! Registry-scale blocking benchmark: index a Table-1-sized model
+//! repository, retrieve top-k candidates for perturbed query schemas,
+//! and compare against the exhaustive full-engine sweep.
+//!
+//! Three numbers matter:
+//!
+//! * **index build time** — the one-off cost of making the repository
+//!   searchable;
+//! * **retrieval throughput** — (query, model) pairs scored per second
+//!   through the inverted index;
+//! * **recall vs exhaustive** — at each k, the fraction of queries for
+//!   which the model the *full Harmony engine* would rank first (run
+//!   against every model in the registry) survives blocking's top-k.
+//!   Blocking that loses the engine's winner is worse than useless.
+//!
+//! The run fails (exit 1) if recall at the default k drops below 0.95
+//! or — at full scale — if block-then-rerank is not faster than the
+//! exhaustive sweep end to end.
+//!
+//! ```sh
+//! cargo run --release -p iwb-bench --bin bench_registry -- \
+//!     --queries 4 --k 10 --out BENCH_registry.json
+//! ```
+//!
+//! `--quick` shrinks the registry for CI smoke runs (the speed gate is
+//! skipped there: a dozen tiny models leave nothing to amortise).
+
+use iwb_blocking::{block_then_rerank, engine_model_score, BlockingConfig, RegistryIndex};
+use iwb_harmony::{HarmonyEngine, MatchConfig};
+use iwb_pool::Budget;
+use iwb_registry::perturb::{perturb_schema, PerturbConfig};
+use iwb_registry::{generate_registry, GeneratorConfig, TABLE1_SEED};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Retrieval depths reported in the JSON (the default `--k` is gated).
+const K_LIST: [usize; 4] = [1, 5, 10, 20];
+
+/// Minimum acceptable recall at the default k.
+const RECALL_FLOOR: f64 = 0.95;
+
+struct Args {
+    seed: u64,
+    /// Registry scale relative to Table 1 (1.0 = 265 models).
+    scale: f64,
+    /// Query schemas (perturbed registry members) to retrieve for.
+    queries: usize,
+    /// Default retrieval depth: gated for recall and used for the
+    /// block-then-rerank timing.
+    k: usize,
+    /// Index build workers.
+    threads: usize,
+    quick: bool,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: TABLE1_SEED,
+            scale: 1.0,
+            queries: 4,
+            k: 10,
+            threads: 8,
+            quick: false,
+            out: "BENCH_registry.json".to_owned(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_registry [--seed N] [--scale F] [--queries N] [--k N] \
+         [--threads N] [--quick] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => out.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => out.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--queries" => out.queries = value().parse().unwrap_or_else(|_| usage()),
+            "--k" => out.k = value().parse().unwrap_or_else(|_| usage()),
+            "--threads" => out.threads = value().parse().unwrap_or_else(|_| usage()),
+            "--quick" => out.quick = true,
+            "--out" => out.out = value(),
+            _ => usage(),
+        }
+    }
+    if out.quick {
+        out.queries = out.queries.min(2);
+        out.k = out.k.min(3);
+    }
+    if out.queries == 0
+        || out.k == 0
+        || out.threads == 0
+        || !out.scale.is_finite()
+        || out.scale <= 0.0
+    {
+        usage();
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let budget = Budget::unlimited();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let t = Instant::now();
+    let gen_config = if args.quick {
+        // CI smoke: a dozen *small* models. `scaled` keeps the per-model
+        // size constant (~50 entities / ~600 attributes), which makes
+        // the exhaustive engine sweep minutes long at any scale — a
+        // smoke run needs small schemas, not merely few of them.
+        GeneratorConfig {
+            seed: args.seed,
+            models: 12,
+            elements: 120,
+            attributes: 600,
+            domain_values: 960,
+            ..GeneratorConfig::default()
+        }
+    } else {
+        GeneratorConfig::scaled(args.seed, args.scale)
+    };
+    let registry = generate_registry(gen_config);
+    let generate_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let models = registry.models;
+    let n = models.len();
+    println!(
+        "bench_registry: {n} models, {} elements, {} attributes (seed {}, scale {}) \
+         generated in {generate_ms:.0} ms",
+        models.iter().map(|m| m.len()).sum::<usize>(),
+        registry.config.attributes,
+        args.seed,
+        args.scale
+    );
+
+    // --- Stage 1: index build ------------------------------------------------
+    let config = BlockingConfig {
+        threads: args.threads,
+        ..BlockingConfig::default()
+    };
+    let t = Instant::now();
+    let index = RegistryIndex::build(&models, config);
+    let index_build_ms = t.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "  index build       {index_build_ms:9.2} ms   {} terms over {n} models ({} thread(s))",
+        index.vocabulary(),
+        args.threads
+    );
+
+    // --- Queries: perturbed derivatives of registry members ------------------
+    // Origins are spread across the *interquartile* size range: the
+    // skewed distribution's mega-model tail would dominate the
+    // exhaustive baseline's wall time (engine cost is quadratic in
+    // schema size) without changing the recall question being asked.
+    let mut by_size: Vec<usize> = (0..n).collect();
+    by_size.sort_by_key(|&o| (models[o].len(), o));
+    let origins: Vec<usize> = (0..args.queries)
+        .map(|q| {
+            let p = 0.25 + 0.5 * (q as f64 + 0.5) / args.queries as f64;
+            by_size[((p * n as f64) as usize).min(n - 1)]
+        })
+        .collect();
+    let queries: Vec<_> = origins
+        .iter()
+        .map(|&o| {
+            let pair = perturb_schema(&models[o], &PerturbConfig::mild(args.seed ^ o as u64));
+            (o, pair.target)
+        })
+        .collect();
+
+    // --- Stage 2: retrieval throughput at the deepest k ----------------------
+    let k_max = *K_LIST.iter().max().expect("K_LIST nonempty");
+    let t = Instant::now();
+    let retrieved: Vec<_> = queries
+        .iter()
+        .map(|(_, q)| index.query(q, k_max.max(args.k)))
+        .collect();
+    let retrieval_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let pairs_scored = queries.len() * n;
+    let pairs_per_sec = pairs_scored as f64 / (retrieval_ms / 1000.0);
+    println!(
+        "  retrieval         {retrieval_ms:9.2} ms   {pairs_scored} (query, model) pairs \
+         = {pairs_per_sec:.0} pairs/s"
+    );
+
+    // --- Stage 3: exhaustive full-engine sweep (the baseline) ----------------
+    let locked = HashMap::new();
+    // Both engines get the host's full parallelism — the comparison is
+    // blocking vs no blocking, not threads vs no threads.
+    let engine_config = MatchConfig {
+        threads: cores,
+        ..MatchConfig::default()
+    };
+    let mut exhaustive_engine = HarmonyEngine::default();
+    exhaustive_engine.set_match_config(engine_config);
+    let t = Instant::now();
+    let exhaustive_best: Vec<usize> = queries
+        .iter()
+        .map(|(_, q)| {
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (ordinal, model) in models.iter().enumerate() {
+                let result = exhaustive_engine.run(q, model, &locked);
+                let score = engine_model_score(&result.matrix);
+                // Ties break to the earliest ordinal, matching the
+                // index's stable-id tie-break closely enough for a
+                // recall denominator.
+                if score > best.1 {
+                    best = (ordinal, score);
+                }
+            }
+            best.0
+        })
+        .collect();
+    let exhaustive_ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+    println!("  exhaustive sweep  {exhaustive_ms:9.2} ms/query   (full engine x {n} models)");
+
+    // --- Stage 4: block-then-rerank at the default k -------------------------
+    let mut blocked_engine = HarmonyEngine::default();
+    blocked_engine.set_match_config(engine_config);
+    let t = Instant::now();
+    let blocked_best: Vec<Option<usize>> = queries
+        .iter()
+        .map(|(_, q)| {
+            let result =
+                block_then_rerank(&mut blocked_engine, &index, &models, q, args.k, &budget)
+                    .expect("unlimited budget");
+            result.ranked.first().map(|r| r.ordinal)
+        })
+        .collect();
+    let blocked_ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+    let speedup = exhaustive_ms / blocked_ms;
+    println!(
+        "  block-then-rerank {blocked_ms:9.2} ms/query   (top-{} of {n}, speedup {speedup:.1}x)",
+        args.k
+    );
+
+    // --- Recall vs exhaustive at each k --------------------------------------
+    let recall_at = |k: usize| -> f64 {
+        let hits = retrieved
+            .iter()
+            .zip(&exhaustive_best)
+            .filter(|(cands, best)| cands.iter().take(k).any(|c| c.ordinal == **best))
+            .count();
+        hits as f64 / queries.len() as f64
+    };
+    let mut ks: Vec<usize> = K_LIST.to_vec();
+    if !ks.contains(&args.k) {
+        ks.push(args.k);
+        ks.sort_unstable();
+    }
+    let recall_default = recall_at(args.k);
+    // How often the rerank stage agrees with the exhaustive sweep's
+    // winner outright — stricter than recall, reported for context.
+    let top1_agreement = blocked_best
+        .iter()
+        .zip(&exhaustive_best)
+        .filter(|(b, e)| **b == Some(**e))
+        .count() as f64
+        / queries.len() as f64;
+    let mut recall_json = String::new();
+    for (i, &k) in ks.iter().enumerate() {
+        let sep = if i + 1 == ks.len() { "" } else { ", " };
+        let _ = write!(recall_json, "\"{k}\": {:.3}{sep}", recall_at(k));
+    }
+    println!(
+        "  recall vs exhaustive  {}   top-1 agreement {top1_agreement:.2}",
+        ks.iter()
+            .map(|&k| format!("@{k}={:.2}", recall_at(k)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+
+    let json = format!(
+        "{{\n  \"seed\": {},\n  \"scale\": {},\n  \"models\": {n},\n  \
+         \"elements\": {},\n  \"queries\": {},\n  \"k\": {},\n  \
+         \"index_threads\": {},\n  \"quick\": {},\n  \
+         \"generate_ms\": {generate_ms:.3},\n  \"index_build_ms\": {index_build_ms:.3},\n  \
+         \"retrieval_ms\": {retrieval_ms:.3},\n  \"pairs_per_sec\": {pairs_per_sec:.0},\n  \
+         \"exhaustive_ms_per_query\": {exhaustive_ms:.3},\n  \
+         \"blocked_ms_per_query\": {blocked_ms:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"recall_at_k\": {{{recall_json}}},\n  \
+         \"recall_at_default_k\": {recall_default:.3},\n  \
+         \"top1_agreement\": {top1_agreement:.3}\n}}\n",
+        args.seed,
+        args.scale,
+        models.iter().map(|m| m.len()).sum::<usize>(),
+        args.queries,
+        args.k,
+        args.threads,
+        args.quick,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("  report written to {}", args.out);
+
+    if recall_default < RECALL_FLOOR {
+        eprintln!(
+            "bench_registry: FAILED — recall {recall_default:.3} at k={} below {RECALL_FLOOR}",
+            args.k
+        );
+        std::process::exit(1);
+    }
+    if !args.quick && speedup <= 1.0 {
+        eprintln!(
+            "bench_registry: FAILED — block-then-rerank ({blocked_ms:.1} ms/query) not faster \
+             than exhaustive ({exhaustive_ms:.1} ms/query)"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_registry: ok");
+}

@@ -1,0 +1,388 @@
+//! The inverted registry index and deterministic top-k retrieval.
+
+use crate::tokens::model_terms;
+use iwb_ling::Thesaurus;
+use iwb_model::{SchemaGraph, SchemaId};
+use iwb_pool::{Budget, Interrupt, ThreadPool};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Knobs for token canonicalisation and index construction.
+#[derive(Debug, Clone)]
+pub struct BlockingConfig {
+    /// Expand DBA abbreviations (`acft` → `aircraft`) before lookup.
+    pub expand_abbreviations: bool,
+    /// Collapse each synonym ring to its lexicographically-least member
+    /// so renamed-but-equivalent schemas share postings.
+    pub collapse_synonyms: bool,
+    /// Porter-stem the canonical token.
+    pub stem: bool,
+    /// Weight of a documentation token relative to a name token (1.0).
+    /// Zero skips documentation entirely.
+    pub doc_weight: f64,
+    /// Worker threads for index construction. Retrieval results are
+    /// bit-identical regardless of this value (tokenisation is
+    /// embarrassingly parallel; posting assembly is sequential in model
+    /// order).
+    pub threads: usize,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        BlockingConfig {
+            expand_abbreviations: true,
+            collapse_synonyms: true,
+            stem: true,
+            doc_weight: 0.25,
+            threads: 1,
+        }
+    }
+}
+
+/// One entry on a posting list: which model, and the token's weight in
+/// that model's term bag (name occurrences + `doc_weight`·doc
+/// occurrences).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Posting {
+    model: u32,
+    weight: f64,
+}
+
+/// A retrieved candidate: the model's position in the indexed slice,
+/// its stable id, and the idf-weighted cosine similarity to the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Index of the model in the slice the index was built from.
+    pub ordinal: usize,
+    /// The model's stable schema id (tie-break key).
+    pub id: SchemaId,
+    /// Cosine similarity in `[0, 1]` (up to float rounding).
+    pub score: f64,
+}
+
+/// Inverted token index over a registry of canonical schema graphs.
+///
+/// Postings are keyed by canonical token in a `BTreeMap` and sorted by
+/// model ordinal, and retrieval accumulates scores iterating tokens in
+/// sorted order — so every float reduction happens in one fixed order
+/// and the scores are bit-identical across build thread counts and
+/// model insertion orders. Ties in the top-k cut break on
+/// `(score desc, SchemaId asc)`.
+pub struct RegistryIndex {
+    config: BlockingConfig,
+    thesaurus: Thesaurus,
+    /// Stable id of each indexed model, by ordinal.
+    ids: Vec<SchemaId>,
+    /// Euclidean norm of each model's idf-weighted term vector.
+    norms: Vec<f64>,
+    postings: BTreeMap<String, Vec<Posting>>,
+}
+
+impl RegistryIndex {
+    /// Build the index over `models` with the builtin thesaurus.
+    pub fn build(models: &[SchemaGraph], config: BlockingConfig) -> RegistryIndex {
+        Self::build_budgeted(models, config, &Budget::unlimited())
+            .expect("unlimited budget never interrupts")
+    }
+
+    /// Build under a cooperative [`Budget`]; tokenisation runs on
+    /// `config.threads` workers, checking the budget per model.
+    pub fn build_budgeted(
+        models: &[SchemaGraph],
+        config: BlockingConfig,
+        budget: &Budget,
+    ) -> Result<RegistryIndex, Interrupt> {
+        let thesaurus = Thesaurus::builtin();
+        let bags = tokenize_models(models, &thesaurus, &config, budget)?;
+
+        let mut postings: BTreeMap<String, Vec<Posting>> = BTreeMap::new();
+        for (ordinal, bag) in bags.iter().enumerate() {
+            budget.check()?;
+            for (term, weight) in bag {
+                postings.entry(term.clone()).or_default().push(Posting {
+                    model: ordinal as u32,
+                    weight: *weight,
+                });
+            }
+        }
+
+        // Model vector norms under idf weighting, accumulated per model
+        // in sorted term order (the bags are BTreeMaps) so they too are
+        // order-independent.
+        let total = models.len();
+        let mut norms = vec![0.0f64; total];
+        for (ordinal, terms) in bags.iter().enumerate() {
+            for (term, weight) in terms {
+                let df = postings.get(term).map_or(0, Vec::len);
+                let w = weight * idf(total, df);
+                norms[ordinal] += w * w;
+            }
+        }
+        for n in &mut norms {
+            *n = n.sqrt();
+        }
+
+        Ok(RegistryIndex {
+            config,
+            thesaurus,
+            ids: models.iter().map(|m| m.id().clone()).collect(),
+            norms,
+            postings,
+        })
+    }
+
+    /// Number of indexed models.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no models are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Distinct canonical tokens in the index.
+    pub fn vocabulary(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Stable id of the model at `ordinal`.
+    pub fn id_of(&self, ordinal: usize) -> &SchemaId {
+        &self.ids[ordinal]
+    }
+
+    /// Configuration the index was built with.
+    pub fn config(&self) -> &BlockingConfig {
+        &self.config
+    }
+
+    /// Top-`k` candidates for `query`, best first.
+    pub fn query(&self, query: &SchemaGraph, k: usize) -> Vec<Candidate> {
+        self.query_budgeted(query, k, &Budget::unlimited())
+            .expect("unlimited budget never interrupts")
+    }
+
+    /// [`RegistryIndex::query`] under a cooperative budget, checked once
+    /// per query term.
+    pub fn query_budgeted(
+        &self,
+        query: &SchemaGraph,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<Candidate>, Interrupt> {
+        let bag = model_terms(query, &self.thesaurus, &self.config);
+        let total = self.ids.len();
+        let mut dots = vec![0.0f64; total];
+        let mut query_norm = 0.0f64;
+        // Iterate the query bag (BTreeMap: sorted term order) over
+        // postings sorted by ordinal: each model's dot product is a sum
+        // in one fixed order, independent of how the index was built.
+        for (term, q_weight) in &bag {
+            budget.check()?;
+            let Some(list) = self.postings.get(term) else {
+                let qw = q_weight * idf(total, 0);
+                query_norm += qw * qw;
+                continue;
+            };
+            let w_idf = idf(total, list.len());
+            let qw = q_weight * w_idf;
+            query_norm += qw * qw;
+            for p in list {
+                dots[p.model as usize] += qw * p.weight * w_idf;
+            }
+        }
+        let query_norm = query_norm.sqrt();
+
+        let mut candidates: Vec<Candidate> = dots
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d > 0.0)
+            .map(|(ordinal, dot)| {
+                let denom = query_norm * self.norms[ordinal];
+                Candidate {
+                    ordinal,
+                    id: self.ids[ordinal].clone(),
+                    score: if denom > 0.0 { dot / denom } else { 0.0 },
+                }
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("cosine scores are finite")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        candidates.truncate(k);
+        Ok(candidates)
+    }
+}
+
+/// Smoothed idf, the same shape `iwb_ling::Corpus` uses:
+/// `ln((1 + N) / (1 + df)) + 1`.
+fn idf(total: usize, df: usize) -> f64 {
+    ((1.0 + total as f64) / (1.0 + df as f64)).ln() + 1.0
+}
+
+/// Tokenise every model into its term bag, in parallel when
+/// `config.threads > 1`. Results land in ordinal-indexed slots, so the
+/// output is identical to the sequential path.
+fn tokenize_models(
+    models: &[SchemaGraph],
+    thesaurus: &Thesaurus,
+    config: &BlockingConfig,
+    budget: &Budget,
+) -> Result<Vec<BTreeMap<String, f64>>, Interrupt> {
+    if config.threads <= 1 || models.len() <= 1 {
+        let mut bags = Vec::with_capacity(models.len());
+        for model in models {
+            budget.check()?;
+            bags.push(model_terms(model, thesaurus, config));
+        }
+        return Ok(bags);
+    }
+
+    let pool = ThreadPool::new(config.threads.min(models.len()));
+    let (tx, rx) = mpsc::channel::<(usize, BTreeMap<String, f64>)>();
+    let tx = Arc::new(Mutex::new(tx));
+    let jobs: Vec<Box<dyn FnOnce() + Send>> = models
+        .iter()
+        .enumerate()
+        .map(|(ordinal, model)| {
+            // The pool requires 'static jobs; clone the graph rather
+            // than smuggling references. Build cost is dominated by
+            // tokenisation, not the clone.
+            let model = model.clone();
+            let thesaurus = thesaurus.clone();
+            let config = config.clone();
+            let tx = Arc::clone(&tx);
+            Box::new(move || {
+                let bag = model_terms(&model, &thesaurus, &config);
+                let _ = tx.lock().expect("bag channel lock").send((ordinal, bag));
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    pool.run_all_budgeted(jobs, budget)?;
+    drop(tx);
+
+    let mut bags = vec![BTreeMap::new(); models.len()];
+    let mut filled = 0usize;
+    while let Ok((ordinal, bag)) = rx.recv() {
+        bags[ordinal] = bag;
+        filled += 1;
+    }
+    debug_assert_eq!(filled, models.len(), "every model tokenised");
+    Ok(bags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn schema(id: &str, table: &str, attrs: &[&str]) -> SchemaGraph {
+        let mut b = SchemaBuilder::new(id, Metamodel::Relational).open(table);
+        for a in attrs {
+            b = b.attr(*a, DataType::Text);
+        }
+        b.close().build()
+    }
+
+    fn registry() -> Vec<SchemaGraph> {
+        vec![
+            schema(
+                "flights",
+                "AIRCRAFT",
+                &["ACFT_TYPE_CD", "TAIL_NUM", "ENGINE_COUNT"],
+            ),
+            schema(
+                "orders",
+                "PURCHASE_ORDER",
+                &["VENDOR_ID", "ORDER_DT", "TOTAL_AMT"],
+            ),
+            schema("people", "EMPLOYEE", &["EMP_NBR", "LAST_NAME", "HIRE_DT"]),
+        ]
+    }
+
+    #[test]
+    fn retrieves_the_obviously_right_model_first() {
+        let models = registry();
+        let index = RegistryIndex::build(&models, BlockingConfig::default());
+        let query = schema("q", "airplane", &["airplaneKindCode", "tailNumber"]);
+        let hits = index.query(&query, 3);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].id.as_str(), "flights", "{hits:?}");
+        assert!(hits[0].score > 0.2, "{hits:?}");
+    }
+
+    #[test]
+    fn scores_are_bounded_and_sorted() {
+        let models = registry();
+        let index = RegistryIndex::build(&models, BlockingConfig::default());
+        let query = schema("q", "EMPLOYEE", &["LAST_NAME", "VENDOR_ID"]);
+        let hits = index.query(&query, 10);
+        for w in hits.windows(2) {
+            assert!(
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].id < w[1].id),
+                "{hits:?}"
+            );
+        }
+        for h in &hits {
+            assert!(h.score > 0.0 && h.score <= 1.0 + 1e-9, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn k_truncates() {
+        let models = registry();
+        let index = RegistryIndex::build(&models, BlockingConfig::default());
+        let query = schema("q", "EMPLOYEE", &["LAST_NAME", "VENDOR_ID", "TAIL_NUM"]);
+        let all = index.query(&query, 10);
+        let one = index.query(&query, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], all[0]);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let models = registry();
+        let seq = RegistryIndex::build(&models, BlockingConfig::default());
+        let par = RegistryIndex::build(
+            &models,
+            BlockingConfig {
+                threads: 4,
+                ..BlockingConfig::default()
+            },
+        );
+        let query = schema("q", "AIRCRAFT", &["ACFT_TYPE_CD", "VENDOR_ID"]);
+        let a = seq.query(&query, 10);
+        let b = par.query(&query, 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ordinal, y.ordinal);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "bit-identical scores");
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_build() {
+        let token = iwb_pool::CancelToken::new();
+        token.cancel();
+        let budget = Budget::new(token, iwb_pool::Deadline::none());
+        let models = registry();
+        let err = RegistryIndex::build_budgeted(&models, BlockingConfig::default(), &budget);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_registry_and_unknown_terms_are_harmless() {
+        let index = RegistryIndex::build(&[], BlockingConfig::default());
+        assert!(index.is_empty());
+        let query = schema("q", "zzz_nothing", &["qqq_unseen"]);
+        assert!(index.query(&query, 5).is_empty());
+
+        let models = registry();
+        let index = RegistryIndex::build(&models, BlockingConfig::default());
+        assert!(index.query(&query, 5).is_empty());
+    }
+}

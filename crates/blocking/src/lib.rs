@@ -1,0 +1,38 @@
+//! # iwb-blocking — registry-scale candidate blocking
+//!
+//! The paper's real workload is a *repository*, not a pair: the DoD
+//! metadata registry holds 265 ER models (Table 1), and the enterprise
+//! question is "which of these registered models matches mine?" (the
+//! MITRE follow-up frames exactly this). Running the full Harmony voter
+//! ensemble against every registered model is quadratic waste; the
+//! tractable shape is multi-stage recommend-then-rerank:
+//!
+//! 1. **Block** — [`RegistryIndex`] holds an inverted token index over
+//!    the canonical schema graphs. Element names and documentation are
+//!    tokenised with the same `iwb-ling` pipeline the voters use
+//!    (identifier splitting, stop words), then *canonicalised* —
+//!    abbreviations expanded (`acft` → `aircraft`), synonym rings
+//!    collapsed to one representative (`vendor`/`supplier`/`seller` →
+//!    one token), Porter-stemmed — so the renames a real integration
+//!    introduces collapse onto the same posting list. Retrieval scores
+//!    candidates by idf-weighted cosine over the postings only: cost is
+//!    proportional to the query's tokens, not the registry's elements.
+//! 2. **Rerank** — [`block_then_rerank`] runs the full
+//!    [`iwb_harmony::HarmonyEngine`] (all voters, merging, flooding)
+//!    only on the top-k survivors, under the caller's cooperative
+//!    [`iwb_pool::Budget`].
+//!
+//! Retrieval is **deterministic**: scores accumulate in token order over
+//! postings sorted by model ordinal, ties break on stable schema ids,
+//! and the result is bit-identical across build thread counts and model
+//! insertion orders (property-tested in `tests/properties.rs`). Blocking
+//! quality is pinned by `bench_registry`, which reports recall of the
+//! exhaustive all-pairs ranking at several k (`BENCH_registry.json`).
+
+pub mod index;
+pub mod pipeline;
+pub mod tokens;
+
+pub use index::{BlockingConfig, Candidate, RegistryIndex};
+pub use pipeline::{block_then_rerank, engine_model_score, BlockRerank, RankedModel};
+pub use tokens::model_terms;

@@ -1,0 +1,151 @@
+//! Block-then-rerank: full Harmony matching on the top-k survivors.
+
+use crate::index::{Candidate, RegistryIndex};
+use iwb_harmony::{HarmonyEngine, ScoreMatrix};
+use iwb_model::{SchemaGraph, SchemaId};
+use iwb_pool::{Budget, Interrupt};
+use std::collections::HashMap;
+
+/// One reranked registry model.
+#[derive(Debug, Clone)]
+pub struct RankedModel {
+    /// Index of the model in the slice the index was built from.
+    pub ordinal: usize,
+    /// The model's stable schema id.
+    pub id: SchemaId,
+    /// First-stage blocking (cosine) score.
+    pub blocking_score: f64,
+    /// Full-engine model-level score (see [`engine_model_score`]).
+    pub engine_score: f64,
+}
+
+/// Result of [`block_then_rerank`].
+#[derive(Debug, Clone)]
+pub struct BlockRerank {
+    /// The blocking stage's top-k cut, best first.
+    pub candidates: Vec<Candidate>,
+    /// The survivors after full-engine scoring, best first
+    /// (`engine_score` desc, id asc).
+    pub ranked: Vec<RankedModel>,
+}
+
+/// Collapse a pairwise element matrix to one model-level relevance
+/// score: the mean over query elements of their best match confidence.
+/// "How well does this registered model cover my schema's elements?" —
+/// 1.0 when every query element has a perfect counterpart, 0.0 when
+/// nothing matches (or the matrix is empty).
+pub fn engine_model_score(matrix: &ScoreMatrix) -> f64 {
+    let rows = matrix.src_ids();
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = rows
+        .iter()
+        .map(|&src| matrix.best_for_src(src).map_or(0.0, |(_, c)| c.value()))
+        .sum();
+    sum / rows.len() as f64
+}
+
+/// Retrieve the top-`k` blocking candidates for `query`, then run the
+/// full Harmony engine on each survivor under `budget`, and rerank by
+/// [`engine_model_score`] (ties on stable id). `models` must be the
+/// slice the index was built from — candidate ordinals address into it.
+///
+/// Cost is `k` engine runs instead of `models.len()`; the budget is
+/// honoured inside blocking (per query term) and inside every engine
+/// run (per shard), so cancellation latency stays bounded by a shard,
+/// not a registry sweep.
+pub fn block_then_rerank(
+    engine: &mut HarmonyEngine,
+    index: &RegistryIndex,
+    models: &[SchemaGraph],
+    query: &SchemaGraph,
+    k: usize,
+    budget: &Budget,
+) -> Result<BlockRerank, Interrupt> {
+    assert_eq!(
+        index.len(),
+        models.len(),
+        "index and model slice must describe the same registry"
+    );
+    let candidates = index.query_budgeted(query, k, budget)?;
+    let locked = HashMap::new();
+    let mut ranked = Vec::with_capacity(candidates.len());
+    for c in &candidates {
+        let result = engine.run_budgeted(query, &models[c.ordinal], &locked, budget)?;
+        ranked.push(RankedModel {
+            ordinal: c.ordinal,
+            id: c.id.clone(),
+            blocking_score: c.score,
+            engine_score: engine_model_score(&result.matrix),
+        });
+    }
+    ranked.sort_by(|a, b| {
+        b.engine_score
+            .partial_cmp(&a.engine_score)
+            .expect("engine scores are finite")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    Ok(BlockRerank { candidates, ranked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::BlockingConfig;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn schema(id: &str, table: &str, attrs: &[&str]) -> SchemaGraph {
+        let mut b = SchemaBuilder::new(id, Metamodel::Relational).open(table);
+        for a in attrs {
+            b = b.attr(*a, DataType::Text);
+        }
+        b.close().build()
+    }
+
+    #[test]
+    fn reranks_the_true_match_to_the_top() {
+        let models = vec![
+            schema("flights", "AIRCRAFT", &["ACFT_TYPE_CD", "TAIL_NUM"]),
+            schema("orders", "PURCHASE_ORDER", &["VENDOR_ID", "ORDER_DT"]),
+            schema("people", "EMPLOYEE", &["EMP_NBR", "LAST_NAME"]),
+        ];
+        let index = RegistryIndex::build(&models, BlockingConfig::default());
+        let query = schema("q", "airplane", &["airplaneTypeCode", "tailNumber"]);
+        let mut engine = HarmonyEngine::default();
+        let out = block_then_rerank(
+            &mut engine,
+            &index,
+            &models,
+            &query,
+            2,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(out.candidates.len() <= 2);
+        assert_eq!(out.ranked.len(), out.candidates.len());
+        assert_eq!(out.ranked[0].id.as_str(), "flights", "{:?}", out.ranked);
+        for w in out.ranked.windows(2) {
+            assert!(w[0].engine_score >= w[1].engine_score);
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_propagates() {
+        let models = vec![schema("a", "T", &["X"]), schema("b", "U", &["Y"])];
+        let index = RegistryIndex::build(&models, BlockingConfig::default());
+        let query = schema("q", "T", &["X"]);
+        let token = iwb_pool::CancelToken::new();
+        token.cancel();
+        let budget = Budget::new(token, iwb_pool::Deadline::none());
+        let mut engine = HarmonyEngine::default();
+        let err = block_then_rerank(&mut engine, &index, &models, &query, 2, &budget);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_query_matrix_scores_zero() {
+        let m = ScoreMatrix::new(vec![], vec![]);
+        assert_eq!(engine_model_score(&m), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Canonical token extraction for blocking.
+//!
+//! Blocking must survive the renames a real integration introduces —
+//! the same perturbations `iwb-registry::perturb` models: synonym
+//! substitution, DBA abbreviations, naming-convention flips, dropped
+//! documentation. Each raw token is therefore *canonicalised* before it
+//! reaches the index: abbreviation-expanded, collapsed to one stable
+//! representative of its synonym ring, and stemmed. `ACFT_TYPE_CD` and
+//! `airplaneKindCode` then meet on the same posting lists.
+
+use crate::index::BlockingConfig;
+use iwb_ling::{is_stopword, porter_stem, split_identifier, tokenize_prose, Thesaurus};
+use iwb_model::{ElementKind, SchemaGraph};
+use std::collections::BTreeMap;
+
+/// The element kinds whose names feed the index — the same set the
+/// match engine scores (see `iwb_harmony::matrix::is_matchable`), so a
+/// blocking hit always has something for the reranker to work with.
+fn is_indexed(kind: ElementKind) -> bool {
+    matches!(
+        kind,
+        ElementKind::Table
+            | ElementKind::Entity
+            | ElementKind::Relationship
+            | ElementKind::XmlElement
+            | ElementKind::Attribute
+            | ElementKind::Domain
+    )
+}
+
+/// Canonicalise one raw lowercase token per the configuration; `None`
+/// for stop words and tokens that normalise to nothing.
+pub fn canonical_token(
+    raw: &str,
+    thesaurus: &Thesaurus,
+    config: &BlockingConfig,
+) -> Option<String> {
+    if raw.is_empty() || is_stopword(raw) {
+        return None;
+    }
+    let expanded = if config.expand_abbreviations {
+        thesaurus.expand(raw)
+    } else {
+        raw
+    };
+    let canonical = if config.collapse_synonyms {
+        // The lexicographically-least ring member is a stable choice
+        // that both sides of any rename agree on.
+        thesaurus
+            .synonyms(expanded)
+            .into_iter()
+            .min()
+            .unwrap_or(expanded)
+    } else {
+        expanded
+    };
+    Some(if config.stem {
+        porter_stem(canonical)
+    } else {
+        canonical.to_owned()
+    })
+}
+
+/// The weighted term bag of one schema graph: canonical token →
+/// accumulated weight (name tokens weigh 1, documentation tokens
+/// [`BlockingConfig::doc_weight`]). A `BTreeMap` so every later float
+/// reduction runs in term order, independent of build order or thread
+/// count.
+pub fn model_terms(
+    graph: &SchemaGraph,
+    thesaurus: &Thesaurus,
+    config: &BlockingConfig,
+) -> BTreeMap<String, f64> {
+    let mut terms: BTreeMap<String, f64> = BTreeMap::new();
+    let mut add = |raw: &str, weight: f64| {
+        if let Some(t) = canonical_token(raw, thesaurus, config) {
+            *terms.entry(t).or_insert(0.0) += weight;
+        }
+    };
+    for (_, el) in graph.iter() {
+        if !is_indexed(el.kind) {
+            continue;
+        }
+        for tok in split_identifier(&el.name) {
+            add(&tok, 1.0);
+        }
+        if config.doc_weight > 0.0 {
+            if let Some(doc) = &el.documentation {
+                for tok in tokenize_prose(doc) {
+                    add(&tok, config.doc_weight);
+                }
+            }
+        }
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::{DataType, Metamodel, SchemaBuilder};
+
+    fn config() -> BlockingConfig {
+        BlockingConfig::default()
+    }
+
+    #[test]
+    fn abbreviations_and_synonyms_collapse() {
+        let th = Thesaurus::builtin();
+        let cfg = config();
+        // acft → aircraft → ring {aircraft, airplane, plane, airframe}
+        // → min "aircraft" → stem.
+        let a = canonical_token("acft", &th, &cfg).unwrap();
+        let b = canonical_token("airplane", &th, &cfg).unwrap();
+        let c = canonical_token("aircraft", &th, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        // vendor/supplier land on one representative too.
+        assert_eq!(
+            canonical_token("vendor", &th, &cfg),
+            canonical_token("supplier", &th, &cfg)
+        );
+    }
+
+    #[test]
+    fn stopwords_vanish() {
+        let th = Thesaurus::builtin();
+        assert_eq!(canonical_token("the", &th, &config()), None);
+        assert_eq!(canonical_token("", &th, &config()), None);
+    }
+
+    #[test]
+    fn stemming_unifies_inflections() {
+        let th = Thesaurus::builtin();
+        let cfg = config();
+        assert_eq!(
+            canonical_token("shipping", &th, &cfg),
+            canonical_token("shipped", &th, &cfg)
+        );
+    }
+
+    #[test]
+    fn term_bag_weights_names_over_docs() {
+        let g = SchemaBuilder::new("s", Metamodel::Relational)
+            .open("CUSTOMER")
+            .attr_doc("CUST_ID", DataType::Integer, "Unique zorblat of record.")
+            .close()
+            .build();
+        let th = Thesaurus::builtin();
+        let terms = model_terms(&g, &th, &config());
+        // "customer" appears as a name token (weight 1) and via the
+        // cust abbreviation; "zorblat" only in documentation (0.25).
+        let name_w = terms
+            .get(&canonical_token("customer", &th, &config()).unwrap())
+            .copied()
+            .unwrap_or(0.0);
+        let doc_w = terms.get("zorblat").copied().unwrap_or(0.0);
+        assert!(name_w >= 1.0, "{terms:?}");
+        assert!((doc_w - 0.25).abs() < 1e-12, "{terms:?}");
+    }
+
+    #[test]
+    fn renamed_schemas_share_most_terms() {
+        let th = Thesaurus::builtin();
+        let cfg = config();
+        let a = SchemaBuilder::new("a", Metamodel::Relational)
+            .open("VENDOR")
+            .attr("ACFT_TYPE_CD", DataType::Text)
+            .close()
+            .build();
+        let b = SchemaBuilder::new("b", Metamodel::Relational)
+            .open("supplier")
+            .attr("airplaneKindCode", DataType::Text)
+            .close()
+            .build();
+        let ta = model_terms(&a, &th, &cfg);
+        let tb = model_terms(&b, &th, &cfg);
+        let shared = ta.keys().filter(|k| tb.contains_key(*k)).count();
+        assert!(shared >= 3, "{ta:?} vs {tb:?}");
+    }
+}

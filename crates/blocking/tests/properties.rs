@@ -1,0 +1,115 @@
+//! Property tests for the inverted registry index — the determinism
+//! contract the crate docs promise:
+//!
+//! 1. retrieval is identical across build thread counts,
+//! 2. retrieval is invariant under model insertion order
+//!    (posting-list permutation), and
+//! 3. recall@k against the exhaustive cosine ranking is monotone
+//!    non-decreasing in k (top-k is a prefix of top-(k+1)).
+
+use iwb_blocking::{BlockingConfig, Candidate, RegistryIndex};
+use iwb_model::SchemaGraph;
+use iwb_registry::{generate_registry, GeneratorConfig};
+use proptest::prelude::*;
+
+/// A small seeded registry (≈ `265 · scale` models).
+fn registry(seed: u64, scale: f64) -> Vec<SchemaGraph> {
+    generate_registry(GeneratorConfig::scaled(seed, scale)).models
+}
+
+/// A single seeded model to use as the query schema.
+fn query_schema(seed: u64) -> SchemaGraph {
+    registry(seed, 0.004).pop().unwrap()
+}
+
+fn assert_same_candidates(a: &[Candidate], b: &[Candidate]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "scores must be bit-identical: {x:?} vs {y:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Build thread count never changes what a query returns — not
+    /// even the last bit of a score.
+    #[test]
+    fn retrieval_identical_across_thread_counts(
+        seed in 0u64..1000,
+        threads in 2usize..6,
+        k in 1usize..6,
+    ) {
+        let models = registry(seed, 0.012);
+        let query = query_schema(seed.wrapping_add(7919));
+        let seq = RegistryIndex::build(&models, BlockingConfig::default());
+        let par = RegistryIndex::build(
+            &models,
+            BlockingConfig { threads, ..BlockingConfig::default() },
+        );
+        let a = seq.query(&query, k);
+        let b = par.query(&query, k);
+        assert_same_candidates(&a, &b);
+    }
+
+    /// Permuting the order models are fed to the builder permutes
+    /// ordinals but leaves the retrieved (id, score) ranking
+    /// bit-identical: postings accumulate in token order, not
+    /// insertion order.
+    #[test]
+    fn retrieval_invariant_under_insertion_order(
+        seed in 0u64..1000,
+        rot in 1usize..7,
+        k in 1usize..8,
+    ) {
+        let models = registry(seed, 0.012);
+        let mut rotated = models.clone();
+        let len = rotated.len();
+        rotated.rotate_left(rot % len.max(1));
+        let query = query_schema(seed.wrapping_add(104_729));
+        let a = RegistryIndex::build(&models, BlockingConfig::default())
+            .query(&query, k);
+        let b = RegistryIndex::build(&rotated, BlockingConfig::default())
+            .query(&query, k);
+        assert_same_candidates(&a, &b);
+    }
+
+    /// recall@k against the exhaustive ranking is monotone
+    /// non-decreasing in k, and top-k is a prefix of the exhaustive
+    /// ranking.
+    #[test]
+    fn recall_at_k_is_monotone(seed in 0u64..1000) {
+        let models = registry(seed, 0.016);
+        let query = query_schema(seed.wrapping_add(1_299_709));
+        let index = RegistryIndex::build(&models, BlockingConfig::default());
+        let full = index.query(&query, models.len());
+        let mut prev_recall = 0.0f64;
+        for k in 1..=models.len() {
+            let top = index.query(&query, k);
+            // Prefix property: top-k is exactly the first k of the
+            // full ranking.
+            prop_assert_eq!(top.len(), full.len().min(k));
+            for (x, y) in top.iter().zip(&full) {
+                prop_assert_eq!(&x.id, &y.id);
+            }
+            let recall = if full.is_empty() {
+                1.0
+            } else {
+                let hit = full
+                    .iter()
+                    .take(k)
+                    .filter(|c| top.iter().any(|t| t.id == c.id))
+                    .count();
+                hit as f64 / full.len().min(k) as f64
+            };
+            prop_assert!(recall + 1e-12 >= prev_recall,
+                "recall@{} = {} dropped below {}", k, recall, prev_recall);
+            prev_recall = recall;
+        }
+    }
+}

@@ -84,6 +84,7 @@ impl WorkbenchManager {
         m.register(crate::tools::HarmonyTool::new());
         m.register(crate::tools::MapperTool::new());
         m.register(crate::tools::CodegenTool::new());
+        m.register(crate::tools::BlockingTool::new());
         m.initialize_all();
         m
     }
@@ -248,7 +249,7 @@ mod tests {
     }
 
     #[test]
-    fn builtin_workbench_registers_four_tools() {
+    fn builtin_workbench_registers_the_tool_roster() {
         let m = WorkbenchManager::with_builtin_tools();
         assert_eq!(
             m.tool_names(),
@@ -256,7 +257,8 @@ mod tests {
                 "schema-loader",
                 "harmony",
                 "aqualogic-mapper",
-                "xquery-codegen"
+                "xquery-codegen",
+                "blocking"
             ]
         );
         assert!(m.trace().iter().any(|t| t.contains("subscribes")));

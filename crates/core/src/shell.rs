@@ -11,6 +11,9 @@
 //! match <source> <target> [subtree <path>]   # task 3 (automatic)
 //! match-config [threads <n>] [cache on|off] [timeout <ms>]
 //!                                             # engine parallelism/cache/deadline knobs
+//! index-registry [seed <n>] [scale <f>] [threads <n>]
+//!                                             # build the candidate index (no seed: blackboard)
+//! find-candidates <query> [k] [rerank]        # top-k candidate models for a schema
 //! accept <source> <target> <row> <col>       # task 3 (manual)
 //! reject <source> <target> <row> <col>
 //! bind <source> <target> <row> <variable>    # mapping
@@ -157,6 +160,41 @@ impl Shell {
                 }
                 Ok(self.invoke_tool("harmony", tool_args)?.output)
             }
+            ["index-registry", rest @ ..] => {
+                let mut tool_args = ToolArgs::new().with("action", "index");
+                let mut it = rest.iter();
+                while let Some(key) = it.next() {
+                    let value = it.next().ok_or_else(|| {
+                        ToolError::Failed(
+                            "usage: index-registry [seed <n>] [scale <f>] [threads <n>]".into(),
+                        )
+                    })?;
+                    match *key {
+                        "seed" | "scale" | "threads" => tool_args = tool_args.with(*key, *value),
+                        other => {
+                            return Err(ToolError::Failed(format!(
+                                "unknown index-registry key {other:?} (seed, scale, threads)"
+                            )))
+                        }
+                    }
+                }
+                Ok(self.invoke_tool("blocking", tool_args)?.output)
+            }
+            ["find-candidates", query, rest @ ..] => {
+                let mut tool_args = ToolArgs::new().with("action", "find").with("query", *query);
+                for word in rest {
+                    match *word {
+                        "rerank" => tool_args = tool_args.with("rerank", "on"),
+                        k if k.parse::<usize>().is_ok() => tool_args = tool_args.with("k", k),
+                        other => {
+                            return Err(ToolError::Failed(format!(
+                                "usage: find-candidates <query> [k] [rerank] — got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(self.invoke_tool("blocking", tool_args)?.output)
+            }
             [action @ ("accept" | "reject"), source, target, row, col] => {
                 let report = self.invoke_tool(
                     "harmony",
@@ -290,7 +328,20 @@ pub fn mutates(line: &str) -> bool {
         // `match-config` mutates no matrix, but it changes engine state
         // that later `match` commands depend on — replaying it keeps a
         // recovered session's configuration (and thus timing) faithful.
-        "load" | "match" | "match-config" | "accept" | "reject" | "bind" | "code" | "generate"
+        // `index-registry` is the same shape: it writes no blackboard
+        // state but later `find-candidates` depend on the index, and
+        // replaying it rebuilds the index deterministically (seeded
+        // generation, order-invariant build). `find-candidates` itself
+        // is a pure read and stays out of the journal.
+        "load"
+            | "match"
+            | "match-config"
+            | "index-registry"
+            | "accept"
+            | "reject"
+            | "bind"
+            | "code"
+            | "generate"
     )
 }
 
@@ -482,6 +533,7 @@ show coverage
             "load er po <<EOF",
             "match a b",
             "match-config threads 4",
+            "index-registry seed 7 scale 0.01",
             "accept a b r c",
             "reject a b r c",
             "bind a b r v",
@@ -490,9 +542,58 @@ show coverage
         ] {
             assert!(mutates(cmd), "{cmd} should mutate");
         }
-        for cmd in ["show coverage", "query ? ? ?", "export", "", "# note"] {
+        for cmd in [
+            "show coverage",
+            "query ? ? ?",
+            "export",
+            "",
+            "# note",
+            // Pure read: replay rebuilds the index from the journaled
+            // `index-registry` line, so the query itself is not logged.
+            "find-candidates q 5",
+        ] {
             assert!(!mutates(cmd), "{cmd} should not mutate");
         }
+    }
+
+    #[test]
+    fn index_registry_and_find_candidates_round_trip() {
+        let mut shell = Shell::new();
+        let load = shell.run_on(
+            "load er q <<EOF\nentity VENDOR { vendor_id : text }\nEOF\n\
+             load er other <<EOF\nentity EMPLOYEE { emp_nbr : text }\nEOF\n",
+        );
+        assert_eq!(load.errors, 0, "{}", load.transcript);
+        // No seed: index the blackboard's own schemas.
+        let indexed = shell.execute("index-registry", None).unwrap();
+        assert!(indexed.contains("blackboard snapshot"), "{indexed}");
+        let found = shell.execute("find-candidates q 1", None).unwrap();
+        assert!(found.contains("top-1, blocking only"), "{found}");
+        // The query schema itself is its own best candidate.
+        assert!(found.contains("1. q"), "{found}");
+        let reranked = shell.execute("find-candidates q 2 rerank", None).unwrap();
+        assert!(reranked.contains("reranked by full engine"), "{reranked}");
+    }
+
+    #[test]
+    fn index_registry_generates_a_seeded_repository() {
+        let mut shell = Shell::new();
+        let load = shell.run_on("load er q <<EOF\nentity AIRCRAFT { acft_cd : text }\nEOF\n");
+        assert_eq!(load.errors, 0, "{}", load.transcript);
+        let indexed = shell
+            .execute("index-registry seed 7 scale 0.02", None)
+            .unwrap();
+        assert!(indexed.contains("generated registry (seed 7"), "{indexed}");
+        let found = shell.execute("find-candidates q 3", None).unwrap();
+        assert!(found.contains("candidate(s) for q"), "{found}");
+        let err = shell.execute("index-registry seed", None).unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+        let err = shell.execute("index-registry epoch 9", None).unwrap_err();
+        assert!(err.to_string().contains("unknown index-registry key"));
+        let err = shell
+            .execute("find-candidates q sideways", None)
+            .unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
     }
 
     #[test]

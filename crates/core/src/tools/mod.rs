@@ -7,13 +7,18 @@
 //!   AquaLogic: binds row variables, sets column code, and proposes
 //!   candidate transformations when correspondences appear;
 //! * [`CodegenTool`] — assembles per-column code into the whole-matrix
-//!   XQuery (Clio-style).
+//!   XQuery (Clio-style);
+//! * [`BlockingTool`] — registry-scale candidate retrieval: indexes a
+//!   model repository and narrows matching to the top-k candidates
+//!   before the full engine runs (recommend-then-rerank).
 
+mod blocking_tool;
 mod codegen;
 mod harmony_tool;
 mod loader_tool;
 mod mapper_tool;
 
+pub use blocking_tool::BlockingTool;
 pub use codegen::CodegenTool;
 pub use harmony_tool::HarmonyTool;
 pub use loader_tool::LoaderTool;

@@ -42,24 +42,51 @@ const MAX_TEXT: usize = 16;
 /// Content fingerprint of a schema graph: covers identity, metamodel,
 /// every element (kind, name, type, documentation, annotations), and
 /// all containment and cross edges. Deterministic within a process.
+///
+/// Hashes element fields directly — no `format!("{el:?}")` rendering.
+/// The fingerprint runs on **every** engine invocation (it is the cache
+/// key), so a warm lookup must cost hashing, not a Debug-string
+/// allocation per element; the allocating version made warm runs
+/// slower than cold ones on large schemas (`cache_speedup` < 1 in
+/// `BENCH_match.json`).
 pub fn fingerprint(graph: &SchemaGraph) -> u64 {
     let mut h = DefaultHasher::new();
     graph.id().hash(&mut h);
-    format!("{:?}", graph.metamodel()).hash(&mut h);
+    graph.metamodel().hash(&mut h);
     graph.len().hash(&mut h);
     for (id, el) in graph.iter() {
         id.hash(&mut h);
-        // Debug form covers kind, name, data type, documentation, and
-        // annotations in one deterministic rendering.
-        format!("{el:?}").hash(&mut h);
+        el.kind.hash(&mut h);
+        el.name.hash(&mut h);
+        el.data_type.hash(&mut h);
+        el.documentation.hash(&mut h);
+        // Annotations hold f64 values (no Hash derive); hash the raw
+        // bits — fingerprint equality wants bit-identity anyway.
+        for (key, value) in el.annotations.iter() {
+            key.hash(&mut h);
+            match value {
+                iwb_model::AnnotationValue::Text(s) => {
+                    0u8.hash(&mut h);
+                    s.hash(&mut h);
+                }
+                iwb_model::AnnotationValue::Number(n) => {
+                    1u8.hash(&mut h);
+                    n.to_bits().hash(&mut h);
+                }
+                iwb_model::AnnotationValue::Flag(b) => {
+                    2u8.hash(&mut h);
+                    b.hash(&mut h);
+                }
+            }
+        }
         if let Some((kind, parent)) = graph.parent(id) {
-            format!("{kind:?}").hash(&mut h);
+            kind.hash(&mut h);
             parent.hash(&mut h);
         }
     }
     for e in graph.cross_edges() {
         e.from.hash(&mut h);
-        format!("{:?}", e.kind).hash(&mut h);
+        e.kind.hash(&mut h);
         e.to.hash(&mut h);
     }
     h.finish()
@@ -72,7 +99,12 @@ pub struct CacheStats {
     pub context_hits: u64,
     /// Contexts built from scratch (or from cached text features).
     pub context_misses: u64,
-    /// Per-schema text feature sets served from cache.
+    /// Per-schema text feature sets served from cache — directly from
+    /// the text level, or transitively via a context-level hit (a
+    /// cached context embeds both schemas' text features, so a context
+    /// hit counts two text hits; without this, a warm re-run of the
+    /// same pair reports `text_hit_rate = 0` while reusing every text
+    /// feature).
     pub text_hits: u64,
     /// Per-schema text feature sets computed.
     pub text_misses: u64,
@@ -144,6 +176,10 @@ impl FeatureCache {
         let key = (fingerprint(source), fingerprint(target), epoch);
         if let Some(ctx) = self.contexts.get(&key) {
             self.stats.context_hits += 1;
+            // The cached context carries both schemas' text features;
+            // count them as served so the text level reflects reuse on
+            // warm same-pair re-runs (the dominant §4.3 workload).
+            self.stats.text_hits += 2;
             return Arc::clone(ctx);
         }
         self.stats.context_misses += 1;
@@ -235,6 +271,37 @@ mod tests {
         assert_eq!(stats.context_misses, 2);
         assert_eq!(stats.text_hits, 1);
         assert_eq!(stats.text_misses, 3);
+    }
+
+    #[test]
+    fn context_hits_count_transitive_text_hits() {
+        let s = schema("s", "x");
+        let t = schema("t", "y");
+        let th = Arc::new(Thesaurus::builtin());
+        let mut cache = FeatureCache::new();
+        let build = |src: Arc<SchemaGraph>,
+                     tgt: Arc<SchemaGraph>,
+                     st: HashMap<ElementId, Arc<TextFeatures>>,
+                     tt: HashMap<ElementId, Arc<TextFeatures>>| {
+            MatchContext::from_parts(
+                src,
+                tgt,
+                Arc::new(Thesaurus::builtin()),
+                iwb_ling::Corpus::new(),
+                st,
+                tt,
+            )
+        };
+        cache.context(&s, &t, &th, 0, build);
+        assert_eq!(cache.stats().text_hits, 0);
+        assert_eq!(cache.stats().text_misses, 2);
+        // Warm re-run: the context hit serves both schemas' text
+        // features, so the text level must not report a 0% hit rate.
+        cache.context(&s, &t, &th, 0, build);
+        let stats = cache.stats();
+        assert_eq!(stats.context_hits, 1);
+        assert_eq!(stats.text_hits, 2);
+        assert!(stats.text_hit_rate() > 0.0);
     }
 
     #[test]

@@ -18,6 +18,12 @@ use iwb_model::{DataType, ElementId, Metamodel, SchemaBuilder, SchemaGraph};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global, so concurrently running
+/// tests contaminate each other's measurements; each test holds this
+/// for its whole body.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -73,6 +79,7 @@ fn flat_schema(name: &str, entities: usize) -> SchemaGraph {
 
 #[test]
 fn warm_engine_run_allocates_less_than_one_block_per_pair() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let source = flat_schema("src", 12);
     let target = flat_schema("tgt", 12);
     let mut engine = HarmonyEngine::new(
@@ -111,6 +118,7 @@ fn warm_engine_run_allocates_less_than_one_block_per_pair() {
 
 #[test]
 fn allocations_stay_flat_when_pairs_quadruple() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // Doubling both sides quadruples the pair count; the framework's
     // per-run allocation count must stay nearly flat (slab vectors and
     // result matrices scale in *size*, not in *count*).

@@ -38,6 +38,11 @@ pub struct GeneratorConfig {
     pub attribute_def_words: f64,
     /// Mean words per domain-value definition.
     pub domain_def_words: f64,
+    /// Model-size skew exponent. Per-model budget weights are drawn as
+    /// `u^skew` with `u ~ U(0.1, 1)`: `2.0` (the default) reproduces
+    /// the mild few-huge/many-small shape of the DoD registry; higher
+    /// values concentrate elements in fewer models, `0.0` is uniform.
+    pub skew: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -55,6 +60,7 @@ impl Default for GeneratorConfig {
             element_def_words: 11.1,
             attribute_def_words: 16.4,
             domain_def_words: 3.68,
+            skew: 2.0,
         }
     }
 }
@@ -132,12 +138,12 @@ pub fn generate_registry(config: GeneratorConfig) -> Registry {
 
     // Distribute budgets across models with mild skew (real registries
     // have a few huge models and many small ones).
-    let element_budget = split_budget(&mut rng, config.elements, config.models);
+    let element_budget = split_budget(&mut rng, config.elements, config.models, config.skew);
     // ~15% of elements are relationships, which carry no attributes, so
     // the per-entity budget is inflated accordingly to hit the total.
     let attr_per_element =
         config.attributes as f64 / (config.elements.max(1) as f64 * (1.0 - RELATIONSHIP_RATE));
-    let values_per_model = split_budget(&mut rng, config.domain_values, config.models);
+    let values_per_model = split_budget(&mut rng, config.domain_values, config.models, config.skew);
 
     for m in 0..config.models {
         let name = format!(
@@ -268,8 +274,13 @@ pub fn generate_registry(config: GeneratorConfig) -> Registry {
     Registry { config, models }
 }
 
-/// Split `total` into `parts` positive shares with mild skew.
-fn split_budget(rng: &mut StdRng, total: usize, parts: usize) -> Vec<usize> {
+/// Split `total` into `parts` positive shares, skewed by `u^skew`.
+///
+/// The default `skew = 2.0` goes through `powi` so it stays bitwise
+/// identical to the historical `u * u` draw — seeded registries (and
+/// everything pinned on them) do not shift when only the exponent's
+/// representation changes.
+fn split_budget(rng: &mut StdRng, total: usize, parts: usize, skew: f64) -> Vec<usize> {
     if parts == 0 {
         return Vec::new();
     }
@@ -277,7 +288,11 @@ fn split_budget(rng: &mut StdRng, total: usize, parts: usize) -> Vec<usize> {
         .map(|_| {
             // Log-uniform-ish skew: a few big, many small.
             let u: f64 = rng.gen_range(0.1..1.0);
-            u * u
+            if skew == 2.0 {
+                u.powi(2)
+            } else {
+                u.powf(skew)
+            }
         })
         .collect();
     let sum: f64 = weights.iter().sum();

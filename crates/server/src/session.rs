@@ -926,6 +926,53 @@ mod tests {
     }
 
     #[test]
+    fn recovery_replays_index_registry_and_serves_candidates() {
+        let dir = std::env::temp_dir().join(format!("iwb-reg-blocking-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = JournalConfig::new(&dir);
+        let none = FaultPlan::none();
+        let stats = ServerStats::new();
+
+        let reg = SessionRegistry::new(4, Duration::from_secs(60)).with_journal(config.clone());
+        let s = reg.create(Some("blocker")).unwrap();
+        let load = exec(
+            &s,
+            "load er q",
+            Some("entity VENDOR { vendor_id : text }\n"),
+            &none,
+            &stats,
+        );
+        assert!(matches!(load, ExecOutcome::Output(_)), "{load:?}");
+        let indexed = exec(&s, "index-registry seed 7 scale 0.02", None, &none, &stats);
+        assert!(matches!(indexed, ExecOutcome::Output(_)), "{indexed:?}");
+        let before = match exec(&s, "find-candidates q 3", None, &none, &stats) {
+            ExecOutcome::Output(out) => out,
+            other => panic!("{other:?}"),
+        };
+        drop(reg); // simulated crash
+
+        let fresh = SessionRegistry::new(4, Duration::from_secs(60)).with_journal(config);
+        let report = fresh.recover(&stats).unwrap();
+        // Both the load and the index build replay; the read-only
+        // `find-candidates` was never journaled.
+        assert_eq!(
+            (report.sessions, report.replayed, report.replay_errors),
+            (1, 2, 0),
+            "{report:?}"
+        );
+        let recovered = fresh.get("blocker").expect("session recovered");
+        let after = match exec(&recovered, "find-candidates q 3", None, &none, &stats) {
+            ExecOutcome::Output(out) => out,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            before, after,
+            "replayed index must rank candidates identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn closing_a_journaled_session_deletes_its_file() {
         let dir = std::env::temp_dir().join(format!("iwb-reg-close-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

@@ -278,11 +278,15 @@ fn oversized_lines_and_heredocs_get_a_clean_protocol_error() {
         raw.write_all(b"session new fat\n").unwrap();
         assert!(read_reply(&mut reader).unwrap().0);
         raw.write_all(b"load er blob <<EOF\n").unwrap();
-        for _ in 0..16 {
+        // Write exactly enough body to trip the 256-byte cap (6 x 50-byte
+        // lines = 300) and nothing after it: the server replies and closes
+        // as soon as the cap is exceeded, and any bytes still unread (or
+        // still being written) at that point would turn the close into an
+        // RST that races with — and can discard — the error reply.
+        for _ in 0..6 {
             raw.write_all(b"entity Filler { ffffffffffffffffffffffff : text }\n")
                 .unwrap();
         }
-        raw.write_all(b"EOF\n").unwrap();
         raw.flush().unwrap();
         let (ok, body) = read_reply(&mut reader).unwrap();
         assert!(!ok);

@@ -32,10 +32,21 @@ cargo test -q --offline -p iwb-loaders --test adversarial
 echo "== determinism suite (byte-identical engine across threads/cache)"
 cargo test -q --offline -p iwb-harmony --test determinism
 
-echo "== bench_match smoke (byte-identity + speedup floor, quick workload)"
+echo "== blocking property suite (thread/order invariance, recall monotonicity)"
+cargo test -q --offline -p iwb-blocking --test properties
+
+echo "== registry Table-1 calibration suite (counts, doc rates, seeded determinism)"
+cargo test -q --offline -p iwb-registry --test table1_calibration
+
+echo "== bench_match smoke (byte-identity + warm-cache text hits, quick workload)"
 cargo run -q --release --offline -p iwb-bench --bin bench_match -- \
-    --quick --out target/BENCH_match_quick.json
+    --quick --strict --out target/BENCH_match_quick.json
 grep -q '"byte_identical": true' target/BENCH_match_quick.json
+
+echo "== bench_registry smoke (blocking recall vs exhaustive engine, quick workload)"
+cargo run -q --release --offline -p iwb-bench --bin bench_registry -- \
+    --quick --out target/BENCH_registry_quick.json
+grep -q '"recall_at_default_k": 1.000' target/BENCH_registry_quick.json
 
 echo "== bench_server cancel-storm smoke (cancel latency, shed rate, zero leakage)"
 cargo run -q --release --offline -p iwb-bench --bin bench_server -- \

@@ -49,6 +49,24 @@ struct Posting {
     weight: f64,
 }
 
+/// The serialisable decomposition of a [`RegistryIndex`]: everything
+/// the expensive build produced (canonical tokens, posting lists, model
+/// norms), minus the builtin thesaurus. Produced by
+/// [`RegistryIndex::to_parts`], consumed by [`RegistryIndex::from_parts`]
+/// and the `iwb-store` snapshot codec.
+#[derive(Debug, Clone)]
+pub struct IndexParts {
+    /// Configuration the index was built with.
+    pub config: BlockingConfig,
+    /// Stable id of each indexed model, by ordinal.
+    pub ids: Vec<SchemaId>,
+    /// Euclidean norm of each model's idf-weighted term vector.
+    pub norms: Vec<f64>,
+    /// Posting lists by canonical token: `(model ordinal, weight)`,
+    /// sorted by token (the `BTreeMap` iteration order).
+    pub postings: Vec<(String, Vec<(u32, f64)>)>,
+}
+
 /// A retrieved candidate: the model's position in the indexed slice,
 /// its stable id, and the idf-weighted cosine similarity to the query.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +173,52 @@ impl RegistryIndex {
     /// Configuration the index was built with.
     pub fn config(&self) -> &BlockingConfig {
         &self.config
+    }
+
+    /// Decompose the index into its serialisable parts (the snapshot
+    /// codec's view). The thesaurus is not part of the decomposition:
+    /// it is the builtin one, restored by [`RegistryIndex::from_parts`].
+    pub fn to_parts(&self) -> IndexParts {
+        IndexParts {
+            config: self.config.clone(),
+            ids: self.ids.clone(),
+            norms: self.norms.clone(),
+            postings: self
+                .postings
+                .iter()
+                .map(|(term, list)| {
+                    (
+                        term.clone(),
+                        list.iter().map(|p| (p.model, p.weight)).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Reassemble an index from [`RegistryIndex::to_parts`] output. The
+    /// round-trip is exact: postings, norms, and ids carry the same
+    /// bits, so queries against the rebuilt index are bit-identical to
+    /// queries against the original.
+    pub fn from_parts(parts: IndexParts) -> RegistryIndex {
+        RegistryIndex {
+            config: parts.config,
+            thesaurus: Thesaurus::builtin(),
+            ids: parts.ids,
+            norms: parts.norms,
+            postings: parts
+                .postings
+                .into_iter()
+                .map(|(term, list)| {
+                    (
+                        term,
+                        list.into_iter()
+                            .map(|(model, weight)| Posting { model, weight })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// Top-`k` candidates for `query`, best first.

@@ -33,6 +33,6 @@ pub mod index;
 pub mod pipeline;
 pub mod tokens;
 
-pub use index::{BlockingConfig, Candidate, RegistryIndex};
+pub use index::{BlockingConfig, Candidate, IndexParts, RegistryIndex};
 pub use pipeline::{block_then_rerank, engine_model_score, BlockRerank, RankedModel};
 pub use tokens::model_terms;

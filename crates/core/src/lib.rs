@@ -37,6 +37,7 @@ pub mod event;
 pub mod library;
 pub mod manager;
 pub mod matrix;
+pub mod persist;
 pub mod provenance;
 pub mod shell;
 pub mod taskmodel;

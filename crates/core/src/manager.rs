@@ -135,6 +135,18 @@ impl WorkbenchManager {
         self.tools.iter().map(|t| t.name()).collect()
     }
 
+    /// Typed mutable access to a registered tool, for hosts that
+    /// capture or prime tool state around persistence. Returns `None`
+    /// when no tool has that name, the tool did not opt in via
+    /// [`WorkbenchTool::as_any_mut`], or the concrete type differs.
+    pub fn tool_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        self.tools
+            .iter_mut()
+            .find(|t| t.name() == name)?
+            .as_any_mut()?
+            .downcast_mut::<T>()
+    }
+
     /// The session trace accumulated so far (registration,
     /// initialisation, every invocation and event delivery).
     pub fn trace(&self) -> &[String] {

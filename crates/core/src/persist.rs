@@ -1,0 +1,312 @@
+//! Capture and prime workbench state around persistence.
+//!
+//! The `iwb-store` snapshot format persists three hot artifact
+//! families: schema graphs with their text features, Harmony match
+//! results, and the blocking inverted index. This module is the bridge
+//! between a live [`Shell`] and those artifacts:
+//!
+//! * [`capture`] pulls the persistable state out of a shell (cheap
+//!   clones — safe to call synchronously in a command path);
+//! * [`prime_artifacts`] loads persisted match results and the blocking
+//!   index into a *fresh* shell **before** journal replay — both are
+//!   content-keyed, so replayed commands recognise and reuse them, and
+//!   the `SchemaGraph` events replay emits cannot wipe them;
+//! * [`prime_features`] loads persisted text features **after** replay
+//!   — replayed `load` commands emit `SchemaGraph` events that clear
+//!   the engine's feature cache, so priming earlier would be undone.
+//!
+//! Recovery order is therefore: `prime_artifacts` → replay the journal
+//! → `prime_features`. Every prime is advisory: a key or fingerprint
+//! that no longer matches simply leaves the engine on its cold path,
+//! which recomputes the identical answer (the determinism suites prove
+//! bit-equality between the warm and cold paths).
+
+use crate::shell::Shell;
+use crate::tools::{BlockingTool, HarmonyTool};
+use iwb_harmony::TextFeatures;
+use iwb_model::{ElementId, SchemaGraph, SchemaId};
+use iwb_store::{
+    blocking_artifact_key, stable_schema_fp, BlockingArtifact, CommandRecord, MatchArtifact,
+    SessionSnapshot,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The persistable workbench state of one session — the artifact
+/// fields of a [`SessionSnapshot`], without the host-owned identity
+/// (session id, journal watermark, command prefix).
+#[derive(Default)]
+pub struct SessionState {
+    /// Schema graphs on the blackboard, in sorted-id order (the
+    /// snapshot image must not depend on load history).
+    pub schemas: Vec<SchemaGraph>,
+    /// Exported engine text features per schema.
+    pub features: Vec<(SchemaId, HashMap<ElementId, Arc<TextFeatures>>)>,
+    /// Content-keyed match results.
+    pub matches: Vec<MatchArtifact>,
+    /// The blocking index, when built from a seeded registry.
+    pub blocking: Option<BlockingArtifact>,
+}
+
+impl SessionState {
+    /// Rewrap into a full [`SessionSnapshot`] with the host-owned
+    /// identity attached.
+    pub fn into_snapshot(
+        self,
+        session_id: impl Into<String>,
+        watermark: u64,
+        commands: Vec<CommandRecord>,
+    ) -> SessionSnapshot {
+        SessionSnapshot {
+            session_id: session_id.into(),
+            watermark,
+            commands,
+            schemas: self.schemas,
+            features: self.features,
+            matches: self.matches,
+            blocking: self.blocking,
+        }
+    }
+
+    /// The artifact fields of a loaded snapshot (clones; the snapshot
+    /// remains usable, e.g. for its command prefix).
+    pub fn from_snapshot(snapshot: &SessionSnapshot) -> SessionState {
+        SessionState {
+            schemas: snapshot.schemas.clone(),
+            features: snapshot.features.clone(),
+            matches: snapshot.matches.clone(),
+            blocking: snapshot.blocking.clone(),
+        }
+    }
+}
+
+/// Capture the persistable state of a shell.
+///
+/// Text features are exported for every schema on the blackboard
+/// (computing any not already cached — capture runs at snapshot time,
+/// where paying that cost once buys every future warm reopen).
+pub fn capture(shell: &mut Shell) -> SessionState {
+    let manager = shell.manager_mut();
+    let mut ids = manager.blackboard().schema_ids();
+    ids.sort();
+    let schemas: Vec<SchemaGraph> = ids
+        .iter()
+        .map(|id| {
+            manager
+                .blackboard()
+                .schema(id)
+                .expect("listed schema exists")
+                .clone()
+        })
+        .collect();
+
+    let mut features = Vec::new();
+    let mut matches = Vec::new();
+    if let Some(tool) = manager.tool_mut::<HarmonyTool>("harmony") {
+        for graph in &schemas {
+            features.push((
+                graph.id().clone(),
+                tool.engine_mut().export_text_features(graph),
+            ));
+        }
+        matches = tool
+            .export_runs()
+            .into_iter()
+            .map(|(src, tgt, key, result)| MatchArtifact {
+                src,
+                tgt,
+                key,
+                result,
+            })
+            .collect();
+    }
+
+    let blocking = manager
+        .tool_mut::<BlockingTool>("blocking")
+        .and_then(|tool| tool.export_generated())
+        .map(|(seed, scale, parts)| BlockingArtifact {
+            seed,
+            scale,
+            key: blocking_artifact_key(seed, scale, &parts.config),
+            parts,
+        });
+
+    SessionState {
+        schemas,
+        features,
+        matches,
+        blocking,
+    }
+}
+
+/// Prime content-keyed artifacts into a fresh shell, **before** journal
+/// replay: replayed `match` commands are served persisted results, and
+/// a replayed `index-registry seed …` restores the persisted index in
+/// place of the postings build.
+pub fn prime_artifacts(shell: &mut Shell, state: &SessionState) {
+    let manager = shell.manager_mut();
+    if let Some(tool) = manager.tool_mut::<HarmonyTool>("harmony") {
+        for artifact in &state.matches {
+            tool.prime_run(artifact.key, artifact.result.clone());
+        }
+    }
+    if let Some(blocking) = &state.blocking {
+        if let Some(tool) = manager.tool_mut::<BlockingTool>("blocking") {
+            tool.prime_generated(blocking.seed, blocking.scale, blocking.parts.clone());
+        }
+    }
+}
+
+/// Prime persisted text features, **after** journal replay.
+///
+/// Each schema's features are installed only when the replayed graph's
+/// canonical fingerprint equals the fingerprint of the graph the
+/// features were exported from — a replay that diverged (or a schema
+/// the snapshot predates) stays on the cold path rather than being
+/// primed with features for the wrong elements.
+pub fn prime_features(shell: &mut Shell, state: &SessionState) {
+    let manager = shell.manager_mut();
+    let mut primable = Vec::new();
+    for (id, features) in &state.features {
+        let stored_fp = state
+            .schemas
+            .iter()
+            .find(|g| g.id() == id)
+            .map(stable_schema_fp);
+        if let (Some(live), Some(fp)) = (manager.blackboard().schema(id), stored_fp) {
+            if stable_schema_fp(live) == fp {
+                primable.push((live.clone(), features.clone()));
+            }
+        }
+    }
+    if let Some(tool) = manager.tool_mut::<HarmonyTool>("harmony") {
+        for (graph, features) in primable {
+            tool.engine_mut().prime_text_features(&graph, features);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_harmony::Confidence;
+    use iwb_model::ElementId;
+
+    const SESSION: &str = "load er left <<EOF\n\
+        entity SHIPMENT \"An outgoing shipment.\" { ship_dt : date \"Date shipped.\" }\n\
+        EOF\n\
+        load er right <<EOF\n\
+        entity DELIVERY \"A delivery record.\" { deliver_dt : date \"Date delivered.\" }\n\
+        EOF\n\
+        match left right\n\
+        accept left right left/SHIPMENT/ship_dt right/DELIVERY/deliver_dt\n\
+        match left right\n\
+        index-registry seed 7 scale 0.01\n";
+
+    fn matrix_bits(shell: &Shell) -> Vec<(ElementId, ElementId, u64, bool)> {
+        let bb = shell.manager().blackboard();
+        let (s, t) = (SchemaId::new("left"), SchemaId::new("right"));
+        let matrix = bb.matrix(&s, &t).expect("matrix exists");
+        let mut cells = Vec::new();
+        for &row in matrix.rows() {
+            for &col in matrix.cols() {
+                let cell = matrix.cell(row, col);
+                cells.push((
+                    row,
+                    col,
+                    cell.confidence.value().to_bits(),
+                    cell.user_defined,
+                ));
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn captured_state_warm_replays_bit_identically() {
+        // Cold session: run the script, capture.
+        let mut cold = Shell::new();
+        let outcome = cold.run_on(SESSION);
+        assert_eq!(outcome.errors, 0, "{}", outcome.transcript);
+        let state = capture(&mut cold);
+        assert_eq!(state.schemas.len(), 2);
+        assert!(!state.matches.is_empty(), "runs were recorded");
+        assert!(state.blocking.is_some(), "generated index was captured");
+
+        // Warm session: prime artifacts, replay, prime features.
+        let mut warm = Shell::new();
+        prime_artifacts(&mut warm, &state);
+        let replay = warm.run_on(SESSION);
+        assert_eq!(replay.errors, 0, "{}", replay.transcript);
+        prime_features(&mut warm, &state);
+
+        // Both match commands were served from the primed store, and
+        // the index build was restored from parts.
+        let manager = warm.manager_mut();
+        let harmony = manager.tool_mut::<HarmonyTool>("harmony").unwrap();
+        assert_eq!(harmony.primed_hits(), 2, "both replayed matches warm");
+        let blocking = manager.tool_mut::<BlockingTool>("blocking").unwrap();
+        assert_eq!(blocking.primed_hits(), 1, "index restored, not rebuilt");
+
+        // The warm matrix is bit-identical to the cold one.
+        assert_eq!(matrix_bits(&cold), matrix_bits(&warm));
+
+        // The user decision survived with its lock.
+        let accepted = matrix_bits(&warm)
+            .iter()
+            .filter(|(_, _, bits, user)| *user && *bits == Confidence::ACCEPT.value().to_bits())
+            .count();
+        assert_eq!(accepted, 1);
+    }
+
+    #[test]
+    fn primed_features_require_a_matching_fingerprint() {
+        let mut cold = Shell::new();
+        let outcome = cold.run_on(SESSION);
+        assert_eq!(outcome.errors, 0, "{}", outcome.transcript);
+        let state = capture(&mut cold);
+
+        // A shell whose `left` diverged from the snapshot: the features
+        // for `left` must not be primed (fingerprint mismatch), while
+        // `right` — identical — still is.
+        let mut warm = Shell::new();
+        let diverged = warm.run_on(
+            "load er left <<EOF\nentity OTHER { x : text }\nEOF\n\
+             load er right <<EOF\n\
+             entity DELIVERY \"A delivery record.\" { deliver_dt : date \"Date delivered.\" }\n\
+             EOF\n",
+        );
+        assert_eq!(diverged.errors, 0, "{}", diverged.transcript);
+        prime_features(&mut warm, &state);
+        // Priming is advisory — the only observable contract is that a
+        // subsequent match still completes correctly.
+        let matched = warm.run_on("match left right\n");
+        assert_eq!(matched.errors, 0, "{}", matched.transcript);
+    }
+
+    #[test]
+    fn capture_on_a_fresh_shell_is_empty_but_valid() {
+        let mut shell = Shell::new();
+        let state = capture(&mut shell);
+        assert!(state.schemas.is_empty());
+        assert!(state.matches.is_empty());
+        assert!(state.blocking.is_none());
+        let snapshot = state.into_snapshot("s1", 0, Vec::new());
+        assert_eq!(snapshot.session_id, "s1");
+        let back = SessionState::from_snapshot(&snapshot);
+        assert!(back.schemas.is_empty());
+    }
+
+    #[test]
+    fn blackboard_built_index_is_not_captured() {
+        let mut shell = Shell::new();
+        let outcome = shell
+            .run_on("load er a <<EOF\nentity VENDOR { vendor_id : text }\nEOF\nindex-registry\n");
+        assert_eq!(outcome.errors, 0, "{}", outcome.transcript);
+        let state = capture(&mut shell);
+        assert!(
+            state.blocking.is_none(),
+            "blackboard indexes replay from schemas, not from the snapshot"
+        );
+    }
+}

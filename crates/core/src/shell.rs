@@ -60,6 +60,13 @@ impl Shell {
         &self.manager
     }
 
+    /// Mutable manager access, for hosts that capture or prime tool
+    /// state around persistence (see [`crate::persist`]). Regular
+    /// mutation goes through [`Shell::execute`].
+    pub fn manager_mut(&mut self) -> &mut WorkbenchManager {
+        &mut self.manager
+    }
+
     /// Execute one command line (heredoc bodies are handled by
     /// [`run_script`]); returns the command's output text.
     ///

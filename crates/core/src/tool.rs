@@ -176,6 +176,14 @@ pub trait WorkbenchTool {
         _events: &mut Vec<WorkbenchEvent>,
     ) {
     }
+
+    /// Downcast hook for hosts that capture and prime tool state around
+    /// persistence (the `iwb-server` snapshot store). Tools with
+    /// persistable state override this to return `Some(self)`; the
+    /// default opts out, so persistence silently skips unknown tools.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

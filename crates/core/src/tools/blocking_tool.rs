@@ -12,22 +12,26 @@ use crate::blackboard::Blackboard;
 use crate::event::{EventKind, WorkbenchEvent};
 use crate::taskmodel::Task;
 use crate::tool::{ToolArgs, ToolError, ToolKind, WorkbenchTool};
-use iwb_blocking::{block_then_rerank, BlockingConfig, RegistryIndex};
+use iwb_blocking::{block_then_rerank, BlockingConfig, IndexParts, RegistryIndex};
 use iwb_harmony::HarmonyEngine;
 use iwb_model::SchemaGraph;
 use iwb_registry::{generate_registry, GeneratorConfig};
+use iwb_store::blocking_artifact_key;
 
 /// Default candidate count for `find` when `k` is not given.
 pub const DEFAULT_K: usize = 10;
 
 /// Where the indexed models came from — decides staleness on
-/// blackboard events.
+/// blackboard events and persistability.
 enum IndexSource {
-    /// Generated from `iwb-registry` (seeded); independent of
-    /// blackboard contents, so schema events never invalidate it.
-    Generated,
+    /// Generated from `iwb-registry` with this seed and scale;
+    /// independent of blackboard contents, so schema events never
+    /// invalidate it — and the models regenerate deterministically, so
+    /// only the index itself needs persisting.
+    Generated { seed: u64, scale: f64 },
     /// Snapshot of the blackboard's schemas at index time; any
-    /// schema-graph event makes it stale.
+    /// schema-graph event makes it stale (and it is never persisted —
+    /// journal replay rebuilds it from the replayed schemas).
     Blackboard,
 }
 
@@ -39,6 +43,14 @@ pub struct BlockingTool {
     config: BlockingConfig,
     /// The indexed repository and its index, once built.
     indexed: Option<(Vec<SchemaGraph>, RegistryIndex, IndexSource)>,
+    /// A persisted index primed from a snapshot, keyed by its
+    /// [`blocking_artifact_key`] (seed + scale + config, threads
+    /// excluded). A replayed `index-registry` whose inputs produce the
+    /// same key restores the index from these parts instead of
+    /// rebuilding the postings.
+    primed: Option<(u64, IndexParts)>,
+    /// How many index builds were restored from [`Self::primed`].
+    primed_hits: usize,
     /// Engine for the rerank stage — deliberately separate from the
     /// `harmony` tool's engine so reranking never perturbs that tool's
     /// learned weights or cache epoch.
@@ -54,6 +66,36 @@ impl BlockingTool {
     /// The index, if one has been built (for tests and experiments).
     pub fn index(&self) -> Option<&RegistryIndex> {
         self.indexed.as_ref().map(|(_, index, _)| index)
+    }
+
+    /// The current index as a persistable artifact, if it was built
+    /// from a seeded registry: `(seed, scale, parts)`. Blackboard
+    /// indexes return `None` — replay rebuilds them from the replayed
+    /// schemas, so persisting them would be redundant *and* fragile.
+    pub fn export_generated(&self) -> Option<(u64, f64, IndexParts)> {
+        match &self.indexed {
+            Some((_, index, IndexSource::Generated { seed, scale })) => {
+                Some((*seed, *scale, index.to_parts()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Prime a persisted generated-registry index. It is not installed
+    /// immediately: the replayed `index-registry seed … scale …`
+    /// command recognises it by content key and restores it in place of
+    /// the postings build (the models regenerate from the seed either
+    /// way). A key that never matches — config drift, different seed —
+    /// leaves replay on the full build path, still correct.
+    pub fn prime_generated(&mut self, seed: u64, scale: f64, parts: IndexParts) {
+        let key = blocking_artifact_key(seed, scale, &parts.config);
+        self.primed = Some((key, parts));
+    }
+
+    /// How many index builds were restored from a primed artifact
+    /// (observability for warm-restart tests).
+    pub fn primed_hits(&self) -> usize {
+        self.primed_hits
     }
 
     fn parse<T: std::str::FromStr>(args: &ToolArgs, key: &str) -> Result<Option<T>, ToolError> {
@@ -73,7 +115,7 @@ impl BlockingTool {
             self.config.threads = threads.max(1);
         }
         let budget = args.budget();
-        let (models, source, what) = match Self::parse::<u64>(args, "seed")? {
+        let (models, source, what, primed) = match Self::parse::<u64>(args, "seed")? {
             Some(seed) => {
                 let scale = Self::parse::<f64>(args, "scale")?.unwrap_or(1.0);
                 if !scale.is_finite() || scale <= 0.0 {
@@ -89,7 +131,21 @@ impl BlockingTool {
                     registry.element_count(),
                     registry.attribute_count(),
                 );
-                (registry.models, IndexSource::Generated, what)
+                // A primed artifact with the same content key replaces
+                // the postings build (threads are excluded from the
+                // key: they affect build scheduling, not the index).
+                let key = blocking_artifact_key(seed, scale, &self.config);
+                let primed = self
+                    .primed
+                    .as_ref()
+                    .filter(|(k, _)| *k == key)
+                    .map(|(_, parts)| parts.clone());
+                (
+                    registry.models,
+                    IndexSource::Generated { seed, scale },
+                    what,
+                    primed,
+                )
             }
             None => {
                 let mut ids = bb.schema_ids();
@@ -104,11 +160,18 @@ impl BlockingTool {
                     ));
                 }
                 let what = format!("blackboard snapshot: {} schema(s)", models.len());
-                (models, IndexSource::Blackboard, what)
+                (models, IndexSource::Blackboard, what, None)
             }
         };
-        let index = RegistryIndex::build_budgeted(&models, self.config.clone(), budget)
-            .map_err(ToolError::from)?;
+        let index = match primed {
+            Some(mut parts) => {
+                self.primed_hits += 1;
+                parts.config.threads = self.config.threads;
+                RegistryIndex::from_parts(parts)
+            }
+            None => RegistryIndex::build_budgeted(&models, self.config.clone(), budget)
+                .map_err(ToolError::from)?,
+        };
         let summary = format!(
             "indexed {what}; {} models, {} distinct terms",
             index.len(),
@@ -204,6 +267,10 @@ impl WorkbenchTool for BlockingTool {
             }
             self.engine.invalidate_features();
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 
     /// Arguments: `action` = `index` | `find`. For `index`: optional

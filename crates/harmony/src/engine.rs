@@ -27,9 +27,9 @@
 //! epoch that is bumped whenever learning, the thesaurus, or instance
 //! samples change. Cache hits are value-identical to fresh builds.
 
-use crate::cache::{CacheStats, FeatureCache};
+use crate::cache::{fingerprint, CacheStats, FeatureCache};
 use crate::confidence::Confidence;
-use crate::context::MatchContext;
+use crate::context::{MatchContext, TextFeatures};
 use crate::feedback::Feedback;
 use crate::flooding::{flood_budgeted, flood_rows, FloodingConfig};
 use crate::matrix::{matchable_ids, ScoreMatrix};
@@ -92,6 +92,33 @@ impl MatchResult {
     }
 }
 
+/// How the engine produced its most recent result (see
+/// [`HarmonyEngine::last_run`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// True when the run spliced recomputed rows into retained state
+    /// instead of re-scoring the full cross product.
+    pub incremental: bool,
+    /// Source rows re-merged on an incremental run (0 on a full run).
+    pub dirty_rows: usize,
+}
+
+/// State retained from the last completed run so the next run over the
+/// same `(source, target, epoch)` can recompute only the rows whose
+/// locked cells changed. Voter matrices are kept verbatim (voters are
+/// deterministic in the epoch, so they would reproduce them bit-for-bit
+/// anyway); `merged` is the *pre-flooding* merge output — merging is
+/// cell-local, so a locked-cell edit dirties exactly its source row,
+/// and flooding always re-runs from the spliced merge.
+struct RetainedRun {
+    src_fp: u64,
+    tgt_fp: u64,
+    epoch: u64,
+    locked: HashMap<(ElementId, ElementId), Confidence>,
+    per_voter: Vec<(String, ScoreMatrix)>,
+    merged: ScoreMatrix,
+}
+
 /// The Harmony match engine.
 ///
 /// # Examples
@@ -137,6 +164,10 @@ pub struct HarmonyEngine {
     corpus_epoch: u64,
     /// Lazily built worker pool, kept while the thread count is stable.
     pool: Option<ThreadPool>,
+    /// Last completed run, kept for incremental re-matching.
+    retained: Option<RetainedRun>,
+    /// How the most recent run was produced.
+    last_run: RunReport,
 }
 
 impl Default for HarmonyEngine {
@@ -169,6 +200,8 @@ impl HarmonyEngine {
             cache: FeatureCache::new(),
             corpus_epoch: 0,
             pool: None,
+            retained: None,
+            last_run: RunReport::default(),
         }
     }
 
@@ -229,6 +262,44 @@ impl HarmonyEngine {
     /// Cumulative feature-cache hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// How the most recent [`HarmonyEngine::run_budgeted`] was produced
+    /// (full vs incremental, and how many rows were recomputed).
+    pub fn last_run(&self) -> RunReport {
+        self.last_run
+    }
+
+    /// The current corpus epoch: bumped by learning, thesaurus swaps,
+    /// and instance-sample changes. Part of every cache and snapshot
+    /// artifact key — artifacts from another epoch are never served.
+    pub fn corpus_epoch(&self) -> u64 {
+        self.corpus_epoch
+    }
+
+    /// Per-element text features for `graph`, served from the cache or
+    /// computed (and cached) now. The persistence layer snapshots these
+    /// so a restarted daemon skips re-tokenisation.
+    pub fn export_text_features(
+        &mut self,
+        graph: &SchemaGraph,
+    ) -> HashMap<ElementId, Arc<TextFeatures>> {
+        let fp = fingerprint(graph);
+        let thesaurus = Arc::clone(&self.thesaurus);
+        (*self.cache.export_text(fp, graph, &thesaurus)).clone()
+    }
+
+    /// Seed the feature cache with text features decoded from a
+    /// snapshot. Content-addressed: if `graph` was edited since the
+    /// snapshot, the primed entry is simply never hit.
+    pub fn prime_text_features(
+        &mut self,
+        graph: &SchemaGraph,
+        features: HashMap<ElementId, Arc<TextFeatures>>,
+    ) {
+        if self.config.cache {
+            self.cache.prime_text(fingerprint(graph), features);
+        }
     }
 
     /// Drop all cached features (call when a schema was edited in
@@ -346,6 +417,10 @@ impl HarmonyEngine {
         budget: &Budget,
     ) -> Result<MatchResult, Interrupt> {
         budget.check()?;
+        if let Some(result) = self.try_incremental(source, target, locked, budget)? {
+            return Ok(result);
+        }
+        self.last_run = RunReport::default();
         let ctx = self.context(source, target);
         budget.check()?;
         let src_ids = Arc::new(matchable_ids(source));
@@ -454,6 +529,9 @@ impl HarmonyEngine {
         // Stage 4: similarity flooding, user cells pinned. The fixpoint
         // loop is bounded by the deterministic `max_iterations` budget
         // and re-checks the interruption budget before each iteration.
+        // The pre-flooding merge is what incremental re-match splices
+        // into, so snapshot it before flooding mutates the matrix.
+        let merged = matrix.clone();
         let locked_set: HashSet<(ElementId, ElementId)> = locked.keys().copied().collect();
         let flooding_iterations = if threads <= 1 {
             flood_budgeted(
@@ -465,9 +543,17 @@ impl HarmonyEngine {
                 budget,
             )?
         } else {
-            self.flood_parallel(&mut matrix, &ctx, &locked_set, threads, budget)?
+            self.flood_parallel(&mut matrix, source, target, &locked_set, threads, budget)?
         };
 
+        self.retained = Some(RetainedRun {
+            src_fp: fingerprint(source),
+            tgt_fp: fingerprint(target),
+            epoch: self.corpus_epoch,
+            locked: locked.clone(),
+            per_voter: per_voter.clone(),
+            merged,
+        });
         Ok(MatchResult {
             matrix,
             per_voter,
@@ -475,13 +561,136 @@ impl HarmonyEngine {
         })
     }
 
+    /// Serve a run from retained state when only locked cells changed.
+    ///
+    /// Applicable iff the schema fingerprints and the corpus epoch
+    /// match the retained run — any edit, learning step, thesaurus or
+    /// sample change falls back to the full pipeline. The locked-cell
+    /// diff (added, removed, or re-valued cells) dirties exactly the
+    /// affected source rows; those rows are re-merged with the *same*
+    /// cell-local kernel the full pipeline shards, spliced into the
+    /// retained pre-flooding merge, and flooding re-runs in full.
+    /// Because merging is cell-local and flooding is a deterministic
+    /// function of the merged matrix, the result is byte-identical to a
+    /// from-scratch run (asserted by `tests/determinism.rs`).
+    ///
+    /// On interruption the retained state is restored untouched, so an
+    /// aborted incremental run can be retried — or superseded by a full
+    /// run — with no drift.
+    fn try_incremental(
+        &mut self,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
+        locked: &HashMap<(ElementId, ElementId), Confidence>,
+        budget: &Budget,
+    ) -> Result<Option<MatchResult>, Interrupt> {
+        let Some(retained) = self.retained.take() else {
+            return Ok(None);
+        };
+        if retained.src_fp != fingerprint(source)
+            || retained.tgt_fp != fingerprint(target)
+            || retained.epoch != self.corpus_epoch
+        {
+            // Stale: the inputs changed, not just the locked cells.
+            return Ok(None);
+        }
+
+        // Diff the locked maps; a row is dirty when any of its cells
+        // was added, removed, or re-valued since the retained run.
+        let mut dirty: HashSet<ElementId> = HashSet::new();
+        for (&(s, t), &c) in locked {
+            if retained.locked.get(&(s, t)) != Some(&c) {
+                dirty.insert(s);
+            }
+        }
+        for &(s, t) in retained.locked.keys() {
+            if !locked.contains_key(&(s, t)) {
+                dirty.insert(s);
+            }
+        }
+        if dirty.is_empty() {
+            // Identical rerun: no row to splice. Fall through to the
+            // full pipeline, which serves its context from the cache —
+            // keeping cache accounting (and every other observable)
+            // exactly as before incremental re-matching existed. The
+            // full run rebuilds the retained state it consumed here.
+            return Ok(None);
+        }
+
+        let src_ids = retained.merged.src_ids();
+        let tgt_ids = retained.merged.tgt_ids();
+        let mut merged = retained.merged.clone();
+        let mut dirty_rows = 0;
+        if !tgt_ids.is_empty() {
+            for (row, &s) in src_ids.iter().enumerate() {
+                if !dirty.contains(&s) {
+                    continue;
+                }
+                let slab = merge_rows(
+                    &retained.per_voter,
+                    &self.merger,
+                    locked,
+                    src_ids,
+                    tgt_ids,
+                    row,
+                    row + 1,
+                );
+                merged.splice_rows(row, &slab);
+                dirty_rows += 1;
+            }
+        }
+
+        let locked_set: HashSet<(ElementId, ElementId)> = locked.keys().copied().collect();
+        let mut matrix = merged.clone();
+        let rows = matrix.src_ids().len();
+        let threads = self.effective_threads().min(rows.max(1));
+        let flooded = if threads <= 1 {
+            flood_budgeted(
+                &mut matrix,
+                source,
+                target,
+                &locked_set,
+                &self.flooding,
+                budget,
+            )
+        } else {
+            self.flood_parallel(&mut matrix, source, target, &locked_set, threads, budget)
+        };
+        let flooding_iterations = match flooded {
+            Ok(n) => n,
+            Err(interrupt) => {
+                self.retained = Some(retained);
+                return Err(interrupt);
+            }
+        };
+
+        let result = MatchResult {
+            matrix,
+            per_voter: retained.per_voter.clone(),
+            flooding_iterations,
+        };
+        self.last_run = RunReport {
+            incremental: true,
+            dirty_rows,
+        };
+        self.retained = Some(RetainedRun {
+            locked: locked.clone(),
+            merged,
+            ..retained
+        });
+        Ok(Some(result))
+    }
+
     /// The flooding fixpoint loop with each iteration's rows sharded
     /// across the pool. Mirrors [`flood`] exactly: same kernel, same
-    /// snapshot, same convergence test.
+    /// snapshot, same convergence test. Takes the graphs directly (not
+    /// a built [`MatchContext`]) so the incremental path can flood a
+    /// spliced merge without building a context at all.
     fn flood_parallel(
         &mut self,
         matrix: &mut ScoreMatrix,
-        ctx: &Arc<MatchContext>,
+        source: &SchemaGraph,
+        target: &SchemaGraph,
         locked: &HashSet<(ElementId, ElementId)>,
         threads: usize,
         budget: &Budget,
@@ -493,6 +702,8 @@ impl HarmonyEngine {
         let rows = matrix.src_ids().len();
         let shards = shard_ranges(rows, threads);
         let locked = Arc::new(locked.clone());
+        let source = Arc::new(source.clone());
+        let target = Arc::new(target.clone());
         for iteration in 0..config.max_iterations {
             budget.check()?;
             let before = Arc::new(matrix.clone());
@@ -501,19 +712,11 @@ impl HarmonyEngine {
                 .iter()
                 .enumerate()
                 .map(|(i, &(lo, hi))| {
-                    let (before, ctx, locked) =
-                        (Arc::clone(&before), Arc::clone(ctx), Arc::clone(&locked));
+                    let (before, locked) = (Arc::clone(&before), Arc::clone(&locked));
+                    let (source, target) = (Arc::clone(&source), Arc::clone(&target));
                     let tx = tx.clone();
                     Box::new(move || {
-                        let slab = flood_rows(
-                            &before,
-                            ctx.source(),
-                            ctx.target(),
-                            &locked,
-                            &config,
-                            lo,
-                            hi,
-                        );
+                        let slab = flood_rows(&before, &source, &target, &locked, &config, lo, hi);
                         tx.send((i, slab)).expect("flood shard channel");
                     }) as Box<dyn FnOnce() + Send>
                 })

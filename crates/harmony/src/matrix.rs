@@ -58,6 +58,29 @@ impl ScoreMatrix {
         }
     }
 
+    /// Rebuild a matrix from its id sets and a row-major score slab
+    /// (the inverse of [`Self::src_ids`]/[`Self::tgt_ids`]/
+    /// [`Self::scores`], used by the snapshot codec). `None` if the
+    /// slab length does not match the dimensions.
+    pub fn from_raw(
+        src_ids: Vec<ElementId>,
+        tgt_ids: Vec<ElementId>,
+        scores: Vec<f64>,
+    ) -> Option<Self> {
+        if scores.len() != src_ids.len() * tgt_ids.len() {
+            return None;
+        }
+        let src_index = src_ids.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let tgt_index = tgt_ids.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        Some(ScoreMatrix {
+            src_ids,
+            tgt_ids,
+            src_index,
+            tgt_index,
+            scores,
+        })
+    }
+
     /// Row (source) element ids.
     pub fn src_ids(&self) -> &[ElementId] {
         &self.src_ids

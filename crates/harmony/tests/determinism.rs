@@ -192,6 +192,84 @@ fn aborted_runs_leave_the_engine_reusable_and_identical() {
 }
 
 #[test]
+fn incremental_rematch_is_byte_identical_to_from_scratch() {
+    // The persistence contract of `iwb-store`: after a user decision,
+    // re-matching splices only the dirty rows into the retained matrix
+    // — and the splice is byte-identical to a from-scratch run with the
+    // same locked cells, for every thread count × cache setting
+    // (threads: 0 resolves to the machine's available parallelism).
+    let pair = seeded_pair(23, 8);
+    let probe = run_with(&pair, 1, false, &HashMap::new());
+    let src = probe.matrix.src_ids().to_vec();
+    let tgt = probe.matrix.tgt_ids().to_vec();
+    let mut locked = HashMap::new();
+    locked.insert((src[1], tgt[2]), Confidence::ACCEPT);
+    locked.insert((src[3], tgt[0]), Confidence::REJECT);
+    let scratch = run_with(&pair, 1, false, &locked);
+    for threads in [1, 2, 8, 0] {
+        for cache in [false, true] {
+            let mut engine = HarmonyEngine::default();
+            engine.set_match_config(MatchConfig {
+                threads,
+                cache,
+                ..MatchConfig::default()
+            });
+            let full = engine.run(&pair.source, &pair.target, &HashMap::new());
+            assert_identical(
+                &probe,
+                &full,
+                &format!("full, threads={threads} cache={cache}"),
+            );
+            assert!(!engine.last_run().incremental, "first run is full");
+            let spliced = engine.run(&pair.source, &pair.target, &locked);
+            let report = engine.last_run();
+            assert!(
+                report.incremental,
+                "threads={threads} cache={cache}: re-run took the incremental path"
+            );
+            assert_eq!(
+                report.dirty_rows, 2,
+                "threads={threads} cache={cache}: exactly the two decided rows re-merge"
+            );
+            assert_identical(
+                &scratch,
+                &spliced,
+                &format!("incremental, threads={threads} cache={cache}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn retracting_a_decision_incrementally_is_identical_too() {
+    // Dirty-row detection is symmetric: removing a locked cell must
+    // re-merge its row back to the undecided result, byte-identically.
+    let pair = seeded_pair(29, 8);
+    let probe = run_with(&pair, 1, false, &HashMap::new());
+    let src = probe.matrix.src_ids().to_vec();
+    let tgt = probe.matrix.tgt_ids().to_vec();
+    let mut locked = HashMap::new();
+    locked.insert((src[0], tgt[1]), Confidence::ACCEPT);
+    for threads in [1, 8] {
+        let mut engine = HarmonyEngine::default();
+        engine.set_match_config(MatchConfig {
+            threads,
+            cache: true,
+            ..MatchConfig::default()
+        });
+        engine.run(&pair.source, &pair.target, &locked);
+        let retracted = engine.run(&pair.source, &pair.target, &HashMap::new());
+        let report = engine.last_run();
+        assert!(
+            report.incremental,
+            "threads={threads}: retraction is incremental"
+        );
+        assert_eq!(report.dirty_rows, 1, "threads={threads}");
+        assert_identical(&probe, &retracted, &format!("retract, threads={threads}"));
+    }
+}
+
+#[test]
 fn distinct_seeds_produce_distinct_matrices() {
     // Sanity check that the suite is not vacuous: different workloads
     // must actually differ, or bit-equality above proves nothing.

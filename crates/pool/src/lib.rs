@@ -347,6 +347,79 @@ impl Drop for ThreadPool {
     }
 }
 
+/// A single dedicated thread consuming jobs in strict FIFO order —
+/// the off-critical-path lane for durability work (snapshot writes,
+/// journal truncation) that must not block the command loop but must
+/// retain ordering: a snapshot commit and the verify-then-truncate
+/// step that follows it run in submission order, never concurrently.
+///
+/// Unlike [`ThreadPool`], there is exactly one worker, so `submit`
+/// order is completion order. [`BackgroundWorker::drain`] blocks until
+/// everything submitted so far has finished — tests use it to make
+/// asynchronous persistence deterministic, shutdown uses it to flush.
+pub struct BackgroundWorker {
+    sender: Mutex<Option<Sender<Job>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl BackgroundWorker {
+    /// Spawn the worker thread.
+    pub fn new(name: &str) -> BackgroundWorker {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let worker = thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || worker_loop(&receiver))
+            .expect("spawn background worker");
+        BackgroundWorker {
+            sender: Mutex::new(Some(sender)),
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Queue a job behind everything already submitted. Returns `false`
+    /// if the worker has been closed (the job is dropped unrun).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let guard = self.sender.lock().expect("background sender lock");
+        match guard.as_ref() {
+            Some(sender) => sender.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Block until every job submitted before this call has completed.
+    /// On a closed worker this returns immediately.
+    pub fn drain(&self) {
+        let latch = Arc::new((Mutex::new(false), Condvar::new()));
+        let signal = Arc::clone(&latch);
+        if !self.submit(move || {
+            *signal.0.lock().expect("drain latch lock") = true;
+            signal.1.notify_all();
+        }) {
+            return;
+        }
+        let mut done = latch.0.lock().expect("drain latch lock");
+        while !*done {
+            done = latch.1.wait(done).expect("drain latch wait");
+        }
+    }
+
+    /// Stop intake, drain the queue, and join the thread. Idempotent;
+    /// also invoked by `Drop`.
+    pub fn close(&self) {
+        drop(self.sender.lock().expect("background sender lock").take());
+        if let Some(worker) = self.worker.lock().expect("background worker lock").take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for BackgroundWorker {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
 /// Worker body: run queued jobs until the sender side is dropped. Each
 /// job runs under `catch_unwind` so a panicking job cannot take the
 /// worker (and everything queued behind it) down with it.
@@ -591,5 +664,53 @@ mod tests {
         // reclaim exclusive ownership (the engine relies on this to
         // restore its voters after an abort).
         assert!(Arc::try_unwrap(shared).is_ok());
+    }
+
+    #[test]
+    fn background_worker_runs_in_submission_order() {
+        let worker = BackgroundWorker::new("test-bg");
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..16 {
+            let log = Arc::clone(&log);
+            assert!(worker.submit(move || log.lock().unwrap().push(i)));
+        }
+        worker.drain();
+        assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn background_worker_drain_waits_for_prior_jobs() {
+        let worker = BackgroundWorker::new("test-bg-drain");
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        worker.submit(move || {
+            thread::sleep(Duration::from_millis(30));
+            flag.store(true, Ordering::SeqCst);
+        });
+        worker.drain();
+        assert!(done.load(Ordering::SeqCst), "drain returned before the job");
+    }
+
+    #[test]
+    fn background_worker_survives_a_panicking_job() {
+        let worker = BackgroundWorker::new("test-bg-panic");
+        worker.submit(|| panic!("boom"));
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        worker.submit(move || flag.store(true, Ordering::SeqCst));
+        worker.drain();
+        assert!(
+            ran.load(Ordering::SeqCst),
+            "job after a panic must still run"
+        );
+    }
+
+    #[test]
+    fn background_worker_close_is_idempotent_and_rejects_new_jobs() {
+        let worker = BackgroundWorker::new("test-bg-close");
+        worker.close();
+        worker.close();
+        assert!(!worker.submit(|| {}), "closed worker must reject jobs");
+        worker.drain(); // returns immediately on a closed worker
     }
 }

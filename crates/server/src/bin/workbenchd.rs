@@ -17,6 +17,15 @@
 //! * `--recover DIR`           like `--journal DIR`, plus replay the
 //!   journals found there on startup — sessions survive a daemon
 //!   crash and clients re-`session attach` their old ids
+//! * `--store DIR`             persistent match store: like
+//!   `--recover DIR`, plus sessions snapshot their warm state
+//!   (schema graphs + text features, match results, the blocking
+//!   index) under DIR in the background and on eviction/shutdown;
+//!   recovery loads the verified snapshot and replays only the
+//!   journal suffix past its watermark, reopening sessions warm
+//! * `--snapshot-every N`      background-snapshot cadence in
+//!   journaled commands (default 64; 0 snapshots only on
+//!   eviction/shutdown; needs `--store`)
 //! * `--quarantine-after N`    quarantine a session after N
 //!   consecutive panicking commands (default 3; 0 disables)
 //! * `--max-line-bytes N`      protocol line bound (default 65536)
@@ -44,6 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: workbenchd [--addr HOST:PORT] [--workers N] [--max-sessions N] \
          [--idle-timeout SECS] [--read-timeout SECS] [--journal DIR] [--recover DIR] \
+         [--store DIR] [--snapshot-every N] \
          [--quarantine-after N] [--max-line-bytes N] [--max-heredoc-bytes N] \
          [--default-deadline-ms N] [--max-pending N] [--faults SPEC]"
     );
@@ -87,6 +97,14 @@ fn parse_args() -> ServerConfig {
                 config.journal_dir = Some(PathBuf::from(value("--recover")));
                 config.recover = true;
             }
+            "--store" => {
+                config.store_dir = Some(PathBuf::from(value("--store")));
+                config.recover = true;
+            }
+            "--snapshot-every" => match value("--snapshot-every").parse() {
+                Ok(n) => config.snapshot_every = n,
+                _ => usage(),
+            },
             "--quarantine-after" => match value("--quarantine-after").parse() {
                 Ok(n) => config.quarantine_after = n,
                 _ => usage(),
@@ -142,8 +160,14 @@ fn main() {
     };
     if let Some(report) = handle.recovery() {
         println!(
-            "workbenchd: recovered {} session(s) ({} command(s) replayed, {} torn tail(s) healed, {} file(s) skipped)",
-            report.sessions, report.replayed, report.torn_tails, report.skipped
+            "workbenchd: recovered {} session(s) ({} warm from snapshots, {} command(s) replayed, \
+             {} torn tail(s) healed, {} snapshot fallback(s), {} file(s) skipped)",
+            report.sessions,
+            report.warm,
+            report.replayed,
+            report.torn_tails,
+            report.snapshot_fallbacks,
+            report.skipped
         );
     }
     println!(

@@ -26,15 +26,26 @@
 //! malformed/truncated one and drops the rest (at most the final
 //! unacknowledged command).
 //!
-//! ## Compaction
+//! ## Compaction and the snapshot watermark
 //!
 //! The journal keeps its record list in memory; every
 //! `compact_every` appends (and after recovering a torn file) it is
 //! rewritten atomically (tmp + fsync + rename), healing torn garbage
-//! and re-framing the history into one clean segment. True state
-//! snapshots are impossible while blackboard state is only
-//! reconstructible by replay, so compaction bounds *waste*, not the
-//! logical history.
+//! and re-framing the history into one clean segment.
+//!
+//! With a snapshot store attached (`workbenchd --store`), compaction
+//! also *truncates*: once a snapshot at watermark `W` has been written
+//! **and verified by a read-back**, [`Journal::truncate_to`] raises the
+//! durable base to `W` and the rewritten file carries only the suffix
+//! `records[W..]` (the header records the base as its third token).
+//! The handshake direction matters — the base is advanced only after
+//! the snapshot verifies, never in the same step as the snapshot
+//! write, so a crash (or injected corruption) between snapshot commit
+//! and journal truncation leaves a journal whose base is still covered
+//! by the *previous* verified snapshot. Recovery replays
+//! `records[(W - base)..]` on top of the snapshot; a corrupt snapshot
+//! falls back to full replay when `base == 0` and refuses the session
+//! otherwise — never silently wrong.
 
 use crate::fault::{FaultPlan, JOURNAL_TORN};
 use std::fs::{self, File, OpenOptions};
@@ -108,7 +119,12 @@ impl JournalRecord {
 pub struct LoadedJournal {
     /// The session id from the file header.
     pub session_id: String,
-    /// Records up to the first torn/corrupt one.
+    /// Durable base from the header: how many records of logical
+    /// history were truncated away because a verified snapshot covers
+    /// them. `0` for journals written without a store.
+    pub base: u64,
+    /// Records up to the first torn/corrupt one (logical indices
+    /// `base..base + records.len()`).
     pub records: Vec<JournalRecord>,
     /// Whether a torn/corrupt tail was dropped.
     pub torn_tail: bool,
@@ -120,7 +136,14 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     session_id: String,
+    /// Full logical history since the session started (or was
+    /// recovered); the on-disk file carries only
+    /// `records[durable_base..]`.
     records: Vec<JournalRecord>,
+    /// Count of leading records omitted from disk because a verified
+    /// snapshot covers them. Invariant: never exceeds the watermark of
+    /// the last snapshot that passed a read-back verification.
+    durable_base: u64,
     appends_since_compact: u64,
     /// A torn write left garbage at the file tail; rewrite before the
     /// next append so the garbage never buries later records.
@@ -148,6 +171,7 @@ impl Journal {
             file,
             session_id: session_id.to_owned(),
             records: Vec::new(),
+            durable_base: 0,
             appends_since_compact: 0,
             dirty_tail: false,
             config: config.clone(),
@@ -155,19 +179,25 @@ impl Journal {
     }
 
     /// Rebuild a journal from recovered records, rewriting the file
-    /// into one clean segment (heals any torn tail on disk).
+    /// into one clean segment (heals any torn tail on disk). `records`
+    /// is the *full* logical history; `base` is how many leading
+    /// records a verified snapshot already covers (0 without a store),
+    /// and only the suffix past it is written back to disk.
     pub fn adopt(
         config: &JournalConfig,
         session_id: &str,
         records: Vec<JournalRecord>,
+        base: u64,
     ) -> io::Result<Journal> {
         let mut journal = Self::create(config, session_id)?;
+        journal.durable_base = base.min(records.len() as u64);
         journal.records = records;
         journal.compact()?;
         Ok(journal)
     }
 
-    /// Records committed so far.
+    /// Records committed so far (full logical history, including any
+    /// snapshot-covered prefix truncated from disk).
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -175,6 +205,49 @@ impl Journal {
     /// Whether nothing has been journaled.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// The durable base: leading records omitted from the on-disk file
+    /// because a verified snapshot covers them.
+    pub fn base(&self) -> u64 {
+        self.durable_base
+    }
+
+    /// The full in-memory history (snapshot capture embeds the prefix
+    /// `records[..watermark]` so a snapshot alone can recover).
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Raise the durable base to `watermark` and rewrite the file with
+    /// only the suffix past it. **Call only after the snapshot at
+    /// `watermark` has been verified by a read-back** — advancing the
+    /// base on an unverified snapshot is exactly the handshake bug that
+    /// loses history when the snapshot turns out torn. The base never
+    /// moves backwards.
+    pub fn truncate_to(&mut self, watermark: u64) -> io::Result<()> {
+        let watermark = watermark.min(self.records.len() as u64);
+        if watermark <= self.durable_base {
+            return Ok(());
+        }
+        self.durable_base = watermark;
+        self.compact()
+    }
+
+    /// Lower the durable base back to `base`, re-persisting the
+    /// now-uncovered prefix from the in-memory history. This is the
+    /// failure half of the snapshot handshake: when a later snapshot
+    /// commit fails verification it may have clobbered the snapshot
+    /// that justified an earlier [`Journal::truncate_to`], so the
+    /// journal widens back to a self-sufficient history that replay
+    /// alone can rebuild. A no-op when `base` is not below the current
+    /// base.
+    pub fn rebase(&mut self, base: u64) -> io::Result<()> {
+        if base >= self.durable_base {
+            return Ok(());
+        }
+        self.durable_base = base;
+        self.compact()
     }
 
     /// Append one record and (by default) fsync it — the commit point.
@@ -214,8 +287,13 @@ impl Journal {
         let tmp = self.path.with_extension(format!("{EXT}.tmp"));
         {
             let mut out = File::create(&tmp)?;
-            out.write_all(format!("{MAGIC} {}\n", self.session_id).as_bytes())?;
-            for record in &self.records {
+            let header = if self.durable_base > 0 {
+                format!("{MAGIC} {} {}\n", self.session_id, self.durable_base)
+            } else {
+                format!("{MAGIC} {}\n", self.session_id)
+            };
+            out.write_all(header.as_bytes())?;
+            for record in &self.records[self.durable_base as usize..] {
                 out.write_all(&record.encode())?;
             }
             out.sync_all()?;
@@ -242,17 +320,26 @@ impl Journal {
             io::Error::new(io::ErrorKind::InvalidData, "journal missing header line")
         })?;
         let header = String::from_utf8_lossy(header);
-        let session_id = header
+        let bad_header = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad journal header: {header:?}"),
+            )
+        };
+        let mut words = header
             .strip_prefix(MAGIC)
-            .map(str::trim)
-            .filter(|id| !id.is_empty())
-            .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad journal header: {header:?}"),
-                )
-            })?
-            .to_owned();
+            .ok_or_else(bad_header)?
+            .split_whitespace();
+        let session_id = words.next().ok_or_else(bad_header)?.to_owned();
+        // Optional third token: the durable base (pre-store journals
+        // omit it, so files written by older builds still load).
+        let base = match words.next() {
+            Some(token) => token.parse::<u64>().map_err(|_| bad_header())?,
+            None => 0,
+        };
+        if words.next().is_some() {
+            return Err(bad_header());
+        }
 
         let mut records = Vec::new();
         let mut torn_tail = false;
@@ -270,6 +357,7 @@ impl Journal {
         }
         Ok(LoadedJournal {
             session_id,
+            base,
             records,
             torn_tail,
         })
@@ -447,11 +535,100 @@ mod tests {
         assert!(loaded.torn_tail);
         assert_eq!(loaded.records.len(), 1);
 
-        let healed = Journal::adopt(&config, "s", loaded.records).unwrap();
+        let healed = Journal::adopt(&config, "s", loaded.records, 0).unwrap();
         assert_eq!(healed.len(), 1);
         let reloaded = Journal::load(&path).unwrap();
         assert!(!reloaded.torn_tail);
         assert_eq!(reloaded.records.len(), 1);
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn truncate_to_drops_the_covered_prefix_but_keeps_history() {
+        let config = JournalConfig::new(tmp_dir("truncate"));
+        let mut j = Journal::create(&config, "s").unwrap();
+        let none = FaultPlan::none();
+        for i in 0..5 {
+            j.append(rec(&format!("match a b{i}"), None), &none)
+                .unwrap();
+        }
+        j.truncate_to(3).unwrap();
+        assert_eq!(j.base(), 3);
+        assert_eq!(j.len(), 5, "logical history is untouched");
+
+        // On disk: base 3 in the header, only the suffix framed.
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "s")).unwrap();
+        assert_eq!(loaded.base, 3);
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[0].command, "match a b3");
+
+        // The base never moves backwards.
+        j.truncate_to(1).unwrap();
+        assert_eq!(j.base(), 3);
+        // Appends after truncation land after the suffix.
+        j.append(rec("match a b5", None), &none).unwrap();
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "s")).unwrap();
+        assert_eq!(loaded.base, 3);
+        assert_eq!(loaded.records.len(), 3);
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn rebase_repersists_the_truncated_prefix() {
+        let config = JournalConfig::new(tmp_dir("rebase"));
+        let mut j = Journal::create(&config, "s").unwrap();
+        let none = FaultPlan::none();
+        for i in 0..4 {
+            j.append(rec(&format!("match a b{i}"), None), &none)
+                .unwrap();
+        }
+        j.truncate_to(3).unwrap();
+        assert_eq!(j.base(), 3);
+
+        // Rebasing upward is a no-op; rebasing down re-persists the
+        // prefix from the in-memory history.
+        j.rebase(4).unwrap();
+        assert_eq!(j.base(), 3);
+        j.rebase(0).unwrap();
+        assert_eq!(j.base(), 0);
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "s")).unwrap();
+        assert_eq!(loaded.base, 0);
+        assert_eq!(loaded.records.len(), 4);
+        assert_eq!(loaded.records[0].command, "match a b0");
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn adopt_with_base_writes_only_the_suffix() {
+        let config = JournalConfig::new(tmp_dir("adopt-base"));
+        let records: Vec<JournalRecord> = (0..4)
+            .map(|i| rec(&format!("match a b{i}"), None))
+            .collect();
+        let j = Journal::adopt(&config, "s", records, 2).unwrap();
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.base(), 2);
+        let loaded = Journal::load(&Journal::path_for(&config.dir, "s")).unwrap();
+        assert_eq!(loaded.base, 2);
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[0].command, "match a b2");
+        let _ = fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn pre_store_headers_without_a_base_token_still_load() {
+        let config = JournalConfig::new(tmp_dir("compat"));
+        let mut j = Journal::create(&config, "s").unwrap();
+        j.append(rec("match a b", None), &FaultPlan::none())
+            .unwrap();
+        let path = Journal::path_for(&config.dir, "s");
+        let bytes = fs::read(&path).unwrap();
+        assert!(
+            bytes.starts_with(b"iwbj1 s\n"),
+            "base 0 keeps the old header"
+        );
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.base, 0);
+        assert_eq!(loaded.records.len(), 1);
         let _ = fs::remove_dir_all(&config.dir);
     }
 

@@ -82,7 +82,7 @@ pub use client::{Backoff, Client, Response};
 pub use fault::{FaultPlan, FaultSpec};
 pub use journal::{Journal, JournalConfig, JournalRecord};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use session::{ExecOutcome, RecoveryReport, Session, SessionRegistry};
+pub use session::{ExecOutcome, RecoveryReport, Session, SessionRegistry, StoreConfig, StoreStats};
 pub use stats::{CommandClass, ServerStats};
 
 /// Install a process-wide panic hook that stays silent for *injected*

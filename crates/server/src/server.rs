@@ -28,7 +28,7 @@
 
 use crate::fault::FaultPlan;
 use crate::journal::JournalConfig;
-use crate::session::{ExecOutcome, RecoveryReport, SessionRegistry};
+use crate::session::{ExecOutcome, RecoveryReport, SessionRegistry, StoreConfig};
 use crate::stats::{CommandClass, ServerStats};
 use iwb_core::shell::{heredoc_start, HEREDOC_END};
 use iwb_pool::ThreadPool;
@@ -77,6 +77,16 @@ pub struct ServerConfig {
     /// Directory for per-session command journals (`None`: in-memory
     /// sessions only, the pre-journal behavior).
     pub journal_dir: Option<PathBuf>,
+    /// Directory for the persistent snapshot store (`workbenchd
+    /// --store DIR`). Implies journaling under the same directory when
+    /// `journal_dir` is unset: sessions snapshot in the background
+    /// every `snapshot_every` journaled commands (plus on eviction and
+    /// graceful shutdown) and recovery reopens them warm — snapshot
+    /// load plus replay of the journal suffix past the watermark.
+    pub store_dir: Option<PathBuf>,
+    /// Background-snapshot cadence in journaled commands (0: snapshot
+    /// only on eviction and shutdown). Only meaningful with a store.
+    pub snapshot_every: u64,
     /// Replay journals found in `journal_dir` on startup.
     pub recover: bool,
     /// fsync each journal record before acknowledging the command.
@@ -109,6 +119,8 @@ impl Default for ServerConfig {
             max_line_bytes: 64 * 1024,
             max_heredoc_bytes: 4 * 1024 * 1024,
             journal_dir: None,
+            store_dir: None,
+            snapshot_every: 64,
             recover: false,
             journal_fsync: true,
             journal_compact_every: 256,
@@ -171,6 +183,10 @@ impl ServerHandle {
             let _ = t.join();
         }
         self.pool.close();
+        // With a store, shutdown is graceful for state too: every live
+        // session is snapshotted synchronously (after draining the
+        // background queue), so the next start reopens warm.
+        self.registry.flush_snapshots();
     }
 }
 
@@ -184,11 +200,24 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::new());
     let mut registry = SessionRegistry::new(config.max_sessions, config.session_idle_timeout);
-    if let Some(dir) = &config.journal_dir {
+    // A store implies journaling (snapshots cover a journal
+    // watermark); without an explicit journal dir both live together.
+    let journal_dir = config
+        .journal_dir
+        .clone()
+        .or_else(|| config.store_dir.clone());
+    if let Some(dir) = &journal_dir {
         registry = registry.with_journal(JournalConfig {
             dir: dir.clone(),
             fsync: config.journal_fsync,
             compact_every: config.journal_compact_every,
+        });
+    }
+    if let Some(dir) = &config.store_dir {
+        registry = registry.with_store(StoreConfig {
+            dir: dir.clone(),
+            fsync: config.journal_fsync,
+            snapshot_every: config.snapshot_every,
         });
     }
     let registry = Arc::new(registry);

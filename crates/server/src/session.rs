@@ -38,13 +38,16 @@
 use crate::fault::{FaultPlan, EXEC_ERROR, EXEC_HANG, EXEC_PANIC, EXEC_SLOW, SHARD_STALL};
 use crate::journal::{Journal, JournalConfig, JournalRecord};
 use crate::stats::ServerStats;
+use iwb_core::persist::{self, SessionState};
 use iwb_core::shell::Shell;
 use iwb_core::tool::ToolError;
-use iwb_pool::{Budget, CancelToken, Deadline, Interrupt};
+use iwb_pool::{BackgroundWorker, Budget, CancelToken, Deadline, Interrupt};
+use iwb_store::{CommandRecord, SessionSnapshot, SessionStore};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -82,11 +85,104 @@ pub enum ExecOutcome {
     Quarantined,
 }
 
+/// Configuration of the on-disk snapshot store (`workbenchd --store`).
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding `<session>.snap` snapshot files (usually the
+    /// journal directory, so one `--store DIR` names both).
+    pub dir: PathBuf,
+    /// fsync snapshot files before renaming them into place.
+    pub fsync: bool,
+    /// Schedule a background snapshot every N journaled commands
+    /// (0: snapshot only on eviction and graceful shutdown).
+    pub snapshot_every: u64,
+}
+
+impl StoreConfig {
+    /// A store under `dir` with durable defaults.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            fsync: true,
+            snapshot_every: 64,
+        }
+    }
+}
+
+/// Counters for the snapshot lifecycle (the commit-then-verify
+/// handshake), shared by every session of a registry.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    committed: AtomicU64,
+    verify_failed: AtomicU64,
+    truncated: AtomicU64,
+}
+
+impl StoreStats {
+    /// Snapshots committed *and* verified by read-back.
+    pub fn snapshots_committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot commits that failed verification (torn, bit-flipped,
+    /// stale, or an I/O error); the journal was kept self-sufficient.
+    pub fn snapshots_failed(&self) -> u64 {
+        self.verify_failed.load(Ordering::Relaxed)
+    }
+
+    /// Journal truncations performed after a verified snapshot.
+    pub fn journals_truncated(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-session handle on the snapshot store: the file handle itself,
+/// the shared background worker snapshots run on, and the cadence.
+struct StoreContext {
+    store: SessionStore,
+    worker: Arc<BackgroundWorker>,
+    snapshot_every: u64,
+    stats: Arc<StoreStats>,
+}
+
+/// The commit-then-verify handshake: write the snapshot, read it back
+/// through full checksum verification, and only then truncate the
+/// journal prefix the snapshot covers. On any failure the journal is
+/// widened back to a complete history (base 0) — a corrupt commit may
+/// have clobbered the snapshot an earlier truncation relied on, and a
+/// journal that can replay alone is the one durability anchor fault
+/// injection cannot reach.
+fn commit_verify_truncate(
+    store: &SessionStore,
+    snapshot: &SessionSnapshot,
+    faults: &FaultPlan,
+    journal: &Mutex<Option<Journal>>,
+    stats: &StoreStats,
+) {
+    let verified = store.commit(snapshot, faults).is_ok()
+        && matches!(store.load(), Ok(Some(loaded)) if loaded.watermark == snapshot.watermark);
+    let mut guard = recover(journal.lock());
+    if verified {
+        stats.committed.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = guard.as_mut() {
+            if journal.truncate_to(snapshot.watermark).is_ok() {
+                stats.truncated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    } else {
+        stats.verify_failed.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = guard.as_mut() {
+            let _ = journal.rebase(0);
+        }
+    }
+}
+
 /// One live integration session.
 pub struct Session {
     id: String,
     shell: Mutex<Shell>,
-    journal: Mutex<Option<Journal>>,
+    journal: Arc<Mutex<Option<Journal>>>,
+    store: Option<StoreContext>,
     last_used: Mutex<Instant>,
     commands: AtomicU64,
     consecutive_panics: AtomicU32,
@@ -99,11 +195,12 @@ pub struct Session {
 }
 
 impl Session {
-    fn new(id: String, journal: Option<Journal>) -> Self {
+    fn new(id: String, journal: Option<Journal>, store: Option<StoreContext>) -> Self {
         Session {
             id,
             shell: Mutex::new(Shell::new()),
-            journal: Mutex::new(journal),
+            journal: Arc::new(Mutex::new(journal)),
+            store,
             last_used: Mutex::new(Instant::now()),
             commands: AtomicU64::new(0),
             consecutive_panics: AtomicU32::new(0),
@@ -259,21 +356,90 @@ impl Session {
         faults: &FaultPlan,
         stats: &ServerStats,
     ) {
-        let mut journal = recover(self.journal.lock());
-        if let Some(journal) = journal.as_mut() {
-            let record = JournalRecord {
-                command: command.to_owned(),
-                heredoc: heredoc.map(str::to_owned),
-            };
-            match journal.append(record, faults) {
-                Ok(torn) => {
-                    stats.journal_record();
-                    if torn {
-                        stats.journal_torn();
+        let mut snapshot_due = false;
+        {
+            let mut journal = recover(self.journal.lock());
+            if let Some(journal) = journal.as_mut() {
+                let record = JournalRecord {
+                    command: command.to_owned(),
+                    heredoc: heredoc.map(str::to_owned),
+                };
+                match journal.append(record, faults) {
+                    Ok(torn) => {
+                        stats.journal_record();
+                        if torn {
+                            stats.journal_torn();
+                        }
+                        snapshot_due = self.store.as_ref().is_some_and(|ctx| {
+                            ctx.snapshot_every > 0
+                                && (journal.len() as u64).is_multiple_of(ctx.snapshot_every)
+                        });
                     }
+                    Err(_) => stats.journal_error(),
                 }
-                Err(_) => stats.journal_error(),
             }
+        }
+        if snapshot_due {
+            self.schedule_snapshot(faults);
+        }
+    }
+
+    /// Capture a consistent snapshot image: shell state and journal
+    /// history under both locks (shell first, then journal — the same
+    /// order the execute path uses, so no lock-order inversion). `None`
+    /// when the session has no journal: the embedded command prefix is
+    /// the snapshot's authoritative recovery input, so a snapshot
+    /// without one would be unrecoverable decoration.
+    fn capture_snapshot(&self) -> Option<SessionSnapshot> {
+        let mut shell = recover(self.shell.lock());
+        let (watermark, commands) = {
+            let journal = recover(self.journal.lock());
+            let journal = journal.as_ref()?;
+            let commands: Vec<CommandRecord> = journal
+                .records()
+                .iter()
+                .map(|r| CommandRecord {
+                    command: r.command.clone(),
+                    heredoc: r.heredoc.clone(),
+                })
+                .collect();
+            (journal.len() as u64, commands)
+        };
+        let state = persist::capture(&mut shell);
+        Some(state.into_snapshot(self.id.clone(), watermark, commands))
+    }
+
+    /// Schedule a background snapshot (cadence reached). Capture is
+    /// synchronous — cheap clones under the locks — while the write,
+    /// verify read-back, and journal truncation run on the registry's
+    /// shared snapshot worker.
+    fn schedule_snapshot(&self, faults: &FaultPlan) {
+        let Some(ctx) = &self.store else { return };
+        let Some(snapshot) = self.capture_snapshot() else {
+            return;
+        };
+        let store = ctx.store.clone();
+        let faults = faults.clone();
+        let journal = Arc::clone(&self.journal);
+        let stats = Arc::clone(&ctx.stats);
+        ctx.worker.submit(move || {
+            commit_verify_truncate(&store, &snapshot, &faults, &journal, &stats);
+        });
+    }
+
+    /// Snapshot synchronously (eviction and graceful shutdown).
+    fn flush_snapshot(&self, faults: &FaultPlan) {
+        let Some(ctx) = &self.store else { return };
+        let Some(snapshot) = self.capture_snapshot() else {
+            return;
+        };
+        commit_verify_truncate(&ctx.store, &snapshot, faults, &self.journal, &ctx.stats);
+    }
+
+    /// Delete the session's snapshot file, if any (deliberate close).
+    fn discard_store(&self) {
+        if let Some(ctx) = &self.store {
+            let _ = ctx.store.discard();
         }
     }
 
@@ -411,6 +577,12 @@ pub struct RecoveryReport {
     /// Replayed commands that errored (should be zero: they succeeded
     /// before the crash).
     pub replay_errors: usize,
+    /// Sessions reopened warm: a verified snapshot primed their match
+    /// results, blocking index, and text features before replay.
+    pub warm: usize,
+    /// Snapshots that failed verification (torn, bit-flipped, stale
+    /// version) and were bypassed in favor of plain journal replay.
+    pub snapshot_fallbacks: usize,
 }
 
 /// The registry of live sessions.
@@ -420,6 +592,9 @@ pub struct SessionRegistry {
     idle_timeout: Duration,
     counter: AtomicU64,
     journal: Option<JournalConfig>,
+    store: Option<StoreConfig>,
+    store_worker: Option<Arc<BackgroundWorker>>,
+    store_stats: Arc<StoreStats>,
 }
 
 impl SessionRegistry {
@@ -432,6 +607,9 @@ impl SessionRegistry {
             idle_timeout,
             counter: AtomicU64::new(0),
             journal: None,
+            store: None,
+            store_worker: None,
+            store_stats: Arc::new(StoreStats::default()),
         }
     }
 
@@ -441,9 +619,66 @@ impl SessionRegistry {
         self
     }
 
+    /// Enable the persistent snapshot store: sessions snapshot on
+    /// cadence (background), on eviction, and on graceful shutdown,
+    /// and [`SessionRegistry::recover`] reopens them warm. Requires
+    /// journaling — snapshots cover a journal watermark.
+    pub fn with_store(mut self, config: StoreConfig) -> Self {
+        self.store_worker = Some(Arc::new(BackgroundWorker::new("iwb-snapshot")));
+        self.store = Some(config);
+        self
+    }
+
     /// Whether journaling is enabled.
     pub fn journaling(&self) -> bool {
         self.journal.is_some()
+    }
+
+    /// Snapshot-lifecycle counters (all zero when no store is
+    /// configured).
+    pub fn store_stats(&self) -> &StoreStats {
+        &self.store_stats
+    }
+
+    /// Block until every scheduled background snapshot has run its
+    /// commit-then-verify handshake.
+    pub fn drain_snapshots(&self) {
+        if let Some(worker) = &self.store_worker {
+            worker.drain();
+        }
+    }
+
+    /// Synchronously snapshot every live session (graceful shutdown);
+    /// returns how many sessions were flushed. Scheduled background
+    /// snapshots are drained first so the flush is the last word.
+    pub fn flush_snapshots(&self) -> usize {
+        if self.store.is_none() {
+            return 0;
+        }
+        self.drain_snapshots();
+        let sessions: Vec<Arc<Session>> = recover(self.sessions.lock()).values().cloned().collect();
+        let mut flushed = 0;
+        for session in &sessions {
+            if session.store.is_some() {
+                session.flush_snapshot(&FaultPlan::none());
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Build the per-session store handle, when a store is configured.
+    fn store_context(&self, id: &str) -> Option<StoreContext> {
+        let config = self.store.as_ref()?;
+        let worker = self.store_worker.as_ref()?;
+        let mut store = SessionStore::new(&config.dir, id);
+        store.fsync = config.fsync;
+        Some(StoreContext {
+            store,
+            worker: Arc::clone(worker),
+            snapshot_every: config.snapshot_every,
+            stats: Arc::clone(&self.store_stats),
+        })
     }
 
     /// Create a session. With `requested: None` an id is minted
@@ -464,7 +699,7 @@ impl SessionRegistry {
             return Err(RegistryError::DuplicateId(id));
         }
         if map.len() >= self.max_sessions {
-            Self::evict_idle_locked(&mut map, self.idle_timeout);
+            self.evict_idle_locked(&mut map);
         }
         if map.len() >= self.max_sessions {
             return Err(RegistryError::AtCapacity(self.max_sessions));
@@ -475,20 +710,29 @@ impl SessionRegistry {
             ),
             None => None,
         };
-        let session = Arc::new(Session::new(id.clone(), journal));
+        let session = Arc::new(Session::new(id.clone(), journal, self.store_context(&id)));
         map.insert(id, Arc::clone(&session));
         Ok(session)
     }
 
-    /// Rebuild sessions from the journal directory: for each readable
-    /// journal, recreate the session and replay its commands through a
-    /// fresh shell (dropping any torn tail), then rewrite the file
-    /// into one clean segment. Call before serving traffic.
+    /// Rebuild sessions from the journal (and snapshot) directory.
+    ///
+    /// For each readable journal: pair it with its snapshot if a store
+    /// is configured. A verified snapshot contributes its embedded
+    /// command prefix (so a truncated journal still replays a full
+    /// history) and primes the engine — match results and the blocking
+    /// index *before* replay, text features *after* — so the replayed
+    /// commands reopen warm instead of recomputing. A snapshot that
+    /// fails verification (torn, bit-flipped, stale version) is
+    /// bypassed: if the journal is self-sufficient (base 0) the
+    /// session rebuilds from replay alone; if not, the session is
+    /// refused — never silently wrong. Call before serving traffic.
     pub fn recover(&self, stats: &ServerStats) -> io::Result<RecoveryReport> {
         let Some(config) = self.journal.clone() else {
             return Ok(RecoveryReport::default());
         };
         let mut report = RecoveryReport::default();
+        let mut seen: Vec<String> = Vec::new();
         for path in Journal::scan_dir(&config.dir)? {
             let loaded = match Journal::load(&path) {
                 Ok(loaded) => loaded,
@@ -510,34 +754,151 @@ impl SessionRegistry {
             if loaded.torn_tail {
                 report.torn_tails += 1;
             }
-            let session = {
-                let mut map = recover(self.sessions.lock());
-                if map.contains_key(&loaded.session_id) || map.len() >= self.max_sessions {
-                    report.skipped += 1;
+            seen.push(loaded.session_id.clone());
+            let snapshot = self.load_snapshot_for(&loaded.session_id, &mut report);
+            let (records, base, warm) = match snapshot {
+                Some(snap) => {
+                    if snap.watermark < loaded.base {
+                        // The on-disk journal starts *after* this
+                        // snapshot's coverage: a newer snapshot
+                        // justified that truncation and is now gone.
+                        // The records in between are unrecoverable.
+                        report.skipped += 1;
+                        continue;
+                    }
+                    // Full history = the snapshot's embedded prefix +
+                    // the journal records past the watermark.
+                    let skip = ((snap.watermark - loaded.base) as usize).min(loaded.records.len());
+                    let mut records: Vec<JournalRecord> = snap
+                        .commands
+                        .iter()
+                        .map(|c| JournalRecord {
+                            command: c.command.clone(),
+                            heredoc: c.heredoc.clone(),
+                        })
+                        .collect();
+                    records.extend_from_slice(&loaded.records[skip..]);
+                    let base = snap.watermark;
+                    (records, base, Some(SessionState::from_snapshot(&snap)))
+                }
+                None => {
+                    if loaded.base > 0 {
+                        // The journal prefix was truncated under a
+                        // snapshot that is now missing or corrupt:
+                        // the history is incomplete, refuse.
+                        report.skipped += 1;
+                        continue;
+                    }
+                    (loaded.records, 0, None)
+                }
+            };
+            self.rebuild_session(
+                &config,
+                &loaded.session_id,
+                records,
+                base,
+                warm,
+                &mut report,
+                stats,
+            );
+        }
+        // Snapshots without a journal file (a crash between the two
+        // deletes of a close, or a pruned directory): a verified
+        // snapshot alone still carries the full command history.
+        if let Some(store_config) = self.store.clone() {
+            for id in SessionStore::scan_dir(&store_config.dir) {
+                if seen.iter().any(|s| s == &id) || !valid_id(&id) {
                     continue;
                 }
-                let session = Arc::new(Session::new(loaded.session_id.clone(), None));
-                map.insert(loaded.session_id.clone(), Arc::clone(&session));
-                session
-            };
-            for record in &loaded.records {
-                let result = session
-                    .with_shell(|shell| shell.execute(&record.command, record.heredoc.as_deref()));
-                report.replayed += 1;
-                if result.is_err() {
-                    report.replay_errors += 1;
-                }
+                let Some(snap) = self.load_snapshot_for(&id, &mut report) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                let records: Vec<JournalRecord> = snap
+                    .commands
+                    .iter()
+                    .map(|c| JournalRecord {
+                        command: c.command.clone(),
+                        heredoc: c.heredoc.clone(),
+                    })
+                    .collect();
+                let base = snap.watermark;
+                let warm = Some(SessionState::from_snapshot(&snap));
+                self.rebuild_session(&config, &id, records, base, warm, &mut report, stats);
             }
-            // Re-arm journaling on the healed file so post-recovery
-            // commands keep appending to the same history.
-            match Journal::adopt(&config, &loaded.session_id, loaded.records) {
-                Ok(journal) => *recover(session.journal.lock()) = Some(journal),
-                Err(_) => stats.journal_error(),
-            }
-            report.sessions += 1;
         }
         stats.recovery(&report);
         Ok(report)
+    }
+
+    /// Load and verify `id`'s snapshot. `None` means no usable
+    /// snapshot: either none exists, or verification failed (counted
+    /// as a fallback; the caller decides whether the journal alone
+    /// suffices).
+    fn load_snapshot_for(&self, id: &str, report: &mut RecoveryReport) -> Option<SessionSnapshot> {
+        let config = self.store.as_ref()?;
+        let mut store = SessionStore::new(&config.dir, id);
+        store.fsync = config.fsync;
+        match store.load() {
+            Ok(None) => None,
+            Ok(Some(snap)) if snap.session_id == id => Some(snap),
+            Ok(Some(_)) | Err(_) => {
+                report.snapshot_fallbacks += 1;
+                None
+            }
+        }
+    }
+
+    /// Recreate one session from its full command history, priming
+    /// warm state around the replay, and re-arm its journal with
+    /// `records[..base]` covered by the verified snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild_session(
+        &self,
+        config: &JournalConfig,
+        id: &str,
+        records: Vec<JournalRecord>,
+        base: u64,
+        warm: Option<SessionState>,
+        report: &mut RecoveryReport,
+        stats: &ServerStats,
+    ) {
+        let session = {
+            let mut map = recover(self.sessions.lock());
+            if map.contains_key(id) || map.len() >= self.max_sessions {
+                report.skipped += 1;
+                return;
+            }
+            let session = Arc::new(Session::new(id.to_owned(), None, self.store_context(id)));
+            map.insert(id.to_owned(), Arc::clone(&session));
+            session
+        };
+        // Content-keyed artifacts go in *before* replay (replayed
+        // commands recognise and reuse them); text features go in
+        // *after* (replayed loads emit SchemaGraph events that would
+        // wipe an earlier priming).
+        if let Some(state) = &warm {
+            session.with_shell(|shell| persist::prime_artifacts(shell, state));
+        }
+        for record in &records {
+            let result = session
+                .with_shell(|shell| shell.execute(&record.command, record.heredoc.as_deref()));
+            report.replayed += 1;
+            if result.is_err() {
+                report.replay_errors += 1;
+            }
+        }
+        if let Some(state) = &warm {
+            session.with_shell(|shell| persist::prime_features(shell, state));
+            report.warm += 1;
+        }
+        // Re-arm journaling on a healed file so post-recovery commands
+        // keep appending to the same history.
+        match Journal::adopt(config, id, records, base) {
+            Ok(journal) => *recover(session.journal.lock()) = Some(journal),
+            Err(_) => stats.journal_error(),
+        }
+        report.sessions += 1;
     }
 
     /// Look up a session.
@@ -545,11 +906,15 @@ impl SessionRegistry {
         recover(self.sessions.lock()).get(id).cloned()
     }
 
-    /// Close a session; `true` if it existed. The session's journal
-    /// file (if any) is deleted — a deliberate close is not a crash.
+    /// Close a session; `true` if it existed. The session's snapshot
+    /// and journal files (if any) are deleted — a deliberate close is
+    /// not a crash. The snapshot goes first: should the process die
+    /// between the two deletes, what remains is a journal that replays
+    /// in full, not a snapshot resurrecting a closed session.
     pub fn close(&self, id: &str) -> bool {
         match recover(self.sessions.lock()).remove(id) {
             Some(session) => {
+                session.discard_store();
                 session.discard_journal();
                 true
             }
@@ -561,21 +926,25 @@ impl SessionRegistry {
     /// mid-command); returns the evicted ids.
     pub fn evict_idle(&self) -> Vec<String> {
         let mut map = recover(self.sessions.lock());
-        Self::evict_idle_locked(&mut map, self.idle_timeout)
+        self.evict_idle_locked(&mut map)
     }
 
-    fn evict_idle_locked(
-        map: &mut HashMap<String, Arc<Session>>,
-        idle_timeout: Duration,
-    ) -> Vec<String> {
+    fn evict_idle_locked(&self, map: &mut HashMap<String, Arc<Session>>) -> Vec<String> {
         let victims: Vec<String> = map
             .iter()
-            .filter(|(_, s)| s.evictable(idle_timeout))
+            .filter(|(_, s)| s.evictable(self.idle_timeout))
             .map(|(id, _)| id.clone())
             .collect();
         for id in &victims {
             if let Some(session) = map.remove(id) {
-                session.discard_journal();
+                if session.store.is_some() {
+                    // Under a store, eviction persists instead of
+                    // forgetting: the snapshot and journal stay on
+                    // disk so recovery reopens the session warm.
+                    session.flush_snapshot(&FaultPlan::none());
+                } else {
+                    session.discard_journal();
+                }
             }
         }
         victims
@@ -614,7 +983,7 @@ impl SessionRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::FaultSpec;
+    use crate::fault::{FaultSpec, SNAPSHOT_TORN};
 
     fn exec(
         session: &Session,
@@ -982,6 +1351,305 @@ mod tests {
         assert!(Journal::path_for(&dir, "gone").exists());
         assert!(reg.close("gone"));
         assert!(!Journal::path_for(&dir, "gone").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- persistent store (snapshots + warm reopen) ----
+
+    fn store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "iwb-reg-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_registry(dir: &PathBuf, snapshot_every: u64) -> SessionRegistry {
+        SessionRegistry::new(4, Duration::from_secs(60))
+            .with_journal(JournalConfig::new(dir))
+            .with_store(StoreConfig {
+                dir: dir.clone(),
+                fsync: false,
+                snapshot_every,
+            })
+    }
+
+    /// The mutating command sequence the warm-reopen tests replay:
+    /// two loads, an automatic match, a lock, a re-match, an index.
+    const WARM_SCRIPT: [(&str, Option<&str>); 6] = [
+        (
+            "load er a",
+            Some("entity SHIPMENT \"An outgoing shipment.\" { ship_dt : date \"Date shipped.\" }\n"),
+        ),
+        (
+            "load er b",
+            Some("entity DELIVERY \"A delivery record.\" { deliver_dt : date \"Date delivered.\" }\n"),
+        ),
+        ("match a b", None),
+        ("accept a b a/SHIPMENT/ship_dt b/DELIVERY/deliver_dt", None),
+        ("match a b", None),
+        ("index-registry seed 7 scale 0.01", None),
+    ];
+
+    fn run_warm_script(session: &Session, stats: &ServerStats) {
+        let none = FaultPlan::none();
+        for (cmd, heredoc) in WARM_SCRIPT {
+            let out = exec(session, cmd, heredoc, &none, stats);
+            assert!(matches!(out, ExecOutcome::Output(_)), "{cmd}: {out:?}");
+        }
+    }
+
+    fn export_of(session: &Session, stats: &ServerStats) -> String {
+        match exec(session, "export", None, &FaultPlan::none(), stats) {
+            ExecOutcome::Output(out) => out,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_sessions_reopen_warm_after_restart() {
+        let dir = store_dir("warm");
+        let stats = ServerStats::new();
+        let reg = store_registry(&dir, 1);
+        let s = reg.create(Some("warm")).unwrap();
+        run_warm_script(&s, &stats);
+        let before = export_of(&s, &stats);
+        reg.drain_snapshots();
+        assert!(SessionStore::new(&dir, "warm").path().exists());
+        assert!(reg.store_stats().snapshots_committed() >= 1);
+        assert!(reg.store_stats().journals_truncated() >= 1);
+        drop(reg); // simulated crash: snapshot + journal survive
+
+        let fresh = store_registry(&dir, 1);
+        let report = fresh.recover(&stats).unwrap();
+        assert_eq!(
+            (
+                report.sessions,
+                report.warm,
+                report.replay_errors,
+                report.snapshot_fallbacks
+            ),
+            (1, 1, 0, 0),
+            "{report:?}"
+        );
+        assert_eq!(report.replayed, WARM_SCRIPT.len(), "full history replays");
+        let recovered = fresh.get("warm").expect("session recovered");
+        // The expensive steps were served from the snapshot, not
+        // recomputed: both matches and the index build hit primed state.
+        let (match_hits, index_hits) = recovered.with_shell(|shell| {
+            let manager = shell.manager_mut();
+            let m = manager
+                .tool_mut::<iwb_core::tools::HarmonyTool>("harmony")
+                .unwrap()
+                .primed_hits();
+            let b = manager
+                .tool_mut::<iwb_core::tools::BlockingTool>("blocking")
+                .unwrap()
+                .primed_hits();
+            (m, b)
+        });
+        assert_eq!(match_hits, 2, "both replayed matches served warm");
+        assert_eq!(index_hits, 1, "index restored from parts, not rebuilt");
+        assert_eq!(
+            before,
+            export_of(&recovered, &stats),
+            "warm reopen must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicted_store_sessions_are_persisted_not_forgotten() {
+        let dir = store_dir("evict");
+        let stats = ServerStats::new();
+        let reg = SessionRegistry::new(4, Duration::from_millis(0))
+            .with_journal(JournalConfig::new(&dir))
+            .with_store(StoreConfig {
+                dir: dir.clone(),
+                fsync: false,
+                snapshot_every: 0, // only eviction/shutdown snapshots
+            });
+        let s = reg.create(Some("idle")).unwrap();
+        let out = exec(
+            &s,
+            "load er po",
+            Some("entity A { x : text }\n"),
+            &FaultPlan::none(),
+            &stats,
+        );
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        let before = export_of(&s, &stats);
+        drop(s);
+        assert!(reg.evict_idle().contains(&"idle".to_owned()));
+        assert!(
+            SessionStore::new(&dir, "idle").path().exists(),
+            "eviction persists the snapshot"
+        );
+        assert!(
+            Journal::path_for(&dir, "idle").exists(),
+            "eviction keeps the journal"
+        );
+        drop(reg);
+
+        let fresh = store_registry(&dir, 0);
+        let report = fresh.recover(&stats).unwrap();
+        assert_eq!((report.sessions, report.warm), (1, 1), "{report:?}");
+        let recovered = fresh.get("idle").expect("evicted session reopens");
+        assert_eq!(before, export_of(&recovered, &stats));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn closing_a_store_session_deletes_snapshot_and_journal() {
+        let dir = store_dir("close");
+        let stats = ServerStats::new();
+        let reg = store_registry(&dir, 1);
+        let s = reg.create(Some("gone")).unwrap();
+        let out = exec(
+            &s,
+            "load er po",
+            Some("entity A { x : text }\n"),
+            &FaultPlan::none(),
+            &stats,
+        );
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        reg.drain_snapshots();
+        assert!(SessionStore::new(&dir, "gone").path().exists());
+        assert!(reg.close("gone"));
+        assert!(!SessionStore::new(&dir, "gone").path().exists());
+        assert!(!Journal::path_for(&dir, "gone").exists());
+        // Nothing resurrects on the next start.
+        let fresh = store_registry(&dir, 1);
+        let report = fresh.recover(&stats).unwrap();
+        assert_eq!(report.sessions, 0, "{report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshots_fall_back_to_journal_replay() {
+        for spec in ["snapshot-torn@0", "snapshot-bitflip@0", "snapshot-stale@0"] {
+            let tag = spec.split(['-', '@']).nth(1).unwrap();
+            let dir = store_dir(tag);
+            let stats = ServerStats::new();
+            let plan = FaultSpec::parse(&format!("seed=3, {spec}"))
+                .unwrap()
+                .build();
+            // One snapshot commit exactly (after the 3rd journaled
+            // command), so fault index 0 corrupts the only file.
+            let reg = store_registry(&dir, 3);
+            let s = reg.create(Some("c")).unwrap();
+            for (cmd, heredoc) in &WARM_SCRIPT[..3] {
+                let out = exec(&s, cmd, *heredoc, &plan, &stats);
+                assert!(matches!(out, ExecOutcome::Output(_)), "{cmd}: {out:?}");
+            }
+            let before = export_of(&s, &stats);
+            reg.drain_snapshots();
+            assert!(
+                reg.store_stats().snapshots_failed() >= 1,
+                "{spec}: corruption must fail verification"
+            );
+            drop(reg);
+
+            let fresh = store_registry(&dir, 1);
+            let report = fresh.recover(&stats).unwrap();
+            // The corrupt snapshot is detected and bypassed; the
+            // journal replays the full history — never silently wrong.
+            assert!(report.snapshot_fallbacks >= 1, "{spec}: {report:?}");
+            assert_eq!(
+                (report.sessions, report.replayed, report.replay_errors),
+                (1, 3, 0),
+                "{spec}: {report:?}"
+            );
+            let recovered = fresh.get("c").expect("session recovered from journal");
+            assert_eq!(before, export_of(&recovered, &stats), "{spec}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn a_corrupt_snapshot_after_truncation_rewidens_the_journal() {
+        // The crash-between-snapshot-and-compact window: snapshot 0
+        // verifies and truncates the journal to its watermark; snapshot
+        // 1 is torn in flight, clobbering the verified file. The failed
+        // verify must widen the journal back to a complete history, or
+        // the session would be unrecoverable.
+        let dir = store_dir("window");
+        let stats = ServerStats::new();
+        let plan = FaultSpec::seeded(5).at(SNAPSHOT_TORN, &[1]).build();
+        let reg = store_registry(&dir, 1);
+        let s = reg.create(Some("window")).unwrap();
+
+        let out = exec(
+            &s,
+            "load er a",
+            Some("entity A { x : text }\n"),
+            &plan,
+            &stats,
+        );
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        reg.drain_snapshots();
+        assert_eq!(reg.store_stats().journals_truncated(), 1);
+
+        let out = exec(
+            &s,
+            "load er b",
+            Some("entity B { y : text }\n"),
+            &plan,
+            &stats,
+        );
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        reg.drain_snapshots();
+        assert_eq!(reg.store_stats().snapshots_failed(), 1);
+        let before = export_of(&s, &stats);
+        drop(reg); // crash with a corrupt snapshot on disk
+
+        let fresh = store_registry(&dir, 1);
+        let report = fresh.recover(&stats).unwrap();
+        assert_eq!(
+            (
+                report.sessions,
+                report.warm,
+                report.snapshot_fallbacks,
+                report.replayed
+            ),
+            (1, 0, 1, 2),
+            "{report:?}"
+        );
+        let recovered = fresh.get("window").expect("session recovered");
+        assert_eq!(before, export_of(&recovered, &stats));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_orphaned_snapshot_alone_recovers_the_session() {
+        let dir = store_dir("orphan");
+        let stats = ServerStats::new();
+        let reg = store_registry(&dir, 1);
+        let s = reg.create(Some("solo")).unwrap();
+        let out = exec(
+            &s,
+            "load er po",
+            Some("entity A { x : text }\n"),
+            &FaultPlan::none(),
+            &stats,
+        );
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        let before = export_of(&s, &stats);
+        reg.drain_snapshots();
+        drop(reg);
+        // Simulate the close-crash window: the journal is gone but the
+        // verified snapshot (which embeds the command prefix) survives.
+        std::fs::remove_file(Journal::path_for(&dir, "solo")).unwrap();
+
+        let fresh = store_registry(&dir, 1);
+        let report = fresh.recover(&stats).unwrap();
+        assert_eq!((report.sessions, report.warm), (1, 1), "{report:?}");
+        let recovered = fresh.get("solo").expect("snapshot alone recovers");
+        assert_eq!(before, export_of(&recovered, &stats));
+        // The journal was re-armed: new mutating commands append again.
+        assert!(Journal::path_for(&dir, "solo").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

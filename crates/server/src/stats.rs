@@ -496,8 +496,7 @@ mod tests {
             sessions: 2,
             replayed: 7,
             torn_tails: 1,
-            skipped: 0,
-            replay_errors: 0,
+            ..Default::default()
         });
         let text = s.render(0);
         assert!(

@@ -1,0 +1,712 @@
+//! Codecs between workbench artifacts and snapshot segment bytes.
+//!
+//! Three artifact families are persisted (the tentpole of ROADMAP
+//! item 1): canonical schema graphs with their per-element text
+//! features, Harmony match results (merged matrix + per-voter
+//! matrices), and the blocking inverted index. Every codec here is a
+//! *total* encoder and a *`Result`-based* decoder over the
+//! [`crate::codec`] primitives — floats travel as `to_bits`, maps are
+//! serialised in sorted key order, so encode∘decode is the identity and
+//! the same logical value always produces the same bytes (both
+//! property-tested in `tests/properties.rs`).
+//!
+//! Artifacts are pure caches, keyed by **content**: a stable
+//! fingerprint of the canonical graph encoding ([`stable_schema_fp`]),
+//! the locked-cell map, the engine's corpus epoch, and the match scope.
+//! Unlike the engine's in-process `fingerprint` (a `DefaultHasher`
+//! digest, stable only within one process), these keys are FNV-1a64
+//! over canonical bytes and therefore survive restarts. A primed
+//! artifact whose key no longer matches is simply never served — stale
+//! state cannot leak, only warmth can be lost.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+use crate::fault::fnv1a64;
+use iwb_blocking::{BlockingConfig, IndexParts};
+use iwb_harmony::{Confidence, MatchResult, ScoreMatrix, TextFeatures};
+use iwb_ling::{NgramProfile, Preprocessed};
+use iwb_model::{
+    AnnotationValue, DataType, EdgeKind, ElementId, ElementKind, Metamodel, SchemaElement,
+    SchemaGraph, SchemaId,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Schema graphs
+// ---------------------------------------------------------------------
+
+fn metamodel_tag(m: Metamodel) -> u8 {
+    match m {
+        Metamodel::Relational => 0,
+        Metamodel::Xml => 1,
+        Metamodel::EntityRelationship => 2,
+    }
+}
+
+fn metamodel_from_tag(tag: u8) -> Result<Metamodel, CodecError> {
+    Ok(match tag {
+        0 => Metamodel::Relational,
+        1 => Metamodel::Xml,
+        2 => Metamodel::EntityRelationship,
+        t => return Err(CodecError::BadTag("metamodel", t)),
+    })
+}
+
+fn kind_tag(kind: ElementKind) -> u8 {
+    ElementKind::all()
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ElementKind::all") as u8
+}
+
+fn kind_from_tag(tag: u8) -> Result<ElementKind, CodecError> {
+    ElementKind::all()
+        .get(tag as usize)
+        .copied()
+        .ok_or(CodecError::BadTag("element kind", tag))
+}
+
+fn encode_data_type(w: &mut ByteWriter, dt: &DataType) {
+    match dt {
+        DataType::Text => w.u8(0),
+        DataType::VarChar(n) => {
+            w.u8(1);
+            w.u32(*n);
+        }
+        DataType::Integer => w.u8(2),
+        DataType::Decimal => w.u8(3),
+        DataType::Boolean => w.u8(4),
+        DataType::Date => w.u8(5),
+        DataType::DateTime => w.u8(6),
+        DataType::Coded(d) => {
+            w.u8(7);
+            w.str(d);
+        }
+        DataType::Binary => w.u8(8),
+        DataType::Other(s) => {
+            w.u8(9);
+            w.str(s);
+        }
+    }
+}
+
+fn decode_data_type(r: &mut ByteReader) -> Result<DataType, CodecError> {
+    Ok(match r.u8()? {
+        0 => DataType::Text,
+        1 => DataType::VarChar(r.u32()?),
+        2 => DataType::Integer,
+        3 => DataType::Decimal,
+        4 => DataType::Boolean,
+        5 => DataType::Date,
+        6 => DataType::DateTime,
+        7 => DataType::Coded(r.str()?),
+        8 => DataType::Binary,
+        9 => DataType::Other(r.str()?),
+        t => return Err(CodecError::BadTag("data type", t)),
+    })
+}
+
+/// Element payload shared by the root and every child: name, type,
+/// documentation, annotations (in key order — `Annotations` iterates a
+/// `BTreeMap`, so the bytes are canonical).
+fn encode_element_fields(w: &mut ByteWriter, el: &SchemaElement) {
+    w.str(&el.name);
+    match &el.data_type {
+        None => w.u8(0),
+        Some(dt) => {
+            w.u8(1);
+            encode_data_type(w, dt);
+        }
+    }
+    match &el.documentation {
+        None => w.u8(0),
+        Some(doc) => {
+            w.u8(1);
+            w.str(doc);
+        }
+    }
+    w.u32(el.annotations.len() as u32);
+    for (key, value) in el.annotations.iter() {
+        w.str(key);
+        match value {
+            AnnotationValue::Text(s) => {
+                w.u8(0);
+                w.str(s);
+            }
+            AnnotationValue::Number(n) => {
+                w.u8(1);
+                w.f64(*n);
+            }
+            AnnotationValue::Flag(b) => {
+                w.u8(2);
+                w.bool(*b);
+            }
+        }
+    }
+}
+
+fn decode_element_fields(r: &mut ByteReader, el: &mut SchemaElement) -> Result<(), CodecError> {
+    el.name = r.str()?;
+    el.data_type = match r.u8()? {
+        0 => None,
+        _ => Some(decode_data_type(r)?),
+    };
+    el.documentation = match r.u8()? {
+        0 => None,
+        _ => Some(r.str()?),
+    };
+    let count = r.u32()?;
+    for _ in 0..count {
+        let key = r.str()?;
+        let value = match r.u8()? {
+            0 => AnnotationValue::Text(r.str()?),
+            1 => AnnotationValue::Number(r.f64()?),
+            2 => AnnotationValue::Flag(r.bool()?),
+            t => return Err(CodecError::BadTag("annotation", t)),
+        };
+        el.annotations.set(key, value);
+    }
+    Ok(())
+}
+
+/// Canonical byte encoding of a schema graph: id, metamodel, root
+/// fields, every child in creation order (parent + containment edge +
+/// fields), then cross edges. Creation order *is* the element id
+/// order, so decoding re-issues identical [`ElementId`]s.
+pub fn encode_schema(graph: &SchemaGraph) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(graph.id().as_str());
+    w.u8(metamodel_tag(graph.metamodel()));
+    encode_element_fields(&mut w, graph.element(graph.root()));
+    w.u32((graph.len() - 1) as u32);
+    for (id, el) in graph.iter().skip(1) {
+        let (edge, parent) = graph
+            .parent(id)
+            .expect("non-root elements have a containment parent");
+        w.str(edge.label());
+        w.u32(parent.index() as u32);
+        w.u8(kind_tag(el.kind));
+        encode_element_fields(&mut w, el);
+    }
+    w.u32(graph.cross_edges().len() as u32);
+    for e in graph.cross_edges() {
+        w.u32(e.from.index() as u32);
+        w.str(e.kind.label());
+        w.u32(e.to.index() as u32);
+    }
+    w.into_bytes()
+}
+
+/// Decode a graph from [`encode_schema`] bytes.
+pub fn decode_schema(bytes: &[u8]) -> Result<SchemaGraph, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let id = r.str()?;
+    let metamodel = metamodel_from_tag(r.u8()?)?;
+    let mut graph = SchemaGraph::new(id, metamodel);
+    decode_element_fields(&mut r, graph.element_mut(graph.root()))?;
+    let children = r.u32()?;
+    for _ in 0..children {
+        let edge =
+            EdgeKind::from_label(&r.str()?).ok_or(CodecError::Invalid("unknown edge label"))?;
+        let parent = r.u32()? as usize;
+        if parent >= graph.len() {
+            return Err(CodecError::Invalid("child references a later parent"));
+        }
+        let kind = kind_from_tag(r.u8()?)?;
+        let mut el = SchemaElement::new(kind, "");
+        decode_element_fields(&mut r, &mut el)?;
+        graph.add_child(ElementId::from_index(parent), edge, el);
+    }
+    let crossings = r.u32()?;
+    for _ in 0..crossings {
+        let from = r.u32()? as usize;
+        let kind =
+            EdgeKind::from_label(&r.str()?).ok_or(CodecError::Invalid("unknown edge label"))?;
+        let to = r.u32()? as usize;
+        if from >= graph.len() || to >= graph.len() {
+            return Err(CodecError::Invalid("cross edge endpoint out of range"));
+        }
+        graph.add_cross_edge(ElementId::from_index(from), kind, ElementId::from_index(to));
+    }
+    Ok(graph)
+}
+
+/// Restart-stable content fingerprint of a schema: FNV-1a64 over its
+/// canonical encoding. Used in artifact keys (the engine's in-process
+/// `fingerprint` uses `DefaultHasher` and does not survive restarts).
+pub fn stable_schema_fp(graph: &SchemaGraph) -> u64 {
+    fnv1a64(&encode_schema(graph))
+}
+
+// ---------------------------------------------------------------------
+// Text features
+// ---------------------------------------------------------------------
+
+fn encode_strings(w: &mut ByteWriter, strings: &[String]) {
+    w.u32(strings.len() as u32);
+    for s in strings {
+        w.str(s);
+    }
+}
+
+fn decode_strings(r: &mut ByteReader) -> Result<Vec<String>, CodecError> {
+    let count = r.u32()?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(r.str()?);
+    }
+    Ok(out)
+}
+
+fn encode_preprocessed(w: &mut ByteWriter, p: &Preprocessed) {
+    encode_strings(w, &p.tokens);
+    encode_strings(w, &p.stems);
+}
+
+fn decode_preprocessed(r: &mut ByteReader) -> Result<Preprocessed, CodecError> {
+    Ok(Preprocessed {
+        tokens: decode_strings(r)?,
+        stems: decode_strings(r)?,
+    })
+}
+
+/// Encode one schema's per-element [`TextFeatures`] map, sorted by
+/// element id. The bigram profile is *not* serialised: it is a
+/// deterministic function of `joined_name` and is rebuilt on decode.
+pub fn encode_text_features(features: &HashMap<ElementId, Arc<TextFeatures>>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let mut ids: Vec<ElementId> = features.keys().copied().collect();
+    ids.sort();
+    w.u32(ids.len() as u32);
+    for id in ids {
+        let f = &features[&id];
+        w.u32(id.index() as u32);
+        encode_preprocessed(&mut w, &f.name);
+        encode_preprocessed(&mut w, &f.doc);
+        encode_strings(&mut w, &f.domain_codes);
+        encode_strings(&mut w, &f.domain_meaning_stems);
+        w.str(&f.joined_name);
+        encode_strings(&mut w, &f.expanded_stems);
+    }
+    w.into_bytes()
+}
+
+/// Decode [`encode_text_features`] bytes, rebuilding each element's
+/// bigram profile from its joined name.
+pub fn decode_text_features(
+    bytes: &[u8],
+) -> Result<HashMap<ElementId, Arc<TextFeatures>>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.u32()?;
+    let mut out = HashMap::with_capacity(count as usize);
+    for _ in 0..count {
+        let id = ElementId::from_index(r.u32()? as usize);
+        let name = decode_preprocessed(&mut r)?;
+        let doc = decode_preprocessed(&mut r)?;
+        let domain_codes = decode_strings(&mut r)?;
+        let domain_meaning_stems = decode_strings(&mut r)?;
+        let joined_name = r.str()?;
+        let expanded_stems = decode_strings(&mut r)?;
+        let name_profile = NgramProfile::new(&joined_name, 2);
+        out.insert(
+            id,
+            Arc::new(TextFeatures {
+                name,
+                doc,
+                domain_codes,
+                domain_meaning_stems,
+                joined_name,
+                name_profile,
+                expanded_stems,
+            }),
+        );
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Score matrices and match results
+// ---------------------------------------------------------------------
+
+fn encode_matrix(w: &mut ByteWriter, m: &ScoreMatrix) {
+    w.u32(m.src_ids().len() as u32);
+    w.u32(m.tgt_ids().len() as u32);
+    for id in m.src_ids() {
+        w.u32(id.index() as u32);
+    }
+    for id in m.tgt_ids() {
+        w.u32(id.index() as u32);
+    }
+    for &s in m.scores() {
+        w.f64(s);
+    }
+}
+
+fn decode_matrix(r: &mut ByteReader) -> Result<ScoreMatrix, CodecError> {
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    let mut src_ids = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        src_ids.push(ElementId::from_index(r.u32()? as usize));
+    }
+    let mut tgt_ids = Vec::with_capacity(cols);
+    for _ in 0..cols {
+        tgt_ids.push(ElementId::from_index(r.u32()? as usize));
+    }
+    let cells = rows
+        .checked_mul(cols)
+        .ok_or(CodecError::Invalid("matrix dimensions overflow"))?;
+    let mut scores = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        scores.push(r.f64()?);
+    }
+    ScoreMatrix::from_raw(src_ids, tgt_ids, scores)
+        .ok_or(CodecError::Invalid("matrix slab does not match dims"))
+}
+
+fn encode_match_result(w: &mut ByteWriter, result: &MatchResult) {
+    encode_matrix(w, &result.matrix);
+    w.u32(result.per_voter.len() as u32);
+    for (name, m) in &result.per_voter {
+        w.str(name);
+        encode_matrix(w, m);
+    }
+    w.u64(result.flooding_iterations as u64);
+}
+
+fn decode_match_result(r: &mut ByteReader) -> Result<MatchResult, CodecError> {
+    let matrix = decode_matrix(r)?;
+    let voters = r.u32()?;
+    let mut per_voter = Vec::with_capacity(voters as usize);
+    for _ in 0..voters {
+        let name = r.str()?;
+        per_voter.push((name, decode_matrix(r)?));
+    }
+    let flooding_iterations = r.u64()? as usize;
+    Ok(MatchResult {
+        matrix,
+        per_voter,
+        flooding_iterations,
+    })
+}
+
+/// A persisted match result for one schema pair, keyed by content.
+#[derive(Debug, Clone)]
+pub struct MatchArtifact {
+    /// Source schema id (the pair key in the harmony tool).
+    pub src: SchemaId,
+    /// Target schema id.
+    pub tgt: SchemaId,
+    /// [`match_artifact_key`] of the inputs that produced the result.
+    pub key: u64,
+    /// The full engine output (merged matrix, per-voter matrices).
+    pub result: MatchResult,
+}
+
+/// Content key of a match run: stable schema fingerprints, the sorted
+/// locked-cell map (ids and confidence bits), the engine's corpus
+/// epoch, and the scope path. Two runs with equal keys are guaranteed
+/// byte-identical results (the determinism contract), so a snapshotted
+/// result may be served in place of re-running the engine.
+pub fn match_artifact_key(
+    source: &SchemaGraph,
+    target: &SchemaGraph,
+    locked: &HashMap<(ElementId, ElementId), Confidence>,
+    corpus_epoch: u64,
+    scope: Option<&str>,
+) -> u64 {
+    let mut w = ByteWriter::new();
+    w.u64(stable_schema_fp(source));
+    w.u64(stable_schema_fp(target));
+    let mut cells: Vec<(u32, u32, u64)> = locked
+        .iter()
+        .map(|(&(s, t), c)| (s.index() as u32, t.index() as u32, c.value().to_bits()))
+        .collect();
+    cells.sort_unstable();
+    w.u32(cells.len() as u32);
+    for (s, t, bits) in cells {
+        w.u32(s);
+        w.u32(t);
+        w.u64(bits);
+    }
+    w.u64(corpus_epoch);
+    match scope {
+        None => w.u8(0),
+        Some(path) => {
+            w.u8(1);
+            w.str(path);
+        }
+    }
+    fnv1a64(&w.into_bytes())
+}
+
+/// Encode a [`MatchArtifact`] as one snapshot segment.
+pub fn encode_match_artifact(artifact: &MatchArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(artifact.src.as_str());
+    w.str(artifact.tgt.as_str());
+    w.u64(artifact.key);
+    encode_match_result(&mut w, &artifact.result);
+    w.into_bytes()
+}
+
+/// Decode [`encode_match_artifact`] bytes.
+pub fn decode_match_artifact(bytes: &[u8]) -> Result<MatchArtifact, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let src = SchemaId::new(r.str()?);
+    let tgt = SchemaId::new(r.str()?);
+    let key = r.u64()?;
+    let result = decode_match_result(&mut r)?;
+    Ok(MatchArtifact {
+        src,
+        tgt,
+        key,
+        result,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Blocking index
+// ---------------------------------------------------------------------
+
+/// A persisted blocking index for a *generated* registry: the expensive
+/// build output ([`IndexParts`]) plus the cheap generator inputs needed
+/// to re-materialise the model graphs at prime time. Indexes built over
+/// blackboard schemas are not persisted — journal replay rebuilds them
+/// from the replayed `load` commands.
+#[derive(Debug, Clone)]
+pub struct BlockingArtifact {
+    /// Generator seed (`index-registry seed N`).
+    pub seed: u64,
+    /// Generator scale factor.
+    pub scale: f64,
+    /// [`blocking_artifact_key`] of the inputs that produced the index.
+    pub key: u64,
+    /// The built index, decomposed for serialisation.
+    pub parts: IndexParts,
+}
+
+fn encode_blocking_config(w: &mut ByteWriter, config: &BlockingConfig) {
+    w.bool(config.expand_abbreviations);
+    w.bool(config.collapse_synonyms);
+    w.bool(config.stem);
+    w.f64(config.doc_weight);
+    w.u32(config.threads as u32);
+}
+
+fn decode_blocking_config(r: &mut ByteReader) -> Result<BlockingConfig, CodecError> {
+    Ok(BlockingConfig {
+        expand_abbreviations: r.bool()?,
+        collapse_synonyms: r.bool()?,
+        stem: r.bool()?,
+        doc_weight: r.f64()?,
+        threads: r.u32()? as usize,
+    })
+}
+
+/// Content key of a generated blocking index: seed, scale bits, and the
+/// canonicalisation knobs (thread count excluded — builds are
+/// bit-identical across thread counts by contract).
+pub fn blocking_artifact_key(seed: u64, scale: f64, config: &BlockingConfig) -> u64 {
+    let mut w = ByteWriter::new();
+    w.u64(seed);
+    w.f64(scale);
+    w.bool(config.expand_abbreviations);
+    w.bool(config.collapse_synonyms);
+    w.bool(config.stem);
+    w.f64(config.doc_weight);
+    fnv1a64(&w.into_bytes())
+}
+
+/// Encode a [`BlockingArtifact`] as one snapshot segment.
+pub fn encode_blocking_artifact(artifact: &BlockingArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(artifact.seed);
+    w.f64(artifact.scale);
+    w.u64(artifact.key);
+    encode_blocking_config(&mut w, &artifact.parts.config);
+    w.u32(artifact.parts.ids.len() as u32);
+    for id in &artifact.parts.ids {
+        w.str(id.as_str());
+    }
+    for norm in &artifact.parts.norms {
+        w.f64(*norm);
+    }
+    w.u32(artifact.parts.postings.len() as u32);
+    for (term, list) in &artifact.parts.postings {
+        w.str(term);
+        w.u32(list.len() as u32);
+        for (model, weight) in list {
+            w.u32(*model);
+            w.f64(*weight);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode [`encode_blocking_artifact`] bytes.
+pub fn decode_blocking_artifact(bytes: &[u8]) -> Result<BlockingArtifact, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let seed = r.u64()?;
+    let scale = r.f64()?;
+    let key = r.u64()?;
+    let config = decode_blocking_config(&mut r)?;
+    let models = r.u32()? as usize;
+    let mut ids = Vec::with_capacity(models);
+    for _ in 0..models {
+        ids.push(SchemaId::new(r.str()?));
+    }
+    let mut norms = Vec::with_capacity(models);
+    for _ in 0..models {
+        norms.push(r.f64()?);
+    }
+    let terms = r.u32()? as usize;
+    let mut postings = Vec::with_capacity(terms);
+    for _ in 0..terms {
+        let term = r.str()?;
+        let len = r.u32()? as usize;
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            let model = r.u32()?;
+            let weight = r.f64()?;
+            list.push((model, weight));
+        }
+        postings.push((term, list));
+    }
+    Ok(BlockingArtifact {
+        seed,
+        scale,
+        key,
+        parts: IndexParts {
+            config,
+            ids,
+            norms,
+            postings,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_model::SchemaBuilder;
+
+    fn sample_graph() -> SchemaGraph {
+        let mut g = SchemaBuilder::new("crm", Metamodel::Relational)
+            .open("CUSTOMER")
+            .attr_doc("CUST_ID", DataType::Integer, "Unique customer identifier.")
+            .attr("NAME", DataType::VarChar(80))
+            .key("pk", &["CUST_ID"])
+            .close()
+            .build();
+        let id = g.find_by_name("NAME").unwrap();
+        g.element_mut(id)
+            .annotations
+            .set("confidence-score", 0.25f64);
+        g.element_mut(id).annotations.set("is-user-defined", true);
+        g
+    }
+
+    #[test]
+    fn schema_round_trip_preserves_everything() {
+        let g = sample_graph();
+        let decoded = decode_schema(&encode_schema(&g)).unwrap();
+        assert_eq!(g.id(), decoded.id());
+        assert_eq!(g.metamodel(), decoded.metamodel());
+        assert_eq!(g.len(), decoded.len());
+        for (id, el) in g.iter() {
+            assert_eq!(el, decoded.element(id));
+            assert_eq!(g.parent(id), decoded.parent(id));
+        }
+        assert_eq!(g.cross_edges(), decoded.cross_edges());
+        // And the canonical bytes are a fixpoint.
+        assert_eq!(encode_schema(&g), encode_schema(&decoded));
+    }
+
+    #[test]
+    fn stable_fp_is_content_sensitive() {
+        let g = sample_graph();
+        let mut edited = g.clone();
+        let id = edited.find_by_name("NAME").unwrap();
+        edited.element_mut(id).name = "FULL_NAME".into();
+        assert_eq!(stable_schema_fp(&g), stable_schema_fp(&g.clone()));
+        assert_ne!(stable_schema_fp(&g), stable_schema_fp(&edited));
+    }
+
+    #[test]
+    fn matrix_round_trip_is_bit_exact() {
+        let src = vec![ElementId::from_index(1), ElementId::from_index(2)];
+        let tgt = vec![ElementId::from_index(3)];
+        let scores = vec![0.1, -0.999999999];
+        let m = ScoreMatrix::from_raw(src, tgt, scores).unwrap();
+        let mut w = ByteWriter::new();
+        encode_matrix(&mut w, &m);
+        let bytes = w.into_bytes();
+        let decoded = decode_matrix(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(m.src_ids(), decoded.src_ids());
+        assert_eq!(m.tgt_ids(), decoded.tgt_ids());
+        for (a, b) in m.scores().iter().zip(decoded.scores()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn match_key_depends_on_inputs() {
+        let g = sample_graph();
+        let h = {
+            let mut h = g.clone();
+            let id = h.find_by_name("NAME").unwrap();
+            h.element_mut(id).name = "FULL_NAME".into();
+            h
+        };
+        let empty = HashMap::new();
+        let base = match_artifact_key(&g, &g, &empty, 0, None);
+        assert_eq!(base, match_artifact_key(&g, &g, &empty, 0, None));
+        assert_ne!(base, match_artifact_key(&g, &h, &empty, 0, None));
+        assert_ne!(base, match_artifact_key(&g, &g, &empty, 1, None));
+        assert_ne!(
+            base,
+            match_artifact_key(&g, &g, &empty, 0, Some("CUSTOMER"))
+        );
+        let mut locked = HashMap::new();
+        locked.insert(
+            (ElementId::from_index(1), ElementId::from_index(2)),
+            Confidence::ACCEPT,
+        );
+        assert_ne!(base, match_artifact_key(&g, &g, &locked, 0, None));
+    }
+
+    #[test]
+    fn blocking_artifact_round_trips() {
+        let parts = IndexParts {
+            config: BlockingConfig::default(),
+            ids: vec![SchemaId::new("m1"), SchemaId::new("m0")],
+            norms: vec![1.25, 0.75],
+            postings: vec![
+                ("aircraft".to_string(), vec![(0, 1.0), (1, 0.25)]),
+                ("vendor".to_string(), vec![(1, 2.0)]),
+            ],
+        };
+        let artifact = BlockingArtifact {
+            seed: 42,
+            scale: 1.0,
+            key: blocking_artifact_key(42, 1.0, &parts.config),
+            parts,
+        };
+        let decoded = decode_blocking_artifact(&encode_blocking_artifact(&artifact)).unwrap();
+        assert_eq!(decoded.seed, 42);
+        assert_eq!(decoded.key, artifact.key);
+        assert_eq!(decoded.parts.ids, artifact.parts.ids);
+        assert_eq!(decoded.parts.postings, artifact.parts.postings);
+        for (a, b) in artifact.parts.norms.iter().zip(&decoded.parts.norms) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_artifact_decodes_to_error() {
+        let g = sample_graph();
+        let bytes = encode_schema(&g);
+        assert!(decode_schema(&bytes[..bytes.len() / 2]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # iwb-store — persistent on-disk match store
+//!
+//! The workbench's blackboard (paper §2) is an in-memory workspace:
+//! every restart of `workbenchd` so far has meant either cold state or
+//! a full journal replay — re-parsing schemas, re-deriving text
+//! features, re-running every voter, re-building the blocking index.
+//! This crate adds the missing durability layer: a compact,
+//! checksummed, versioned **snapshot** of the three hot artifact
+//! families, so a restarted server reopens sessions *warm*.
+//!
+//! - [`snapshot`] — the container format: page/segment layout, FNV-1a64
+//!   checksums at header/index/page/segment granularity, atomic
+//!   write-then-rename commit, and layered corruption detection
+//!   (torn file, bit flip, stale version header). See
+//!   `crates/store/FORMAT.md` for the byte-level specification.
+//! - [`artifacts`] — canonical codecs for schema graphs, text
+//!   features, score matrices / match results, and the blocking
+//!   index, plus restart-stable content keys ([`stable_schema_fp`],
+//!   [`match_artifact_key`], [`blocking_artifact_key`]).
+//! - [`store`] — [`SessionSnapshot`] assembly and the per-session
+//!   [`SessionStore`] with its commit-then-verify durability contract:
+//!   only a verified read-back entitles the server to truncate the
+//!   journal prefix a snapshot covers, so corruption discovered at
+//!   recovery always has a journal to fall back on.
+//! - [`fault`] — the deterministic fault-injection grammar (relocated
+//!   from the server so storage faults and execution faults share one
+//!   spec language); adds the `snapshot-torn`, `snapshot-bitflip`, and
+//!   `snapshot-stale` points used by the corruption suite.
+//!
+//! Everything is deterministic: segment maps are sorted, floats travel
+//! as `to_bits`, and logically equal snapshots are byte-identical
+//! regardless of in-memory construction order (property-tested in
+//! `tests/properties.rs`).
+
+pub mod artifacts;
+pub mod codec;
+pub mod fault;
+pub mod snapshot;
+pub mod store;
+
+pub use artifacts::{
+    blocking_artifact_key, decode_schema, encode_schema, match_artifact_key, stable_schema_fp,
+    BlockingArtifact, MatchArtifact,
+};
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use fault::{FaultPlan, FaultSpec};
+pub use snapshot::{read_snapshot, write_snapshot, SnapshotError};
+pub use store::{CommandRecord, SessionSnapshot, SessionStore};

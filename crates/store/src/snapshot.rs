@@ -1,0 +1,373 @@
+//! The on-disk snapshot container: page/segment layout, checksums,
+//! atomic commit, and corruption-aware reads.
+//!
+//! A snapshot is a single file (see `crates/store/FORMAT.md`):
+//!
+//! ```text
+//! [ 64-byte header | payload (segments, sorted by name) | index ]
+//! ```
+//!
+//! The payload is the concatenation of named segments in **sorted name
+//! order**, so two snapshots of the same logical state are byte-identical
+//! regardless of the order the segments were inserted. The trailing
+//! index records each segment's name, offset, length, and FNV-1a64
+//! checksum, plus one checksum per 4 KiB payload page — page checksums
+//! localise corruption without re-hashing untouched segments, and
+//! segment checksums guard the unit the codecs actually decode.
+//!
+//! Commits are atomic: write to `<path>.tmp`, `fsync`, then `rename`
+//! over the target. A crash mid-write leaves either the old snapshot or
+//! a `.tmp` orphan, never a half-new file under the live name. Reads
+//! verify header → version → index → pages → segments and classify
+//! every failure, so callers can distinguish "no snapshot" from "torn"
+//! from "corrupt" and fall back to journal replay instead of serving
+//! silently-wrong state.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+use crate::fault::{fnv1a64, FaultPlan, SNAPSHOT_BITFLIP, SNAPSHOT_STALE, SNAPSHOT_TORN};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// First eight bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"IWBSNAP1";
+/// Current format version; bumped on any incompatible layout change.
+pub const VERSION: u32 = 1;
+/// Payload page size: checksums cover the payload in chunks this big.
+pub const PAGE_SIZE: usize = 4096;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 64;
+
+/// Why a snapshot could not be loaded.
+///
+/// Everything except [`SnapshotError::Io`] means the file existed but
+/// failed verification — the caller must fall back to journal replay.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file is shorter than its own layout claims (crash mid-write
+    /// that somehow beat the rename, or an external truncation).
+    Torn,
+    /// The first eight bytes are not the snapshot magic.
+    BadMagic,
+    /// The header verified but carries an unsupported format version.
+    Version(u32),
+    /// A checksum failed; the payload names which layer caught it
+    /// (`"header"`, `"index"`, `"page"`, `"segment"`).
+    Corrupt(&'static str),
+    /// A segment passed its checksum but failed structural decoding.
+    Codec(CodecError),
+    /// The underlying read failed (includes file-not-found).
+    Io(io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Torn => f.write_str("snapshot torn (file shorter than its layout)"),
+            SnapshotError::BadMagic => f.write_str("not a snapshot file (bad magic)"),
+            SnapshotError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Corrupt(layer) => write!(f, "snapshot corrupt ({layer} checksum)"),
+            SnapshotError::Codec(e) => write!(f, "snapshot segment undecodable: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Serialise `segments` into the container layout, returning the full
+/// file image (header + payload + index). Pure function of its input:
+/// the same segment map always yields the same bytes.
+pub fn encode(segments: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
+    // Payload: segments in sorted name order (BTreeMap iteration).
+    let mut payload = Vec::new();
+    let mut entries = Vec::with_capacity(segments.len());
+    for (name, bytes) in segments {
+        entries.push((name.as_str(), payload.len() as u64, bytes.len() as u64));
+        payload.extend_from_slice(bytes);
+    }
+
+    // Index: segment table, then per-page payload checksums.
+    let mut index = ByteWriter::new();
+    index.u32(entries.len() as u32);
+    for (name, offset, len) in &entries {
+        index.str(name);
+        index.u64(*offset);
+        index.u64(*len);
+        let seg = &payload[*offset as usize..(*offset + *len) as usize];
+        index.u64(fnv1a64(seg));
+    }
+    let pages = payload.chunks(PAGE_SIZE).collect::<Vec<_>>();
+    index.u32(pages.len() as u32);
+    for page in &pages {
+        index.u64(fnv1a64(page));
+    }
+    let index = index.into_bytes();
+
+    // Fixed header, checksummed over its first 56 bytes.
+    let mut file = Vec::with_capacity(HEADER_LEN + payload.len() + index.len());
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&VERSION.to_le_bytes());
+    file.extend_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(&((HEADER_LEN + payload.len()) as u64).to_le_bytes());
+    file.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    file.extend_from_slice(&fnv1a64(&index).to_le_bytes());
+    file.extend_from_slice(&0u64.to_le_bytes()); // reserved
+    let header_sum = fnv1a64(&file[..56]);
+    file.extend_from_slice(&header_sum.to_le_bytes());
+    debug_assert_eq!(file.len(), HEADER_LEN);
+
+    file.extend_from_slice(&payload);
+    file.extend_from_slice(&index);
+    file
+}
+
+/// Apply any armed `snapshot-*` faults to an encoded file image. The
+/// damage lands *after* every checksum is computed, so it is invisible
+/// to the writer and must be caught by [`decode`]'s verification.
+fn inject_faults(mut file: Vec<u8>, payload_len: usize, faults: &FaultPlan) -> Vec<u8> {
+    if faults.fires(SNAPSHOT_STALE).is_some() {
+        // An older build's version number; the header checksum is
+        // recomputed so the *version check* (not the checksum) trips.
+        file[8..12].copy_from_slice(&0u32.to_le_bytes());
+        let sum = fnv1a64(&file[..56]);
+        file[56..64].copy_from_slice(&sum.to_le_bytes());
+    }
+    if let Some(ms) = faults.fires(SNAPSHOT_BITFLIP) {
+        if payload_len > 0 {
+            // Deterministic target bit derived from the fault payload.
+            let byte = HEADER_LEN + (ms as usize % payload_len);
+            file[byte] ^= 1 << (ms % 8);
+        }
+    }
+    if faults.fires(SNAPSHOT_TORN).is_some() {
+        file.truncate(file.len() / 2);
+    }
+    file
+}
+
+/// Atomically commit `segments` to `path`: encode, apply fault
+/// injection, write `<path>.tmp`, optionally `fsync`, rename into
+/// place. Either the old file or the complete new file survives a
+/// crash; the live name never holds a partial write.
+pub fn write_snapshot(
+    path: &Path,
+    segments: &BTreeMap<String, Vec<u8>>,
+    fsync: bool,
+    faults: &FaultPlan,
+) -> io::Result<()> {
+    let image = encode(segments);
+    let payload_len = u64::from_le_bytes(image[16..24].try_into().unwrap()) as usize;
+    let image = inject_faults(image, payload_len, faults);
+
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&image)?;
+        if fsync {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Parse and verify a full snapshot image, returning its segment map.
+///
+/// Verification order: length → magic → header checksum → version →
+/// index bounds and checksum → page checksums → segment bounds and
+/// checksums. The first failing layer names the error, so corruption
+/// tests can assert *which* guard caught the damage.
+pub fn decode(file: &[u8]) -> Result<BTreeMap<String, Vec<u8>>, SnapshotError> {
+    if file.len() < HEADER_LEN {
+        return Err(SnapshotError::Torn);
+    }
+    if file[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let header_sum = u64::from_le_bytes(file[56..64].try_into().unwrap());
+    if fnv1a64(&file[..56]) != header_sum {
+        return Err(SnapshotError::Corrupt("header"));
+    }
+    let version = u32::from_le_bytes(file[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(SnapshotError::Version(version));
+    }
+    let page_size = u32::from_le_bytes(file[12..16].try_into().unwrap()) as usize;
+    let payload_len = u64::from_le_bytes(file[16..24].try_into().unwrap()) as usize;
+    let index_offset = u64::from_le_bytes(file[24..32].try_into().unwrap()) as usize;
+    let index_len = u64::from_le_bytes(file[32..40].try_into().unwrap()) as usize;
+    let index_sum = u64::from_le_bytes(file[40..48].try_into().unwrap());
+
+    if index_offset != HEADER_LEN + payload_len
+        || index_offset
+            .checked_add(index_len)
+            .is_none_or(|end| end > file.len())
+    {
+        return Err(SnapshotError::Torn);
+    }
+    let payload = &file[HEADER_LEN..index_offset];
+    let index = &file[index_offset..index_offset + index_len];
+    if fnv1a64(index) != index_sum {
+        return Err(SnapshotError::Corrupt("index"));
+    }
+
+    let mut r = ByteReader::new(index);
+    let seg_count = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(seg_count);
+    for _ in 0..seg_count {
+        let name = r.str()?;
+        let offset = r.u64()? as usize;
+        let len = r.u64()? as usize;
+        let sum = r.u64()?;
+        entries.push((name, offset, len, sum));
+    }
+    let page_count = r.u32()? as usize;
+    if page_size == 0 || page_count != payload.len().div_ceil(page_size) {
+        return Err(SnapshotError::Corrupt("index"));
+    }
+    for page in payload.chunks(page_size) {
+        let expected = r.u64()?;
+        if fnv1a64(page) != expected {
+            return Err(SnapshotError::Corrupt("page"));
+        }
+    }
+
+    let mut segments = BTreeMap::new();
+    for (name, offset, len, sum) in entries {
+        let end = offset.checked_add(len).filter(|&e| e <= payload.len());
+        let Some(end) = end else {
+            return Err(SnapshotError::Corrupt("segment"));
+        };
+        let seg = &payload[offset..end];
+        if fnv1a64(seg) != sum {
+            return Err(SnapshotError::Corrupt("segment"));
+        }
+        segments.insert(name, seg.to_vec());
+    }
+    Ok(segments)
+}
+
+/// Read and verify the snapshot at `path`. A missing file surfaces as
+/// [`SnapshotError::Io`] with `NotFound`; callers that treat absence as
+/// "cold start" should check existence first (see `SessionStore::load`).
+pub fn read_snapshot(path: &Path) -> Result<BTreeMap<String, Vec<u8>>, SnapshotError> {
+    let file = fs::read(path)?;
+    decode(&file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("iwb-store-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> BTreeMap<String, Vec<u8>> {
+        let mut m = BTreeMap::new();
+        m.insert("meta".to_string(), vec![1, 2, 3]);
+        m.insert("schema:a".to_string(), vec![0u8; PAGE_SIZE + 17]);
+        m.insert("blocking".to_string(), (0..255u8).collect());
+        m
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("s1.snap");
+        write_snapshot(&path, &sample(), true, &FaultPlan::none()).unwrap();
+        let loaded = read_snapshot(&path).unwrap();
+        assert_eq!(loaded, sample());
+    }
+
+    #[test]
+    fn encoding_is_independent_of_insertion_order() {
+        let forward = encode(&sample());
+        let mut reversed = BTreeMap::new();
+        for (k, v) in sample().into_iter().rev() {
+            reversed.insert(k, v);
+        }
+        assert_eq!(forward, encode(&reversed));
+    }
+
+    #[test]
+    fn empty_segment_map_round_trips() {
+        let image = encode(&BTreeMap::new());
+        assert_eq!(decode(&image).unwrap(), BTreeMap::new());
+    }
+
+    #[test]
+    fn torn_fault_is_detected_as_torn_or_header_damage() {
+        let dir = tmpdir("torn");
+        let path = dir.join("s1.snap");
+        let plan = FaultSpec::seeded(1).at(SNAPSHOT_TORN, &[0]).build();
+        write_snapshot(&path, &sample(), false, &plan).unwrap();
+        match read_snapshot(&path) {
+            Err(SnapshotError::Torn) => {}
+            other => panic!("expected Torn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitflip_fault_is_caught_by_a_checksum() {
+        let dir = tmpdir("bitflip");
+        let path = dir.join("s1.snap");
+        let plan = FaultSpec::seeded(1)
+            .at(SNAPSHOT_BITFLIP, &[0])
+            .millis(SNAPSHOT_BITFLIP, 1234)
+            .build();
+        write_snapshot(&path, &sample(), false, &plan).unwrap();
+        match read_snapshot(&path) {
+            Err(SnapshotError::Corrupt(layer)) => {
+                assert!(layer == "page" || layer == "segment", "layer {layer}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_version_fault_is_caught_by_the_version_check() {
+        let dir = tmpdir("stale");
+        let path = dir.join("s1.snap");
+        let plan = FaultSpec::seeded(1).at(SNAPSHOT_STALE, &[0]).build();
+        write_snapshot(&path, &sample(), false, &plan).unwrap();
+        match read_snapshot(&path) {
+            Err(SnapshotError::Version(0)) => {}
+            other => panic!("expected Version(0), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_by_magic() {
+        let image = b"definitely not a snapshot, but longer than a header....individual";
+        assert!(matches!(decode(&image[..]), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn short_file_is_torn() {
+        assert!(matches!(decode(&[0u8; 10]), Err(SnapshotError::Torn)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Corruption-injection suite: every storage fault the spec grammar
+//! can inject must be *detected* by a checksum or the version check —
+//! never returned as silently-wrong data — and the detection must
+//! leave recovery free to fall back to journal replay (the snapshot
+//! file stays on disk; only the load fails).
+//!
+//! Faults reuse the same `point@rate[:payload]` spec grammar as the
+//! server's chaos suite (`iwb_store::fault`), so a single CLI flag can
+//! drive execution faults and storage faults together.
+
+use iwb_model::{DataType, Metamodel, SchemaBuilder};
+use iwb_store::fault::{FaultPlan, FaultSpec};
+use iwb_store::snapshot::SnapshotError;
+use iwb_store::{CommandRecord, SessionSnapshot, SessionStore};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "iwb-corrupt-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn plan(spec: &str) -> FaultPlan {
+    FaultSpec::parse(spec).unwrap().build()
+}
+
+fn sample_snapshot() -> SessionSnapshot {
+    let schema = SchemaBuilder::new("crm", Metamodel::Relational)
+        .open("CUSTOMER")
+        .attr_doc("CUST_ID", DataType::Integer, "Unique customer identifier.")
+        .attr("NAME", DataType::VarChar(80))
+        .close()
+        .build();
+    SessionSnapshot {
+        session_id: "s1".to_string(),
+        watermark: 2,
+        commands: vec![
+            CommandRecord {
+                command: "load sql".to_string(),
+                heredoc: Some("CREATE TABLE CUSTOMER (CUST_ID INT, NAME VARCHAR(80));".into()),
+            },
+            CommandRecord {
+                command: "generate 3".to_string(),
+                heredoc: None,
+            },
+        ],
+        schemas: vec![schema],
+        ..SessionSnapshot::default()
+    }
+}
+
+fn store(dir: &PathBuf) -> SessionStore {
+    let mut s = SessionStore::new(dir, "s1");
+    s.fsync = false;
+    s
+}
+
+/// Commit under a fault spec, then load: the corrupted snapshot must
+/// surface an error (returned for per-fault assertions), and the
+/// journal the snapshot embeds must still fully describe the session —
+/// the replay fallback recovery uses.
+fn commit_corrupt_load(tag: &str, spec: &str) -> SnapshotError {
+    let dir = tmpdir(tag);
+    let s = store(&dir);
+    let snap = sample_snapshot();
+    s.commit(&snap, &plan(spec)).unwrap();
+    let err = s
+        .load()
+        .expect_err("corrupted snapshot must not load as data");
+    // The fallback path: the journal (here, the original records — on
+    // the server, the un-truncated journal file) replays the session
+    // from scratch. Nothing about the corrupt snapshot blocks it.
+    let replayed: Vec<&str> = snap.commands.iter().map(|c| c.command.as_str()).collect();
+    assert_eq!(replayed, vec!["load sql", "generate 3"]);
+    std::fs::remove_dir_all(&dir).ok();
+    err
+}
+
+#[test]
+fn truncated_snapshot_is_detected_as_torn() {
+    let err = commit_corrupt_load("torn", "snapshot-torn@0");
+    assert!(
+        matches!(err, SnapshotError::Torn | SnapshotError::Corrupt(_)),
+        "half a file must read as torn or checksum-damaged, got {err:?}"
+    );
+}
+
+#[test]
+fn bit_flipped_page_is_detected_by_a_checksum() {
+    let err = commit_corrupt_load("bitflip", "snapshot-bitflip@0");
+    assert!(
+        matches!(err, SnapshotError::Corrupt("page" | "segment")),
+        "a single flipped payload bit must trip a page or segment checksum, got {err:?}"
+    );
+}
+
+#[test]
+fn stale_version_header_is_rejected_by_the_version_check() {
+    let err = commit_corrupt_load("stale", "snapshot-stale@0");
+    assert!(
+        matches!(err, SnapshotError::Version(0)),
+        "an old-format snapshot must fail the version check (not a checksum), got {err:?}"
+    );
+}
+
+#[test]
+fn rate_one_faults_fire_on_every_commit() {
+    // `=1.0` rate syntax (as used by the chaos CLI) also drives
+    // storage faults; every commit under it is corrupted.
+    let dir = tmpdir("rate");
+    let s = store(&dir);
+    let p = plan("snapshot-bitflip=1.0");
+    for _ in 0..3 {
+        s.commit(&sample_snapshot(), &p).unwrap();
+        assert!(s.load().is_err());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn indexed_fault_spares_other_commits() {
+    // `@1` (second invocation) corrupts exactly one commit: the first
+    // snapshot verifies, the second is damaged, the third — which
+    // overwrites it via the atomic rename — verifies again. This is
+    // the crash-window shape: a bad commit never destroys the prior
+    // verified state until a good commit replaces it.
+    let dir = tmpdir("indexed");
+    let s = store(&dir);
+    let p = plan("snapshot-torn@1");
+    s.commit(&sample_snapshot(), &p).unwrap();
+    assert!(s.load().unwrap().is_some(), "first commit is clean");
+    s.commit(&sample_snapshot(), &p).unwrap();
+    assert!(s.load().is_err(), "second commit is torn");
+    s.commit(&sample_snapshot(), &p).unwrap();
+    assert!(
+        s.load().unwrap().is_some(),
+        "third commit replaces the torn image"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_free_commit_verifies_and_round_trips() {
+    let dir = tmpdir("clean");
+    let s = store(&dir);
+    let snap = sample_snapshot();
+    s.commit(&snap, &FaultPlan::none()).unwrap();
+    let loaded = s.load().unwrap().expect("snapshot present");
+    assert_eq!(loaded.watermark, 2);
+    assert_eq!(loaded.commands, snap.commands);
+    assert_eq!(loaded.schemas[0].id().as_str(), "crm");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,228 @@
+//! Property tests for the snapshot format and artifact codecs — the
+//! determinism contract `crates/store/FORMAT.md` promises:
+//!
+//! 1. encode∘decode is the identity for every artifact family, with
+//!    `f64::to_bits` equality on floats (no epsilon, no drift);
+//! 2. the snapshot image is a pure function of the logical content —
+//!    byte-identical regardless of segment insertion order or the
+//!    iteration order of in-memory hash maps;
+//! 3. a snapshot at watermark `w` plus the journal suffix carries
+//!    exactly the information of the full journal (the prefix it
+//!    embeds concatenated with the suffix is the original record
+//!    sequence, for every split point).
+
+use iwb_harmony::HarmonyEngine;
+use iwb_model::{ElementId, SchemaGraph};
+use iwb_registry::{generate_registry, GeneratorConfig};
+use iwb_store::artifacts::{
+    decode_schema, decode_text_features, encode_schema, encode_text_features, stable_schema_fp,
+};
+use iwb_store::snapshot;
+use iwb_store::{CommandRecord, SessionSnapshot};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Realistic schema graphs: seeded registry models (tables, keys,
+/// domains, annotations, documentation — the full metamodel surface).
+fn models(seed: u64) -> Vec<SchemaGraph> {
+    generate_registry(GeneratorConfig::scaled(seed, 0.012)).models
+}
+
+/// One small seeded model (~36 elements) for the engine-in-the-loop
+/// cases — full registry models make debug-mode voter runs too slow.
+fn small_model(seed: u64) -> SchemaGraph {
+    let cfg = GeneratorConfig {
+        seed,
+        models: 1,
+        elements: 6,
+        attributes: 30,
+        domain_values: 48,
+        ..GeneratorConfig::default()
+    };
+    generate_registry(cfg).models.pop().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Schema graphs survive the codec exactly: every element, parent
+    /// edge, cross edge, annotation, and the canonical bytes are a
+    /// fixpoint (encoding the decoded graph reproduces the input).
+    #[test]
+    fn schema_codec_is_identity(seed in 0u64..1000) {
+        for graph in models(seed) {
+            let bytes = encode_schema(&graph);
+            let decoded = decode_schema(&bytes).unwrap();
+            prop_assert_eq!(graph.id(), decoded.id());
+            prop_assert_eq!(graph.len(), decoded.len());
+            for (id, el) in graph.iter() {
+                prop_assert_eq!(el, decoded.element(id));
+                prop_assert_eq!(graph.parent(id), decoded.parent(id));
+            }
+            prop_assert_eq!(graph.cross_edges(), decoded.cross_edges());
+            prop_assert_eq!(&bytes, &encode_schema(&decoded));
+            prop_assert_eq!(stable_schema_fp(&graph), stable_schema_fp(&decoded));
+        }
+    }
+
+    /// Text features exported from the live engine cache round-trip
+    /// with bit-exact strings and a correctly rebuilt bigram profile
+    /// (decoded features are interchangeable with originals).
+    #[test]
+    fn text_features_codec_is_identity(seed in 0u64..500) {
+        let graph = models(seed).pop().unwrap();
+        let mut engine = HarmonyEngine::default();
+        let features = engine.export_text_features(&graph);
+        let decoded =
+            decode_text_features(&encode_text_features(&features)).unwrap();
+        prop_assert_eq!(features.len(), decoded.len());
+        for (id, f) in &features {
+            let d = &decoded[id];
+            prop_assert_eq!(&f.name.tokens, &d.name.tokens);
+            prop_assert_eq!(&f.name.stems, &d.name.stems);
+            prop_assert_eq!(&f.doc.tokens, &d.doc.tokens);
+            prop_assert_eq!(&f.doc.stems, &d.doc.stems);
+            prop_assert_eq!(&f.domain_codes, &d.domain_codes);
+            prop_assert_eq!(&f.domain_meaning_stems, &d.domain_meaning_stems);
+            prop_assert_eq!(&f.joined_name, &d.joined_name);
+            prop_assert_eq!(&f.expanded_stems, &d.expanded_stems);
+            // The rebuilt profile scores identically (Dice overlap is
+            // its only consumer; 1.0 self-similarity checks totals too).
+            prop_assert_eq!(f.name_profile.total(), d.name_profile.total());
+            if f.name_profile.total() > 0 {
+                let sim = iwb_ling::dice_profiles(&f.name_profile, &d.name_profile);
+                prop_assert_eq!(sim.to_bits(), 1.0f64.to_bits());
+            }
+        }
+        // And the bytes themselves are stable across re-encoding the
+        // decoded map (HashMap iteration order must not leak in).
+        prop_assert_eq!(
+            encode_text_features(&features),
+            encode_text_features(&decoded)
+        );
+    }
+
+    /// A match run persisted and re-loaded is the same result to the
+    /// last bit — the precondition for serving snapshotted matrices in
+    /// place of a re-run. (One small model pair per case: the full
+    /// voter ensemble is expensive in debug builds, and the codec
+    /// under test is exercised identically at any scale.)
+    #[test]
+    fn match_result_codec_is_bit_exact(seed in 0u64..300) {
+        use iwb_store::artifacts::{decode_match_artifact, encode_match_artifact};
+        use iwb_store::{match_artifact_key, MatchArtifact};
+        let source = small_model(seed);
+        let target = small_model(seed.wrapping_add(7919));
+        let mut engine = HarmonyEngine::default();
+        let locked = std::collections::HashMap::new();
+        let result = engine.run(&source, &target, &locked);
+        let artifact = MatchArtifact {
+            src: source.id().clone(),
+            tgt: target.id().clone(),
+            key: match_artifact_key(&source, &target, &locked, 0, None),
+            result,
+        };
+        let decoded = decode_match_artifact(&encode_match_artifact(&artifact)).unwrap();
+        prop_assert_eq!(&artifact.src, &decoded.src);
+        prop_assert_eq!(artifact.key, decoded.key);
+        prop_assert_eq!(
+            artifact.result.flooding_iterations,
+            decoded.result.flooding_iterations
+        );
+        prop_assert_eq!(artifact.result.matrix.src_ids(), decoded.result.matrix.src_ids());
+        prop_assert_eq!(artifact.result.matrix.tgt_ids(), decoded.result.matrix.tgt_ids());
+        for (a, b) in artifact
+            .result
+            .matrix
+            .scores()
+            .iter()
+            .zip(decoded.result.matrix.scores())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(artifact.result.per_voter.len(), decoded.result.per_voter.len());
+        for ((an, am), (bn, bm)) in
+            artifact.result.per_voter.iter().zip(&decoded.result.per_voter)
+        {
+            prop_assert_eq!(an, bn);
+            for (a, b) in am.scores().iter().zip(bm.scores()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The snapshot image is independent of segment insertion order:
+    /// permuting the order segments are inserted into the map cannot
+    /// change a single byte of the encoded file.
+    #[test]
+    fn snapshot_bytes_independent_of_write_order(
+        seed in 0u64..1000,
+        swaps in prop::collection::vec((0usize..16, 0usize..16), 0..8),
+    ) {
+        let graphs = models(seed);
+        let mut forward = BTreeMap::new();
+        for g in &graphs {
+            forward.insert(format!("schema:{}", g.id().as_str()), encode_schema(g));
+        }
+        // Re-insert in a permuted order (BTreeMap sorts, so this holds
+        // by construction — the test pins the property against future
+        // layout changes, e.g. an insertion-ordered map).
+        let mut names: Vec<&String> = forward.keys().collect();
+        for &(i, j) in &swaps {
+            let (i, j) = (i % names.len(), j % names.len());
+            names.swap(i, j);
+        }
+        let mut permuted = BTreeMap::new();
+        for name in names {
+            permuted.insert(name.clone(), forward[name].clone());
+        }
+        prop_assert_eq!(snapshot::encode(&forward), snapshot::encode(&permuted));
+    }
+
+    /// Feature maps are `HashMap`s in memory; two maps with equal
+    /// content but different internal layout (built in reversed order)
+    /// must produce identical snapshot bytes.
+    #[test]
+    fn feature_map_order_does_not_leak_into_bytes(seed in 0u64..500) {
+        let graph = models(seed).pop().unwrap();
+        let mut engine = HarmonyEngine::default();
+        let features = engine.export_text_features(&graph);
+        let mut ids: Vec<ElementId> = features.keys().copied().collect();
+        ids.sort();
+        let mut reversed = std::collections::HashMap::new();
+        for id in ids.iter().rev() {
+            reversed.insert(*id, features[id].clone());
+        }
+        prop_assert_eq!(
+            encode_text_features(&features),
+            encode_text_features(&reversed)
+        );
+    }
+
+    /// For every split point `w`, the journal prefix a snapshot embeds
+    /// plus the on-disk suffix reconstructs the full record sequence —
+    /// the algebra behind "snapshot load + journal-suffix replay equals
+    /// full journal replay".
+    #[test]
+    fn snapshot_prefix_plus_suffix_is_the_full_journal(
+        commands in prop::collection::vec("[a-z ]{1,30}", 1..12),
+    ) {
+        let records: Vec<CommandRecord> = commands
+            .iter()
+            .map(|c| CommandRecord { command: c.clone(), heredoc: None })
+            .collect();
+        for w in 0..=records.len() {
+            let snap = SessionSnapshot {
+                session_id: "s1".to_string(),
+                watermark: w as u64,
+                commands: records[..w].to_vec(),
+                ..SessionSnapshot::default()
+            };
+            let reloaded = SessionSnapshot::from_segments(&snap.to_segments()).unwrap();
+            let mut replayed = reloaded.commands.clone();
+            let skip = reloaded.watermark as usize;
+            replayed.extend_from_slice(&records[skip..]);
+            prop_assert_eq!(&replayed, &records);
+        }
+    }
+}

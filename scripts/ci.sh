@@ -53,4 +53,26 @@ cargo run -q --release --offline -p iwb-bench --bin bench_server -- \
     --cancel-storm --sessions 4 --out target/BENCH_server_storm.json
 grep -q '"session_leaks": 0' target/BENCH_server_storm.json
 
+echo "== store snapshot format suite (torn/bitflip/stale detection, roundtrips)"
+cargo test -q --offline -p iwb-store
+
+echo "== store persistence suite (warm reopen, corrupt-snapshot fallback, compaction window)"
+cargo test -q --offline -p iwb-server --lib -- \
+    store_sessions_reopen_warm_after_restart \
+    evicted_store_sessions_are_persisted_not_forgotten \
+    closing_a_store_session_deletes_snapshot_and_journal \
+    corrupt_snapshots_fall_back_to_journal_replay \
+    a_corrupt_snapshot_after_truncation_rewidens_the_journal \
+    an_orphaned_snapshot_alone_recovers_the_session
+
+echo "== incremental re-match determinism (byte-identical splice across threads/cache)"
+cargo test -q --offline -p iwb-harmony --test determinism -- \
+    incremental_rematch_is_byte_identical_to_from_scratch \
+    retracting_a_decision_incrementally_is_identical_too
+
+echo "== bench_store smoke (snapshot throughput, warm reopen, incremental identity)"
+cargo run -q --release --offline -p iwb-bench --bin bench_store -- \
+    --quick --out target/BENCH_store_quick.json
+grep -q '"incremental_identical": true' target/BENCH_store_quick.json
+
 echo "ci: ok"

@@ -43,6 +43,18 @@
 //! cargo run --release -p iwb-bench --bin bench_server -- \
 //!     --cancel-storm --sessions 8
 //! ```
+//!
+//! With `--fleet` the tool spins up three `--no-recover` backends
+//! sharing one store directory behind an in-process
+//! `workbench-router`, runs the session workload twice — a baseline
+//! pass, then a pass with the most-loaded backend hard-killed
+//! mid-run — and writes `BENCH_fleet.json` gating **zero session
+//! loss** and reporting command p50/p99 with vs without failover.
+//! `--quick` shrinks it to a CI smoke.
+//!
+//! ```sh
+//! cargo run --release -p iwb-bench --bin bench_server -- --fleet
+//! ```
 
 use iwb_loaders::to_er_text;
 use iwb_registry::GeneratorConfig;
@@ -68,6 +80,13 @@ struct Args {
     max_pending: Option<usize>,
     /// Run the cancel-storm workload instead of the load mix.
     cancel_storm: bool,
+    /// Run the fleet workload (3 backends behind a `workbench-router`)
+    /// instead of the load mix: a baseline pass, then a pass with the
+    /// most-loaded backend hard-killed mid-run, gating zero session
+    /// loss and reporting p50/p99 with vs without failover.
+    fleet: bool,
+    /// Shrink the fleet workload to a CI smoke.
+    quick: bool,
     out: String,
 }
 
@@ -84,6 +103,8 @@ impl Default for Args {
             deadline_ms: None,
             max_pending: None,
             cancel_storm: false,
+            fleet: false,
+            quick: false,
             out: "BENCH_server.json".to_owned(),
         }
     }
@@ -93,7 +114,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_server [--sessions N] [--commands N] [--workers N] \
          [--seed N] [--scale F] [--addr HOST:PORT] [--faults SPEC] \
-         [--deadline-ms N] [--max-pending N] [--cancel-storm] [--out FILE]"
+         [--deadline-ms N] [--max-pending N] [--cancel-storm] \
+         [--fleet [--quick]] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -114,11 +136,17 @@ fn parse_args() -> Args {
             "--deadline-ms" => out.deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--max-pending" => out.max_pending = Some(value().parse().unwrap_or_else(|_| usage())),
             "--cancel-storm" => out.cancel_storm = true,
+            "--fleet" => out.fleet = true,
+            "--quick" => out.quick = true,
             "--out" => out.out = value(),
             _ => usage(),
         }
     }
     if out.sessions == 0 || out.commands < 4 {
+        usage();
+    }
+    if out.fleet && (out.addr.is_some() || out.cancel_storm || out.faults.is_some()) {
+        eprintln!("--fleet spins up its own in-process fleet; it cannot combine with --addr, --cancel-storm, or --faults");
         usage();
     }
     if out.addr.is_some() && (out.faults.is_some() || out.cancel_storm || out.deadline_ms.is_some())
@@ -427,6 +455,248 @@ fn run_cancel_storm(args: &Args, handle: &ServerHandle) -> StormReport {
     }
 }
 
+/// Fixed tiny schema pair for the fleet workload: the measurement
+/// target is routing and failover latency, not matcher throughput.
+const FLEET_SCHEMA_A: &str =
+    "entity SHIPMENT \"An outgoing shipment.\" { ship_dt : date \"Date shipped.\" }";
+const FLEET_SCHEMA_B: &str =
+    "entity DELIVERY \"A delivery record.\" { deliver_dt : date \"Date delivered.\" }";
+
+/// What one fleet pass observed client-side.
+struct FleetPhase {
+    /// Per-command round-trip latencies (successful commands only).
+    latencies: Vec<Duration>,
+    errors: u64,
+    elapsed: Duration,
+}
+
+/// Spawn `n` fleet backends sharing `store` (no startup sweep — the
+/// router directs per-session recovery).
+fn fleet_backends(store: &std::path::Path, n: usize) -> Vec<Option<ServerHandle>> {
+    (0..n)
+        .map(|_| {
+            Some(
+                serve(ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    store_dir: Some(store.to_path_buf()),
+                    recover: false,
+                    ..ServerConfig::default()
+                })
+                .expect("bind fleet backend"),
+            )
+        })
+        .collect()
+}
+
+/// Drive `sessions` concurrent sessions through the router: per
+/// session one warm-up (two loads + a match, unmeasured), then
+/// `commands` measured commands, every 4th mutating. `progress`
+/// counts measured commands fleet-wide so the caller can time a kill.
+fn run_fleet_phase(
+    addr: SocketAddr,
+    sessions: usize,
+    commands: usize,
+    progress: Arc<std::sync::atomic::AtomicU64>,
+) -> FleetPhase {
+    use std::sync::atomic::Ordering;
+    let started = Instant::now();
+    let joins: Vec<_> = (0..sessions)
+        .map(|i| {
+            let progress = Arc::clone(&progress);
+            thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(commands);
+                let mut errors = 0u64;
+                let mut c = Client::connect(addr).expect("connect router");
+                c.session_new(Some(&format!("f{i}")))
+                    .expect("place session");
+                for (cmd, body) in [
+                    ("load er a", Some(FLEET_SCHEMA_A)),
+                    ("load er b", Some(FLEET_SCHEMA_B)),
+                    ("match a b", None),
+                ] {
+                    let resp = match body {
+                        Some(b) => c.request_with_heredoc(cmd, b),
+                        None => c.request(cmd),
+                    };
+                    resp.expect("warm-up request").expect_ok().expect("warm-up");
+                }
+                for k in 0..commands {
+                    let cmd = if k % 4 == 0 {
+                        "match a b"
+                    } else {
+                        "show coverage"
+                    };
+                    let t = Instant::now();
+                    match c.request(cmd) {
+                        Ok(resp) if resp.ok => latencies.push(t.elapsed()),
+                        _ => errors += 1,
+                    }
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for j in joins {
+        let (lat, err) = j.join().expect("fleet session thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    FleetPhase {
+        latencies,
+        errors,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Percentile in microseconds over a sorted-in-place sample set.
+fn pctl_us(samples: &mut [Duration], p: f64) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx].as_micros()
+}
+
+/// The fleet workload: a baseline pass (3 `--no-recover` backends
+/// sharing a store behind an in-process router), then an identical
+/// pass with the most-loaded backend hard-killed once half the
+/// measured commands have completed. Gates zero session loss and at
+/// least one failover; reports p50/p99 with vs without failover.
+fn run_fleet(args: &Args) {
+    use iwb_router::router::{serve as serve_router, RouterConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let backends_n = 3usize;
+    let (sessions, commands) = if args.quick {
+        (4, 16)
+    } else {
+        (args.sessions, args.commands)
+    };
+    let out = if args.out == "BENCH_server.json" {
+        "BENCH_fleet.json".to_owned()
+    } else {
+        args.out.clone()
+    };
+    println!(
+        "bench_server: fleet, {sessions} sessions x {commands} commands over {backends_n} backends"
+    );
+
+    let scratch = std::env::temp_dir().join(format!("iwb-bench-fleet-{}", std::process::id()));
+
+    let run_pass = |tag: &str, kill: bool| -> (FleetPhase, u64, u64, usize) {
+        let store = scratch.join(tag);
+        let _ = std::fs::remove_dir_all(&store);
+        let mut backends = fleet_backends(&store, backends_n);
+        let router = serve_router(RouterConfig {
+            backends: backends
+                .iter()
+                .map(|b| b.as_ref().unwrap().addr().to_string())
+                .collect(),
+            ..RouterConfig::default()
+        })
+        .expect("bind router");
+
+        let progress = Arc::new(AtomicU64::new(0));
+        let addr = router.addr();
+        let phase = {
+            let progress = Arc::clone(&progress);
+            thread::spawn(move || run_fleet_phase(addr, sessions, commands, progress))
+        };
+        if kill {
+            let mut owned = vec![0usize; backends_n];
+            for i in 0..sessions {
+                owned[iwb_router::hash::rank(&format!("f{i}"), backends_n)[0]] += 1;
+            }
+            let victim = (0..backends_n).max_by_key(|&b| owned[b]).unwrap();
+            let half = (sessions * commands) as u64 / 2;
+            while progress.load(Ordering::Relaxed) < half {
+                thread::sleep(Duration::from_millis(2));
+            }
+            println!(
+                "  [{tag}] killing backend {victim} (owns {} of {sessions} sessions)",
+                owned[victim]
+            );
+            backends[victim].take().unwrap().kill();
+        }
+        let phase = phase.join().expect("fleet phase");
+
+        // Zero-loss sweep: every session must re-attach and export.
+        let mut lost = 0usize;
+        for i in 0..sessions {
+            let id = format!("f{i}");
+            let survived = Client::connect(addr)
+                .ok()
+                .and_then(|mut c| {
+                    c.session_attach(&id).ok()?;
+                    c.request("export").ok().filter(|r| r.ok)
+                })
+                .is_some();
+            if !survived {
+                eprintln!("  [{tag}] LOST session {id}");
+                lost += 1;
+            }
+        }
+        let failovers = router.stats().failovers_count();
+        let duplicate_acks = router.stats().duplicate_acks_count();
+        router.shutdown();
+        router.join();
+        for b in backends.into_iter().flatten() {
+            b.shutdown();
+            b.join();
+        }
+        let _ = std::fs::remove_dir_all(&store);
+        (phase, failovers, duplicate_acks, lost)
+    };
+
+    let (mut base, _, _, base_lost) = run_pass("baseline", false);
+    let (mut fail, failovers, duplicate_acks, lost) = run_pass("failover", true);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let base_p50 = pctl_us(&mut base.latencies, 0.50);
+    let base_p99 = pctl_us(&mut base.latencies, 0.99);
+    let fail_p50 = pctl_us(&mut fail.latencies, 0.50);
+    let fail_p99 = pctl_us(&mut fail.latencies, 0.99);
+    let errors = base.errors + fail.errors;
+    println!(
+        "  baseline: p50 {base_p50} us, p99 {base_p99} us over {} commands ({:.3}s)",
+        base.latencies.len(),
+        base.elapsed.as_secs_f64()
+    );
+    println!(
+        "  failover: p50 {fail_p50} us, p99 {fail_p99} us over {} commands ({:.3}s), \
+         {failovers} failovers, {duplicate_acks} duplicate acks",
+        fail.latencies.len(),
+        fail.elapsed.as_secs_f64()
+    );
+    println!("  sessions lost: {lost} (baseline {base_lost})");
+
+    let json = format!(
+        "{{\n  \"mode\": \"fleet\",\n  \"backends\": {backends_n},\n  \"sessions\": {sessions},\n  \
+         \"commands_per_session\": {commands},\n  \"baseline_p50_us\": {base_p50},\n  \
+         \"baseline_p99_us\": {base_p99},\n  \"failover_p50_us\": {fail_p50},\n  \
+         \"failover_p99_us\": {fail_p99},\n  \"failovers\": {failovers},\n  \
+         \"duplicate_acks\": {duplicate_acks},\n  \"protocol_errors\": {errors},\n  \
+         \"sessions_lost\": {}\n}}\n",
+        lost + base_lost,
+    );
+    std::fs::write(&out, &json).expect("write report");
+    println!("report written to {out}");
+
+    if lost + base_lost > 0 || failovers == 0 || errors > 0 {
+        eprintln!(
+            "bench_server: FAILED — fleet invariants violated (lost={}, \
+             failovers={failovers}, errors={errors})",
+            lost + base_lost
+        );
+        std::process::exit(1);
+    }
+    println!("bench_server: ok — fleet failover, zero session loss");
+}
+
 fn mean_max_us(samples: &[Duration]) -> (u128, u128) {
     if samples.is_empty() {
         return (0, 0);
@@ -450,6 +720,11 @@ fn main() {
     let chaos = fault_plan.as_ref().is_some_and(|p| p.is_active());
     if chaos {
         iwb_server::quiet_injected_panics();
+    }
+
+    if args.fleet {
+        run_fleet(&args);
+        return;
     }
 
     if args.cancel_storm {

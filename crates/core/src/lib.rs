@@ -21,6 +21,9 @@
 //! * [`tools`] — the four built-in tools: a loader, the Harmony matcher,
 //!   a manual mapping tool (the AquaLogic stand-in), and an XQuery code
 //!   generator;
+//! * [`proto`] — structured retryable protocol errors shared by the
+//!   daemon, router, and client (`RETRY-AFTER` / `MOVED` / `DUPLICATE`
+//!   / `SEQ-GAP`);
 //! * [`manager`] — the **workbench manager** (§5.2): transactional
 //!   updates, event propagation, query evaluation, tool registry;
 //! * [`taskmodel`] — the 13-task model of §3, used for the tool-coverage
@@ -38,6 +41,7 @@ pub mod library;
 pub mod manager;
 pub mod matrix;
 pub mod persist;
+pub mod proto;
 pub mod provenance;
 pub mod shell;
 pub mod taskmodel;
@@ -58,6 +62,7 @@ pub use event::{EventKind, WorkbenchEvent};
 pub use library::MappingLibrary;
 pub use manager::{InvokeReport, WorkbenchManager};
 pub use matrix::MappingMatrix;
+pub use proto::RetryableError;
 pub use provenance::ProvenanceLog;
 pub use taskmodel::{Phase, Task};
 pub use tool::{ToolArgs, ToolError, ToolKind, WorkbenchTool};

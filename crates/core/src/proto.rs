@@ -1,0 +1,187 @@
+//! Structured retryable protocol errors.
+//!
+//! The daemon's wire protocol reports failures as free-form `err` body
+//! text, which is fine for humans but useless for a router that must
+//! decide *mechanically* whether a failed command is safe to retry, and
+//! where. This module gives the fleet a tiny shared vocabulary: each
+//! variant renders to a stable, greppable first token and parses back
+//! from a reply body with [`RetryableError::parse`].
+//!
+//! | rendered prefix | meaning                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `RETRY-AFTER`   | the backend shed the request; retry after a delay  |
+//! | `MOVED`         | the session lives (or is moving) elsewhere; re-resolve routing and retry |
+//! | `DUPLICATE`     | the sequence-guarded command was already applied — **not** an error to retry; the effect happened exactly once |
+//! | `SEQ-GAP`       | the command skipped ahead of the session's journal; refusing prevents a forked history |
+//!
+//! `RETRY-AFTER` keeps the exact `RETRY-AFTER {millis}ms: {detail}`
+//! shape the admission controller has emitted since PR 5, so existing
+//! `starts_with("RETRY-AFTER")` checks keep working unchanged.
+
+use std::fmt;
+
+/// A machine-readable retryable (or retry-forbidding) protocol error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryableError {
+    /// The backend is overloaded and shed the request; the client may
+    /// retry after roughly `millis` milliseconds (here or, for a
+    /// router, on the next-ranked healthy backend).
+    RetryAfter { millis: u64, detail: String },
+    /// The session is owned by (or migrating to) another backend; the
+    /// caller should re-resolve routing and retry the same command.
+    Moved { session: String, detail: String },
+    /// The sequence-guarded command was already applied by an earlier
+    /// delivery. The effect happened exactly once; retrying is safe but
+    /// pointless. Rendered on an `ok` reply, not an `err`.
+    Duplicate { seq: u64 },
+    /// The command's sequence number is ahead of the session's journal:
+    /// some earlier mutation is missing, so executing would fork
+    /// history. Never retried blindly — the router must re-sync first.
+    SeqGap { expected: u64, got: u64 },
+}
+
+impl RetryableError {
+    /// True when the *same* command may safely be sent again (possibly
+    /// elsewhere) without risking a double execution.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RetryableError::RetryAfter { .. } | RetryableError::Moved { .. }
+        )
+    }
+
+    /// The suggested retry delay, when the error carries one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            RetryableError::RetryAfter { millis, .. } => Some(*millis),
+            _ => None,
+        }
+    }
+
+    /// Parse a reply body back into a structured error. Returns `None`
+    /// for ordinary free-form errors.
+    pub fn parse(body: &str) -> Option<RetryableError> {
+        let body = body.trim();
+        if let Some(rest) = body.strip_prefix("RETRY-AFTER ") {
+            let (head, detail) = match rest.split_once(':') {
+                Some((h, d)) => (h.trim(), d.trim()),
+                None => (rest.trim(), ""),
+            };
+            let millis = head.strip_suffix("ms")?.parse().ok()?;
+            return Some(RetryableError::RetryAfter {
+                millis,
+                detail: detail.to_owned(),
+            });
+        }
+        if let Some(rest) = body.strip_prefix("MOVED ") {
+            let (session, detail) = match rest.split_once(':') {
+                Some((s, d)) => (s.trim(), d.trim()),
+                None => (rest.trim(), ""),
+            };
+            if session.is_empty() {
+                return None;
+            }
+            return Some(RetryableError::Moved {
+                session: session.to_owned(),
+                detail: detail.to_owned(),
+            });
+        }
+        if let Some(rest) = body.strip_prefix("DUPLICATE seq=") {
+            let head = rest.split(':').next()?.trim();
+            return Some(RetryableError::Duplicate {
+                seq: head.parse().ok()?,
+            });
+        }
+        if let Some(rest) = body.strip_prefix("SEQ-GAP expected=") {
+            let (expected, rest) = rest.split_once(" got=")?;
+            let got = rest.split(':').next()?.trim();
+            return Some(RetryableError::SeqGap {
+                expected: expected.trim().parse().ok()?,
+                got: got.parse().ok()?,
+            });
+        }
+        None
+    }
+}
+
+impl fmt::Display for RetryableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryableError::RetryAfter { millis, detail } => {
+                write!(f, "RETRY-AFTER {millis}ms: {detail}")
+            }
+            RetryableError::Moved { session, detail } => {
+                write!(f, "MOVED {session}: {detail}")
+            }
+            RetryableError::Duplicate { seq } => {
+                write!(f, "DUPLICATE seq={seq}: command already applied")
+            }
+            RetryableError::SeqGap { expected, got } => {
+                write!(
+                    f,
+                    "SEQ-GAP expected={expected} got={got}: refusing out-of-order mutation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetryableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_keeps_the_legacy_shape() {
+        let err = RetryableError::RetryAfter {
+            millis: 100,
+            detail: "server at capacity (64 connections pending)".into(),
+        };
+        let body = err.to_string();
+        assert!(body.starts_with("RETRY-AFTER "), "legacy prefix: {body}");
+        assert_eq!(RetryableError::parse(&body).unwrap(), err);
+        assert_eq!(err.retry_after_ms(), Some(100));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn moved_roundtrips_and_is_retryable() {
+        let err = RetryableError::Moved {
+            session: "s7".into(),
+            detail: "session migrating; retry".into(),
+        };
+        let parsed = RetryableError::parse(&err.to_string()).unwrap();
+        assert_eq!(parsed, err);
+        assert!(parsed.is_retryable());
+        assert_eq!(parsed.retry_after_ms(), None);
+    }
+
+    #[test]
+    fn duplicate_and_seq_gap_forbid_blind_retry() {
+        let dup = RetryableError::Duplicate { seq: 4 };
+        assert_eq!(RetryableError::parse(&dup.to_string()).unwrap(), dup);
+        assert!(!dup.is_retryable());
+
+        let gap = RetryableError::SeqGap {
+            expected: 3,
+            got: 9,
+        };
+        let body = gap.to_string();
+        assert!(
+            body.contains("expected=3") && body.contains("got=9"),
+            "{body}"
+        );
+        assert_eq!(RetryableError::parse(&body).unwrap(), gap);
+        assert!(!gap.is_retryable());
+    }
+
+    #[test]
+    fn freeform_errors_parse_to_none() {
+        assert_eq!(RetryableError::parse("schema \"po\" not found"), None);
+        assert_eq!(RetryableError::parse("RETRY-AFTER soonish: eh"), None);
+        assert_eq!(RetryableError::parse("MOVED : nowhere"), None);
+        assert_eq!(RetryableError::parse("DUPLICATE seq=x"), None);
+        assert_eq!(RetryableError::parse(""), None);
+    }
+}

@@ -438,6 +438,63 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
     }
 }
 
+/// Deterministic seeded-jitter schedule for periodic health probes.
+///
+/// A fleet router probes every backend on a nominal interval, but
+/// probing them all on the same tick synchronizes load spikes and makes
+/// chaos runs interleaving-dependent. `ProbeSchedule` derives every
+/// delay from a per-backend seed (one SplitMix64 step per draw), so the
+/// probe cadence is reproducible from the seed alone while distinct
+/// backends stay desynchronized:
+///
+/// * [`ProbeSchedule::stagger`] — the initial phase offset, uniform in
+///   `[0, base)`;
+/// * [`ProbeSchedule::next_delay`] — each subsequent inter-probe delay,
+///   uniform in `base ± base·jitter/2`.
+#[derive(Debug, Clone)]
+pub struct ProbeSchedule {
+    state: u64,
+    base: Duration,
+    jitter: f64,
+}
+
+impl ProbeSchedule {
+    /// A schedule around `base` with symmetric jitter of `jitter`
+    /// (a fraction of `base`, clamped to `[0, 1]`; `0` means a fixed
+    /// cadence).
+    pub fn new(seed: u64, base: Duration, jitter: f64) -> ProbeSchedule {
+        ProbeSchedule {
+            state: seed,
+            base,
+            jitter: jitter.clamp(0.0, 1.0),
+        }
+    }
+
+    /// One SplitMix64 step (the same generator the fault plan uses), so
+    /// the pool crate stays dependency-free.
+    fn next_f64(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z as f64 / (u64::MAX as f64)
+    }
+
+    /// Initial phase offset in `[0, base)`: start the backend's probe
+    /// loop this far into its first interval so a fleet's probes spread
+    /// out even when every backend shares the same `base`.
+    pub fn stagger(&mut self) -> Duration {
+        self.base.mul_f64(self.next_f64().min(0.999_999))
+    }
+
+    /// The next inter-probe delay, uniform in `base ± base·jitter/2`.
+    pub fn next_delay(&mut self) -> Duration {
+        let spread = self.jitter * (self.next_f64() - 0.5);
+        self.base.mul_f64(1.0 + spread)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,6 +721,41 @@ mod tests {
         // reclaim exclusive ownership (the engine relies on this to
         // restore its voters after an abort).
         assert!(Arc::try_unwrap(shared).is_ok());
+    }
+
+    #[test]
+    fn probe_schedule_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(100);
+        let mut a = ProbeSchedule::new(7, base, 0.5);
+        let mut b = ProbeSchedule::new(7, base, 0.5);
+        assert_eq!(a.stagger(), b.stagger(), "same seed, same phase");
+        let da: Vec<Duration> = (0..64).map(|_| a.next_delay()).collect();
+        let db: Vec<Duration> = (0..64).map(|_| b.next_delay()).collect();
+        assert_eq!(da, db, "same seed, same cadence");
+        let lo = base.mul_f64(0.75);
+        let hi = base.mul_f64(1.25);
+        assert!(da.iter().all(|d| (lo..=hi).contains(d)), "jitter bounds");
+        // Delays actually vary (jitter is live, not collapsed to base).
+        assert!(da.iter().any(|d| *d != da[0]));
+        // Distinct seeds desynchronize.
+        let mut c = ProbeSchedule::new(8, base, 0.5);
+        assert_ne!(c.next_delay(), da[0]);
+    }
+
+    #[test]
+    fn probe_schedule_zero_jitter_is_a_fixed_cadence() {
+        let base = Duration::from_millis(40);
+        let mut s = ProbeSchedule::new(11, base, 0.0);
+        assert!(s.stagger() < base, "stagger stays inside one interval");
+        for _ in 0..8 {
+            assert_eq!(s.next_delay(), base);
+        }
+        // Out-of-range jitter clamps instead of exploding.
+        let mut wild = ProbeSchedule::new(11, base, 9.0);
+        for _ in 0..32 {
+            let d = wild.next_delay();
+            assert!(d >= base.mul_f64(0.5) && d <= base.mul_f64(1.5));
+        }
     }
 
     #[test]

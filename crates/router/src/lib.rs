@@ -1,0 +1,24 @@
+//! # iwb-router — a sharded `workbenchd` fleet front
+//!
+//! A thin TCP proxy that consistent-hashes session ids across N
+//! `workbenchd` backends, speaking the existing line protocol
+//! transparently. Clients talk to the router exactly as they would to
+//! a single daemon; the router owns placement, health, failover, and
+//! planned migration.
+//!
+//! * [`hash`] — rendezvous (highest-random-weight) hashing: stable
+//!   rankings under membership change, so a backend crash only remaps
+//!   the sessions it owned.
+//! * [`router`] — the proxy itself: health-checked membership with
+//!   seeded-jitter probing, `RETRY-AFTER`-aware placement, sticky
+//!   routes, journal-shipped failover through the shared `--store`
+//!   directory, and per-session sequence stamping for exactly-once
+//!   mutation semantics.
+//!
+//! The `workbench-router` binary wraps [`router::serve`] with flag
+//! parsing mirroring `workbenchd`'s.
+
+pub mod hash;
+pub mod router;
+
+pub use router::{serve, Fleet, RouterConfig, RouterHandle, RouterStats};

@@ -1,0 +1,1185 @@
+//! The fleet router: a thin TCP proxy that consistent-hashes session
+//! ids across N `workbenchd` backends.
+//!
+//! One [`RouterConfig`] names the backends; [`serve`] binds the
+//! router's own listener and speaks the existing line protocol
+//! transparently — clients `session new` / `session attach` / run
+//! shell commands against the router exactly as they would against a
+//! single daemon.
+//!
+//! Design pillars:
+//!
+//! * **Rendezvous placement, sticky routes.** A session's *preference
+//!   order* over backends comes from [`crate::hash::rank`]; its
+//!   *current owner* lives in the route table. The table is the source
+//!   of truth: after a failover the session stays on its successor even
+//!   when the original owner is re-admitted, so a flapping backend can
+//!   never split a session across two owners.
+//! * **Health-checked membership.** One prober thread walks the
+//!   backends on a seeded-jitter schedule ([`iwb_pool::ProbeSchedule`];
+//!   fixed-rate, so the probe order is deterministic per seed).
+//!   `quarantine_after` consecutive failures quarantine a backend;
+//!   `readmit_after` consecutive successes re-admit it.
+//! * **Journal-shipped failover.** All backends share one `--store`
+//!   directory. When the owner dies (or `migrate <id>` asks), the
+//!   router releases the session on the old owner (best effort — a
+//!   crashed backend cannot answer), then directs the successor to
+//!   `session recover <id>`: verified snapshot + journal-suffix
+//!   replay, refusing silently-wrong histories exactly as single-node
+//!   recovery does. Only then does the route flip.
+//! * **Exactly-once mutations.** Every mutating command is stamped
+//!   `@seq` from the route's sequence number. A retried command that
+//!   already executed (the crash ate the ack, not the journal append)
+//!   is answered `DUPLICATE` by the backend's guard and *not*
+//!   re-executed; a stale backend reached by split routing answers
+//!   `SEQ-GAP` and refuses. In-flight commands therefore either
+//!   complete on the old backend or fail with a retryable structured
+//!   error — never execute twice.
+
+use crate::hash;
+use iwb_core::RetryableError;
+use iwb_pool::{ProbeSchedule, ThreadPool};
+use iwb_rng::StdRng;
+use iwb_server::client::{Backoff, Client, Response};
+use iwb_server::fault::{FaultPlan, MIGRATION_STALL, PROBE_TIMEOUT, SPLIT_ROUTING};
+use iwb_server::server::{read_protocol_line, write_response, LineRead};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Acceptor poll interval while no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// Prober wake granularity (shutdown latency bound).
+const PROBE_TICK: Duration = Duration::from_millis(20);
+
+/// How long a command waits for a route that is mid-migration before
+/// giving up with a retryable `MOVED` error.
+const ROUTE_LOCK_TIMEOUT: Duration = Duration::from_millis(400);
+
+/// How long `migrate <id>` waits for in-flight commands to drain.
+const MIGRATE_LOCK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend `workbenchd` addresses. All of them must share one
+    /// `--store` directory and run with `--no-recover`.
+    pub backends: Vec<String>,
+    /// Worker threads (= max concurrently served client connections).
+    pub workers: usize,
+    /// Mean delay between two probes of the same backend.
+    pub probe_interval: Duration,
+    /// Jitter fraction on the probe cadence (`0.2` → ±10%).
+    pub probe_jitter: f64,
+    /// Per-backend connect/read budget for one probe.
+    pub probe_timeout: Duration,
+    /// Seed for the probe schedules (per-backend seed is
+    /// `probe_seed ^ index`).
+    pub probe_seed: u64,
+    /// Quarantine a backend after this many consecutive probe
+    /// failures.
+    pub quarantine_after: u32,
+    /// Re-admit a quarantined backend after this many consecutive
+    /// probe successes.
+    pub readmit_after: u32,
+    /// Retry policy for shed (`RETRY-AFTER`) and failed-over commands.
+    pub retry: Backoff,
+    /// Idle time after which a silent client connection is dropped.
+    pub read_timeout: Duration,
+    /// Protocol line bound (mirrors the backend's).
+    pub max_line_bytes: usize,
+    /// Heredoc body bound (mirrors the backend's).
+    pub max_heredoc_bytes: usize,
+    /// Deterministic fleet-level fault injection (`backend-crash`,
+    /// `probe-timeout`, `split-routing`, `migration-stall`).
+    pub faults: FaultPlan,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            backends: Vec::new(),
+            workers: 8,
+            probe_interval: Duration::from_millis(100),
+            probe_jitter: 0.2,
+            probe_timeout: Duration::from_millis(150),
+            probe_seed: 0xf1ee7,
+            quarantine_after: 2,
+            readmit_after: 2,
+            retry: Backoff {
+                attempts: 6,
+                base: Duration::from_millis(20),
+                max: Duration::from_millis(250),
+                seed: 0x40075,
+                cap: None,
+            },
+            read_timeout: Duration::from_secs(30),
+            max_line_bytes: 64 * 1024,
+            max_heredoc_bytes: 4 * 1024 * 1024,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Router-side counters, exposed through the `stats` command and the
+/// chaos tests.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+    quarantines: AtomicU64,
+    readmissions: AtomicU64,
+    failovers: AtomicU64,
+    migrations: AtomicU64,
+    duplicate_acks: AtomicU64,
+    seq_gap_rejections: AtomicU64,
+    split_diverts: AtomicU64,
+    moved_refusals: AtomicU64,
+    commands: AtomicU64,
+}
+
+macro_rules! counter {
+    ($field:ident, $getter:ident) => {
+        /// The counter's current value.
+        pub fn $getter(&self) -> u64 {
+            self.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl RouterStats {
+    counter!(probes_ok, probes_ok_count);
+    counter!(probes_failed, probes_failed_count);
+    counter!(quarantines, quarantines_count);
+    counter!(readmissions, readmissions_count);
+    counter!(failovers, failovers_count);
+    counter!(migrations, migrations_count);
+    counter!(duplicate_acks, duplicate_acks_count);
+    counter!(seq_gap_rejections, seq_gap_rejections_count);
+    counter!(split_diverts, split_diverts_count);
+    counter!(moved_refusals, moved_refusals_count);
+    counter!(commands, commands_count);
+
+    fn render(&self) -> String {
+        format!(
+            "router commands={} probes ok={} failed={} quarantines={} readmissions={}\n\
+             router failovers={} migrations={} duplicate_acks={} seq_gap_rejections={} \
+             split_diverts={} moved_refusals={}",
+            self.commands.load(Ordering::Relaxed),
+            self.probes_ok.load(Ordering::Relaxed),
+            self.probes_failed.load(Ordering::Relaxed),
+            self.quarantines.load(Ordering::Relaxed),
+            self.readmissions.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.migrations.load(Ordering::Relaxed),
+            self.duplicate_acks.load(Ordering::Relaxed),
+            self.seq_gap_rejections.load(Ordering::Relaxed),
+            self.split_diverts.load(Ordering::Relaxed),
+            self.moved_refusals.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One backend's live view.
+struct BackendState {
+    addr: String,
+    sock: SocketAddr,
+    healthy: AtomicBool,
+    consecutive_fails: AtomicU32,
+    consecutive_oks: AtomicU32,
+}
+
+/// A session's pinned owner and sequence watermark. Commands lock the
+/// state; migration holds the lock across the whole
+/// release → recover → flip handshake, so concurrent commands see
+/// either the old owner or the new one — never a half-migrated route.
+struct RouteState {
+    backend: usize,
+    seq: u64,
+}
+
+struct RouteEntry {
+    state: Mutex<RouteState>,
+}
+
+/// The fleet: backend membership + the sticky route table.
+pub struct Fleet {
+    backends: Vec<BackendState>,
+    routes: Mutex<HashMap<String, Arc<RouteEntry>>>,
+    minted: AtomicU64,
+}
+
+impl Fleet {
+    fn new(addrs: &[String]) -> io::Result<Fleet> {
+        let mut backends = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let sock = addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::other(format!("unresolvable backend {addr:?}")))?;
+            backends.push(BackendState {
+                addr: addr.clone(),
+                sock,
+                healthy: AtomicBool::new(true),
+                consecutive_fails: AtomicU32::new(0),
+                consecutive_oks: AtomicU32::new(0),
+            });
+        }
+        Ok(Fleet {
+            backends,
+            routes: Mutex::new(HashMap::new()),
+            minted: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of configured backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether no backends are configured.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Whether backend `index` is currently considered healthy.
+    pub fn backend_healthy(&self, index: usize) -> bool {
+        self.backends[index].healthy.load(Ordering::SeqCst)
+    }
+
+    /// The backend a session is currently routed to, if any.
+    pub fn routed_backend(&self, id: &str) -> Option<usize> {
+        let entry = self.route(id)?;
+        let st = entry.state.lock().unwrap_or_else(|p| p.into_inner());
+        Some(st.backend)
+    }
+
+    /// Live route count.
+    pub fn route_count(&self) -> usize {
+        self.routes.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    fn route(&self, id: &str) -> Option<Arc<RouteEntry>> {
+        self.routes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    fn pin(&self, id: &str, backend: usize, seq: u64) -> Arc<RouteEntry> {
+        let mut routes = self.routes.lock().unwrap_or_else(|p| p.into_inner());
+        routes
+            .entry(id.to_owned())
+            .or_insert_with(|| {
+                Arc::new(RouteEntry {
+                    state: Mutex::new(RouteState { backend, seq }),
+                })
+            })
+            .clone()
+    }
+
+    fn unpin(&self, id: &str) {
+        self.routes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(id);
+    }
+
+    /// The session's backend preference order, healthy slots only.
+    fn healthy_rank(&self, id: &str) -> Vec<usize> {
+        hash::rank(id, self.backends.len())
+            .into_iter()
+            .filter(|&b| self.backend_healthy(b))
+            .collect()
+    }
+
+    fn mark_down(&self, index: usize) {
+        self.backends[index].healthy.store(false, Ordering::SeqCst);
+        self.backends[index]
+            .consecutive_oks
+            .store(0, Ordering::SeqCst);
+    }
+
+    fn record_probe(&self, index: usize, ok: bool, config: &RouterConfig, stats: &RouterStats) {
+        let b = &self.backends[index];
+        if ok {
+            stats.probes_ok.fetch_add(1, Ordering::Relaxed);
+            b.consecutive_fails.store(0, Ordering::SeqCst);
+            let oks = b.consecutive_oks.fetch_add(1, Ordering::SeqCst) + 1;
+            if !b.healthy.load(Ordering::SeqCst) && oks >= config.readmit_after {
+                b.healthy.store(true, Ordering::SeqCst);
+                stats.readmissions.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            stats.probes_failed.fetch_add(1, Ordering::Relaxed);
+            b.consecutive_oks.store(0, Ordering::SeqCst);
+            let fails = b.consecutive_fails.fetch_add(1, Ordering::SeqCst) + 1;
+            if b.healthy.load(Ordering::SeqCst) && fails >= config.quarantine_after.max(1) {
+                b.healthy.store(false, Ordering::SeqCst);
+                stats.quarantines.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Lock a route's state, waiting up to `budget`. `None` means the
+/// route is busy (a migration or long command holds it) — the caller
+/// answers with a retryable `MOVED`.
+fn lock_route(entry: &RouteEntry, budget: Duration) -> Option<MutexGuard<'_, RouteState>> {
+    let started = Instant::now();
+    loop {
+        match entry.state.try_lock() {
+            Ok(guard) => return Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => return Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                if started.elapsed() >= budget {
+                    return None;
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// A handle to a running router.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    pool: Arc<ThreadPool>,
+    stats: Arc<RouterStats>,
+    fleet: Arc<Fleet>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Router counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Fleet membership and routing view.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Begin shutdown; use [`RouterHandle::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the acceptor, prober, and workers to exit.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.pool.close();
+    }
+}
+
+/// Start the router; returns once its listener is bound and the
+/// prober and acceptor threads are running.
+pub fn serve(config: RouterConfig) -> io::Result<RouterHandle> {
+    if config.backends.is_empty() {
+        return Err(io::Error::other("router needs at least one backend"));
+    }
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(RouterStats::default());
+    let fleet = Arc::new(Fleet::new(&config.backends)?);
+    let pool = Arc::new(ThreadPool::new(config.workers));
+    let mut threads = Vec::new();
+
+    // Prober: one thread, per-backend seeded-jitter schedules. The
+    // schedule is fixed-rate (next fire = previous fire + jittered
+    // delay, not `now + delay`), so the probe *order* across backends
+    // is a pure function of the seed — chaos runs replay identically.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        let fleet = Arc::clone(&fleet);
+        let config = config.clone();
+        threads.push(thread::spawn(move || {
+            let mut schedules: Vec<ProbeSchedule> = (0..fleet.len())
+                .map(|i| {
+                    ProbeSchedule::new(
+                        config.probe_seed ^ i as u64,
+                        config.probe_interval,
+                        config.probe_jitter,
+                    )
+                })
+                .collect();
+            let start = Instant::now();
+            let mut next: Vec<Instant> =
+                schedules.iter_mut().map(|s| start + s.stagger()).collect();
+            while !shutdown.load(Ordering::SeqCst) {
+                let (idx, due) = next
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(i, t)| (t, i))
+                    .expect("at least one backend");
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep((due - now).min(PROBE_TICK));
+                    continue;
+                }
+                let ok = probe_backend(&fleet.backends[idx], &config);
+                fleet.record_probe(idx, ok, &config, &stats);
+                next[idx] = due + schedules[idx].next_delay();
+            }
+        }));
+    }
+
+    // Acceptor: one pool job per client connection.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let pool = Arc::clone(&pool);
+        let stats = Arc::clone(&stats);
+        let fleet = Arc::clone(&fleet);
+        let config = config.clone();
+        threads.push(thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_read_timeout(Some(
+                            Duration::from_millis(100).min(config.read_timeout),
+                        ));
+                        let _ = stream.set_nodelay(true);
+                        let shutdown = Arc::clone(&shutdown);
+                        let stats = Arc::clone(&stats);
+                        let fleet = Arc::clone(&fleet);
+                        let config = config.clone();
+                        let queued = pool.execute(move || {
+                            let mut conn = ClientConn {
+                                fleet: &fleet,
+                                stats: &stats,
+                                config: &config,
+                                shutdown: &shutdown,
+                                attached: None,
+                                upstream: None,
+                            };
+                            conn.serve(stream);
+                        });
+                        if !queued {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+                    Err(_) => thread::sleep(ACCEPT_TICK),
+                }
+            }
+        }));
+    }
+
+    Ok(RouterHandle {
+        addr,
+        shutdown,
+        threads,
+        pool,
+        stats,
+        fleet,
+    })
+}
+
+/// One health probe: dial within the probe budget, send `probe`, and
+/// accept any well-formed reply header as liveness — a `RETRY-AFTER`
+/// shed still proves the backend is up, just busy. The `probe-timeout`
+/// fault point simulates a lost probe without touching the backend.
+fn probe_backend(backend: &BackendState, config: &RouterConfig) -> bool {
+    if config.faults.fires(PROBE_TIMEOUT).is_some() {
+        return false;
+    }
+    let Ok(stream) = TcpStream::connect_timeout(&backend.sock, config.probe_timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(config.probe_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    if stream.write_all(b"probe\n").is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut header = String::new();
+    use std::io::BufRead;
+    match reader.read_line(&mut header) {
+        Ok(n) if n > 0 => header.starts_with("ok") || header.starts_with("err"),
+        _ => false,
+    }
+}
+
+/// An upstream backend connection attached to the client's session.
+struct Upstream {
+    backend: usize,
+    client: Client,
+}
+
+/// Per-client-connection proxy state.
+struct ClientConn<'a> {
+    fleet: &'a Arc<Fleet>,
+    stats: &'a Arc<RouterStats>,
+    config: &'a RouterConfig,
+    shutdown: &'a Arc<AtomicBool>,
+    attached: Option<String>,
+    upstream: Option<Upstream>,
+}
+
+/// Extract the `seq=N` watermark a backend appends to attach/recover
+/// replies.
+fn seq_in(body: &str) -> Option<u64> {
+    let (_, tail) = body.rsplit_once("seq=")?;
+    tail.split_whitespace().next()?.parse().ok()
+}
+
+impl ClientConn<'_> {
+    fn serve(&mut self, stream: TcpStream) {
+        let result = (|| -> io::Result<()> {
+            let write_half = stream.try_clone()?;
+            let mut reader = BufReader::new(stream);
+            let mut writer = BufWriter::new(write_half);
+            loop {
+                let line = match read_protocol_line(
+                    &mut reader,
+                    self.shutdown,
+                    self.config.read_timeout,
+                    self.config.max_line_bytes,
+                )? {
+                    LineRead::Line(line) => line,
+                    LineRead::Closed => break,
+                    LineRead::OverLimit => {
+                        write_response(
+                            &mut writer,
+                            false,
+                            &format!(
+                                "protocol error: line exceeds {} bytes; closing connection",
+                                self.config.max_line_bytes
+                            ),
+                        )?;
+                        break;
+                    }
+                };
+                let command = line.trim().to_owned();
+                if command.is_empty() || command.starts_with('#') {
+                    write_response(&mut writer, true, "")?;
+                    continue;
+                }
+                // Heredoc bodies are gathered router-side and replayed
+                // upstream as one unit, so a retry after failover
+                // resends the complete command.
+                let (command, heredoc) = match iwb_core::shell::heredoc_start(&command) {
+                    Some(cmd) => {
+                        let cmd = cmd.to_owned();
+                        let mut body = String::new();
+                        let mut dead = false;
+                        let mut too_large = false;
+                        loop {
+                            match read_protocol_line(
+                                &mut reader,
+                                self.shutdown,
+                                self.config.read_timeout,
+                                self.config.max_line_bytes,
+                            )? {
+                                LineRead::Line(l) if l.trim() == iwb_core::shell::HEREDOC_END => {
+                                    break
+                                }
+                                LineRead::Line(l) => {
+                                    if body.len() + l.len() + 1 > self.config.max_heredoc_bytes {
+                                        too_large = true;
+                                        break;
+                                    }
+                                    body.push_str(&l);
+                                    body.push('\n');
+                                }
+                                LineRead::Closed => {
+                                    dead = true;
+                                    break;
+                                }
+                                LineRead::OverLimit => {
+                                    too_large = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if dead {
+                            break;
+                        }
+                        if too_large {
+                            write_response(
+                                &mut writer,
+                                false,
+                                &format!(
+                                    "protocol error: heredoc exceeds {} bytes; closing connection",
+                                    self.config.max_heredoc_bytes
+                                ),
+                            )?;
+                            break;
+                        }
+                        (cmd, Some(body))
+                    }
+                    None => (command, None),
+                };
+
+                self.stats.commands.fetch_add(1, Ordering::Relaxed);
+                let (ok, body, close) = self.dispatch(&command, heredoc.as_deref());
+                write_response(&mut writer, ok, &body)?;
+                if close {
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        let _ = result;
+    }
+
+    /// Route one command; returns `(ok, body, close_connection)`.
+    fn dispatch(&mut self, command: &str, heredoc: Option<&str>) -> (bool, String, bool) {
+        let words: Vec<&str> = command.split_whitespace().collect();
+        match words.as_slice() {
+            ["session", "new"] => self.place_new(None),
+            ["session", "new", id] => self.place_new(Some(id)),
+            ["session", "attach", id] => self.attach(id),
+            ["session", "detach"] => match self.attached.take() {
+                Some(id) => {
+                    self.upstream = None;
+                    (true, format!("session {id} detached"), false)
+                }
+                None => (false, "no session attached".to_owned(), false),
+            },
+            ["session", "current"] => match self.attached.as_ref() {
+                Some(id) => (true, format!("session {id}"), false),
+                None => (true, "none".to_owned(), false),
+            },
+            ["session", "close"] | ["session", "close", _] => {
+                let id = match words.get(2).copied().map(str::to_owned) {
+                    Some(id) => id,
+                    None => match self.attached.clone() {
+                        Some(id) => id,
+                        None => {
+                            return (
+                                false,
+                                "no session attached; name one: session close <id>".to_owned(),
+                                false,
+                            )
+                        }
+                    },
+                };
+                self.close_session(&id)
+            }
+            ["session", "list"] => self.aggregate("session list"),
+            ["migrate", id] => self.migrate(id),
+            ["migrate"] => (false, "usage: migrate <session>".to_owned(), false),
+            ["cancel", id] => match self.fleet.routed_backend(id) {
+                Some(b) => match self.admin_request(b, &format!("cancel {id}")) {
+                    Ok(resp) => (resp.ok, resp.body, false),
+                    Err(e) => (false, format!("backend unreachable: {e}"), false),
+                },
+                None => (false, format!("no session {id:?}"), false),
+            },
+            ["probe"] => {
+                let healthy = (0..self.fleet.len())
+                    .filter(|&b| self.fleet.backend_healthy(b))
+                    .count();
+                (
+                    healthy > 0,
+                    format!(
+                        "ready backends={healthy}/{} routes={}",
+                        self.fleet.len(),
+                        self.fleet.route_count()
+                    ),
+                    false,
+                )
+            }
+            ["ping"] => (true, "pong".to_owned(), false),
+            ["stats"] => {
+                let mut body = self.stats.render();
+                for (i, b) in self.fleet.backends.iter().enumerate() {
+                    body.push_str(&format!(
+                        "\nbackend {i} addr={} healthy={}",
+                        b.addr,
+                        b.healthy.load(Ordering::SeqCst)
+                    ));
+                }
+                (true, body, false)
+            }
+            ["shutdown"] => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (
+                    true,
+                    "router shutting down (backends keep running)".to_owned(),
+                    true,
+                )
+            }
+            ["quit"] => (true, "bye".to_owned(), true),
+            _ => {
+                let (ok, body) = self.forward_shell(command, heredoc);
+                (ok, body, false)
+            }
+        }
+    }
+
+    /// Place a new session on its rendezvous-ranked owner, walking the
+    /// ranking (and retrying with backoff) past shedding backends.
+    fn place_new(&mut self, requested: Option<&str>) -> (bool, String, bool) {
+        let id = match requested {
+            Some(id) => id.to_owned(),
+            // Router-minted ids (`r1`, `r2`, …) keep anonymous
+            // `session new` collision-free across backends, each of
+            // which mints its own `s1`, `s2`, … namespace.
+            None => format!("r{}", self.fleet.minted.fetch_add(1, Ordering::Relaxed) + 1),
+        };
+        if self.fleet.route(&id).is_some() {
+            return (false, format!("session id {id:?} already routed"), false);
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.retry.seed);
+        let mut last = "RETRY-AFTER 100ms: no healthy backend".to_owned();
+        for attempt in 0..self.config.retry.attempts.max(1) {
+            for b in self.fleet.healthy_rank(&id) {
+                match self.dial(b) {
+                    Ok(mut client) => match client.request(&format!("session new {id}")) {
+                        Ok(resp) if resp.ok => {
+                            self.fleet.pin(&id, b, 0);
+                            self.attached = Some(id.clone());
+                            self.upstream = Some(Upstream { backend: b, client });
+                            return (true, format!("session {id} created (attached)"), false);
+                        }
+                        Ok(resp) => {
+                            match RetryableError::parse(&resp.body) {
+                                // Shed: fall through to the next-ranked
+                                // healthy backend.
+                                Some(e) if e.is_retryable() => last = resp.body,
+                                _ => return (false, resp.body, false),
+                            }
+                        }
+                        Err(e) => last = format!("backend {b} unreachable: {e}"),
+                    },
+                    Err(e) => last = format!("backend {b} unreachable: {e}"),
+                }
+            }
+            if attempt + 1 < self.config.retry.attempts {
+                thread::sleep(self.config.retry.delay(attempt, &mut rng));
+            }
+        }
+        (false, last, false)
+    }
+
+    /// Attach to an existing session: the route table wins; a route
+    /// miss walks the ranking, and a session that is live nowhere but
+    /// persisted in the shared store is recovered onto its top-ranked
+    /// healthy backend.
+    fn attach(&mut self, id: &str) -> (bool, String, bool) {
+        if let Some(entry) = self.fleet.route(id) {
+            let Some(mut st) = lock_route(&entry, ROUTE_LOCK_TIMEOUT) else {
+                self.stats.moved_refusals.fetch_add(1, Ordering::Relaxed);
+                return (
+                    false,
+                    RetryableError::Moved {
+                        session: id.to_owned(),
+                        detail: "session migrating; retry".to_owned(),
+                    }
+                    .to_string(),
+                    false,
+                );
+            };
+            return match self.dial_attached(st.backend, id) {
+                Ok((client, seq)) => {
+                    if let Some(n) = seq {
+                        st.seq = n;
+                    }
+                    self.upstream = Some(Upstream {
+                        backend: st.backend,
+                        client,
+                    });
+                    self.attached = Some(id.to_owned());
+                    (true, format!("session {id} attached seq={}", st.seq), false)
+                }
+                Err(_) => {
+                    // Owner unreachable: fail the session over now, at
+                    // attach time, then land on the successor.
+                    if !self.failover(id, &mut st) {
+                        return (
+                            false,
+                            format!("RETRY-AFTER 250ms: no healthy backend holds session {id}"),
+                            false,
+                        );
+                    }
+                    match self.dial_attached(st.backend, id) {
+                        Ok((client, seq)) => {
+                            if let Some(n) = seq {
+                                st.seq = n;
+                            }
+                            self.upstream = Some(Upstream {
+                                backend: st.backend,
+                                client,
+                            });
+                            self.attached = Some(id.to_owned());
+                            (true, format!("session {id} attached seq={}", st.seq), false)
+                        }
+                        Err(e) => (false, format!("backend unreachable: {e}"), false),
+                    }
+                }
+            };
+        }
+        // No route yet: first try live backends in preference order,
+        // then fall back to store recovery on the top-ranked one.
+        let ranked = self.fleet.healthy_rank(id);
+        for &b in &ranked {
+            if let Ok((client, seq)) = self.dial_attached(b, id) {
+                let seq = seq.unwrap_or(0);
+                self.fleet.pin(id, b, seq);
+                self.upstream = Some(Upstream { backend: b, client });
+                self.attached = Some(id.to_owned());
+                return (true, format!("session {id} attached seq={seq}"), false);
+            }
+        }
+        for &b in &ranked {
+            let Ok(resp) = self.admin_request(b, &format!("session recover {id}")) else {
+                continue;
+            };
+            if !resp.ok {
+                continue;
+            }
+            let seq = seq_in(&resp.body).unwrap_or(0);
+            if let Ok((client, attach_seq)) = self.dial_attached(b, id) {
+                let seq = attach_seq.unwrap_or(seq);
+                self.fleet.pin(id, b, seq);
+                self.upstream = Some(Upstream { backend: b, client });
+                self.attached = Some(id.to_owned());
+                return (true, format!("session {id} attached seq={seq}"), false);
+            }
+        }
+        (false, format!("no session {id:?}"), false)
+    }
+
+    fn close_session(&mut self, id: &str) -> (bool, String, bool) {
+        if self.attached.as_deref() == Some(id) {
+            self.attached = None;
+            self.upstream = None;
+        }
+        let Some(b) = self.fleet.routed_backend(id) else {
+            return (false, format!("no session {id:?}"), false);
+        };
+        match self.admin_request(b, &format!("session close {id}")) {
+            Ok(resp) => {
+                if resp.ok {
+                    self.fleet.unpin(id);
+                }
+                (resp.ok, resp.body, false)
+            }
+            Err(e) => (false, format!("backend unreachable: {e}"), false),
+        }
+    }
+
+    /// Fan an admin command out to every healthy backend and join the
+    /// reply bodies.
+    fn aggregate(&mut self, command: &str) -> (bool, String, bool) {
+        let mut lines = Vec::new();
+        for b in 0..self.fleet.len() {
+            if !self.fleet.backend_healthy(b) {
+                continue;
+            }
+            if let Ok(resp) = self.admin_request(b, command) {
+                if resp.ok && !resp.body.is_empty() {
+                    lines.push(resp.body);
+                }
+            }
+        }
+        (true, lines.join("\n"), false)
+    }
+
+    /// Planned migration: hold the route lock across the whole
+    /// release → (stall) → recover → flip handshake. Concurrent
+    /// commands and attaches on this session time out on the lock and
+    /// answer `MOVED` — retryable, and correct both before and after
+    /// the flip.
+    fn migrate(&mut self, id: &str) -> (bool, String, bool) {
+        let Some(entry) = self.fleet.route(id) else {
+            return (false, format!("no session {id:?}"), false);
+        };
+        let Some(mut st) = lock_route(&entry, MIGRATE_LOCK_TIMEOUT) else {
+            return (
+                false,
+                format!("session {id} is busy; migration not started"),
+                false,
+            );
+        };
+        let old = st.backend;
+        let released = self
+            .admin_request(old, &format!("session release {id}"))
+            .map(|r| r.ok)
+            .unwrap_or(false);
+        if let Some(ms) = self.config.faults.fires(MIGRATION_STALL) {
+            thread::sleep(Duration::from_millis(ms.max(50)));
+        }
+        for b in self.fleet.healthy_rank(id) {
+            if b == old {
+                continue;
+            }
+            let Ok(resp) = self.admin_request(b, &format!("session recover {id}")) else {
+                continue;
+            };
+            if !resp.ok {
+                continue;
+            }
+            st.backend = b;
+            if let Some(n) = seq_in(&resp.body) {
+                st.seq = n;
+            }
+            self.upstream = None;
+            self.stats.migrations.fetch_add(1, Ordering::Relaxed);
+            return (
+                true,
+                format!("session {id} migrated backend {old} -> {b} seq={}", st.seq),
+                false,
+            );
+        }
+        // No successor took it: put it back where it was so the
+        // session stays reachable.
+        if released {
+            let _ = self.admin_request(old, &format!("session recover {id}"));
+        }
+        (
+            false,
+            format!("no healthy successor for session {id}; migration aborted"),
+            false,
+        )
+    }
+
+    /// Forward one shell command to the session's owner, stamping
+    /// mutating commands with the route's sequence number and failing
+    /// over (release → recover → flip → retry the *same* stamp) when
+    /// the owner dies mid-flight.
+    fn forward_shell(&mut self, command: &str, heredoc: Option<&str>) -> (bool, String) {
+        let Some(id) = self.attached.clone() else {
+            return (false, "no session attached (use: session new)".to_owned());
+        };
+        let Some(entry) = self.fleet.route(&id) else {
+            return (false, format!("no session {id:?}"));
+        };
+        let Some(mut st) = lock_route(&entry, ROUTE_LOCK_TIMEOUT) else {
+            self.stats.moved_refusals.fetch_add(1, Ordering::Relaxed);
+            return (
+                false,
+                RetryableError::Moved {
+                    session: id,
+                    detail: "session migrating; retry".to_owned(),
+                }
+                .to_string(),
+            );
+        };
+        let mutating = iwb_core::shell::mutates(command);
+        // The stamp is fixed *once*: every retry of this command —
+        // including across a failover — resends the same `@N`, so the
+        // backend guard makes redelivery idempotent.
+        let stamp = mutating.then_some(st.seq);
+
+        if mutating && self.config.faults.fires(SPLIT_ROUTING).is_some() {
+            self.divert_split(&id, st.backend, stamp.unwrap_or(0), command, heredoc);
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.retry.seed ^ 0x5117);
+        let mut last = (false, "no healthy backend".to_owned());
+        for attempt in 0..self.config.retry.attempts.max(1) {
+            if self.upstream.as_ref().map(|u| u.backend) != Some(st.backend) {
+                self.upstream = None;
+            }
+            if self.upstream.is_none() {
+                match self.dial_attached(st.backend, &id) {
+                    Ok((client, seq)) => {
+                        if let (Some(n), None) = (seq, stamp) {
+                            st.seq = n;
+                        }
+                        self.upstream = Some(Upstream {
+                            backend: st.backend,
+                            client,
+                        });
+                    }
+                    Err(_) => {
+                        if !self.failover(&id, &mut st) {
+                            return (
+                                false,
+                                format!("RETRY-AFTER 250ms: no healthy backend for session {id}"),
+                            );
+                        }
+                        continue;
+                    }
+                }
+            }
+            let line = match stamp {
+                Some(s) => format!("@{s} {command}"),
+                None => command.to_owned(),
+            };
+            let up = self.upstream.as_mut().expect("ensured above");
+            let result = match heredoc {
+                Some(body) => up.client.request_with_heredoc(&line, body),
+                None => up.client.request(&line),
+            };
+            match result {
+                Ok(resp) => {
+                    if resp.ok {
+                        if let Some(s) = stamp {
+                            if resp.body.starts_with("DUPLICATE") {
+                                self.stats.duplicate_acks.fetch_add(1, Ordering::Relaxed);
+                                st.seq = st.seq.max(s + 1);
+                            } else {
+                                st.seq = s + 1;
+                            }
+                        }
+                        return (true, resp.body);
+                    }
+                    match RetryableError::parse(&resp.body) {
+                        Some(e @ RetryableError::RetryAfter { .. }) => {
+                            last = (false, resp.body.clone());
+                            let hint = Duration::from_millis(e.retry_after_ms().unwrap_or(0));
+                            thread::sleep(self.config.retry.delay(attempt, &mut rng).max(hint));
+                        }
+                        Some(RetryableError::SeqGap { expected, .. }) => {
+                            // The pinned owner is *behind* our stamp:
+                            // our watermark was wrong (e.g. a stale
+                            // route). Trust the backend and resync.
+                            self.stats
+                                .seq_gap_rejections
+                                .fetch_add(1, Ordering::Relaxed);
+                            st.seq = expected;
+                            return (false, resp.body);
+                        }
+                        _ => return (false, resp.body),
+                    }
+                }
+                Err(_) => {
+                    // Mid-flight death: the ack (if any) is lost, the
+                    // journal (if reached) is on shared disk. Fail
+                    // over and retry the same stamped command.
+                    self.upstream = None;
+                    if !self.failover(&id, &mut st) {
+                        return (
+                            false,
+                            format!("RETRY-AFTER 250ms: no healthy backend for session {id}"),
+                        );
+                    }
+                }
+            }
+        }
+        last
+    }
+
+    /// Journal-shipped failover: quarantine the dead owner, release
+    /// best-effort (a crashed backend cannot answer; an alive-but-
+    /// quarantined one must drop the session so it is never live in two
+    /// places), then direct the next-ranked healthy backend to recover
+    /// from the shared store and flip the route.
+    fn failover(&self, id: &str, st: &mut RouteState) -> bool {
+        let dead = st.backend;
+        self.fleet.mark_down(dead);
+        self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+        let _ = self.admin_request(dead, &format!("session release {id}"));
+        if let Some(ms) = self.config.faults.fires(MIGRATION_STALL) {
+            thread::sleep(Duration::from_millis(ms.max(50)));
+        }
+        for b in self.fleet.healthy_rank(id) {
+            if b == dead {
+                continue;
+            }
+            let Ok(resp) = self.admin_request(b, &format!("session recover {id}")) else {
+                continue;
+            };
+            if !resp.ok {
+                continue;
+            }
+            st.backend = b;
+            if let Some(n) = seq_in(&resp.body) {
+                st.seq = n;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Deliberately route one stamped command to a *non-owner* backend
+    /// (the `split-routing` fault): the stale replica must refuse with
+    /// `SEQ-GAP` (or ack `DUPLICATE`), proving the sequence guard, not
+    /// the router's bookkeeping, is what prevents forked histories.
+    fn divert_split(
+        &self,
+        id: &str,
+        pinned: usize,
+        seq: u64,
+        command: &str,
+        heredoc: Option<&str>,
+    ) {
+        let Some(other) = self
+            .fleet
+            .healthy_rank(id)
+            .into_iter()
+            .find(|&b| b != pinned)
+        else {
+            return;
+        };
+        self.stats.split_diverts.fetch_add(1, Ordering::Relaxed);
+        let Ok(mut client) = self.dial(other) else {
+            return;
+        };
+        let Ok(attach) = client.request(&format!("session attach {id}")) else {
+            return;
+        };
+        if !attach.ok {
+            return; // no replica there: nothing to mis-route to
+        }
+        let line = format!("@{seq} {command}");
+        let result = match heredoc {
+            Some(body) => client.request_with_heredoc(&line, body),
+            None => client.request(&line),
+        };
+        if let Ok(resp) = result {
+            if resp.body.starts_with("SEQ-GAP") {
+                self.stats
+                    .seq_gap_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+            } else if resp.body.starts_with("DUPLICATE") {
+                self.stats.duplicate_acks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn dial(&self, backend: usize) -> io::Result<Client> {
+        Client::connect(self.fleet.backends[backend].sock)
+    }
+
+    /// Dial a backend and attach `id`; returns the client and the
+    /// backend's reported sequence watermark.
+    fn dial_attached(&self, backend: usize, id: &str) -> io::Result<(Client, Option<u64>)> {
+        let mut client = self.dial(backend)?;
+        let resp = client.request(&format!("session attach {id}"))?;
+        if !resp.ok {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("attach {id} on backend {backend}: {}", resp.body),
+            ));
+        }
+        let seq = seq_in(&resp.body);
+        Ok((client, seq))
+    }
+
+    /// One short-lived admin request (release/recover/close/cancel) on
+    /// its own connection, so admin traffic never disturbs the
+    /// attached upstream.
+    fn admin_request(&self, backend: usize, command: &str) -> io::Result<Response> {
+        let mut client = self.dial(backend)?;
+        client.request(command)
+    }
+}

@@ -26,6 +26,11 @@
 //! * `--snapshot-every N`      background-snapshot cadence in
 //!   journaled commands (default 64; 0 snapshots only on
 //!   eviction/shutdown; needs `--store`)
+//! * `--no-recover`            skip the startup journal sweep even
+//!   with `--store`/`--recover`. Fleet backends behind a
+//!   `workbench-router` run this way: every backend shares the store
+//!   directory, so each must recover only the sessions the router
+//!   routes to it (via `session recover <id>`), not all of them
 //! * `--quarantine-after N`    quarantine a session after N
 //!   consecutive panicking commands (default 3; 0 disables)
 //! * `--max-line-bytes N`      protocol line bound (default 65536)
@@ -53,7 +58,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: workbenchd [--addr HOST:PORT] [--workers N] [--max-sessions N] \
          [--idle-timeout SECS] [--read-timeout SECS] [--journal DIR] [--recover DIR] \
-         [--store DIR] [--snapshot-every N] \
+         [--store DIR] [--snapshot-every N] [--no-recover] \
          [--quarantine-after N] [--max-line-bytes N] [--max-heredoc-bytes N] \
          [--default-deadline-ms N] [--max-pending N] [--faults SPEC]"
     );
@@ -65,6 +70,7 @@ fn parse_args() -> ServerConfig {
         addr: "127.0.0.1:7171".to_owned(),
         ..ServerConfig::default()
     };
+    let mut no_recover = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| match args.next() {
@@ -105,6 +111,7 @@ fn parse_args() -> ServerConfig {
                 Ok(n) => config.snapshot_every = n,
                 _ => usage(),
             },
+            "--no-recover" => no_recover = true,
             "--quarantine-after" => match value("--quarantine-after").parse() {
                 Ok(n) => config.quarantine_after = n,
                 _ => usage(),
@@ -138,6 +145,9 @@ fn parse_args() -> ServerConfig {
                 usage();
             }
         }
+    }
+    if no_recover {
+        config.recover = false;
     }
     config
 }

@@ -12,11 +12,12 @@
 //! with `--recover`, so a reconnect usually lands exactly where the
 //! crash interrupted).
 
+use iwb_core::RetryableError;
 use iwb_rng::StdRng;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One framed server reply.
 #[derive(Debug, Clone)]
@@ -43,6 +44,12 @@ impl Response {
 /// Attempt `i` sleeps `min(base * 2^i, max)` scaled by a jitter factor
 /// drawn uniformly from `[0.5, 1.0)` — jitter is seeded, so a chaos
 /// run's reconnect timing is as reproducible as its fault plan.
+///
+/// An optional `cap` bounds the *total* retry wall-time: once the
+/// budget is spent, no further attempt is made and the last error is
+/// returned. Callers holding a command [`iwb_pool::Deadline`] derive
+/// the cap from it ([`Backoff::until_deadline`]) so retries can never
+/// outlive the command they serve.
 #[derive(Debug, Clone)]
 pub struct Backoff {
     /// Connection attempts before giving up (≥ 1).
@@ -53,6 +60,9 @@ pub struct Backoff {
     pub max: Duration,
     /// Jitter seed.
     pub seed: u64,
+    /// Cap on the total wall-time spent retrying (`None`: only the
+    /// attempt count bounds the loop).
+    pub cap: Option<Duration>,
 }
 
 impl Default for Backoff {
@@ -62,19 +72,59 @@ impl Default for Backoff {
             base: Duration::from_millis(50),
             max: Duration::from_secs(2),
             seed: 0x1b_0ff,
+            cap: None,
         }
     }
 }
 
 impl Backoff {
+    /// Bound the total retry wall-time to `budget`.
+    pub fn capped(mut self, budget: Duration) -> Backoff {
+        self.cap = Some(budget);
+        self
+    }
+
+    /// Bound the total retry wall-time to whatever is left of a
+    /// command deadline (an unset deadline leaves the backoff
+    /// unbounded). Expired deadlines cap at zero: the first failure
+    /// is final.
+    pub fn until_deadline(self, deadline: &iwb_pool::Deadline) -> Backoff {
+        match deadline.remaining() {
+            Some(left) => self.capped(left),
+            None => self,
+        }
+    }
+
+    /// The instant the retry budget runs out, if a cap is set.
+    fn budget_end(&self) -> Option<Instant> {
+        self.cap.map(|budget| Instant::now() + budget)
+    }
+
     /// The jittered delay to sleep after failed attempt `attempt`
-    /// (0-based).
-    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+    /// (0-based). Public so the fleet router reuses the exact same
+    /// jitter curve for its shed/failover retries.
+    pub fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
         let exp = self
             .base
             .saturating_mul(2u32.saturating_pow(attempt))
             .min(self.max);
         exp.mul_f64(0.5 + rng.next_f64() / 2.0)
+    }
+
+    /// Sleep the jittered delay, truncated to the remaining budget.
+    /// Returns `false` when the budget is already exhausted (the
+    /// caller must stop retrying).
+    fn sleep(&self, attempt: u32, rng: &mut StdRng, budget_end: Option<Instant>) -> bool {
+        let mut delay = self.delay(attempt, rng);
+        if let Some(end) = budget_end {
+            let left = end.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            delay = delay.min(left);
+        }
+        thread::sleep(delay);
+        true
     }
 }
 
@@ -109,14 +159,17 @@ impl Client {
     /// restarting.
     pub fn connect_with_backoff(addr: impl ToSocketAddrs, backoff: &Backoff) -> io::Result<Client> {
         let mut rng = StdRng::seed_from_u64(backoff.seed);
+        let budget_end = backoff.budget_end();
         let mut last_err = io::Error::other("no connection attempts made");
         for attempt in 0..backoff.attempts.max(1) {
             match Self::connect(&addr) {
                 Ok(client) => return Ok(client),
                 Err(e) => last_err = e,
             }
-            if attempt + 1 < backoff.attempts.max(1) {
-                thread::sleep(backoff.delay(attempt, &mut rng));
+            if attempt + 1 < backoff.attempts.max(1)
+                && !backoff.sleep(attempt, &mut rng, budget_end)
+            {
+                break; // retry budget exhausted: the deadline wins
             }
         }
         Err(last_err)
@@ -133,21 +186,59 @@ impl Client {
     /// without journaling, or the session was evicted — the tracked id
     /// is cleared and an error naming the lost session is returned, so
     /// the caller can decide between `session new` and giving up.
+    ///
+    /// Structured retryable refusals are not losses: a `MOVED` hint
+    /// (the session is mid-migration behind a fleet router) or a
+    /// `RETRY-AFTER` shed makes the attach retry in place — the peer
+    /// re-resolves routing once the migration lands — so reconnecting
+    /// through a router is idempotent even while the session changes
+    /// backends.
     pub fn reconnect(&mut self, backoff: &Backoff) -> io::Result<()> {
         let fresh = Self::connect_with_backoff(self.peer, backoff)?;
         self.reader = fresh.reader;
         self.writer = fresh.writer;
-        if let Some(id) = self.session.clone() {
+        let Some(id) = self.session.clone() else {
+            return Ok(());
+        };
+        let mut rng = StdRng::seed_from_u64(backoff.seed ^ 0xa77ac4);
+        let budget_end = backoff.budget_end();
+        let mut last_refusal = String::new();
+        for attempt in 0..backoff.attempts.max(1) {
             let resp = self.request(&format!("session attach {id}"))?;
-            if !resp.ok {
-                self.session = None;
-                return Err(io::Error::new(
-                    io::ErrorKind::NotFound,
-                    format!("reconnected, but session {id:?} is gone: {}", resp.body),
-                ));
+            if resp.ok {
+                return Ok(());
+            }
+            match RetryableError::parse(&resp.body) {
+                Some(err) if err.is_retryable() => {
+                    last_refusal = resp.body;
+                    // The server's own retry hint floors the jittered
+                    // delay; the wall-time budget still caps it.
+                    let hint = Duration::from_millis(err.retry_after_ms().unwrap_or(0));
+                    let mut delay = backoff.delay(attempt, &mut rng).max(hint);
+                    if let Some(end) = budget_end {
+                        let left = end.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        delay = delay.min(left);
+                    }
+                    thread::sleep(delay);
+                }
+                _ => {
+                    // A free-form refusal means the session really is
+                    // gone, not merely moving.
+                    self.session = None;
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("reconnected, but session {id:?} is gone: {}", resp.body),
+                    ));
+                }
             }
         }
-        Ok(())
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("session {id:?} still migrating: {last_refusal}"),
+        ))
     }
 
     /// Send one single-line command and read the reply.
@@ -300,6 +391,7 @@ mod tests {
             base: Duration::from_millis(10),
             max: Duration::from_millis(200),
             seed: 7,
+            cap: None,
         };
         let mut rng = StdRng::seed_from_u64(b.seed);
         let delays: Vec<Duration> = (0..6).map(|i| b.delay(i, &mut rng)).collect();
@@ -338,6 +430,7 @@ mod tests {
                 base: Duration::from_millis(25),
                 max: Duration::from_millis(100),
                 seed: 3,
+                cap: None,
             },
         )
         .expect("backoff should outlast the late bind");
@@ -345,6 +438,88 @@ mod tests {
         let handle = server.join().unwrap();
         c.shutdown().unwrap();
         handle.join();
+    }
+
+    #[test]
+    fn backoff_cap_bounds_total_retry_wall_time() {
+        // Nothing listens on the reserved-then-dropped port, so every
+        // attempt fails fast; without the cap this loop would sleep
+        // ~40ms × 1000 attempts. The cap must cut it off.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let backoff = Backoff {
+            attempts: 1000,
+            base: Duration::from_millis(40),
+            max: Duration::from_millis(40),
+            seed: 1,
+            cap: None,
+        }
+        .capped(Duration::from_millis(120));
+        let start = Instant::now();
+        assert!(Client::connect_with_backoff(addr, &backoff).is_err());
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "cap must bound the retry loop, took {elapsed:?}"
+        );
+
+        // The cap derives from a command deadline so retries can never
+        // outlive the command they serve; no deadline, no cap.
+        let deadline = iwb_pool::Deadline::within(Duration::from_millis(80));
+        let capped = Backoff::default().until_deadline(&deadline);
+        assert!(capped.cap.unwrap() <= Duration::from_millis(80));
+        let unbounded = Backoff::default().until_deadline(&iwb_pool::Deadline::none());
+        assert!(unbounded.cap.is_none());
+    }
+
+    #[test]
+    fn reconnect_follows_moved_hints_until_migration_lands() {
+        // A scripted peer standing in for a fleet router: the session
+        // is "migrating" for two attach attempts, then lands.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let serve_line = |stream: &mut TcpStream,
+                              reader: &mut BufReader<TcpStream>,
+                              expect: &str,
+                              reply: &str| {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.trim().starts_with(expect), "{line:?}");
+                write!(stream, "{reply}").unwrap();
+            };
+            let (mut s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            serve_line(
+                &mut s,
+                &mut r,
+                "session new mv",
+                "ok 1\nsession mv created (attached)\n",
+            );
+            let (mut s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            for attempt in 0..3 {
+                let reply = if attempt < 2 {
+                    "err 1\nMOVED mv: session migrating; retry\n"
+                } else {
+                    "ok 1\nsession mv attached seq=4\n"
+                };
+                serve_line(&mut s, &mut r, "session attach mv", reply);
+            }
+        });
+        let mut c = Client::connect(addr).unwrap();
+        c.session_new(Some("mv")).unwrap();
+        c.reconnect(&Backoff {
+            attempts: 5,
+            base: Duration::from_millis(5),
+            max: Duration::from_millis(20),
+            seed: 9,
+            cap: Some(Duration::from_secs(5)),
+        })
+        .expect("MOVED is a hint, not a loss");
+        assert_eq!(c.session(), Some("mv"));
+        server.join().unwrap();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `iwb_server::fault::…` paths stable for existing callers.
 
 pub use iwb_store::fault::{
-    fnv1a64, FaultPlan, FaultSpec, EXEC_ERROR, EXEC_HANG, EXEC_PANIC, EXEC_SLOW, JOURNAL_TORN,
-    SHARD_STALL, SNAPSHOT_BITFLIP, SNAPSHOT_STALE, SNAPSHOT_TORN,
+    fnv1a64, FaultPlan, FaultSpec, BACKEND_CRASH, EXEC_ERROR, EXEC_HANG, EXEC_PANIC, EXEC_SLOW,
+    JOURNAL_TORN, MIGRATION_STALL, PROBE_TIMEOUT, SHARD_STALL, SNAPSHOT_BITFLIP, SNAPSHOT_STALE,
+    SNAPSHOT_TORN, SPLIT_ROUTING,
 };

@@ -44,9 +44,12 @@
 //! session close [id]    close a session (default: the attached one)
 //! session list          one line per live session
 //! session current       the attached session id
+//! session release <id>  persist a session and drop it live (files kept)
+//! session recover <id>  load a persisted session from the store/journal
 //! cancel <id>           interrupt the command in flight in a session
 //! stats                 server counters + latency percentiles
 //! ping                  liveness probe
+//! probe                 health probe (used by `workbench-router`)
 //! shutdown              begin graceful shutdown (drains in-flight)
 //! quit                  close this connection
 //! ```
@@ -56,6 +59,18 @@
 //! that panics server-side answers `err` with a `command panicked: …`
 //! body — the connection, the worker, and every other session keep
 //! running.
+//!
+//! A shell command may carry a sequence stamp: `@N <command>`. With
+//! journaling enabled the session refuses a *mutating* stamped command
+//! unless `N` equals its journal length — a replayed stamp answers
+//! `ok` with a `DUPLICATE seq=N` body **without re-executing**, a
+//! stamp from the future answers `err SEQ-GAP expected=E got=N`. This
+//! is what makes fleet failover retries (`iwb-router`) exactly-once:
+//! redelivery of a command whose ack was lost in a crash is
+//! acknowledged from the journal, and a stale backend reached by split
+//! routing refuses to fork the history. `session release` +
+//! `session recover` are the planned-migration handshake over the
+//! shared store directory (see `workbenchd --no-recover`).
 //!
 //! ## Deadlines, cancellation, admission control
 //!

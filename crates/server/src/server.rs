@@ -135,6 +135,7 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    killed: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     pool: Arc<ThreadPool>,
     stats: Arc<ServerStats>,
@@ -188,6 +189,24 @@ impl ServerHandle {
         // background queue), so the next start reopens warm.
         self.registry.flush_snapshots();
     }
+
+    /// Hard-crash the backend for fleet chaos tests: stop the threads
+    /// like [`ServerHandle::join`] but *suppress every response still
+    /// unwritten* and skip the graceful snapshot flush. An in-flight
+    /// command may complete and journal on disk, yet its client never
+    /// sees the ack — exactly the ambiguity window a router must
+    /// resolve through the per-session sequence guard (retrying the
+    /// same `@N` command yields `DUPLICATE`, never a double execution).
+    pub fn kill(self) {
+        self.killed.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.pool.close();
+        // No flush_snapshots(): a kill is a crash, not a shutdown.
+        // Whatever the journal captured is all the successor gets.
+    }
 }
 
 /// Start the daemon; returns once the listener is bound, recovery (if
@@ -198,6 +217,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
+    let killed = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::new());
     let mut registry = SessionRegistry::new(config.max_sessions, config.session_idle_timeout);
     // A store implies journaling (snapshots cover a journal
@@ -238,6 +258,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     // channel-of-streams).
     {
         let shutdown = Arc::clone(&shutdown);
+        let killed = Arc::clone(&killed);
         let pool = Arc::clone(&pool);
         let stats = Arc::clone(&stats);
         let registry = Arc::clone(&registry);
@@ -274,11 +295,14 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                         pending.fetch_add(1, Ordering::SeqCst);
                         let pending = Arc::clone(&pending);
                         let shutdown = Arc::clone(&shutdown);
+                        let killed = Arc::clone(&killed);
                         let stats = Arc::clone(&stats);
                         let registry = Arc::clone(&registry);
                         let config = config.clone();
                         let queued = pool.execute(move || {
-                            serve_connection(stream, &registry, &stats, &shutdown, &config);
+                            serve_connection(
+                                stream, &registry, &stats, &shutdown, &killed, &config,
+                            );
                             pending.fetch_sub(1, Ordering::SeqCst);
                         });
                         if !queued {
@@ -313,6 +337,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     Ok(ServerHandle {
         addr,
         shutdown,
+        killed,
         threads,
         pool,
         stats,
@@ -321,8 +346,9 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
-/// One bounded protocol read.
-enum LineRead {
+/// One bounded protocol read. Public so the fleet router (`iwb-router`)
+/// speaks the identical framing without reimplementing it.
+pub enum LineRead {
     /// A complete line (CR/LF stripped).
     Line(String),
     /// Peer closed, idle budget exhausted, or shutdown while idle.
@@ -337,7 +363,7 @@ enum LineRead {
 /// ran out, or shutdown was requested while the line buffer was empty
 /// (drain semantics: bytes already received still form a served
 /// request).
-fn read_protocol_line(
+pub fn read_protocol_line(
     reader: &mut BufReader<TcpStream>,
     shutdown: &AtomicBool,
     idle_budget: Duration,
@@ -404,7 +430,7 @@ fn read_protocol_line(
 }
 
 /// Write one `ok <n>`/`err <n>` framed response.
-fn write_response(writer: &mut BufWriter<TcpStream>, ok: bool, body: &str) -> io::Result<()> {
+pub fn write_response(writer: &mut BufWriter<TcpStream>, ok: bool, body: &str) -> io::Result<()> {
     let lines: Vec<&str> = if body.is_empty() {
         Vec::new()
     } else {
@@ -423,6 +449,7 @@ fn serve_connection(
     registry: &Arc<SessionRegistry>,
     stats: &Arc<ServerStats>,
     shutdown: &Arc<AtomicBool>,
+    killed: &Arc<AtomicBool>,
     config: &ServerConfig,
 ) {
     stats.connection_opened();
@@ -528,6 +555,13 @@ fn serve_connection(
             let (ok, body, action) =
                 dispatch(&ctx, &command, heredoc_body.as_deref(), &mut attached);
             stats.record_command(class, start.elapsed(), ok);
+            // A hard kill ([`ServerHandle::kill`]) lands *between*
+            // dispatch and the response write: the command may have
+            // executed and journaled, but the ack is lost — the
+            // crash-ambiguity window fleet failover must survive.
+            if killed.load(Ordering::SeqCst) {
+                break;
+            }
             write_response(&mut writer, ok, &body)?;
             match action {
                 Action::Continue => {}
@@ -565,6 +599,32 @@ fn dispatch(
     let DispatchCtx {
         registry, stats, ..
     } = ctx;
+    // `@N <command>` stamps a per-session sequence number on a shell
+    // command; the session's journal-backed guard acks duplicates and
+    // refuses gaps (see `Session::execute_sequenced`). Admin commands
+    // ignore the stamp.
+    let (command, seq) = match command.strip_prefix('@') {
+        Some(rest) => match rest.split_once(char::is_whitespace) {
+            Some((n, tail)) if !tail.trim().is_empty() => match n.parse::<u64>() {
+                Ok(n) => (tail.trim_start(), Some(n)),
+                Err(_) => {
+                    return (
+                        false,
+                        "protocol error: bad sequence prefix (use: @N <command>)".to_owned(),
+                        Action::Continue,
+                    )
+                }
+            },
+            _ => {
+                return (
+                    false,
+                    "protocol error: bad sequence prefix (use: @N <command>)".to_owned(),
+                    Action::Continue,
+                )
+            }
+        },
+        None => (command, None),
+    };
     let words: Vec<&str> = command.split_whitespace().collect();
     match words.as_slice() {
         ["session", "new"] | ["session", "new", _] => {
@@ -581,7 +641,14 @@ fn dispatch(
         }
         ["session", "attach", id] => match registry.get(id) {
             Some(session) => {
-                let body = format!("session {} attached", session.id());
+                // Under journaling the reply carries the session's
+                // sequence watermark, so a router (or reconnecting
+                // client) resynchronizes its `@N` stamps exactly.
+                let body = if registry.journaling() {
+                    format!("session {} attached seq={}", session.id(), session.seq())
+                } else {
+                    format!("session {} attached", session.id())
+                };
                 *attached = Some(session);
                 (true, body, Action::Continue)
             }
@@ -642,9 +709,38 @@ fn dispatch(
             Some(s) => (true, format!("session {}", s.id()), Action::Continue),
             None => (true, "none".to_owned(), Action::Continue),
         },
+        // Fleet migration, releasing side: persist the session's final
+        // snapshot and drop it from the live map *keeping* its on-disk
+        // state, so a successor backend can `session recover` it from
+        // the shared store directory.
+        ["session", "release", id] => {
+            if attached.as_ref().is_some_and(|s| s.id() == *id) {
+                *attached = None;
+            }
+            match registry.release(id) {
+                Ok(seq) => (
+                    true,
+                    format!("session {id} released seq={seq}"),
+                    Action::Continue,
+                ),
+                Err(e) => (false, e, Action::Continue),
+            }
+        }
+        // Fleet migration, receiving side: rebuild one session from
+        // the shared store (verified snapshot + journal-suffix replay;
+        // incomplete or corrupt history is refused, never guessed).
+        ["session", "recover", id] => match registry.recover_one(id, stats) {
+            Ok(session) => (
+                true,
+                format!("session {id} recovered seq={}", session.seq()),
+                Action::Continue,
+            ),
+            Err(e) => (false, e, Action::Continue),
+        },
         ["session", ..] => (
             false,
-            "usage: session new [id] | attach <id> | detach | close [id] | list | current"
+            "usage: session new [id] | attach <id> | detach | close [id] | list | current \
+             | release <id> | recover <id>"
                 .to_owned(),
             Action::Continue,
         ),
@@ -673,6 +769,14 @@ fn dispatch(
         ),
         ["stats"] => (true, stats.render(registry.len()), Action::Continue),
         ["ping"] => (true, "pong".to_owned(), Action::Continue),
+        // Health probe for the fleet router: cheap, allocation-light,
+        // and distinct from `ping` so probe traffic is classified (and
+        // fault-injected) separately from client liveness checks.
+        ["probe"] => (
+            true,
+            format!("ready sessions={}", registry.len()),
+            Action::Continue,
+        ),
         ["shutdown"] => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             (
@@ -685,13 +789,14 @@ fn dispatch(
         _ => {
             match attached.as_ref() {
                 Some(session) => {
-                    let outcome = session.execute_command(
+                    let outcome = session.execute_sequenced(
                         command,
                         heredoc,
                         ctx.faults,
                         ctx.quarantine_after,
                         stats,
                         ctx.default_deadline,
+                        seq,
                     );
                     match outcome {
                         ExecOutcome::Output(output) => (true, output, Action::Continue),
@@ -756,8 +861,12 @@ mod tests {
         }
 
         fn with_faults(faults: FaultPlan) -> Ctx {
+            Ctx::with_registry(SessionRegistry::new(8, Duration::from_secs(60)), faults)
+        }
+
+        fn with_registry(registry: SessionRegistry, faults: FaultPlan) -> Ctx {
             Ctx {
-                registry: Arc::new(SessionRegistry::new(8, Duration::from_secs(60))),
+                registry: Arc::new(registry),
                 stats: Arc::new(ServerStats::new()),
                 shutdown: Arc::new(AtomicBool::new(false)),
                 faults,
@@ -869,6 +978,77 @@ mod tests {
         assert!(body.contains("quarantined=true"), "{body}");
         let (ok, _, _) = ctx.dispatch("session close", None, &mut attached);
         assert!(ok);
+    }
+
+    #[test]
+    fn dispatch_answers_probes_without_a_session() {
+        let ctx = Ctx::new();
+        let mut attached = None;
+        let (ok, body, _) = ctx.dispatch("probe", None, &mut attached);
+        assert!(ok);
+        assert_eq!(body, "ready sessions=0");
+        ctx.dispatch("session new x", None, &mut attached);
+        let (ok, body, _) = ctx.dispatch("probe", None, &mut attached);
+        assert!(ok);
+        assert_eq!(body, "ready sessions=1");
+    }
+
+    #[test]
+    fn dispatch_sequences_release_and_recover_a_session() {
+        let dir = std::env::temp_dir().join(format!(
+            "iwb-dispatch-fleet-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = SessionRegistry::new(8, Duration::from_secs(60))
+            .with_journal(JournalConfig::new(&dir))
+            .with_store(crate::session::StoreConfig {
+                dir: dir.clone(),
+                fsync: false,
+                snapshot_every: 1,
+            });
+        let ctx = Ctx::with_registry(registry, FaultPlan::none());
+        let mut attached = None;
+
+        let (ok, _, _) = ctx.dispatch("session new m", None, &mut attached);
+        assert!(ok);
+        let doc = Some("entity A { x : text }\n");
+        let (ok, body, _) = ctx.dispatch("@0 load er a", doc, &mut attached);
+        assert!(ok, "{body}");
+        assert!(body.contains("loaded a"), "{body}");
+
+        // Redelivery acks, gap refuses, malformed prefix is a protocol
+        // error — none of them mutate the session.
+        let (ok, body, _) = ctx.dispatch("@0 load er a", doc, &mut attached);
+        assert!(ok, "{body}");
+        assert!(body.starts_with("DUPLICATE seq=0"), "{body}");
+        let (ok, body, _) = ctx.dispatch("@7 load er b", doc, &mut attached);
+        assert!(!ok);
+        assert!(body.starts_with("SEQ-GAP expected=1 got=7"), "{body}");
+        let (ok, body, _) = ctx.dispatch("@nope load er b", doc, &mut attached);
+        assert!(!ok);
+        assert!(body.contains("bad sequence prefix"), "{body}");
+
+        // Attach replies carry the watermark under journaling.
+        let mut other = None;
+        let (ok, body, _) = ctx.dispatch("session attach m", None, &mut other);
+        assert!(ok);
+        assert!(body.ends_with("seq=1"), "{body}");
+
+        // Release drops it live-but-persisted; recover brings it back.
+        let (ok, body, _) = ctx.dispatch("session release m", None, &mut attached);
+        assert!(ok, "{body}");
+        assert!(body.contains("released seq=1"), "{body}");
+        assert!(attached.is_none(), "release must detach");
+        assert_eq!(ctx.registry.len(), 0);
+        let (ok, body, _) = ctx.dispatch("session recover m", None, &mut attached);
+        assert!(ok, "{body}");
+        assert!(body.contains("recovered seq=1"), "{body}");
+        let (ok, body, _) = ctx.dispatch("session recover ghost", None, &mut attached);
+        assert!(!ok);
+        assert!(body.contains("no persisted state"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

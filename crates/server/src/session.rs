@@ -36,7 +36,7 @@
 //! pre-crash sessions.
 
 use crate::fault::{FaultPlan, EXEC_ERROR, EXEC_HANG, EXEC_PANIC, EXEC_SLOW, SHARD_STALL};
-use crate::journal::{Journal, JournalConfig, JournalRecord};
+use crate::journal::{Journal, JournalConfig, JournalRecord, LoadedJournal};
 use crate::stats::ServerStats;
 use iwb_core::persist::{self, SessionState};
 use iwb_core::shell::Shell;
@@ -226,6 +226,16 @@ impl Session {
         out
     }
 
+    /// The session's sequence number: how many mutating commands its
+    /// journal holds (full history, not just the on-disk suffix). The
+    /// fleet router stamps mutating commands `@N` against this counter
+    /// so a redelivered command is acknowledged, not re-executed.
+    pub fn seq(&self) -> u64 {
+        recover(self.journal.lock())
+            .as_ref()
+            .map_or(0, |j| j.len() as u64)
+    }
+
     /// Execute one shell command with panic isolation, fault
     /// injection, quarantine accounting, and journaling. This is the
     /// daemon's only entry point for tool commands.
@@ -238,8 +248,57 @@ impl Session {
         stats: &ServerStats,
         deadline: Option<Duration>,
     ) -> ExecOutcome {
+        self.execute_sequenced(
+            command,
+            heredoc,
+            faults,
+            quarantine_after,
+            stats,
+            deadline,
+            None,
+        )
+    }
+
+    /// [`Session::execute_command`] with an optional sequence number
+    /// (the router's `@N` stamp). For a journaled mutating command the
+    /// guard compares `N` against [`Session::seq`]:
+    ///
+    /// * `N < seq` — the command was already applied by an earlier
+    ///   delivery (the backend journaled it, then crashed before the
+    ///   ack reached the router). It is acknowledged with a structured
+    ///   `DUPLICATE` body and **not** re-executed: exactly-once.
+    /// * `N > seq` — some earlier mutation is missing (split routing, a
+    ///   stale recovery); executing would fork history, so the command
+    ///   is refused with a structured `SEQ-GAP` error.
+    /// * `N == seq` — in order; executes normally.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_sequenced(
+        &self,
+        command: &str,
+        heredoc: Option<&str>,
+        faults: &FaultPlan,
+        quarantine_after: u32,
+        stats: &ServerStats,
+        deadline: Option<Duration>,
+        seq: Option<u64>,
+    ) -> ExecOutcome {
         if self.quarantined.load(Ordering::SeqCst) {
             return ExecOutcome::Quarantined;
+        }
+        if let Some(got) = seq {
+            if iwb_core::shell::mutates(command) && recover(self.journal.lock()).is_some() {
+                let expected = self.seq();
+                if got < expected {
+                    return ExecOutcome::Output(
+                        iwb_core::proto::RetryableError::Duplicate { seq: got }.to_string(),
+                    );
+                }
+                if got > expected {
+                    return ExecOutcome::ToolError(
+                        iwb_core::proto::RetryableError::SeqGap { expected, got }.to_string(),
+                    );
+                }
+            }
         }
         let slow = faults.fires(EXEC_SLOW).filter(|&ms| ms > 0);
         let hang = faults.fires(EXEC_HANG).filter(|&ms| ms > 0);
@@ -754,53 +813,16 @@ impl SessionRegistry {
             if loaded.torn_tail {
                 report.torn_tails += 1;
             }
-            seen.push(loaded.session_id.clone());
-            let snapshot = self.load_snapshot_for(&loaded.session_id, &mut report);
-            let (records, base, warm) = match snapshot {
-                Some(snap) => {
-                    if snap.watermark < loaded.base {
-                        // The on-disk journal starts *after* this
-                        // snapshot's coverage: a newer snapshot
-                        // justified that truncation and is now gone.
-                        // The records in between are unrecoverable.
-                        report.skipped += 1;
-                        continue;
-                    }
-                    // Full history = the snapshot's embedded prefix +
-                    // the journal records past the watermark.
-                    let skip = ((snap.watermark - loaded.base) as usize).min(loaded.records.len());
-                    let mut records: Vec<JournalRecord> = snap
-                        .commands
-                        .iter()
-                        .map(|c| JournalRecord {
-                            command: c.command.clone(),
-                            heredoc: c.heredoc.clone(),
-                        })
-                        .collect();
-                    records.extend_from_slice(&loaded.records[skip..]);
-                    let base = snap.watermark;
-                    (records, base, Some(SessionState::from_snapshot(&snap)))
-                }
-                None => {
-                    if loaded.base > 0 {
-                        // The journal prefix was truncated under a
-                        // snapshot that is now missing or corrupt:
-                        // the history is incomplete, refuse.
-                        report.skipped += 1;
-                        continue;
-                    }
-                    (loaded.records, 0, None)
+            let id = loaded.session_id.clone();
+            seen.push(id.clone());
+            let (records, base, warm) = match self.paired_history(loaded, &mut report) {
+                Ok(history) => history,
+                Err(_) => {
+                    report.skipped += 1;
+                    continue;
                 }
             };
-            self.rebuild_session(
-                &config,
-                &loaded.session_id,
-                records,
-                base,
-                warm,
-                &mut report,
-                stats,
-            );
+            self.rebuild_session(&config, &id, records, base, warm, &mut report, stats);
         }
         // Snapshots without a journal file (a crash between the two
         // deletes of a close, or a pruned directory): a verified
@@ -814,21 +836,139 @@ impl SessionRegistry {
                     report.skipped += 1;
                     continue;
                 };
-                let records: Vec<JournalRecord> = snap
-                    .commands
-                    .iter()
-                    .map(|c| JournalRecord {
-                        command: c.command.clone(),
-                        heredoc: c.heredoc.clone(),
-                    })
-                    .collect();
-                let base = snap.watermark;
-                let warm = Some(SessionState::from_snapshot(&snap));
+                let (records, base, warm) = Self::snapshot_history(snap);
                 self.rebuild_session(&config, &id, records, base, warm, &mut report, stats);
             }
         }
         stats.recovery(&report);
         Ok(report)
+    }
+
+    /// Recover a single session by id — the fleet migration path. A
+    /// router, after releasing the session on its old backend, asks the
+    /// successor to rebuild it from the shared store directory. Applies
+    /// exactly the same verification as [`SessionRegistry::recover`]:
+    /// snapshot-or-refuse pairing, torn-tail trimming, header/id
+    /// agreement — never a silently-wrong state. Idempotent: a session
+    /// that is already live is returned as-is.
+    pub fn recover_one(&self, id: &str, stats: &ServerStats) -> Result<Arc<Session>, String> {
+        if let Some(session) = self.get(id) {
+            return Ok(session);
+        }
+        if !valid_id(id) {
+            return Err(format!("invalid session id {id:?}"));
+        }
+        let Some(config) = self.journal.clone() else {
+            return Err("journaling disabled: nothing to recover from".into());
+        };
+        let mut report = RecoveryReport::default();
+        let path = Journal::path_for(&config.dir, id);
+        if path.exists() {
+            let loaded = Journal::load(&path).map_err(|e| format!("journal unreadable: {e}"))?;
+            if loaded.session_id != id {
+                return Err(format!(
+                    "journal header names {:?}, not {id:?}",
+                    loaded.session_id
+                ));
+            }
+            if loaded.torn_tail {
+                report.torn_tails += 1;
+            }
+            let (records, base, warm) = self.paired_history(loaded, &mut report)?;
+            self.rebuild_session(&config, id, records, base, warm, &mut report, stats);
+        } else {
+            let snap = self
+                .load_snapshot_for(id, &mut report)
+                .ok_or_else(|| format!("no persisted state for session {id:?}"))?;
+            let (records, base, warm) = Self::snapshot_history(snap);
+            self.rebuild_session(&config, id, records, base, warm, &mut report, stats);
+        }
+        stats.recovery(&report);
+        self.get(id)
+            .ok_or_else(|| format!("recovery of session {id:?} was refused"))
+    }
+
+    /// Release a live session for migration: persist its final
+    /// snapshot, then drop it from the live map *keeping* its on-disk
+    /// state (unlike [`SessionRegistry::close`], which deletes it) so a
+    /// successor backend can [`SessionRegistry::recover_one`] it from
+    /// the shared store. Returns the session's sequence watermark —
+    /// the router uses it to verify nothing was lost in flight. Waits
+    /// for any in-flight command: the snapshot flush takes the shell
+    /// lock, so the command completes (and journals) first.
+    pub fn release(&self, id: &str) -> Result<u64, String> {
+        if self.journal.is_none() {
+            return Err("journaling disabled: nothing to release".into());
+        }
+        let session = recover(self.sessions.lock())
+            .remove(id)
+            .ok_or_else(|| format!("no session {id:?}"))?;
+        if session.store.is_some() {
+            self.drain_snapshots();
+            session.flush_snapshot(&FaultPlan::none());
+        }
+        Ok(session.seq())
+    }
+
+    /// Pair a loaded journal with its snapshot (when a store is
+    /// configured) into the full replayable history. `Err` means the
+    /// combination cannot prove a complete history — a truncated
+    /// journal whose covering snapshot is missing, stale, or behind
+    /// the journal's base — and the session must be refused.
+    fn paired_history(
+        &self,
+        loaded: LoadedJournal,
+        report: &mut RecoveryReport,
+    ) -> Result<(Vec<JournalRecord>, u64, Option<SessionState>), String> {
+        match self.load_snapshot_for(&loaded.session_id, report) {
+            Some(snap) => {
+                if snap.watermark < loaded.base {
+                    // The on-disk journal starts *after* this
+                    // snapshot's coverage: a newer snapshot justified
+                    // that truncation and is now gone. The records in
+                    // between are unrecoverable.
+                    return Err(format!(
+                        "snapshot watermark {} behind journal base {}: history incomplete",
+                        snap.watermark, loaded.base
+                    ));
+                }
+                // Full history = the snapshot's embedded prefix + the
+                // journal records past the watermark.
+                let skip = ((snap.watermark - loaded.base) as usize).min(loaded.records.len());
+                let (mut records, base, warm) = Self::snapshot_history(snap);
+                records.extend_from_slice(&loaded.records[skip..]);
+                Ok((records, base, warm))
+            }
+            None => {
+                if loaded.base > 0 {
+                    // The journal prefix was truncated under a
+                    // snapshot that is now missing or corrupt: the
+                    // history is incomplete, refuse.
+                    return Err(format!(
+                        "journal truncated to base {} with no verified snapshot",
+                        loaded.base
+                    ));
+                }
+                Ok((loaded.records, 0, None))
+            }
+        }
+    }
+
+    /// A verified snapshot's contribution to recovery: its embedded
+    /// command prefix, its watermark as the journal base, and the warm
+    /// engine state to prime around replay.
+    fn snapshot_history(snap: SessionSnapshot) -> (Vec<JournalRecord>, u64, Option<SessionState>) {
+        let records: Vec<JournalRecord> = snap
+            .commands
+            .iter()
+            .map(|c| JournalRecord {
+                command: c.command.clone(),
+                heredoc: c.heredoc.clone(),
+            })
+            .collect();
+        let base = snap.watermark;
+        let warm = Some(SessionState::from_snapshot(&snap));
+        (records, base, warm)
     }
 
     /// Load and verify `id`'s snapshot. `None` means no usable
@@ -1650,6 +1790,92 @@ mod tests {
         assert_eq!(before, export_of(&recovered, &stats));
         // The journal was re-armed: new mutating commands append again.
         assert!(Journal::path_for(&dir, "solo").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- fleet: sequence guard + single-session migration ----
+
+    #[test]
+    fn sequence_guard_acks_duplicates_and_rejects_gaps() {
+        let dir = store_dir("seq");
+        let stats = ServerStats::new();
+        let none = FaultPlan::none();
+        let reg =
+            SessionRegistry::new(4, Duration::from_secs(60)).with_journal(JournalConfig::new(&dir));
+        let s = reg.create(Some("g")).unwrap();
+
+        let sexec = |cmd: &str, heredoc: Option<&str>, seq: Option<u64>| {
+            s.execute_sequenced(cmd, heredoc, &none, 3, &stats, None, seq)
+        };
+        let out = sexec("load er a", Some("entity A { x : text }\n"), Some(0));
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        assert_eq!(s.seq(), 1);
+
+        // Redelivery of the same sequence number is acknowledged, not
+        // re-executed: the reply is an *ok* carrying DUPLICATE.
+        match sexec("load er a", Some("entity A { x : text }\n"), Some(0)) {
+            ExecOutcome::Output(body) => {
+                assert!(body.starts_with("DUPLICATE seq=0"), "{body}")
+            }
+            other => panic!("duplicate must ack, got {other:?}"),
+        }
+        assert_eq!(s.seq(), 1, "duplicate must not advance the journal");
+
+        // Skipping ahead would fork history: refused as an error.
+        match sexec("load er b", Some("entity B { y : text }\n"), Some(5)) {
+            ExecOutcome::ToolError(body) => {
+                assert!(body.starts_with("SEQ-GAP expected=1 got=5"), "{body}")
+            }
+            other => panic!("gap must be refused, got {other:?}"),
+        }
+        assert_eq!(s.seq(), 1);
+
+        // Non-mutating commands are never guarded (they don't journal),
+        // and unsequenced mutations still work for plain clients.
+        let out = sexec("export", None, Some(40));
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        let out = sexec("load er b", Some("entity B { y : text }\n"), None);
+        assert!(matches!(out, ExecOutcome::Output(_)), "{out:?}");
+        assert_eq!(s.seq(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn release_then_recover_one_migrates_a_session() {
+        let dir = store_dir("migrate");
+        let stats = ServerStats::new();
+        let old = store_registry(&dir, 1);
+        let s = old.create(Some("mig")).unwrap();
+        run_warm_script(&s, &stats);
+        let before = export_of(&s, &stats);
+        drop(s);
+
+        assert!(old.release("nope").is_err(), "unknown id must fail");
+        let seq = old.release("mig").expect("release persists and detaches");
+        assert_eq!(seq as usize, WARM_SCRIPT.len());
+        assert!(old.get("mig").is_none(), "released session leaves the map");
+        // Unlike close(), the on-disk state survives for the successor.
+        assert!(Journal::path_for(&dir, "mig").exists());
+
+        // The successor backend shares the store directory and pulls
+        // just this session — no full-directory recover() sweep.
+        let successor = store_registry(&dir, 1);
+        let migrated = successor
+            .recover_one("mig", &stats)
+            .expect("successor recovers the released session");
+        assert_eq!(migrated.seq(), seq, "watermark survives the hop");
+        assert_eq!(
+            before,
+            export_of(&migrated, &stats),
+            "migrated state must be byte-identical"
+        );
+        // Idempotent: a second recover_one returns the live session.
+        let again = successor.recover_one("mig", &stats).unwrap();
+        assert!(Arc::ptr_eq(&migrated, &again));
+        assert!(
+            successor.recover_one("ghost", &stats).is_err(),
+            "no persisted state must be refused"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

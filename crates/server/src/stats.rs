@@ -126,9 +126,16 @@ const ALL_CLASSES: [CommandClass; 11] = [
 ];
 
 impl CommandClass {
-    /// Classify a command line by its first word.
+    /// Classify a command line by its first word (skipping a leading
+    /// `@N` sequence stamp, which the fleet router prefixes to
+    /// mutating commands).
     pub fn of(command: &str) -> CommandClass {
-        match command.split_whitespace().next().unwrap_or("") {
+        let mut words = command.split_whitespace();
+        let first = match words.next().unwrap_or("") {
+            w if w.starts_with('@') => words.next().unwrap_or(""),
+            w => w,
+        };
+        match first {
             "load" => CommandClass::Load,
             "match" => CommandClass::Match,
             "accept" | "reject" => CommandClass::Decide,
@@ -138,7 +145,7 @@ impl CommandClass {
             "query" => CommandClass::Query,
             "export" => CommandClass::Export,
             "session" => CommandClass::Session,
-            "stats" | "ping" | "shutdown" | "quit" => CommandClass::Admin,
+            "stats" | "ping" | "probe" | "shutdown" | "quit" => CommandClass::Admin,
             _ => CommandClass::Other,
         }
     }
@@ -464,7 +471,12 @@ mod tests {
         assert_eq!(CommandClass::of("export"), CommandClass::Export);
         assert_eq!(CommandClass::of("session new"), CommandClass::Session);
         assert_eq!(CommandClass::of("stats"), CommandClass::Admin);
+        assert_eq!(CommandClass::of("probe"), CommandClass::Admin);
         assert_eq!(CommandClass::of("frobnicate"), CommandClass::Other);
+        // The router's sequence stamp is transparent to classification.
+        assert_eq!(CommandClass::of("@7 match a b"), CommandClass::Match);
+        assert_eq!(CommandClass::of("@0 load er po <<EOF"), CommandClass::Load);
+        assert_eq!(CommandClass::of("@"), CommandClass::Other);
     }
 
     #[test]

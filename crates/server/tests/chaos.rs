@@ -561,6 +561,7 @@ fn client_reconnects_and_reattaches_across_a_restart() {
         base: Duration::from_millis(25),
         max: Duration::from_millis(200),
         seed: 99,
+        cap: None,
     })
     .expect("reconnect + re-attach");
     assert_eq!(c.session(), Some("sticky"));

@@ -24,6 +24,14 @@
 //! | `snapshot-torn`    | the snapshot commit persists only a file prefix |
 //! | `snapshot-bitflip` | one payload bit is flipped after checksumming   |
 //! | `snapshot-stale`   | the header is written with version 0            |
+//! | `backend-crash`    | a fleet backend hard-crashes (no response, no   |
+//! |                    | snapshot flush) — drives router failover        |
+//! | `probe-timeout`    | a router health probe is treated as timed out   |
+//! | `split-routing`    | the router deliberately routes one command to a |
+//! |                    | non-pinned backend (sequence guard must reject) |
+//! | `migration-stall`  | a session migration stalls `millis` between     |
+//! |                    | release on the old backend and recover on the   |
+//! |                    | successor                                       |
 //!
 //! The three `snapshot-*` points corrupt a snapshot *after* its checksums
 //! are computed, so the damage is invisible to the writer and must be
@@ -70,8 +78,24 @@ pub const SNAPSHOT_BITFLIP: &str = "snapshot-bitflip";
 /// Fault point: the snapshot header is written with version 0, as if by
 /// an older, incompatible build (checksums stay valid).
 pub const SNAPSHOT_STALE: &str = "snapshot-stale";
+/// Fault point: a fleet backend hard-crashes — the in-flight command's
+/// response is never written and no snapshot is flushed on exit.
+/// Consulted by fleet harnesses to decide *when* to kill a backend.
+pub const BACKEND_CRASH: &str = "backend-crash";
+/// Fault point: a router health probe is treated as timed out even if
+/// the backend answered (exercises quarantine and re-admission).
+pub const PROBE_TIMEOUT: &str = "probe-timeout";
+/// Fault point: the router deliberately routes one command to a backend
+/// other than the session's pinned owner — the backend's sequence-number
+/// guard must reject it rather than fork history.
+pub const SPLIT_ROUTING: &str = "split-routing";
+/// Fault point: a planned migration stalls for the payload duration
+/// between releasing the session on the old backend and recovering it
+/// on the successor (commands arriving in the window must get a
+/// retryable error, never a forked session).
+pub const MIGRATION_STALL: &str = "migration-stall";
 
-const POINTS: [&str; 9] = [
+const POINTS: [&str; 13] = [
     EXEC_ERROR,
     EXEC_PANIC,
     EXEC_SLOW,
@@ -81,6 +105,10 @@ const POINTS: [&str; 9] = [
     SNAPSHOT_TORN,
     SNAPSHOT_BITFLIP,
     SNAPSHOT_STALE,
+    BACKEND_CRASH,
+    PROBE_TIMEOUT,
+    SPLIT_ROUTING,
+    MIGRATION_STALL,
 ];
 
 /// FNV-1a 64-bit hash (shared by the fault, journal, and snapshot
@@ -354,6 +382,21 @@ mod tests {
         let clone = plan.clone();
         assert_eq!(plan.fires(EXEC_PANIC), None); // index 0
         assert!(clone.fires(EXEC_PANIC).is_some()); // index 1: shared counter
+    }
+
+    #[test]
+    fn fleet_points_parse_and_fire() {
+        let spec = FaultSpec::parse(
+            "seed=13, backend-crash@0, probe-timeout=1.0, split-routing@1, migration-stall@0:250",
+        )
+        .unwrap();
+        let plan = spec.build();
+        assert_eq!(plan.fires(BACKEND_CRASH), Some(0));
+        assert_eq!(plan.fires(BACKEND_CRASH), None);
+        assert!(plan.fires(PROBE_TIMEOUT).is_some());
+        assert_eq!(plan.fires(SPLIT_ROUTING), None); // index 0
+        assert!(plan.fires(SPLIT_ROUTING).is_some()); // index 1
+        assert_eq!(plan.fires(MIGRATION_STALL), Some(250));
     }
 
     #[test]

@@ -75,4 +75,22 @@ cargo run -q --release --offline -p iwb-bench --bin bench_store -- \
     --quick --out target/BENCH_store_quick.json
 grep -q '"incremental_identical": true' target/BENCH_store_quick.json
 
+echo "== router unit suite (rendezvous hashing, membership stability)"
+cargo test -q --offline -p iwb-router --lib
+
+echo "== fleet chaos suite (kill mid-command, split routing, probe quarantine, migration)"
+cargo test -q --offline -p iwb-router --test fleet_chaos
+
+echo "== sequence-guard + migration handshake suite (duplicate acks, gaps, release/recover)"
+cargo test -q --offline -p iwb-server --lib -- \
+    sequence_guard_acks_duplicates_and_rejects_gaps \
+    release_then_recover_one_migrates_a_session \
+    dispatch_sequences_release_and_recover_a_session \
+    dispatch_answers_probes_without_a_session
+
+echo "== bench_server fleet smoke (router failover, zero session loss)"
+cargo run -q --release --offline -p iwb-bench --bin bench_server -- \
+    --fleet --quick --out target/BENCH_fleet_quick.json
+grep -q '"sessions_lost": 0' target/BENCH_fleet_quick.json
+
 echo "ci: ok"

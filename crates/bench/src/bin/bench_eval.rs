@@ -1,0 +1,346 @@
+//! Config-sweep benchmark over the calibrated evaluation domains:
+//! voter suites × confidence thresholds × blocking-k, plus the
+//! curation-replay feedback curves, emitted as a committed
+//! `BENCH_eval.json` leaderboard.
+//!
+//! Three result groups:
+//!
+//! * **sweep** — per (domain, engine, threshold, blocking-k) cell:
+//!   precision/recall/F1 of the thresholded best-per-element link set.
+//!   With `blocking-k > 0` the domain's true target must first survive
+//!   top-k retrieval from a registry of candidate models (the domain
+//!   targets plus synthetic decoy models); a retrieval miss scores
+//!   recall 0.
+//! * **leaderboard** — the best cell per domain, gated against pinned
+//!   per-domain F1 floors (exit 1 below floor).
+//! * **replay** — per-domain curation-replay P/R/F1-vs-round curves
+//!   (scripted oracle, top-k accept/reject, re-match each round),
+//!   gated monotone-or-plateau with the final round no worse than the
+//!   first.
+//!
+//! ```sh
+//! cargo run --release -p iwb-bench --bin bench_eval -- --out BENCH_eval.json
+//! ```
+//!
+//! `--quick` shrinks the sweep axes (not the domains — all four always
+//! run) for CI smoke; the floor and replay gates still apply because
+//! quick keeps the gated harmony/0.25/k=0 cell in its sweep.
+
+use iwb_blocking::{BlockingConfig, RegistryIndex};
+use iwb_eval::domains::{default_knobs, domains, generate_case, EvalCase};
+use iwb_eval::harness::score;
+use iwb_eval::replay::{run_replay, OracleConfig, ShellTransport};
+use iwb_harmony::voters::default_suite;
+use iwb_harmony::{
+    coma_like_engine, cupid_like_engine, name_equivalence_engine, FloodingConfig, HarmonyEngine,
+    MergeStrategy, PrMetrics, VoteMerger,
+};
+use iwb_registry::{generate_registry, GeneratorConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Per-domain F1 floors, gated on the best cell of the sweep. Pinned
+/// from the harmony / threshold 0.25 / no-blocking cell of the full
+/// run (rounded down with margin) — that cell is present in the quick
+/// sweep too, so the gate holds in CI smoke runs as well.
+const F1_FLOORS: &[(&str, f64)] = &[
+    ("clinical", 0.85),
+    ("finance", 0.82),
+    ("geospatial", 0.88),
+    ("telecom", 0.84),
+];
+
+/// A replay round's F1 may dip at most this much below its predecessor
+/// before the curve counts as regressing.
+const REPLAY_EPS: f64 = 0.02;
+
+struct Args {
+    seed: u64,
+    quick: bool,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: 20060406,
+            quick: false,
+            out: "BENCH_eval.json".to_owned(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_eval [--seed N] [--quick] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => out.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--quick" => out.quick = true,
+            "--out" => out.out = value(),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+type EngineFactory = fn() -> HarmonyEngine;
+
+/// The voters axis: named engine factories (fresh engine per cell so
+/// no state leaks between configurations).
+fn engine_axis(quick: bool) -> Vec<(&'static str, EngineFactory)> {
+    let mut axis: Vec<(&'static str, EngineFactory)> = vec![
+        ("harmony", HarmonyEngine::default as EngineFactory),
+        ("name-eq", name_equivalence_engine),
+    ];
+    if !quick {
+        axis.push(("harmony-uniform", || {
+            HarmonyEngine::new(
+                default_suite(),
+                VoteMerger::with_strategy(MergeStrategy::UniformAverage),
+                FloodingConfig::default(),
+            )
+        }));
+        axis.push(("coma-like", coma_like_engine));
+        axis.push(("cupid-like", cupid_like_engine));
+    }
+    axis
+}
+
+fn main() {
+    let args = parse_args();
+    let started = Instant::now();
+    let thresholds: &[f64] = if args.quick {
+        &[0.25]
+    } else {
+        &[0.15, 0.25, 0.4]
+    };
+    let blocking_ks: &[usize] = if args.quick { &[0, 2] } else { &[0, 2, 5] };
+    let engines = engine_axis(args.quick);
+
+    // All four calibrated domains, always — the whole point of the
+    // suite is breadth beyond the registry's vocabulary.
+    let cases: Vec<EvalCase> = domains()
+        .into_iter()
+        .map(|spec| generate_case(spec, &default_knobs(spec), args.seed))
+        .collect();
+    println!(
+        "bench_eval: {} domains, {} engines, {} thresholds, {} blocking depths (seed {})",
+        cases.len(),
+        engines.len(),
+        thresholds.len(),
+        blocking_ks.len(),
+        args.seed
+    );
+
+    // --- Retrieval stage: which (domain, k) pairs survive blocking ---
+    // The candidate registry holds every domain's target plus decoy
+    // models with registry vocabulary; ordinals 0..cases.len() are the
+    // true targets, in domain order.
+    let mut candidates: Vec<_> = cases.iter().map(|c| c.pair.target.clone()).collect();
+    candidates.extend(
+        generate_registry(GeneratorConfig {
+            seed: args.seed ^ 0xb10c,
+            models: 8,
+            elements: 96,
+            attributes: 480,
+            domain_values: 0,
+            ..GeneratorConfig::default()
+        })
+        .models,
+    );
+    let index = RegistryIndex::build(&candidates, BlockingConfig::default());
+    let hit = |domain_ordinal: usize, k: usize| -> bool {
+        k == 0
+            || index
+                .query(&cases[domain_ordinal].pair.source, k)
+                .iter()
+                .any(|c| c.ordinal == domain_ordinal)
+    };
+
+    // --- Sweep stage ---------------------------------------------------------
+    // Engine runs are independent of blocking-k, so score once per
+    // (engine, domain, threshold) and project across the k axis.
+    let mut sweep = String::new();
+    let mut best: Vec<(f64, String)> = vec![(-1.0, String::new()); cases.len()];
+    let mut cells = 0usize;
+    for (engine_name, make_engine) in &engines {
+        for (d, case) in cases.iter().enumerate() {
+            let mut engine = make_engine();
+            for &threshold in thresholds {
+                let full = score(&mut engine, &case.pair, threshold);
+                for &k in blocking_ks {
+                    let retrieved = hit(d, k);
+                    let m = if retrieved {
+                        full
+                    } else {
+                        PrMetrics {
+                            true_positives: 0,
+                            predicted: 0,
+                            actual: case.pair.gold.len(),
+                        }
+                    };
+                    if cells > 0 {
+                        sweep.push_str(",\n");
+                    }
+                    cells += 1;
+                    let _ = write!(
+                        sweep,
+                        "    {{\"domain\": \"{}\", \"engine\": \"{engine_name}\", \
+                         \"threshold\": {threshold}, \"blocking_k\": {k}, \
+                         \"retrieval_hit\": {retrieved}, \"precision\": {:.6}, \
+                         \"recall\": {:.6}, \"f1\": {:.6}}}",
+                        case.domain,
+                        m.precision(),
+                        m.recall(),
+                        m.f1(),
+                    );
+                    if m.f1() > best[d].0 {
+                        best[d] = (
+                            m.f1(),
+                            format!(
+                                "{{\"domain\": \"{}\", \"engine\": \"{engine_name}\", \
+                                 \"threshold\": {threshold}, \"blocking_k\": {k}, \
+                                 \"f1\": {:.6}}}",
+                                case.domain,
+                                m.f1()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Leaderboard + floor gate --------------------------------------------
+    let mut floors_met = true;
+    let mut floors_json = String::new();
+    for (d, case) in cases.iter().enumerate() {
+        let floor = F1_FLOORS
+            .iter()
+            .find(|(name, _)| *name == case.domain)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0);
+        let ok = best[d].0 >= floor;
+        if !ok {
+            floors_met = false;
+            eprintln!(
+                "bench_eval: {} best F1 {:.3} below pinned floor {floor:.3}",
+                case.domain, best[d].0
+            );
+        }
+        if d > 0 {
+            floors_json.push_str(", ");
+        }
+        let _ = write!(floors_json, "\"{}\": {floor}", case.domain);
+        println!(
+            "  {:<12} best F1 {:.3} (floor {floor:.2}) {}",
+            case.domain,
+            best[d].0,
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+
+    // --- Curation replay -----------------------------------------------------
+    let oracle = OracleConfig {
+        rounds: if args.quick { 2 } else { 5 },
+        ..OracleConfig::default()
+    };
+    let mut replay_json = String::new();
+    let mut replay_ok = true;
+    for (d, case) in cases.iter().enumerate() {
+        let outcome =
+            run_replay(&mut ShellTransport::new(), case, &oracle).expect("replay session");
+        let curve = outcome.f1_curve();
+        let monotone = outcome.monotone_or_plateau(REPLAY_EPS);
+        let improves = curve.last().unwrap_or(&0.0) >= curve.first().unwrap_or(&0.0);
+        if !(monotone && improves) {
+            replay_ok = false;
+            eprintln!(
+                "bench_eval: {} replay curve regressed: {curve:?}",
+                case.domain
+            );
+        }
+        if d > 0 {
+            replay_json.push_str(",\n");
+        }
+        let mut rounds_json = String::new();
+        for (i, r) in outcome.rounds.iter().enumerate() {
+            if i > 0 {
+                rounds_json.push_str(", ");
+            }
+            let _ = write!(
+                rounds_json,
+                "{{\"round\": {}, \"accepted\": {}, \"rejected\": {}, \
+                 \"precision\": {:.6}, \"recall\": {:.6}, \"f1\": {:.6}, \
+                 \"max_weight_delta\": {:.9}}}",
+                r.round,
+                r.accepted,
+                r.rejected,
+                r.metrics.precision(),
+                r.metrics.recall(),
+                r.metrics.f1(),
+                r.max_weight_delta
+            );
+        }
+        let plateau = outcome
+            .rounds_to_plateau
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "null".to_owned());
+        let _ = write!(
+            replay_json,
+            "    {{\"domain\": \"{}\", \"rounds_to_plateau\": {plateau}, \
+             \"monotone_or_plateau\": {monotone}, \"rounds\": [{rounds_json}]}}",
+            case.domain
+        );
+        println!(
+            "  {:<12} replay F1 {:.3} -> {:.3} over {} rounds (plateau {plateau})",
+            case.domain,
+            curve.first().unwrap_or(&0.0),
+            curve.last().unwrap_or(&0.0),
+            oracle.rounds
+        );
+    }
+
+    // --- Report --------------------------------------------------------------
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let leaderboard = best
+        .iter()
+        .map(|(_, row)| format!("    {row}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"eval\",\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"domains\": {},\n  \"engines\": {},\n  \"thresholds\": {},\n  \
+         \"blocking_ks\": {},\n  \"elapsed_ms\": {elapsed_ms:.0},\n  \
+         \"floors\": {{{floors_json}}},\n  \"floors_met\": {floors_met},\n  \
+         \"replay_monotone\": {replay_ok},\n  \
+         \"leaderboard\": [\n{leaderboard}\n  ],\n  \
+         \"replay\": [\n{replay_json}\n  ],\n  \
+         \"sweep\": [\n{sweep}\n  ]\n}}\n",
+        args.seed,
+        args.quick,
+        cases.len(),
+        engines.len(),
+        thresholds.len(),
+        blocking_ks.len(),
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("  report written to {} ({cells} sweep cells)", args.out);
+
+    if !floors_met {
+        eprintln!("bench_eval: FAILED — per-domain F1 floor violated");
+        std::process::exit(1);
+    }
+    if !replay_ok {
+        eprintln!("bench_eval: FAILED — curation-replay curve regressed");
+        std::process::exit(1);
+    }
+    println!("bench_eval: ok");
+}

@@ -6,13 +6,17 @@
 //! any drift (a voter tweak, a merger change, a flooding adjustment)
 //! shows up as a diff against `tests/golden/eval_metrics.txt`.
 //!
+//! The workload and scoring come from `iwb_eval::harness` (the shared
+//! ground-truth types the curation replay and `bench_eval` also use);
+//! the pinned numbers are unchanged by that move.
+//!
 //! To accept an intentional change, re-bless:
 //!
 //! ```sh
 //! IWB_BLESS=1 cargo test -p iwb-bench --test golden_eval
 //! ```
 
-use iwb_bench::{micro_average, score, standard_pairs};
+use iwb_eval::harness::{micro_average, score, standard_pairs};
 use iwb_harmony::HarmonyEngine;
 use iwb_registry::perturb::PerturbConfig;
 use std::fmt::Write;

@@ -20,6 +20,9 @@
 //! code <source> <target> <col> := <expr>     # mapping
 //! generate <source> <target>                 # code generation
 //! show schema <id> | matrix <source> <target> | coverage | trace
+//! proposals <source> <target> [k <n>] [threshold <t>] [undecided]
+//!                                             # ranked links (pure read; see iwb-eval)
+//! weights                                     # engine re-weighting state (pure read)
 //! query <s> <p> <o>                          # ad hoc IB query (use ?v for variables)
 //! export                                     # Turtle dump
 //! ```
@@ -110,6 +113,118 @@ impl Shell {
     ) -> Result<crate::manager::InvokeReport, ToolError> {
         let args = args.with_budget(self.budget.clone());
         self.manager.invoke(tool, &args)
+    }
+
+    /// The `proposals` read: the engine's current link proposals for a
+    /// matched pair, reconstructed from the blackboard matrix through
+    /// the same link filters the evaluation harness uses
+    /// ([`LinkFilter::BestPerElement`] + a confidence threshold), so a
+    /// scripted oracle driving the shell (or the daemon) scores exactly
+    /// what `iwb_eval::harness::predict` would. With `undecided`, the
+    /// top-`k` machine suggestions awaiting a user decision instead —
+    /// the list a curation replay accepts/rejects each round.
+    fn proposals(
+        &mut self,
+        source: &str,
+        target: &str,
+        rest: &[&str],
+    ) -> Result<String, ToolError> {
+        use iwb_harmony::filters::{FilterSet, LinkFilter};
+        use iwb_harmony::matrix::ScoreMatrix;
+        const USAGE: &str =
+            "usage: proposals <source> <target> [k <n>] [threshold <t>] [undecided]";
+        let mut k = 10usize;
+        let mut threshold = 0.25f64;
+        let mut undecided = false;
+        let mut it = rest.iter();
+        while let Some(word) = it.next() {
+            match *word {
+                "k" => {
+                    let v = it.next().ok_or_else(|| ToolError::Failed(USAGE.into()))?;
+                    k = v
+                        .parse()
+                        .map_err(|_| ToolError::Failed(format!("k must be a number, got {v:?}")))?;
+                }
+                "threshold" => {
+                    let v = it.next().ok_or_else(|| ToolError::Failed(USAGE.into()))?;
+                    threshold = v.parse().map_err(|_| {
+                        ToolError::Failed(format!("threshold must be a number, got {v:?}"))
+                    })?;
+                }
+                "undecided" => undecided = true,
+                other => {
+                    return Err(ToolError::Failed(format!("{USAGE} — got {other:?}")));
+                }
+            }
+        }
+        let bb = self.manager.blackboard();
+        let (s_id, t_id) = (SchemaId::new(source), SchemaId::new(target));
+        let matrix = bb.matrix(&s_id, &t_id).ok_or_else(|| {
+            ToolError::Failed("no matrix for that pair — run `match` first".into())
+        })?;
+        let s = bb
+            .schema(&s_id)
+            .ok_or_else(|| ToolError::UnknownSchema(s_id.to_string()))?;
+        let t = bb
+            .schema(&t_id)
+            .ok_or_else(|| ToolError::UnknownSchema(t_id.to_string()))?;
+        // Rebuild a score matrix over the mapping matrix's cells so the
+        // harmony link filters apply verbatim (user decisions are ±1
+        // raw scores, so `raw` preserves them exactly).
+        let mut scores = ScoreMatrix::new(matrix.rows().to_vec(), matrix.cols().to_vec());
+        let mut user = std::collections::HashSet::new();
+        for &row in matrix.rows() {
+            for &col in matrix.cols() {
+                let cell = matrix.cell(row, col);
+                scores.set(row, col, cell.confidence);
+                if cell.user_defined {
+                    user.insert((row, col));
+                }
+            }
+        }
+        let mut filters = FilterSet::new().with_link(LinkFilter::BestPerElement);
+        if !undecided {
+            filters = filters.with_link(LinkFilter::ConfidenceAtLeast(threshold));
+        }
+        let mut links = filters.visible(&scores, s, t, &user);
+        if undecided {
+            links.retain(|l| !l.user_defined && l.confidence.value() > 0.0);
+        }
+        // Deterministic order: confidence desc, then name paths —
+        // confidences are clamped (never NaN) so the comparator is total.
+        links.sort_by(|a, b| {
+            b.confidence
+                .value()
+                .partial_cmp(&a.confidence.value())
+                .expect("clamped confidences are never NaN")
+                .then_with(|| s.name_path(a.src).cmp(&s.name_path(b.src)))
+                .then_with(|| t.name_path(a.tgt).cmp(&t.name_path(b.tgt)))
+        });
+        if undecided {
+            links.truncate(k);
+        }
+        let mut out = if undecided {
+            format!(
+                "proposals {source} -> {target}: {} undecided link(s) (top-{k})\n",
+                links.len()
+            )
+        } else {
+            format!(
+                "proposals {source} -> {target}: {} link(s) (threshold {threshold})\n",
+                links.len()
+            )
+        };
+        for l in &links {
+            let _ = writeln!(
+                out,
+                "{} -> {} {:+.6}{}",
+                s.name_path(l.src),
+                t.name_path(l.tgt),
+                l.confidence.value(),
+                if l.user_defined { " user" } else { "" }
+            );
+        }
+        Ok(out)
     }
 
     fn dispatch(&mut self, line: &str, heredoc: Option<&str>) -> Result<String, ToolError> {
@@ -277,6 +392,19 @@ impl Shell {
                     .schema(&t_id)
                     .ok_or_else(|| ToolError::UnknownSchema(t_id.to_string()))?;
                 Ok(matrix.render(s, t))
+            }
+            ["proposals", source, target, rest @ ..] => self.proposals(source, target, rest),
+            ["weights"] => {
+                let tool = self
+                    .manager
+                    .tool_mut::<crate::tools::HarmonyTool>("harmony")
+                    .ok_or_else(|| ToolError::Failed("harmony tool not installed".into()))?;
+                let engine = tool.engine();
+                let mut out = format!("weights: epoch={}\n", engine.corpus_epoch());
+                for (name, weight) in engine.reweight_state() {
+                    let _ = writeln!(out, "{name} {weight:?}");
+                }
+                Ok(out)
             }
             ["show", "coverage"] => Ok(self.manager.coverage()),
             ["show", "trace"] => Ok(self.manager.trace().join("\n")),
@@ -558,9 +686,61 @@ show coverage
             // Pure read: replay rebuilds the index from the journaled
             // `index-registry` line, so the query itself is not logged.
             "find-candidates q 5",
+            // Pure reads over existing match state: replay rebuilds the
+            // matrix (and the learned weights) from the journaled
+            // `match`/`accept`/`reject` lines.
+            "proposals a b k 5 undecided",
+            "weights",
         ] {
             assert!(!mutates(cmd), "{cmd} should not mutate");
         }
+    }
+
+    #[test]
+    fn proposals_lists_ranked_links_and_weights_reports_state() {
+        let mut shell = Shell::new();
+        let load = shell.run_on(
+            "load er a <<EOF\nentity CUSTOMER \"A customer.\" { cust_name : text \"Name.\" }\nEOF\n\
+             load er b <<EOF\nentity client \"A client.\" { client_name : text \"Name.\" }\nEOF\n\
+             match a b\n",
+        );
+        assert_eq!(load.errors, 0, "{}", load.transcript);
+        let all = shell.execute("proposals a b threshold 0.0", None).unwrap();
+        assert!(all.contains("link(s) (threshold 0)"), "{all}");
+        assert!(all.contains(" -> "), "{all}");
+        let undecided = shell.execute("proposals a b k 2 undecided", None).unwrap();
+        assert!(
+            undecided.contains("undecided link(s) (top-2)"),
+            "{undecided}"
+        );
+        assert!(!undecided.contains(" user"), "{undecided}");
+        // A user decision shows up as `user` in the threshold view and
+        // leaves the undecided view.
+        shell
+            .execute("accept a b a/CUSTOMER/cust_name b/client/client_name", None)
+            .unwrap();
+        let after = shell.execute("proposals a b threshold 0.5", None).unwrap();
+        assert!(
+            after.contains("a/CUSTOMER/cust_name -> b/client/client_name +1.000000 user"),
+            "{after}"
+        );
+        let undecided = shell.execute("proposals a b k 10 undecided", None).unwrap();
+        assert!(
+            !undecided.contains("a/CUSTOMER/cust_name -> b/client/client_name"),
+            "{undecided}"
+        );
+        let weights = shell.execute("weights", None).unwrap();
+        assert!(weights.contains("weights: epoch="), "{weights}");
+        assert!(weights.contains("name 1.0"), "{weights}");
+        // Errors are structured.
+        let err = shell.execute("proposals a b k", None).unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+        let err = shell.execute("proposals a b sideways", None).unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+        let err = shell
+            .execute("proposals a nope threshold 0.1", None)
+            .unwrap_err();
+        assert!(err.to_string().contains("no matrix"), "{err}");
     }
 
     #[test]

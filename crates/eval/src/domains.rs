@@ -1,0 +1,796 @@
+//! Calibrated synthetic domain generators.
+//!
+//! The registry crate reproduces the paper's aviation / procurement /
+//! personnel vocabulary; experiments that only ever see those three
+//! domains risk over-fitting voter weights and thresholds to one
+//! naming culture. This module adds four further domains — clinical,
+//! finance, geospatial, telecom — each with its own noun / qualifier /
+//! suffix vocabulary and abbreviation table, and exposes *calibration
+//! knobs* so a benchmark can dial difficulty:
+//!
+//! - `abbreviation_density`: probability an abbreviable name token is
+//!   abbreviated in the target rendition,
+//! - `doc_coverage`: probability an element carries its definition,
+//! - `structural_skew`: exponent skewing the attribute budget across
+//!   entities (shared with the registry via
+//!   [`iwb_registry::split_budget`]),
+//! - `near_duplicate_rate`: probability an entity spawns an
+//!   adversarial near-duplicate decoy in the target schema (a cloned,
+//!   slightly renamed entity that is *not* in the gold standard).
+//!
+//! Every Bernoulli draw is counted in [`GenStats`] at draw time, so
+//! property tests can check knob adherence over many seeds without
+//! re-deriving the generator's internals. Generation is deterministic
+//! under (domain, knobs, seed).
+
+use iwb_harmony::GoldStandard;
+use iwb_model::{DataType, EdgeKind, ElementKind, Metamodel, SchemaElement, SchemaGraph};
+use iwb_registry::vocabulary::{definition, pick};
+use iwb_registry::{split_budget, SchemaPair};
+use iwb_rng::StdRng;
+use std::collections::HashSet;
+
+/// A domain's static vocabulary.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// Short lowercase domain name (used in schema ids and reports).
+    pub name: &'static str,
+    /// Mixed into the seed so equal seeds still diverge across domains.
+    pub salt: u64,
+    /// Nouns used for entity names.
+    pub entity_nouns: &'static [&'static str],
+    /// Qualifiers compounded with nouns.
+    pub qualifiers: &'static [&'static str],
+    /// Attribute-name suffixes.
+    pub attr_suffixes: &'static [&'static str],
+    /// Full-form → abbreviation pairs a DBA in this domain would use.
+    pub abbreviations: &'static [(&'static str, &'static str)],
+}
+
+/// Difficulty knobs for one generated schema pair.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainKnobs {
+    /// Entities per schema.
+    pub entities: usize,
+    /// Mean attributes per entity (budget split across entities).
+    pub attrs_per_entity: f64,
+    /// P(abbreviate | token has an abbreviation) in target names.
+    pub abbreviation_density: f64,
+    /// P(element carries documentation), per side.
+    pub doc_coverage: f64,
+    /// Skew exponent for the attribute budget (1.0 even, ≥2 skewed).
+    pub structural_skew: f64,
+    /// P(entity spawns an adversarial near-duplicate decoy).
+    pub near_duplicate_rate: f64,
+}
+
+impl Default for DomainKnobs {
+    fn default() -> Self {
+        DomainKnobs {
+            entities: 10,
+            attrs_per_entity: 5.0,
+            abbreviation_density: 0.3,
+            doc_coverage: 0.8,
+            structural_skew: 2.0,
+            near_duplicate_rate: 0.2,
+        }
+    }
+}
+
+/// Counters recorded at Bernoulli-draw time, so observed rates can be
+/// compared against the requested knobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Entities in the source schema.
+    pub entities: usize,
+    /// Attributes in the source schema.
+    pub attributes: usize,
+    /// Tokens that *could* have been abbreviated.
+    pub abbrev_eligible: usize,
+    /// Tokens that were abbreviated.
+    pub abbrev_applied: usize,
+    /// Documentation slots (element × side).
+    pub doc_slots: usize,
+    /// Slots that received documentation.
+    pub doc_present: usize,
+    /// Entities eligible to spawn a decoy.
+    pub near_dup_candidates: usize,
+    /// Decoys actually spawned.
+    pub near_dups: usize,
+}
+
+impl GenStats {
+    /// Observed abbreviation rate (0 when nothing was eligible).
+    pub fn abbreviation_rate(&self) -> f64 {
+        rate(self.abbrev_applied, self.abbrev_eligible)
+    }
+
+    /// Observed documentation coverage.
+    pub fn doc_rate(&self) -> f64 {
+        rate(self.doc_present, self.doc_slots)
+    }
+
+    /// Observed near-duplicate rate.
+    pub fn near_dup_rate(&self) -> f64 {
+        rate(self.near_dups, self.near_dup_candidates)
+    }
+
+    /// Accumulate another run's counters (for multi-seed calibration).
+    pub fn absorb(&mut self, other: &GenStats) {
+        self.entities += other.entities;
+        self.attributes += other.attributes;
+        self.abbrev_eligible += other.abbrev_eligible;
+        self.abbrev_applied += other.abbrev_applied;
+        self.doc_slots += other.doc_slots;
+        self.doc_present += other.doc_present;
+        self.near_dup_candidates += other.near_dup_candidates;
+        self.near_dups += other.near_dups;
+    }
+}
+
+fn rate(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One benchmark case: a generated schema pair with gold standard plus
+/// the generation statistics behind it.
+#[derive(Debug, Clone)]
+pub struct EvalCase {
+    /// Domain the case was drawn from.
+    pub domain: &'static str,
+    /// Seed it was drawn under.
+    pub seed: u64,
+    /// The knobs it was drawn with.
+    pub knobs: DomainKnobs,
+    /// Source, target, and gold mapping (same shape the perturbation
+    /// workload and [`crate::harness`] use).
+    pub pair: SchemaPair,
+    /// Draw-time counters.
+    pub stats: GenStats,
+}
+
+/// The clinical-records domain: heavy abbreviation culture
+/// (chart-speak), good documentation.
+pub const CLINICAL: DomainSpec = DomainSpec {
+    name: "clinical",
+    salt: 0x11,
+    entity_nouns: &[
+        "patient",
+        "encounter",
+        "diagnosis",
+        "procedure",
+        "medication",
+        "prescription",
+        "allergy",
+        "immunization",
+        "laboratory",
+        "specimen",
+        "observation",
+        "admission",
+        "discharge",
+        "provider",
+        "practitioner",
+        "ward",
+        "clinic",
+        "insurance",
+        "claim",
+        "referral",
+    ],
+    qualifiers: &[
+        "primary",
+        "secondary",
+        "admitting",
+        "attending",
+        "chronic",
+        "acute",
+        "inpatient",
+        "outpatient",
+        "surgical",
+        "clinical",
+    ],
+    attr_suffixes: &[
+        "identifier",
+        "code",
+        "name",
+        "date",
+        "status",
+        "type",
+        "dosage",
+        "frequency",
+        "result",
+        "severity",
+        "onset",
+        "number",
+    ],
+    abbreviations: &[
+        ("patient", "pt"),
+        ("diagnosis", "dx"),
+        ("procedure", "px"),
+        ("medication", "med"),
+        ("prescription", "rx"),
+        ("laboratory", "lab"),
+        ("admission", "adm"),
+        ("discharge", "dschg"),
+        ("provider", "prov"),
+        ("identifier", "id"),
+        ("number", "nbr"),
+        ("date", "dt"),
+        ("status", "stat"),
+        ("frequency", "freq"),
+    ],
+};
+
+/// The retail-finance domain: moderate abbreviation, dense
+/// documentation, many near-duplicate products/accounts.
+pub const FINANCE: DomainSpec = DomainSpec {
+    name: "finance",
+    salt: 0x22,
+    entity_nouns: &[
+        "account",
+        "ledger",
+        "journal",
+        "transaction",
+        "payment",
+        "transfer",
+        "statement",
+        "balance",
+        "portfolio",
+        "security",
+        "holding",
+        "dividend",
+        "loan",
+        "mortgage",
+        "collateral",
+        "counterparty",
+        "branch",
+        "customer",
+        "beneficiary",
+        "settlement",
+    ],
+    qualifiers: &[
+        "posted",
+        "pending",
+        "cleared",
+        "reconciled",
+        "accrued",
+        "fiscal",
+        "quarterly",
+        "retail",
+        "corporate",
+        "nostro",
+    ],
+    attr_suffixes: &[
+        "identifier",
+        "number",
+        "code",
+        "amount",
+        "currency",
+        "date",
+        "rate",
+        "balance",
+        "status",
+        "type",
+        "reference",
+        "description",
+    ],
+    abbreviations: &[
+        ("account", "acct"),
+        ("transaction", "txn"),
+        ("payment", "pmt"),
+        ("transfer", "xfer"),
+        ("statement", "stmt"),
+        ("balance", "bal"),
+        ("customer", "cust"),
+        ("identifier", "id"),
+        ("number", "nbr"),
+        ("amount", "amt"),
+        ("currency", "ccy"),
+        ("date", "dt"),
+        ("reference", "ref"),
+        ("description", "desc"),
+    ],
+};
+
+/// The geospatial domain: sparse documentation (field-collected data),
+/// mild abbreviation.
+pub const GEOSPATIAL: DomainSpec = DomainSpec {
+    name: "geospatial",
+    salt: 0x33,
+    entity_nouns: &[
+        "feature",
+        "parcel",
+        "boundary",
+        "centroid",
+        "elevation",
+        "contour",
+        "raster",
+        "layer",
+        "projection",
+        "datum",
+        "waypoint",
+        "corridor",
+        "easement",
+        "watershed",
+        "basin",
+        "terrain",
+        "surface",
+        "imagery",
+        "survey",
+        "monument",
+    ],
+    qualifiers: &[
+        "measured",
+        "surveyed",
+        "derived",
+        "interpolated",
+        "projected",
+        "geodetic",
+        "cadastral",
+        "topographic",
+        "hydrographic",
+        "orthometric",
+    ],
+    attr_suffixes: &[
+        "identifier",
+        "code",
+        "name",
+        "latitude",
+        "longitude",
+        "elevation",
+        "accuracy",
+        "scale",
+        "area",
+        "length",
+        "source",
+        "date",
+    ],
+    abbreviations: &[
+        ("elevation", "elev"),
+        ("latitude", "lat"),
+        ("longitude", "lon"),
+        ("boundary", "bndry"),
+        ("projection", "proj"),
+        ("identifier", "id"),
+        ("accuracy", "acc"),
+        ("surveyed", "svy"),
+        ("monument", "mon"),
+        ("date", "dt"),
+        ("source", "src"),
+        ("length", "len"),
+    ],
+};
+
+/// The telecom-inventory domain: deep structural skew (a few huge
+/// entities), moderate everything else.
+pub const TELECOM: DomainSpec = DomainSpec {
+    name: "telecom",
+    salt: 0x44,
+    entity_nouns: &[
+        "subscriber",
+        "handset",
+        "simcard",
+        "tariff",
+        "bundle",
+        "invoice",
+        "usage",
+        "session",
+        "cell",
+        "antenna",
+        "spectrum",
+        "circuit",
+        "trunk",
+        "switch",
+        "gateway",
+        "roaming",
+        "provisioning",
+        "outage",
+        "ticket",
+        "network",
+    ],
+    qualifiers: &[
+        "active",
+        "suspended",
+        "prepaid",
+        "postpaid",
+        "domestic",
+        "international",
+        "billed",
+        "unbilled",
+        "peak",
+        "offpeak",
+    ],
+    attr_suffixes: &[
+        "identifier",
+        "number",
+        "code",
+        "status",
+        "type",
+        "date",
+        "duration",
+        "volume",
+        "capacity",
+        "bandwidth",
+        "priority",
+        "description",
+    ],
+    abbreviations: &[
+        ("subscriber", "subs"),
+        ("handset", "hs"),
+        ("invoice", "inv"),
+        ("session", "sess"),
+        ("antenna", "ant"),
+        ("circuit", "cct"),
+        ("gateway", "gw"),
+        ("network", "net"),
+        ("identifier", "id"),
+        ("number", "nbr"),
+        ("duration", "dur"),
+        ("bandwidth", "bw"),
+        ("description", "desc"),
+        ("provisioning", "prov"),
+    ],
+};
+
+/// All calibrated domains, in report order.
+pub fn domains() -> Vec<&'static DomainSpec> {
+    vec![&CLINICAL, &FINANCE, &GEOSPATIAL, &TELECOM]
+}
+
+/// Default knobs per domain (each stresses a different regime).
+pub fn default_knobs(spec: &DomainSpec) -> DomainKnobs {
+    match spec.name {
+        // Chart-speak: abbreviation-heavy, well documented.
+        "clinical" => DomainKnobs {
+            entities: 12,
+            attrs_per_entity: 5.0,
+            abbreviation_density: 0.45,
+            doc_coverage: 0.85,
+            structural_skew: 2.0,
+            near_duplicate_rate: 0.15,
+        },
+        // Product sprawl: many near-duplicate decoys.
+        "finance" => DomainKnobs {
+            entities: 14,
+            attrs_per_entity: 5.0,
+            abbreviation_density: 0.25,
+            doc_coverage: 0.9,
+            structural_skew: 2.0,
+            near_duplicate_rate: 0.35,
+        },
+        // Field data: documentation is scarce.
+        "geospatial" => DomainKnobs {
+            entities: 12,
+            attrs_per_entity: 4.0,
+            abbreviation_density: 0.3,
+            doc_coverage: 0.35,
+            structural_skew: 2.0,
+            near_duplicate_rate: 0.1,
+        },
+        // Inventory: a few huge entities dominate the attribute budget.
+        "telecom" => DomainKnobs {
+            entities: 16,
+            attrs_per_entity: 6.0,
+            abbreviation_density: 0.3,
+            doc_coverage: 0.75,
+            structural_skew: 4.0,
+            near_duplicate_rate: 0.2,
+        },
+        _ => DomainKnobs::default(),
+    }
+}
+
+/// The standard benchmark suite: every domain at its default knobs
+/// under one seed.
+pub fn standard_suite(seed: u64) -> Vec<EvalCase> {
+    domains()
+        .into_iter()
+        .map(|spec| generate_case(spec, &default_knobs(spec), seed))
+        .collect()
+}
+
+/// Generate one schema pair with gold standard for `spec` under
+/// `knobs` and `seed`. Deterministic: equal inputs produce structurally
+/// identical output (identical names, docs, gold and stats).
+pub fn generate_case(spec: &DomainSpec, knobs: &DomainKnobs, seed: u64) -> EvalCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ spec.salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut stats = GenStats::default();
+
+    let src_id = format!("{}_src", spec.name);
+    let tgt_id = format!("{}_tgt", spec.name);
+    let mut source = SchemaGraph::new(src_id, Metamodel::EntityRelationship);
+    let mut target = SchemaGraph::new(tgt_id, Metamodel::EntityRelationship);
+    let mut gold = GoldStandard::new();
+
+    let entities = knobs.entities.max(1);
+    let total_attrs = ((entities as f64 * knobs.attrs_per_entity).round() as usize).max(entities);
+    let budget = split_budget(&mut rng, total_attrs, entities, knobs.structural_skew);
+
+    let mut src_entity_names: HashSet<String> = HashSet::new();
+    let mut tgt_entity_names: HashSet<String> = HashSet::new();
+
+    // Decoys are spawned by systematic (stratified) sampling with a
+    // random phase rather than independent Bernoulli draws: per schema
+    // the decoy count then stays within one of entities × rate, so the
+    // observed near-duplicate rate tracks the knob tightly — which is
+    // the point of a *calibrated* generator. The expectation per
+    // entity is still exactly `near_duplicate_rate`.
+    let mut decoy_acc = rng.next_f64();
+
+    for &attr_budget in budget.iter() {
+        // Entity name: QUALIFIER_NOUN, extended until unique.
+        let mut tokens = vec![
+            pick(&mut rng, spec.qualifiers).to_owned(),
+            pick(&mut rng, spec.entity_nouns).to_owned(),
+        ];
+        while !src_entity_names.insert(snake_upper(&tokens)) {
+            tokens.push(pick(&mut rng, spec.entity_nouns).to_owned());
+        }
+        let src_name = snake_upper(&tokens);
+        let mut tgt_name = camel(&abbreviate(&mut rng, spec, knobs, &tokens, &mut stats));
+        while !tgt_entity_names.insert(tgt_name.clone()) {
+            tgt_name.push_str("Alt");
+        }
+        stats.entities += 1;
+
+        let subject = tokens.join(" ");
+        let (src_doc, tgt_doc) = doc_pair(&mut rng, &subject, 11.1, knobs, &mut stats);
+        let src_ent = source.add_child(
+            source.root(),
+            EdgeKind::ContainsEntity,
+            with_opt_doc(SchemaElement::new(ElementKind::Entity, &src_name), src_doc),
+        );
+        let tgt_ent = target.add_child(
+            target.root(),
+            EdgeKind::ContainsEntity,
+            with_opt_doc(SchemaElement::new(ElementKind::Entity, &tgt_name), tgt_doc),
+        );
+        gold.add(source.name_path(src_ent), target.name_path(tgt_ent));
+
+        // Attributes: NOUN_SUFFIX, unique per entity.
+        let n_attrs = attr_budget.max(1);
+        let mut attr_names: HashSet<String> = HashSet::new();
+        let mut attr_plans: Vec<(Vec<String>, DataType)> = Vec::new();
+        for _ in 0..n_attrs {
+            let mut a_tokens = vec![
+                pick(&mut rng, spec.entity_nouns).to_owned(),
+                pick(&mut rng, spec.attr_suffixes).to_owned(),
+            ];
+            while !attr_names.insert(snake_upper(&a_tokens)) {
+                a_tokens.insert(0, pick(&mut rng, spec.qualifiers).to_owned());
+            }
+            let data_type = draw_type(&mut rng);
+            let src_a = snake_upper(&a_tokens);
+            let tgt_a = camel(&abbreviate(&mut rng, spec, knobs, &a_tokens, &mut stats));
+            stats.attributes += 1;
+
+            let suffix = a_tokens.last().cloned().unwrap_or_default();
+            let (sd, td) = doc_pair(&mut rng, &suffix, 16.4, knobs, &mut stats);
+            let src_at = source.add_child(
+                src_ent,
+                EdgeKind::ContainsAttribute,
+                with_opt_doc(
+                    SchemaElement::new(ElementKind::Attribute, &src_a).with_type(data_type.clone()),
+                    sd,
+                ),
+            );
+            let tgt_at = target.add_child(
+                tgt_ent,
+                EdgeKind::ContainsAttribute,
+                with_opt_doc(
+                    SchemaElement::new(ElementKind::Attribute, &tgt_a).with_type(data_type.clone()),
+                    td,
+                ),
+            );
+            gold.add(source.name_path(src_at), target.name_path(tgt_at));
+            attr_plans.push((a_tokens, data_type));
+        }
+
+        // Adversarial near-duplicate: a decoy entity in the target that
+        // clones this entity's naming but is NOT a correspondence.
+        stats.near_dup_candidates += 1;
+        decoy_acc += knobs.near_duplicate_rate;
+        if decoy_acc >= 1.0 {
+            decoy_acc -= 1.0;
+            stats.near_dups += 1;
+            let mut d_tokens = tokens.clone();
+            d_tokens.push(pick(&mut rng, spec.qualifiers).to_owned());
+            let mut d_name = camel(&abbreviate(&mut rng, spec, knobs, &d_tokens, &mut stats));
+            while !tgt_entity_names.insert(d_name.clone()) {
+                d_name.push_str("Dup");
+            }
+            // The decoy reuses the real entity's documentation subject,
+            // so doc voters cannot trivially separate them.
+            let (_, d_doc) = doc_pair(&mut rng, &subject, 11.1, knobs, &mut stats);
+            let decoy = target.add_child(
+                target.root(),
+                EdgeKind::ContainsEntity,
+                with_opt_doc(SchemaElement::new(ElementKind::Entity, &d_name), d_doc),
+            );
+            for (a_tokens, data_type) in attr_plans.iter().take(3) {
+                let d_a = camel(&abbreviate(&mut rng, spec, knobs, a_tokens, &mut stats));
+                target.add_child(
+                    decoy,
+                    EdgeKind::ContainsAttribute,
+                    SchemaElement::new(ElementKind::Attribute, d_a).with_type(data_type.clone()),
+                );
+            }
+        }
+    }
+
+    EvalCase {
+        domain: spec.name,
+        seed,
+        knobs: *knobs,
+        pair: SchemaPair {
+            source,
+            target,
+            gold,
+        },
+        stats,
+    }
+}
+
+/// Abbreviate each abbreviable token with probability
+/// `abbreviation_density`, counting eligibility and application.
+fn abbreviate(
+    rng: &mut StdRng,
+    spec: &DomainSpec,
+    knobs: &DomainKnobs,
+    tokens: &[String],
+    stats: &mut GenStats,
+) -> Vec<String> {
+    tokens
+        .iter()
+        .map(|t| {
+            if let Some((_, abbr)) = spec.abbreviations.iter().find(|(full, _)| full == t) {
+                stats.abbrev_eligible += 1;
+                if rng.gen_bool(knobs.abbreviation_density) {
+                    stats.abbrev_applied += 1;
+                    return (*abbr).to_owned();
+                }
+            }
+            t.clone()
+        })
+        .collect()
+}
+
+/// Draw one definition text and include it on each side with
+/// probability `doc_coverage` (two counted slots). Both sides share the
+/// text when both are documented — matching real registries, where the
+/// same steward wrote both definitions.
+fn doc_pair(
+    rng: &mut StdRng,
+    subject: &str,
+    target_words: f64,
+    knobs: &DomainKnobs,
+    stats: &mut GenStats,
+) -> (Option<String>, Option<String>) {
+    let text = definition(rng, subject, target_words);
+    stats.doc_slots += 2;
+    let on_src = rng.gen_bool(knobs.doc_coverage);
+    let on_tgt = rng.gen_bool(knobs.doc_coverage);
+    stats.doc_present += usize::from(on_src) + usize::from(on_tgt);
+    (on_src.then(|| text.clone()), on_tgt.then_some(text))
+}
+
+fn draw_type(rng: &mut StdRng) -> DataType {
+    match rng.gen_range(0..6u32) {
+        0 => DataType::Integer,
+        1 => DataType::Decimal,
+        2 => DataType::Date,
+        3 => DataType::VarChar(8 * (1 + rng.gen_range(0..8u32))),
+        4 => DataType::Boolean,
+        _ => DataType::Text,
+    }
+}
+
+fn with_opt_doc(el: SchemaElement, doc: Option<String>) -> SchemaElement {
+    match doc {
+        Some(d) => el.with_doc(d),
+        None => el,
+    }
+}
+
+fn snake_upper(tokens: &[String]) -> String {
+    tokens.join("_").to_uppercase()
+}
+
+fn camel(tokens: &[String]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&t.to_lowercase());
+        } else {
+            let lower = t.to_lowercase();
+            let mut c = lower.chars();
+            if let Some(f) = c.next() {
+                out.extend(f.to_uppercase());
+                out.push_str(c.as_str());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwb_loaders::{ErLoader, SchemaLoader};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_case(&CLINICAL, &default_knobs(&CLINICAL), 7);
+        let b = generate_case(&CLINICAL, &default_knobs(&CLINICAL), 7);
+        assert_eq!(
+            iwb_loaders::to_er_text(&a.pair.source),
+            iwb_loaders::to_er_text(&b.pair.source)
+        );
+        assert_eq!(
+            iwb_loaders::to_er_text(&a.pair.target),
+            iwb_loaders::to_er_text(&b.pair.target)
+        );
+        assert_eq!(a.pair.gold.len(), b.pair.gold.len());
+        let c = generate_case(&CLINICAL, &default_knobs(&CLINICAL), 8);
+        assert_ne!(
+            iwb_loaders::to_er_text(&a.pair.source),
+            iwb_loaders::to_er_text(&c.pair.source),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn domains_differ_under_equal_seed() {
+        let a = generate_case(&CLINICAL, &DomainKnobs::default(), 7);
+        let b = generate_case(&FINANCE, &DomainKnobs::default(), 7);
+        assert_ne!(
+            iwb_loaders::to_er_text(&a.pair.source),
+            iwb_loaders::to_er_text(&b.pair.source)
+        );
+    }
+
+    #[test]
+    fn er_text_round_trips_name_paths() {
+        for case in standard_suite(3) {
+            for graph in [&case.pair.source, &case.pair.target] {
+                let text = iwb_loaders::to_er_text(graph);
+                let reloaded = ErLoader
+                    .load(&text, graph.id().as_str())
+                    .expect("generated schema must reload");
+                let paths = |g: &SchemaGraph| {
+                    let mut v: Vec<String> = g.ids().skip(1).map(|i| g.name_path(i)).collect();
+                    v.sort();
+                    v
+                };
+                assert_eq!(paths(graph), paths(&reloaded), "{}", graph.id().as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn decoys_are_outside_the_gold_standard() {
+        let knobs = DomainKnobs {
+            near_duplicate_rate: 1.0,
+            ..DomainKnobs::default()
+        };
+        let case = generate_case(&FINANCE, &knobs, 11);
+        assert_eq!(case.stats.near_dups, case.stats.near_dup_candidates);
+        // Gold covers exactly the source elements; the target has more
+        // (the decoys), and every target-side gold path resolves.
+        let tgt_gold: HashSet<&str> = case.pair.gold.iter().map(|(_, t)| t).collect();
+        let tgt_paths: HashSet<String> = case
+            .pair
+            .target
+            .ids()
+            .skip(1)
+            .map(|i| case.pair.target.name_path(i))
+            .collect();
+        assert!(tgt_gold.len() < tgt_paths.len(), "decoys must add elements");
+        for p in &tgt_gold {
+            assert!(tgt_paths.contains(*p), "{p}");
+        }
+    }
+}

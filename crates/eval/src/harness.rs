@@ -1,0 +1,149 @@
+//! Shared evaluation harness: ground-truth workloads and scoring.
+//!
+//! Moved here from `iwb-bench` so that experiment binaries, the golden
+//! regression suite, and the curation-replay workload all score
+//! against one implementation. `iwb-bench` re-exports these names, so
+//! existing experiment code is unaffected.
+
+use iwb_harmony::filters::{FilterSet, Link, LinkFilter};
+use iwb_harmony::{HarmonyEngine, PrMetrics};
+use iwb_registry::perturb::{perturb_schema, set_doc_density, PerturbConfig};
+use iwb_registry::{generate_registry, GeneratorConfig, SchemaPair};
+use std::collections::HashMap;
+
+/// Standard workload: `n` registry models of roughly
+/// `elements_per_model` entities/relationships each (with the Table 1
+/// attribute and domain densities), each perturbed into a
+/// (source, target, gold) pair.
+pub fn standard_pairs(
+    seed: u64,
+    n: usize,
+    elements_per_model: usize,
+    perturb: &PerturbConfig,
+) -> Vec<SchemaPair> {
+    let cfg = GeneratorConfig {
+        seed,
+        models: n,
+        elements: n * elements_per_model,
+        attributes: n * elements_per_model * 5,
+        domain_values: n * elements_per_model * 8,
+        ..GeneratorConfig::default()
+    };
+    generate_registry(cfg)
+        .models
+        .into_iter()
+        .map(|m| perturb_schema(&m, perturb))
+        .collect()
+}
+
+/// Apply a documentation density to both sides of a pair (E1's sweep).
+pub fn with_doc_density(pair: &SchemaPair, density: f64, seed: u64) -> SchemaPair {
+    SchemaPair {
+        source: set_doc_density(&pair.source, density, seed),
+        target: set_doc_density(&pair.target, density, seed.wrapping_add(1)),
+        gold: pair.gold.clone(),
+    }
+}
+
+/// Predict links from an engine run: best-per-element links whose
+/// confidence clears `threshold`.
+pub fn predict(
+    engine: &mut HarmonyEngine,
+    pair: &SchemaPair,
+    threshold: f64,
+) -> (Vec<Link>, usize) {
+    let result = engine.run(&pair.source, &pair.target, &HashMap::new());
+    let filters = FilterSet::new()
+        .with_link(LinkFilter::BestPerElement)
+        .with_link(LinkFilter::ConfidenceAtLeast(threshold));
+    let links = filters.visible(
+        &result.matrix,
+        &pair.source,
+        &pair.target,
+        &std::collections::HashSet::new(),
+    );
+    (links, result.flooding_iterations)
+}
+
+/// Score an engine against a pair's gold standard.
+pub fn score(engine: &mut HarmonyEngine, pair: &SchemaPair, threshold: f64) -> PrMetrics {
+    let (links, _) = predict(engine, pair, threshold);
+    pair.gold.score(&pair.source, &pair.target, &links)
+}
+
+/// Micro-average several metric observations.
+pub fn micro_average(metrics: &[PrMetrics]) -> PrMetrics {
+    PrMetrics {
+        true_positives: metrics.iter().map(|m| m.true_positives).sum(),
+        predicted: metrics.iter().map(|m| m.predicted).sum(),
+        actual: metrics.iter().map(|m| m.actual).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{default_knobs, domains, standard_suite};
+
+    #[test]
+    fn standard_pairs_produce_gold() {
+        let pairs = standard_pairs(42, 2, 8, &PerturbConfig::mild(1));
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| !p.gold.is_empty()));
+    }
+
+    #[test]
+    fn engine_beats_chance_on_mild_perturbation() {
+        let pairs = standard_pairs(42, 1, 10, &PerturbConfig::mild(1));
+        let mut engine = HarmonyEngine::default();
+        let m = score(&mut engine, &pairs[0], 0.25);
+        assert!(m.f1() > 0.5, "engine too weak: {m}");
+    }
+
+    #[test]
+    fn doc_density_zero_strips_documentation() {
+        let pairs = standard_pairs(42, 1, 8, &PerturbConfig::mild(1));
+        let bare = with_doc_density(&pairs[0], 0.0, 9);
+        assert!(bare
+            .source
+            .iter()
+            .filter(|(_, e)| matches!(
+                e.kind,
+                iwb_model::ElementKind::Entity | iwb_model::ElementKind::Attribute
+            ))
+            .all(|(_, e)| e.documentation.is_none()));
+        assert_eq!(bare.gold.len(), pairs[0].gold.len());
+    }
+
+    #[test]
+    fn micro_average_pools_counts() {
+        let a = PrMetrics {
+            true_positives: 1,
+            predicted: 2,
+            actual: 2,
+        };
+        let b = PrMetrics {
+            true_positives: 3,
+            predicted: 4,
+            actual: 6,
+        };
+        let avg = micro_average(&[a, b]);
+        assert_eq!(avg.true_positives, 4);
+        assert_eq!(avg.predicted, 6);
+        assert_eq!(avg.actual, 8);
+    }
+
+    #[test]
+    fn engine_beats_chance_on_every_calibrated_domain() {
+        for case in standard_suite(42) {
+            let mut engine = HarmonyEngine::default();
+            let m = score(&mut engine, &case.pair, 0.25);
+            assert!(m.f1() > 0.3, "{}: engine too weak: {m}", case.domain);
+        }
+        assert_eq!(domains().len(), 4);
+        for spec in domains() {
+            let k = default_knobs(spec);
+            assert!(k.entities >= 10, "{} too small for the suite", spec.name);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # iwb-eval — benchmark suite & curation-replay workload
+//!
+//! The evaluation layer above the matcher: calibrated synthetic
+//! domains beyond the registry's aviation/procurement/personnel
+//! vocabulary ([`domains`]), the shared scoring harness the experiment
+//! binaries use ([`harness`]), and a scripted-oracle curation replay
+//! that measures how match quality and voter weights evolve under
+//! feedback ([`replay`]) — in-process or against a live `workbenchd`.
+//!
+//! The `bench_eval` binary in `iwb-bench` sweeps engines × thresholds
+//! × blocking-k over these domains and gates the committed
+//! `BENCH_eval.json` leaderboard against pinned per-domain F1 floors.
+
+pub mod domains;
+pub mod harness;
+pub mod replay;
+
+pub use domains::{
+    default_knobs, domains, generate_case, standard_suite, DomainKnobs, DomainSpec, EvalCase,
+    GenStats,
+};
+pub use harness::{micro_average, predict, score, standard_pairs, with_doc_density};
+pub use replay::{
+    run_replay, ClientTransport, OracleConfig, ReplayOutcome, ReplayTransport, RoundMetrics,
+    ShellTransport,
+};

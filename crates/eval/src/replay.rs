@@ -1,0 +1,365 @@
+//! Curation-replay workload: a scripted oracle drives the engine's
+//! feedback loop.
+//!
+//! §4.3 of the paper argues the interesting number is not one-shot
+//! match quality but how fast quality improves as an analyst confirms
+//! and rejects proposals. This module replays that curation session
+//! mechanically: each round the oracle fetches the engine's top-k
+//! undecided proposals, accepts the ones in the gold standard, rejects
+//! the rest (through the ordinary locked-cell `accept`/`reject`
+//! commands), re-matches, and records precision/recall/F1 plus how far
+//! the vote-merger weights moved.
+//!
+//! The oracle speaks the workbench *shell language*, through a
+//! [`ReplayTransport`]. Two transports ship: [`ShellTransport`] runs
+//! in-process, [`ClientTransport`] drives a live `workbenchd` over TCP
+//! — the identical command stream, so a replay exercises the daemon's
+//! journal path for free. Metrics are computed from integer
+//! true-positive/predicted/actual counts, so equal sessions produce
+//! bit-identical P/R/F1 regardless of transport, thread count, or
+//! cache mode.
+
+use crate::domains::EvalCase;
+use iwb_core::shell::Shell;
+use iwb_harmony::PrMetrics;
+use iwb_loaders::to_er_text;
+use iwb_server::Client;
+use std::collections::HashSet;
+
+/// How a replay talks to a workbench: in-process shell or TCP client.
+pub trait ReplayTransport {
+    /// Execute one shell-language command, optionally with a heredoc
+    /// body, returning the command's output text.
+    fn execute(&mut self, command: &str, heredoc: Option<&str>) -> Result<String, String>;
+}
+
+/// In-process transport around [`iwb_core::shell::Shell`].
+#[derive(Default)]
+pub struct ShellTransport {
+    /// The wrapped shell (public so tests can pre-set `match-config`).
+    pub shell: Shell,
+}
+
+impl ShellTransport {
+    /// A fresh workbench shell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplayTransport for ShellTransport {
+    fn execute(&mut self, command: &str, heredoc: Option<&str>) -> Result<String, String> {
+        self.shell
+            .execute(command, heredoc)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// TCP transport around an attached [`iwb_server::Client`] session.
+pub struct ClientTransport<'a>(pub &'a mut Client);
+
+impl ReplayTransport for ClientTransport<'_> {
+    fn execute(&mut self, command: &str, heredoc: Option<&str>) -> Result<String, String> {
+        let resp = match heredoc {
+            Some(body) => self.0.request_with_heredoc(command, body),
+            None => self.0.request(command),
+        }
+        .map_err(|e| e.to_string())?;
+        if resp.ok {
+            Ok(resp.body)
+        } else {
+            Err(resp.body)
+        }
+    }
+}
+
+/// Oracle parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Feedback rounds to run after the baseline round 0.
+    pub rounds: usize,
+    /// Proposals the oracle reviews per round.
+    pub k: usize,
+    /// Confidence threshold for the scored link set.
+    pub threshold: f64,
+    /// A round whose re-match moved no voter weight further than this
+    /// counts as plateaued.
+    pub plateau_eps: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            rounds: 5,
+            k: 8,
+            threshold: 0.25,
+            plateau_eps: 1e-9,
+        }
+    }
+}
+
+/// One feedback round's outcome.
+#[derive(Debug, Clone)]
+pub struct RoundMetrics {
+    /// Round index (0 = baseline, before any feedback).
+    pub round: usize,
+    /// Proposals the oracle confirmed this round.
+    pub accepted: usize,
+    /// Proposals the oracle rejected this round.
+    pub rejected: usize,
+    /// Quality of the thresholded link set after this round's re-match.
+    pub metrics: PrMetrics,
+    /// Largest per-voter weight movement this round's re-match caused.
+    pub max_weight_delta: f64,
+}
+
+/// A full replay: per-round curves plus convergence summary.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Round 0 (baseline) through round `rounds`.
+    pub rounds: Vec<RoundMetrics>,
+    /// Final per-voter weights, in voter order.
+    pub weights: Vec<(String, f64)>,
+    /// First feedback round from which no weight moved again
+    /// (re-weighting converged), if any.
+    pub rounds_to_plateau: Option<usize>,
+}
+
+impl ReplayOutcome {
+    /// F1 per round, in round order.
+    pub fn f1_curve(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.metrics.f1()).collect()
+    }
+
+    /// True when each round's F1 is no worse than the previous round's
+    /// minus `eps`, i.e. feedback monotonically helps (or plateaus).
+    pub fn monotone_or_plateau(&self, eps: f64) -> bool {
+        self.f1_curve().windows(2).all(|w| w[1] >= w[0] - eps)
+    }
+}
+
+/// Replay a curation session for `case` over `transport`.
+///
+/// Loads both schemas (as ER text), matches, then runs
+/// `cfg.rounds` oracle rounds. Returns per-round metrics; errors carry
+/// the failing command's message.
+pub fn run_replay<T: ReplayTransport>(
+    transport: &mut T,
+    case: &EvalCase,
+    cfg: &OracleConfig,
+) -> Result<ReplayOutcome, String> {
+    let src = case.pair.source.id().as_str().to_owned();
+    let tgt = case.pair.target.id().as_str().to_owned();
+    let gold: HashSet<(&str, &str)> = case.pair.gold.iter().collect();
+
+    transport.execute(
+        &format!("load er {src}"),
+        Some(&to_er_text(&case.pair.source)),
+    )?;
+    transport.execute(
+        &format!("load er {tgt}"),
+        Some(&to_er_text(&case.pair.target)),
+    )?;
+    transport.execute(&format!("match {src} {tgt}"), None)?;
+
+    let mut prev_weights = parse_weights(&transport.execute("weights", None)?)?;
+    let mut rounds = vec![RoundMetrics {
+        round: 0,
+        accepted: 0,
+        rejected: 0,
+        metrics: measure(transport, &src, &tgt, &gold, cfg)?,
+        max_weight_delta: 0.0,
+    }];
+
+    for round in 1..=cfg.rounds {
+        let listing = transport.execute(
+            &format!("proposals {src} {tgt} k {} undecided", cfg.k),
+            None,
+        )?;
+        let (mut accepted, mut rejected) = (0, 0);
+        for (sp, tp, _) in parse_links(&listing)? {
+            let verb = if gold.contains(&(sp.as_str(), tp.as_str())) {
+                accepted += 1;
+                "accept"
+            } else {
+                rejected += 1;
+                "reject"
+            };
+            transport.execute(&format!("{verb} {src} {tgt} {sp} {tp}"), None)?;
+        }
+        transport.execute(&format!("match {src} {tgt}"), None)?;
+
+        let weights = parse_weights(&transport.execute("weights", None)?)?;
+        let max_weight_delta = weights
+            .iter()
+            .zip(&prev_weights)
+            .map(|((_, w), (_, p))| (w - p).abs())
+            .fold(0.0f64, f64::max);
+        prev_weights = weights;
+
+        rounds.push(RoundMetrics {
+            round,
+            accepted,
+            rejected,
+            metrics: measure(transport, &src, &tgt, &gold, cfg)?,
+            max_weight_delta,
+        });
+    }
+
+    // Convergence: the first feedback round from which every later
+    // round (itself included) moved no weight beyond eps.
+    let mut rounds_to_plateau = None;
+    for r in (1..rounds.len()).rev() {
+        if rounds[r].max_weight_delta < cfg.plateau_eps {
+            rounds_to_plateau = Some(r);
+        } else {
+            break;
+        }
+    }
+
+    Ok(ReplayOutcome {
+        rounds,
+        weights: prev_weights,
+        rounds_to_plateau,
+    })
+}
+
+/// Score the current thresholded proposal set against the gold paths.
+fn measure<T: ReplayTransport>(
+    transport: &mut T,
+    src: &str,
+    tgt: &str,
+    gold: &HashSet<(&str, &str)>,
+    cfg: &OracleConfig,
+) -> Result<PrMetrics, String> {
+    let listing = transport.execute(
+        &format!("proposals {src} {tgt} threshold {}", cfg.threshold),
+        None,
+    )?;
+    let predicted = parse_links(&listing)?;
+    let true_positives = predicted
+        .iter()
+        .filter(|(sp, tp, _)| gold.contains(&(sp.as_str(), tp.as_str())))
+        .count();
+    Ok(PrMetrics {
+        true_positives,
+        predicted: predicted.len(),
+        actual: gold.len(),
+    })
+}
+
+/// Parse a `proposals` listing into (source path, target path,
+/// confidence) triples. The header line is skipped.
+pub fn parse_links(listing: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in listing.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line = line.strip_suffix(" user").unwrap_or(line);
+        let (paths, conf) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed proposal line {line:?}"))?;
+        let (sp, tp) = paths
+            .split_once(" -> ")
+            .ok_or_else(|| format!("malformed proposal line {line:?}"))?;
+        let conf: f64 = conf
+            .parse()
+            .map_err(|_| format!("bad confidence in {line:?}"))?;
+        out.push((sp.to_owned(), tp.to_owned(), conf));
+    }
+    Ok(out)
+}
+
+/// Parse a `weights` listing into (voter, weight) pairs in voter order.
+pub fn parse_weights(listing: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in listing.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (name, weight) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed weight line {line:?}"))?;
+        let weight: f64 = weight
+            .parse()
+            .map_err(|_| format!("bad weight in {line:?}"))?;
+        out.push((name.to_owned(), weight));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{generate_case, DomainKnobs, CLINICAL};
+
+    fn small_case() -> EvalCase {
+        let knobs = DomainKnobs {
+            entities: 5,
+            attrs_per_entity: 3.0,
+            ..DomainKnobs::default()
+        };
+        generate_case(&CLINICAL, &knobs, 77)
+    }
+
+    #[test]
+    fn parse_links_handles_user_marker_and_signs() {
+        let listing = "proposals a -> b: 2 link(s) (threshold 0.25)\n\
+                       a/E/x -> b/e/y +0.812345 user\n\
+                       a/E/z -> b/e/w -1.000000\n";
+        let links = parse_links(listing).unwrap();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].0, "a/E/x");
+        assert_eq!(links[0].1, "b/e/y");
+        assert!((links[0].2 - 0.812345).abs() < 1e-12);
+        assert_eq!(links[1].2, -1.0);
+        assert!(parse_links("header\ngarbage without arrow 1.0\n").is_err());
+    }
+
+    #[test]
+    fn parse_weights_reads_debug_floats() {
+        let listing = "weights: epoch=3\nname 1.0\ndoc 1.25\n";
+        let w = parse_weights(listing).unwrap();
+        assert_eq!(w, vec![("name".into(), 1.0), ("doc".into(), 1.25)]);
+    }
+
+    #[test]
+    fn replay_improves_f1_and_reports_convergence() {
+        let case = small_case();
+        let mut t = ShellTransport::new();
+        let cfg = OracleConfig::default();
+        let outcome = run_replay(&mut t, &case, &cfg).expect("replay");
+        assert_eq!(outcome.rounds.len(), cfg.rounds + 1);
+        let first = outcome.rounds.first().unwrap().metrics.f1();
+        let last = outcome.rounds.last().unwrap().metrics.f1();
+        assert!(
+            last >= first - 1e-12,
+            "feedback must not hurt: {first} -> {last}"
+        );
+        assert!(
+            last > 0.9,
+            "oracle-confirmed session should approach perfect F1, got {last}"
+        );
+        // The oracle decided something.
+        let decisions: usize = outcome.rounds.iter().map(|r| r.accepted + r.rejected).sum();
+        assert!(decisions > 0);
+        assert_eq!(
+            outcome.weights.len(),
+            iwb_harmony::HarmonyEngine::default().voter_names().len()
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_in_process() {
+        let case = small_case();
+        let cfg = OracleConfig::default();
+        let a = run_replay(&mut ShellTransport::new(), &case, &cfg).unwrap();
+        let b = run_replay(&mut ShellTransport::new(), &case, &cfg).unwrap();
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.metrics, rb.metrics);
+            assert_eq!(ra.max_weight_delta.to_bits(), rb.max_weight_delta.to_bits());
+        }
+        assert_eq!(a.rounds_to_plateau, b.rounds_to_plateau);
+    }
+}

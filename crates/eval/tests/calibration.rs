@@ -1,0 +1,44 @@
+//! Table-1-style calibration pins for the domain generators, in the
+//! same spirit as `iwb-registry`'s pinned registry statistics: the
+//! standard suite under the canonical seed must reproduce these exact
+//! counts and rates. A change here means the generator's draw sequence
+//! changed — which silently invalidates every committed benchmark
+//! number — so the table is pinned tight. Re-derive it with
+//! `cargo test -p iwb-eval --test calibration -- --nocapture` and
+//! update deliberately if the generator is *meant* to change.
+
+use iwb_eval::domains::{default_knobs, domains, generate_case};
+
+/// Same canonical seed the registry Table 1 reproduction uses.
+const CAL_SEED: u64 = 20060406;
+
+#[test]
+fn standard_suite_counts_are_pinned() {
+    let mut table = String::from(
+        "domain      entities  attrs  gold  src_els  tgt_els  abbrev  doc    neardup\n",
+    );
+    for spec in domains() {
+        let case = generate_case(spec, &default_knobs(spec), CAL_SEED);
+        table.push_str(&format!(
+            "{:<12}{:>8}{:>7}{:>6}{:>9}{:>9}{:>8.3}{:>7.3}{:>9.3}\n",
+            case.domain,
+            case.stats.entities,
+            case.stats.attributes,
+            case.pair.gold.len(),
+            case.pair.source.len(),
+            case.pair.target.len(),
+            case.stats.abbreviation_rate(),
+            case.stats.doc_rate(),
+            case.stats.near_dup_rate(),
+        ));
+    }
+    let expected = "\
+domain      entities  attrs  gold  src_els  tgt_els  abbrev  doc    neardup
+clinical          12     61    73       74       78   0.522  0.853    0.167
+finance           14     71    85       86      102   0.298  0.933    0.357
+geospatial        12     50    62       63       65   0.289  0.294    0.083
+telecom           16    101   117      118      131   0.379  0.773    0.250
+";
+    println!("{table}");
+    assert_eq!(table, expected, "\ncalibration drifted; actual:\n{table}");
+}

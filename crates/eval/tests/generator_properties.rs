@@ -1,0 +1,109 @@
+//! Property tests for the calibrated domain generators: every gold
+//! pair must reference existing elements, generation must be
+//! deterministic under seed, and the observed abbreviation /
+//! near-duplicate / documentation rates must track the requested knobs
+//! within ±10% when aggregated over 100 seeds.
+
+use iwb_eval::domains::{default_knobs, domains, generate_case, DomainKnobs, GenStats};
+use iwb_model::ElementPath;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every gold pair resolves to an element on both sides, for any
+    /// domain and any knob setting in the supported range.
+    #[test]
+    fn gold_pairs_resolve_in_both_schemas(
+        seed in 0u64..10_000,
+        which in 0usize..4,
+        near_dup in 0.0f64..0.6,
+        abbrev in 0.0f64..0.8,
+        doc in 0.0f64..1.0,
+    ) {
+        let spec = domains()[which];
+        let knobs = DomainKnobs {
+            entities: 8,
+            attrs_per_entity: 4.0,
+            near_duplicate_rate: near_dup,
+            abbreviation_density: abbrev,
+            doc_coverage: doc,
+            ..default_knobs(spec)
+        };
+        let case = generate_case(spec, &knobs, seed);
+        prop_assert!(!case.pair.gold.is_empty());
+        for (sp, tp) in case.pair.gold.iter() {
+            prop_assert!(
+                ElementPath::parse(sp).resolve(&case.pair.source).is_some(),
+                "unresolvable source path {sp}"
+            );
+            prop_assert!(
+                ElementPath::parse(tp).resolve(&case.pair.target).is_some(),
+                "unresolvable target path {tp}"
+            );
+        }
+        // Gold covers every source entity and attribute exactly once.
+        prop_assert_eq!(
+            case.pair.gold.len(),
+            case.stats.entities + case.stats.attributes
+        );
+    }
+
+    /// Equal (domain, knobs, seed) produce byte-identical schemas and
+    /// identical draw statistics.
+    #[test]
+    fn generation_is_deterministic_under_seed(
+        seed in 0u64..10_000,
+        which in 0usize..4,
+    ) {
+        let spec = domains()[which];
+        let knobs = default_knobs(spec);
+        let a = generate_case(spec, &knobs, seed);
+        let b = generate_case(spec, &knobs, seed);
+        prop_assert_eq!(
+            iwb_loaders::to_er_text(&a.pair.source),
+            iwb_loaders::to_er_text(&b.pair.source)
+        );
+        prop_assert_eq!(
+            iwb_loaders::to_er_text(&a.pair.target),
+            iwb_loaders::to_er_text(&b.pair.target)
+        );
+        prop_assert_eq!(a.stats, b.stats);
+        let mut ga: Vec<_> = a.pair.gold.iter().collect();
+        let mut gb: Vec<_> = b.pair.gold.iter().collect();
+        ga.sort();
+        gb.sort();
+        prop_assert_eq!(ga, gb);
+    }
+}
+
+/// Aggregated over 100 seeds, each domain's observed rates stay within
+/// ±10% (relative) of the requested knob.
+#[test]
+fn knob_rates_track_requests_within_ten_percent_over_100_seeds() {
+    for spec in domains() {
+        let knobs = default_knobs(spec);
+        let mut agg = GenStats::default();
+        for seed in 0..100u64 {
+            agg.absorb(&generate_case(spec, &knobs, seed).stats);
+        }
+        let close = |observed: f64, requested: f64, what: &str| {
+            assert!(
+                (observed - requested).abs() <= requested * 0.1,
+                "{}: {what} observed {observed:.4} vs requested {requested:.4} (±10%)",
+                spec.name
+            );
+        };
+        close(
+            agg.abbreviation_rate(),
+            knobs.abbreviation_density,
+            "abbreviation density",
+        );
+        close(
+            agg.near_dup_rate(),
+            knobs.near_duplicate_rate,
+            "near-duplicate rate",
+        );
+        close(agg.doc_rate(), knobs.doc_coverage, "documentation coverage");
+    }
+}

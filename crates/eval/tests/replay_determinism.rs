@@ -1,0 +1,80 @@
+//! The curation-replay determinism contract: identical seeds and
+//! oracle script produce `f64::to_bits`-identical per-round
+//! precision/recall/F1 and weight deltas across match thread counts
+//! {1, 2, 8, auto} × cache on/off.
+
+use iwb_eval::domains::{generate_case, DomainKnobs, CLINICAL, TELECOM};
+use iwb_eval::replay::{run_replay, OracleConfig, ShellTransport};
+use iwb_eval::EvalCase;
+
+fn small_case(spec: &iwb_eval::DomainSpec) -> EvalCase {
+    let knobs = DomainKnobs {
+        entities: 6,
+        attrs_per_entity: 3.0,
+        ..iwb_eval::default_knobs(spec)
+    };
+    generate_case(spec, &knobs, 4242)
+}
+
+/// Bit patterns of everything float-valued a replay reports.
+fn replay_bits(case: &EvalCase, threads: &str, cache: &str) -> Vec<(u64, u64, u64, u64)> {
+    let mut t = ShellTransport::new();
+    t.shell
+        .execute(
+            &format!("match-config threads {threads} cache {cache}"),
+            None,
+        )
+        .expect("match-config");
+    let outcome = run_replay(&mut t, case, &OracleConfig::default()).expect("replay");
+    outcome
+        .rounds
+        .iter()
+        .map(|r| {
+            (
+                r.metrics.precision().to_bits(),
+                r.metrics.recall().to_bits(),
+                r.metrics.f1().to_bits(),
+                r.max_weight_delta.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn replay_metrics_are_bit_identical_across_threads_and_cache() {
+    for spec in [&CLINICAL, &TELECOM] {
+        let case = small_case(spec);
+        let baseline = replay_bits(&case, "1", "on");
+        assert!(
+            baseline.len() > 1,
+            "{}: replay produced no rounds",
+            spec.name
+        );
+        // "0" is the shell's spelling of auto (all cores).
+        for threads in ["1", "2", "8", "0"] {
+            for cache in ["on", "off"] {
+                let got = replay_bits(&case, threads, cache);
+                assert_eq!(
+                    got, baseline,
+                    "{}: replay diverged at threads={threads} cache={cache}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_feedback_curve_is_monotone_or_plateau() {
+    let case = small_case(&CLINICAL);
+    let mut t = ShellTransport::new();
+    let outcome = run_replay(&mut t, &case, &OracleConfig::default()).expect("replay");
+    assert!(
+        outcome.monotone_or_plateau(1e-9),
+        "F1 curve regressed: {:?}",
+        outcome.f1_curve()
+    );
+    let first = outcome.f1_curve()[0];
+    let last = *outcome.f1_curve().last().unwrap();
+    assert!(last >= first, "feedback hurt: {first} -> {last}");
+}

@@ -313,6 +313,21 @@ impl HarmonyEngine {
         self.voters.iter().map(|v| v.name()).collect()
     }
 
+    /// The merger's current per-voter weights, in voter execution
+    /// order (unlearned voters report the default weight 1.0).
+    ///
+    /// This is the engine's observable re-weighting state: the
+    /// curation-replay harness (`iwb-eval`) samples it after every
+    /// feedback round to measure convergence — the round after which
+    /// the largest per-voter weight delta stays below a plateau
+    /// threshold.
+    pub fn reweight_state(&self) -> Vec<(String, f64)> {
+        self.voters
+            .iter()
+            .map(|v| (v.name().to_owned(), self.merger.weight(v.name())))
+            .collect()
+    }
+
     /// The thread count [`MatchConfig::threads`] resolves to.
     pub fn effective_threads(&self) -> usize {
         match self.config.threads {
@@ -913,6 +928,34 @@ mod tests {
             .weights()
             .values()
             .any(|w| (w - 1.0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn reweight_state_tracks_voter_order_and_learned_weights() {
+        let (s, t) = fig2();
+        let mut engine = HarmonyEngine::default();
+        let fresh = engine.reweight_state();
+        let names: Vec<String> = engine
+            .voter_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(
+            fresh.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            names,
+            "weights must come back in voter execution order"
+        );
+        assert!(fresh.iter().all(|(_, w)| *w == 1.0), "unlearned = 1.0");
+        let result = engine.run(&s, &t, &HashMap::new());
+        let sub = s.find_by_name("subtotal").unwrap();
+        let total = t.find_by_name("total").unwrap();
+        engine.learn(&s, &t, &result, &[Feedback::accept(sub, total)]);
+        let learned = engine.reweight_state();
+        assert_eq!(learned.len(), fresh.len());
+        assert!(
+            learned.iter().any(|(_, w)| (*w - 1.0).abs() > 1e-9),
+            "learning must move at least one reported weight"
+        );
     }
 
     #[test]

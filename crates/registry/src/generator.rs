@@ -280,7 +280,11 @@ pub fn generate_registry(config: GeneratorConfig) -> Registry {
 /// identical to the historical `u * u` draw — seeded registries (and
 /// everything pinned on them) do not shift when only the exponent's
 /// representation changes.
-fn split_budget(rng: &mut StdRng, total: usize, parts: usize, skew: f64) -> Vec<usize> {
+///
+/// Public as a shared calibration utility: the `iwb-eval` domain
+/// generators reuse the same skewed-budget draw so their structural
+/// skew knob means the same thing as the registry's.
+pub fn split_budget(rng: &mut StdRng, total: usize, parts: usize, skew: f64) -> Vec<usize> {
     if parts == 0 {
         return Vec::new();
     }
@@ -314,8 +318,10 @@ fn split_budget(rng: &mut StdRng, total: usize, parts: usize, skew: f64) -> Vec<
     out
 }
 
-/// Sample a count with the given mean (mean ± 50%, minimum 1).
-fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+/// Sample a count with the given mean (mean ± 50%, minimum 1). Shared
+/// with the `iwb-eval` domain generators (same calibration semantics
+/// as the Table 1 generator).
+pub fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
     let lo = (mean * 0.5).floor().max(1.0) as usize;
     let hi = (mean * 1.5).ceil() as usize + 1;
     rng.gen_range(lo..hi.max(lo + 1))

@@ -24,7 +24,7 @@ pub mod perturb;
 pub mod stats;
 pub mod vocabulary;
 
-pub use generator::{generate_registry, GeneratorConfig, Registry};
+pub use generator::{generate_registry, sample_count, split_budget, GeneratorConfig, Registry};
 pub use perturb::{perturb_schema, PerturbConfig, SchemaPair};
 pub use stats::registry_stats;
 

@@ -93,4 +93,19 @@ cargo run -q --release --offline -p iwb-bench --bin bench_server -- \
     --fleet --quick --out target/BENCH_fleet_quick.json
 grep -q '"sessions_lost": 0' target/BENCH_fleet_quick.json
 
+echo "== eval generator calibration (pinned domain counts, knob adherence properties)"
+cargo test -q --offline -p iwb-eval --test calibration --test generator_properties
+
+echo "== curation-replay determinism (bit-identical P/R/F1 across threads/cache)"
+cargo test -q --offline -p iwb-eval --test replay_determinism
+
+echo "== server-side replay (journaled curation session, crash + --recover, byte-identical)"
+cargo test -q --offline -p iwb-eval --test server_replay
+
+echo "== bench_eval smoke (domain sweep floors + replay curve gates, quick axes)"
+cargo run -q --release --offline -p iwb-bench --bin bench_eval -- \
+    --quick --out target/BENCH_eval_quick.json
+grep -q '"floors_met": true' target/BENCH_eval_quick.json
+grep -q '"replay_monotone": true' target/BENCH_eval_quick.json
+
 echo "ci: ok"

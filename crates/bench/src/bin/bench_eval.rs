@@ -25,6 +25,11 @@
 //! `--quick` shrinks the sweep axes (not the domains — all four always
 //! run) for CI smoke; the floor and replay gates still apply because
 //! quick keeps the gated harmony/0.25/k=0 cell in its sweep.
+//! `--noise P` makes the replay oracle wrongly accept non-gold
+//! proposals with probability P (seeded): the monotone gate is waived
+//! (mistakes are *supposed* to dent the curve) and the recovery is
+//! recorded per round instead, but the plateau-honesty gate still
+//! applies — a claimed plateau with weights still moving fails the run.
 
 use iwb_blocking::{BlockingConfig, RegistryIndex};
 use iwb_eval::domains::{default_knobs, domains, generate_case, EvalCase};
@@ -57,6 +62,7 @@ const REPLAY_EPS: f64 = 0.02;
 struct Args {
     seed: u64,
     quick: bool,
+    noise: f64,
     out: String,
 }
 
@@ -65,13 +71,14 @@ impl Default for Args {
         Args {
             seed: 20060406,
             quick: false,
+            noise: 0.0,
             out: "BENCH_eval.json".to_owned(),
         }
     }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_eval [--seed N] [--quick] [--out PATH]");
+    eprintln!("usage: bench_eval [--seed N] [--quick] [--noise P] [--out PATH]");
     std::process::exit(2);
 }
 
@@ -83,6 +90,10 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--seed" => out.seed = value().parse().unwrap_or_else(|_| usage()),
             "--quick" => out.quick = true,
+            "--noise" => match value().parse() {
+                Ok(p) if (0.0..=1.0).contains(&p) => out.noise = p,
+                _ => usage(),
+            },
             "--out" => out.out = value(),
             _ => usage(),
         }
@@ -250,6 +261,7 @@ fn main() {
     // --- Curation replay -----------------------------------------------------
     let oracle = OracleConfig {
         rounds: if args.quick { 2 } else { 5 },
+        noise: args.noise,
         ..OracleConfig::default()
     };
     let mut replay_json = String::new();
@@ -260,12 +272,28 @@ fn main() {
         let curve = outcome.f1_curve();
         let monotone = outcome.monotone_or_plateau(REPLAY_EPS);
         let improves = curve.last().unwrap_or(&0.0) >= curve.first().unwrap_or(&0.0);
-        if !(monotone && improves) {
+        // With a noisy oracle the curve is *supposed* to dip where the
+        // mistakes land — record the recovery instead of gating it.
+        if args.noise == 0.0 && !(monotone && improves) {
             replay_ok = false;
             eprintln!(
                 "bench_eval: {} replay curve regressed: {curve:?}",
                 case.domain
             );
+        }
+        // A claimed plateau must stay honest under noise: every round
+        // from it onward moved no weight beyond eps.
+        if let Some(p) = outcome.rounds_to_plateau {
+            let honest = outcome.rounds[p..]
+                .iter()
+                .all(|r| r.max_weight_delta < oracle.plateau_eps);
+            if !honest {
+                replay_ok = false;
+                eprintln!(
+                    "bench_eval: {} plateau claimed at round {p} while weights still move",
+                    case.domain
+                );
+            }
         }
         if d > 0 {
             replay_json.push_str(",\n");
@@ -278,11 +306,13 @@ fn main() {
             let _ = write!(
                 rounds_json,
                 "{{\"round\": {}, \"accepted\": {}, \"rejected\": {}, \
+                 \"noisy_accepts\": {}, \
                  \"precision\": {:.6}, \"recall\": {:.6}, \"f1\": {:.6}, \
                  \"max_weight_delta\": {:.9}}}",
                 r.round,
                 r.accepted,
                 r.rejected,
+                r.noisy_accepts,
                 r.metrics.precision(),
                 r.metrics.recall(),
                 r.metrics.f1(),
@@ -296,8 +326,10 @@ fn main() {
         let _ = write!(
             replay_json,
             "    {{\"domain\": \"{}\", \"rounds_to_plateau\": {plateau}, \
-             \"monotone_or_plateau\": {monotone}, \"rounds\": [{rounds_json}]}}",
-            case.domain
+             \"monotone_or_plateau\": {monotone}, \"noisy_accepts\": {}, \
+             \"rounds\": [{rounds_json}]}}",
+            case.domain,
+            outcome.noisy_accepts()
         );
         println!(
             "  {:<12} replay F1 {:.3} -> {:.3} over {} rounds (plateau {plateau})",
@@ -317,6 +349,7 @@ fn main() {
         .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"eval\",\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"noise\": {},\n  \
          \"domains\": {},\n  \"engines\": {},\n  \"thresholds\": {},\n  \
          \"blocking_ks\": {},\n  \"elapsed_ms\": {elapsed_ms:.0},\n  \
          \"floors\": {{{floors_json}}},\n  \"floors_met\": {floors_met},\n  \
@@ -326,6 +359,7 @@ fn main() {
          \"sweep\": [\n{sweep}\n  ]\n}}\n",
         args.seed,
         args.quick,
+        args.noise,
         cases.len(),
         engines.len(),
         thresholds.len(),

@@ -18,11 +18,19 @@
 //! true-positive/predicted/actual counts, so equal sessions produce
 //! bit-identical P/R/F1 regardless of transport, thread count, or
 //! cache mode.
+//!
+//! The oracle need not be perfect: [`OracleConfig::noise`] makes it
+//! wrongly accept a non-gold proposal with that probability (seeded by
+//! [`OracleConfig::noise_seed`], one draw per reviewed proposal), which
+//! models analyst mistakes and lets the suite check that re-weighting
+//! degrades gracefully and the plateau detector stays honest under bad
+//! feedback.
 
 use crate::domains::EvalCase;
 use iwb_core::shell::Shell;
 use iwb_harmony::PrMetrics;
 use iwb_loaders::to_er_text;
+use iwb_rng::StdRng;
 use iwb_server::Client;
 use std::collections::HashSet;
 
@@ -85,6 +93,15 @@ pub struct OracleConfig {
     /// A round whose re-match moved no voter weight further than this
     /// counts as plateaued.
     pub plateau_eps: f64,
+    /// Probability that the oracle wrongly *accepts* a proposal that is
+    /// not in the gold standard (an analyst mistake). `0.0` keeps the
+    /// oracle perfect; draws come from a generator seeded with
+    /// [`OracleConfig::noise_seed`], one draw per reviewed proposal, so
+    /// runs are reproducible for any noise level.
+    pub noise: f64,
+    /// Seed for the noise draws (independent of the case seed, so the
+    /// same session can be replayed with different mistake patterns).
+    pub noise_seed: u64,
 }
 
 impl Default for OracleConfig {
@@ -94,6 +111,8 @@ impl Default for OracleConfig {
             k: 8,
             threshold: 0.25,
             plateau_eps: 1e-9,
+            noise: 0.0,
+            noise_seed: 0x0a_c1de,
         }
     }
 }
@@ -107,6 +126,9 @@ pub struct RoundMetrics {
     pub accepted: usize,
     /// Proposals the oracle rejected this round.
     pub rejected: usize,
+    /// Confirmations that were oracle *mistakes* — non-gold proposals
+    /// accepted by a noise draw (a subset of `accepted`).
+    pub noisy_accepts: usize,
     /// Quality of the thresholded link set after this round's re-match.
     pub metrics: PrMetrics,
     /// Largest per-voter weight movement this round's re-match caused.
@@ -135,6 +157,11 @@ impl ReplayOutcome {
     /// minus `eps`, i.e. feedback monotonically helps (or plateaus).
     pub fn monotone_or_plateau(&self, eps: f64) -> bool {
         self.f1_curve().windows(2).all(|w| w[1] >= w[0] - eps)
+    }
+
+    /// Total oracle mistakes (noisy accepts) across all rounds.
+    pub fn noisy_accepts(&self) -> usize {
+        self.rounds.iter().map(|r| r.noisy_accepts).sum()
     }
 }
 
@@ -167,19 +194,30 @@ pub fn run_replay<T: ReplayTransport>(
         round: 0,
         accepted: 0,
         rejected: 0,
+        noisy_accepts: 0,
         metrics: measure(transport, &src, &tgt, &gold, cfg)?,
         max_weight_delta: 0.0,
     }];
+
+    // One draw per reviewed proposal — even at noise 0.0 — so the
+    // decision stream for a given (case, noise_seed) pair is a pure
+    // function of the proposal order, never of earlier flips.
+    let mut noise_rng = StdRng::seed_from_u64(cfg.noise_seed);
 
     for round in 1..=cfg.rounds {
         let listing = transport.execute(
             &format!("proposals {src} {tgt} k {} undecided", cfg.k),
             None,
         )?;
-        let (mut accepted, mut rejected) = (0, 0);
+        let (mut accepted, mut rejected, mut noisy_accepts) = (0, 0, 0);
         for (sp, tp, _) in parse_links(&listing)? {
+            let flip = noise_rng.next_f64() < cfg.noise;
             let verb = if gold.contains(&(sp.as_str(), tp.as_str())) {
                 accepted += 1;
+                "accept"
+            } else if flip {
+                accepted += 1;
+                noisy_accepts += 1;
                 "accept"
             } else {
                 rejected += 1;
@@ -201,6 +239,7 @@ pub fn run_replay<T: ReplayTransport>(
             round,
             accepted,
             rejected,
+            noisy_accepts,
             metrics: measure(transport, &src, &tgt, &gold, cfg)?,
             max_weight_delta,
         });
@@ -348,6 +387,47 @@ mod tests {
             outcome.weights.len(),
             iwb_harmony::HarmonyEngine::default().voter_names().len()
         );
+    }
+
+    /// A case whose top-k proposals include non-gold decoys, so the
+    /// oracle actually has rejects for noise to flip.
+    fn decoy_heavy_case() -> EvalCase {
+        let knobs = DomainKnobs {
+            entities: 6,
+            attrs_per_entity: 3.0,
+            near_duplicate_rate: 1.0,
+            ..DomainKnobs::default()
+        };
+        generate_case(&CLINICAL, &knobs, 77)
+    }
+
+    #[test]
+    fn noisy_oracle_records_mistakes_and_keeps_plateau_honest() {
+        let case = decoy_heavy_case();
+        let cfg = OracleConfig {
+            noise: 0.3,
+            ..OracleConfig::default()
+        };
+        let outcome = run_replay(&mut ShellTransport::new(), &case, &cfg).expect("noisy replay");
+        assert!(
+            outcome.noisy_accepts() >= 1,
+            "noise 0.3 over {} rounds should flip at least one reject",
+            cfg.rounds
+        );
+        for r in &outcome.rounds {
+            assert!(r.noisy_accepts <= r.accepted, "noisy ⊆ accepted: {r:?}");
+        }
+        // A claimed plateau must still mean what it says: every round
+        // from it onward moved no weight beyond eps, mistakes included.
+        if let Some(p) = outcome.rounds_to_plateau {
+            assert!(outcome.rounds[p..]
+                .iter()
+                .all(|r| r.max_weight_delta < cfg.plateau_eps));
+        }
+        // A perfect oracle records zero mistakes no matter the seed.
+        let clean =
+            run_replay(&mut ShellTransport::new(), &case, &OracleConfig::default()).unwrap();
+        assert_eq!(clean.noisy_accepts(), 0);
     }
 
     #[test]

@@ -64,6 +64,113 @@ fn replay_metrics_are_bit_identical_across_threads_and_cache() {
     }
 }
 
+/// A case whose top-k proposals include non-gold decoys, so the oracle
+/// actually issues rejects for noise to flip into wrong accepts.
+fn decoy_heavy_case(spec: &iwb_eval::DomainSpec) -> EvalCase {
+    let knobs = DomainKnobs {
+        entities: 6,
+        attrs_per_entity: 3.0,
+        near_duplicate_rate: 1.0,
+        ..iwb_eval::default_knobs(spec)
+    };
+    generate_case(spec, &knobs, 4242)
+}
+
+/// A replay under oracle noise `p`, reduced to comparable bit patterns
+/// (plus the per-round decision counts, which noise perturbs).
+fn noisy_bits(case: &EvalCase, p: f64) -> Vec<(usize, usize, usize, u64, u64)> {
+    let cfg = OracleConfig {
+        noise: p,
+        ..OracleConfig::default()
+    };
+    let outcome = run_replay(&mut ShellTransport::new(), case, &cfg).expect("noisy replay");
+    outcome
+        .rounds
+        .iter()
+        .map(|r| {
+            (
+                r.accepted,
+                r.rejected,
+                r.noisy_accepts,
+                r.metrics.f1().to_bits(),
+                r.max_weight_delta.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn noise_zero_is_bit_identical_to_the_default_oracle() {
+    for spec in [&CLINICAL, &TELECOM] {
+        let case = small_case(spec);
+        let clean = run_replay(&mut ShellTransport::new(), &case, &OracleConfig::default())
+            .expect("clean replay");
+        let zeroed = noisy_bits(&case, 0.0);
+        let baseline: Vec<_> = clean
+            .rounds
+            .iter()
+            .map(|r| {
+                (
+                    r.accepted,
+                    r.rejected,
+                    r.noisy_accepts,
+                    r.metrics.f1().to_bits(),
+                    r.max_weight_delta.to_bits(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            zeroed, baseline,
+            "{}: noise 0.0 changed the replay",
+            spec.name
+        );
+        assert_eq!(clean.noisy_accepts(), 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn noisy_replay_is_deterministic_and_plateau_stays_honest() {
+    for spec in [&CLINICAL, &TELECOM] {
+        let case = decoy_heavy_case(spec);
+        let a = noisy_bits(&case, 0.1);
+        let b = noisy_bits(&case, 0.1);
+        assert_eq!(
+            a, b,
+            "{}: noise 0.1 replay diverged between runs",
+            spec.name
+        );
+
+        let cfg = OracleConfig {
+            noise: 0.1,
+            ..OracleConfig::default()
+        };
+        let outcome = run_replay(&mut ShellTransport::new(), &case, &cfg).expect("replay");
+        assert!(
+            outcome.noisy_accepts() >= 1,
+            "{}: noise 0.1 never fired — weak test, pick a new noise_seed",
+            spec.name
+        );
+        // The plateau detector must not be fooled by bad feedback: a
+        // claimed plateau round still means every round from it onward
+        // moved no voter weight beyond eps.
+        if let Some(p) = outcome.rounds_to_plateau {
+            assert!(
+                outcome.rounds[p..]
+                    .iter()
+                    .all(|r| r.max_weight_delta < cfg.plateau_eps),
+                "{}: plateau claimed at {p} but weights still moving",
+                spec.name
+            );
+        }
+        // Re-weighting recovery is recorded, not asserted away: the
+        // curve exists for every round and mistakes are attributed.
+        assert_eq!(outcome.rounds.len(), cfg.rounds + 1);
+        for r in &outcome.rounds {
+            assert!(r.noisy_accepts <= r.accepted);
+        }
+    }
+}
+
 #[test]
 fn replay_feedback_curve_is_monotone_or_plateau() {
     let case = small_case(&CLINICAL);

@@ -11,9 +11,23 @@
 //! Clients speak the ordinary `workbenchd` line protocol to the
 //! router; session ids are rendezvous-hashed across the backends, a
 //! prober quarantines/re-admits them, and on backend death sessions
-//! fail over through the shared `--store` directory (see
-//! `iwb_router::router`). All backends must share one store directory
-//! and run with `--no-recover`.
+//! are promoted onto their successor (`repl promote`; see
+//! `iwb_router::router`). Backends run with `--no-recover` and either
+//! share one `--store` directory, or keep one `--store` each and
+//! stream journal records to their rendezvous successor with
+//! `--repl-peers`/`--repl-self` — no shared disk:
+//!
+//! ```sh
+//! workbenchd --addr 127.0.0.1:7181 --store /var/iwb-0 --no-recover \
+//!     --repl-peers 127.0.0.1:7181,127.0.0.1:7182 --repl-self 0 &
+//! workbenchd --addr 127.0.0.1:7182 --store /var/iwb-1 --no-recover \
+//!     --repl-peers 127.0.0.1:7181,127.0.0.1:7182 --repl-self 1 &
+//! ```
+//!
+//! `migrate --all <backend>` (by index or address) drains a backend
+//! session by session for planned maintenance, and a restarted router
+//! re-discovers placement from the backends' `session list` /
+//! `repl status` books before accepting clients.
 //!
 //! Options:
 //!
@@ -34,6 +48,8 @@
 //!   re-admission (default 2)
 //! * `--retries N`              shed/failover retry attempts
 //!   (default 6)
+//! * `--drain-interval-ms N`    pause between two sessions of a
+//!   `migrate --all` drain (default 25)
 //! * `--read-timeout SECS`      stalled-client drop (default 30)
 //! * `--faults SPEC`            fleet-level fault injection, e.g.
 //!   `seed=7,probe-timeout=1.0,migration-stall=0:150`
@@ -52,7 +68,8 @@ fn usage() -> ! {
         "usage: workbench-router --backend HOST:PORT [--backend HOST:PORT ...] \
          [--addr HOST:PORT] [--workers N] [--probe-interval-ms N] [--probe-jitter F] \
          [--probe-timeout-ms N] [--probe-seed N] [--quarantine-after N] \
-         [--readmit-after N] [--retries N] [--read-timeout SECS] [--faults SPEC]"
+         [--readmit-after N] [--retries N] [--drain-interval-ms N] [--read-timeout SECS] \
+         [--faults SPEC]"
     );
     std::process::exit(2);
 }
@@ -107,6 +124,10 @@ fn parse_args() -> RouterConfig {
             },
             "--retries" => match value("--retries").parse() {
                 Ok(n) if n > 0 => config.retry.attempts = n,
+                _ => usage(),
+            },
+            "--drain-interval-ms" => match value("--drain-interval-ms").parse() {
+                Ok(ms) => config.drain_interval = Duration::from_millis(ms),
                 _ => usage(),
             },
             "--read-timeout" => match value("--read-timeout").parse() {

@@ -1,41 +1,14 @@
-//! Rendezvous (highest-random-weight) hashing of session ids over
-//! backend slots.
+//! Rendezvous (highest-random-weight) hashing — re-exported from
+//! `iwb-store`.
 //!
-//! Every `(session, backend)` pair gets a deterministic pseudo-random
-//! weight; the session's owner is the backend with the highest weight,
-//! its failover successor the second-highest, and so on. The property
-//! that matters for a fleet: **membership changes only remap the
-//! sessions that ranked the changed backend first.** Removing backend
-//! `b` promotes each orphaned session to its *own* second choice —
-//! every other session's ranking is untouched, so a crash never
-//! triggers a fleet-wide reshuffle the way modulo hashing would.
+//! The implementation moved to [`iwb_store::rendezvous`] so the
+//! backends can compute the same ranking the router uses: each
+//! session's owner streams its journal to the rendezvous-next-ranked
+//! successor (`iwb_server::repl`), and the router's failover walk
+//! promotes from exactly that replica. This module keeps the
+//! `iwb_router::hash::…` paths (and the pinned property tests) stable.
 
-use iwb_store::fault::fnv1a64;
-
-/// One SplitMix64 scramble — enough avalanche to decorrelate the
-/// per-backend weights of similar session ids.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// The rendezvous weight of `key` on backend slot `index`.
-pub fn weight(key: &str, index: usize) -> u64 {
-    splitmix64(fnv1a64(key.as_bytes()) ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
-}
-
-/// Backend slots `0..n` ranked for `key`, best first. The full ranking
-/// (not just the winner) is the failover order: when the owner dies,
-/// the session moves to the next-ranked slot with no effect on any
-/// session that ranked a different owner first.
-pub fn rank(key: &str, n: usize) -> Vec<usize> {
-    let mut slots: Vec<usize> = (0..n).collect();
-    slots.sort_by_key(|&i| std::cmp::Reverse((weight(key, i), i)));
-    slots
-}
+pub use iwb_store::rendezvous::{rank, successor, weight};
 
 #[cfg(test)]
 mod tests {

@@ -6,14 +6,17 @@
 //! a single daemon; the router owns placement, health, failover, and
 //! planned migration.
 //!
-//! * [`hash`] — rendezvous (highest-random-weight) hashing: stable
-//!   rankings under membership change, so a backend crash only remaps
-//!   the sessions it owned.
+//! * [`hash`] — rendezvous (highest-random-weight) hashing (re-exported
+//!   from `iwb_store::rendezvous`): stable rankings under membership
+//!   change, so a backend crash only remaps the sessions it owned.
 //! * [`router`] — the proxy itself: health-checked membership with
 //!   seeded-jitter probing, `RETRY-AFTER`-aware placement, sticky
-//!   routes, journal-shipped failover through the shared `--store`
-//!   directory, and per-session sequence stamping for exactly-once
-//!   mutation semantics.
+//!   routes, promotion-based failover (`repl promote` from a shared
+//!   `--store` directory *or* from streamed `--repl-peers` replicas,
+//!   refusing `STALE-REPLICA` evidence), planned draining
+//!   (`migrate --all <backend>`), restart re-discovery of placement
+//!   from the backends' own books, and per-session sequence stamping
+//!   for exactly-once mutation semantics.
 //!
 //! The `workbench-router` binary wraps [`router::serve`] with flag
 //! parsing mirroring `workbenchd`'s.

@@ -20,13 +20,31 @@
 //!   fixed-rate, so the probe order is deterministic per seed).
 //!   `quarantine_after` consecutive failures quarantine a backend;
 //!   `readmit_after` consecutive successes re-admit it.
-//! * **Journal-shipped failover.** All backends share one `--store`
-//!   directory. When the owner dies (or `migrate <id>` asks), the
-//!   router releases the session on the old owner (best effort — a
-//!   crashed backend cannot answer), then directs the successor to
-//!   `session recover <id>`: verified snapshot + journal-suffix
-//!   replay, refusing silently-wrong histories exactly as single-node
-//!   recovery does. Only then does the route flip.
+//! * **Promotion-based failover, shared disk optional.** When the
+//!   owner dies (or `migrate <id>` asks), the router releases the
+//!   session on the old owner (best effort — a crashed backend cannot
+//!   answer), then asks the successor to `repl promote <id> <seq>`,
+//!   passing the last seq it saw acknowledged to a client as the
+//!   promotion floor. The backend rebuilds from its best local
+//!   evidence — its own journal/snapshot when the fleet shares a
+//!   `--store` directory, or the standby replica streamed to it by
+//!   `--repl-peers` replication when each backend has its own disk —
+//!   and *refuses* with `STALE-REPLICA` when that evidence is provably
+//!   behind the floor. The router surfaces the refusal rather than
+//!   serving silently-wrong state; only a successful promotion flips
+//!   the route. (Backends too old to promote fall back to the original
+//!   `session recover` handshake.)
+//! * **Planned draining.** `migrate --all <backend>` walks every
+//!   session routed to one backend through the release → promote
+//!   handshake, rate-limited by [`RouterConfig::drain_interval`]. The
+//!   walk is resumable: it skips sessions that already moved, so
+//!   re-issuing it after a router crash simply continues the drain.
+//! * **Restart re-discovery.** On startup the router fans
+//!   `session list` and `repl status` out to every backend and rebuilds
+//!   its route table from the rows (each carries the session's `seq=`
+//!   watermark; when two backends claim one session the higher
+//!   watermark wins), so a router crash loses no placement and resumes
+//!   stamping `@seq` correctly.
 //! * **Exactly-once mutations.** Every mutating command is stamped
 //!   `@seq` from the route's sequence number. A retried command that
 //!   already executed (the crash ate the ack, not the journal append)
@@ -41,7 +59,7 @@ use iwb_core::RetryableError;
 use iwb_pool::{ProbeSchedule, ThreadPool};
 use iwb_rng::StdRng;
 use iwb_server::client::{Backoff, Client, Response};
-use iwb_server::fault::{FaultPlan, MIGRATION_STALL, PROBE_TIMEOUT, SPLIT_ROUTING};
+use iwb_server::fault::{FaultPlan, MIGRATION_STALL, PROBE_TIMEOUT, PROMOTE_STALE, SPLIT_ROUTING};
 use iwb_server::server::{read_protocol_line, write_response, LineRead};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -69,8 +87,9 @@ const MIGRATE_LOCK_TIMEOUT: Duration = Duration::from_secs(5);
 pub struct RouterConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Backend `workbenchd` addresses. All of them must share one
-    /// `--store` directory and run with `--no-recover`.
+    /// Backend `workbenchd` addresses. All of them run with
+    /// `--no-recover` and either share one `--store` directory or run
+    /// streamed replication (`--repl-peers`, one `--store` each).
     pub backends: Vec<String>,
     /// Worker threads (= max concurrently served client connections).
     pub workers: usize,
@@ -91,6 +110,9 @@ pub struct RouterConfig {
     pub readmit_after: u32,
     /// Retry policy for shed (`RETRY-AFTER`) and failed-over commands.
     pub retry: Backoff,
+    /// Pause between two sessions of a `migrate --all` drain, bounding
+    /// the promote-handshake load a planned drain puts on the fleet.
+    pub drain_interval: Duration,
     /// Idle time after which a silent client connection is dropped.
     pub read_timeout: Duration,
     /// Protocol line bound (mirrors the backend's).
@@ -121,6 +143,7 @@ impl Default for RouterConfig {
                 seed: 0x40075,
                 cap: None,
             },
+            drain_interval: Duration::from_millis(25),
             read_timeout: Duration::from_secs(30),
             max_line_bytes: 64 * 1024,
             max_heredoc_bytes: 4 * 1024 * 1024,
@@ -139,6 +162,10 @@ pub struct RouterStats {
     readmissions: AtomicU64,
     failovers: AtomicU64,
     migrations: AtomicU64,
+    promotions: AtomicU64,
+    stale_replica_refusals: AtomicU64,
+    drained: AtomicU64,
+    rediscovered: AtomicU64,
     duplicate_acks: AtomicU64,
     seq_gap_rejections: AtomicU64,
     split_diverts: AtomicU64,
@@ -162,6 +189,10 @@ impl RouterStats {
     counter!(readmissions, readmissions_count);
     counter!(failovers, failovers_count);
     counter!(migrations, migrations_count);
+    counter!(promotions, promotions_count);
+    counter!(stale_replica_refusals, stale_replica_refusals_count);
+    counter!(drained, drained_count);
+    counter!(rediscovered, rediscovered_count);
     counter!(duplicate_acks, duplicate_acks_count);
     counter!(seq_gap_rejections, seq_gap_rejections_count);
     counter!(split_diverts, split_diverts_count);
@@ -172,7 +203,8 @@ impl RouterStats {
         format!(
             "router commands={} probes ok={} failed={} quarantines={} readmissions={}\n\
              router failovers={} migrations={} duplicate_acks={} seq_gap_rejections={} \
-             split_diverts={} moved_refusals={}",
+             split_diverts={} moved_refusals={}\n\
+             router promotions={} stale_replica_refusals={} drained={} rediscovered={}",
             self.commands.load(Ordering::Relaxed),
             self.probes_ok.load(Ordering::Relaxed),
             self.probes_failed.load(Ordering::Relaxed),
@@ -184,6 +216,10 @@ impl RouterStats {
             self.seq_gap_rejections.load(Ordering::Relaxed),
             self.split_diverts.load(Ordering::Relaxed),
             self.moved_refusals.load(Ordering::Relaxed),
+            self.promotions.load(Ordering::Relaxed),
+            self.stale_replica_refusals.load(Ordering::Relaxed),
+            self.drained.load(Ordering::Relaxed),
+            self.rediscovered.load(Ordering::Relaxed),
         )
     }
 }
@@ -292,6 +328,51 @@ impl Fleet {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .remove(id);
+    }
+
+    /// Re-discovery pin: adopt `backend` as `id`'s owner unless the
+    /// table already holds a claim with a higher `seq` watermark — two
+    /// backends can both report a session after a messy failover, and
+    /// the longer journal is the one whose mutations were acked.
+    fn pin_if_better(&self, id: &str, backend: usize, seq: u64) -> bool {
+        let mut routes = self.routes.lock().unwrap_or_else(|p| p.into_inner());
+        match routes.entry(id.to_owned()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let mut st = e.get().state.lock().unwrap_or_else(|p| p.into_inner());
+                if seq > st.seq {
+                    st.backend = backend;
+                    st.seq = seq;
+                    true
+                } else {
+                    false
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Arc::new(RouteEntry {
+                    state: Mutex::new(RouteState { backend, seq }),
+                }));
+                true
+            }
+        }
+    }
+
+    /// The ids currently routed to `backend`, sorted for a
+    /// deterministic drain order.
+    fn routed_to(&self, backend: usize) -> Vec<String> {
+        let entries: Vec<(String, Arc<RouteEntry>)> = self
+            .routes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(id, e)| (id.clone(), Arc::clone(e)))
+            .collect();
+        let mut ids: Vec<String> = entries
+            .into_iter()
+            .filter(|(_, e)| e.state.lock().unwrap_or_else(|p| p.into_inner()).backend == backend)
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort();
+        ids
     }
 
     /// The session's backend preference order, healthy slots only.
@@ -403,6 +484,10 @@ pub fn serve(config: RouterConfig) -> io::Result<RouterHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(RouterStats::default());
     let fleet = Arc::new(Fleet::new(&config.backends)?);
+    // Restart re-discovery: before serving, adopt the placement the
+    // backends already hold. A router crash loses only the route
+    // table, and the backends' own books rebuild it.
+    rediscover(&fleet, &stats);
     let pool = Arc::new(ThreadPool::new(config.workers));
     let mut threads = Vec::new();
 
@@ -498,6 +583,58 @@ pub fn serve(config: RouterConfig) -> io::Result<RouterHandle> {
     })
 }
 
+/// Parse one ownership row — `id=<id> … seq=<n>` (a `session list`
+/// line, or the tail of a `repl status` `source` line) — into the
+/// session id and its sequence watermark. Rows without a watermark
+/// (journaling off) claim `seq=0`.
+fn ownership_row(line: &str) -> Option<(String, u64)> {
+    let mut id = None;
+    let mut seq = None;
+    for token in line.split_whitespace() {
+        if let Some(v) = token.strip_prefix("id=") {
+            id.get_or_insert_with(|| v.to_owned());
+        } else if let Some(v) = token.strip_prefix("seq=") {
+            if seq.is_none() {
+                seq = v.parse().ok();
+            }
+        }
+    }
+    Some((id?, seq.unwrap_or(0)))
+}
+
+/// Router-restart re-discovery: fan `session list` and `repl status`
+/// out to every backend and rebuild the route table from the rows.
+/// Live sessions (`session list`) and replication sources
+/// (`repl status`) both claim ownership; when two backends claim one
+/// session the higher `seq=` watermark wins ([`Fleet::pin_if_better`]).
+/// Unreachable backends are skipped — the prober will quarantine them.
+fn rediscover(fleet: &Fleet, stats: &RouterStats) {
+    for b in 0..fleet.len() {
+        let Ok(mut client) = Client::connect(fleet.backends[b].sock) else {
+            continue;
+        };
+        for (command, marker) in [("session list", "id="), ("repl status", "source ")] {
+            let Ok(resp) = client.request(command) else {
+                break;
+            };
+            if !resp.ok {
+                continue;
+            }
+            for line in resp.body.lines() {
+                let line = line.trim_start();
+                if !line.starts_with(marker) {
+                    continue;
+                }
+                if let Some((id, seq)) = ownership_row(line) {
+                    if fleet.pin_if_better(&id, b, seq) {
+                        stats.rediscovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// One health probe: dial within the probe budget, send `probe`, and
 /// accept any well-formed reply header as liveness — a `RETRY-AFTER`
 /// shed still proves the backend is up, just busy. The `probe-timeout`
@@ -545,6 +682,30 @@ struct ClientConn<'a> {
 fn seq_in(body: &str) -> Option<u64> {
     let (_, tail) = body.rsplit_once("seq=")?;
     tail.split_whitespace().next()?.parse().ok()
+}
+
+/// One backend's answer to a `repl promote` request.
+enum PromoteOutcome {
+    /// Promoted; the backend's post-promotion sequence watermark.
+    Promoted(u64),
+    /// Refused: the backend's evidence is provably behind the floor.
+    /// Carries the backend's `STALE-REPLICA …` body for the client.
+    Stale(String),
+    /// The backend cannot promote at all (unreachable, journaling
+    /// off, no persisted state) — try the legacy recover handshake.
+    Unavailable,
+}
+
+/// How a failover attempt ended.
+enum FailoverOutcome {
+    /// The route flipped to a promoted successor.
+    Flipped,
+    /// Every candidate holding evidence was provably stale; the
+    /// `STALE-REPLICA` body is surfaced to the client rather than
+    /// serving a silently rewound session.
+    Stale(String),
+    /// No healthy backend could take the session.
+    NoBackend,
 }
 
 impl ClientConn<'_> {
@@ -682,8 +843,13 @@ impl ClientConn<'_> {
                 self.close_session(&id)
             }
             ["session", "list"] => self.aggregate("session list"),
+            ["migrate", "--all", sel] => self.drain_backend(sel),
+            ["migrate"] | ["migrate", "--all"] => (
+                false,
+                "usage: migrate <session> | migrate --all <backend>".to_owned(),
+                false,
+            ),
             ["migrate", id] => self.migrate(id),
-            ["migrate"] => (false, "usage: migrate <session>".to_owned(), false),
             ["cancel", id] => match self.fleet.routed_backend(id) {
                 Some(b) => match self.admin_request(b, &format!("cancel {id}")) {
                     Ok(resp) => (resp.ok, resp.body, false),
@@ -811,12 +977,16 @@ impl ClientConn<'_> {
                 Err(_) => {
                     // Owner unreachable: fail the session over now, at
                     // attach time, then land on the successor.
-                    if !self.failover(id, &mut st) {
-                        return (
-                            false,
-                            format!("RETRY-AFTER 250ms: no healthy backend holds session {id}"),
-                            false,
-                        );
+                    match self.failover(id, &mut st) {
+                        FailoverOutcome::Flipped => {}
+                        FailoverOutcome::Stale(body) => return (false, body, false),
+                        FailoverOutcome::NoBackend => {
+                            return (
+                                false,
+                                format!("RETRY-AFTER 250ms: no healthy backend holds session {id}"),
+                                false,
+                            )
+                        }
                     }
                     match self.dial_attached(st.backend, id) {
                         Ok((client, seq)) => {
@@ -919,27 +1089,44 @@ impl ClientConn<'_> {
             );
         };
         let old = st.backend;
-        let released = self
-            .admin_request(old, &format!("session release {id}"))
-            .map(|r| r.ok)
-            .unwrap_or(false);
+        let release = self.admin_request(old, &format!("session release {id}"));
+        let released = release.as_ref().map(|r| r.ok).unwrap_or(false);
+        // The promotion floor: everything this router acked, raised to
+        // the released watermark when the old owner answered — the
+        // successor must prove it holds the complete history before
+        // the route flips.
+        let floor = release
+            .ok()
+            .filter(|r| r.ok)
+            .and_then(|r| seq_in(&r.body))
+            .unwrap_or(0)
+            .max(st.seq);
         if let Some(ms) = self.config.faults.fires(MIGRATION_STALL) {
             thread::sleep(Duration::from_millis(ms.max(50)));
         }
+        let mut stale = None;
         for b in self.fleet.healthy_rank(id) {
             if b == old {
                 continue;
             }
-            let Ok(resp) = self.admin_request(b, &format!("session recover {id}")) else {
-                continue;
+            let seq = match self.promote_on(b, id, floor) {
+                PromoteOutcome::Promoted(seq) => seq,
+                PromoteOutcome::Stale(body) => {
+                    stale = Some(body);
+                    continue;
+                }
+                PromoteOutcome::Unavailable => {
+                    let Ok(resp) = self.admin_request(b, &format!("session recover {id}")) else {
+                        continue;
+                    };
+                    if !resp.ok {
+                        continue;
+                    }
+                    seq_in(&resp.body).unwrap_or(st.seq)
+                }
             };
-            if !resp.ok {
-                continue;
-            }
             st.backend = b;
-            if let Some(n) = seq_in(&resp.body) {
-                st.seq = n;
-            }
+            st.seq = seq.max(st.seq);
             self.upstream = None;
             self.stats.migrations.fetch_add(1, Ordering::Relaxed);
             return (
@@ -953,11 +1140,69 @@ impl ClientConn<'_> {
         if released {
             let _ = self.admin_request(old, &format!("session recover {id}"));
         }
-        (
-            false,
-            format!("no healthy successor for session {id}; migration aborted"),
-            false,
-        )
+        match stale {
+            Some(body) => (false, body, false),
+            None => (
+                false,
+                format!("no healthy successor for session {id}; migration aborted"),
+                false,
+            ),
+        }
+    }
+
+    /// Planned drain: walk every session routed to one backend through
+    /// the release → promote handshake, pausing
+    /// [`RouterConfig::drain_interval`] between sessions so the drain
+    /// never stampedes the fleet. Resumable by construction — sessions
+    /// that already left the backend (an earlier interrupted drain, or
+    /// a concurrent failover) are skipped, so re-issuing the command
+    /// after a router crash continues where the last walk stopped.
+    fn drain_backend(&mut self, sel: &str) -> (bool, String, bool) {
+        let Some(from) = self.resolve_backend(sel) else {
+            return (
+                false,
+                format!("no backend {sel:?} (give an index or a configured address)"),
+                false,
+            );
+        };
+        let ids = self.fleet.routed_to(from);
+        let total = ids.len();
+        let mut moved = 0usize;
+        let mut skipped = 0usize;
+        let mut failures = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if self.fleet.routed_backend(id) != Some(from) {
+                skipped += 1;
+                continue;
+            }
+            let (ok, body, _) = self.migrate(id);
+            if ok {
+                moved += 1;
+                self.stats.drained.fetch_add(1, Ordering::Relaxed);
+            } else {
+                failures.push(format!("{id}: {body}"));
+            }
+            if i + 1 < total {
+                thread::sleep(self.config.drain_interval);
+            }
+        }
+        let mut body = format!("drained {moved}/{total} session(s) from backend {from}");
+        if skipped > 0 {
+            body.push_str(&format!(" ({skipped} already elsewhere)"));
+        }
+        for f in &failures {
+            body.push_str(&format!("\nfailed {f}"));
+        }
+        (failures.is_empty(), body, false)
+    }
+
+    /// A backend named by index (`migrate --all 1`) or by its
+    /// configured address (`migrate --all 127.0.0.1:7181`).
+    fn resolve_backend(&self, sel: &str) -> Option<usize> {
+        if let Ok(i) = sel.parse::<usize>() {
+            return (i < self.fleet.len()).then_some(i);
+        }
+        self.fleet.backends.iter().position(|b| b.addr == sel)
     }
 
     /// Forward one shell command to the session's owner, stamping
@@ -1010,11 +1255,17 @@ impl ClientConn<'_> {
                         });
                     }
                     Err(_) => {
-                        if !self.failover(&id, &mut st) {
-                            return (
-                                false,
-                                format!("RETRY-AFTER 250ms: no healthy backend for session {id}"),
-                            );
+                        match self.failover(&id, &mut st) {
+                            FailoverOutcome::Flipped => {}
+                            FailoverOutcome::Stale(body) => return (false, body),
+                            FailoverOutcome::NoBackend => {
+                                return (
+                                    false,
+                                    format!(
+                                        "RETRY-AFTER 250ms: no healthy backend for session {id}"
+                                    ),
+                                )
+                            }
                         }
                         continue;
                     }
@@ -1062,15 +1313,20 @@ impl ClientConn<'_> {
                     }
                 }
                 Err(_) => {
-                    // Mid-flight death: the ack (if any) is lost, the
-                    // journal (if reached) is on shared disk. Fail
+                    // Mid-flight death: the ack (if any) is lost, but
+                    // the journal record (if reached) survives — on
+                    // shared disk or in the successor's replica. Fail
                     // over and retry the same stamped command.
                     self.upstream = None;
-                    if !self.failover(&id, &mut st) {
-                        return (
-                            false,
-                            format!("RETRY-AFTER 250ms: no healthy backend for session {id}"),
-                        );
+                    match self.failover(&id, &mut st) {
+                        FailoverOutcome::Flipped => {}
+                        FailoverOutcome::Stale(body) => return (false, body),
+                        FailoverOutcome::NoBackend => {
+                            return (
+                                false,
+                                format!("RETRY-AFTER 250ms: no healthy backend for session {id}"),
+                            )
+                        }
                     }
                 }
             }
@@ -1078,12 +1334,41 @@ impl ClientConn<'_> {
         last
     }
 
-    /// Journal-shipped failover: quarantine the dead owner, release
+    /// Ask backend `b` to promote `id`, refusing below `floor` — the
+    /// last seq this router saw acknowledged to a client. The
+    /// `promote-stale` fault raises the floor to an unreachable
+    /// watermark, forcing the backend's `STALE-REPLICA` refusal path
+    /// deterministically (chaos tests prove the refusal is surfaced,
+    /// not papered over).
+    fn promote_on(&self, b: usize, id: &str, floor: u64) -> PromoteOutcome {
+        let floor = match self.config.faults.fires(PROMOTE_STALE) {
+            Some(_) => u64::MAX,
+            None => floor,
+        };
+        match self.admin_request(b, &format!("repl promote {id} {floor}")) {
+            Ok(resp) if resp.ok => {
+                self.stats.promotions.fetch_add(1, Ordering::Relaxed);
+                PromoteOutcome::Promoted(seq_in(&resp.body).unwrap_or(floor))
+            }
+            Ok(resp) if resp.body.starts_with("STALE-REPLICA") => {
+                self.stats
+                    .stale_replica_refusals
+                    .fetch_add(1, Ordering::Relaxed);
+                PromoteOutcome::Stale(resp.body)
+            }
+            _ => PromoteOutcome::Unavailable,
+        }
+    }
+
+    /// Promotion-based failover: quarantine the dead owner, release
     /// best-effort (a crashed backend cannot answer; an alive-but-
     /// quarantined one must drop the session so it is never live in two
-    /// places), then direct the next-ranked healthy backend to recover
-    /// from the shared store and flip the route.
-    fn failover(&self, id: &str, st: &mut RouteState) -> bool {
+    /// places), then walk the next-ranked healthy backends asking each
+    /// to `repl promote` from its best evidence — own journal/snapshot
+    /// on a shared store, or the standby replica under streamed
+    /// replication. A `STALE-REPLICA` refusal is remembered and
+    /// surfaced when nobody can do better.
+    fn failover(&self, id: &str, st: &mut RouteState) -> FailoverOutcome {
         let dead = st.backend;
         self.fleet.mark_down(dead);
         self.stats.failovers.fetch_add(1, Ordering::Relaxed);
@@ -1091,23 +1376,39 @@ impl ClientConn<'_> {
         if let Some(ms) = self.config.faults.fires(MIGRATION_STALL) {
             thread::sleep(Duration::from_millis(ms.max(50)));
         }
+        let mut stale = None;
         for b in self.fleet.healthy_rank(id) {
             if b == dead {
                 continue;
             }
-            let Ok(resp) = self.admin_request(b, &format!("session recover {id}")) else {
-                continue;
-            };
-            if !resp.ok {
-                continue;
+            match self.promote_on(b, id, st.seq) {
+                PromoteOutcome::Promoted(seq) => {
+                    st.backend = b;
+                    st.seq = seq.max(st.seq);
+                    return FailoverOutcome::Flipped;
+                }
+                PromoteOutcome::Stale(body) => stale = Some(body),
+                PromoteOutcome::Unavailable => {
+                    // Journaling-off backends keep the legacy
+                    // shared-store recover handshake.
+                    let Ok(resp) = self.admin_request(b, &format!("session recover {id}")) else {
+                        continue;
+                    };
+                    if !resp.ok {
+                        continue;
+                    }
+                    st.backend = b;
+                    if let Some(n) = seq_in(&resp.body) {
+                        st.seq = n;
+                    }
+                    return FailoverOutcome::Flipped;
+                }
             }
-            st.backend = b;
-            if let Some(n) = seq_in(&resp.body) {
-                st.seq = n;
-            }
-            return true;
         }
-        false
+        match stale {
+            Some(body) => FailoverOutcome::Stale(body),
+            None => FailoverOutcome::NoBackend,
+        }
     }
 
     /// Deliberately route one stamped command to a *non-owner* backend
@@ -1181,5 +1482,47 @@ impl ClientConn<'_> {
     fn admin_request(&self, backend: usize, command: &str) -> io::Result<Response> {
         let mut client = self.dial(backend)?;
         client.request(command)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_rows_parse_list_and_status_lines() {
+        assert_eq!(
+            ownership_row("id=r1 commands=4 idle_ms=12 seq=4"),
+            Some(("r1".to_owned(), 4))
+        );
+        assert_eq!(
+            ownership_row("id=r2 commands=0 idle_ms=3 quarantined=true"),
+            Some(("r2".to_owned(), 0)),
+            "journaling-off rows claim seq=0"
+        );
+        assert_eq!(
+            ownership_row("source id=r3 seq=7 acked=5 lag=2"),
+            Some(("r3".to_owned(), 7)),
+            "only the first seq= token is the watermark"
+        );
+        assert_eq!(ownership_row("repl self=0 peers=3"), None);
+    }
+
+    #[test]
+    fn rediscovery_pins_prefer_the_higher_watermark() {
+        let fleet = Fleet::new(&["127.0.0.1:1".to_owned(), "127.0.0.1:2".to_owned()]).unwrap();
+        assert!(fleet.pin_if_better("s1", 0, 3));
+        assert!(
+            !fleet.pin_if_better("s1", 1, 3),
+            "an equal watermark must not steal the route"
+        );
+        assert_eq!(fleet.routed_backend("s1"), Some(0));
+        assert!(
+            fleet.pin_if_better("s1", 1, 5),
+            "the longer journal is the acked history"
+        );
+        assert_eq!(fleet.routed_backend("s1"), Some(1));
+        assert_eq!(fleet.routed_to(1), vec!["s1".to_owned()]);
+        assert!(fleet.routed_to(0).is_empty());
     }
 }

@@ -42,6 +42,16 @@
 //! * `--max-pending N`         admission control: shed connections
 //!   with a `RETRY-AFTER` protocol error once N are pending or being
 //!   served (default 64; 0 disables shedding)
+//! * `--repl-peers A,B,…`      fleet replication: the full ordered
+//!   backend address list (identical on every backend and on the
+//!   router — rendezvous ranking only agrees if the order does).
+//!   Every journaled commit streams to the session's rendezvous
+//!   successor, which keeps a warm standby journal; on backend death
+//!   the router promotes from that replica (`repl promote`) with no
+//!   shared disk. Requires `--journal`/`--recover`/`--store` and
+//!   `--repl-self`
+//! * `--repl-self N`           this backend's index in the
+//!   `--repl-peers` list
 //! * `--faults SPEC`           deterministic fault injection, e.g.
 //!   `seed=42,exec-panic=0.01,exec-slow=0.05:20,journal-torn=0.02`
 //!   (chaos testing; see `iwb_server::fault`)
@@ -60,7 +70,8 @@ fn usage() -> ! {
          [--idle-timeout SECS] [--read-timeout SECS] [--journal DIR] [--recover DIR] \
          [--store DIR] [--snapshot-every N] [--no-recover] \
          [--quarantine-after N] [--max-line-bytes N] [--max-heredoc-bytes N] \
-         [--default-deadline-ms N] [--max-pending N] [--faults SPEC]"
+         [--default-deadline-ms N] [--max-pending N] \
+         [--repl-peers A,B,…] [--repl-self N] [--faults SPEC]"
     );
     std::process::exit(2);
 }
@@ -71,6 +82,8 @@ fn parse_args() -> ServerConfig {
         ..ServerConfig::default()
     };
     let mut no_recover = false;
+    let mut repl_peers: Option<Vec<String>> = None;
+    let mut repl_self: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| match args.next() {
@@ -132,6 +145,22 @@ fn parse_args() -> ServerConfig {
                 Ok(n) => config.max_pending = n,
                 _ => usage(),
             },
+            "--repl-peers" => {
+                let peers: Vec<String> = value("--repl-peers")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if peers.is_empty() {
+                    usage();
+                }
+                repl_peers = Some(peers);
+            }
+            "--repl-self" => match value("--repl-self").parse() {
+                Ok(n) => repl_self = Some(n),
+                _ => usage(),
+            },
             "--faults" => match FaultSpec::parse(&value("--faults")) {
                 Ok(spec) => config.faults = spec.build(),
                 Err(e) => {
@@ -148,6 +177,23 @@ fn parse_args() -> ServerConfig {
     }
     if no_recover {
         config.recover = false;
+    }
+    match (repl_peers, repl_self) {
+        (Some(peers), Some(self_index)) => {
+            if self_index >= peers.len() {
+                eprintln!(
+                    "--repl-self {self_index} out of range for {} peer(s)",
+                    peers.len()
+                );
+                usage();
+            }
+            config.repl = Some(iwb_server::ReplConfig { peers, self_index });
+        }
+        (None, None) => {}
+        _ => {
+            eprintln!("--repl-peers and --repl-self go together");
+            usage();
+        }
     }
     config
 }

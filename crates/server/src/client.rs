@@ -14,6 +14,7 @@
 
 use iwb_core::RetryableError;
 use iwb_rng::StdRng;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::thread;
@@ -128,6 +129,17 @@ impl Backoff {
     }
 }
 
+/// FNV-1a over a retry-target key, folded into the jitter seed so each
+/// target's backoff stream is deterministic but distinct.
+fn target_seed(target: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in target.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// A blocking connection to `workbenchd`.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -193,6 +205,13 @@ impl Client {
     /// re-resolves routing once the migration lands — so reconnecting
     /// through a router is idempotent even while the session changes
     /// backends.
+    ///
+    /// Refusal retries are budgeted *per target*: each distinct `MOVED`
+    /// hint gets its own attempt counter, jitter stream, and wall-time
+    /// cap (`RETRY-AFTER` sheds share one bucket — they all mean "this
+    /// peer, later"). A string of refusals naming one dead backend
+    /// therefore cannot exhaust the retries destined for the healthy
+    /// target the route flips to next.
     pub fn reconnect(&mut self, backoff: &Backoff) -> io::Result<()> {
         let fresh = Self::connect_with_backoff(self.peer, backoff)?;
         self.reader = fresh.reader;
@@ -200,30 +219,23 @@ impl Client {
         let Some(id) = self.session.clone() else {
             return Ok(());
         };
-        let mut rng = StdRng::seed_from_u64(backoff.seed ^ 0xa77ac4);
-        let budget_end = backoff.budget_end();
-        let mut last_refusal = String::new();
-        for attempt in 0..backoff.attempts.max(1) {
+        struct Budget {
+            attempt: u32,
+            rng: StdRng,
+            end: Option<Instant>,
+        }
+        let mut budgets: HashMap<String, Budget> = HashMap::new();
+        let attempts = backoff.attempts.max(1);
+        // Hard bound across all targets, so a peer minting a fresh
+        // target string per refusal cannot spin this loop forever.
+        let mut total = attempts.saturating_mul(8);
+        let last_refusal = loop {
             let resp = self.request(&format!("session attach {id}"))?;
             if resp.ok {
                 return Ok(());
             }
-            match RetryableError::parse(&resp.body) {
-                Some(err) if err.is_retryable() => {
-                    last_refusal = resp.body;
-                    // The server's own retry hint floors the jittered
-                    // delay; the wall-time budget still caps it.
-                    let hint = Duration::from_millis(err.retry_after_ms().unwrap_or(0));
-                    let mut delay = backoff.delay(attempt, &mut rng).max(hint);
-                    if let Some(end) = budget_end {
-                        let left = end.saturating_duration_since(Instant::now());
-                        if left.is_zero() {
-                            break;
-                        }
-                        delay = delay.min(left);
-                    }
-                    thread::sleep(delay);
-                }
+            let err = match RetryableError::parse(&resp.body) {
+                Some(err) if err.is_retryable() => err,
                 _ => {
                     // A free-form refusal means the session really is
                     // gone, not merely moving.
@@ -233,8 +245,36 @@ impl Client {
                         format!("reconnected, but session {id:?} is gone: {}", resp.body),
                     ));
                 }
+            };
+            let refusal = resp.body;
+            let target = match &err {
+                RetryableError::Moved { detail, .. } => format!("moved {detail}"),
+                _ => "retry-after".to_owned(),
+            };
+            let seed = backoff.seed ^ 0xa77ac4 ^ target_seed(&target);
+            let budget = budgets.entry(target).or_insert_with(|| Budget {
+                attempt: 0,
+                rng: StdRng::seed_from_u64(seed),
+                end: backoff.budget_end(),
+            });
+            budget.attempt += 1;
+            total = total.saturating_sub(1);
+            if budget.attempt >= attempts || total == 0 {
+                break refusal; // this target's budget is spent
             }
-        }
+            // The server's own retry hint floors the jittered delay;
+            // the target's wall-time budget still caps it.
+            let hint = Duration::from_millis(err.retry_after_ms().unwrap_or(0));
+            let mut delay = backoff.delay(budget.attempt - 1, &mut budget.rng).max(hint);
+            if let Some(end) = budget.end {
+                let left = end.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break refusal;
+                }
+                delay = delay.min(left);
+            }
+            thread::sleep(delay);
+        };
         Err(io::Error::new(
             io::ErrorKind::TimedOut,
             format!("session {id:?} still migrating: {last_refusal}"),
@@ -519,6 +559,113 @@ mod tests {
         })
         .expect("MOVED is a hint, not a loss");
         assert_eq!(c.session(), Some("mv"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reconnect_budgets_each_moved_target_separately() {
+        // With attempts=2 a *shared* budget dies after two refusals.
+        // Here the first refusal names a dead target and the second a
+        // different one (the route flipped mid-reconnect); each target
+        // has its own budget, so the third attach must still happen —
+        // and succeeds.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let serve_line = |stream: &mut TcpStream,
+                              reader: &mut BufReader<TcpStream>,
+                              expect: &str,
+                              reply: &str| {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.trim().starts_with(expect), "{line:?}");
+                write!(stream, "{reply}").unwrap();
+            };
+            let (mut s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            serve_line(
+                &mut s,
+                &mut r,
+                "session new pt",
+                "ok 1\nsession pt created (attached)\n",
+            );
+            let (mut s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            for reply in [
+                "err 1\nMOVED pt: draining via backend 0\n",
+                "err 1\nMOVED pt: draining via backend 1\n",
+                "ok 1\nsession pt attached seq=2\n",
+            ] {
+                serve_line(&mut s, &mut r, "session attach pt", reply);
+            }
+        });
+        let mut c = Client::connect(addr).unwrap();
+        c.session_new(Some("pt")).unwrap();
+        c.reconnect(&Backoff {
+            attempts: 2,
+            base: Duration::from_millis(5),
+            max: Duration::from_millis(10),
+            seed: 11,
+            cap: Some(Duration::from_secs(5)),
+        })
+        .expect("a fresh target must get a fresh retry budget");
+        assert_eq!(c.session(), Some("pt"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reconnect_gives_up_once_a_single_target_spends_its_budget() {
+        // The same target refusing `attempts` times exhausts *its*
+        // budget: the client stops rather than hammering it forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let serve_line = |stream: &mut TcpStream,
+                              reader: &mut BufReader<TcpStream>,
+                              expect: &str,
+                              reply: &str| {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.trim().starts_with(expect), "{line:?}");
+                write!(stream, "{reply}").unwrap();
+            };
+            let (mut s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            serve_line(
+                &mut s,
+                &mut r,
+                "session new st",
+                "ok 1\nsession st created (attached)\n",
+            );
+            let (mut s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            for _ in 0..2 {
+                serve_line(
+                    &mut s,
+                    &mut r,
+                    "session attach st",
+                    "err 1\nMOVED st: stuck on backend 0\n",
+                );
+            }
+        });
+        let mut c = Client::connect(addr).unwrap();
+        c.session_new(Some("st")).unwrap();
+        let err = c
+            .reconnect(&Backoff {
+                attempts: 2,
+                base: Duration::from_millis(5),
+                max: Duration::from_millis(10),
+                seed: 11,
+                cap: Some(Duration::from_secs(5)),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("stuck on backend 0"), "{err}");
+        assert_eq!(
+            c.session(),
+            Some("st"),
+            "the session is not lost, only busy"
+        );
         server.join().unwrap();
     }
 

@@ -10,6 +10,6 @@
 
 pub use iwb_store::fault::{
     fnv1a64, FaultPlan, FaultSpec, BACKEND_CRASH, EXEC_ERROR, EXEC_HANG, EXEC_PANIC, EXEC_SLOW,
-    JOURNAL_TORN, MIGRATION_STALL, PROBE_TIMEOUT, SHARD_STALL, SNAPSHOT_BITFLIP, SNAPSHOT_STALE,
-    SNAPSHOT_TORN, SPLIT_ROUTING,
+    JOURNAL_TORN, MIGRATION_STALL, PROBE_TIMEOUT, PROMOTE_STALE, REPL_DISCONNECT, REPL_LAG,
+    SHARD_STALL, SNAPSHOT_BITFLIP, SNAPSHOT_STALE, SNAPSHOT_TORN, SPLIT_ROUTING,
 };

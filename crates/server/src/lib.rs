@@ -21,6 +21,12 @@
 //! * [`journal`] — append-only per-session command journals (fsync on
 //!   commit, periodic compaction) and the crash-recovery replay behind
 //!   `workbenchd --recover`;
+//! * [`repl`] — streamed journal replication for fleets without a
+//!   shared disk: each backend ships committed records to the
+//!   session's rendezvous successor, keeps standby journals for its
+//!   peers, and promotes from them on failover (`repl promote`) —
+//!   refusing with `STALE-REPLICA` when the replica is provably behind
+//!   the last acked client mutation;
 //! * [`fault`] — deterministic, seeded fault injection (tool errors,
 //!   panics, slow/hung/stalled commands, torn journal writes) for
 //!   chaos tests and `bench_server --faults`;
@@ -46,6 +52,11 @@
 //! session current       the attached session id
 //! session release <id>  persist a session and drop it live (files kept)
 //! session recover <id>  load a persisted session from the store/journal
+//! repl subscribe <id> <len>   replication handshake (backend → backend)
+//! repl append <id> <seq> <c>  stream one journal record to a replica
+//! repl status           per-session replication lag + standby journals
+//! repl promote <id> <min-seq> rebuild from the best local evidence, or
+//!                       refuse with STALE-REPLICA if provably behind
 //! cancel <id>           interrupt the command in flight in a session
 //! stats                 server counters + latency percentiles
 //! ping                  liveness probe
@@ -89,6 +100,7 @@
 pub mod client;
 pub mod fault;
 pub mod journal;
+pub mod repl;
 pub mod server;
 pub mod session;
 pub mod stats;
@@ -96,6 +108,7 @@ pub mod stats;
 pub use client::{Backoff, Client, Response};
 pub use fault::{FaultPlan, FaultSpec};
 pub use journal::{Journal, JournalConfig, JournalRecord};
+pub use repl::{ReplConfig, ReplicaStore, Replicator};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::{ExecOutcome, RecoveryReport, Session, SessionRegistry, StoreConfig, StoreStats};
 pub use stats::{CommandClass, ServerStats};

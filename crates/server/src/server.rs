@@ -27,7 +27,8 @@
 //! session state stays exactly as before the command.
 
 use crate::fault::FaultPlan;
-use crate::journal::JournalConfig;
+use crate::journal::{JournalConfig, JournalRecord};
+use crate::repl::ReplConfig;
 use crate::session::{ExecOutcome, RecoveryReport, SessionRegistry, StoreConfig};
 use crate::stats::{CommandClass, ServerStats};
 use iwb_core::shell::{heredoc_start, HEREDOC_END};
@@ -105,6 +106,12 @@ pub struct ServerConfig {
     /// `RETRY-AFTER` protocol error instead of queueing unboundedly.
     /// 0 disables shedding.
     pub max_pending: usize,
+    /// Fleet replication membership (`workbenchd --repl-peers` /
+    /// `--repl-self`): stream every journaled commit to each session's
+    /// rendezvous successor and accept standby journals from peers.
+    /// Requires `journal_dir` (or `store_dir`) — `serve` refuses the
+    /// combination otherwise.
+    pub repl: Option<ReplConfig>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +134,7 @@ impl Default for ServerConfig {
             faults: FaultPlan::none(),
             default_deadline: None,
             max_pending: 64,
+            repl: None,
         }
     }
 }
@@ -239,6 +247,26 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             fsync: config.journal_fsync,
             snapshot_every: config.snapshot_every,
         });
+    }
+    if let Some(repl) = &config.repl {
+        if journal_dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication requires a journal (or store) directory: \
+                 replicas are journals",
+            ));
+        }
+        if repl.self_index >= repl.peers.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "repl self index {} out of range for {} peers",
+                    repl.self_index,
+                    repl.peers.len()
+                ),
+            ));
+        }
+        registry = registry.with_repl(repl.clone());
     }
     let registry = Arc::new(registry);
 
@@ -589,6 +617,17 @@ struct DispatchCtx<'a> {
     default_deadline: Option<Duration>,
 }
 
+/// Strip the leading `words` (each preceded by arbitrary whitespace)
+/// off `raw` and return the remainder with its own leading whitespace
+/// trimmed — how `repl append` recovers the embedded command verbatim
+/// instead of re-joining split words.
+fn strip_words<'a>(mut raw: &'a str, words: &[&str]) -> Option<&'a str> {
+    for word in words {
+        raw = raw.trim_start().strip_prefix(word)?;
+    }
+    Some(raw.trim_start())
+}
+
 /// Execute one protocol command; returns `(ok, body, action)`.
 fn dispatch(
     ctx: &DispatchCtx<'_>,
@@ -691,8 +730,19 @@ fn dispatch(
             let body = rows
                 .iter()
                 .map(|(id, commands, idle, quarantined)| {
+                    // Under journaling each row carries the session's
+                    // sequence watermark: a restarted router rebuilds
+                    // placement (and its `@N` stamps) from this list.
+                    let seq = if registry.journaling() {
+                        registry
+                            .get(id)
+                            .map(|s| format!(" seq={}", s.seq()))
+                            .unwrap_or_default()
+                    } else {
+                        String::new()
+                    };
                     format!(
-                        "id={id} commands={commands} idle_ms={}{}",
+                        "id={id} commands={commands} idle_ms={}{}{seq}",
                         idle.as_millis(),
                         if *quarantined {
                             " quarantined=true"
@@ -741,6 +791,83 @@ fn dispatch(
             false,
             "usage: session new [id] | attach <id> | detach | close [id] | list | current \
              | release <id> | recover <id>"
+                .to_owned(),
+            Action::Continue,
+        ),
+        // Replication handshake, backend → backend: how far does the
+        // sink's standby journal reach? The source streams from there.
+        ["repl", "subscribe", id, source_len] => match source_len.parse::<u64>() {
+            Ok(len) => match registry.repl_subscribe(id, len) {
+                Ok(have) => (
+                    true,
+                    format!("repl subscribed {id} have={have}"),
+                    Action::Continue,
+                ),
+                Err(e) => (false, e, Action::Continue),
+            },
+            Err(_) => (
+                false,
+                "usage: repl subscribe <session> <source-len>".to_owned(),
+                Action::Continue,
+            ),
+        },
+        // One streamed journal record at logical index <seq>. The
+        // embedded command is the raw remainder of the line (plus the
+        // usual heredoc framing), so any journaled command replicates
+        // byte-identically.
+        ["repl", "append", id, seq, _, ..] => match seq.parse::<u64>() {
+            Ok(seq_no) => {
+                let inner = strip_words(command, &["repl", "append", id, seq])
+                    .expect("matched words are prefixes of the line");
+                let record = JournalRecord {
+                    command: inner.to_owned(),
+                    heredoc: heredoc.map(str::to_owned),
+                };
+                match registry.repl_append(id, seq_no, record, ctx.faults) {
+                    Ok(body) => (true, body, Action::Continue),
+                    Err(e) => (false, e, Action::Continue),
+                }
+            }
+            Err(_) => (
+                false,
+                "usage: repl append <session> <seq> <command>".to_owned(),
+                Action::Continue,
+            ),
+        },
+        // Per-session replication lag (source rows) and standby journal
+        // lengths (replica rows) — the router's promotion safety check
+        // and the bench's lag percentiles both read this.
+        ["repl", "status"] => match registry.repl_status() {
+            Some(body) => (true, body, Action::Continue),
+            None => (
+                false,
+                "replication disabled (start workbenchd with --repl-peers)".to_owned(),
+                Action::Continue,
+            ),
+        },
+        // Fleet failover, no shared disk: rebuild <session> from the
+        // best local evidence (own journal/snapshot or the standby
+        // replica), refusing with STALE-REPLICA when that evidence is
+        // provably behind the router's last acked seq.
+        ["repl", "promote", id, min_seq] => match min_seq.parse::<u64>() {
+            Ok(min) => match registry.promote(id, min, stats) {
+                Ok(seq) => (
+                    true,
+                    format!("session {id} promoted seq={seq}"),
+                    Action::Continue,
+                ),
+                Err(e) => (false, e, Action::Continue),
+            },
+            Err(_) => (
+                false,
+                "usage: repl promote <session> <min-seq>".to_owned(),
+                Action::Continue,
+            ),
+        },
+        ["repl", ..] => (
+            false,
+            "usage: repl subscribe <session> <source-len> | append <session> <seq> <command> \
+             | status | promote <session> <min-seq>"
                 .to_owned(),
             Action::Continue,
         ),
@@ -1049,6 +1176,117 @@ mod tests {
         assert!(!ok);
         assert!(body.contains("no persisted state"), "{body}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strip_words_preserves_the_embedded_command_verbatim() {
+        assert_eq!(
+            strip_words(
+                "repl append s1 4 accept  a.x  b.y",
+                &["repl", "append", "s1", "4"]
+            ),
+            Some("accept  a.x  b.y")
+        );
+        assert_eq!(strip_words("repl append", &["repl", "append", "s1"]), None);
+    }
+
+    #[test]
+    fn dispatch_repl_sink_subscribes_appends_and_promotes() {
+        let dir = std::env::temp_dir().join(format!(
+            "iwb-dispatch-repl-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = JournalConfig::new(&dir);
+        journal.fsync = false;
+        let registry = SessionRegistry::new(8, Duration::from_secs(60))
+            .with_journal(journal)
+            .with_repl(crate::repl::ReplConfig {
+                // Unreachable peers: this test exercises only the sink
+                // and promotion paths; shipping fails silently.
+                peers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+                self_index: 0,
+            });
+        let ctx = Ctx::with_registry(registry, FaultPlan::none());
+        let mut attached = None;
+
+        let (ok, body, _) = ctx.dispatch("repl subscribe r1 5", None, &mut attached);
+        assert!(ok, "{body}");
+        assert_eq!(body, "repl subscribed r1 have=0");
+
+        let doc = Some("entity A { x : text }\n");
+        let (ok, body, _) = ctx.dispatch("repl append r1 0 load er a", doc, &mut attached);
+        assert!(ok, "{body}");
+        assert_eq!(body, "repl appended r1 seq=0");
+        let (ok, body, _) = ctx.dispatch("repl append r1 1 match a a", None, &mut attached);
+        assert!(ok, "{body}");
+        // Redelivery acks as DUPLICATE; a gap is refused.
+        let (ok, body, _) = ctx.dispatch("repl append r1 0 load er a", doc, &mut attached);
+        assert!(ok, "{body}");
+        assert!(body.starts_with("DUPLICATE seq=0"), "{body}");
+        let (ok, body, _) = ctx.dispatch("repl append r1 9 match a a", None, &mut attached);
+        assert!(!ok);
+        assert!(body.starts_with("SEQ-GAP expected=2 got=9"), "{body}");
+
+        let (ok, body, _) = ctx.dispatch("repl status", None, &mut attached);
+        assert!(ok, "{body}");
+        assert!(body.contains("repl self=0 peers=2"), "{body}");
+        assert!(body.contains("replica id=r1 seq=2"), "{body}");
+
+        // Promotion from the streamed replica: the rebuilt session is
+        // live at the replica's watermark; the standby copy is gone.
+        let (ok, body, _) = ctx.dispatch("repl promote r1 2", None, &mut attached);
+        assert!(ok, "{body}");
+        assert_eq!(body, "session r1 promoted seq=2");
+        let (ok, body, _) = ctx.dispatch("session attach r1", None, &mut attached);
+        assert!(ok, "{body}");
+        assert!(body.ends_with("seq=2"), "{body}");
+        let (_, body, _) = ctx.dispatch("repl status", None, &mut attached);
+        assert!(!body.contains("replica id=r1"), "{body}");
+        assert!(body.contains("source id=r1 seq=2"), "{body}");
+
+        // A promotion floor the evidence cannot meet is refused with
+        // STALE-REPLICA, never served silently wrong.
+        let (ok, body, _) = ctx.dispatch("repl promote ghost 3", None, &mut attached);
+        assert!(!ok);
+        assert!(
+            body.starts_with("STALE-REPLICA session=ghost have=0 need=3"),
+            "{body}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dispatch_refuses_repl_commands_when_replication_is_off() {
+        let ctx = Ctx::new();
+        let mut attached = None;
+        for command in [
+            "repl subscribe s1 0",
+            "repl append s1 0 load er a",
+            "repl status",
+        ] {
+            let (ok, body, _) = ctx.dispatch(command, None, &mut attached);
+            assert!(!ok, "{command} must be refused");
+            assert!(body.contains("replication disabled"), "{command}: {body}");
+        }
+        let (ok, body, _) = ctx.dispatch("repl subscribe s1", None, &mut attached);
+        assert!(!ok);
+        assert!(body.starts_with("usage: repl"), "{body}");
+    }
+
+    #[test]
+    fn serve_refuses_replication_without_a_journal_dir() {
+        match serve(ServerConfig {
+            repl: Some(crate::repl::ReplConfig {
+                peers: vec!["127.0.0.1:1".into()],
+                self_index: 0,
+            }),
+            ..ServerConfig::default()
+        }) {
+            Ok(_) => panic!("replication without a journal dir must be refused"),
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidInput),
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use crate::fault::{FaultPlan, EXEC_ERROR, EXEC_HANG, EXEC_PANIC, EXEC_SLOW, SHARD_STALL};
 use crate::journal::{Journal, JournalConfig, JournalRecord, LoadedJournal};
+use crate::repl::{stale_replica, ReplConfig, ReplicaStore, Replicator};
 use crate::stats::ServerStats;
 use iwb_core::persist::{self, SessionState};
 use iwb_core::shell::Shell;
@@ -183,6 +184,9 @@ pub struct Session {
     shell: Mutex<Shell>,
     journal: Arc<Mutex<Option<Journal>>>,
     store: Option<StoreContext>,
+    /// Streams each journaled commit to the session's rendezvous
+    /// successor (see [`crate::repl`]); `None` outside a fleet.
+    repl: Option<Arc<Replicator>>,
     last_used: Mutex<Instant>,
     commands: AtomicU64,
     consecutive_panics: AtomicU32,
@@ -195,12 +199,18 @@ pub struct Session {
 }
 
 impl Session {
-    fn new(id: String, journal: Option<Journal>, store: Option<StoreContext>) -> Self {
+    fn new(
+        id: String,
+        journal: Option<Journal>,
+        store: Option<StoreContext>,
+        repl: Option<Arc<Replicator>>,
+    ) -> Self {
         Session {
             id,
             shell: Mutex::new(Shell::new()),
             journal: Arc::new(Mutex::new(journal)),
             store,
+            repl,
             last_used: Mutex::new(Instant::now()),
             commands: AtomicU64::new(0),
             consecutive_panics: AtomicU32::new(0),
@@ -438,8 +448,21 @@ impl Session {
                 }
             }
         }
+        // Offer the commit to the session's replication successor
+        // before the client sees `ok` — semi-synchronous: a dead
+        // successor only grows replication lag (reported by
+        // `repl status`), never the client's answer.
+        self.ship_replica(faults);
         if snapshot_due {
             self.schedule_snapshot(faults);
+        }
+    }
+
+    /// Stream every unacknowledged journal record to this session's
+    /// rendezvous successor (no-op outside a fleet).
+    fn ship_replica(&self, faults: &FaultPlan) {
+        if let Some(repl) = &self.repl {
+            repl.ship(&self.id, &self.journal, faults);
         }
     }
 
@@ -654,6 +677,10 @@ pub struct SessionRegistry {
     store: Option<StoreConfig>,
     store_worker: Option<Arc<BackgroundWorker>>,
     store_stats: Arc<StoreStats>,
+    /// Outbound journal streaming (fleet mode).
+    replicator: Option<Arc<Replicator>>,
+    /// Inbound standby journals for sessions owned elsewhere.
+    replicas: Option<Arc<ReplicaStore>>,
 }
 
 impl SessionRegistry {
@@ -669,6 +696,8 @@ impl SessionRegistry {
             store: None,
             store_worker: None,
             store_stats: Arc::new(StoreStats::default()),
+            replicator: None,
+            replicas: None,
         }
     }
 
@@ -688,9 +717,172 @@ impl SessionRegistry {
         self
     }
 
+    /// Enable streamed journal replication: every journaled commit is
+    /// shipped to the session's rendezvous successor, and this backend
+    /// accepts standby journals from peers that rank it next (see
+    /// [`crate::repl`]). Requires journaling — replicas *are* journals
+    /// (callers without a journal config get a registry with
+    /// replication silently off; [`crate::serve`] rejects that
+    /// combination up front).
+    pub fn with_repl(mut self, config: ReplConfig) -> Self {
+        if let Some(journal) = &self.journal {
+            self.replicas = Some(Arc::new(ReplicaStore::new(journal)));
+            self.replicator = Some(Arc::new(Replicator::new(config)));
+        }
+        self
+    }
+
     /// Whether journaling is enabled.
     pub fn journaling(&self) -> bool {
         self.journal.is_some()
+    }
+
+    /// Whether fleet replication is enabled.
+    pub fn replicating(&self) -> bool {
+        self.replicator.is_some()
+    }
+
+    /// Handshake for an inbound replication stream: open (and heal)
+    /// the standby journal for `id`, discard it if it has diverged
+    /// past the source's history, and report how many records it
+    /// holds — the source resumes streaming from there.
+    pub fn repl_subscribe(&self, id: &str, source_len: u64) -> Result<u64, String> {
+        if !valid_id(id) {
+            return Err(format!("invalid session id {id:?}"));
+        }
+        let replicas = self.replicas.as_ref().ok_or("replication disabled")?;
+        replicas
+            .subscribe(id, source_len)
+            .map_err(|e| format!("replica journal unavailable: {e}"))
+    }
+
+    /// Accept one streamed record at logical index `seq` into `id`'s
+    /// standby journal (DUPLICATE/SEQ-GAP guarded — see
+    /// [`ReplicaStore::append`]).
+    pub fn repl_append(
+        &self,
+        id: &str,
+        seq: u64,
+        record: JournalRecord,
+        faults: &FaultPlan,
+    ) -> Result<String, String> {
+        if !valid_id(id) {
+            return Err(format!("invalid session id {id:?}"));
+        }
+        let replicas = self.replicas.as_ref().ok_or("replication disabled")?;
+        replicas.append(id, seq, record, faults)
+    }
+
+    /// The replication status body: fleet membership, one `source` row
+    /// per live journaled session (its seq, how far the successor has
+    /// acknowledged, and the lag between them), and one `replica` row
+    /// per standby journal held for peers. `None` when replication is
+    /// off.
+    pub fn repl_status(&self) -> Option<String> {
+        let replicator = self.replicator.as_ref()?;
+        let config = replicator.config();
+        let mut lines = vec![format!(
+            "repl self={} peers={}",
+            config.self_index,
+            config.peers.len()
+        )];
+        let mut sources: Vec<(String, u64, u64)> = recover(self.sessions.lock())
+            .values()
+            .filter(|s| recover(s.journal.lock()).is_some())
+            .map(|s| {
+                let seq = s.seq();
+                (s.id().to_owned(), seq, replicator.acked(s.id()).min(seq))
+            })
+            .collect();
+        sources.sort();
+        for (id, seq, acked) in sources {
+            lines.push(format!(
+                "source id={id} seq={seq} acked={acked} lag={}",
+                seq - acked
+            ));
+        }
+        if let Some(replicas) = &self.replicas {
+            for (id, len) in replicas.status() {
+                lines.push(format!("replica id={id} seq={len}"));
+            }
+        }
+        Some(lines.join("\n"))
+    }
+
+    /// Promote `id` on this backend from the best local evidence — own
+    /// journal/snapshot, or the standby replica streamed by the dead
+    /// owner — refusing with `STALE-REPLICA` when that evidence is
+    /// provably behind `min_seq`, the last seq the router saw
+    /// acknowledged to a client. This is the fleet's no-shared-disk
+    /// failover path; like [`SessionRegistry::recover_one`] it is
+    /// idempotent for a session that is already live (and current).
+    pub fn promote(&self, id: &str, min_seq: u64, stats: &ServerStats) -> Result<u64, String> {
+        if !valid_id(id) {
+            return Err(format!("invalid session id {id:?}"));
+        }
+        if let Some(session) = self.get(id) {
+            let seq = session.seq();
+            if seq >= min_seq {
+                return Ok(seq);
+            }
+            return Err(stale_replica(id, seq, min_seq));
+        }
+        let Some(config) = self.journal.clone() else {
+            return Err("journaling disabled: nothing to promote from".into());
+        };
+        let mut report = RecoveryReport::default();
+        // Local evidence: this backend may have owned the session
+        // before (journal paired with its snapshot, or a snapshot
+        // alone) — e.g. a planned migration bouncing back.
+        let path = Journal::path_for(&config.dir, id);
+        let local = if path.exists() {
+            match Journal::load(&path) {
+                Ok(loaded) if loaded.session_id == id => {
+                    if loaded.torn_tail {
+                        report.torn_tails += 1;
+                    }
+                    self.paired_history(loaded, &mut report).ok()
+                }
+                _ => None,
+            }
+        } else {
+            self.load_snapshot_for(id, &mut report)
+                .map(Self::snapshot_history)
+        };
+        let replica = self.replicas.as_ref().and_then(|r| r.history(id));
+        let local_len = local.as_ref().map_or(0, |(r, _, _)| r.len() as u64);
+        let replica_len = replica.as_ref().map_or(0, |r| r.len() as u64);
+        if local.is_none() && replica.is_none() {
+            if min_seq > 0 {
+                return Err(stale_replica(id, 0, min_seq));
+            }
+            return Err(format!("no persisted state for session {id:?}"));
+        }
+        let have = local_len.max(replica_len);
+        if have < min_seq {
+            return Err(stale_replica(id, have, min_seq));
+        }
+        // Prefer the longer history; ties go to local evidence, which
+        // may carry a warm snapshot the replica cannot.
+        if replica_len > local_len {
+            let records = replica.expect("replica history present");
+            self.rebuild_session(&config, id, records, 0, None, &mut report, stats);
+        } else {
+            let (records, base, warm) = local.expect("local history present");
+            self.rebuild_session(&config, id, records, base, warm, &mut report, stats);
+        }
+        stats.recovery(&report);
+        let session = self
+            .get(id)
+            .ok_or_else(|| format!("promotion of session {id:?} was refused"))?;
+        // The live journal takes over: the local standby copy would
+        // only diverge from here, and this backend now streams the
+        // session onward to its *own* successor.
+        if let Some(replicas) = &self.replicas {
+            replicas.remove(id);
+        }
+        session.ship_replica(&FaultPlan::none());
+        Ok(session.seq())
     }
 
     /// Snapshot-lifecycle counters (all zero when no store is
@@ -769,7 +961,12 @@ impl SessionRegistry {
             ),
             None => None,
         };
-        let session = Arc::new(Session::new(id.clone(), journal, self.store_context(&id)));
+        let session = Arc::new(Session::new(
+            id.clone(),
+            journal,
+            self.store_context(&id),
+            self.replicator.clone(),
+        ));
         map.insert(id, Arc::clone(&session));
         Ok(session)
     }
@@ -907,6 +1104,10 @@ impl SessionRegistry {
             self.drain_snapshots();
             session.flush_snapshot(&FaultPlan::none());
         }
+        // Drain the replication stream at the released watermark so a
+        // planned migration's successor can promote from its replica
+        // with zero lag — no shared disk required.
+        session.ship_replica(&FaultPlan::none());
         Ok(session.seq())
     }
 
@@ -1009,7 +1210,12 @@ impl SessionRegistry {
                 report.skipped += 1;
                 return;
             }
-            let session = Arc::new(Session::new(id.to_owned(), None, self.store_context(id)));
+            let session = Arc::new(Session::new(
+                id.to_owned(),
+                None,
+                self.store_context(id),
+                self.replicator.clone(),
+            ));
             map.insert(id.to_owned(), Arc::clone(&session));
             session
         };
@@ -1056,6 +1262,12 @@ impl SessionRegistry {
             Some(session) => {
                 session.discard_store();
                 session.discard_journal();
+                if let Some(replicator) = &self.replicator {
+                    // Drop the stream bookkeeping; the successor's now
+                    // obsolete replica is discarded by the divergence
+                    // check the next time the id is reused.
+                    replicator.forget(id);
+                }
                 true
             }
             None => false,

@@ -32,6 +32,15 @@
 //! | `migration-stall`  | a session migration stalls `millis` between     |
 //! |                    | release on the old backend and recover on the   |
 //! |                    | successor                                       |
+//! | `repl-disconnect`  | the replication source drops its stream to the  |
+//! |                    | successor before sending (the commit still      |
+//! |                    | acks; the replica falls behind)                 |
+//! | `repl-lag`         | the replication source skips shipping this      |
+//! |                    | commit (lag heals at the next commit's          |
+//! |                    | catch-up loop)                                  |
+//! | `promote-stale`    | the router treats a promotion candidate's       |
+//! |                    | replica as provably behind, forcing the         |
+//! |                    | `STALE-REPLICA` refusal path                    |
 //!
 //! The three `snapshot-*` points corrupt a snapshot *after* its checksums
 //! are computed, so the damage is invisible to the writer and must be
@@ -94,8 +103,20 @@ pub const SPLIT_ROUTING: &str = "split-routing";
 /// on the successor (commands arriving in the window must get a
 /// retryable error, never a forked session).
 pub const MIGRATION_STALL: &str = "migration-stall";
+/// Fault point: the replication source drops its stream to the
+/// successor before shipping the committed record — the client ack
+/// still returns, the replica falls behind, and a later promotion must
+/// refuse with `STALE-REPLICA` rather than serve the stale state.
+pub const REPL_DISCONNECT: &str = "repl-disconnect";
+/// Fault point: the replication source skips shipping this one commit;
+/// the lag is transient and heals at the next commit's catch-up loop.
+pub const REPL_LAG: &str = "repl-lag";
+/// Fault point: the router treats a promotion candidate's replica as
+/// provably behind the last acked mutation, forcing the
+/// `STALE-REPLICA` refusal path deterministically.
+pub const PROMOTE_STALE: &str = "promote-stale";
 
-const POINTS: [&str; 13] = [
+const POINTS: [&str; 16] = [
     EXEC_ERROR,
     EXEC_PANIC,
     EXEC_SLOW,
@@ -109,6 +130,9 @@ const POINTS: [&str; 13] = [
     PROBE_TIMEOUT,
     SPLIT_ROUTING,
     MIGRATION_STALL,
+    REPL_DISCONNECT,
+    REPL_LAG,
+    PROMOTE_STALE,
 ];
 
 /// FNV-1a 64-bit hash (shared by the fault, journal, and snapshot
@@ -397,6 +421,18 @@ mod tests {
         assert_eq!(plan.fires(SPLIT_ROUTING), None); // index 0
         assert!(plan.fires(SPLIT_ROUTING).is_some()); // index 1
         assert_eq!(plan.fires(MIGRATION_STALL), Some(250));
+    }
+
+    #[test]
+    fn repl_points_parse_and_fire() {
+        let spec =
+            FaultSpec::parse("seed=17, repl-disconnect@0, repl-lag=1.0, promote-stale@1").unwrap();
+        let plan = spec.build();
+        assert_eq!(plan.fires(REPL_DISCONNECT), Some(0));
+        assert_eq!(plan.fires(REPL_DISCONNECT), None);
+        assert!(plan.fires(REPL_LAG).is_some());
+        assert_eq!(plan.fires(PROMOTE_STALE), None); // index 0
+        assert!(plan.fires(PROMOTE_STALE).is_some()); // index 1
     }
 
     #[test]

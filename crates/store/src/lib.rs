@@ -22,6 +22,11 @@
 //!   only a verified read-back entitles the server to truncate the
 //!   journal prefix a snapshot covers, so corruption discovered at
 //!   recovery always has a journal to fall back on.
+//! - [`rendezvous`] — highest-random-weight hashing of session ids
+//!   over backend slots, shared by the fleet router (placement,
+//!   failover order) and the server's journal replication (successor
+//!   choice) so both sides agree on where a session's warm replica
+//!   lives.
 //! - [`fault`] — the deterministic fault-injection grammar (relocated
 //!   from the server so storage faults and execution faults share one
 //!   spec language); adds the `snapshot-torn`, `snapshot-bitflip`, and
@@ -35,6 +40,7 @@
 pub mod artifacts;
 pub mod codec;
 pub mod fault;
+pub mod rendezvous;
 pub mod snapshot;
 pub mod store;
 

@@ -88,16 +88,28 @@ cargo test -q --offline -p iwb-server --lib -- \
     dispatch_sequences_release_and_recover_a_session \
     dispatch_answers_probes_without_a_session
 
-echo "== bench_server fleet smoke (router failover, zero session loss)"
+echo "== streamed-replication suite (torn replica tail heals on restart, lag visible + drains)"
+cargo test -q --offline -p iwb-server --test repl_stream
+
+echo "== replication chaos suite (kill mid-curation, stale-replica refusal, drain + re-discovery)"
+cargo test -q --offline -p iwb-router --test repl_chaos
+
+echo "== bench_server fleet smoke (replicated failover, zero session loss, bounded lag)"
 cargo run -q --release --offline -p iwb-bench --bin bench_server -- \
     --fleet --quick --out target/BENCH_fleet_quick.json
 grep -q '"sessions_lost": 0' target/BENCH_fleet_quick.json
+grep -Eq '"repl_lag_max": [0-4],' target/BENCH_fleet_quick.json
 
 echo "== eval generator calibration (pinned domain counts, knob adherence properties)"
 cargo test -q --offline -p iwb-eval --test calibration --test generator_properties
 
 echo "== curation-replay determinism (bit-identical P/R/F1 across threads/cache)"
 cargo test -q --offline -p iwb-eval --test replay_determinism
+
+echo "== noisy-oracle replay (p in {0, 0.1}: bit-identical runs, plateau detector honest)"
+cargo test -q --offline -p iwb-eval --test replay_determinism -- \
+    noise_zero_is_bit_identical_to_the_default_oracle \
+    noisy_replay_is_deterministic_and_plateau_stays_honest
 
 echo "== server-side replay (journaled curation session, crash + --recover, byte-identical)"
 cargo test -q --offline -p iwb-eval --test server_replay
